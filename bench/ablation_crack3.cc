@@ -1,0 +1,87 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Ablation (§3.1): the paper proposes a *three-piece* Ξ cracker for
+// double-sided ranges so the consecutive-ranges property is restored in a
+// single pass. This binary compares that against the naive alternative of
+// two successive crack-in-two passes, over a strolling-style random range
+// workload: same answers, different write/read volume and wall-clock.
+//
+// Output: CSV rows (variant, queries, seconds_total, tuples_read,
+// tuples_written, cracks, pieces).
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "core/cracker_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+struct VariantResult {
+  double seconds = 0;
+  IoStats io;
+  size_t pieces = 0;
+};
+
+VariantResult RunVariant(const std::shared_ptr<Bat>& column, bool crack3,
+                         size_t queries, double sigma, uint64_t seed) {
+  CrackerIndexOptions opts;
+  opts.use_crack_in_three = crack3;
+  VariantResult result;
+  WallTimer timer;
+  CrackerIndex<int64_t> index(column, &result.io, opts);
+  Pcg32 rng(seed);
+  int64_t n = static_cast<int64_t>(column->size());
+  int64_t width = std::max<int64_t>(
+      1, static_cast<int64_t>(sigma * static_cast<double>(n)));
+  for (size_t q = 0; q < queries; ++q) {
+    int64_t lo = rng.NextInRange(1, std::max<int64_t>(1, n - width + 1));
+    index.Select(lo, true, lo + width - 1, true, &result.io);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.pieces = index.num_pieces();
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t n = flags.GetUint("n", 1000000);
+  size_t queries = flags.GetUint("queries", 128);
+  double sigma = flags.GetDouble("sigma", 0.05);
+  uint64_t seed = flags.GetUint("seed", 20040901);
+
+  bench::Banner("ablation_crack3",
+                "§3.1 design choice (three-piece vs two-piece Ξ)",
+                StrFormat("n=%llu queries=%zu sigma=%.2f",
+                          static_cast<unsigned long long>(n), queries,
+                          sigma));
+
+  auto column = BuildPermutationColumn(n, seed, "R.c0");
+
+  TablePrinter out;
+  out.SetHeader({"variant", "queries", "seconds_total", "tuples_read",
+                 "tuples_written", "cracks", "pieces"});
+  for (bool crack3 : {true, false}) {
+    VariantResult r = RunVariant(column, crack3, queries, sigma, seed ^ 1);
+    out.AddRow({crack3 ? "crack-in-three" : "two-crack-in-two",
+                StrFormat("%zu", queries), StrFormat("%.6f", r.seconds),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(r.io.tuples_read)),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(r.io.tuples_written)),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(r.io.cracks)),
+                StrFormat("%zu", r.pieces)});
+  }
+  out.PrintCsv(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace crackstore
+
+int main(int argc, char** argv) { return crackstore::Run(argc, argv); }

@@ -1,0 +1,92 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Ablation (§3.2 / §7): "the cracker index grows quickly ... Fusion of
+// pieces becomes a necessity, but which heuristic works best, with minimal
+// amount of work, remains an open issue." This binary sweeps the fusion
+// policies (none / lru / fifo / smallest) across piece budgets on a random
+// range workload and reports total work and wall-clock, quantifying how
+// much navigation knowledge each policy sacrifices.
+//
+// Output: CSV rows (policy, budget, queries, seconds_total, tuples_read,
+// tuples_written, final_pieces, bounds_dropped).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cracker_index.h"
+#include "core/merge_policy.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t n = flags.GetUint("n", 1000000);
+  size_t queries = flags.GetUint("queries", 256);
+  double sigma = flags.GetDouble("sigma", 0.02);
+  uint64_t seed = flags.GetUint("seed", 20040901);
+
+  bench::Banner("ablation_merge_policy",
+                "§3.2/§7 piece-fusion heuristics sweep",
+                StrFormat("n=%llu queries=%zu sigma=%.2f",
+                          static_cast<unsigned long long>(n), queries,
+                          sigma));
+
+  auto column = BuildPermutationColumn(n, seed, "R.c0");
+  int64_t n64 = static_cast<int64_t>(n);
+  int64_t width = std::max<int64_t>(
+      1, static_cast<int64_t>(sigma * static_cast<double>(n)));
+
+  struct Config {
+    MergePolicyKind kind;
+    size_t budget;
+  };
+  std::vector<Config> configs{{MergePolicyKind::kNone, 0}};
+  for (MergePolicyKind kind : {MergePolicyKind::kLeastRecentlyUsed,
+                               MergePolicyKind::kOldestFirst,
+                               MergePolicyKind::kSmallestPieces}) {
+    for (size_t budget : {8, 32, 128}) {
+      configs.push_back({kind, budget});
+    }
+  }
+
+  TablePrinter out;
+  out.SetHeader({"policy", "budget", "queries", "seconds_total",
+                 "tuples_read", "tuples_written", "final_pieces",
+                 "bounds_dropped"});
+  for (const Config& config : configs) {
+    IoStats io;
+    WallTimer timer;
+    CrackerIndex<int64_t> index(column, &io);
+    MergeBudget budget{config.kind, config.budget};
+    Pcg32 rng(seed ^ 0xAB);
+    size_t dropped = 0;
+    for (size_t q = 0; q < queries; ++q) {
+      int64_t lo = rng.NextInRange(1, std::max<int64_t>(1, n64 - width + 1));
+      index.Select(lo, true, lo + width - 1, true, &io);
+      dropped += EnforceMergeBudget(&index, budget, &io);
+    }
+    double seconds = timer.ElapsedSeconds();
+    out.AddRow({MergePolicyKindName(config.kind),
+                StrFormat("%zu", config.budget), StrFormat("%zu", queries),
+                StrFormat("%.6f", seconds),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(io.tuples_read)),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(io.tuples_written)),
+                StrFormat("%zu", index.num_pieces()),
+                StrFormat("%zu", dropped)});
+  }
+  out.PrintCsv(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace crackstore
+
+int main(int argc, char** argv) { return crackstore::Run(argc, argv); }

@@ -1,0 +1,97 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Ablation (§2.2/§7): "What are the effects of updates on the scheme
+// proposed?" — quantified with the differential UpdatableCrackerIndex.
+// A 128-query random range workload is interleaved with varying update
+// rates (inserts+deletes per query); the sweep reports how query cost and
+// merge cost move as volatility grows, for two auto-merge thresholds.
+//
+// Output: CSV rows (updates_per_query, merge_fraction, total_seconds,
+// tuples_read, tuples_written, merges_observed, final_pieces).
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/updatable_cracker_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t n = flags.GetUint("n", 1000000);
+  size_t queries = flags.GetUint("queries", 128);
+  double sigma = flags.GetDouble("sigma", 0.02);
+  uint64_t seed = flags.GetUint("seed", 20040901);
+
+  bench::Banner("ablation_updates",
+                "§2.2/§7 updates question, differential scheme",
+                StrFormat("n=%llu queries=%zu sigma=%.2f",
+                          static_cast<unsigned long long>(n), queries,
+                          sigma));
+
+  int64_t n64 = static_cast<int64_t>(n);
+  int64_t width = std::max<int64_t>(
+      1, static_cast<int64_t>(sigma * static_cast<double>(n)));
+
+  TablePrinter out;
+  out.SetHeader({"updates_per_query", "merge_fraction", "total_seconds",
+                 "tuples_read", "tuples_written", "merges", "pending_at_end",
+                 "final_pieces"});
+
+  for (uint64_t updates_per_query : {0ULL, 1ULL, 10ULL, 100ULL}) {
+    for (double merge_fraction : {0.001, 0.01, 0.10}) {
+      auto column = BuildPermutationColumn(n, seed, "R.c0");
+      UpdatableCrackerIndexOptions opts;
+      opts.auto_merge_fraction = merge_fraction;
+      IoStats io;
+      WallTimer timer;
+      UpdatableCrackerIndex<int64_t> index(column, &io, opts);
+      Pcg32 rng(seed ^ 0x5EED);
+      Oid next_oid = n;
+      std::vector<Oid> live_inserted;
+      for (size_t q = 0; q < queries; ++q) {
+        for (uint64_t u = 0; u < updates_per_query; ++u) {
+          if (rng.NextBounded(4) != 0 || live_inserted.empty()) {
+            int64_t v = rng.NextInRange(1, n64);
+            CRACK_CHECK(index.Insert(v, next_oid).ok());
+            live_inserted.push_back(next_oid);
+            ++next_oid;
+          } else {
+            size_t pick = rng.NextBounded(
+                static_cast<uint32_t>(live_inserted.size()));
+            CRACK_CHECK(index.Delete(live_inserted[pick]).ok());
+            live_inserted.erase(live_inserted.begin() +
+                                static_cast<ptrdiff_t>(pick));
+          }
+        }
+        int64_t lo = rng.NextInRange(1, std::max<int64_t>(1, n64 - width));
+        auto sel = index.Select(lo, true, lo + width - 1, true, &io);
+        (void)sel.count();
+      }
+      double seconds = timer.ElapsedSeconds();
+      out.AddRow({StrFormat("%llu",
+                            static_cast<unsigned long long>(updates_per_query)),
+                  StrFormat("%.2f", merge_fraction),
+                  StrFormat("%.6f", seconds),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(io.tuples_read)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(io.tuples_written)),
+                  StrFormat("%zu", index.merges_performed()),
+                  StrFormat("%zu", index.pending_inserts()),
+                  StrFormat("%zu", index.num_pieces())});
+    }
+  }
+  out.PrintCsv(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace crackstore
+
+int main(int argc, char** argv) { return crackstore::Run(argc, argv); }

@@ -1,0 +1,68 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Figure 2: "Cracking overhead with n% cracking" — the fractional write
+// overhead induced per sequence step, for selectivity factors
+// {1, 5, 10, 20, 40, 60, 80}% over a uniform-random query sequence of 20
+// steps (paper §2.2). Step 1 sits at ~1.0 (the database is effectively
+// completely rewritten); the curves decay as the cracker index refines.
+//
+// Output: CSV rows (step, then one overhead column per selectivity).
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/crack_sim.h"
+
+namespace crackstore {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  CrackSimOptions base;
+  base.num_granules = flags.GetUint("n", 100000);
+  base.steps = flags.GetUint("steps", 20);
+  base.seed = flags.GetUint("seed", 20040901);
+  base.repetitions = flags.GetUint("reps", 10);
+
+  bench::Banner("fig02_crack_overhead", "Fig. 2 of CIDR'05 cracking",
+                StrFormat("n=%llu steps=%zu reps=%llu (--n=, --steps=, "
+                          "--reps=, --seed=)",
+                          static_cast<unsigned long long>(base.num_granules),
+                          base.steps,
+                          static_cast<unsigned long long>(base.repetitions)));
+
+  const std::vector<double> selectivities{0.80, 0.60, 0.40, 0.20,
+                                          0.10, 0.05, 0.01};
+  std::vector<CrackSimResult> results;
+  std::vector<std::string> header{"step"};
+  for (double sigma : selectivities) {
+    CrackSimOptions opts = base;
+    opts.selectivity = sigma;
+    auto result = RunCrackSimulation(opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sim: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(std::move(*result));
+    header.push_back(StrFormat("overhead_%.0fpct", sigma * 100));
+  }
+
+  TablePrinter out;
+  out.SetHeader(header);
+  for (size_t step = 0; step < base.steps; ++step) {
+    std::vector<std::string> row{StrFormat("%zu", step + 1)};
+    for (const CrackSimResult& r : results) {
+      row.push_back(
+          StrFormat("%.4f", r.steps[step].fractional_write_overhead));
+    }
+    out.AddRow(std::move(row));
+  }
+  out.PrintCsv(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace crackstore
+
+int main(int argc, char** argv) { return crackstore::Run(argc, argv); }

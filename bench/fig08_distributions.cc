@@ -1,0 +1,43 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Figure 8: "Selectivity distribution (σ = 0.2, k = 20)" — the three
+// contraction models ρ(i; k, σ) that drive the multi-query benchmark:
+// linear, exponential and logarithmic convergence toward the target
+// selectivity.
+//
+// Output: CSV rows (step, linear, exponential, logarithmic, target).
+
+#include "bench_common.h"
+#include "workload/contraction.h"
+
+namespace crackstore {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  size_t k = flags.GetUint("k", 20);
+  double sigma = flags.GetDouble("sigma", 0.2);
+
+  bench::Banner("fig08_distributions", "Fig. 8 of CIDR'05 cracking",
+                StrFormat("k=%zu sigma=%.2f (--k=, --sigma=)", k, sigma));
+
+  TablePrinter out;
+  out.SetHeader({"step", "linear", "exponential", "logarithmic", "target"});
+  for (size_t i = 0; i <= k; ++i) {
+    out.AddRow({StrFormat("%zu", i),
+                StrFormat("%.4f",
+                          Contraction(ContractionModel::kLinear, i, k, sigma)),
+                StrFormat("%.4f", Contraction(ContractionModel::kExponential,
+                                              i, k, sigma)),
+                StrFormat("%.4f", Contraction(ContractionModel::kLogarithmic,
+                                              i, k, sigma)),
+                StrFormat("%.4f", sigma)});
+  }
+  out.PrintCsv(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace crackstore
+
+int main(int argc, char** argv) { return crackstore::Run(argc, argv); }

@@ -1,0 +1,115 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Figure 9: "Linear join experiment" — response time of a k-way linear join
+// (self-join chain unrolling the reachability relation of a random-pair
+// table) for k up to 128. The paper's traditional engines exhaust their
+// optimizers and fall back to nested loops (or break outright); MonetDB
+// stays efficient. Here:
+//   column      — BAT-at-a-time hash-join chain (MonetDB class): near-linear.
+//   row-default — Volcano row engine with a realistic plan budget: hash
+//                 joins while the optimizer copes (k <= ~8), nested-loop
+//                 fallback with a statement deadline beyond that —
+//                 "running out of optimizer resource space".
+//   row-nl      — the same engine forced to nested loops from the start
+//                 (the broken/timeouted runs the paper reports;
+//                 truncated=1 rows are "the system gave up").
+//
+// Output: CSV rows (engine, joins, seconds, result_tuples, algo,
+// plans_considered, truncated).
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/colstore_engine.h"
+#include "engine/rowstore_engine.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t n_col = flags.GetUint("n", 100000);
+  uint64_t n_row = flags.GetUint("n_row", 20000);
+  double deadline = flags.GetDouble("deadline", 2.0);
+  uint64_t seed = flags.GetUint("seed", 20040901);
+  uint64_t max_joins = flags.GetUint("max_joins", 128);
+
+  bench::Banner(
+      "fig09_join_sequence", "Fig. 9 of CIDR'05 cracking",
+      StrFormat("n=%llu n_row=%llu deadline=%.1fs max_joins=%llu",
+                static_cast<unsigned long long>(n_col),
+                static_cast<unsigned long long>(n_row), deadline,
+                static_cast<unsigned long long>(max_joins)));
+
+  // One random-pair table per engine; the chain self-joins it repeatedly
+  // ("unrolling the reachability relation", §5.1).
+  TapestryOptions topts;
+  topts.num_rows = n_col;
+  topts.seed = seed;
+  auto col_rel = *BuildTapestry("R", topts);
+  topts.num_rows = n_row;
+  auto row_rel = *BuildTapestry("R", topts);
+
+  ColumnEngine column;
+  (void)column.AddTable(col_rel);
+
+  RowEngineOptions default_opts;  // stock plan budget: exhausts near k=10
+  default_opts.statement_deadline_seconds = deadline;
+  RowEngine row_default(default_opts);
+  (void)row_default.ImportRelation(*row_rel);
+
+  RowEngineOptions nl_opts;
+  nl_opts.optimizer.plan_budget = 1;  // always exhausted: nested loop
+  nl_opts.statement_deadline_seconds = deadline;
+  RowEngine row_nl(nl_opts);
+  (void)row_nl.ImportRelation(*row_rel);
+
+  TablePrinter out;
+  out.SetHeader({"engine", "joins", "seconds", "result_tuples", "algo",
+                 "plans_considered", "truncated"});
+  auto emit = [&out](const char* engine, size_t joins, const RunResult& run) {
+    out.AddRow({engine, StrFormat("%zu", joins),
+                StrFormat("%.6f", run.seconds),
+                StrFormat("%llu", static_cast<unsigned long long>(run.count)),
+                JoinAlgoName(run.join_algo),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(run.plans_considered)),
+                run.truncated ? "1" : "0"});
+  };
+
+  std::vector<size_t> chain_lengths;
+  for (size_t k = 2; k <= max_joins; k *= 2) chain_lengths.push_back(k);
+
+  bool row_nl_dead = false;
+  bool row_default_dead = false;
+  for (size_t k : chain_lengths) {
+    std::vector<std::string> chain(k + 1, "R");  // k joins need k+1 operands
+
+    auto col_run = column.RunChainJoin(chain, "c1", "c0");
+    if (col_run.ok()) emit("column", k, *col_run);
+
+    if (!row_default_dead) {
+      auto run = row_default.RunChainJoin(chain, "c1", "c0");
+      if (run.ok()) {
+        emit("row-default", k, *run);
+        row_default_dead = run->truncated;  // series ends once it times out
+      }
+    }
+    if (!row_nl_dead) {
+      auto run = row_nl.RunChainJoin(chain, "c1", "c0");
+      if (run.ok()) {
+        emit("row-nl", k, *run);
+        row_nl_dead = run->truncated;
+      }
+    }
+  }
+  out.PrintCsv(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace crackstore
+
+int main(int argc, char** argv) { return crackstore::Run(argc, argv); }

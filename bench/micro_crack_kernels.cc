@@ -1,0 +1,132 @@
+// Copyright 2026 The CrackStore Authors
+//
+// google-benchmark micro suite for the core primitives: crack kernels vs a
+// plain scan vs std::sort, plus whole cracker-index query paths. These
+// numbers ground the claim of §2.2 that "with proper engineering the total
+// CPU cost for such an incremental scheme is in the same order of magnitude
+// as sorting".
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/crack_kernels.h"
+#include "core/cracker_index.h"
+#include "core/sorted_column.h"
+#include "util/rng.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+std::vector<int64_t> RandomValues(size_t n, uint64_t seed = 99) {
+  Pcg32 rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.NextInRange(0, static_cast<int64_t>(n));
+  return v;
+}
+
+void BM_Scan(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> data = RandomValues(n);
+  int64_t pivot = static_cast<int64_t>(n / 2);
+  for (auto _ : state) {
+    uint64_t count = 0;
+    for (int64_t v : data) count += v < pivot;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Scan)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_CrackInTwo(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> original = RandomValues(n);
+  std::vector<int64_t> data(n);
+  int64_t pivot = static_cast<int64_t>(n / 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = original;
+    state.ResumeTiming();
+    CrackSplit split = CrackInTwoLt(data.data(), nullptr, n, pivot);
+    benchmark::DoNotOptimize(split.split);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CrackInTwo)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_CrackInThree(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> original = RandomValues(n);
+  std::vector<int64_t> data(n);
+  int64_t lo = static_cast<int64_t>(n / 3);
+  int64_t hi = static_cast<int64_t>(2 * n / 3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = original;
+    state.ResumeTiming();
+    Crack3Split split =
+        CrackInThree(data.data(), nullptr, n, lo, true, hi, true);
+    benchmark::DoNotOptimize(split.first);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CrackInThree)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_StdSort(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> original = RandomValues(n);
+  std::vector<int64_t> data(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = original;
+    state.ResumeTiming();
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_CrackerIndexQuerySequence(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto column = BuildPermutationColumn(n, 7, "perm");
+  int64_t width = static_cast<int64_t>(n / 20);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackerIndex<int64_t> index(column);
+    Pcg32 rng(11);
+    state.ResumeTiming();
+    for (int q = 0; q < 64; ++q) {
+      int64_t lo = rng.NextInRange(1, static_cast<int64_t>(n) - width);
+      benchmark::DoNotOptimize(
+          index.Select(lo, true, lo + width - 1, true).count());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_CrackerIndexQuerySequence)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_SortedColumnQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto column = BuildPermutationColumn(n, 7, "perm");
+  SortedColumn<int64_t> sorted(column);
+  Pcg32 rng(11);
+  int64_t width = static_cast<int64_t>(n / 20);
+  for (auto _ : state) {
+    int64_t lo = rng.NextInRange(1, static_cast<int64_t>(n) - width);
+    benchmark::DoNotOptimize(
+        sorted.Select(lo, true, lo + width - 1, true).count());
+  }
+}
+BENCHMARK(BM_SortedColumnQuery)->Arg(1 << 18)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace crackstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Streaming updates under cracking (the paper's §4 hiking motivation: "the
+// database is continuously filled with stream/sensor information and the
+// application has to keep track of or localize interesting elements in a
+// limited window", combined with §7's open updates question).
+//
+// A sliding-window monitor: every tick appends a batch of new readings and
+// expires the oldest ones, while an analyst keeps probing a value band. The
+// UpdatableCrackerIndex absorbs the churn in its delta structures and folds
+// it back with boundary-preserving merges — the learned cracking survives.
+//
+// Build & run:  ./build/examples/stream_updates
+
+#include <cstdio>
+#include <deque>
+
+#include "core/updatable_cracker_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/tapestry.h"
+
+using namespace crackstore;  // NOLINT — example brevity
+
+int main() {
+  constexpr uint64_t kInitial = 500000;   // readings already in the store
+  constexpr int kTicks = 50;
+  constexpr int kBatch = 2000;            // arrivals (and expiries) per tick
+
+  auto column = BuildPermutationColumn(kInitial, 2026, "readings.value");
+  UpdatableCrackerIndexOptions opts;
+  opts.auto_merge_fraction = 0.02;  // fold deltas at 2% churn
+  UpdatableCrackerIndex<int64_t> index(column, nullptr, opts);
+
+  Pcg32 rng(7);
+  std::deque<Oid> window;  // oids in arrival order (for expiry)
+  for (Oid oid = 0; oid < kInitial; ++oid) window.push_back(oid);
+  Oid next_oid = kInitial;
+
+  std::printf(
+      "tick | alerts in band | query ms | pending | merges | pieces\n");
+  std::printf(
+      "-----+----------------+----------+---------+--------+-------\n");
+  double total_ms = 0;
+  for (int tick = 1; tick <= kTicks; ++tick) {
+    // Ingest a batch and expire the same number of oldest readings.
+    for (int i = 0; i < kBatch; ++i) {
+      int64_t value = rng.NextInRange(1, static_cast<int64_t>(kInitial));
+      if (!index.Insert(value, next_oid).ok()) return 1;
+      window.push_back(next_oid);
+      ++next_oid;
+      if (!index.Delete(window.front()).ok()) return 1;
+      window.pop_front();
+    }
+
+    // The analyst's probe: a fixed alert band.
+    WallTimer timer;
+    auto sel = index.Select(200000, true, 210000, true);
+    double ms = timer.ElapsedMillis();
+    total_ms += ms;
+    if (tick % 5 == 0 || tick == 1) {
+      std::printf("%4d | %14llu | %8.3f | %7zu | %6zu | %5zu\n", tick,
+                  static_cast<unsigned long long>(sel.count()), ms,
+                  index.pending_inserts(), index.merges_performed(),
+                  index.num_pieces());
+    }
+  }
+  std::printf(
+      "\n%d ticks, %d updates each; query band stayed answerable in %.3f ms"
+      " average\nwhile %d%% of the store churned — the cracked pieces and"
+      " their boundaries\nsurvived every merge.\n",
+      kTicks, kBatch, total_ms / kTicks,
+      static_cast<int>(100.0 * kTicks * kBatch / kInitial));
+  return 0;
+}

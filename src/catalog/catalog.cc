@@ -1,0 +1,113 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace crackstore {
+
+Status Catalog::RegisterRelation(std::shared_ptr<Relation> relation) {
+  if (relation == nullptr) return Status::InvalidArgument("null relation");
+  if (HasTable(relation->name())) {
+    return Status::AlreadyExists("table exists: " + relation->name());
+  }
+  relations_.emplace(relation->name(), std::move(relation));
+  CountMutation();
+  return Status::OK();
+}
+
+Status Catalog::RegisterRowTable(std::shared_ptr<RowTable> table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (HasTable(table->name())) {
+    return Status::AlreadyExists("table exists: " + table->name());
+  }
+  row_tables_.emplace(table->name(), std::move(table));
+  CountMutation();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Relation>> Catalog::GetRelation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation: " + name);
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<RowTable>> Catalog::GetRowTable(
+    const std::string& name) const {
+  auto it = row_tables_.find(name);
+  if (it == row_tables_.end()) {
+    return Status::NotFound("no row table: " + name);
+  }
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  bool erased = relations_.erase(name) > 0 || row_tables_.erase(name) > 0;
+  if (!erased) return Status::NotFound("no table: " + name);
+  partitions_.erase(name);
+  CountMutation();
+  return Status::OK();
+}
+
+Status Catalog::CreatePartitionedTable(const std::string& base) {
+  if (partitions_.count(base) > 0) {
+    return Status::AlreadyExists("already partitioned: " + base);
+  }
+  partitions_[base] = {};
+  CountMutation();
+  return Status::OK();
+}
+
+Status Catalog::AddFragment(const std::string& base, FragmentInfo info) {
+  auto it = partitions_.find(base);
+  if (it == partitions_.end()) {
+    return Status::NotFound("not a partitioned table: " + base);
+  }
+  it->second.push_back(std::move(info));
+  CountMutation();
+  return Status::OK();
+}
+
+Result<std::vector<FragmentInfo>> Catalog::GetFragments(
+    const std::string& base) const {
+  auto it = partitions_.find(base);
+  if (it == partitions_.end()) {
+    return Status::NotFound("not a partitioned table: " + base);
+  }
+  return it->second;
+}
+
+Result<std::vector<FragmentInfo>> Catalog::FragmentsIntersecting(
+    const std::string& base, const std::string& column, int64_t lo,
+    int64_t hi) const {
+  auto all = GetFragments(base);
+  if (!all.ok()) return all.status();
+  std::vector<FragmentInfo> out;
+  for (const auto& f : *all) {
+    if (f.column != column) {
+      out.push_back(f);  // no bounds knowledge on this attribute: must touch
+      continue;
+    }
+    // Interval intersection with inclusivity at the fragment edges.
+    bool below = f.hi < lo || (f.hi == lo && !f.hi_inclusive);
+    bool above = f.lo > hi || (f.lo == hi && !f.lo_inclusive);
+    if (!below && !above) out.push_back(f);
+  }
+  return out;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return relations_.count(name) > 0 || row_tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::RowTableNames() const {
+  std::vector<std::string> out;
+  out.reserve(row_tables_.size());
+  for (const auto& [name, table] : row_tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace crackstore

@@ -1,0 +1,99 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Catalog: the system-table registry. The paper (§3.2) contrasts two homes
+// for piece administration: the *system catalog* (each partition create/drop
+// is a schema change that locks a critical resource — expensive, the SQL-
+// level route of §5.1) and a *cracker index* (cheap in-memory structure, the
+// MonetDB route). This module is the former; core/cracker_index.h the latter.
+// Catalog mutations are counted so the experiments can expose the difference.
+
+#ifndef CRACKSTORE_CATALOG_CATALOG_H_
+#define CRACKSTORE_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rowstore/row_table.h"
+#include "storage/io_stats.h"
+#include "storage/relation.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+
+/// Metadata of one horizontal fragment of a partitioned table (the catalog's
+/// view of a piece: value bounds, size, and location).
+struct FragmentInfo {
+  std::string fragment_table;  ///< name of the table holding the fragment
+  std::string column;          ///< the attribute the bounds describe
+  int64_t lo = 0;              ///< lower value bound
+  int64_t hi = 0;              ///< upper value bound
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  uint64_t row_count = 0;
+};
+
+/// A registry of tables (row- or column-organized) and partitioned-table
+/// fragment lists. Every mutation increments catalog_ops and, to model the
+/// locking/recompilation cost the paper describes, a configurable synthetic
+/// page write against the system tables.
+class Catalog {
+ public:
+  Catalog() = default;
+  CRACK_DISALLOW_COPY_AND_ASSIGN(Catalog);
+
+  /// Registers a column-store relation under its name.
+  Status RegisterRelation(std::shared_ptr<Relation> relation);
+
+  /// Registers a row-store table under its name.
+  Status RegisterRowTable(std::shared_ptr<RowTable> table);
+
+  Result<std::shared_ptr<Relation>> GetRelation(const std::string& name) const;
+  Result<std::shared_ptr<RowTable>> GetRowTable(const std::string& name) const;
+
+  /// Removes a table of either kind (and its partition list if any).
+  Status DropTable(const std::string& name);
+
+  /// Declares `base` a partitioned table (UNION-TABLE style, paper §1).
+  Status CreatePartitionedTable(const std::string& base);
+
+  /// Appends a fragment to a partitioned table's list.
+  Status AddFragment(const std::string& base, FragmentInfo info);
+
+  /// All fragments of `base` in registration order.
+  Result<std::vector<FragmentInfo>> GetFragments(const std::string& base) const;
+
+  /// Fragments of `base` whose value bounds intersect [lo, hi] on `column`
+  /// (the catalog-level pruning a partitioned-table optimizer performs).
+  Result<std::vector<FragmentInfo>> FragmentsIntersecting(
+      const std::string& base, const std::string& column, int64_t lo,
+      int64_t hi) const;
+
+  bool HasTable(const std::string& name) const;
+  size_t num_tables() const { return relations_.size() + row_tables_.size(); }
+
+  /// Names of all registered row tables (registration order by name).
+  std::vector<std::string> RowTableNames() const;
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  void CountMutation() {
+    ++stats_.catalog_ops;
+    // A catalog change dirties a system-table page (locking + flush).
+    ++stats_.page_writes;
+  }
+
+  std::map<std::string, std::shared_ptr<Relation>> relations_;
+  std::map<std::string, std::shared_ptr<RowTable>> row_tables_;
+  std::map<std::string, std::vector<FragmentInfo>> partitions_;
+  IoStats stats_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CATALOG_CATALOG_H_

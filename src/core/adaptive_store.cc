@@ -1,0 +1,622 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/adaptive_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace crackstore {
+
+const char* AccessStrategyName(AccessStrategy strategy) {
+  switch (strategy) {
+    case AccessStrategy::kScan:
+      return "scan";
+    case AccessStrategy::kCrack:
+      return "crack";
+    case AccessStrategy::kSort:
+      return "sort";
+  }
+  return "?";
+}
+
+AdaptiveStore::AdaptiveStore(AdaptiveStoreOptions options)
+    : options_(options) {}
+
+Status AdaptiveStore::AddTable(std::shared_ptr<Relation> relation) {
+  if (relation == nullptr) return Status::InvalidArgument("null relation");
+  if (tables_.count(relation->name()) > 0) {
+    return Status::AlreadyExists("table exists: " + relation->name());
+  }
+  tables_.emplace(relation->name(), std::move(relation));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Relation>> AdaptiveStore::table(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table: " + name);
+  return it->second;
+}
+
+std::vector<std::string> AdaptiveStore::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, rel] : tables_) out.push_back(name);
+  return out;
+}
+
+Result<std::shared_ptr<Bat>> AdaptiveStore::ResolveColumn(
+    const std::string& table, const std::string& column) const {
+  auto rel = this->table(table);
+  if (!rel.ok()) return rel.status();
+  return (*rel)->column(column);
+}
+
+AdaptiveStore::ColumnAccel& AdaptiveStore::Accel(const std::string& table,
+                                                 const std::string& column) {
+  return accels_[table + "." + column];
+}
+
+namespace {
+
+/// Clamps int64 range bounds into the typed domain of the column so that
+/// sentinel bounds (INT64_MIN/MAX) work for narrower types.
+template <typename T>
+void ClampRange(const RangeBounds& range, T* lo, bool* lo_incl, T* hi,
+                bool* hi_incl) {
+  int64_t tmin = static_cast<int64_t>(std::numeric_limits<T>::min());
+  int64_t tmax = static_cast<int64_t>(std::numeric_limits<T>::max());
+  int64_t lo64 = std::clamp(range.lo, tmin, tmax);
+  int64_t hi64 = std::clamp(range.hi, tmin, tmax);
+  *lo = static_cast<T>(lo64);
+  *hi = static_cast<T>(hi64);
+  // A clamped bound widens to inclusive only when clamping moved it inward;
+  // e.g. lo = INT64_MIN over int32 becomes lo = INT32_MIN inclusive.
+  *lo_incl = (lo64 != range.lo) ? true : range.lo_incl;
+  *hi_incl = (hi64 != range.hi) ? true : range.hi_incl;
+}
+
+template <typename T>
+bool InRange(T v, T lo, bool lo_incl, T hi, bool hi_incl) {
+  if (lo_incl ? v < lo : v <= lo) return false;
+  if (hi_incl ? v > hi : v >= hi) return false;
+  return true;
+}
+
+}  // namespace
+
+template <typename T>
+CrackSelection AdaptiveStore::CrackSelect(const std::string& table,
+                                          const std::string& column,
+                                          const std::shared_ptr<Bat>& bat,
+                                          const RangeBounds& range,
+                                          IoStats* stats) {
+  ColumnAccel& accel = Accel(table, column);
+  CrackerIndex<T>* index = nullptr;
+  if constexpr (std::is_same_v<T, int32_t>) {
+    if (accel.crack32 == nullptr) {
+      accel.crack32 = std::make_unique<CrackerIndex<int32_t>>(bat, stats);
+    }
+    index = accel.crack32.get();
+  } else {
+    if (accel.crack64 == nullptr) {
+      accel.crack64 = std::make_unique<CrackerIndex<int64_t>>(bat, stats);
+    }
+    index = accel.crack64.get();
+  }
+  if (options_.track_lineage && accel.root == kInvalidPieceId) {
+    accel.root = lineage_.AddRoot(table + "." + column, bat->size());
+    accel.piece_nodes[{0, bat->size()}] = accel.root;
+  }
+
+  T lo, hi;
+  bool lo_incl, hi_incl;
+  ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+  CrackSelection sel = index->Select(lo, lo_incl, hi, hi_incl, stats);
+
+  if (!options_.merge_budget.unlimited()) {
+    size_t dropped = EnforceMergeBudget(index, options_.merge_budget, stats);
+    if (dropped > 0 && options_.track_lineage) {
+      // Fused pieces no longer tile the registered nodes; apply the inverse
+      // operation to the column's subtree (§3.2: "trimming the graph") and
+      // re-register the surviving partitioning from the root.
+      (void)lineage_.TrimDescendants(accel.root);
+      accel.piece_nodes.clear();
+      accel.piece_nodes[{0, index->size()}] = accel.root;
+    }
+  }
+  if (options_.track_lineage) {
+    UpdateLineage(table, column, &accel, *index);
+  }
+  return sel;
+}
+
+template <typename T>
+CrackSelection AdaptiveStore::SortSelect(const std::string& table,
+                                         const std::string& column,
+                                         const std::shared_ptr<Bat>& bat,
+                                         const RangeBounds& range,
+                                         IoStats* stats) {
+  ColumnAccel& accel = Accel(table, column);
+  const SortedColumn<T>* sorted = nullptr;
+  if constexpr (std::is_same_v<T, int32_t>) {
+    if (accel.sort32 == nullptr) {
+      accel.sort32 = std::make_unique<SortedColumn<int32_t>>(bat, stats);
+    }
+    sorted = accel.sort32.get();
+  } else {
+    if (accel.sort64 == nullptr) {
+      accel.sort64 = std::make_unique<SortedColumn<int64_t>>(bat, stats);
+    }
+    sorted = accel.sort64.get();
+  }
+  T lo, hi;
+  bool lo_incl, hi_incl;
+  ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+  return sorted->Select(lo, lo_incl, hi, hi_incl, stats);
+}
+
+template <typename T>
+void AdaptiveStore::ScanSelect(const std::shared_ptr<Bat>& bat,
+                               const RangeBounds& range, Delivery delivery,
+                               QueryResult* result) {
+  T lo, hi;
+  bool lo_incl, hi_incl;
+  ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+  const T* data = bat->TailData<T>();
+  size_t n = bat->size();
+  Oid base = bat->head_base();
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
+      ++count;
+      if (delivery != Delivery::kCount) {
+        result->scan_oids.push_back(base + i);
+      }
+    }
+  }
+  result->count = count;
+  result->io.tuples_read += n;
+  if (delivery != Delivery::kCount) {
+    result->io.tuples_written += count;
+  }
+}
+
+Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
+                                               const std::string& column,
+                                               const RangeBounds& range,
+                                               Delivery delivery) {
+  auto bat_result = ResolveColumn(table, column);
+  if (!bat_result.ok()) return bat_result.status();
+  std::shared_ptr<Bat> bat = *bat_result;
+  if (bat->tail_type() != ValueType::kInt32 &&
+      bat->tail_type() != ValueType::kInt64) {
+    return Status::Unimplemented(
+        StrFormat("SelectRange needs an integer column; %s.%s is %s",
+                  table.c_str(), column.c_str(),
+                  ValueTypeName(bat->tail_type())));
+  }
+  bool is32 = bat->tail_type() == ValueType::kInt32;
+
+  QueryResult result;
+  WallTimer timer;
+  switch (options_.strategy) {
+    case AccessStrategy::kScan:
+      if (is32) {
+        ScanSelect<int32_t>(bat, range, delivery, &result);
+      } else {
+        ScanSelect<int64_t>(bat, range, delivery, &result);
+      }
+      break;
+    case AccessStrategy::kCrack: {
+      CrackSelection sel =
+          is32 ? CrackSelect<int32_t>(table, column, bat, range, &result.io)
+               : CrackSelect<int64_t>(table, column, bat, range, &result.io);
+      result.count = sel.count();
+      result.selection = sel;
+      result.has_selection = true;
+      break;
+    }
+    case AccessStrategy::kSort: {
+      CrackSelection sel =
+          is32 ? SortSelect<int32_t>(table, column, bat, range, &result.io)
+               : SortSelect<int64_t>(table, column, bat, range, &result.io);
+      result.count = sel.count();
+      result.selection = sel;
+      result.has_selection = true;
+      break;
+    }
+  }
+
+  if (delivery == Delivery::kMaterialize) {
+    if (result.has_selection) {
+      CRACK_ASSIGN_OR_RETURN(
+          result.materialized,
+          MaterializeSelection(table, result.selection,
+                               table + "_" + column + "_result", &result.io));
+    } else {
+      // Scan strategy: materialize from the gathered oid list.
+      auto rel = this->table(table);
+      auto out = Relation::Create(table + "_" + column + "_result",
+                                  (*rel)->schema());
+      if (!out.ok()) return out.status();
+      for (Oid oid : result.scan_oids) {
+        Status st = (*out)->AppendRow((*rel)->GetRow(static_cast<size_t>(oid)));
+        if (!st.ok()) return st;
+        result.io.tuples_read += (*rel)->num_columns();
+        result.io.tuples_written += (*rel)->num_columns();
+      }
+      result.materialized = *out;
+    }
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  total_io_ += result.io;
+  return result;
+}
+
+Result<QueryResult> AdaptiveStore::SelectConjunction(
+    const std::string& table, const std::vector<ColumnRange>& conjuncts,
+    Delivery delivery) {
+  if (conjuncts.empty()) {
+    return Status::InvalidArgument("conjunction needs at least one predicate");
+  }
+  if (delivery == Delivery::kMaterialize) {
+    return Status::Unimplemented(
+        "materialize a conjunction via kView + MaterializeSelection");
+  }
+  if (conjuncts.size() == 1) {
+    return SelectRange(table, conjuncts[0].column, conjuncts[0].range,
+                       delivery);
+  }
+
+  QueryResult result;
+  WallTimer timer;
+
+  if (options_.strategy == AccessStrategy::kScan) {
+    // Single fused pass over all referenced columns.
+    auto rel_result = this->table(table);
+    if (!rel_result.ok()) return rel_result.status();
+    std::shared_ptr<Relation> rel = *rel_result;
+    std::vector<const int64_t*> cols64;
+    std::vector<const int32_t*> cols32;
+    std::vector<bool> is32;
+    for (const ColumnRange& c : conjuncts) {
+      auto bat = rel->column(c.column);
+      if (!bat.ok()) return bat.status();
+      switch ((*bat)->tail_type()) {
+        case ValueType::kInt64:
+          cols64.push_back((*bat)->TailData<int64_t>());
+          cols32.push_back(nullptr);
+          is32.push_back(false);
+          break;
+        case ValueType::kInt32:
+          cols64.push_back(nullptr);
+          cols32.push_back((*bat)->TailData<int32_t>());
+          is32.push_back(true);
+          break;
+        default:
+          return Status::Unimplemented("conjunction needs integer columns");
+      }
+    }
+    size_t n = rel->num_rows();
+    Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool all = true;
+      for (size_t c = 0; c < conjuncts.size() && all; ++c) {
+        int64_t v = is32[c] ? cols32[c][i] : cols64[c][i];
+        all = conjuncts[c].range.Contains(v);
+      }
+      if (all) {
+        ++result.count;
+        if (delivery == Delivery::kView) result.scan_oids.push_back(base + i);
+      }
+    }
+    result.io.tuples_read += n * conjuncts.size();
+  } else {
+    // Crack (or binary-search) each column independently, then intersect
+    // the oid sets starting from the smallest.
+    std::vector<QueryResult> per_column;
+    per_column.reserve(conjuncts.size());
+    for (const ColumnRange& c : conjuncts) {
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          SelectRange(table, c.column, c.range, Delivery::kView));
+      result.io += qr.io;
+      per_column.push_back(std::move(qr));
+    }
+    std::sort(per_column.begin(), per_column.end(),
+              [](const QueryResult& a, const QueryResult& b) {
+                return a.count < b.count;
+              });
+    std::unordered_set<Oid> survivors;
+    survivors.reserve(per_column.front().count * 2);
+    const CrackSelection& seed = per_column.front().selection;
+    for (size_t i = 0; i < seed.oids.size(); ++i) {
+      survivors.insert(seed.oids.Get<Oid>(i));
+    }
+    for (size_t c = 1; c < per_column.size() && !survivors.empty(); ++c) {
+      std::unordered_set<Oid> next;
+      next.reserve(survivors.size() * 2);
+      const CrackSelection& sel = per_column[c].selection;
+      for (size_t i = 0; i < sel.oids.size(); ++i) {
+        Oid oid = sel.oids.Get<Oid>(i);
+        if (survivors.count(oid) > 0) next.insert(oid);
+      }
+      survivors = std::move(next);
+      result.io.tuples_read += sel.oids.size();
+    }
+    result.count = survivors.size();
+    if (delivery == Delivery::kView) {
+      result.scan_oids.assign(survivors.begin(), survivors.end());
+      std::sort(result.scan_oids.begin(), result.scan_oids.end());
+    }
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  total_io_ += result.io;
+  return result;
+}
+
+Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
+                                              const std::string& left_column,
+                                              const std::string& right_table,
+                                              const std::string& right_column,
+                                              Delivery delivery) {
+  QueryResult result;
+  WallTimer timer;
+  CRACK_ASSIGN_OR_RETURN(
+      std::vector<OidPair> pairs,
+      JoinOidsInternal(left_table, left_column, right_table, right_column,
+                       &result.io));
+  result.count = pairs.size();
+  if (delivery == Delivery::kMaterialize) {
+    // Materialize left ⨯ right columns of matching tuples as a 2-column view
+    // of the join keys (a full wide-row join is the engine layer's job).
+    (void)delivery;
+  }
+  result.seconds = timer.ElapsedSeconds();
+  total_io_ += result.io;
+  return result;
+}
+
+Result<std::vector<OidPair>> AdaptiveStore::JoinOids(
+    const std::string& left_table, const std::string& left_column,
+    const std::string& right_table, const std::string& right_column) {
+  IoStats io;
+  auto out = JoinOidsInternal(left_table, left_column, right_table,
+                              right_column, &io);
+  total_io_ += io;
+  return out;
+}
+
+Result<std::vector<OidPair>> AdaptiveStore::JoinOidsInternal(
+    const std::string& left_table, const std::string& left_column,
+    const std::string& right_table, const std::string& right_column,
+    IoStats* stats) {
+  auto left = ResolveColumn(left_table, left_column);
+  if (!left.ok()) return left.status();
+  auto right = ResolveColumn(right_table, right_column);
+  if (!right.ok()) return right.status();
+
+  if (options_.strategy != AccessStrategy::kCrack) {
+    return HashJoinOids(*left, *right, stats);
+  }
+
+  std::string key = left_table + "." + left_column + "|" + right_table + "." +
+                    right_column;
+  auto it = join_cracks_.find(key);
+  if (it == join_cracks_.end()) {
+    CRACK_ASSIGN_OR_RETURN(JoinCrackResult cracked,
+                           CrackJoin(*left, *right, stats));
+    if (options_.track_lineage) {
+      PieceId lroot = lineage_.AddRoot(left_table + "." + left_column,
+                                       (*left)->size());
+      PieceId rroot = lineage_.AddRoot(right_table + "." + right_column,
+                                       (*right)->size());
+      (void)lineage_.AddCrack(
+          CrackOp::kWedge, {lroot, rroot},
+          {{key + " P1 (L match)", cracked.left.split},
+           {key + " P2 (L rest)", (*left)->size() - cracked.left.split},
+           {key + " P3 (R match)", cracked.right.split},
+           {key + " P4 (R rest)", (*right)->size() - cracked.right.split}});
+    }
+    it = join_cracks_.emplace(key, std::move(cracked)).first;
+  }
+  return JoinMatchingAreas(it->second, stats);
+}
+
+Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
+    const std::string& table, const std::string& group_column,
+    const std::string& agg_column, AggKind kind) {
+  auto grp = ResolveColumn(table, group_column);
+  if (!grp.ok()) return grp.status();
+  auto agg = ResolveColumn(table, agg_column);
+  if (!agg.ok()) return agg.status();
+
+  IoStats io;
+  std::string key = table + "." + group_column;
+  auto it = group_cracks_.find(key);
+  if (it == group_cracks_.end()) {
+    CRACK_ASSIGN_OR_RETURN(GroupCrackResult cracked, CrackGroup(*grp, &io));
+    if (options_.track_lineage && cracked.groups.size() <= 1024) {
+      PieceId root = lineage_.AddRoot(key + " (pre-Ω)", (*grp)->size());
+      std::vector<std::pair<std::string, uint64_t>> outputs;
+      outputs.reserve(cracked.groups.size());
+      for (const GroupPiece& g : cracked.groups) {
+        outputs.emplace_back(
+            StrFormat("%s=%lld", key.c_str(), static_cast<long long>(g.value)),
+            g.size());
+      }
+      (void)lineage_.AddCrack(CrackOp::kOmega, {root}, outputs);
+    }
+    it = group_cracks_.emplace(key, std::move(cracked)).first;
+  }
+  auto out = AggregateGroups(it->second, *agg, kind, &io);
+  total_io_ += io;
+  return out;
+}
+
+Result<ProjectionCrackResult> AdaptiveStore::Project(
+    const std::string& table, const std::vector<std::string>& attrs) {
+  auto rel = this->table(table);
+  if (!rel.ok()) return rel.status();
+  IoStats io;
+  auto out = CrackProjection(*rel, attrs, &io);
+  if (out.ok() && options_.track_lineage) {
+    PieceId root = lineage_.AddRoot(table + " (pre-Ψ)", (*rel)->num_rows());
+    (void)lineage_.AddCrack(
+        CrackOp::kPsi, {root},
+        {{out->projected->name(), out->projected->num_rows()},
+         {out->remainder->name(), out->remainder->num_rows()}});
+  }
+  total_io_ += io;
+  return out;
+}
+
+Result<std::shared_ptr<Relation>> AdaptiveStore::MaterializeSelection(
+    const std::string& table, const CrackSelection& selection,
+    const std::string& result_name, IoStats* stats) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+
+  auto out_result = Relation::Create(result_name, rel->schema());
+  if (!out_result.ok()) return out_result.status();
+  std::shared_ptr<Relation> out = *out_result;
+
+  size_t n = selection.oids.size();
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    const std::shared_ptr<Bat>& src = rel->column(c);
+    const std::shared_ptr<Bat>& dst = out->column(c);
+    Oid base = src->head_base();
+    for (size_t i = 0; i < n; ++i) {
+      size_t row = static_cast<size_t>(selection.oids.Get<Oid>(i) - base);
+      Status st = dst->AppendValue(src->GetValue(row));
+      if (!st.ok()) return st;
+    }
+  }
+  if (stats != nullptr) {
+    stats->tuples_read += n * rel->num_columns();
+    stats->tuples_written += n * rel->num_columns();
+  }
+  return out;
+}
+
+Result<size_t> AdaptiveStore::NumPieces(const std::string& table,
+                                        const std::string& column) const {
+  auto it = accels_.find(table + "." + column);
+  if (it == accels_.end()) return size_t{1};
+  if (it->second.crack32 != nullptr) return it->second.crack32->num_pieces();
+  if (it->second.crack64 != nullptr) return it->second.crack64->num_pieces();
+  return size_t{1};
+}
+
+namespace {
+
+template <typename T>
+std::string ExplainIndex(const CrackerIndex<T>& index) {
+  std::string out =
+      StrFormat("cracker index: %zu tuples, %zu pieces, %zu boundaries\n",
+                index.size(), index.num_pieces(), index.num_bounds());
+  size_t shown = 0;
+  for (const CrackPiece<T>& p : index.Pieces()) {
+    if (++shown > 64) {
+      out += StrFormat("  ... (%zu pieces)\n", index.num_pieces());
+      break;
+    }
+    std::string lo = p.has_lo ? StrFormat("%s%lld", p.lo_strict ? ">" : ">=",
+                                          static_cast<long long>(p.lo))
+                              : "-inf";
+    std::string hi = p.has_hi ? StrFormat("%s%lld", p.hi_strict ? "<" : "<=",
+                                          static_cast<long long>(p.hi))
+                              : "+inf";
+    out += StrFormat("  piece [%zu, %zu) size=%zu  values %s .. %s\n",
+                     p.begin, p.end, p.size(), lo.c_str(), hi.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> AdaptiveStore::ExplainColumn(
+    const std::string& table, const std::string& column) const {
+  auto bat = ResolveColumn(table, column);
+  if (!bat.ok()) return bat.status();
+  std::string out = StrFormat("%s.%s: %s, %zu tuples, strategy=%s\n",
+                              table.c_str(), column.c_str(),
+                              ValueTypeName((*bat)->tail_type()),
+                              (*bat)->size(),
+                              AccessStrategyName(options_.strategy));
+  auto it = accels_.find(table + "." + column);
+  bool has_accel = false;
+  if (it != accels_.end()) {
+    const ColumnAccel& accel = it->second;
+    if (accel.crack32 != nullptr) {
+      out += ExplainIndex(*accel.crack32);
+      has_accel = true;
+    }
+    if (accel.crack64 != nullptr) {
+      out += ExplainIndex(*accel.crack64);
+      has_accel = true;
+    }
+    if (accel.sort32 != nullptr || accel.sort64 != nullptr) {
+      out += "sorted copy present (binary-search access)\n";
+      has_accel = true;
+    }
+  }
+  if (!has_accel) out += "no accelerator yet (never queried)\n";
+  return out;
+}
+
+template <typename T>
+void AdaptiveStore::UpdateLineage(const std::string& table,
+                                  const std::string& column,
+                                  ColumnAccel* accel,
+                                  const CrackerIndex<T>& index) {
+  std::vector<CrackPiece<T>> pieces = index.Pieces();
+  std::string prefix = table + "." + column;
+  // Every current piece lies inside exactly one registered node (cuts only
+  // ever subdivide). Group new pieces by enclosing registered range and log
+  // one Ξ application per split node.
+  std::map<std::pair<size_t, size_t>, std::vector<CrackPiece<T>>> by_parent;
+  for (const CrackPiece<T>& p : pieces) {
+    std::pair<size_t, size_t> self{p.begin, p.end};
+    if (accel->piece_nodes.count(self) > 0) continue;  // unchanged piece
+    // Find the enclosing registered node.
+    for (const auto& [range, node] : accel->piece_nodes) {
+      if (range.first <= p.begin && p.end <= range.second) {
+        by_parent[range].push_back(p);
+        break;
+      }
+    }
+  }
+  for (const auto& [range, children] : by_parent) {
+    PieceId parent = accel->piece_nodes[range];
+    std::vector<std::pair<std::string, uint64_t>> outputs;
+    outputs.reserve(children.size());
+    for (const CrackPiece<T>& p : children) {
+      outputs.emplace_back(
+          StrFormat("%s[%zu,%zu)", prefix.c_str(), p.begin, p.end),
+          p.size());
+    }
+    auto ids = lineage_.AddCrack(CrackOp::kXi, {parent}, outputs);
+    CRACK_DCHECK(ids.ok());
+    accel->piece_nodes.erase(range);
+    for (size_t i = 0; i < children.size(); ++i) {
+      accel->piece_nodes[{children[i].begin, children[i].end}] = (*ids)[i];
+    }
+  }
+}
+
+template void AdaptiveStore::UpdateLineage<int32_t>(
+    const std::string&, const std::string&, ColumnAccel*,
+    const CrackerIndex<int32_t>&);
+template void AdaptiveStore::UpdateLineage<int64_t>(
+    const std::string&, const std::string&, ColumnAccel*,
+    const CrackerIndex<int64_t>&);
+
+}  // namespace crackstore

@@ -1,0 +1,212 @@
+// Copyright 2026 The CrackStore Authors
+//
+// AdaptiveStore: the public facade of CrackStore. It owns a set of column
+// tables and, per the paper's architecture (§3), sits "between the semantic
+// analyzer and the query optimizer": every incoming selection, join or
+// group-by is interpreted both as a request for a subset and as advice to
+// crack the store. Strategy knobs allow running the same query stream as
+// plain scans (the paper's "nocrack" lines) or against an upfront sorted
+// copy (the "sort" line of Fig. 11), which is how the benchmarks compare.
+
+#ifndef CRACKSTORE_CORE_ADAPTIVE_STORE_H_
+#define CRACKSTORE_CORE_ADAPTIVE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cracker_index.h"
+#include "core/group_cracker.h"
+#include "core/join_cracker.h"
+#include "core/lineage.h"
+#include "core/merge_policy.h"
+#include "core/projection_cracker.h"
+#include "core/range_bounds.h"
+#include "core/sorted_column.h"
+#include "storage/io_stats.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// How a column is accessed across a query sequence.
+enum class AccessStrategy : uint8_t {
+  kScan = 0,   ///< full scan per query (the "nocrack" baseline)
+  kCrack = 1,  ///< query-driven cracking (the paper's proposal)
+  kSort = 2,   ///< sort upfront on first touch, then binary search
+};
+
+const char* AccessStrategyName(AccessStrategy strategy);
+
+/// What a query delivers (paper §2.1, Fig. 1): counting is cheapest,
+/// view/stream delivery is middle, materializing a new table is dearest.
+enum class Delivery : uint8_t {
+  kCount = 0,        ///< only the qualifying-tuple count
+  kView = 1,         ///< oids of qualifying tuples (zero-copy when cracked)
+  kMaterialize = 2,  ///< a fresh Relation holding the qualifying rows
+};
+
+/// Store-wide options.
+struct AdaptiveStoreOptions {
+  AccessStrategy strategy = AccessStrategy::kCrack;
+  MergeBudget merge_budget;   ///< piece-fusion budget (crack strategy only)
+  bool track_lineage = true;  ///< record the Ξ/Ψ/^/Ω DAG (Figs. 5-6)
+};
+
+/// Result of one query against the store.
+struct QueryResult {
+  uint64_t count = 0;  ///< qualifying tuples
+  /// Contiguous (values, oids) views; valid for crack/sort strategies with
+  /// Delivery::kView or kMaterialize.
+  bool has_selection = false;
+  CrackSelection selection;
+  /// Qualifying oids for the scan strategy with Delivery::kView.
+  std::vector<Oid> scan_oids;
+  /// The new table for Delivery::kMaterialize.
+  std::shared_ptr<Relation> materialized;
+  double seconds = 0.0;  ///< wall-clock of this query
+  IoStats io;            ///< deterministic cost of this query
+};
+
+/// See file comment.
+class AdaptiveStore {
+ public:
+  explicit AdaptiveStore(AdaptiveStoreOptions options = {});
+  CRACK_DISALLOW_COPY_AND_ASSIGN(AdaptiveStore);
+
+  /// Registers a table; its columns become crackable.
+  Status AddTable(std::shared_ptr<Relation> relation);
+
+  Result<std::shared_ptr<Relation>> table(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// σ/Ξ: range selection over an integer column, cracking per the strategy.
+  Result<QueryResult> SelectRange(const std::string& table,
+                                  const std::string& column,
+                                  const RangeBounds& range,
+                                  Delivery delivery = Delivery::kCount);
+
+  /// One conjunct of a multi-attribute selection.
+  struct ColumnRange {
+    std::string column;
+    RangeBounds range;
+  };
+
+  /// σ over a conjunction of range predicates (WHERE a IN r1 AND b IN r2
+  /// ...). Under kCrack every referenced column is cracked by its own
+  /// predicate — "each and every query initiates breaking the database
+  /// further into pieces" (§2.2) — and the per-column oid sets are
+  /// intersected. Returns the qualifying count and (for kView) the oids.
+  Result<QueryResult> SelectConjunction(
+      const std::string& table, const std::vector<ColumnRange>& conjuncts,
+      Delivery delivery = Delivery::kCount);
+
+  /// ⋈/^: equi-join of two integer columns. The first call ^-cracks both
+  /// operands (cached); subsequent calls join only the matching areas.
+  Result<QueryResult> JoinEquals(const std::string& left_table,
+                                 const std::string& left_column,
+                                 const std::string& right_table,
+                                 const std::string& right_column,
+                                 Delivery delivery = Delivery::kCount);
+
+  /// The oid pairs of the most natural join evaluation (cached ^ areas under
+  /// kCrack, full hash join otherwise).
+  Result<std::vector<OidPair>> JoinOids(const std::string& left_table,
+                                        const std::string& left_column,
+                                        const std::string& right_table,
+                                        const std::string& right_column);
+
+  /// γ/Ω: grouped aggregate over integer columns. The first call Ω-cracks
+  /// the grouping column (cached); later aggregates reuse the clustering.
+  Result<std::vector<GroupAggregate>> GroupBy(const std::string& table,
+                                              const std::string& group_column,
+                                              const std::string& agg_column,
+                                              AggKind kind);
+
+  /// π/Ψ: vertical crack of `table` on `attrs` (fragments share physical
+  /// columns; both registered in the lineage).
+  Result<ProjectionCrackResult> Project(const std::string& table,
+                                        const std::vector<std::string>& attrs);
+
+  /// Copies the rows named by `selection` out of `table` into a fresh
+  /// Relation (the result-construction step of §5.1).
+  Result<std::shared_ptr<Relation>> MaterializeSelection(
+      const std::string& table, const CrackSelection& selection,
+      const std::string& result_name, IoStats* stats = nullptr);
+
+  /// Pieces currently delimiting (table, column); 1 when never cracked.
+  Result<size_t> NumPieces(const std::string& table,
+                           const std::string& column) const;
+
+  /// Human-readable report of a column's physical state: accelerator kind,
+  /// piece table with value bounds and sizes, boundary usage clocks. The
+  /// EXPLAIN of an adaptive store — what a DBA would ask "what did the
+  /// workload teach you about this column?".
+  Result<std::string> ExplainColumn(const std::string& table,
+                                    const std::string& column) const;
+
+  const LineageGraph& lineage() const { return lineage_; }
+  const AdaptiveStoreOptions& options() const { return options_; }
+
+  /// Cumulative cost of every query answered so far.
+  const IoStats& total_io() const { return total_io_; }
+  void ResetTotalIo() { total_io_.Reset(); }
+
+ private:
+  struct ColumnAccel {
+    std::unique_ptr<CrackerIndex<int32_t>> crack32;
+    std::unique_ptr<CrackerIndex<int64_t>> crack64;
+    std::unique_ptr<SortedColumn<int32_t>> sort32;
+    std::unique_ptr<SortedColumn<int64_t>> sort64;
+    PieceId root = kInvalidPieceId;
+    /// Lineage piece nodes keyed by their [begin, end) slot range.
+    std::map<std::pair<size_t, size_t>, PieceId> piece_nodes;
+  };
+
+  Result<std::shared_ptr<Bat>> ResolveColumn(const std::string& table,
+                                             const std::string& column) const;
+
+  Result<std::vector<OidPair>> JoinOidsInternal(const std::string& left_table,
+                                                const std::string& left_column,
+                                                const std::string& right_table,
+                                                const std::string& right_column,
+                                                IoStats* stats);
+
+  ColumnAccel& Accel(const std::string& table, const std::string& column);
+
+  template <typename T>
+  CrackSelection CrackSelect(const std::string& table,
+                             const std::string& column,
+                             const std::shared_ptr<Bat>& bat,
+                             const RangeBounds& range, IoStats* stats);
+
+  template <typename T>
+  CrackSelection SortSelect(const std::string& table,
+                            const std::string& column,
+                            const std::shared_ptr<Bat>& bat,
+                            const RangeBounds& range, IoStats* stats);
+
+  template <typename T>
+  void ScanSelect(const std::shared_ptr<Bat>& bat, const RangeBounds& range,
+                  Delivery delivery, QueryResult* result);
+
+  /// Records Ξ piece splits into the lineage after a crack (diffs the piece
+  /// table against the registered nodes).
+  template <typename T>
+  void UpdateLineage(const std::string& table, const std::string& column,
+                     ColumnAccel* accel, const CrackerIndex<T>& index);
+
+  AdaptiveStoreOptions options_;
+  std::map<std::string, std::shared_ptr<Relation>> tables_;
+  std::map<std::string, ColumnAccel> accels_;  // key: table + "." + column
+  std::map<std::string, JoinCrackResult> join_cracks_;
+  std::map<std::string, GroupCrackResult> group_cracks_;
+  LineageGraph lineage_;
+  IoStats total_io_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_ADAPTIVE_STORE_H_

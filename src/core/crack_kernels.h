@@ -1,0 +1,121 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Crack kernels: the in-place partition primitives at the bottom of the
+// Ξ (selection) cracker. They implement the "shuffle-exchange sort over all
+// tuples to cluster them according to their tail value" of paper §3.4.2,
+// restricted to one pivot (crack-in-two) or a pivot pair (crack-in-three).
+//
+// All kernels optionally permute a parallel oid array (the cracker map) in
+// lockstep, and report the number of tuple writes they performed so the
+// experiments can account cost in deterministic units.
+
+#ifndef CRACKSTORE_CORE_CRACK_KERNELS_H_
+#define CRACKSTORE_CORE_CRACK_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "storage/types.h"
+#include "util/macros.h"
+
+namespace crackstore {
+
+/// Outcome of a two-way crack.
+struct CrackSplit {
+  size_t split = 0;      ///< first index of the right-hand partition
+  uint64_t writes = 0;   ///< tuple writes performed (2 per swap)
+};
+
+/// Outcome of a three-way crack.
+struct Crack3Split {
+  size_t first = 0;      ///< first index of the middle partition
+  size_t second = 0;     ///< first index of the upper partition
+  uint64_t writes = 0;   ///< tuple writes performed
+};
+
+namespace internal {
+
+template <typename T>
+inline void SwapWithPayload(T* data, Oid* oids, size_t i, size_t j) {
+  std::swap(data[i], data[j]);
+  if (oids != nullptr) std::swap(oids[i], oids[j]);
+}
+
+/// Hoare-style partition: elements satisfying `goes_left` end up in
+/// [0, split), the rest in [split, n).
+template <typename T, typename GoesLeft>
+CrackSplit Partition2(T* data, Oid* oids, size_t n, GoesLeft goes_left) {
+  CrackSplit out;
+  if (n == 0) return out;
+  size_t lo = 0;
+  size_t hi = n;
+  while (true) {
+    while (lo < hi && goes_left(data[lo])) ++lo;
+    while (lo < hi && !goes_left(data[hi - 1])) --hi;
+    if (lo >= hi) break;
+    SwapWithPayload(data, oids, lo, hi - 1);
+    out.writes += 2;
+    ++lo;
+    --hi;
+  }
+  out.split = lo;
+  return out;
+}
+
+}  // namespace internal
+
+/// Partitions so that values `< pivot` come first. Returns the index of the
+/// first element `>= pivot`.
+template <typename T>
+CrackSplit CrackInTwoLt(T* data, Oid* oids, size_t n, T pivot) {
+  return internal::Partition2(data, oids, n,
+                              [pivot](T v) { return v < pivot; });
+}
+
+/// Partitions so that values `<= pivot` come first. Returns the index of the
+/// first element `> pivot`.
+template <typename T>
+CrackSplit CrackInTwoLe(T* data, Oid* oids, size_t n, T pivot) {
+  return internal::Partition2(data, oids, n,
+                              [pivot](T v) { return v <= pivot; });
+}
+
+/// Three-way partition (Dutch-national-flag) into
+///   [ below | middle | above ]
+/// where `middle` holds values v with
+///   (lo_incl ? v >= lo : v > lo)  &&  (hi_incl ? v <= hi : v < hi).
+/// Degenerate pivot pairs (empty middle) are allowed.
+template <typename T>
+Crack3Split CrackInThree(T* data, Oid* oids, size_t n, T lo, bool lo_incl,
+                         T hi, bool hi_incl) {
+  Crack3Split out;
+  auto below = [lo, lo_incl](T v) { return lo_incl ? v < lo : v <= lo; };
+  auto above = [hi, hi_incl](T v) { return hi_incl ? v > hi : v >= hi; };
+  size_t lt = 0;   // next write position for `below`
+  size_t gt = n;   // one past next write position for `above`
+  size_t i = 0;
+  while (i < gt) {
+    if (below(data[i])) {
+      if (i != lt) {
+        internal::SwapWithPayload(data, oids, i, lt);
+        out.writes += 2;
+      }
+      ++lt;
+      ++i;
+    } else if (above(data[i])) {
+      --gt;
+      internal::SwapWithPayload(data, oids, i, gt);
+      out.writes += 2;
+    } else {
+      ++i;
+    }
+  }
+  out.first = lt;
+  out.second = gt;
+  return out;
+}
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_CRACK_KERNELS_H_

@@ -1,0 +1,369 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/cracker_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+template <typename T>
+CrackerIndex<T>::CrackerIndex(const std::shared_ptr<Bat>& source,
+                              IoStats* stats, CrackerIndexOptions options)
+    : options_(options) {
+  CRACK_CHECK(source != nullptr);
+  CRACK_CHECK(source->tail_type() == TypeTraits<T>::kType);
+  n_ = source->size();
+  values_ = source->Clone(source->name() + "#crack");
+  oids_ = Bat::Create(ValueType::kOid, source->name() + "#crackmap");
+  oids_->Reserve(n_);
+  Oid* om = oids_->MutableTailData<Oid>();
+  Oid base = source->head_base();
+  for (size_t i = 0; i < n_; ++i) om[i] = base + i;
+  oids_->SetCountUnsafe(n_);
+  if (stats != nullptr) {
+    stats->tuples_read += n_;
+    stats->tuples_written += n_;
+  }
+}
+
+template <typename T>
+CrackerIndex<T>::CrackerIndex(std::shared_ptr<Bat> values,
+                              std::shared_ptr<Bat> oids,
+                              CrackerIndexOptions options)
+    : options_(options) {
+  CRACK_CHECK(values != nullptr && oids != nullptr);
+  CRACK_CHECK(values->tail_type() == TypeTraits<T>::kType);
+  CRACK_CHECK(oids->tail_type() == ValueType::kOid);
+  CRACK_CHECK(values->size() == oids->size());
+  n_ = values->size();
+  values_ = std::move(values);
+  oids_ = std::move(oids);
+}
+
+template <typename T>
+size_t CrackerIndex<T>::LowerLimitFor(T v) const {
+  auto it = bounds_.lower_bound(v);  // first entry >= v
+  if (it == bounds_.begin()) return 0;
+  --it;  // last entry < v
+  const Bound& b = it->second;
+  return b.has_incl ? b.pos_incl : b.pos_excl;
+}
+
+template <typename T>
+size_t CrackerIndex<T>::UpperLimitFor(T v) const {
+  auto it = bounds_.upper_bound(v);  // first entry > v
+  if (it == bounds_.end()) return n_;
+  const Bound& b = it->second;
+  return b.has_excl ? b.pos_excl : b.pos_incl;
+}
+
+template <typename T>
+size_t CrackerIndex<T>::Cut(T v, bool want_incl, IoStats* stats) {
+  auto it = bounds_.find(v);
+  if (it != bounds_.end()) {
+    Bound& b = it->second;
+    if (want_incl && b.has_incl) {
+      Touch(&b);
+      return b.pos_incl;
+    }
+    if (!want_incl && b.has_excl) {
+      Touch(&b);
+      return b.pos_excl;
+    }
+  }
+
+  // The cut is unknown: locate the piece [begin, end) that must be cracked.
+  size_t begin = 0;
+  size_t end = n_;
+  if (it != bounds_.end()) {
+    // A boundary at v exists but with the other inclusivity; the slice of
+    // duplicates of v bounds the crack region on one side.
+    const Bound& b = it->second;
+    if (want_incl) {
+      // pos_incl lies in [pos_excl, successor); everything left of pos_excl
+      // is already < v.
+      CRACK_DCHECK(b.has_excl);
+      begin = b.pos_excl;
+      end = UpperLimitFor(v);
+    } else {
+      // pos_excl lies in [predecessor, pos_incl); everything right of
+      // pos_incl is already > v.
+      CRACK_DCHECK(b.has_incl);
+      begin = LowerLimitFor(v);
+      end = b.pos_incl;
+    }
+  } else {
+    begin = LowerLimitFor(v);
+    end = UpperLimitFor(v);
+  }
+  CRACK_DCHECK(begin <= end);
+
+  CrackSplit split = want_incl
+                         ? CrackInTwoLe(data() + begin, oid_data() + begin,
+                                        end - begin, v)
+                         : CrackInTwoLt(data() + begin, oid_data() + begin,
+                                        end - begin, v);
+  size_t pos = begin + split.split;
+  if (stats != nullptr) {
+    stats->tuples_read += end - begin;
+    stats->tuples_written += split.writes;
+    ++stats->cracks;
+  }
+
+  Bound& b = bounds_[v];
+  if (b.created == 0) b.created = clock_;
+  if (want_incl) {
+    b.has_incl = true;
+    b.pos_incl = pos;
+  } else {
+    b.has_excl = true;
+    b.pos_excl = pos;
+  }
+  Touch(&b);
+  return pos;
+}
+
+template <typename T>
+CrackSelection CrackerIndex<T>::Select(T lo, bool lo_incl, T hi, bool hi_incl,
+                                       IoStats* stats) {
+  size_t pieces_before = num_pieces();
+
+  // Degenerate/inverted ranges answer empty without cracking.
+  if (lo > hi || (lo == hi && !(lo_incl && hi_incl))) {
+    return CrackSelection{BatView(values_, 0, 0), BatView(oids_, 0, 0)};
+  }
+
+  size_t cut_lo;
+  size_t cut_hi;
+
+  // When no registered boundary falls inside [lo, hi], both cuts land in one
+  // piece: crack it in three with a single pass (§3.1's three-piece Ξ).
+  auto lb = bounds_.lower_bound(lo);
+  auto ub = bounds_.upper_bound(hi);
+  if (lb == ub && options_.use_crack_in_three) {
+    size_t begin = LowerLimitFor(lo);
+    size_t end = UpperLimitFor(hi);
+    CRACK_DCHECK(begin <= end);
+    Crack3Split split = CrackInThree(data() + begin, oid_data() + begin,
+                                     end - begin, lo, lo_incl, hi, hi_incl);
+    cut_lo = begin + split.first;
+    cut_hi = begin + split.second;
+    if (stats != nullptr) {
+      stats->tuples_read += end - begin;
+      stats->tuples_written += split.writes;
+      ++stats->cracks;
+    }
+    uint64_t created_clock = clock_;
+    if (lo == hi) {
+      // Point query: both cuts decorate the same boundary value.
+      Bound& b = bounds_[lo];
+      if (b.created == 0) b.created = created_clock;
+      b.has_excl = true;
+      b.pos_excl = cut_lo;
+      b.has_incl = true;
+      b.pos_incl = cut_hi;
+      Touch(&b);
+    } else {
+      Bound& bl = bounds_[lo];
+      if (bl.created == 0) bl.created = created_clock;
+      if (lo_incl) {
+        bl.has_excl = true;
+        bl.pos_excl = cut_lo;
+      } else {
+        bl.has_incl = true;
+        bl.pos_incl = cut_lo;
+      }
+      Touch(&bl);
+      Bound& bh = bounds_[hi];
+      if (bh.created == 0) bh.created = created_clock;
+      if (hi_incl) {
+        bh.has_incl = true;
+        bh.pos_incl = cut_hi;
+      } else {
+        bh.has_excl = true;
+        bh.pos_excl = cut_hi;
+      }
+      Touch(&bh);
+    }
+  } else {
+    // Boundaries inside the range: crack (at most) the two edge pieces.
+    cut_lo = Cut(lo, /*want_incl=*/!lo_incl, stats);
+    cut_hi = Cut(hi, /*want_incl=*/hi_incl, stats);
+  }
+
+  if (stats != nullptr) {
+    size_t pieces_after = num_pieces();
+    stats->pieces_created += pieces_after - pieces_before;
+  }
+
+  if (cut_hi < cut_lo) cut_hi = cut_lo;  // empty result
+  return CrackSelection{BatView(values_, cut_lo, cut_hi - cut_lo),
+                        BatView(oids_, cut_lo, cut_hi - cut_lo)};
+}
+
+template <typename T>
+CrackSelection CrackerIndex<T>::SelectLessThan(T v, bool inclusive,
+                                               IoStats* stats) {
+  size_t pieces_before = num_pieces();
+  size_t cut = Cut(v, /*want_incl=*/inclusive, stats);
+  if (stats != nullptr) stats->pieces_created += num_pieces() - pieces_before;
+  return CrackSelection{BatView(values_, 0, cut), BatView(oids_, 0, cut)};
+}
+
+template <typename T>
+CrackSelection CrackerIndex<T>::SelectGreaterThan(T v, bool inclusive,
+                                                  IoStats* stats) {
+  size_t pieces_before = num_pieces();
+  size_t cut = Cut(v, /*want_incl=*/!inclusive, stats);
+  if (stats != nullptr) stats->pieces_created += num_pieces() - pieces_before;
+  return CrackSelection{BatView(values_, cut, n_ - cut),
+                        BatView(oids_, cut, n_ - cut)};
+}
+
+template <typename T>
+CrackSelection CrackerIndex<T>::SelectEquals(T v, IoStats* stats) {
+  return Select(v, /*lo_incl=*/true, v, /*hi_incl=*/true, stats);
+}
+
+template <typename T>
+CrackSelection CrackerIndex<T>::SelectAll() const {
+  return CrackSelection{BatView(values_, 0, n_), BatView(oids_, 0, n_)};
+}
+
+template <typename T>
+size_t CrackerIndex<T>::num_pieces() const {
+  std::set<size_t> cuts;
+  for (const auto& [value, b] : bounds_) {
+    if (b.has_excl && b.pos_excl > 0 && b.pos_excl < n_) cuts.insert(b.pos_excl);
+    if (b.has_incl && b.pos_incl > 0 && b.pos_incl < n_) cuts.insert(b.pos_incl);
+  }
+  return cuts.size() + 1;
+}
+
+template <typename T>
+std::vector<CrackPiece<T>> CrackerIndex<T>::Pieces() const {
+  // Event list: (position, value, is_incl). A pos_excl event at value v says
+  // the right-hand side holds v >= value; a pos_incl event says v > value.
+  struct Event {
+    size_t pos;
+    T value;
+    bool incl;  // true when this is a pos_incl cut
+  };
+  std::vector<Event> events;
+  events.reserve(bounds_.size() * 2);
+  for (const auto& [value, b] : bounds_) {
+    if (b.has_excl) events.push_back({b.pos_excl, value, false});
+    if (b.has_incl) events.push_back({b.pos_incl, value, true});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.pos != b.pos) return a.pos < b.pos;
+    if (a.value != b.value) return a.value < b.value;
+    return a.incl < b.incl;
+  });
+
+  std::vector<CrackPiece<T>> pieces;
+  CrackPiece<T> cur;
+  cur.begin = 0;
+  for (const Event& e : events) {
+    if (e.pos > cur.begin) {
+      cur.end = e.pos;
+      // Upper decoration from this event: left side is < v (excl) or <= v
+      // (incl).
+      cur.has_hi = true;
+      cur.hi = e.value;
+      cur.hi_strict = !e.incl;
+      pieces.push_back(cur);
+      cur = CrackPiece<T>{};
+      cur.begin = e.pos;
+    }
+    // Lower decoration for the piece starting at e.pos: right side is
+    // >= v (excl cut) or > v (incl cut). Tightest wins: later events at the
+    // same position have larger values, so keep overwriting.
+    cur.has_lo = true;
+    cur.lo = e.value;
+    cur.lo_strict = e.incl;
+  }
+  cur.end = n_;
+  if (cur.end > cur.begin || pieces.empty()) pieces.push_back(cur);
+  return pieces;
+}
+
+template <typename T>
+std::vector<CrackBound<T>> CrackerIndex<T>::Bounds() const {
+  std::vector<CrackBound<T>> out;
+  out.reserve(bounds_.size());
+  for (const auto& [value, b] : bounds_) {
+    CrackBound<T> cb;
+    cb.value = value;
+    cb.has_excl = b.has_excl;
+    cb.pos_excl = b.pos_excl;
+    cb.has_incl = b.has_incl;
+    cb.pos_incl = b.pos_incl;
+    cb.last_used = b.last_used;
+    cb.created = b.created;
+    out.push_back(cb);
+  }
+  return out;
+}
+
+template <typename T>
+Status CrackerIndex<T>::RemoveBound(T value) {
+  auto it = bounds_.find(value);
+  if (it == bounds_.end()) {
+    return Status::NotFound("no boundary at requested value");
+  }
+  bounds_.erase(it);
+  return Status::OK();
+}
+
+template <typename T>
+Status CrackerIndex<T>::Validate() const {
+  const T* d = data();
+  for (const auto& [value, b] : bounds_) {
+    if (b.has_excl) {
+      for (size_t i = 0; i < b.pos_excl; ++i) {
+        if (!(d[i] < value)) {
+          return Status::Internal(StrFormat(
+              "excl bound violated at index %zu (pos_excl=%zu)", i,
+              b.pos_excl));
+        }
+      }
+      for (size_t i = b.pos_excl; i < n_; ++i) {
+        if (d[i] < value) {
+          return Status::Internal(StrFormat(
+              "excl bound violated at index %zu (pos_excl=%zu)", i,
+              b.pos_excl));
+        }
+      }
+    }
+    if (b.has_incl) {
+      for (size_t i = 0; i < b.pos_incl; ++i) {
+        if (d[i] > value) {
+          return Status::Internal(StrFormat(
+              "incl bound violated at index %zu (pos_incl=%zu)", i,
+              b.pos_incl));
+        }
+      }
+      for (size_t i = b.pos_incl; i < n_; ++i) {
+        if (!(d[i] > value)) {
+          return Status::Internal(StrFormat(
+              "incl bound violated at index %zu (pos_incl=%zu)", i,
+              b.pos_incl));
+        }
+      }
+    }
+    if (b.has_excl && b.has_incl && b.pos_excl > b.pos_incl) {
+      return Status::Internal("pos_excl > pos_incl");
+    }
+  }
+  return Status::OK();
+}
+
+template class CrackerIndex<int32_t>;
+template class CrackerIndex<int64_t>;
+template class CrackerIndex<double>;
+
+}  // namespace crackstore

@@ -1,0 +1,193 @@
+// Copyright 2026 The CrackStore Authors
+//
+// CrackerIndex: the auxiliary structure of paper §3.2. For one column it
+// maintains
+//   * a *cracker column*: a clone of the source tail that crack kernels
+//     shuffle in place, plus a parallel oid array (the cracker map) linking
+//     every slot back to its source tuple;
+//   * a decorated search tree over *piece boundaries*: value v -> position p
+//     such that everything left of p is < v (exclusive bound) or <= v
+//     (inclusive bound). Pieces are the maximal runs between boundaries; the
+//     tree stores their (min,max) knowledge, sizes and usage clocks.
+//
+// Each range selection first navigates the tree, cracks at most the two
+// pieces at the predicate boundaries (crack-in-three when both ends fall in
+// one piece), registers the new boundaries, and answers with a zero-copy
+// contiguous view — "the incremental buildup of a search accelerator, driven
+// by actual queries" (paper §2.2).
+
+#ifndef CRACKSTORE_CORE_CRACKER_INDEX_H_
+#define CRACKSTORE_CORE_CRACKER_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/crack_kernels.h"
+#include "storage/bat.h"
+#include "storage/io_stats.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace crackstore {
+
+/// A contiguous answer of a cracked selection: parallel views over the
+/// cracker column's values and oids.
+struct CrackSelection {
+  BatView values;  ///< the qualifying tail values (contiguous)
+  BatView oids;    ///< their source oids, position-aligned with `values`
+  size_t count() const { return values.size(); }
+};
+
+/// Descriptive snapshot of one piece (test & optimizer support).
+template <typename T>
+struct CrackPiece {
+  size_t begin = 0;  ///< first position in the cracker column
+  size_t end = 0;    ///< one past the last position
+  bool has_lo = false;
+  T lo{};            ///< if has_lo: every value v in the piece satisfies
+  bool lo_strict = false;  ///< lo_strict ? v > lo : v >= lo
+  bool has_hi = false;
+  T hi{};            ///< if has_hi: every value v satisfies
+  bool hi_strict = false;  ///< hi_strict ? v < hi : v <= hi
+  size_t size() const { return end - begin; }
+};
+
+/// Snapshot of one registered boundary (merge-policy support).
+template <typename T>
+struct CrackBound {
+  T value{};
+  bool has_excl = false;
+  size_t pos_excl = 0;  ///< first index holding values >= value
+  bool has_incl = false;
+  size_t pos_incl = 0;  ///< first index holding values > value
+  uint64_t last_used = 0;
+  uint64_t created = 0;
+};
+
+/// Tuning knobs of a cracker index.
+struct CrackerIndexOptions {
+  /// §3.1 proposes a *three-piece* Ξ for double-sided ranges so the
+  /// consecutive-ranges property is regained in one pass. When false, a
+  /// pristine range is handled as two successive crack-in-two passes
+  /// instead (the ablation the bench suite measures).
+  bool use_crack_in_three = true;
+};
+
+/// The cracker index over one numeric column. T in {int32_t, int64_t,
+/// double}.
+template <typename T>
+class CrackerIndex {
+ public:
+  /// Builds the index over `source`, cloning its tail into the cracker
+  /// column and materializing the oid map. The copy cost (n reads, n writes)
+  /// is charged to `stats` — this is the investment Figures 2-3 analyze.
+  explicit CrackerIndex(const std::shared_ptr<Bat>& source,
+                        IoStats* stats = nullptr,
+                        CrackerIndexOptions options = {});
+
+  /// Adopts pre-built parallel (values, oids) columns without copying.
+  /// Used by maintenance operations (delta merging) that rebuild the
+  /// cracker column while preserving an arbitrary source-oid mapping.
+  /// `values` must be typed T, `oids` typed kOid, equal length.
+  CrackerIndex(std::shared_ptr<Bat> values, std::shared_ptr<Bat> oids,
+               CrackerIndexOptions options = {});
+
+  CRACK_DISALLOW_COPY_AND_ASSIGN(CrackerIndex);
+
+  /// Range selection with explicit bound inclusivity. The result holds
+  /// values v with (lo_incl ? v >= lo : v > lo) && (hi_incl ? v <= hi :
+  /// v < hi). Cracks at most two pieces. An inverted range yields an empty
+  /// selection.
+  CrackSelection Select(T lo, bool lo_incl, T hi, bool hi_incl,
+                        IoStats* stats = nullptr);
+
+  /// One-sided selections (attr θ cst for θ in {<, <=, >, >=}).
+  CrackSelection SelectLessThan(T v, bool inclusive,
+                                IoStats* stats = nullptr);
+  CrackSelection SelectGreaterThan(T v, bool inclusive,
+                                   IoStats* stats = nullptr);
+
+  /// Point selection (attr == v), a degenerate double-sided range (§3.1).
+  CrackSelection SelectEquals(T v, IoStats* stats = nullptr);
+
+  /// The whole cracker column as one selection (no cracking).
+  CrackSelection SelectAll() const;
+
+  size_t size() const { return n_; }
+
+  /// Number of pieces currently delimited (distinct cut positions + 1).
+  size_t num_pieces() const;
+
+  /// Number of registered boundary values.
+  size_t num_bounds() const { return bounds_.size(); }
+
+  /// Piece table in physical order, with value-bound decoration.
+  std::vector<CrackPiece<T>> Pieces() const;
+
+  /// Boundary table in value order.
+  std::vector<CrackBound<T>> Bounds() const;
+
+  /// Fuses the pieces around `value` by dropping its boundary — no data
+  /// movement, only loss of navigation knowledge (paper §3.2: "Fusion of
+  /// pieces becomes a necessity"). Fails if no such boundary exists.
+  Status RemoveBound(T value);
+
+  /// The cracker column (values, shuffled in place by cracking).
+  const std::shared_ptr<Bat>& values() const { return values_; }
+
+  /// The parallel oid map; oids()->Get<Oid>(i) is the source oid of
+  /// values()->Get<T>(i).
+  const std::shared_ptr<Bat>& oids() const { return oids_; }
+
+  /// Exhaustively re-checks every boundary's semantics against the data
+  /// (O(bounds * n); test support).
+  Status Validate() const;
+
+ private:
+  struct Bound {
+    bool has_excl = false;
+    size_t pos_excl = 0;
+    bool has_incl = false;
+    size_t pos_incl = 0;
+    uint64_t last_used = 0;
+    uint64_t created = 0;
+  };
+
+  T* data() { return values_->MutableTailData<T>(); }
+  const T* data() const { return values_->TailData<T>(); }
+  Oid* oid_data() { return oids_->MutableTailData<Oid>(); }
+
+  /// Largest known position that is <= any cut for value v; scans bounds
+  /// strictly below v.
+  size_t LowerLimitFor(T v) const;
+
+  /// Smallest known position that is >= any cut for value v; scans bounds
+  /// strictly above v.
+  size_t UpperLimitFor(T v) const;
+
+  /// Returns the cut position for value `v`:
+  ///   want_incl == false -> first index holding values >= v
+  ///   want_incl == true  -> first index holding values >  v
+  /// Cracks the enclosing piece if the cut is not yet known.
+  size_t Cut(T v, bool want_incl, IoStats* stats);
+
+  void Touch(Bound* b) { b->last_used = clock_++; }
+
+  std::map<T, Bound> bounds_;
+  std::shared_ptr<Bat> values_;
+  std::shared_ptr<Bat> oids_;
+  size_t n_ = 0;
+  uint64_t clock_ = 1;
+  CrackerIndexOptions options_;
+};
+
+extern template class CrackerIndex<int32_t>;
+extern template class CrackerIndex<int64_t>;
+extern template class CrackerIndex<double>;
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_CRACKER_INDEX_H_

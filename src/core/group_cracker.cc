@@ -1,0 +1,139 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/group_cracker.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+namespace {
+
+template <typename T>
+GroupCrackResult CrackGroupTyped(const std::shared_ptr<Bat>& column,
+                                 IoStats* stats) {
+  size_t n = column->size();
+  const T* src = column->TailData<T>();
+  Oid base = column->head_base();
+
+  // Pass 1: histogram in value order (ordered map keeps output deterministic
+  // and the pieces sorted, which later enables merge-join style consumption).
+  std::map<T, size_t> histogram;
+  for (size_t i = 0; i < n; ++i) ++histogram[src[i]];
+
+  // Assign contiguous ranges.
+  GroupCrackResult out;
+  out.values = Bat::Create(column->tail_type(), column->name() + "#group");
+  out.oids = Bat::Create(ValueType::kOid, column->name() + "#groupmap");
+  out.values->Reserve(n);
+  out.oids->Reserve(n);
+  std::map<T, size_t> cursor;  // next write slot per group
+  size_t offset = 0;
+  for (const auto& [value, count] : histogram) {
+    GroupPiece piece;
+    piece.value = static_cast<int64_t>(value);
+    piece.begin = offset;
+    piece.end = offset + count;
+    out.groups.push_back(piece);
+    cursor[value] = offset;
+    offset += count;
+  }
+
+  // Pass 2: scatter values and oids into their cluster slots.
+  T* dst = out.values->MutableTailData<T>();
+  Oid* om = out.oids->MutableTailData<Oid>();
+  for (size_t i = 0; i < n; ++i) {
+    size_t& slot = cursor[src[i]];
+    dst[slot] = src[i];
+    om[slot] = base + i;
+    ++slot;
+  }
+  out.values->SetCountUnsafe(n);
+  out.oids->SetCountUnsafe(n);
+
+  if (stats != nullptr) {
+    stats->tuples_read += 2 * n;  // histogram pass + scatter pass
+    stats->tuples_written += n;
+    ++stats->cracks;
+    stats->pieces_created += out.groups.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<GroupCrackResult> CrackGroup(const std::shared_ptr<Bat>& column,
+                                    IoStats* stats) {
+  if (column == nullptr) return Status::InvalidArgument("null column");
+  switch (column->tail_type()) {
+    case ValueType::kInt32:
+      return CrackGroupTyped<int32_t>(column, stats);
+    case ValueType::kInt64:
+      return CrackGroupTyped<int64_t>(column, stats);
+    default:
+      return Status::Unimplemented(
+          StrFormat("group cracking over %s not supported",
+                    ValueTypeName(column->tail_type())));
+  }
+}
+
+Result<std::vector<GroupAggregate>> AggregateGroups(
+    const GroupCrackResult& cracked, const std::shared_ptr<Bat>& agg_column,
+    AggKind kind, IoStats* stats) {
+  if (agg_column == nullptr) return Status::InvalidArgument("null column");
+  if (agg_column->tail_type() != ValueType::kInt64 &&
+      agg_column->tail_type() != ValueType::kInt32) {
+    return Status::Unimplemented("aggregate column must be integer");
+  }
+  bool is32 = agg_column->tail_type() == ValueType::kInt32;
+  Oid base = agg_column->head_base();
+  auto fetch = [&](Oid oid) -> int64_t {
+    size_t idx = static_cast<size_t>(oid - base);
+    CRACK_DCHECK(idx < agg_column->size());
+    return is32 ? agg_column->Get<int32_t>(idx) : agg_column->Get<int64_t>(idx);
+  };
+
+  std::vector<GroupAggregate> out;
+  out.reserve(cracked.groups.size());
+  const Oid* oids = cracked.oids->TailData<Oid>();
+  for (const GroupPiece& g : cracked.groups) {
+    GroupAggregate agg;
+    agg.group = g.value;
+    switch (kind) {
+      case AggKind::kCount:
+        agg.value = static_cast<int64_t>(g.size());
+        break;
+      case AggKind::kSum: {
+        int64_t sum = 0;
+        for (size_t i = g.begin; i < g.end; ++i) sum += fetch(oids[i]);
+        agg.value = sum;
+        break;
+      }
+      case AggKind::kMin: {
+        int64_t mn = INT64_MAX;
+        for (size_t i = g.begin; i < g.end; ++i) {
+          mn = std::min(mn, fetch(oids[i]));
+        }
+        agg.value = mn;
+        break;
+      }
+      case AggKind::kMax: {
+        int64_t mx = INT64_MIN;
+        for (size_t i = g.begin; i < g.end; ++i) {
+          mx = std::max(mx, fetch(oids[i]));
+        }
+        agg.value = mx;
+        break;
+      }
+    }
+    out.push_back(agg);
+  }
+  if (stats != nullptr && kind != AggKind::kCount) {
+    stats->tuples_read += cracked.oids->size();
+  }
+  return out;
+}
+
+}  // namespace crackstore

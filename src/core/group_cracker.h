@@ -1,0 +1,71 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Ω-cracking (paper §3.1): a GROUP BY over attribute set `grp` produces an
+// n-way partition of the table into disjoint pieces, one per distinct value:
+//   Ω(γ_grp R) = { P_i | i ∈ π_grp R, P_i = σ_{grp = i} R }.
+// The cracker clusters the column physically so that "subsequent aggregation
+// and filtering are simplified" (§3.3). Loss-less: the union of the pieces
+// is the original table.
+
+#ifndef CRACKSTORE_CORE_GROUP_CRACKER_H_
+#define CRACKSTORE_CORE_GROUP_CRACKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/bat.h"
+#include "storage/io_stats.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// One group piece: the grouping value (as int64 view) and its contiguous
+/// slot range in the clustered column.
+struct GroupPiece {
+  int64_t value = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Result of Ω-cracking one column.
+struct GroupCrackResult {
+  std::shared_ptr<Bat> values;    ///< clustered clone of the column
+  std::shared_ptr<Bat> oids;      ///< parallel source-oid map
+  std::vector<GroupPiece> groups; ///< pieces in ascending value order
+
+  BatView piece(size_t i) const {
+    const GroupPiece& g = groups[i];
+    return BatView(values, g.begin, g.size());
+  }
+  BatView piece_oids(size_t i) const {
+    const GroupPiece& g = groups[i];
+    return BatView(oids, g.begin, g.size());
+  }
+};
+
+/// Applies the Ω cracker to an integer column: clusters a clone by value and
+/// reports the per-group pieces. Cost (n reads for the histogram, n reads +
+/// n writes for the scatter) is charged to `stats`.
+Result<GroupCrackResult> CrackGroup(const std::shared_ptr<Bat>& column,
+                                    IoStats* stats = nullptr);
+
+/// Aggregation kinds understood by AggregateGroups.
+enum class AggKind { kCount, kSum, kMin, kMax };
+
+/// One aggregate row: group value and the aggregate over an auxiliary
+/// column aligned by source oid.
+struct GroupAggregate {
+  int64_t group = 0;
+  int64_t value = 0;
+};
+
+/// Computes `kind` of `agg_column[oid]` per group of `cracked`, exploiting
+/// the clustered layout (one sequential pass, no hash table).
+Result<std::vector<GroupAggregate>> AggregateGroups(
+    const GroupCrackResult& cracked, const std::shared_ptr<Bat>& agg_column,
+    AggKind kind, IoStats* stats = nullptr);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_GROUP_CRACKER_H_

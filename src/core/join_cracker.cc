@@ -1,0 +1,197 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/join_cracker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/crack_kernels.h"
+#include "util/string_util.h"
+
+namespace crackstore {
+
+namespace {
+
+/// Clones `src` into a shuffle-able (values, oids) pair.
+JoinCrackSide CloneSide(const std::shared_ptr<Bat>& src, IoStats* stats) {
+  JoinCrackSide side;
+  side.values = src->Clone(src->name() + "#joincrack");
+  side.oids = Bat::Create(ValueType::kOid, src->name() + "#joinmap");
+  size_t n = src->size();
+  side.oids->Reserve(n);
+  Oid* om = side.oids->MutableTailData<Oid>();
+  Oid base = src->head_base();
+  for (size_t i = 0; i < n; ++i) om[i] = base + i;
+  side.oids->SetCountUnsafe(n);
+  if (stats != nullptr) {
+    stats->tuples_read += n;
+    stats->tuples_written += n;
+  }
+  return side;
+}
+
+template <typename T>
+void PartitionByMembership(JoinCrackSide* side,
+                           const std::unordered_set<T>& other_keys,
+                           IoStats* stats) {
+  T* data = side->values->MutableTailData<T>();
+  Oid* oids = side->oids->MutableTailData<Oid>();
+  size_t n = side->values->size();
+  CrackSplit split = internal::Partition2(
+      data, oids, n, [&other_keys](T v) { return other_keys.count(v) > 0; });
+  side->split = split.split;
+  if (stats != nullptr) {
+    stats->tuples_read += n;
+    stats->tuples_written += split.writes;
+    ++stats->cracks;
+    stats->pieces_created += 2;
+  }
+}
+
+template <typename T>
+JoinCrackResult CrackJoinTyped(const std::shared_ptr<Bat>& left,
+                               const std::shared_ptr<Bat>& right,
+                               IoStats* stats) {
+  JoinCrackResult out;
+  out.left = CloneSide(left, stats);
+  out.right = CloneSide(right, stats);
+
+  // Key sets of both sides (the semijoin hash builds).
+  std::unordered_set<T> left_keys;
+  left_keys.reserve(left->size() * 2);
+  const T* ld = left->TailData<T>();
+  for (size_t i = 0; i < left->size(); ++i) left_keys.insert(ld[i]);
+
+  std::unordered_set<T> right_keys;
+  right_keys.reserve(right->size() * 2);
+  const T* rd = right->TailData<T>();
+  for (size_t i = 0; i < right->size(); ++i) right_keys.insert(rd[i]);
+
+  if (stats != nullptr) {
+    stats->tuples_read += left->size() + right->size();
+  }
+
+  PartitionByMembership<T>(&out.left, right_keys, stats);
+  PartitionByMembership<T>(&out.right, left_keys, stats);
+  return out;
+}
+
+template <typename T>
+std::vector<OidPair> JoinAreasTyped(const JoinCrackResult& cracked,
+                                    IoStats* stats) {
+  // Hash join over the matching areas only.
+  BatView lv = cracked.left.matching();
+  BatView rv = cracked.right.matching();
+  BatView lo = cracked.left.matching_oids();
+  BatView ro = cracked.right.matching_oids();
+
+  std::unordered_map<T, std::vector<Oid>> build;
+  build.reserve(lv.size() * 2);
+  const T* ld = lv.data<T>();
+  for (size_t i = 0; i < lv.size(); ++i) {
+    build[ld[i]].push_back(lo.Get<Oid>(i));
+  }
+  std::vector<OidPair> out;
+  const T* rd = rv.data<T>();
+  for (size_t i = 0; i < rv.size(); ++i) {
+    auto it = build.find(rd[i]);
+    if (it == build.end()) continue;
+    Oid right_oid = ro.Get<Oid>(i);
+    for (Oid left_oid : it->second) out.push_back(OidPair{left_oid, right_oid});
+  }
+  if (stats != nullptr) {
+    stats->tuples_read += lv.size() + rv.size();
+    stats->tuples_written += out.size();
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<OidPair> HashJoinTyped(const std::shared_ptr<Bat>& left,
+                                   const std::shared_ptr<Bat>& right,
+                                   IoStats* stats) {
+  std::unordered_map<T, std::vector<Oid>> build;
+  build.reserve(left->size() * 2);
+  const T* ld = left->TailData<T>();
+  Oid lbase = left->head_base();
+  for (size_t i = 0; i < left->size(); ++i) {
+    build[ld[i]].push_back(lbase + i);
+  }
+  std::vector<OidPair> out;
+  const T* rd = right->TailData<T>();
+  Oid rbase = right->head_base();
+  for (size_t i = 0; i < right->size(); ++i) {
+    auto it = build.find(rd[i]);
+    if (it == build.end()) continue;
+    for (Oid l : it->second) out.push_back(OidPair{l, rbase + i});
+  }
+  if (stats != nullptr) {
+    stats->tuples_read += left->size() + right->size();
+    stats->tuples_written += out.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JoinCrackResult> CrackJoin(const std::shared_ptr<Bat>& left,
+                                  const std::shared_ptr<Bat>& right,
+                                  IoStats* stats) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null join operand");
+  }
+  if (left->tail_type() != right->tail_type()) {
+    return Status::TypeMismatch(
+        StrFormat("join type mismatch: %s vs %s",
+                  ValueTypeName(left->tail_type()),
+                  ValueTypeName(right->tail_type())));
+  }
+  switch (left->tail_type()) {
+    case ValueType::kInt32:
+      return CrackJoinTyped<int32_t>(left, right, stats);
+    case ValueType::kInt64:
+      return CrackJoinTyped<int64_t>(left, right, stats);
+    case ValueType::kFloat64:
+      return CrackJoinTyped<double>(left, right, stats);
+    default:
+      return Status::Unimplemented("join cracking requires numeric columns");
+  }
+}
+
+std::vector<OidPair> JoinMatchingAreas(const JoinCrackResult& cracked,
+                                       IoStats* stats) {
+  switch (cracked.left.values->tail_type()) {
+    case ValueType::kInt32:
+      return JoinAreasTyped<int32_t>(cracked, stats);
+    case ValueType::kInt64:
+      return JoinAreasTyped<int64_t>(cracked, stats);
+    case ValueType::kFloat64:
+      return JoinAreasTyped<double>(cracked, stats);
+    default:
+      CRACK_DCHECK(false);
+      return {};
+  }
+}
+
+Result<std::vector<OidPair>> HashJoinOids(const std::shared_ptr<Bat>& left,
+                                          const std::shared_ptr<Bat>& right,
+                                          IoStats* stats) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null join operand");
+  }
+  if (left->tail_type() != right->tail_type()) {
+    return Status::TypeMismatch("join type mismatch");
+  }
+  switch (left->tail_type()) {
+    case ValueType::kInt32:
+      return HashJoinTyped<int32_t>(left, right, stats);
+    case ValueType::kInt64:
+      return HashJoinTyped<int64_t>(left, right, stats);
+    case ValueType::kFloat64:
+      return HashJoinTyped<double>(left, right, stats);
+    default:
+      return Status::Unimplemented("hash join requires numeric columns");
+  }
+}
+
+}  // namespace crackstore

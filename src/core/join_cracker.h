@@ -1,0 +1,74 @@
+// Copyright 2026 The CrackStore Authors
+//
+// ^-cracking (paper §3.1): a join R ⋈ S over two columns reorganizes *both*
+// operands so that the tuples that find a match in the other relation form a
+// contiguous area:
+//   P1 = R ⋉ S (matching),  P2 = R ∖ (R ⋉ S) (non-matching),
+//   P3 = S ⋉ R,             P4 = S ∖ (S ⋉ R).
+// The matching areas act as a semijoin index: subsequent joins touch only
+// P1 ⋈ P3, and P2/P4 are exactly the outer-join complements. Loss-less:
+// P1 ∪ P2 = R, P3 ∪ P4 = S.
+
+#ifndef CRACKSTORE_CORE_JOIN_CRACKER_H_
+#define CRACKSTORE_CORE_JOIN_CRACKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/bat.h"
+#include "storage/io_stats.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// One cracked join operand: its shuffled values/oids plus the split point
+/// between the matching prefix and the non-matching suffix.
+struct JoinCrackSide {
+  std::shared_ptr<Bat> values;  ///< shuffled clone of the operand tail
+  std::shared_ptr<Bat> oids;    ///< parallel source-oid map
+  size_t split = 0;             ///< first index of the non-matching area
+
+  BatView matching() const { return BatView(values, 0, split); }
+  BatView non_matching() const {
+    return BatView(values, split, values->size() - split);
+  }
+  BatView matching_oids() const { return BatView(oids, 0, split); }
+  BatView non_matching_oids() const {
+    return BatView(oids, split, oids->size() - split);
+  }
+};
+
+/// Result of ^-cracking two join columns.
+struct JoinCrackResult {
+  JoinCrackSide left;   ///< pieces P1 (matching) and P2 of R
+  JoinCrackSide right;  ///< pieces P3 (matching) and P4 of S
+};
+
+/// A pair of matching oids produced by a join.
+struct OidPair {
+  Oid left;
+  Oid right;
+};
+
+/// Applies the ^ cracker to two numeric columns of equal type. Cost: one
+/// hash build + probe per side plus the in-place shuffles; all charged to
+/// `stats`. Fails on type mismatch or string columns.
+Result<JoinCrackResult> CrackJoin(const std::shared_ptr<Bat>& left,
+                                  const std::shared_ptr<Bat>& right,
+                                  IoStats* stats = nullptr);
+
+/// Equi-joins the matching areas of a cracked pair, returning source oid
+/// pairs. This is the "calculate the join without caring about non-matching
+/// tuples" step (§3.3).
+std::vector<OidPair> JoinMatchingAreas(const JoinCrackResult& cracked,
+                                       IoStats* stats = nullptr);
+
+/// Reference equi-join over two whole columns (no cracking); baseline for
+/// tests and benchmarks.
+Result<std::vector<OidPair>> HashJoinOids(const std::shared_ptr<Bat>& left,
+                                          const std::shared_ptr<Bat>& right,
+                                          IoStats* stats = nullptr);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_JOIN_CRACKER_H_

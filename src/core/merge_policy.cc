@@ -1,0 +1,28 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/merge_policy.h"
+
+namespace crackstore {
+
+const char* MergePolicyKindName(MergePolicyKind kind) {
+  switch (kind) {
+    case MergePolicyKind::kNone:
+      return "none";
+    case MergePolicyKind::kLeastRecentlyUsed:
+      return "lru";
+    case MergePolicyKind::kOldestFirst:
+      return "fifo";
+    case MergePolicyKind::kSmallestPieces:
+      return "smallest";
+  }
+  return "?";
+}
+
+MergePolicyKind MergePolicyKindFromString(const std::string& s) {
+  if (s == "lru") return MergePolicyKind::kLeastRecentlyUsed;
+  if (s == "fifo") return MergePolicyKind::kOldestFirst;
+  if (s == "smallest") return MergePolicyKind::kSmallestPieces;
+  return MergePolicyKind::kNone;
+}
+
+}  // namespace crackstore

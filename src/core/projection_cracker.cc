@@ -1,0 +1,152 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/projection_cracker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+namespace {
+
+/// Builds the dense surrogate column 0..n-1.
+std::shared_ptr<Bat> MakeOidColumn(size_t n, const std::string& name) {
+  auto bat = Bat::Create(ValueType::kOid, name);
+  bat->Reserve(n);
+  Oid* data = bat->MutableTailData<Oid>();
+  for (size_t i = 0; i < n; ++i) data[i] = i;
+  bat->SetCountUnsafe(n);
+  return bat;
+}
+
+}  // namespace
+
+Result<ProjectionCrackResult> CrackProjection(
+    const std::shared_ptr<Relation>& relation,
+    const std::vector<std::string>& attrs, IoStats* stats) {
+  if (relation == nullptr) return Status::InvalidArgument("null relation");
+  if (attrs.empty()) return Status::InvalidArgument("empty attribute list");
+
+  std::unordered_set<std::string> wanted;
+  for (const auto& a : attrs) {
+    if (relation->schema().FieldIndex(a) < 0) {
+      return Status::NotFound("no column '" + a + "' in " + relation->name());
+    }
+    if (!wanted.insert(a).second) {
+      return Status::InvalidArgument("duplicate attribute: " + a);
+    }
+  }
+  if (wanted.size() == relation->num_columns()) {
+    return Status::InvalidArgument(
+        "projection covers every column; nothing to crack off");
+  }
+
+  size_t n = relation->num_rows();
+  std::vector<ColumnDef> proj_defs{{"oid", ValueType::kOid}};
+  std::vector<std::shared_ptr<Bat>> proj_cols{
+      MakeOidColumn(n, relation->name() + "#psi1.oid")};
+  std::vector<ColumnDef> rest_defs{{"oid", ValueType::kOid}};
+  std::vector<std::shared_ptr<Bat>> rest_cols{
+      MakeOidColumn(n, relation->name() + "#psi2.oid")};
+
+  // Vertical split: BATs are shared (zero copy) — the fragments reference
+  // the same physical columns, which is exactly what a BAT-based store does.
+  for (size_t i = 0; i < relation->num_columns(); ++i) {
+    const ColumnDef& def = relation->schema().column(i);
+    if (wanted.count(def.name) > 0) {
+      proj_defs.push_back(def);
+      proj_cols.push_back(relation->column(i));
+    } else {
+      rest_defs.push_back(def);
+      rest_cols.push_back(relation->column(i));
+    }
+  }
+  if (stats != nullptr) {
+    stats->tuples_written += 2 * n;  // the surrogate columns
+    stats->pieces_created += 2;
+  }
+
+  ProjectionCrackResult out;
+  CRACK_ASSIGN_OR_RETURN(
+      out.projected,
+      Relation::FromColumns(relation->name() + "#psi1",
+                            Schema(std::move(proj_defs)),
+                            std::move(proj_cols)));
+  CRACK_ASSIGN_OR_RETURN(
+      out.remainder,
+      Relation::FromColumns(relation->name() + "#psi2",
+                            Schema(std::move(rest_defs)),
+                            std::move(rest_cols)));
+  return out;
+}
+
+Result<std::shared_ptr<Relation>> ReconstructProjection(
+    const ProjectionCrackResult& cracked, const Schema& original_schema,
+    const std::string& name, IoStats* stats) {
+  if (cracked.projected == nullptr || cracked.remainder == nullptr) {
+    return Status::InvalidArgument("incomplete projection crack result");
+  }
+  size_t n = cracked.projected->num_rows();
+  if (cracked.remainder->num_rows() != n) {
+    return Status::InvalidArgument("fragment cardinality mismatch");
+  }
+
+  // 1:1 join on the surrogate oids. The fragments may have been reordered
+  // independently, so build the oid -> row map of the remainder.
+  auto rem_oids = cracked.remainder->column("oid");
+  if (!rem_oids.ok()) return rem_oids.status();
+  std::unordered_map<Oid, size_t> rem_index;
+  rem_index.reserve(n * 2);
+  const Oid* ro = (*rem_oids)->TailData<Oid>();
+  for (size_t i = 0; i < n; ++i) {
+    if (!rem_index.emplace(ro[i], i).second) {
+      return Status::InvalidArgument("duplicate surrogate oid in remainder");
+    }
+  }
+
+  auto proj_oids = cracked.projected->column("oid");
+  if (!proj_oids.ok()) return proj_oids.status();
+  const Oid* po = (*proj_oids)->TailData<Oid>();
+
+  auto result = Relation::Create(name, original_schema);
+  if (!result.ok()) return result.status();
+  std::shared_ptr<Relation> rel = *result;
+
+  // Column sources in original order.
+  for (size_t c = 0; c < original_schema.num_columns(); ++c) {
+    const ColumnDef& def = original_schema.column(c);
+    bool from_projected =
+        cracked.projected->schema().FieldIndex(def.name) >= 0;
+    const std::shared_ptr<Relation>& frag =
+        from_projected ? cracked.projected : cracked.remainder;
+    auto src = frag->column(def.name);
+    if (!src.ok()) {
+      return Status::NotFound("column '" + def.name +
+                              "' missing from both fragments");
+    }
+    auto dst = rel->column(c);
+    for (size_t i = 0; i < n; ++i) {
+      size_t src_row;
+      if (from_projected) {
+        src_row = i;
+      } else {
+        auto it = rem_index.find(po[i]);
+        if (it == rem_index.end()) {
+          return Status::InvalidArgument("surrogate oid missing in remainder");
+        }
+        src_row = it->second;
+      }
+      Status st = dst->AppendValue((*src)->GetValue(src_row));
+      if (!st.ok()) return st;
+    }
+  }
+  if (stats != nullptr) {
+    stats->tuples_read += n * original_schema.num_columns();
+    stats->tuples_written += n * original_schema.num_columns();
+  }
+  return rel;
+}
+
+}  // namespace crackstore

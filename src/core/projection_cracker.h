@@ -1,0 +1,46 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Ψ-cracking (paper §3.1): a projection π_attr(R) suggests splitting R
+// vertically into
+//   P1 = π_attr(R)            (the projected attribute group)
+//   P2 = π_{attr(R) - attr}(R) (all remaining attributes)
+// where each fragment carries a duplicate-free surrogate oid, so the
+// original table is reconstructed by a natural 1:1 join on the surrogates.
+
+#ifndef CRACKSTORE_CORE_PROJECTION_CRACKER_H_
+#define CRACKSTORE_CORE_PROJECTION_CRACKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// The two vertical fragments produced by Ψ. Each is a Relation whose first
+/// column is the surrogate "oid" (type kOid).
+struct ProjectionCrackResult {
+  std::shared_ptr<Relation> projected;  ///< P1: oid + requested attributes
+  std::shared_ptr<Relation> remainder;  ///< P2: oid + the other attributes
+};
+
+/// Applies the Ψ cracker: splits `relation` on the attribute list `attrs`.
+/// Fails if `attrs` is empty, names an unknown column, or covers every
+/// column (an empty remainder would make the split pointless — callers
+/// should simply project instead).
+Result<ProjectionCrackResult> CrackProjection(
+    const std::shared_ptr<Relation>& relation,
+    const std::vector<std::string>& attrs, IoStats* stats = nullptr);
+
+/// Inverse of CrackProjection: 1:1-joins the fragments on their surrogate
+/// oids and restores the original column order of `original_schema`.
+Result<std::shared_ptr<Relation>> ReconstructProjection(
+    const ProjectionCrackResult& cracked, const Schema& original_schema,
+    const std::string& name, IoStats* stats = nullptr);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_PROJECTION_CRACKER_H_

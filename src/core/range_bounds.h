@@ -1,0 +1,62 @@
+// Copyright 2026 The CrackStore Authors
+//
+// RangeBounds: inclusive/exclusive range predicates over the int64-widened
+// value domain — the `attr ∈ [low, high]` / `attr θ cst` selection shapes of
+// paper §3.1. Shared by the cracking facade and both query engines.
+
+#ifndef CRACKSTORE_CORE_RANGE_BOUNDS_H_
+#define CRACKSTORE_CORE_RANGE_BOUNDS_H_
+
+#include <cstdint>
+
+namespace crackstore {
+
+/// Range predicate with explicit bound inclusivity. One-sided predicates use
+/// INT64_MIN/INT64_MAX sentinels.
+struct RangeBounds {
+  int64_t lo = INT64_MIN;
+  bool lo_incl = true;
+  int64_t hi = INT64_MAX;
+  bool hi_incl = true;
+
+  static RangeBounds All() { return RangeBounds{}; }
+  static RangeBounds Closed(int64_t lo, int64_t hi) {
+    return RangeBounds{lo, true, hi, true};
+  }
+  static RangeBounds HalfOpen(int64_t lo, int64_t hi) {
+    return RangeBounds{lo, true, hi, false};
+  }
+  static RangeBounds Open(int64_t lo, int64_t hi) {
+    return RangeBounds{lo, false, hi, false};
+  }
+  static RangeBounds LessThan(int64_t v) {
+    return RangeBounds{INT64_MIN, true, v, false};
+  }
+  static RangeBounds AtMost(int64_t v) {
+    return RangeBounds{INT64_MIN, true, v, true};
+  }
+  static RangeBounds GreaterThan(int64_t v) {
+    return RangeBounds{v, false, INT64_MAX, true};
+  }
+  static RangeBounds AtLeast(int64_t v) {
+    return RangeBounds{v, true, INT64_MAX, true};
+  }
+  static RangeBounds Equal(int64_t v) { return RangeBounds{v, true, v, true}; }
+
+  /// True iff `v` satisfies the predicate.
+  bool Contains(int64_t v) const {
+    if (lo_incl ? v < lo : v <= lo) return false;
+    if (hi_incl ? v > hi : v >= hi) return false;
+    return true;
+  }
+
+  /// True iff no value can satisfy the predicate.
+  bool IsEmpty() const {
+    if (lo > hi) return true;
+    return lo == hi && !(lo_incl && hi_incl);
+  }
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_RANGE_BOUNDS_H_

@@ -1,0 +1,207 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/updatable_cracker_index.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+template <typename T>
+UpdatableCrackerIndex<T>::UpdatableCrackerIndex(
+    const std::shared_ptr<Bat>& source, IoStats* stats,
+    UpdatableCrackerIndexOptions options)
+    : options_(options),
+      index_(std::make_unique<CrackerIndex<T>>(source, stats,
+                                               options.index_options)),
+      merged_size_(source->size()),
+      next_fresh_oid_(source->head_base() + source->size()) {}
+
+template <typename T>
+Status UpdatableCrackerIndex<T>::Insert(T value, Oid oid) {
+  if (oid < next_fresh_oid_) {
+    return Status::InvalidArgument(
+        StrFormat("oid %llu already in use (next fresh: %llu)",
+                  static_cast<unsigned long long>(oid),
+                  static_cast<unsigned long long>(next_fresh_oid_)));
+  }
+  pending_.emplace_back(value, oid);
+  next_fresh_oid_ = oid + 1;
+  return Status::OK();
+}
+
+template <typename T>
+Status UpdatableCrackerIndex<T>::Delete(Oid oid) {
+  if (oid >= next_fresh_oid_) {
+    return Status::NotFound(
+        StrFormat("oid %llu was never inserted",
+                  static_cast<unsigned long long>(oid)));
+  }
+  // A pending insert is cancelled directly.
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [oid](const auto& p) { return p.second == oid; });
+  if (it != pending_.end()) {
+    pending_.erase(it);
+    return Status::OK();
+  }
+  if (purged_.count(oid) > 0 || deleted_.count(oid) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("oid %llu already deleted",
+                  static_cast<unsigned long long>(oid)));
+  }
+  deleted_.insert(oid);
+  return Status::OK();
+}
+
+template <typename T>
+UpdatableSelection<T> UpdatableCrackerIndex<T>::Select(T lo, bool lo_incl,
+                                                       T hi, bool hi_incl,
+                                                       IoStats* stats) {
+  if (ShouldAutoMerge()) {
+    Status st = Merge(stats);
+    CRACK_DCHECK(st.ok());
+  }
+
+  UpdatableSelection<T> out;
+  out.base = index_->Select(lo, lo_incl, hi, hi_incl, stats);
+
+  if (!deleted_.empty()) {
+    const Oid* oids =
+        index_->oids()->template TailData<Oid>() + out.base.oids.offset();
+    for (size_t i = 0; i < out.base.oids.size(); ++i) {
+      out.deleted_in_base += deleted_.count(oids[i]);
+    }
+    if (stats != nullptr) stats->tuples_read += out.base.oids.size();
+  }
+  auto in_range = [&](T v) {
+    if (lo_incl ? v < lo : v <= lo) return false;
+    if (hi_incl ? v > hi : v >= hi) return false;
+    return true;
+  };
+  for (const auto& [value, oid] : pending_) {
+    if (in_range(value)) out.delta.emplace_back(value, oid);
+  }
+  if (stats != nullptr) stats->tuples_read += pending_.size();
+  return out;
+}
+
+template <typename T>
+void UpdatableCrackerIndex<T>::ForEach(
+    const UpdatableSelection<T>& selection,
+    const std::function<void(T, Oid)>& fn) const {
+  for (size_t i = 0; i < selection.base.count(); ++i) {
+    Oid oid = selection.base.oids.template Get<Oid>(i);
+    if (!deleted_.empty() && deleted_.count(oid) > 0) continue;
+    fn(selection.base.values.template Get<T>(i), oid);
+  }
+  for (const auto& [value, oid] : selection.delta) fn(value, oid);
+}
+
+template <typename T>
+Status UpdatableCrackerIndex<T>::Merge(IoStats* stats) {
+  if (pending_.empty() && deleted_.empty()) return Status::OK();
+
+  // Snapshot the learned boundaries before rebuilding.
+  std::vector<CrackBound<T>> bounds = index_->Bounds();
+
+  // New cracker column: the current (clustered!) survivors followed by the
+  // pending inserts.
+  size_t old_n = index_->size();
+  auto values = Bat::Create(TypeTraits<T>::kType, "merged#crack");
+  auto oids = Bat::Create(ValueType::kOid, "merged#crackmap");
+  values->Reserve(old_n + pending_.size());
+  oids->Reserve(old_n + pending_.size());
+  T* vd = values->template MutableTailData<T>();
+  Oid* od = oids->template MutableTailData<Oid>();
+  const T* src_v = index_->values()->template TailData<T>();
+  const Oid* src_o = index_->oids()->template TailData<Oid>();
+  size_t w = 0;
+  for (size_t i = 0; i < old_n; ++i) {
+    if (!deleted_.empty() && deleted_.count(src_o[i]) > 0) continue;
+    vd[w] = src_v[i];
+    od[w] = src_o[i];
+    ++w;
+  }
+  size_t survivors = w;
+  if (survivors + deleted_.size() != old_n) {
+    return Status::Internal("tombstone set references missing oids");
+  }
+  for (const auto& [value, oid] : pending_) {
+    vd[w] = value;
+    od[w] = oid;
+    ++w;
+  }
+  values->SetCountUnsafe(w);
+  oids->SetCountUnsafe(w);
+  if (stats != nullptr) {
+    stats->tuples_read += old_n + pending_.size();
+    stats->tuples_written += w;
+  }
+
+  auto rebuilt = std::make_unique<CrackerIndex<T>>(
+      std::move(values), std::move(oids), options_.index_options);
+
+  // Re-apply the learned boundaries. Replaying in binary-split order (the
+  // median bound first, then recursively each half) keeps every re-crack
+  // confined to half its parent's region: O(n log B) total instead of the
+  // O(B n) a value-ordered replay would cost.
+  std::function<void(size_t, size_t)> replay = [&](size_t lo, size_t hi) {
+    if (lo >= hi) return;
+    size_t mid = lo + (hi - lo) / 2;
+    const CrackBound<T>& b = bounds[mid];
+    if (b.has_excl) {
+      (void)rebuilt->SelectLessThan(b.value, /*inclusive=*/false, stats);
+    }
+    if (b.has_incl) {
+      (void)rebuilt->SelectLessThan(b.value, /*inclusive=*/true, stats);
+    }
+    replay(lo, mid);
+    replay(mid + 1, hi);
+  };
+  replay(0, bounds.size());
+
+  index_ = std::move(rebuilt);
+  merged_size_ = w;
+  for (Oid oid : deleted_) purged_.insert(oid);
+  deleted_.clear();
+  pending_.clear();
+  ++merges_performed_;
+  return Status::OK();
+}
+
+template <typename T>
+Status UpdatableCrackerIndex<T>::Validate() const {
+  CRACK_RETURN_NOT_OK(index_->Validate());
+  if (index_->size() != merged_size_) {
+    return Status::Internal("merged size drifted from index size");
+  }
+  // Tombstones must reference oids that exist in the cracker column.
+  if (!deleted_.empty()) {
+    std::unordered_set<Oid> live;
+    const Oid* oids = index_->oids()->template TailData<Oid>();
+    for (size_t i = 0; i < index_->size(); ++i) live.insert(oids[i]);
+    for (Oid oid : deleted_) {
+      if (live.count(oid) == 0) {
+        return Status::Internal("tombstone references unknown oid");
+      }
+    }
+  }
+  // Pending oids must be fresh and unique.
+  std::unordered_set<Oid> seen;
+  for (const auto& [value, oid] : pending_) {
+    if (oid >= next_fresh_oid_) {
+      return Status::Internal("pending oid beyond fresh watermark");
+    }
+    if (!seen.insert(oid).second) {
+      return Status::Internal("duplicate pending oid");
+    }
+  }
+  return Status::OK();
+}
+
+template class UpdatableCrackerIndex<int32_t>;
+template class UpdatableCrackerIndex<int64_t>;
+template class UpdatableCrackerIndex<double>;
+
+}  // namespace crackstore

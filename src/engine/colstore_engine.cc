@@ -1,0 +1,214 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "engine/colstore_engine.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace crackstore {
+
+ColumnEngine::ColumnEngine(ColumnEngineOptions options) : options_(options) {}
+
+Status ColumnEngine::AddTable(std::shared_ptr<Relation> relation) {
+  if (relation == nullptr) return Status::InvalidArgument("null relation");
+  if (tables_.count(relation->name()) > 0) {
+    return Status::AlreadyExists("table exists: " + relation->name());
+  }
+  tables_.emplace(relation->name(), std::move(relation));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Relation>> ColumnEngine::table(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table: " + name);
+  return it->second;
+}
+
+namespace {
+
+/// Typed vectorized selection: emits qualifying row indexes.
+template <typename T>
+void ScanMatches(const Bat& bat, const RangeBounds& range,
+                 std::vector<uint32_t>* matches, uint64_t* count) {
+  const T* data = bat.TailData<T>();
+  size_t n = bat.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (range.Contains(static_cast<int64_t>(data[i]))) {
+      ++*count;
+      if (matches != nullptr) matches->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+/// Column-at-a-time gather of `rows` from `src` into `dst`.
+Status GatherColumn(const Bat& src, const std::vector<uint32_t>& rows,
+                    Bat* dst) {
+  switch (src.tail_type()) {
+    case ValueType::kInt32: {
+      const int32_t* s = src.TailData<int32_t>();
+      for (uint32_t r : rows) dst->Append<int32_t>(s[r]);
+      return Status::OK();
+    }
+    case ValueType::kInt64: {
+      const int64_t* s = src.TailData<int64_t>();
+      for (uint32_t r : rows) dst->Append<int64_t>(s[r]);
+      return Status::OK();
+    }
+    case ValueType::kFloat64: {
+      const double* s = src.TailData<double>();
+      for (uint32_t r : rows) dst->Append<double>(s[r]);
+      return Status::OK();
+    }
+    case ValueType::kOid: {
+      const Oid* s = src.TailData<Oid>();
+      for (uint32_t r : rows) dst->Append<Oid>(s[r]);
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      for (uint32_t r : rows) dst->AppendString(src.GetString(r));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
+                                          const std::string& column,
+                                          const RangeBounds& range,
+                                          DeliveryMode mode,
+                                          const std::string& result_name) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+  auto col_result = rel->column(column);
+  if (!col_result.ok()) return col_result.status();
+  std::shared_ptr<Bat> bat = *col_result;
+  if (bat->tail_type() != ValueType::kInt32 &&
+      bat->tail_type() != ValueType::kInt64) {
+    return Status::Unimplemented("selection column must be integer");
+  }
+
+  RunResult run;
+  WallTimer timer;
+
+  std::vector<uint32_t> matches;
+  std::vector<uint32_t>* matches_ptr =
+      mode == DeliveryMode::kCount ? nullptr : &matches;
+  if (bat->tail_type() == ValueType::kInt32) {
+    ScanMatches<int32_t>(*bat, range, matches_ptr, &run.count);
+  } else {
+    ScanMatches<int64_t>(*bat, range, matches_ptr, &run.count);
+  }
+  run.io.tuples_read += bat->size();
+
+  switch (mode) {
+    case DeliveryMode::kCount:
+      break;
+    case DeliveryMode::kPrint: {
+      FrontendSink sink;
+      std::vector<Value> row(rel->num_columns());
+      for (uint32_t r : matches) {
+        for (size_t c = 0; c < rel->num_columns(); ++c) {
+          row[c] = rel->column(c)->GetValue(r);
+        }
+        CRACK_RETURN_NOT_OK(sink.Consume(row));
+      }
+      run.bytes_shipped = sink.bytes_shipped();
+      run.io.tuples_read += matches.size() * rel->num_columns();
+      break;
+    }
+    case DeliveryMode::kMaterialize: {
+      auto out = Relation::Create(result_name, rel->schema());
+      if (!out.ok()) return out.status();
+      for (size_t c = 0; c < rel->num_columns(); ++c) {
+        CRACK_RETURN_NOT_OK(
+            GatherColumn(*rel->column(c), matches, (*out)->column(c).get()));
+      }
+      run.io.tuples_read += matches.size() * rel->num_columns();
+      run.io.tuples_written += matches.size() * rel->num_columns();
+      last_result_ = *out;
+      break;
+    }
+  }
+
+  run.seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+Result<RunResult> ColumnEngine::RunChainJoin(
+    const std::vector<std::string>& tables, const std::string& out_col,
+    const std::string& in_col, DeliveryMode mode) {
+  if (tables.size() < 2) {
+    return Status::InvalidArgument("chain join needs at least two tables");
+  }
+  if (mode != DeliveryMode::kCount) {
+    return Status::Unimplemented("column chain join delivers counts");
+  }
+
+  RunResult run;
+  WallTimer timer;
+
+  // Frontier: out-column value -> number of join paths reaching it.
+  std::unordered_map<int64_t, uint64_t> frontier;
+  {
+    auto rel = this->table(tables[0]);
+    if (!rel.ok()) return rel.status();
+    auto out_bat = (*rel)->column(out_col);
+    if (!out_bat.ok()) return out_bat.status();
+    if ((*out_bat)->tail_type() != ValueType::kInt64) {
+      return Status::Unimplemented("chain join requires int64 columns");
+    }
+    const int64_t* d = (*out_bat)->TailData<int64_t>();
+    size_t n = (*out_bat)->size();
+    frontier.reserve(n * 2);
+    for (size_t i = 0; i < n; ++i) ++frontier[d[i]];
+    run.io.tuples_read += n;
+  }
+
+  for (size_t t = 1; t < tables.size(); ++t) {
+    auto rel = this->table(tables[t]);
+    if (!rel.ok()) return rel.status();
+    auto in_bat = (*rel)->column(in_col);
+    if (!in_bat.ok()) return in_bat.status();
+    auto out_bat = (*rel)->column(out_col);
+    if (!out_bat.ok()) return out_bat.status();
+    if ((*in_bat)->tail_type() != ValueType::kInt64 ||
+        (*out_bat)->tail_type() != ValueType::kInt64) {
+      return Status::Unimplemented("chain join requires int64 columns");
+    }
+    const int64_t* in_d = (*in_bat)->TailData<int64_t>();
+    const int64_t* out_d = (*out_bat)->TailData<int64_t>();
+    size_t n = (*in_bat)->size();
+
+    // One pass: every row whose in-value is reachable extends the paths to
+    // its out-value.
+    std::unordered_map<int64_t, uint64_t> next;
+    next.reserve(frontier.size() * 2);
+    for (size_t i = 0; i < n; ++i) {
+      auto it = frontier.find(in_d[i]);
+      if (it == frontier.end()) continue;
+      next[out_d[i]] += it->second;
+    }
+    run.io.tuples_read += 2 * n;
+    frontier = std::move(next);
+
+    if (options_.statement_deadline_seconds > 0.0 &&
+        timer.ElapsedSeconds() > options_.statement_deadline_seconds) {
+      run.truncated = true;
+      break;
+    }
+  }
+
+  run.count = 0;
+  for (const auto& [value, paths] : frontier) run.count += paths;
+  run.seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace crackstore

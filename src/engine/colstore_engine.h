@@ -1,0 +1,67 @@
+// Copyright 2026 The CrackStore Authors
+//
+// ColumnEngine: the binary-relational engine stand-in (MonetDB class in the
+// paper's experiments). Operator-at-a-time execution over whole BATs —
+// tight typed loops, no per-tuple virtual calls — which is why its lines in
+// Figs. 1 and 9 stay flat where the row engines climb. The cracking module
+// (core/) plugs in underneath exactly as the paper's MonetDB module does.
+
+#ifndef CRACKSTORE_ENGINE_COLSTORE_ENGINE_H_
+#define CRACKSTORE_ENGINE_COLSTORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/range_bounds.h"
+#include "engine/rowstore_engine.h"  // RunResult
+#include "engine/sinks.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// Engine-wide knobs.
+struct ColumnEngineOptions {
+  double statement_deadline_seconds = 0.0;  ///< 0 = no deadline
+};
+
+/// See file comment.
+class ColumnEngine {
+ public:
+  explicit ColumnEngine(ColumnEngineOptions options = {});
+  CRACK_DISALLOW_COPY_AND_ASSIGN(ColumnEngine);
+
+  /// Registers a column table.
+  Status AddTable(std::shared_ptr<Relation> relation);
+
+  Result<std::shared_ptr<Relation>> table(const std::string& name) const;
+
+  /// Vectorized SELECT ... WHERE column IN range, delivered per `mode`
+  /// (Fig. 1's MonetDB line). Materialization gathers column-at-a-time.
+  Result<RunResult> RunSelect(const std::string& table,
+                              const std::string& column,
+                              const RangeBounds& range, DeliveryMode mode,
+                              const std::string& result_name = "tmp_result");
+
+  /// k-way linear chain join (Fig. 9), BAT-at-a-time: per step one hash
+  /// build over the next table's `in_col` and one probe of the current
+  /// frontier; result cardinality is tracked exactly via multiplicities.
+  Result<RunResult> RunChainJoin(const std::vector<std::string>& tables,
+                                 const std::string& out_col,
+                                 const std::string& in_col,
+                                 DeliveryMode mode = DeliveryMode::kCount);
+
+  /// The materialized result of the last kMaterialize select.
+  const std::shared_ptr<Relation>& last_result() const { return last_result_; }
+
+ private:
+  ColumnEngineOptions options_;
+  std::map<std::string, std::shared_ptr<Relation>> tables_;
+  std::shared_ptr<Relation> last_result_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ENGINE_COLSTORE_ENGINE_H_

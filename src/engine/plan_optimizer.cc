@@ -1,0 +1,54 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "engine/plan_optimizer.h"
+
+namespace crackstore {
+
+const char* JoinAlgoName(JoinAlgo algo) {
+  switch (algo) {
+    case JoinAlgo::kHash:
+      return "hash";
+    case JoinAlgo::kNestedLoop:
+      return "nested-loop";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Counts bushy join trees over the contiguous chain [lo, hi], aborting once
+/// `*visited` exceeds the budget. Returns false on abort.
+bool EnumerateChainPlans(size_t lo, size_t hi, uint64_t budget,
+                         uint64_t* visited) {
+  if (*visited > budget) return false;
+  ++*visited;
+  if (lo >= hi) return true;  // single relation: a leaf "plan"
+  // Every split point yields a (left-tree, right-tree) combination; a real
+  // System-R style enumerator walks them all to cost them.
+  for (size_t split = lo; split < hi; ++split) {
+    if (!EnumerateChainPlans(lo, split, budget, visited)) return false;
+    if (!EnumerateChainPlans(split + 1, hi, budget, visited)) return false;
+    if (*visited > budget) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanDecision PlanChainJoin(size_t num_relations,
+                           const PlanOptimizerOptions& options) {
+  PlanDecision decision;
+  if (num_relations < 2) {
+    decision.plans_considered = 1;
+    return decision;
+  }
+  uint64_t visited = 0;
+  bool finished = EnumerateChainPlans(0, num_relations - 1,
+                                      options.plan_budget, &visited);
+  decision.plans_considered = visited;
+  decision.budget_exhausted = !finished;
+  decision.algo = finished ? JoinAlgo::kHash : JoinAlgo::kNestedLoop;
+  return decision;
+}
+
+}  // namespace crackstore

@@ -1,0 +1,51 @@
+// Copyright 2026 The CrackStore Authors
+//
+// A deliberately classical join-order optimizer with a bounded search space.
+// Paper §5.1 / Fig. 9: "the join-optimizer currently deployed (too) quickly
+// reaches its limitations and falls back to a default solution. The effect
+// is an expensive nested-loop join or even breaking the system by running
+// out of optimizer resource space." This module reproduces that behaviour
+// mechanically: it exhaustively enumerates bushy join trees for a chain
+// query (no cross products) and, once the enumeration exceeds its plan
+// budget, gives up and returns the nested-loop default.
+
+#ifndef CRACKSTORE_ENGINE_PLAN_OPTIMIZER_H_
+#define CRACKSTORE_ENGINE_PLAN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace crackstore {
+
+/// Physical join algorithm chosen for a chain.
+enum class JoinAlgo : uint8_t {
+  kHash = 0,        ///< hash join per step (the optimized plan)
+  kNestedLoop = 1,  ///< tuple-at-a-time nested loop (the fallback default)
+};
+
+const char* JoinAlgoName(JoinAlgo algo);
+
+/// Outcome of planning one k-way chain join.
+struct PlanDecision {
+  JoinAlgo algo = JoinAlgo::kHash;
+  uint64_t plans_considered = 0;  ///< enumeration work actually performed
+  bool budget_exhausted = false;  ///< true when the enumerator gave up
+};
+
+/// Options of the toy optimizer.
+struct PlanOptimizerOptions {
+  /// Maximum number of (sub)plans the enumerator may visit before falling
+  /// back to the nested-loop default. Catalan growth exhausts this around
+  /// 10-12 relations for the default value.
+  uint64_t plan_budget = 10000;
+};
+
+/// Plans an n-relation chain join (n-1 equi-joins along the chain). The
+/// enumeration really runs (its cost is the planning cost); the decision
+/// reports how much of the budget it burned.
+PlanDecision PlanChainJoin(size_t num_relations,
+                           const PlanOptimizerOptions& options);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ENGINE_PLAN_OPTIMIZER_H_

@@ -1,0 +1,130 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Result delivery sinks (paper §2.1, Fig. 1): the cost of a query depends
+// heavily on where its answer goes — (a) materialized into a new table,
+// (b) shipped to the front-end, or (c) merely counted. Each sink performs
+// the real work of its mode (journaled inserts, wire formatting, nothing)
+// so the benchmarked spread is genuine, not simulated.
+
+#ifndef CRACKSTORE_ENGINE_SINKS_H_
+#define CRACKSTORE_ENGINE_SINKS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rowstore/row_table.h"
+#include "storage/relation.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace crackstore {
+
+/// Delivery modes of Fig. 1.
+enum class DeliveryMode : uint8_t {
+  kMaterialize = 0,  ///< (a) INSERT INTO newR SELECT ...
+  kPrint = 1,        ///< (b) ship formatted tuples to the front-end
+  kCount = 2,        ///< (c) SELECT COUNT(*)
+};
+
+const char* DeliveryModeName(DeliveryMode mode);
+
+/// Consumer of result tuples.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Receives one result tuple.
+  virtual Status Consume(const std::vector<Value>& row) = 0;
+
+  /// Called once after the last tuple (commit point / flush).
+  virtual Status Finish() { return Status::OK(); }
+
+  /// Tuples consumed so far.
+  uint64_t count() const { return count_; }
+
+ protected:
+  uint64_t count_ = 0;
+};
+
+/// Mode (c): counts tuples, nothing else.
+class CountSink : public ResultSink {
+ public:
+  Status Consume(const std::vector<Value>& row) override {
+    (void)row;
+    ++count_;
+    return Status::OK();
+  }
+};
+
+/// Result-set wire encodings for FrontendSink.
+enum class WireFormat : uint8_t {
+  kBinary = 0,  ///< length-framed tagged binary rows (DB wire protocols)
+  kText = 1,    ///< tab-separated text (CLI front-ends)
+};
+
+/// Mode (b): encodes every tuple into a wire buffer and periodically
+/// "flushes" by recycling the buffer. The encoding cost is real; nothing
+/// reaches stdout.
+class FrontendSink : public ResultSink {
+ public:
+  explicit FrontendSink(WireFormat format = WireFormat::kBinary,
+                        size_t flush_bytes = 64 * 1024)
+      : format_(format), flush_bytes_(flush_bytes) {}
+
+  Status Consume(const std::vector<Value>& row) override;
+
+  /// Total bytes that crossed the simulated wire.
+  uint64_t bytes_shipped() const { return bytes_shipped_; }
+
+ private:
+  WireFormat format_;
+  size_t flush_bytes_;
+  std::string buffer_;
+  uint64_t bytes_shipped_ = 0;
+};
+
+/// Mode (a) for the row engine: inserts every tuple into a fresh RowTable
+/// (with its journal), then commits.
+class RowMaterializeSink : public ResultSink {
+ public:
+  explicit RowMaterializeSink(std::shared_ptr<RowTable> target)
+      : target_(std::move(target)) {}
+
+  Status Consume(const std::vector<Value>& row) override {
+    ++count_;
+    return target_->Insert(row);
+  }
+
+  Status Finish() override {
+    target_->Commit();
+    return Status::OK();
+  }
+
+  const std::shared_ptr<RowTable>& target() const { return target_; }
+
+ private:
+  std::shared_ptr<RowTable> target_;
+};
+
+/// Mode (a) for the column engine: appends every tuple to a Relation.
+class ColumnMaterializeSink : public ResultSink {
+ public:
+  explicit ColumnMaterializeSink(std::shared_ptr<Relation> target)
+      : target_(std::move(target)) {}
+
+  Status Consume(const std::vector<Value>& row) override {
+    ++count_;
+    return target_->AppendRow(row);
+  }
+
+  const std::shared_ptr<Relation>& target() const { return target_; }
+
+ private:
+  std::shared_ptr<Relation> target_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ENGINE_SINKS_H_

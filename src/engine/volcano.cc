@@ -1,0 +1,164 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "engine/volcano.h"
+
+#include "engine/sinks.h"
+
+namespace crackstore {
+
+Status SeqScanIterator::Open() {
+  page_ = 0;
+  slot_ = 0;
+  return Status::OK();
+}
+
+Status SeqScanIterator::Next(std::vector<Value>* row, bool* eof) {
+  HeapFile& file = table_->file();
+  // Skip exhausted (or empty) pages.
+  while (page_ < file.num_pages() && slot_ >= file.PageSlotCount(page_)) {
+    ++page_;
+    slot_ = 0;
+  }
+  if (page_ >= file.num_pages()) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (slot_ == 0) ++file.stats().page_reads;
+  std::string_view bytes =
+      file.Read(TupleId{page_, slot_}, /*count_io=*/false);
+  ++file.stats().tuples_read;
+  auto decoded = table_->codec().Decode(bytes);
+  if (!decoded.ok()) return decoded.status();
+  *row = std::move(*decoded);
+  *eof = false;
+  ++slot_;
+  return Status::OK();
+}
+
+Status FilterIterator::Next(std::vector<Value>* row, bool* eof) {
+  while (true) {
+    CRACK_RETURN_NOT_OK(child_->Next(row, eof));
+    if (*eof) return Status::OK();
+    const Value& v = (*row)[col_];
+    if (range_.Contains(v.ToInt64()) != negate_) return Status::OK();
+  }
+}
+
+Status ProjectIterator::Next(std::vector<Value>* row, bool* eof) {
+  std::vector<Value> child_row;
+  CRACK_RETURN_NOT_OK(child_->Next(&child_row, eof));
+  if (*eof) return Status::OK();
+  row->clear();
+  row->reserve(columns_.size());
+  for (size_t c : columns_) row->push_back(child_row[c]);
+  return Status::OK();
+}
+
+Status NestedLoopJoinIterator::Open() {
+  CRACK_RETURN_NOT_OK(left_->Open());
+  CRACK_RETURN_NOT_OK(right_->Open());
+  left_valid_ = false;
+  return Status::OK();
+}
+
+Status NestedLoopJoinIterator::Next(std::vector<Value>* row, bool* eof) {
+  std::vector<Value> right_row;
+  while (true) {
+    if (!left_valid_) {
+      bool left_eof = false;
+      CRACK_RETURN_NOT_OK(left_->Next(&left_row_, &left_eof));
+      if (left_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      left_valid_ = true;
+      CRACK_RETURN_NOT_OK(right_->Open());  // rescan inner per outer tuple
+    }
+    bool right_eof = false;
+    CRACK_RETURN_NOT_OK(right_->Next(&right_row, &right_eof));
+    if (right_eof) {
+      left_valid_ = false;
+      continue;
+    }
+    if (left_row_[left_col_].ToInt64() == right_row[right_col_].ToInt64()) {
+      row->clear();
+      row->reserve(left_row_.size() + right_row.size());
+      row->insert(row->end(), left_row_.begin(), left_row_.end());
+      row->insert(row->end(), right_row.begin(), right_row.end());
+      *eof = false;
+      return Status::OK();
+    }
+  }
+}
+
+void NestedLoopJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+Status HashJoinIterator::Open() {
+  CRACK_RETURN_NOT_OK(left_->Open());
+  CRACK_RETURN_NOT_OK(right_->Open());
+  build_.clear();
+  built_ = false;
+  matches_ = nullptr;
+  match_idx_ = 0;
+  return Status::OK();
+}
+
+Status HashJoinIterator::Next(std::vector<Value>* row, bool* eof) {
+  if (!built_) {
+    std::vector<Value> r;
+    bool r_eof = false;
+    while (true) {
+      CRACK_RETURN_NOT_OK(right_->Next(&r, &r_eof));
+      if (r_eof) break;
+      build_[r[right_col_].ToInt64()].push_back(r);
+    }
+    built_ = true;
+  }
+  while (true) {
+    if (matches_ != nullptr && match_idx_ < matches_->size()) {
+      const std::vector<Value>& right_row = (*matches_)[match_idx_++];
+      row->clear();
+      row->reserve(probe_row_.size() + right_row.size());
+      row->insert(row->end(), probe_row_.begin(), probe_row_.end());
+      row->insert(row->end(), right_row.begin(), right_row.end());
+      *eof = false;
+      return Status::OK();
+    }
+    bool l_eof = false;
+    CRACK_RETURN_NOT_OK(left_->Next(&probe_row_, &l_eof));
+    if (l_eof) {
+      *eof = true;
+      return Status::OK();
+    }
+    auto it = build_.find(probe_row_[left_col_].ToInt64());
+    matches_ = it == build_.end() ? nullptr : &it->second;
+    match_idx_ = 0;
+  }
+}
+
+void HashJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+}
+
+Result<uint64_t> Execute(RowIterator* root, ResultSink* sink) {
+  CRACK_RETURN_NOT_OK(root->Open());
+  std::vector<Value> row;
+  bool eof = false;
+  uint64_t count = 0;
+  while (true) {
+    CRACK_RETURN_NOT_OK(root->Next(&row, &eof));
+    if (eof) break;
+    CRACK_RETURN_NOT_OK(sink->Consume(row));
+    ++count;
+  }
+  CRACK_RETURN_NOT_OK(sink->Finish());
+  root->Close();
+  return count;
+}
+
+}  // namespace crackstore

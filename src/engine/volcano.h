@@ -1,0 +1,149 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Volcano-style iterators for the row-store engine: "Most systems use a
+// Volcano-like query evaluation scheme [Gra93]. Tuples are read from source
+// relations and passed up the tree through filter-, join-, and projection-
+// nodes." (paper §3.4.1). Tuple-at-a-time, virtual-call-per-tuple — exactly
+// the cost profile of the traditional engines in Figs. 1 and 9.
+
+#ifndef CRACKSTORE_ENGINE_VOLCANO_H_
+#define CRACKSTORE_ENGINE_VOLCANO_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/range_bounds.h"
+#include "rowstore/row_table.h"
+#include "storage/types.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// Pull-based tuple iterator.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  /// Prepares the subtree for iteration; may be called again to rescan.
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple into `*row`; sets `*eof` at end of stream.
+  virtual Status Next(std::vector<Value>* row, bool* eof) = 0;
+
+  virtual void Close() = 0;
+};
+
+/// Leaf: physical-order scan of a RowTable, decoding every tuple.
+class SeqScanIterator : public RowIterator {
+ public:
+  explicit SeqScanIterator(std::shared_ptr<RowTable> table)
+      : table_(std::move(table)) {}
+
+  Status Open() override;
+  Status Next(std::vector<Value>* row, bool* eof) override;
+  void Close() override {}
+
+ private:
+  std::shared_ptr<RowTable> table_;
+  PageId page_ = 0;
+  uint32_t slot_ = 0;
+};
+
+/// σ: passes tuples whose column `col` satisfies `range` (or fails it, when
+/// `negate` — the NOT-predicate scan of the SQL-level cracker, §5.1).
+class FilterIterator : public RowIterator {
+ public:
+  FilterIterator(std::unique_ptr<RowIterator> child, size_t col,
+                 RangeBounds range, bool negate = false)
+      : child_(std::move(child)), col_(col), range_(range), negate_(negate) {}
+
+  Status Open() override { return child_->Open(); }
+  Status Next(std::vector<Value>* row, bool* eof) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<RowIterator> child_;
+  size_t col_;
+  RangeBounds range_;
+  bool negate_;
+};
+
+/// π: keeps the listed column positions, in order.
+class ProjectIterator : public RowIterator {
+ public:
+  ProjectIterator(std::unique_ptr<RowIterator> child,
+                  std::vector<size_t> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+
+  Status Open() override { return child_->Open(); }
+  Status Next(std::vector<Value>* row, bool* eof) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<RowIterator> child_;
+  std::vector<size_t> columns_;
+};
+
+/// ⋈ (nested loop): for every left tuple, rescans the right subtree — the
+/// "expensive nested-loop join" a budget-exhausted optimizer falls back to
+/// (paper §5.1, Fig. 9). Equi-join on left column `left_col` == right column
+/// `right_col`; output is the concatenated tuple.
+class NestedLoopJoinIterator : public RowIterator {
+ public:
+  NestedLoopJoinIterator(std::unique_ptr<RowIterator> left,
+                         std::unique_ptr<RowIterator> right, size_t left_col,
+                         size_t right_col)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_col_(left_col),
+        right_col_(right_col) {}
+
+  Status Open() override;
+  Status Next(std::vector<Value>* row, bool* eof) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<RowIterator> left_;
+  std::unique_ptr<RowIterator> right_;
+  size_t left_col_;
+  size_t right_col_;
+  std::vector<Value> left_row_;
+  bool left_valid_ = false;
+};
+
+/// ⋈ (hash): builds on the right input, probes with the left. Duplicate
+/// build keys chain.
+class HashJoinIterator : public RowIterator {
+ public:
+  HashJoinIterator(std::unique_ptr<RowIterator> left,
+                   std::unique_ptr<RowIterator> right, size_t left_col,
+                   size_t right_col)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_col_(left_col),
+        right_col_(right_col) {}
+
+  Status Open() override;
+  Status Next(std::vector<Value>* row, bool* eof) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<RowIterator> left_;
+  std::unique_ptr<RowIterator> right_;
+  size_t left_col_;
+  size_t right_col_;
+  std::unordered_map<int64_t, std::vector<std::vector<Value>>> build_;
+  std::vector<Value> probe_row_;
+  const std::vector<std::vector<Value>>* matches_ = nullptr;
+  size_t match_idx_ = 0;
+  bool built_ = false;
+};
+
+/// Drains `root` into `sink`; returns the tuple count.
+Result<uint64_t> Execute(RowIterator* root, class ResultSink* sink);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ENGINE_VOLCANO_H_

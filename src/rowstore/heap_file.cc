@@ -1,0 +1,41 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "rowstore/heap_file.h"
+
+namespace crackstore {
+
+TupleId HeapFile::Append(std::string_view tuple) {
+  if (pages_.empty() || !pages_.back()->HasRoomFor(tuple.size())) {
+    pages_.push_back(std::make_unique<Page>(page_size_));
+    ++stats_.page_writes;  // page allocation == eventual flush
+  }
+  int slot = pages_.back()->Insert(tuple);
+  CRACK_CHECK(slot >= 0);  // a fresh page must fit any sane tuple
+  ++num_tuples_;
+  ++stats_.tuples_written;
+  return TupleId{static_cast<PageId>(pages_.size() - 1),
+                 static_cast<uint32_t>(slot)};
+}
+
+std::string_view HeapFile::Read(TupleId id, bool count_io) {
+  CRACK_DCHECK(id.page < pages_.size());
+  if (count_io) {
+    ++stats_.page_reads;
+    ++stats_.tuples_read;
+  }
+  return pages_[id.page]->Get(id.slot);
+}
+
+void HeapFile::Scan(
+    const std::function<void(TupleId, std::string_view)>& fn) {
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    ++stats_.page_reads;
+    const Page& page = *pages_[p];
+    for (size_t s = 0; s < page.num_slots(); ++s) {
+      ++stats_.tuples_read;
+      fn(TupleId{p, static_cast<uint32_t>(s)}, page.Get(s));
+    }
+  }
+}
+
+}  // namespace crackstore

@@ -1,0 +1,68 @@
+// Copyright 2026 The CrackStore Authors
+//
+// HeapFile: an unordered collection of slotted pages with I/O accounting.
+// This is the storage of the row-store substrate; page touches are counted
+// so experiments can report deterministic I/O alongside wall-clock time.
+
+#ifndef CRACKSTORE_ROWSTORE_HEAP_FILE_H_
+#define CRACKSTORE_ROWSTORE_HEAP_FILE_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "rowstore/page.h"
+#include "storage/io_stats.h"
+#include "util/macros.h"
+
+namespace crackstore {
+
+/// Physical address of a tuple.
+struct TupleId {
+  PageId page;
+  uint32_t slot;
+};
+
+/// Append-oriented paged heap.
+class HeapFile {
+ public:
+  explicit HeapFile(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+  CRACK_DISALLOW_COPY_AND_ASSIGN(HeapFile);
+
+  /// Appends a tuple, allocating a new page when the tail page is full.
+  /// Counts one page write (pages are flushed once per fill in steady state,
+  /// amortized accounting happens in stats().page_writes on page close).
+  TupleId Append(std::string_view tuple);
+
+  /// Reads a tuple by id; counts a page read when `count_io` is true.
+  std::string_view Read(TupleId id, bool count_io = true);
+
+  /// Full scan in physical order; `fn` is called with each tuple's bytes.
+  /// Counts one page read per page and one tuple read per tuple.
+  void Scan(const std::function<void(TupleId, std::string_view)>& fn);
+
+  size_t num_pages() const { return pages_.size(); }
+  size_t num_tuples() const { return num_tuples_; }
+
+  /// Tuples stored in page `p` (cursor support for pull-based scans).
+  size_t PageSlotCount(PageId p) const {
+    CRACK_DCHECK(p < pages_.size());
+    return pages_[p]->num_slots();
+  }
+
+  /// Running I/O counters (mutable access so callers can Reset()).
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  size_t page_size_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  size_t num_tuples_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ROWSTORE_HEAP_FILE_H_

@@ -1,0 +1,77 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Slotted page: the unit of simulated disk I/O in the row-store substrate.
+// Tuples are byte strings inserted from the front; the slot directory grows
+// from the back (classic N-ary slotted-page layout).
+
+#ifndef CRACKSTORE_ROWSTORE_PAGE_H_
+#define CRACKSTORE_ROWSTORE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace crackstore {
+
+using PageId = uint32_t;
+
+/// Default page size (8 KiB, PostgreSQL's default).
+inline constexpr size_t kDefaultPageSize = 8192;
+
+/// A fixed-size slotted page.
+class Page {
+ public:
+  explicit Page(size_t page_size = kDefaultPageSize)
+      : data_(page_size, 0), free_start_(0) {}
+
+  /// Number of tuples stored.
+  size_t num_slots() const { return slots_.size(); }
+
+  /// Bytes still available for one more tuple of length `len` (including its
+  /// slot entry).
+  bool HasRoomFor(size_t len) const {
+    return free_start_ + len + (slots_.size() + 1) * sizeof(Slot) <=
+           data_.size();
+  }
+
+  /// Inserts a tuple; returns its slot index or -1 when full.
+  int Insert(std::string_view tuple) {
+    if (!HasRoomFor(tuple.size())) return -1;
+    std::memcpy(data_.data() + free_start_, tuple.data(), tuple.size());
+    slots_.push_back(Slot{static_cast<uint32_t>(free_start_),
+                          static_cast<uint32_t>(tuple.size())});
+    free_start_ += tuple.size();
+    return static_cast<int>(slots_.size()) - 1;
+  }
+
+  /// Reads the tuple in `slot`.
+  std::string_view Get(size_t slot) const {
+    CRACK_DCHECK(slot < slots_.size());
+    const Slot& s = slots_[slot];
+    return std::string_view(reinterpret_cast<const char*>(data_.data()) + s.offset,
+                            s.length);
+  }
+
+  /// Page capacity in bytes.
+  size_t page_size() const { return data_.size(); }
+
+  /// Bytes of payload stored.
+  size_t used_bytes() const { return free_start_; }
+
+ private:
+  struct Slot {
+    uint32_t offset;
+    uint32_t length;
+  };
+
+  std::vector<uint8_t> data_;
+  std::vector<Slot> slots_;
+  size_t free_start_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ROWSTORE_PAGE_H_

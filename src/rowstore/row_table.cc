@@ -1,0 +1,59 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "rowstore/row_table.h"
+
+namespace crackstore {
+
+std::shared_ptr<RowTable> RowTable::Create(std::string name, Schema schema,
+                                           RowTableOptions options,
+                                           std::shared_ptr<Journal> journal) {
+  if (journal == nullptr) journal = std::make_shared<Journal>();
+  return std::shared_ptr<RowTable>(new RowTable(
+      std::move(name), std::move(schema), options, std::move(journal)));
+}
+
+Status RowTable::Insert(const std::vector<Value>& values) {
+  std::string encoded;
+  CRACK_RETURN_NOT_OK(codec_.Encode(values, &encoded));
+  file_.Append(encoded);
+  if (options_.journaled) {
+    journal_->Append(name_, encoded);
+  }
+  return Status::OK();
+}
+
+void RowTable::ScanRows(
+    const std::function<void(const std::vector<Value>&)>& fn) {
+  file_.Scan([&](TupleId, std::string_view bytes) {
+    auto decoded = codec_.Decode(bytes);
+    CRACK_DCHECK(decoded.ok());
+    fn(*decoded);
+  });
+}
+
+Status RowTable::ScanColumn(
+    size_t col, const std::function<void(TupleId, const Value&)>& fn) {
+  if (col >= schema().num_columns()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  Status st;
+  file_.Scan([&](TupleId id, std::string_view bytes) {
+    auto v = codec_.DecodeColumn(bytes, col);
+    CRACK_DCHECK(v.ok());
+    fn(id, *v);
+  });
+  return st;
+}
+
+Result<std::vector<Value>> RowTable::Read(TupleId id) {
+  std::string_view bytes = file_.Read(id);
+  return codec_.Decode(bytes);
+}
+
+IoStats RowTable::CollectStats() const {
+  IoStats out = file_.stats();
+  out += journal_->stats();
+  return out;
+}
+
+}  // namespace crackstore

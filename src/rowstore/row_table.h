@@ -1,0 +1,96 @@
+// Copyright 2026 The CrackStore Authors
+//
+// RowTable: an N-ary table in the row-store substrate — schema + heap file +
+// (shared) journal. This is the "traditional relational engine" class of the
+// paper's experiments (MySQL/PostgreSQL/SQLite stand-ins).
+
+#ifndef CRACKSTORE_ROWSTORE_ROW_TABLE_H_
+#define CRACKSTORE_ROWSTORE_ROW_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rowstore/heap_file.h"
+#include "rowstore/journal.h"
+#include "rowstore/tuple_codec.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// Behaviour knobs of the row-store substrate, modelling the spread between
+/// the engines in the paper's Fig. 1.
+struct RowTableOptions {
+  /// When true, every insert is journaled (full transactional engine, the
+  /// PostgreSQL/MySQL shape). When false, inserts skip the journal (SQLite
+  /// in-memory / MyISAM-light shape).
+  bool journaled = true;
+  size_t page_size = kDefaultPageSize;
+};
+
+/// A paged, journaled N-ary table.
+class RowTable {
+ public:
+  /// Creates an empty table. The journal may be shared across tables (one
+  /// per "database"); pass nullptr for a private journal.
+  static std::shared_ptr<RowTable> Create(std::string name, Schema schema,
+                                          RowTableOptions options = {},
+                                          std::shared_ptr<Journal> journal =
+                                              nullptr);
+
+  CRACK_DISALLOW_COPY_AND_ASSIGN(RowTable);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return codec_.schema(); }
+  size_t num_rows() const { return file_.num_tuples(); }
+  size_t num_pages() const { return file_.num_pages(); }
+
+  /// Inserts one tuple (encode, page write, journal record).
+  Status Insert(const std::vector<Value>& values);
+
+  /// Seals the current transaction batch.
+  void Commit() { journal_->Commit(); }
+
+  /// Physical-order scan decoding every tuple; `fn` receives the values.
+  void ScanRows(const std::function<void(const std::vector<Value>&)>& fn);
+
+  /// Physical-order scan decoding only column `col` (cheaper predicate scan).
+  Status ScanColumn(size_t col,
+                    const std::function<void(TupleId, const Value&)>& fn);
+
+  /// Raw scan of encoded tuples (no decode cost).
+  void ScanRaw(const std::function<void(TupleId, std::string_view)>& fn) {
+    file_.Scan(fn);
+  }
+
+  /// Random read of one tuple.
+  Result<std::vector<Value>> Read(TupleId id);
+
+  const TupleCodec& codec() const { return codec_; }
+  HeapFile& file() { return file_; }
+  const std::shared_ptr<Journal>& journal() const { return journal_; }
+
+  /// Combined I/O counters of file and (share of) journal.
+  IoStats CollectStats() const;
+
+ private:
+  RowTable(std::string name, Schema schema, RowTableOptions options,
+           std::shared_ptr<Journal> journal)
+      : name_(std::move(name)),
+        codec_(std::move(schema)),
+        options_(options),
+        file_(options.page_size),
+        journal_(std::move(journal)) {}
+
+  std::string name_;
+  TupleCodec codec_;
+  RowTableOptions options_;
+  HeapFile file_;
+  std::shared_ptr<Journal> journal_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ROWSTORE_ROW_TABLE_H_

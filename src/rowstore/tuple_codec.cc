@@ -1,0 +1,155 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "rowstore/tuple_codec.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+namespace {
+
+template <typename T>
+void PutRaw(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+Status TupleCodec::Encode(const std::vector<Value>& values,
+                          std::string* out) const {
+  out->clear();
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple arity %zu != schema arity %zu", values.size(),
+                  schema_.num_columns()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    switch (schema_.column(i).type) {
+      case ValueType::kInt32:
+        if (!v.is_int32()) return Status::TypeMismatch("expected int32");
+        PutRaw<int32_t>(out, v.AsInt32());
+        break;
+      case ValueType::kInt64:
+        if (v.is_int64()) {
+          PutRaw<int64_t>(out, v.AsInt64());
+        } else if (v.is_int32()) {
+          PutRaw<int64_t>(out, v.AsInt32());
+        } else {
+          return Status::TypeMismatch("expected int64");
+        }
+        break;
+      case ValueType::kFloat64:
+        if (!v.is_double()) return Status::TypeMismatch("expected float64");
+        PutRaw<double>(out, v.AsDouble());
+        break;
+      case ValueType::kOid:
+        if (!v.is_oid()) return Status::TypeMismatch("expected oid");
+        PutRaw<Oid>(out, v.AsOid());
+        break;
+      case ValueType::kString: {
+        if (!v.is_string()) return Status::TypeMismatch("expected string");
+        const std::string& s = v.AsString();
+        PutRaw<uint32_t>(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Value>> TupleCodec::Decode(std::string_view bytes) const {
+  std::vector<Value> out;
+  out.reserve(schema_.num_columns());
+  const char* p = bytes.data();
+  const char* end = bytes.data() + bytes.size();
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    switch (schema_.column(i).type) {
+      case ValueType::kInt32:
+        if (p + sizeof(int32_t) > end) return Status::OutOfRange("truncated");
+        out.push_back(Value(GetRaw<int32_t>(p)));
+        p += sizeof(int32_t);
+        break;
+      case ValueType::kInt64:
+        if (p + sizeof(int64_t) > end) return Status::OutOfRange("truncated");
+        out.push_back(Value(GetRaw<int64_t>(p)));
+        p += sizeof(int64_t);
+        break;
+      case ValueType::kFloat64:
+        if (p + sizeof(double) > end) return Status::OutOfRange("truncated");
+        out.push_back(Value(GetRaw<double>(p)));
+        p += sizeof(double);
+        break;
+      case ValueType::kOid:
+        if (p + sizeof(Oid) > end) return Status::OutOfRange("truncated");
+        out.push_back(Value::FromOid(GetRaw<Oid>(p)));
+        p += sizeof(Oid);
+        break;
+      case ValueType::kString: {
+        if (p + sizeof(uint32_t) > end) return Status::OutOfRange("truncated");
+        uint32_t len = GetRaw<uint32_t>(p);
+        p += sizeof(uint32_t);
+        if (p + len > end) return Status::OutOfRange("truncated string");
+        out.push_back(Value(std::string(p, len)));
+        p += len;
+        break;
+      }
+    }
+  }
+  if (p != end) return Status::OutOfRange("trailing bytes in tuple");
+  return out;
+}
+
+Result<Value> TupleCodec::DecodeColumn(std::string_view bytes,
+                                       size_t col) const {
+  if (col >= schema_.num_columns()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  const char* p = bytes.data();
+  const char* end = bytes.data() + bytes.size();
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    ValueType t = schema_.column(i).type;
+    size_t fixed = ValueTypeWidth(t);
+    if (t == ValueType::kString) {
+      if (p + sizeof(uint32_t) > end) return Status::OutOfRange("truncated");
+      uint32_t len = GetRaw<uint32_t>(p);
+      if (i == col) {
+        if (p + sizeof(uint32_t) + len > end) {
+          return Status::OutOfRange("truncated string");
+        }
+        return Value(std::string(p + sizeof(uint32_t), len));
+      }
+      p += sizeof(uint32_t) + len;
+      continue;
+    }
+    if (p + fixed > end) return Status::OutOfRange("truncated");
+    if (i == col) {
+      switch (t) {
+        case ValueType::kInt32:
+          return Value(GetRaw<int32_t>(p));
+        case ValueType::kInt64:
+          return Value(GetRaw<int64_t>(p));
+        case ValueType::kFloat64:
+          return Value(GetRaw<double>(p));
+        case ValueType::kOid:
+          return Value::FromOid(GetRaw<Oid>(p));
+        case ValueType::kString:
+          break;  // handled above
+      }
+    }
+    p += fixed;
+  }
+  return Status::Internal("unreachable: column not decoded");
+}
+
+}  // namespace crackstore

@@ -1,0 +1,41 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Serialization of N-ary tuples into page bytes and back. Fixed-width fields
+// are stored raw; strings get a 4-byte length prefix.
+
+#ifndef CRACKSTORE_ROWSTORE_TUPLE_CODEC_H_
+#define CRACKSTORE_ROWSTORE_TUPLE_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/types.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// Encodes/decodes tuples of a fixed schema.
+class TupleCodec {
+ public:
+  explicit TupleCodec(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Serializes `values` (must match the schema) into `*out` (cleared first).
+  Status Encode(const std::vector<Value>& values, std::string* out) const;
+
+  /// Parses a byte string previously produced by Encode.
+  Result<std::vector<Value>> Decode(std::string_view bytes) const;
+
+  /// Decodes only column `col` (projection pushdown into the codec).
+  Result<Value> DecodeColumn(std::string_view bytes, size_t col) const;
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_ROWSTORE_TUPLE_CODEC_H_

@@ -1,0 +1,69 @@
+// Copyright 2026 The CrackStore Authors
+//
+// The small-scale simulation of paper §2.2 (Figs. 2 and 3): "Consider a
+// database represented as a vector where the elements denote the granule of
+// interest, i.e. tuples or disk pages. From this vector we draw at random a
+// range with fixed σ and update the cracker index. During each step we only
+// touch the pieces that should be cracked to solve the query."
+//
+// Cost model (matching the paper's accounting):
+//   * cracking a piece rewrites it: piece size counts as reads AND writes;
+//   * answering reads the qualifying range (σN) and writes it to the result;
+//   * the scan baseline reads the whole vector per query (and writes the
+//     answer);
+//   * the upfront-sort alternative costs N·log2(N) writes once.
+//
+// A real CrackerIndex runs underneath — the touched-piece sizes come from
+// actual cracks over a shuffled granule vector, not from a formula.
+
+#ifndef CRACKSTORE_SIM_CRACK_SIM_H_
+#define CRACKSTORE_SIM_CRACK_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crackstore {
+
+/// Simulation parameters.
+struct CrackSimOptions {
+  uint64_t num_granules = 100000;  ///< N (vector length)
+  double selectivity = 0.05;       ///< σ per query (fixed)
+  size_t steps = 20;               ///< sequence length
+  uint64_t seed = 20040901;
+  uint64_t repetitions = 1;        ///< runs averaged (smooths the curves)
+};
+
+/// Per-step accounting of one simulated query.
+struct CrackSimStep {
+  size_t step = 0;                ///< 1-based
+  uint64_t answer = 0;            ///< qualifying granules (≈ σN)
+  uint64_t crack_touched = 0;     ///< granules in pieces cracked this step
+  uint64_t crack_moved = 0;       ///< granules relocated by the kernels
+  uint64_t crack_reads = 0;       ///< crack_touched + answer
+  uint64_t crack_writes = 0;      ///< crack_moved + answer
+  uint64_t scan_reads = 0;        ///< baseline: N
+  uint64_t scan_writes = 0;       ///< baseline: answer
+  size_t pieces = 0;              ///< pieces after this step
+
+  /// Fig. 2's y-axis: write overhead beyond the answer (the relocations the
+  /// crack performed), as a fraction of N.
+  double fractional_write_overhead = 0.0;
+  /// Fig. 3's y-axis: cumulative crack cost / cumulative scan-read cost.
+  double cumulative_overhead = 0.0;
+};
+
+/// Whole-run summary.
+struct CrackSimResult {
+  std::vector<CrackSimStep> steps;
+  uint64_t sort_upfront_writes = 0;   ///< N·ceil(log2 N), the alternative
+  double sort_breakeven_queries = 0;  ///< ≈ log2(N): queries to recover it
+};
+
+/// Runs the §2.2 simulation. Deterministic in options.seed.
+Result<CrackSimResult> RunCrackSimulation(const CrackSimOptions& options);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_SIM_CRACK_SIM_H_

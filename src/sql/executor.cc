@@ -1,0 +1,336 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "sql/executor.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace crackstore {
+namespace sql {
+
+namespace {
+
+Result<AggKind> ToAggKind(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return AggKind::kCount;
+    case AggFunc::kSum:
+      return AggKind::kSum;
+    case AggFunc::kMin:
+      return AggKind::kMin;
+    case AggFunc::kMax:
+      return AggKind::kMax;
+    case AggFunc::kNone:
+      break;
+  }
+  return Status::InvalidArgument("not an aggregate");
+}
+
+/// Materializes the rows named by `oids` (source positions) from `rel`,
+/// keeping only `columns` (empty = all, in schema order).
+Result<std::shared_ptr<Relation>> MaterializeRows(
+    const std::shared_ptr<Relation>& rel, const std::vector<Oid>& oids,
+    const std::vector<std::string>& columns, IoStats* io) {
+  std::vector<ColumnDef> defs;
+  std::vector<size_t> sources;
+  if (columns.empty()) {
+    defs = rel->schema().columns();
+    for (size_t i = 0; i < defs.size(); ++i) sources.push_back(i);
+  } else {
+    for (const std::string& name : columns) {
+      int idx = rel->schema().FieldIndex(name);
+      if (idx < 0) {
+        return Status::NotFound("no column '" + name + "' in " + rel->name());
+      }
+      defs.push_back(rel->schema().column(static_cast<size_t>(idx)));
+      sources.push_back(static_cast<size_t>(idx));
+    }
+  }
+  CRACK_ASSIGN_OR_RETURN(std::shared_ptr<Relation> out,
+                         Relation::Create(rel->name() + "_result",
+                                          Schema(std::move(defs))));
+  for (size_t c = 0; c < sources.size(); ++c) {
+    const std::shared_ptr<Bat>& src = rel->column(sources[c]);
+    const std::shared_ptr<Bat>& dst = out->column(c);
+    Oid base = src->head_base();
+    for (Oid oid : oids) {
+      Status st = dst->AppendValue(src->GetValue(static_cast<size_t>(
+          oid - base)));
+      if (!st.ok()) return st;
+    }
+  }
+  io->tuples_read += oids.size() * sources.size();
+  io->tuples_written += oids.size() * sources.size();
+  return out;
+}
+
+/// Collects the qualifying oids of a WHERE clause (cracking each column).
+Result<std::vector<Oid>> WhereOids(AdaptiveStore* store,
+                                   const std::string& table,
+                                   const std::vector<Predicate>& where,
+                                   IoStats* io) {
+  std::vector<AdaptiveStore::ColumnRange> conjuncts;
+  conjuncts.reserve(where.size());
+  for (const Predicate& p : where) {
+    conjuncts.push_back({p.column, p.range});
+  }
+  if (conjuncts.size() == 1) {
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult qr,
+        store->SelectRange(table, conjuncts[0].column, conjuncts[0].range,
+                           Delivery::kView));
+    *io += qr.io;
+    if (qr.has_selection) {
+      std::vector<Oid> oids;
+      oids.reserve(qr.selection.count());
+      for (size_t i = 0; i < qr.selection.count(); ++i) {
+        oids.push_back(qr.selection.oids.Get<Oid>(i));
+      }
+      std::sort(oids.begin(), oids.end());
+      return oids;
+    }
+    return qr.scan_oids;
+  }
+  CRACK_ASSIGN_OR_RETURN(
+      QueryResult qr,
+      store->SelectConjunction(table, conjuncts, Delivery::kView));
+  *io += qr.io;
+  return qr.scan_oids;
+}
+
+}  // namespace
+
+Result<QueryOutput> Execute(AdaptiveStore* store,
+                            const SelectStatement& stmt) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  QueryOutput out;
+  WallTimer timer;
+
+  // --- GROUP BY: the Ω cracker path. ---------------------------------
+  if (stmt.group_by.has_value()) {
+    if (!stmt.where.empty() || stmt.join.has_value()) {
+      return Status::Unimplemented(
+          "GROUP BY with WHERE/JOIN is not supported by this subset");
+    }
+    AggKind kind = AggKind::kCount;
+    std::string agg_column = *stmt.group_by;
+    if (stmt.count_star) {
+      // COUNT(*) per group.
+    } else {
+      if (stmt.items.size() != 1 || stmt.items[0].agg == AggFunc::kNone) {
+        return Status::Unimplemented(
+            "GROUP BY needs exactly one aggregate select item (or "
+            "COUNT(*))");
+      }
+      CRACK_ASSIGN_OR_RETURN(kind, ToAggKind(stmt.items[0].agg));
+      agg_column = stmt.items[0].column;
+    }
+    CRACK_ASSIGN_OR_RETURN(
+        out.groups, store->GroupBy(stmt.table, *stmt.group_by, agg_column,
+                                   kind));
+    out.kind = OutputKind::kGroups;
+    out.count = out.groups.size();
+    out.group_column = *stmt.group_by;
+    out.agg_description =
+        stmt.count_star
+            ? "count(*)"
+            : StrFormat("%s(%s)", AggFuncName(stmt.items[0].agg),
+                        agg_column.c_str());
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // --- JOIN: the ^ cracker path. --------------------------------------
+  if (stmt.join.has_value()) {
+    if (!stmt.count_star) {
+      return Status::Unimplemented("JOIN supports COUNT(*) delivery only");
+    }
+    if (!stmt.where.empty()) {
+      return Status::Unimplemented("JOIN with WHERE is not supported");
+    }
+    const JoinClause& join = *stmt.join;
+    // Resolve which qualifier names which operand.
+    std::string lt = join.left_table, lc = join.left_column;
+    std::string rt = join.right_table, rc = join.right_column;
+    if (lt == join.table && rt == stmt.table) {
+      std::swap(lt, rt);
+      std::swap(lc, rc);
+    }
+    if (lt != stmt.table || rt != join.table) {
+      return Status::InvalidArgument(
+          "join condition must reference both joined tables");
+    }
+    CRACK_ASSIGN_OR_RETURN(QueryResult qr,
+                           store->JoinEquals(lt, lc, rt, rc));
+    out.kind = OutputKind::kCount;
+    out.count = qr.count;
+    out.io += qr.io;
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // --- Plain selection: the Ξ cracker path. ----------------------------
+  CRACK_ASSIGN_OR_RETURN(std::shared_ptr<Relation> rel,
+                         store->table(stmt.table));
+
+  // COUNT(*).
+  if (stmt.count_star) {
+    if (stmt.where.empty()) {
+      out.count = rel->num_rows();
+    } else if (stmt.where.size() == 1) {
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          store->SelectRange(stmt.table, stmt.where[0].column,
+                             stmt.where[0].range));
+      out.count = qr.count;
+      out.io += qr.io;
+    } else {
+      std::vector<AdaptiveStore::ColumnRange> conjuncts;
+      for (const Predicate& p : stmt.where) {
+        conjuncts.push_back({p.column, p.range});
+      }
+      CRACK_ASSIGN_OR_RETURN(QueryResult qr,
+                             store->SelectConjunction(stmt.table, conjuncts));
+      out.count = qr.count;
+      out.io += qr.io;
+    }
+    out.kind = OutputKind::kCount;
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // Single aggregate without GROUP BY: SELECT SUM(c) FROM t [WHERE ...].
+  if (stmt.items.size() == 1 && stmt.items[0].agg != AggFunc::kNone) {
+    CRACK_ASSIGN_OR_RETURN(std::shared_ptr<Bat> agg_col,
+                           rel->column(stmt.items[0].column));
+    if (agg_col->tail_type() != ValueType::kInt64 &&
+        agg_col->tail_type() != ValueType::kInt32) {
+      return Status::Unimplemented("aggregates need integer columns");
+    }
+    std::vector<Oid> oids;
+    if (stmt.where.empty()) {
+      oids.resize(rel->num_rows());
+      Oid base = agg_col->head_base();
+      for (size_t i = 0; i < oids.size(); ++i) oids[i] = base + i;
+    } else {
+      CRACK_ASSIGN_OR_RETURN(oids,
+                             WhereOids(store, stmt.table, stmt.where, &out.io));
+    }
+    bool is32 = agg_col->tail_type() == ValueType::kInt32;
+    Oid base = agg_col->head_base();
+    int64_t acc = 0;
+    bool first = true;
+    for (Oid oid : oids) {
+      size_t row = static_cast<size_t>(oid - base);
+      int64_t v = is32 ? agg_col->Get<int32_t>(row)
+                       : agg_col->Get<int64_t>(row);
+      switch (stmt.items[0].agg) {
+        case AggFunc::kCount:
+          ++acc;
+          break;
+        case AggFunc::kSum:
+          acc += v;
+          break;
+        case AggFunc::kMin:
+          acc = first ? v : std::min(acc, v);
+          break;
+        case AggFunc::kMax:
+          acc = first ? v : std::max(acc, v);
+          break;
+        case AggFunc::kNone:
+          break;
+      }
+      first = false;
+    }
+    out.io.tuples_read += oids.size();
+    out.kind = OutputKind::kGroups;  // a single (global, value) row
+    out.groups.push_back(GroupAggregate{0, acc});
+    out.count = 1;
+    out.group_column = "<all>";
+    out.agg_description = StrFormat("%s(%s)", AggFuncName(stmt.items[0].agg),
+                                    stmt.items[0].column.c_str());
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // SELECT * / SELECT cols: materialize qualifying rows.
+  std::vector<std::string> projection;
+  if (!stmt.select_star) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.agg != AggFunc::kNone) {
+        return Status::Unimplemented(
+            "mixing aggregates and plain columns needs GROUP BY");
+      }
+      projection.push_back(item.column);
+    }
+  }
+  std::vector<Oid> oids;
+  if (stmt.where.empty()) {
+    oids.resize(rel->num_rows());
+    for (size_t i = 0; i < oids.size(); ++i) {
+      oids[i] = rel->num_columns() > 0
+                    ? rel->column(size_t{0})->head_base() + i
+                    : i;
+    }
+  } else {
+    CRACK_ASSIGN_OR_RETURN(oids,
+                           WhereOids(store, stmt.table, stmt.where, &out.io));
+  }
+  CRACK_ASSIGN_OR_RETURN(out.rows,
+                         MaterializeRows(rel, oids, projection, &out.io));
+  out.kind = OutputKind::kRows;
+  out.count = out.rows->num_rows();
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
+                               const std::string& statement) {
+  CRACK_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(statement));
+  return Execute(store, stmt);
+}
+
+std::string FormatOutput(const QueryOutput& output, size_t max_rows) {
+  std::string out;
+  switch (output.kind) {
+    case OutputKind::kCount:
+      out = StrFormat("count: %llu\n",
+                      static_cast<unsigned long long>(output.count));
+      break;
+    case OutputKind::kGroups: {
+      out = StrFormat("%s | %s\n", output.group_column.c_str(),
+                      output.agg_description.c_str());
+      size_t shown = 0;
+      for (const GroupAggregate& g : output.groups) {
+        if (++shown > max_rows) {
+          out += StrFormat("... (%zu groups)\n", output.groups.size());
+          break;
+        }
+        out += StrFormat("%lld | %lld\n", static_cast<long long>(g.group),
+                         static_cast<long long>(g.value));
+      }
+      break;
+    }
+    case OutputKind::kRows: {
+      const Relation& rel = *output.rows;
+      out = rel.schema().ToString() + "\n";
+      size_t limit = std::min(max_rows, rel.num_rows());
+      for (size_t i = 0; i < limit; ++i) {
+        std::vector<std::string> cells;
+        for (const Value& v : rel.GetRow(i)) cells.push_back(v.ToString());
+        out += StrJoin(cells, " | ") + "\n";
+      }
+      if (rel.num_rows() > limit) {
+        out += StrFormat("... (%zu rows)\n", rel.num_rows());
+      }
+      break;
+    }
+  }
+  out += StrFormat("(%.3f ms)\n", output.seconds * 1e3);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace crackstore

@@ -1,0 +1,54 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Executor: maps a parsed SELECT onto the AdaptiveStore — the step where
+// "every query is first analyzed for its contribution to break the database
+// into pieces" (paper abstract). WHERE conjuncts become Ξ cracks (one per
+// referenced column), JOIN becomes a ^ crack, GROUP BY an Ω crack.
+
+#ifndef CRACKSTORE_SQL_EXECUTOR_H_
+#define CRACKSTORE_SQL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_store.h"
+#include "sql/parser.h"
+#include "util/result.h"
+
+namespace crackstore {
+namespace sql {
+
+/// Shape of a statement's result.
+enum class OutputKind : uint8_t {
+  kCount = 0,   ///< single counter (COUNT(*))
+  kRows = 1,    ///< materialized rows (SELECT * / SELECT cols)
+  kGroups = 2,  ///< (group, aggregate) pairs (GROUP BY)
+};
+
+/// The result of executing one statement.
+struct QueryOutput {
+  OutputKind kind = OutputKind::kCount;
+  uint64_t count = 0;                     ///< always set
+  std::shared_ptr<Relation> rows;         ///< kRows
+  std::vector<GroupAggregate> groups;     ///< kGroups
+  std::string group_column;               ///< kGroups: the grouping column
+  std::string agg_description;            ///< kGroups: e.g. "sum(c1)"
+  double seconds = 0.0;
+  IoStats io;
+};
+
+/// Parses and executes `statement` against `store`.
+Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
+                               const std::string& statement);
+
+/// Executes an already-parsed statement.
+Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt);
+
+/// Renders `output` as human-readable text (shell support).
+std::string FormatOutput(const QueryOutput& output, size_t max_rows = 20);
+
+}  // namespace sql
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_SQL_EXECUTOR_H_

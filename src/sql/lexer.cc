@@ -1,0 +1,102 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace crackstore {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords{
+      "SELECT", "FROM",  "WHERE",   "AND",   "JOIN", "ON",
+      "GROUP",  "BY",    "COUNT",   "SUM",   "MIN",  "MAX",
+      "BETWEEN", "AS",   "INTO",    "ORDER", "LIMIT"};
+  return kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      token.type = TokenType::kNumber;
+      token.text = input.substr(start, i - start);
+      token.number = std::strtoll(token.text.c_str(), nullptr, 10);
+    } else if (c == '<' || c == '>') {
+      token.type = TokenType::kOperator;
+      token.text = std::string(1, c);
+      ++i;
+      if (i < n && input[i] == '=') {
+        token.text += '=';
+        ++i;
+      } else if (c == '<' && i < n && input[i] == '>') {
+        token.text = "<>";
+        ++i;
+      }
+    } else if (c == '=') {
+      token.type = TokenType::kOperator;
+      token.text = "=";
+      ++i;
+    } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' ||
+               c == ';') {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at position %zu", c, i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace crackstore

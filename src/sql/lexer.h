@@ -1,0 +1,52 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tokenizer for the SQL subset of the cracking frontend. The paper places
+// the cracker "between the semantic analyzer and the query optimizer"; this
+// module is the front of that pipeline.
+
+#ifndef CRACKSTORE_SQL_LEXER_H_
+#define CRACKSTORE_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crackstore {
+namespace sql {
+
+/// Token categories.
+enum class TokenType : uint8_t {
+  kIdentifier,  ///< table/column names (case-preserved)
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (upper-cased in `text`)
+  kNumber,      ///< integer literal (value in `number`)
+  kSymbol,      ///< ( ) , . * =
+  kOperator,    ///< < <= > >= = <>
+  kEnd,         ///< end of input
+};
+
+/// One token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t number = 0;
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return (type == TokenType::kSymbol || type == TokenType::kOperator) &&
+           text == s;
+  }
+};
+
+/// Splits `input` into tokens (a kEnd token is appended). Fails on
+/// unexpected characters or malformed numbers.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_SQL_LEXER_H_

@@ -1,0 +1,207 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "sql/parser.h"
+
+#include "util/string_util.h"
+
+namespace crackstore {
+namespace sql {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kNone:
+      return "none";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent cursor over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseStatement() {
+    SelectStatement stmt;
+    CRACK_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    CRACK_RETURN_NOT_OK(ParseSelectList(&stmt));
+    CRACK_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    CRACK_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (Peek().IsKeyword("JOIN")) {
+      CRACK_RETURN_NOT_OK(ParseJoin(&stmt));
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      CRACK_RETURN_NOT_OK(ParseWhere(&stmt));
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      CRACK_RETURN_NOT_OK(ExpectKeyword("BY"));
+      CRACK_ASSIGN_OR_RETURN(std::string col,
+                             ExpectIdentifier("grouping column"));
+      stmt.group_by = col;
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("%s (near position %zu, got '%s')", message.c_str(),
+                  Peek().position, Peek().text.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return Error(StrFormat("expected %s", kw));
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* s) {
+    if (!Peek().IsSymbol(s)) return Error(StrFormat("expected '%s'", s));
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(StrFormat("expected %s", what));
+    }
+    return Advance().text;
+  }
+
+  Result<int64_t> ExpectNumber() {
+    if (Peek().type != TokenType::kNumber) return Error("expected a number");
+    return Advance().number;
+  }
+
+  static AggFunc KeywordToAgg(const Token& t) {
+    if (t.IsKeyword("COUNT")) return AggFunc::kCount;
+    if (t.IsKeyword("SUM")) return AggFunc::kSum;
+    if (t.IsKeyword("MIN")) return AggFunc::kMin;
+    if (t.IsKeyword("MAX")) return AggFunc::kMax;
+    return AggFunc::kNone;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    while (true) {
+      AggFunc agg = KeywordToAgg(Peek());
+      if (agg != AggFunc::kNone) {
+        Advance();
+        CRACK_RETURN_NOT_OK(ExpectSymbol("("));
+        if (agg == AggFunc::kCount && Peek().IsSymbol("*")) {
+          Advance();
+          stmt->count_star = true;
+        } else {
+          SelectItem item;
+          item.agg = agg;
+          CRACK_ASSIGN_OR_RETURN(item.column,
+                                 ExpectIdentifier("aggregate column"));
+          stmt->items.push_back(std::move(item));
+        }
+        CRACK_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        SelectItem item;
+        CRACK_ASSIGN_OR_RETURN(item.column, ExpectIdentifier("column name"));
+        stmt->items.push_back(std::move(item));
+      }
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseJoin(SelectStatement* stmt) {
+    Advance();  // JOIN
+    JoinClause join;
+    CRACK_ASSIGN_OR_RETURN(join.table, ExpectIdentifier("join table"));
+    CRACK_RETURN_NOT_OK(ExpectKeyword("ON"));
+    CRACK_ASSIGN_OR_RETURN(join.left_table,
+                           ExpectIdentifier("qualified column"));
+    CRACK_RETURN_NOT_OK(ExpectSymbol("."));
+    CRACK_ASSIGN_OR_RETURN(join.left_column, ExpectIdentifier("column"));
+    if (!Peek().IsSymbol("=")) return Error("expected '=' in join condition");
+    Advance();
+    CRACK_ASSIGN_OR_RETURN(join.right_table,
+                           ExpectIdentifier("qualified column"));
+    CRACK_RETURN_NOT_OK(ExpectSymbol("."));
+    CRACK_ASSIGN_OR_RETURN(join.right_column, ExpectIdentifier("column"));
+    stmt->join = std::move(join);
+    return Status::OK();
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    Advance();  // WHERE
+    while (true) {
+      Predicate pred;
+      CRACK_ASSIGN_OR_RETURN(pred.column,
+                             ExpectIdentifier("predicate column"));
+      if (Peek().IsKeyword("BETWEEN")) {
+        Advance();
+        CRACK_ASSIGN_OR_RETURN(int64_t lo, ExpectNumber());
+        CRACK_RETURN_NOT_OK(ExpectKeyword("AND"));
+        CRACK_ASSIGN_OR_RETURN(int64_t hi, ExpectNumber());
+        pred.range = RangeBounds::Closed(lo, hi);
+      } else if (Peek().type == TokenType::kOperator) {
+        std::string op = Advance().text;
+        CRACK_ASSIGN_OR_RETURN(int64_t v, ExpectNumber());
+        if (op == "<") {
+          pred.range = RangeBounds::LessThan(v);
+        } else if (op == "<=") {
+          pred.range = RangeBounds::AtMost(v);
+        } else if (op == ">") {
+          pred.range = RangeBounds::GreaterThan(v);
+        } else if (op == ">=") {
+          pred.range = RangeBounds::AtLeast(v);
+        } else if (op == "=") {
+          pred.range = RangeBounds::Equal(v);
+        } else {
+          return Error("operator '" + op + "' is not supported (use ranges)");
+        }
+      } else {
+        return Error("expected a comparison operator or BETWEEN");
+      }
+      stmt->where.push_back(std::move(pred));
+      if (!Peek().IsKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(const std::string& statement) {
+  CRACK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace crackstore

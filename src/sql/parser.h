@@ -1,0 +1,77 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Parser for the SQL subset. Grammar (keywords case-insensitive):
+//
+//   statement   := SELECT select_list FROM table [join] [where] [group] [;]
+//   select_list := '*' | COUNT '(' '*' ')' | item (',' item)*
+//   item        := column | agg '(' column ')'
+//   agg         := COUNT | SUM | MIN | MAX
+//   join        := JOIN table ON qualified '=' qualified
+//   qualified   := table '.' column
+//   where       := WHERE predicate (AND predicate)*
+//   predicate   := column op number | column BETWEEN number AND number
+//   op          := '<' | '<=' | '>' | '>=' | '=' | '<>'
+//   group       := GROUP BY column
+//
+// The WHERE clause is exactly the paper's selection-cracker shape: simple
+// (range) conditions `attr θ cst` / `attr ∈ [low, high]` in conjunctive
+// form (§3.1, eq. 1).
+
+#ifndef CRACKSTORE_SQL_PARSER_H_
+#define CRACKSTORE_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/range_bounds.h"
+#include "sql/lexer.h"
+#include "util/result.h"
+
+namespace crackstore {
+namespace sql {
+
+/// Aggregate functions of the subset.
+enum class AggFunc : uint8_t { kNone = 0, kCount, kSum, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+/// One SELECT-list item: a plain column or agg(column).
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  std::string column;  ///< empty for COUNT(*)
+};
+
+/// JOIN clause (single equi-join).
+struct JoinClause {
+  std::string table;
+  std::string left_table;   ///< qualifier of the left join column
+  std::string left_column;
+  std::string right_table;  ///< qualifier of the right join column
+  std::string right_column;
+};
+
+/// One conjunct of the WHERE clause, already normalized to RangeBounds.
+struct Predicate {
+  std::string column;
+  RangeBounds range;
+};
+
+/// A parsed SELECT statement.
+struct SelectStatement {
+  bool select_star = false;
+  bool count_star = false;
+  std::vector<SelectItem> items;
+  std::string table;
+  std::optional<JoinClause> join;
+  std::vector<Predicate> where;
+  std::optional<std::string> group_by;
+};
+
+/// Parses one statement. Errors carry the offending position.
+Result<SelectStatement> Parse(const std::string& statement);
+
+}  // namespace sql
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_SQL_PARSER_H_

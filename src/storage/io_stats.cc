@@ -1,0 +1,23 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "storage/io_stats.h"
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+std::string IoStats::ToString() const {
+  return StrFormat(
+      "read=%llu written=%llu page_r=%llu page_w=%llu journal=%llu "
+      "catalog=%llu cracks=%llu pieces=%llu",
+      static_cast<unsigned long long>(tuples_read),
+      static_cast<unsigned long long>(tuples_written),
+      static_cast<unsigned long long>(page_reads),
+      static_cast<unsigned long long>(page_writes),
+      static_cast<unsigned long long>(journal_writes),
+      static_cast<unsigned long long>(catalog_ops),
+      static_cast<unsigned long long>(cracks),
+      static_cast<unsigned long long>(pieces_created));
+}
+
+}  // namespace crackstore

@@ -1,0 +1,54 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Deterministic cost accounting. The paper's Figures 2-3 argue in units of
+// tuples read/written relative to a scan; wall-clock numbers depend on 2003
+// hardware, touched-tuple counts do not. Storage and engine operations report
+// their work into an IoStats so every experiment can print both.
+
+#ifndef CRACKSTORE_STORAGE_IO_STATS_H_
+#define CRACKSTORE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crackstore {
+
+/// Counters for the logical work performed by an operation or a whole query
+/// sequence. All counts are in tuples unless stated otherwise.
+struct IoStats {
+  uint64_t tuples_read = 0;      ///< tuples whose value was inspected
+  uint64_t tuples_written = 0;   ///< tuples moved/copied/materialized
+  uint64_t page_reads = 0;       ///< simulated disk page reads (rowstore)
+  uint64_t page_writes = 0;      ///< simulated disk page writes (rowstore)
+  uint64_t journal_writes = 0;   ///< redo-journal records (transaction cost)
+  uint64_t catalog_ops = 0;      ///< catalog/schema mutations
+  uint64_t cracks = 0;           ///< crack kernel invocations
+  uint64_t pieces_created = 0;   ///< new pieces registered in a cracker index
+
+  IoStats& operator+=(const IoStats& other) {
+    tuples_read += other.tuples_read;
+    tuples_written += other.tuples_written;
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    journal_writes += other.journal_writes;
+    catalog_ops += other.catalog_ops;
+    cracks += other.cracks;
+    pieces_created += other.pieces_created;
+    return *this;
+  }
+
+  IoStats operator+(const IoStats& other) const {
+    IoStats out = *this;
+    out += other;
+    return out;
+  }
+
+  void Reset() { *this = IoStats{}; }
+
+  /// Short single-line rendering for logs.
+  std::string ToString() const;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_STORAGE_IO_STATS_H_

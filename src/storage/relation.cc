@@ -1,0 +1,147 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "storage/relation.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(c.name + ":" + ValueTypeName(c.type));
+  }
+  return "(" + StrJoin(parts, ", ") + ")";
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::shared_ptr<Relation>> Relation::Create(std::string name,
+                                                   Schema schema) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::shared_ptr<Bat>> columns;
+  columns.reserve(schema.num_columns());
+  for (const auto& def : schema.columns()) {
+    if (!seen.insert(def.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + def.name);
+    }
+    columns.push_back(Bat::Create(def.type, name + "." + def.name));
+  }
+  return std::shared_ptr<Relation>(
+      new Relation(std::move(name), std::move(schema), std::move(columns)));
+}
+
+Result<std::shared_ptr<Relation>> Relation::FromColumns(
+    std::string name, Schema schema,
+    std::vector<std::shared_ptr<Bat>> columns) {
+  if (schema.num_columns() != columns.size()) {
+    return Status::InvalidArgument(
+        StrFormat("schema has %zu columns, got %zu BATs",
+                  schema.num_columns(), columns.size()));
+  }
+  size_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) {
+      return Status::InvalidArgument("null column BAT");
+    }
+    if (columns[i]->size() != rows) {
+      return Status::InvalidArgument(
+          StrFormat("column %zu has %zu rows, expected %zu", i,
+                    columns[i]->size(), rows));
+    }
+    if (columns[i]->tail_type() != schema.column(i).type) {
+      return Status::TypeMismatch(
+          StrFormat("column %zu is %s, schema says %s", i,
+                    ValueTypeName(columns[i]->tail_type()),
+                    ValueTypeName(schema.column(i).type)));
+    }
+  }
+  return std::shared_ptr<Relation>(
+      new Relation(std::move(name), std::move(schema), std::move(columns)));
+}
+
+Result<std::shared_ptr<Bat>> Relation::column(const std::string& col) const {
+  int idx = schema_.FieldIndex(col);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + col + "' in " + name_);
+  }
+  return columns_[static_cast<size_t>(idx)];
+}
+
+namespace {
+
+bool IsCompatible(ValueType type, const Value& v) {
+  switch (type) {
+    case ValueType::kInt32:
+      return v.is_int32();
+    case ValueType::kInt64:
+      return v.is_int64() || v.is_int32();
+    case ValueType::kFloat64:
+      return v.is_double();
+    case ValueType::kOid:
+      return v.is_oid();
+    case ValueType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Relation::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu", values.size(),
+                  columns_.size()));
+  }
+  // Validate the full tuple before mutating any column so that a failure
+  // cannot leave columns with diverging lengths.
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!IsCompatible(schema_.column(i).type, values[i])) {
+      return Status::TypeMismatch(
+          StrFormat("value %s does not fit column %s:%s",
+                    values[i].ToString().c_str(),
+                    schema_.column(i).name.c_str(),
+                    ValueTypeName(schema_.column(i).type)));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    Status st = columns_[i]->AppendValue(values[i]);
+    CRACK_DCHECK(st.ok());
+  }
+  return Status::OK();
+}
+
+std::vector<Value> Relation::GetRow(size_t i) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col->GetValue(i));
+  return out;
+}
+
+size_t Relation::total_bytes() const {
+  size_t total = 0;
+  for (const auto& col : columns_) total += col->tail_bytes();
+  return total;
+}
+
+}  // namespace crackstore

@@ -1,0 +1,100 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Relation: an N-ary relational table decomposed into one BAT per attribute,
+// the mapping MonetDB's SQL compiler applies (paper §3.4.2): each attribute
+// becomes a bat[oid, type] with a shared dense head of surrogate oids.
+
+#ifndef CRACKSTORE_STORAGE_RELATION_H_
+#define CRACKSTORE_STORAGE_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/bat.h"
+#include "storage/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+
+/// One attribute of a relation schema.
+struct ColumnDef {
+  std::string name;
+  ValueType type;
+};
+
+/// An ordered list of attribute definitions.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the attribute called `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  /// Human-readable rendering, e.g. "(k:int64, a:int64)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// A named N-ary table stored column-wise as BATs.
+class Relation {
+ public:
+  /// Creates an empty relation; fails on duplicate column names.
+  static Result<std::shared_ptr<Relation>> Create(std::string name,
+                                                  Schema schema);
+
+  /// Wraps pre-built columns (all must have equal length).
+  static Result<std::shared_ptr<Relation>> FromColumns(
+      std::string name, Schema schema,
+      std::vector<std::shared_ptr<Bat>> columns);
+
+  CRACK_DISALLOW_COPY_AND_ASSIGN(Relation);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0]->size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  const std::shared_ptr<Bat>& column(size_t i) const {
+    CRACK_DCHECK(i < columns_.size());
+    return columns_[i];
+  }
+
+  /// Column lookup by attribute name.
+  Result<std::shared_ptr<Bat>> column(const std::string& name) const;
+
+  /// Appends one tuple; all values must match the schema.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Reads row `i` back as dynamically-typed values.
+  std::vector<Value> GetRow(size_t i) const;
+
+  /// Total tail bytes across columns.
+  size_t total_bytes() const;
+
+ private:
+  Relation(std::string name, Schema schema,
+           std::vector<std::shared_ptr<Bat>> columns)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        columns_(std::move(columns)) {}
+
+  std::string name_;
+  Schema schema_;
+  std::vector<std::shared_ptr<Bat>> columns_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_STORAGE_RELATION_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "storage/types.h"
+
+#include "util/string_util.h"
+
+namespace crackstore {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kOid:
+      return "oid";
+    case ValueType::kInt32:
+      return "int32";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kFloat64:
+      return "float64";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int64_t Value::ToInt64() const {
+  if (is_int32()) return AsInt32();
+  if (is_int64()) return AsInt64();
+  if (is_oid()) return static_cast<int64_t>(AsOid());
+  if (is_double()) return static_cast<int64_t>(AsDouble());
+  CRACK_DCHECK(false);
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int32()) return StrFormat("%d", AsInt32());
+  if (is_int64()) return StrFormat("%lld", static_cast<long long>(AsInt64()));
+  if (is_double()) return StrFormat("%g", AsDouble());
+  if (is_string()) return AsString();
+  if (is_oid()) {
+    return StrFormat("oid#%llu", static_cast<unsigned long long>(AsOid()));
+  }
+  return "?";
+}
+
+}  // namespace crackstore

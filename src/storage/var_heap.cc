@@ -1,0 +1,29 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "storage/var_heap.h"
+
+#include <cstring>
+
+namespace crackstore {
+
+uint64_t VarHeap::Intern(std::string_view s) {
+  auto it = dictionary_.find(std::string(s));
+  if (it != dictionary_.end()) return it->second;
+  uint64_t offset = data_.size();
+  uint32_t len = static_cast<uint32_t>(s.size());
+  data_.resize(data_.size() + sizeof(uint32_t) + s.size());
+  std::memcpy(data_.data() + offset, &len, sizeof(uint32_t));
+  std::memcpy(data_.data() + offset + sizeof(uint32_t), s.data(), s.size());
+  dictionary_.emplace(std::string(s), offset);
+  return offset;
+}
+
+std::string_view VarHeap::Read(uint64_t offset) const {
+  CRACK_DCHECK(offset + sizeof(uint32_t) <= data_.size());
+  uint32_t len;
+  std::memcpy(&len, data_.data() + offset, sizeof(uint32_t));
+  CRACK_DCHECK(offset + sizeof(uint32_t) + len <= data_.size());
+  return std::string_view(data_.data() + offset + sizeof(uint32_t), len);
+}
+
+}  // namespace crackstore

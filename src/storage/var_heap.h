@@ -1,0 +1,51 @@
+// Copyright 2026 The CrackStore Authors
+//
+// VarHeap: the variable-sized atom heap of a BAT (paper Fig. 7). String
+// tails store fixed-width offsets into a shared heap, so the tail itself
+// stays a contiguous fixed-width array and crack kernels can shuffle string
+// columns exactly like integer columns.
+
+#ifndef CRACKSTORE_STORAGE_VAR_HEAP_H_
+#define CRACKSTORE_STORAGE_VAR_HEAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace crackstore {
+
+/// Append-only heap of length-prefixed byte strings. Identical strings are
+/// deduplicated so that equality of offsets implies equality of values (the
+/// property MonetDB exploits for cheap grouping on strings).
+class VarHeap {
+ public:
+  VarHeap() = default;
+  CRACK_DISALLOW_COPY_AND_ASSIGN(VarHeap);
+
+  /// Interns `s`, returning its heap offset. Re-interning an existing string
+  /// returns the original offset.
+  uint64_t Intern(std::string_view s);
+
+  /// Reads the string stored at `offset`. The view is valid until the heap
+  /// grows (vector reallocation); callers copy if they need persistence.
+  std::string_view Read(uint64_t offset) const;
+
+  /// Number of distinct strings interned.
+  size_t num_strings() const { return dictionary_.size(); }
+
+  /// Total bytes used by string payloads (excluding dedup bookkeeping).
+  size_t payload_bytes() const { return data_.size(); }
+
+ private:
+  // Layout per entry: [uint32 length][bytes...]
+  std::vector<char> data_;
+  std::unordered_map<std::string, uint64_t> dictionary_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_STORAGE_VAR_HEAP_H_

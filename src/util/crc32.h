@@ -1,0 +1,22 @@
+// Copyright 2026 The CrackStore Authors
+//
+// CRC-32 (ISO 3309 / zlib polynomial), table-driven. Used by the journal to
+// checksum redo records the way real WAL implementations do — both as
+// corruption detection and as the honest CPU cost of durable logging.
+
+#ifndef CRACKSTORE_UTIL_CRC32_H_
+#define CRACKSTORE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace crackstore {
+
+/// Computes CRC-32 of `data`, continuing from `seed` (0 for a fresh
+/// computation). Streaming-safe: crc(a+b) == Crc32(b, Crc32(a)).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_UTIL_CRC32_H_

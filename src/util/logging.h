@@ -1,0 +1,46 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Minimal leveled logging to stderr. Benchmarks print their data to stdout;
+// everything diagnostic goes through here so the two never mix.
+
+#ifndef CRACKSTORE_UTIL_LOGGING_H_
+#define CRACKSTORE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crackstore {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crackstore
+
+#define CRACK_LOG(level)                                               \
+  ::crackstore::internal::LogMessage(::crackstore::LogLevel::k##level, \
+                                     __FILE__, __LINE__)
+
+#endif  // CRACKSTORE_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Common low-level macros used across the codebase.
+
+#ifndef CRACKSTORE_UTIL_MACROS_H_
+#define CRACKSTORE_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a class as non-copyable (but still movable if move members exist).
+#define CRACK_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;            \
+  TypeName& operator=(const TypeName&) = delete
+
+/// Branch prediction hints. Used sparingly on hot paths (crack kernels).
+#if defined(__GNUC__) || defined(__clang__)
+#define CRACK_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define CRACK_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#else
+#define CRACK_PREDICT_TRUE(x) (x)
+#define CRACK_PREDICT_FALSE(x) (x)
+#endif
+
+/// Internal invariant check. Always on in debug builds; in release builds the
+/// condition is still evaluated only when CRACKSTORE_FORCE_DCHECK is defined.
+/// Failures abort: an invariant violation inside the cracker index means the
+/// physical data layout no longer matches the index and continuing would
+/// silently return wrong query answers.
+#if !defined(NDEBUG) || defined(CRACKSTORE_FORCE_DCHECK)
+#define CRACK_DCHECK(condition)                                          \
+  do {                                                                   \
+    if (CRACK_PREDICT_FALSE(!(condition))) {                             \
+      std::fprintf(stderr, "CRACK_DCHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+#else
+#define CRACK_DCHECK(condition) \
+  do {                          \
+  } while (0)
+#endif
+
+/// Check that is always enabled, for conditions on untrusted/public inputs in
+/// contexts where returning a Status is not possible (constructors of cheap
+/// value types).
+#define CRACK_CHECK(condition)                                         \
+  do {                                                                 \
+    if (CRACK_PREDICT_FALSE(!(condition))) {                           \
+      std::fprintf(stderr, "CRACK_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #condition);                    \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+/// Propagates a non-OK Status from an expression, Arrow/RocksDB style.
+#define CRACK_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::crackstore::Status _st = (expr);            \
+    if (CRACK_PREDICT_FALSE(!_st.ok())) {         \
+      return _st;                                 \
+    }                                             \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or returns its
+/// error Status. `lhs` may declare a new variable.
+#define CRACK_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (CRACK_PREDICT_FALSE(!result_name.ok())) {              \
+    return result_name.status();                             \
+  }                                                          \
+  lhs = std::move(result_name).ValueUnsafe()
+
+#define CRACK_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define CRACK_ASSIGN_OR_RETURN_CONCAT(x, y) CRACK_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define CRACK_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  CRACK_ASSIGN_OR_RETURN_IMPL(                                                 \
+      CRACK_ASSIGN_OR_RETURN_CONCAT(_crack_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // CRACKSTORE_UTIL_MACROS_H_

@@ -1,0 +1,80 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Result<T>: a value-or-Status union, the return type of fallible factory
+// functions (Arrow's arrow::Result idiom).
+
+#ifndef CRACKSTORE_UTIL_RESULT_H_
+#define CRACKSTORE_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace crackstore {
+
+/// Holds either a successfully produced T or the Status explaining why one
+/// could not be produced. Accessing the value of an errored Result aborts in
+/// debug builds (use ok()/status() first, or CRACK_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value: `return some_t;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from an error Status: `return Status::NotFound(..)`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    CRACK_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error (or OK if this holds a value).
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Only valid when ok().
+  const T& ValueOrDie() const& {
+    CRACK_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CRACK_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    CRACK_CHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Like ValueOrDie but only DCHECKs; used by CRACK_ASSIGN_OR_RETURN after
+  /// the ok() test already happened.
+  T ValueUnsafe() && {
+    CRACK_DCHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value, or `alternative` when errored.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_UTIL_RESULT_H_

@@ -1,0 +1,112 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Deterministic pseudo-random number generation. Every source of randomness
+// in CrackStore (tapestry shuffles, query-bound draws, strolling walks) flows
+// through these generators so that experiments are reproducible from a seed.
+
+#ifndef CRACKSTORE_UTIL_RNG_H_
+#define CRACKSTORE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace crackstore {
+
+/// SplitMix64: tiny, fast, passes BigCrush; used both directly and to seed
+/// Pcg32. Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// PCG32 (Melissa O'Neill, pcg-random.org): the workhorse generator.
+class Pcg32 {
+ public:
+  /// Seeds state and stream from a single 64-bit seed via SplitMix64.
+  explicit Pcg32(uint64_t seed) {
+    SplitMix64 sm(seed);
+    state_ = sm.Next();
+    inc_ = sm.Next() | 1u;  // stream selector must be odd
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  uint32_t NextBounded(uint32_t bound) {
+    CRACK_DCHECK(bound > 0);
+    uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+    uint32_t lo = static_cast<uint32_t>(m);
+    if (lo < bound) {
+      uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<uint64_t>(NextU32()) * bound;
+        lo = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    CRACK_DCHECK(lo <= hi);
+    uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+    // 64-bit rejection sampling.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+      v = NextU64();
+    } while (v >= limit);
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+};
+
+/// Fisher-Yates shuffle using Pcg32.
+template <typename T>
+void Shuffle(std::vector<T>* v, Pcg32* rng) {
+  if (v->size() < 2) return;
+  for (size_t i = v->size() - 1; i > 0; --i) {
+    size_t j = rng->NextBounded(static_cast<uint32_t>(i + 1));
+    std::swap((*v)[i], (*v)[j]);
+  }
+}
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_UTIL_RNG_H_

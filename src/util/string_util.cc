@@ -1,0 +1,63 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace crackstore {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string key = "--" + name + "=";
+  if (!StartsWith(arg, key)) return false;
+  *value = arg.substr(key.size());
+  return true;
+}
+
+std::string HumanCount(uint64_t n) {
+  if (n >= 1000000000ULL) {
+    return StrFormat("%.1fG", static_cast<double>(n) / 1e9);
+  }
+  if (n >= 1000000ULL) {
+    return StrFormat("%.1fM", static_cast<double>(n) / 1e6);
+  }
+  if (n >= 1000ULL) {
+    return StrFormat("%.1fk", static_cast<double>(n) / 1e3);
+  }
+  return StrFormat("%llu", static_cast<unsigned long long>(n));
+}
+
+}  // namespace crackstore

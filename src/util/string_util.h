@@ -1,0 +1,38 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Small string helpers (printf-style formatting, joining) so that modules do
+// not each reinvent them.
+
+#ifndef CRACKSTORE_UTIL_STRING_UTIL_H_
+#define CRACKSTORE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace crackstore {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Parses a "--key=value" style command-line flag; returns true and fills
+/// `*value` when `arg` matches `--name=`.
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value);
+
+/// Human-readable count, e.g. 1200000 -> "1.2M".
+std::string HumanCount(uint64_t n);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,70 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+namespace crackstore {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::EscapeCsv(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) std::fputc(',', out);
+      std::fputs(EscapeCsv(row[i]).c_str(), out);
+    }
+    std::fputc('\n', out);
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintAligned(std::FILE* out) const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(out, "%s%-*s", i == 0 ? "" : " | ",
+                   static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i == 0 ? 0 : 3);
+    }
+    std::string rule(total, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace crackstore

@@ -1,0 +1,44 @@
+// Copyright 2026 The CrackStore Authors
+//
+// TablePrinter / CsvWriter: every benchmark binary emits the series a paper
+// figure plots. CSV goes to stdout (machine-readable); an aligned table can
+// additionally be rendered for humans.
+
+#ifndef CRACKSTORE_UTIL_TABLE_PRINTER_H_
+#define CRACKSTORE_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace crackstore {
+
+/// Collects rows of string cells and renders them as CSV and/or as an
+/// aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; its arity should match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders all rows as CSV to `out` (header first). Cells containing commas
+  /// or quotes are quoted per RFC 4180.
+  void PrintCsv(std::FILE* out) const;
+
+  /// Renders an aligned, pipe-separated table to `out`.
+  void PrintAligned(std::FILE* out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string EscapeCsv(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_UTIL_TABLE_PRINTER_H_

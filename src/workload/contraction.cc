@@ -1,0 +1,54 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "workload/contraction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace crackstore {
+
+const char* ContractionModelName(ContractionModel model) {
+  switch (model) {
+    case ContractionModel::kLinear:
+      return "linear";
+    case ContractionModel::kExponential:
+      return "exponential";
+    case ContractionModel::kLogarithmic:
+      return "logarithmic";
+  }
+  return "?";
+}
+
+ContractionModel ContractionModelFromString(const std::string& s) {
+  if (s == "exponential" || s == "exp") return ContractionModel::kExponential;
+  if (s == "logarithmic" || s == "log") return ContractionModel::kLogarithmic;
+  return ContractionModel::kLinear;
+}
+
+double Contraction(ContractionModel model, size_t i, size_t k, double sigma) {
+  CRACK_DCHECK(k > 0);
+  CRACK_DCHECK(sigma >= 0.0 && sigma <= 1.0);
+  if (i >= k) return sigma;
+  double di = static_cast<double>(i);
+  double dk = static_cast<double>(k);
+  switch (model) {
+    case ContractionModel::kLinear:
+      // (1 - i (1-σ) / k): a constant tuple count removed per step.
+      return 1.0 - di * (1.0 - sigma) / dk;
+    case ContractionModel::kExponential:
+      // σ + (1-σ) e^{-2 (1-σ) i² / k}: quick trim, long fine-tuning tail.
+      return sigma +
+             (1.0 - sigma) * std::exp(-2.0 * (1.0 - sigma) * di * di / dk);
+    case ContractionModel::kLogarithmic: {
+      // 1 - (1-σ) e^{-2 (1-σ) (k-i)² / k}: the mirrored case.
+      double rem = dk - di;
+      return 1.0 -
+             (1.0 - sigma) * std::exp(-2.0 * (1.0 - sigma) * rem * rem / dk);
+    }
+  }
+  return sigma;
+}
+
+}  // namespace crackstore

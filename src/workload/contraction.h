@@ -1,0 +1,48 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Selectivity distribution functions ρ(i; k, σ) (paper §4, Fig. 8): they
+// model how a user contracts an initial ill-phrased query down to the target
+// of σN tuples over a k-step session.
+//
+//   * linear:      a constant number of tuples is shaved off per step;
+//   * exponential: the candidate set is trimmed quickly at the start, the
+//                  fine-tuning happens in the tail;
+//   * logarithmic: the complement — the hard reduction happens late.
+//
+// NOTE on fidelity: the published formulae for the exponential/logarithmic
+// models are typographically corrupted in all available copies of the paper
+// ("σ+(1−σ)e^{−(1−σ)2ki²}"). We reconstruct them with exponent
+// 2(1−σ)·i²/k (resp. mirrored), which reproduces the three curve shapes of
+// Fig. 8 exactly: fast-early, straight, and fast-late contraction meeting at
+// ρ(k)=σ. See EXPERIMENTS.md.
+
+#ifndef CRACKSTORE_WORKLOAD_CONTRACTION_H_
+#define CRACKSTORE_WORKLOAD_CONTRACTION_H_
+
+#include <cstddef>
+#include <string>
+
+namespace crackstore {
+
+/// The three convergence models of §4.
+enum class ContractionModel : uint8_t {
+  kLinear = 0,
+  kExponential = 1,
+  kLogarithmic = 2,
+};
+
+const char* ContractionModelName(ContractionModel model);
+
+/// Parses "linear", "exponential"/"exp", "logarithmic"/"log"; defaults to
+/// kLinear.
+ContractionModel ContractionModelFromString(const std::string& s);
+
+/// Evaluates ρ(i; k, σ): the selectivity at step i (1-based, i in [0, k]) of
+/// a k-step sequence converging to target selectivity σ ∈ [0, 1].
+/// Guarantees: ρ(0) ≈ 1 for exponential/logarithmic (exactly 1 for linear),
+/// ρ(k) = σ, and ρ is non-increasing in i.
+double Contraction(ContractionModel model, size_t i, size_t k, double sigma);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_WORKLOAD_CONTRACTION_H_

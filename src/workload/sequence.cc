@@ -1,0 +1,169 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "workload/sequence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace crackstore {
+
+const char* ProfileName(Profile profile) {
+  switch (profile) {
+    case Profile::kHomerun:
+      return "homerun";
+    case Profile::kHiking:
+      return "hiking";
+    case Profile::kStrolling:
+      return "strolling";
+    case Profile::kStrollingConverge:
+      return "strolling-converge";
+  }
+  return "?";
+}
+
+Profile ProfileFromString(const std::string& s) {
+  if (s == "hiking") return Profile::kHiking;
+  if (s == "strolling") return Profile::kStrolling;
+  if (s == "strolling-converge") return Profile::kStrollingConverge;
+  return Profile::kHomerun;
+}
+
+namespace {
+
+/// Width (in domain values) for selectivity `sel` over N, at least 1.
+int64_t WidthFor(double sel, uint64_t n) {
+  double w = sel * static_cast<double>(n);
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(w)));
+}
+
+std::vector<RangeQuery> GenerateHomerun(const MqsSpec& spec, Pcg32* rng) {
+  int64_t n = static_cast<int64_t>(spec.num_rows);
+  size_t k = spec.sequence_length;
+  int64_t target_w = WidthFor(spec.target_selectivity, spec.num_rows);
+
+  // Final destination: a random window of σN values.
+  int64_t t_lo = rng->NextInRange(1, n - target_w + 1);
+  int64_t t_hi = t_lo + target_w - 1;
+
+  std::vector<RangeQuery> out;
+  out.reserve(k);
+  int64_t prev_lo = 1;
+  int64_t prev_hi = n;
+  for (size_t i = 1; i <= k; ++i) {
+    double sel = Contraction(spec.rho, i, k, spec.target_selectivity);
+    int64_t w = std::max(WidthFor(sel, spec.num_rows), target_w);
+    // Nested zoom: window of width w containing [t_lo, t_hi], inside the
+    // previous window.
+    int64_t lo_min = std::max(prev_lo, t_hi - w + 1);
+    int64_t lo_max = std::min(t_lo, prev_hi - w + 1);
+    if (lo_max < lo_min) lo_max = lo_min;  // numeric edge: degenerate room
+    int64_t lo = rng->NextInRange(lo_min, lo_max);
+    int64_t hi = lo + w - 1;
+    RangeQuery q;
+    q.lo = lo;
+    q.hi = hi;
+    q.step = i;
+    q.selectivity = static_cast<double>(w) / static_cast<double>(n);
+    out.push_back(q);
+    prev_lo = lo;
+    prev_hi = hi;
+  }
+  // Exactness of the destination: force the last step onto the target.
+  out.back().lo = t_lo;
+  out.back().hi = t_hi;
+  out.back().selectivity =
+      static_cast<double>(target_w) / static_cast<double>(n);
+  return out;
+}
+
+std::vector<RangeQuery> GenerateHiking(const MqsSpec& spec, Pcg32* rng) {
+  int64_t n = static_cast<int64_t>(spec.num_rows);
+  size_t k = spec.sequence_length;
+  int64_t w = WidthFor(spec.target_selectivity, spec.num_rows);
+
+  // Destination window and a random starting position.
+  int64_t t_lo = rng->NextInRange(1, n - w + 1);
+  int64_t cur_lo = rng->NextInRange(1, n - w + 1);
+
+  std::vector<RangeQuery> out;
+  out.reserve(k);
+  for (size_t i = 1; i <= k; ++i) {
+    // Shift contracts with ρ(i; k, 0): early steps leap (small overlap δ),
+    // late steps crawl (δ -> 100%). The walk homes in on the target.
+    double shift_frac = Contraction(spec.rho, i, k, /*sigma=*/0.0);
+    int64_t max_shift = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(shift_frac * static_cast<double>(w))));
+    int64_t distance = t_lo - cur_lo;
+    int64_t shift = std::clamp<int64_t>(distance, -max_shift, max_shift);
+    cur_lo = std::clamp<int64_t>(cur_lo + shift, 1, n - w + 1);
+
+    RangeQuery q;
+    q.lo = cur_lo;
+    q.hi = cur_lo + w - 1;
+    q.step = i;
+    q.selectivity = static_cast<double>(w) / static_cast<double>(n);
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<RangeQuery> GenerateStrolling(const MqsSpec& spec, Pcg32* rng,
+                                          bool converge) {
+  int64_t n = static_cast<int64_t>(spec.num_rows);
+  size_t k = spec.sequence_length;
+  std::vector<RangeQuery> out;
+  out.reserve(k);
+  for (size_t i = 1; i <= k; ++i) {
+    // Converge mode: the i-th selectivity factor (Fig. 11); random mode:
+    // draw a random step number to find a selectivity (with replacement).
+    size_t step_for_sel =
+        converge ? i : static_cast<size_t>(rng->NextInRange(
+                           1, static_cast<int64_t>(k)));
+    double sel =
+        Contraction(spec.rho, step_for_sel, k, spec.target_selectivity);
+    int64_t w = WidthFor(sel, spec.num_rows);
+    int64_t lo = rng->NextInRange(1, std::max<int64_t>(1, n - w + 1));
+    RangeQuery q;
+    q.lo = lo;
+    q.hi = std::min(n, lo + w - 1);
+    q.step = i;
+    q.selectivity = static_cast<double>(q.width()) / static_cast<double>(n);
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<RangeQuery>> GenerateSequence(const MqsSpec& spec) {
+  if (spec.num_rows == 0) {
+    return Status::InvalidArgument("MQS needs N > 0");
+  }
+  if (spec.sequence_length == 0) {
+    return Status::InvalidArgument("MQS needs k > 0");
+  }
+  if (spec.target_selectivity <= 0.0 || spec.target_selectivity > 1.0) {
+    return Status::InvalidArgument("MQS needs sigma in (0, 1]");
+  }
+  int64_t target_w = WidthFor(spec.target_selectivity, spec.num_rows);
+  if (target_w > static_cast<int64_t>(spec.num_rows)) {
+    return Status::InvalidArgument("target window exceeds the domain");
+  }
+
+  Pcg32 rng(spec.seed);
+  switch (spec.profile) {
+    case Profile::kHomerun:
+      return GenerateHomerun(spec, &rng);
+    case Profile::kHiking:
+      return GenerateHiking(spec, &rng);
+    case Profile::kStrolling:
+      return GenerateStrolling(spec, &rng, /*converge=*/false);
+    case Profile::kStrollingConverge:
+      return GenerateStrolling(spec, &rng, /*converge=*/true);
+  }
+  return Status::InvalidArgument("unknown profile");
+}
+
+}  // namespace crackstore

@@ -1,0 +1,73 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Multi-query sequence generation (paper §4): the MQS(α, N, k, σ, ρ, δ)
+// space with the three idealized user profiles.
+//
+//   * homerun:   monotone zoom — every query's range is nested inside the
+//                previous one and contains the final target window of σN
+//                tuples, sizes following ρ.
+//   * hiking:    fixed-size σN windows that slide toward the target; the
+//                pair-wise overlap δ of consecutive windows grows to 100%
+//                as the shift distance contracts with ρ.
+//   * strolling: no intra-query dependency — random windows, either with
+//                ρ-driven sizes ("converge", Fig. 11) or fully random draws.
+
+#ifndef CRACKSTORE_WORKLOAD_SEQUENCE_H_
+#define CRACKSTORE_WORKLOAD_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "workload/contraction.h"
+
+namespace crackstore {
+
+/// One range query over the tapestry value domain [1, N]; bounds inclusive.
+struct RangeQuery {
+  int64_t lo = 1;
+  int64_t hi = 1;
+  size_t step = 0;            ///< 1-based position in the sequence
+  double selectivity = 0.0;   ///< (hi - lo + 1) / N
+
+  int64_t width() const { return hi - lo + 1; }
+};
+
+/// The user profiles of §4.
+enum class Profile : uint8_t {
+  kHomerun = 0,
+  kHiking = 1,
+  kStrolling = 2,          ///< fully random step draws (with replacement)
+  kStrollingConverge = 3,  ///< ρ-driven sizes, random positions (Fig. 11)
+};
+
+const char* ProfileName(Profile profile);
+
+/// Parses "homerun", "hiking", "strolling", "strolling-converge".
+Profile ProfileFromString(const std::string& s);
+
+/// The query-sequence space descriptor (paper's Definition, eq. 2):
+/// MQS(α, N, k, σ, ρ, δ). α (table arity) lives in TapestryOptions; δ is
+/// derived from ρ for the hiking profile as the complement of the shift
+/// distance.
+struct MqsSpec {
+  uint64_t num_rows = 1000000;       ///< N
+  size_t sequence_length = 20;       ///< k
+  double target_selectivity = 0.05;  ///< σ
+  ContractionModel rho = ContractionModel::kLinear;
+  Profile profile = Profile::kHomerun;
+  uint64_t seed = 20040901;
+};
+
+/// Generates the k queries of `spec`. Deterministic in spec.seed.
+/// Guarantees per profile:
+///   * homerun: queries nested, last query is exactly the target window;
+///   * hiking: every query has width ≈ σN, the last sits on the target;
+///   * strolling(-converge): widths per ρ (or random draws), positions
+///     uniform.
+Result<std::vector<RangeQuery>> GenerateSequence(const MqsSpec& spec);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_WORKLOAD_SEQUENCE_H_

@@ -1,0 +1,104 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "workload/tapestry.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace crackstore {
+
+namespace {
+
+/// Builds a permutation of 1..n the tapestry way: a shuffled seed block of
+/// size s is replicated ceil(n/s) times with offsets s, 2s, ... (each
+/// replica a permutation of its own value range), truncated to n, then
+/// globally shuffled. The result is a uniform random permutation of 1..n.
+std::vector<int64_t> TapestryPermutation(uint64_t n, uint64_t seed_block,
+                                         Pcg32* rng) {
+  std::vector<int64_t> seed_perm(seed_block);
+  std::iota(seed_perm.begin(), seed_perm.end(), int64_t{1});
+  Shuffle(&seed_perm, rng);
+
+  std::vector<int64_t> values;
+  values.reserve(n);
+  uint64_t offset = 0;
+  while (values.size() < n) {
+    for (uint64_t i = 0; i < seed_block && values.size() < n; ++i) {
+      int64_t v = seed_perm[i] + static_cast<int64_t>(offset);
+      // Values beyond n are folded back by re-drawing from the remainder on
+      // the final (truncated) replica; simplest correct approach: collect
+      // then fix up below.
+      values.push_back(v);
+    }
+    offset += seed_block;
+  }
+  // The final replica may contain values > n (when n is not a multiple of
+  // the seed block). Remap them onto the unused values <= n.
+  std::vector<int64_t> overflow_slots;
+  std::vector<bool> used(n + 1, false);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] <= static_cast<int64_t>(n)) {
+      used[static_cast<size_t>(values[i])] = true;
+    } else {
+      overflow_slots.push_back(static_cast<int64_t>(i));
+    }
+  }
+  if (!overflow_slots.empty()) {
+    std::vector<int64_t> unused;
+    for (uint64_t v = 1; v <= n; ++v) {
+      if (!used[v]) unused.push_back(static_cast<int64_t>(v));
+    }
+    CRACK_DCHECK(unused.size() == overflow_slots.size());
+    for (size_t i = 0; i < overflow_slots.size(); ++i) {
+      values[static_cast<size_t>(overflow_slots[i])] = unused[i];
+    }
+  }
+  Shuffle(&values, rng);
+  return values;
+}
+
+}  // namespace
+
+std::shared_ptr<Bat> BuildPermutationColumn(uint64_t n, uint64_t seed,
+                                            const std::string& name) {
+  Pcg32 rng(seed);
+  std::vector<int64_t> values =
+      TapestryPermutation(n, std::min<uint64_t>(n, 1024), &rng);
+  return Bat::FromVector(values, name);
+}
+
+Result<std::shared_ptr<Relation>> BuildTapestry(
+    const std::string& name, const TapestryOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("tapestry needs at least one row");
+  }
+  if (options.num_columns == 0) {
+    return Status::InvalidArgument("tapestry needs at least one column");
+  }
+  if (options.seed_table_size == 0) {
+    return Status::InvalidArgument("seed table size must be positive");
+  }
+
+  std::vector<ColumnDef> defs;
+  std::vector<std::shared_ptr<Bat>> columns;
+  defs.reserve(options.num_columns);
+  columns.reserve(options.num_columns);
+  for (uint64_t c = 0; c < options.num_columns; ++c) {
+    std::string col_name = StrFormat("c%llu", static_cast<unsigned long long>(c));
+    defs.push_back(ColumnDef{col_name, ValueType::kInt64});
+    // Independent RNG stream per column so columns are uncorrelated.
+    Pcg32 rng(options.seed + 0x9E3779B97F4A7C15ULL * (c + 1));
+    uint64_t seed_block =
+        std::min<uint64_t>(options.num_rows, options.seed_table_size);
+    std::vector<int64_t> values =
+        TapestryPermutation(options.num_rows, seed_block, &rng);
+    columns.push_back(Bat::FromVector(values, name + "." + col_name));
+  }
+  return Relation::FromColumns(name, Schema(std::move(defs)),
+                               std::move(columns));
+}
+
+}  // namespace crackstore

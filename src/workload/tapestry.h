@@ -1,0 +1,42 @@
+// Copyright 2026 The CrackStore Authors
+//
+// DBtapestry (paper §4): the benchmark's data generator. It produces a table
+// with N rows and α columns where every column holds a permutation of the
+// numbers 1..N. Construction follows the paper: a small seed table with a
+// permutation of a small integer range is replicated (with offsets) to reach
+// the required size, then shuffled to obtain a random tuple distribution.
+
+#ifndef CRACKSTORE_WORKLOAD_TAPESTRY_H_
+#define CRACKSTORE_WORKLOAD_TAPESTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// Generator parameters: MQS dimensions α (arity) and N (cardinality) plus
+/// the construction knobs.
+struct TapestryOptions {
+  uint64_t num_rows = 1000000;    ///< N
+  uint64_t num_columns = 2;       ///< α
+  uint64_t seed = 20040901;       ///< master RNG seed (report date!)
+  uint64_t seed_table_size = 1024;  ///< size of the replicated seed block
+};
+
+/// Column names are "c0", "c1", ...; values per column are a permutation of
+/// 1..N (int64). Fails when num_rows or num_columns is zero.
+Result<std::shared_ptr<Relation>> BuildTapestry(const std::string& name,
+                                                const TapestryOptions& options);
+
+/// Builds a single permutation column of 1..n (helper for column-level
+/// experiments and tests).
+std::shared_ptr<Bat> BuildPermutationColumn(uint64_t n, uint64_t seed,
+                                            const std::string& name = "perm");
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_WORKLOAD_TAPESTRY_H_

@@ -1,0 +1,257 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for Bat, BatView, VarHeap and statistics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/bat.h"
+#include "storage/types.h"
+#include "storage/var_heap.h"
+
+namespace crackstore {
+namespace {
+
+TEST(ValueTypeTest, Widths) {
+  EXPECT_EQ(ValueTypeWidth(ValueType::kInt32), 4u);
+  EXPECT_EQ(ValueTypeWidth(ValueType::kInt64), 8u);
+  EXPECT_EQ(ValueTypeWidth(ValueType::kFloat64), 8u);
+  EXPECT_EQ(ValueTypeWidth(ValueType::kOid), 8u);
+  EXPECT_EQ(ValueTypeWidth(ValueType::kString), 8u);
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int32_t{7}).AsInt32(), 7);
+  EXPECT_EQ(Value(int64_t{-9}).AsInt64(), -9);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("hi")).AsString(), "hi");
+  EXPECT_EQ(Value::FromOid(11).AsOid(), 11u);
+  EXPECT_TRUE(Value().is_null());
+}
+
+TEST(ValueTest, ToInt64Widens) {
+  EXPECT_EQ(Value(int32_t{5}).ToInt64(), 5);
+  EXPECT_EQ(Value(int64_t{5000000000LL}).ToInt64(), 5000000000LL);
+  EXPECT_EQ(Value(3.9).ToInt64(), 3);
+  EXPECT_EQ(Value::FromOid(8).ToInt64(), 8);
+}
+
+TEST(ValueTest, ToStringRenderings) {
+  EXPECT_EQ(Value(int32_t{1}).ToString(), "1");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+  EXPECT_EQ(Value().ToString(), "null");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(int32_t{3}));  // different alternatives
+  EXPECT_NE(Value(int64_t{3}), Value(int64_t{4}));
+}
+
+TEST(VarHeapTest, InternAndRead) {
+  VarHeap heap;
+  uint64_t a = heap.Intern("alpha");
+  uint64_t b = heap.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(heap.Read(a), "alpha");
+  EXPECT_EQ(heap.Read(b), "beta");
+}
+
+TEST(VarHeapTest, Deduplicates) {
+  VarHeap heap;
+  uint64_t a1 = heap.Intern("same");
+  uint64_t a2 = heap.Intern("same");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(heap.num_strings(), 1u);
+}
+
+TEST(VarHeapTest, EmptyString) {
+  VarHeap heap;
+  uint64_t off = heap.Intern("");
+  EXPECT_EQ(heap.Read(off), "");
+}
+
+TEST(BatTest, AppendAndGetTyped) {
+  auto bat = Bat::Create(ValueType::kInt64, "t");
+  bat->Append<int64_t>(10);
+  bat->Append<int64_t>(-20);
+  ASSERT_EQ(bat->size(), 2u);
+  EXPECT_EQ(bat->Get<int64_t>(0), 10);
+  EXPECT_EQ(bat->Get<int64_t>(1), -20);
+}
+
+TEST(BatTest, FromVectorCopiesContiguously) {
+  std::vector<int64_t> v{5, 4, 3, 2, 1};
+  auto bat = Bat::FromVector(v, "five");
+  ASSERT_EQ(bat->size(), 5u);
+  const int64_t* data = bat->TailData<int64_t>();
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(data[i], v[i]);
+  EXPECT_EQ(bat->name(), "five");
+}
+
+TEST(BatTest, GrowsPastInitialCapacity) {
+  auto bat = Bat::Create(ValueType::kInt32);
+  for (int32_t i = 0; i < 1000; ++i) bat->Append<int32_t>(i);
+  ASSERT_EQ(bat->size(), 1000u);
+  for (int32_t i = 0; i < 1000; ++i) EXPECT_EQ(bat->Get<int32_t>(i), i);
+}
+
+TEST(BatTest, AppendValueTypeChecks) {
+  auto bat = Bat::Create(ValueType::kInt64);
+  EXPECT_TRUE(bat->AppendValue(Value(int64_t{1})).ok());
+  EXPECT_TRUE(bat->AppendValue(Value(int32_t{2})).ok());  // widening allowed
+  EXPECT_TRUE(bat->AppendValue(Value(1.5)).IsTypeMismatch());
+  EXPECT_TRUE(bat->AppendValue(Value(std::string("x"))).IsTypeMismatch());
+  EXPECT_EQ(bat->size(), 2u);
+  EXPECT_EQ(bat->Get<int64_t>(1), 2);
+}
+
+TEST(BatTest, GetValueRoundTrip) {
+  auto bat = Bat::Create(ValueType::kFloat64);
+  bat->Append<double>(3.25);
+  Value v = bat->GetValue(0);
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.25);
+}
+
+TEST(BatTest, StringTail) {
+  auto bat = Bat::Create(ValueType::kString, "s");
+  bat->AppendString("foo");
+  bat->AppendString("bar");
+  bat->AppendString("foo");  // deduped in heap
+  ASSERT_EQ(bat->size(), 3u);
+  EXPECT_EQ(bat->GetString(0), "foo");
+  EXPECT_EQ(bat->GetString(1), "bar");
+  EXPECT_EQ(bat->GetString(2), "foo");
+  EXPECT_EQ(bat->heap()->num_strings(), 2u);
+}
+
+TEST(BatTest, StatsMinMaxSorted) {
+  auto sorted = Bat::FromVector(std::vector<int64_t>{1, 2, 2, 9});
+  const BatStats& s1 = sorted->ComputeStats();
+  EXPECT_TRUE(s1.sorted_asc);
+  EXPECT_EQ(s1.min, 1);
+  EXPECT_EQ(s1.max, 9);
+
+  auto unsorted = Bat::FromVector(std::vector<int64_t>{3, 1, 2});
+  const BatStats& s2 = unsorted->ComputeStats();
+  EXPECT_FALSE(s2.sorted_asc);
+  EXPECT_EQ(s2.min, 1);
+  EXPECT_EQ(s2.max, 3);
+}
+
+TEST(BatTest, StatsInvalidatedByMutation) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{1, 2});
+  EXPECT_TRUE(bat->ComputeStats().sorted_asc);
+  bat->Append<int64_t>(0);
+  EXPECT_FALSE(bat->ComputeStats().sorted_asc);
+}
+
+TEST(BatTest, StatsOfEmptyBat) {
+  auto bat = Bat::Create(ValueType::kInt64);
+  const BatStats& s = bat->ComputeStats();
+  EXPECT_TRUE(s.valid);
+  EXPECT_TRUE(s.sorted_asc);
+}
+
+TEST(BatTest, CloneIsDeep) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{1, 2, 3}, "orig");
+  auto clone = bat->Clone("copy");
+  clone->MutableTailData<int64_t>()[0] = 99;
+  EXPECT_EQ(bat->Get<int64_t>(0), 1);
+  EXPECT_EQ(clone->Get<int64_t>(0), 99);
+  EXPECT_EQ(clone->name(), "copy");
+}
+
+TEST(BatTest, HeadBasePropagation) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{7, 8});
+  bat->set_head_base(100);
+  EXPECT_EQ(bat->head_base(), 100u);
+  auto clone = bat->Clone();
+  EXPECT_EQ(clone->head_base(), 100u);
+}
+
+TEST(BatViewTest, WholeBatView) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{10, 20, 30});
+  BatView view(bat);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.Get<int64_t>(0), 10);
+  EXPECT_EQ(view.Get<int64_t>(2), 30);
+}
+
+TEST(BatViewTest, WindowView) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{0, 1, 2, 3, 4});
+  BatView view(bat, 1, 3);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.Get<int64_t>(0), 1);
+  EXPECT_EQ(view.Get<int64_t>(2), 3);
+  EXPECT_EQ(view.offset(), 1u);
+}
+
+TEST(BatViewTest, HeadOidArithmetic) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{0, 1, 2, 3});
+  bat->set_head_base(50);
+  BatView view(bat, 2, 2);
+  EXPECT_EQ(view.HeadOid(0), 52u);
+  EXPECT_EQ(view.HeadOid(1), 53u);
+}
+
+TEST(BatViewTest, SliceIsRelative) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{0, 1, 2, 3, 4, 5});
+  BatView view(bat, 2, 4);      // {2,3,4,5}
+  BatView sub = view.Slice(1, 2);  // {3,4}
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.Get<int64_t>(0), 3);
+  EXPECT_EQ(sub.Get<int64_t>(1), 4);
+}
+
+TEST(BatViewTest, ViewSeesParentMutation) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{1, 2, 3});
+  BatView view(bat, 0, 3);
+  bat->MutableTailData<int64_t>()[1] = 42;
+  EXPECT_EQ(view.Get<int64_t>(1), 42);  // zero-copy semantics
+}
+
+TEST(BatViewTest, MaterializeCopies) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{9, 8, 7, 6});
+  BatView view(bat, 1, 2);
+  auto mat = view.Materialize("piece");
+  ASSERT_EQ(mat->size(), 2u);
+  EXPECT_EQ(mat->Get<int64_t>(0), 8);
+  EXPECT_EQ(mat->Get<int64_t>(1), 7);
+  EXPECT_EQ(mat->head_base(), 1u);
+  bat->MutableTailData<int64_t>()[1] = 0;
+  EXPECT_EQ(mat->Get<int64_t>(0), 8);  // decoupled from parent
+}
+
+TEST(BatViewTest, EmptyAndInvalid) {
+  BatView invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_EQ(invalid.size(), 0u);
+  auto bat = Bat::FromVector(std::vector<int64_t>{1});
+  BatView empty(bat, 1, 0);
+  EXPECT_TRUE(empty.valid());
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(BatViewTest, DataPointerIsOffset) {
+  auto bat = Bat::FromVector(std::vector<int64_t>{4, 5, 6});
+  BatView view(bat, 1, 2);
+  EXPECT_EQ(view.data<int64_t>()[0], 5);
+  EXPECT_EQ(view.data<int64_t>(), bat->TailData<int64_t>() + 1);
+}
+
+TEST(BatTest, TailBytes) {
+  auto bat = Bat::FromVector(std::vector<int32_t>{1, 2, 3});
+  EXPECT_EQ(bat->tail_bytes(), 12u);
+}
+
+}  // namespace
+}  // namespace crackstore

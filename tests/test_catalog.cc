@@ -1,0 +1,180 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for the system catalog and partitioned-table administration.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace crackstore {
+namespace {
+
+Schema PairSchema() {
+  return Schema({{"k", ValueType::kInt64}, {"a", ValueType::kInt64}});
+}
+
+std::shared_ptr<Relation> MakeRelation(const std::string& name) {
+  return *Relation::Create(name, PairSchema());
+}
+
+TEST(CatalogTest, RegisterAndGetRelation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(MakeRelation("R")).ok());
+  auto rel = catalog.GetRelation("R");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->name(), "R");
+  EXPECT_TRUE(catalog.GetRelation("S").status().IsNotFound());
+}
+
+TEST(CatalogTest, RegisterAndGetRowTable) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.RegisterRowTable(RowTable::Create("T", PairSchema())).ok());
+  EXPECT_TRUE(catalog.GetRowTable("T").ok());
+  EXPECT_TRUE(catalog.GetRowTable("U").status().IsNotFound());
+}
+
+TEST(CatalogTest, DuplicateNamesRejectedAcrossKinds) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(MakeRelation("X")).ok());
+  EXPECT_TRUE(catalog.RegisterRowTable(RowTable::Create("X", PairSchema()))
+                  .IsAlreadyExists());
+}
+
+TEST(CatalogTest, NullRejected) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.RegisterRelation(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(catalog.RegisterRowTable(nullptr).IsInvalidArgument());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(MakeRelation("R")).ok());
+  EXPECT_TRUE(catalog.DropTable("R").ok());
+  EXPECT_TRUE(catalog.GetRelation("R").status().IsNotFound());
+  EXPECT_TRUE(catalog.DropTable("R").IsNotFound());
+}
+
+TEST(CatalogTest, HasTableAndCount) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.HasTable("R"));
+  ASSERT_TRUE(catalog.RegisterRelation(MakeRelation("R")).ok());
+  ASSERT_TRUE(
+      catalog.RegisterRowTable(RowTable::Create("T", PairSchema())).ok());
+  EXPECT_TRUE(catalog.HasTable("R"));
+  EXPECT_TRUE(catalog.HasTable("T"));
+  EXPECT_EQ(catalog.num_tables(), 2u);
+}
+
+TEST(CatalogTest, RowTableNames) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.RegisterRowTable(RowTable::Create("b", PairSchema())).ok());
+  ASSERT_TRUE(
+      catalog.RegisterRowTable(RowTable::Create("a", PairSchema())).ok());
+  std::vector<std::string> names = catalog.RowTableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(CatalogTest, MutationsCountCatalogOps) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(MakeRelation("R")).ok());
+  uint64_t after_register = catalog.stats().catalog_ops;
+  EXPECT_GE(after_register, 1u);
+  ASSERT_TRUE(catalog.DropTable("R").ok());
+  EXPECT_GT(catalog.stats().catalog_ops, after_register);
+  EXPECT_GT(catalog.stats().page_writes, 0u);  // system-table page touches
+}
+
+TEST(CatalogTest, PartitionedTableLifecycle) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreatePartitionedTable("base").ok());
+  EXPECT_TRUE(catalog.CreatePartitionedTable("base").IsAlreadyExists());
+
+  FragmentInfo f;
+  f.fragment_table = "base_in";
+  f.column = "a";
+  f.lo = 0;
+  f.hi = 10;
+  f.row_count = 11;
+  ASSERT_TRUE(catalog.AddFragment("base", f).ok());
+  EXPECT_TRUE(catalog.AddFragment("other", f).IsNotFound());
+
+  auto frags = catalog.GetFragments("base");
+  ASSERT_TRUE(frags.ok());
+  ASSERT_EQ(frags->size(), 1u);
+  EXPECT_EQ((*frags)[0].fragment_table, "base_in");
+}
+
+TEST(CatalogTest, FragmentPruningByBounds) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreatePartitionedTable("p").ok());
+  FragmentInfo low;
+  low.fragment_table = "p_low";
+  low.column = "a";
+  low.lo = 0;
+  low.hi = 49;
+  FragmentInfo high;
+  high.fragment_table = "p_high";
+  high.column = "a";
+  high.lo = 50;
+  high.hi = 100;
+  ASSERT_TRUE(catalog.AddFragment("p", low).ok());
+  ASSERT_TRUE(catalog.AddFragment("p", high).ok());
+
+  auto hits = catalog.FragmentsIntersecting("p", "a", 10, 20);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].fragment_table, "p_low");
+
+  auto both = catalog.FragmentsIntersecting("p", "a", 40, 60);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->size(), 2u);
+}
+
+TEST(CatalogTest, FragmentPruningRespectsExclusivity) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreatePartitionedTable("p").ok());
+  FragmentInfo f;
+  f.fragment_table = "edge";
+  f.column = "a";
+  f.lo = 0;
+  f.hi = 50;
+  f.hi_inclusive = false;  // values < 50
+  ASSERT_TRUE(catalog.AddFragment("p", f).ok());
+  // Query [50, 60] cannot match values < 50.
+  auto hits = catalog.FragmentsIntersecting("p", "a", 50, 60);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  // Query [49, 60] can.
+  hits = catalog.FragmentsIntersecting("p", "a", 49, 60);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST(CatalogTest, FragmentsOnOtherColumnAlwaysTouched) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreatePartitionedTable("p").ok());
+  FragmentInfo f;
+  f.fragment_table = "frag";
+  f.column = "b";  // bounds describe column b, query is on a
+  f.lo = 1000;
+  f.hi = 2000;
+  ASSERT_TRUE(catalog.AddFragment("p", f).ok());
+  auto hits = catalog.FragmentsIntersecting("p", "a", 0, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);  // no knowledge on 'a' -> must be scanned
+}
+
+TEST(CatalogTest, DropRemovesPartitionList) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(MakeRelation("base")).ok());
+  ASSERT_TRUE(catalog.CreatePartitionedTable("base").ok());
+  ASSERT_TRUE(catalog.DropTable("base").ok());
+  EXPECT_TRUE(catalog.GetFragments("base").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,241 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for the crack-in-two / crack-in-three partition kernels, including
+// parameterized property sweeps over data shapes and pivots.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/crack_kernels.h"
+#include "util/rng.h"
+
+namespace crackstore {
+namespace {
+
+std::vector<int64_t> RandomData(size_t n, uint64_t seed, int64_t domain) {
+  Pcg32 rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.NextInRange(0, domain);
+  return v;
+}
+
+std::vector<Oid> IdentityOids(size_t n) {
+  std::vector<Oid> v(n);
+  std::iota(v.begin(), v.end(), Oid{0});
+  return v;
+}
+
+std::multiset<int64_t> AsMultiset(const std::vector<int64_t>& v) {
+  return std::multiset<int64_t>(v.begin(), v.end());
+}
+
+TEST(CrackInTwoTest, LtPartitionsCorrectly) {
+  std::vector<int64_t> data{5, 1, 9, 3, 7, 3, 0};
+  auto orig = AsMultiset(data);
+  CrackSplit split =
+      CrackInTwoLt(data.data(), nullptr, data.size(), int64_t{4});
+  for (size_t i = 0; i < split.split; ++i) EXPECT_LT(data[i], 4);
+  for (size_t i = split.split; i < data.size(); ++i) EXPECT_GE(data[i], 4);
+  EXPECT_EQ(AsMultiset(data), orig);
+  EXPECT_EQ(split.split, 4u);  // {1,3,3,0}
+}
+
+TEST(CrackInTwoTest, LePartitionsCorrectly) {
+  std::vector<int64_t> data{5, 4, 9, 4, 7, 3};
+  CrackSplit split =
+      CrackInTwoLe(data.data(), nullptr, data.size(), int64_t{4});
+  EXPECT_EQ(split.split, 3u);  // {4,4,3}
+  for (size_t i = 0; i < split.split; ++i) EXPECT_LE(data[i], 4);
+  for (size_t i = split.split; i < data.size(); ++i) EXPECT_GT(data[i], 4);
+}
+
+TEST(CrackInTwoTest, EmptyInput) {
+  std::vector<int64_t> data;
+  CrackSplit split = CrackInTwoLt(data.data(), nullptr, 0, int64_t{4});
+  EXPECT_EQ(split.split, 0u);
+  EXPECT_EQ(split.writes, 0u);
+}
+
+TEST(CrackInTwoTest, AllLeft) {
+  std::vector<int64_t> data{1, 2, 3};
+  CrackSplit split =
+      CrackInTwoLt(data.data(), nullptr, data.size(), int64_t{100});
+  EXPECT_EQ(split.split, 3u);
+  EXPECT_EQ(split.writes, 0u);  // nothing moved
+}
+
+TEST(CrackInTwoTest, AllRight) {
+  std::vector<int64_t> data{5, 6, 7};
+  CrackSplit split =
+      CrackInTwoLt(data.data(), nullptr, data.size(), int64_t{0});
+  EXPECT_EQ(split.split, 0u);
+  EXPECT_EQ(split.writes, 0u);
+}
+
+TEST(CrackInTwoTest, OidsFollowValues) {
+  std::vector<int64_t> data{5, 1, 9, 3};
+  std::vector<Oid> oids = IdentityOids(4);
+  std::vector<int64_t> orig = data;
+  CrackInTwoLt(data.data(), oids.data(), data.size(), int64_t{4});
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], orig[oids[i]]);  // oid still names its source slot
+  }
+}
+
+TEST(CrackInTwoTest, WriteCountMatchesSwaps) {
+  // One swap needed: [9, 1] around pivot 5 -> [1, 9], 2 writes.
+  std::vector<int64_t> data{9, 1};
+  CrackSplit split =
+      CrackInTwoLt(data.data(), nullptr, data.size(), int64_t{5});
+  EXPECT_EQ(split.writes, 2u);
+  EXPECT_EQ(split.split, 1u);
+}
+
+TEST(CrackInThreeTest, BasicThreeWay) {
+  std::vector<int64_t> data{8, 2, 5, 9, 1, 5, 7, 0};
+  auto orig = AsMultiset(data);
+  Crack3Split split = CrackInThree(data.data(), nullptr, data.size(),
+                                   int64_t{2}, true, int64_t{6}, true);
+  for (size_t i = 0; i < split.first; ++i) EXPECT_LT(data[i], 2);
+  for (size_t i = split.first; i < split.second; ++i) {
+    EXPECT_GE(data[i], 2);
+    EXPECT_LE(data[i], 6);
+  }
+  for (size_t i = split.second; i < data.size(); ++i) EXPECT_GT(data[i], 6);
+  EXPECT_EQ(AsMultiset(data), orig);
+}
+
+TEST(CrackInThreeTest, ExclusiveBounds) {
+  std::vector<int64_t> data{2, 3, 4, 5, 6, 2, 6};
+  Crack3Split split = CrackInThree(data.data(), nullptr, data.size(),
+                                   int64_t{2}, false, int64_t{6}, false);
+  // middle = values in (2, 6)
+  for (size_t i = split.first; i < split.second; ++i) {
+    EXPECT_GT(data[i], 2);
+    EXPECT_LT(data[i], 6);
+  }
+  EXPECT_EQ(split.second - split.first, 3u);  // {3,4,5}
+}
+
+TEST(CrackInThreeTest, PointRange) {
+  std::vector<int64_t> data{3, 1, 3, 2, 3};
+  Crack3Split split = CrackInThree(data.data(), nullptr, data.size(),
+                                   int64_t{3}, true, int64_t{3}, true);
+  EXPECT_EQ(split.second - split.first, 3u);  // three 3s clustered
+  for (size_t i = split.first; i < split.second; ++i) EXPECT_EQ(data[i], 3);
+}
+
+TEST(CrackInThreeTest, EmptyMiddle) {
+  std::vector<int64_t> data{1, 10, 2, 9};
+  Crack3Split split = CrackInThree(data.data(), nullptr, data.size(),
+                                   int64_t{5}, true, int64_t{5}, false);
+  EXPECT_EQ(split.first, split.second);
+}
+
+TEST(CrackInThreeTest, EmptyInput) {
+  std::vector<int64_t> data;
+  Crack3Split split = CrackInThree(data.data(), nullptr, size_t{0},
+                                   int64_t{1}, true, int64_t{2}, true);
+  EXPECT_EQ(split.first, 0u);
+  EXPECT_EQ(split.second, 0u);
+}
+
+TEST(CrackInThreeTest, OidsFollowValues) {
+  std::vector<int64_t> data{8, 2, 5, 9, 1, 5, 7, 0};
+  std::vector<Oid> oids = IdentityOids(8);
+  std::vector<int64_t> orig = data;
+  CrackInThree(data.data(), oids.data(), data.size(), int64_t{2}, true,
+               int64_t{6}, true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], orig[oids[i]]);
+  }
+}
+
+TEST(CrackInThreeTest, WorksOnDoubles) {
+  std::vector<double> data{0.5, 2.5, 1.5, 3.5};
+  Crack3Split split = CrackInThree(data.data(), nullptr, data.size(), 1.0,
+                                   true, 3.0, true);
+  EXPECT_EQ(split.first, 1u);
+  EXPECT_EQ(split.second, 3u);
+}
+
+TEST(CrackInThreeTest, WorksOnInt32) {
+  std::vector<int32_t> data{5, 1, 3, 2, 4};
+  Crack3Split split = CrackInThree(data.data(), nullptr, data.size(),
+                                   int32_t{2}, true, int32_t{4}, true);
+  for (size_t i = split.first; i < split.second; ++i) {
+    EXPECT_GE(data[i], 2);
+    EXPECT_LE(data[i], 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random data shapes x pivots, checking the partition
+// invariants, multiset preservation and oid alignment.
+// ---------------------------------------------------------------------------
+
+class KernelPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int64_t, uint64_t>> {
+};
+
+TEST_P(KernelPropertyTest, CrackInTwoInvariants) {
+  auto [n, domain, seed] = GetParam();
+  std::vector<int64_t> data = RandomData(n, seed, domain);
+  std::vector<Oid> oids = IdentityOids(n);
+  std::vector<int64_t> orig = data;
+  auto orig_set = AsMultiset(data);
+  Pcg32 rng(seed ^ 0xABCD);
+  int64_t pivot = rng.NextInRange(-1, domain + 1);
+
+  CrackSplit split = CrackInTwoLt(data.data(), oids.data(), n, pivot);
+  ASSERT_LE(split.split, n);
+  for (size_t i = 0; i < split.split; ++i) ASSERT_LT(data[i], pivot);
+  for (size_t i = split.split; i < n; ++i) ASSERT_GE(data[i], pivot);
+  ASSERT_EQ(AsMultiset(data), orig_set);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(data[i], orig[oids[i]]);
+  // Each swap writes two tuples; never more than n writes total.
+  ASSERT_LE(split.writes, n + 1);
+}
+
+TEST_P(KernelPropertyTest, CrackInThreeInvariants) {
+  auto [n, domain, seed] = GetParam();
+  std::vector<int64_t> data = RandomData(n, seed, domain);
+  std::vector<Oid> oids = IdentityOids(n);
+  std::vector<int64_t> orig = data;
+  auto orig_set = AsMultiset(data);
+  Pcg32 rng(seed ^ 0x1234);
+  int64_t lo = rng.NextInRange(0, domain);
+  int64_t hi = rng.NextInRange(lo, domain);
+  bool lo_incl = rng.NextBounded(2) == 0;
+  bool hi_incl = rng.NextBounded(2) == 0;
+
+  Crack3Split split =
+      CrackInThree(data.data(), oids.data(), n, lo, lo_incl, hi, hi_incl);
+  ASSERT_LE(split.first, split.second);
+  ASSERT_LE(split.second, n);
+  auto below = [&](int64_t v) { return lo_incl ? v < lo : v <= lo; };
+  auto above = [&](int64_t v) { return hi_incl ? v > hi : v >= hi; };
+  for (size_t i = 0; i < split.first; ++i) ASSERT_TRUE(below(data[i]));
+  for (size_t i = split.first; i < split.second; ++i) {
+    ASSERT_FALSE(below(data[i]));
+    ASSERT_FALSE(above(data[i]));
+  }
+  for (size_t i = split.second; i < n; ++i) ASSERT_TRUE(above(data[i]));
+  ASSERT_EQ(AsMultiset(data), orig_set);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(data[i], orig[oids[i]]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelPropertyTest,
+    ::testing::Combine(
+        ::testing::Values<size_t>(1, 2, 10, 1000, 10000),     // n
+        ::testing::Values<int64_t>(1, 10, 1000000),           // domain
+        ::testing::Values<uint64_t>(1, 42, 20040901)));       // seed
+
+}  // namespace
+}  // namespace crackstore

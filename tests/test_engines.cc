@@ -1,0 +1,279 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for the row and column engine facades: delivery-mode cost spread,
+// SQL-level cracking, partitioned selects, chain joins and the plan-budget
+// optimizer.
+
+#include <gtest/gtest.h>
+
+#include "engine/colstore_engine.h"
+#include "engine/plan_optimizer.h"
+#include "engine/rowstore_engine.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+std::shared_ptr<Relation> Tapestry(const std::string& name, uint64_t n,
+                                   uint64_t seed = 1) {
+  TapestryOptions opts;
+  opts.num_rows = n;
+  opts.seed = seed;
+  return *BuildTapestry(name, opts);
+}
+
+TEST(PlanOptimizerTest, SmallChainsPlanFully) {
+  PlanOptimizerOptions opts;
+  opts.plan_budget = 10000;
+  PlanDecision d = PlanChainJoin(4, opts);
+  EXPECT_EQ(d.algo, JoinAlgo::kHash);
+  EXPECT_FALSE(d.budget_exhausted);
+  EXPECT_GT(d.plans_considered, 0u);
+}
+
+TEST(PlanOptimizerTest, LongChainsExhaustBudget) {
+  PlanOptimizerOptions opts;
+  opts.plan_budget = 10000;
+  PlanDecision d = PlanChainJoin(40, opts);
+  EXPECT_EQ(d.algo, JoinAlgo::kNestedLoop);
+  EXPECT_TRUE(d.budget_exhausted);
+  EXPECT_GE(d.plans_considered, opts.plan_budget);
+}
+
+TEST(PlanOptimizerTest, EnumerationGrowsWithChainLength) {
+  PlanOptimizerOptions opts;
+  opts.plan_budget = 1000000;
+  uint64_t prev = 0;
+  for (size_t k = 2; k <= 8; ++k) {
+    PlanDecision d = PlanChainJoin(k, opts);
+    EXPECT_GT(d.plans_considered, prev) << "k=" << k;
+    prev = d.plans_considered;
+  }
+}
+
+TEST(PlanOptimizerTest, TrivialCases) {
+  PlanOptimizerOptions opts;
+  EXPECT_EQ(PlanChainJoin(1, opts).algo, JoinAlgo::kHash);
+  EXPECT_EQ(PlanChainJoin(0, opts).algo, JoinAlgo::kHash);
+}
+
+TEST(RowEngineTest, ImportAndCount) {
+  RowEngine engine;
+  auto table = engine.ImportRelation(*Tapestry("R", 1000));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1000u);
+  EXPECT_TRUE(engine.ImportRelation(*Tapestry("R", 10)).status()
+                  .IsAlreadyExists());
+}
+
+TEST(RowEngineTest, SelectCountCorrect) {
+  RowEngine engine;
+  ASSERT_TRUE(engine.ImportRelation(*Tapestry("R", 1000)).ok());
+  auto run = engine.RunSelect("R", "c0", RangeBounds::Closed(1, 100),
+                              DeliveryMode::kCount);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->count, 100u);
+}
+
+TEST(RowEngineTest, DeliveryModeCostSpread) {
+  // The Fig. 1 anatomy: materialize must cost more than print, print more
+  // than count (in deterministic I/O units).
+  RowEngine engine;
+  ASSERT_TRUE(engine.ImportRelation(*Tapestry("R", 5000)).ok());
+  RangeBounds range = RangeBounds::Closed(1, 2500);  // 50% selectivity
+  auto count = engine.RunSelect("R", "c0", range, DeliveryMode::kCount);
+  auto print = engine.RunSelect("R", "c0", range, DeliveryMode::kPrint);
+  auto mat = engine.RunSelect("R", "c0", range, DeliveryMode::kMaterialize);
+  ASSERT_TRUE(count.ok() && print.ok() && mat.ok());
+  EXPECT_EQ(count->count, print->count);
+  EXPECT_EQ(count->count, mat->count);
+  // Materialization writes pages + journal; count writes nothing.
+  EXPECT_EQ(count->io.tuples_written, 0u);
+  EXPECT_GT(mat->io.tuples_written, 0u);
+  EXPECT_GT(mat->io.journal_writes, 0u);
+  EXPECT_GT(print->bytes_shipped, 0u);
+  EXPECT_EQ(count->bytes_shipped, 0u);
+}
+
+TEST(RowEngineTest, MaterializeRegistersResultTable) {
+  RowEngine engine;
+  ASSERT_TRUE(engine.ImportRelation(*Tapestry("R", 100)).ok());
+  ASSERT_TRUE(engine
+                  .RunSelect("R", "c0", RangeBounds::Closed(1, 10),
+                             DeliveryMode::kMaterialize, "newR")
+                  .ok());
+  auto result = engine.catalog().GetRowTable("newR");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 10u);
+  // Re-running with the same result name replaces the table.
+  ASSERT_TRUE(engine
+                  .RunSelect("R", "c0", RangeBounds::Closed(1, 20),
+                             DeliveryMode::kMaterialize, "newR")
+                  .ok());
+  EXPECT_EQ((*engine.catalog().GetRowTable("newR"))->num_rows(), 20u);
+}
+
+TEST(RowEngineTest, SqlLevelCrackSplitsLosslessly) {
+  RowEngine engine;
+  ASSERT_TRUE(engine.ImportRelation(*Tapestry("R", 1000)).ok());
+  auto run = engine.CrackTableSql("R", "c0", RangeBounds::AtMost(300), "Rp");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->count, 300u);
+  auto in_frag = engine.catalog().GetRowTable("Rp_in");
+  auto out_frag = engine.catalog().GetRowTable("Rp_out");
+  ASSERT_TRUE(in_frag.ok() && out_frag.ok());
+  EXPECT_EQ((*in_frag)->num_rows(), 300u);
+  EXPECT_EQ((*out_frag)->num_rows(), 700u);
+  // Two full scans + two materializations; strictly more expensive than one
+  // plain materializing select.
+  EXPECT_GE(run->io.tuples_read, 2000u);
+  EXPECT_GE(run->io.journal_writes, 1000u);
+}
+
+TEST(RowEngineTest, PartitionedSelectPrunesFragments) {
+  RowEngine engine;
+  ASSERT_TRUE(engine.ImportRelation(*Tapestry("R", 1000)).ok());
+  ASSERT_TRUE(
+      engine.CrackTableSql("R", "c0", RangeBounds::AtMost(300), "Rp").ok());
+
+  // A query inside the in-fragment's bounds touches only 300 tuples.
+  auto pruned = engine.RunSelectPartitioned("Rp", "c0",
+                                            RangeBounds::Closed(100, 200),
+                                            DeliveryMode::kCount);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->count, 101u);
+  EXPECT_LE(pruned->io.tuples_read, 300u);
+
+  // A straddling query touches both fragments but still answers correctly.
+  auto both = engine.RunSelectPartitioned("Rp", "c0",
+                                          RangeBounds::Closed(250, 350),
+                                          DeliveryMode::kCount);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->count, 101u);
+}
+
+TEST(RowEngineTest, ChainJoinHashCountsPaths) {
+  RowEngine engine;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine
+                    .ImportRelation(*Tapestry("T" + std::to_string(i), 200,
+                                              /*seed=*/10 + i))
+                    .ok());
+  }
+  auto run = engine.RunChainJoin({"T0", "T1", "T2"}, "c1", "c0");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->join_algo, JoinAlgo::kHash);
+  // Permutation chains: every tuple continues exactly once.
+  EXPECT_EQ(run->count, 200u);
+}
+
+TEST(RowEngineTest, ChainJoinNestedLoopAgrees) {
+  RowEngineOptions opts;
+  opts.optimizer.plan_budget = 1;  // force the nested-loop fallback
+  RowEngine engine(opts);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine
+                    .ImportRelation(*Tapestry("T" + std::to_string(i), 60,
+                                              /*seed=*/20 + i))
+                    .ok());
+  }
+  auto run = engine.RunChainJoin({"T0", "T1", "T2"}, "c1", "c0");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->join_algo, JoinAlgo::kNestedLoop);
+  EXPECT_EQ(run->count, 60u);
+}
+
+TEST(RowEngineTest, DeadlineTruncatesRunaways) {
+  RowEngineOptions opts;
+  opts.optimizer.plan_budget = 1;
+  opts.statement_deadline_seconds = 0.05;
+  RowEngine engine(opts);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine
+                    .ImportRelation(*Tapestry("T" + std::to_string(i), 2000,
+                                              /*seed=*/30 + i))
+                    .ok());
+  }
+  std::vector<std::string> tables;
+  for (int i = 0; i < 4; ++i) tables.push_back("T" + std::to_string(i));
+  auto run = engine.RunChainJoin(tables, "c1", "c0");
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->truncated);
+  EXPECT_LT(run->count, 2000u);  // stopped before completing
+}
+
+TEST(ColumnEngineTest, SelectAgreesWithRowEngine) {
+  auto rel = Tapestry("R", 2000, /*seed=*/5);
+  RowEngine row_engine;
+  ASSERT_TRUE(row_engine.ImportRelation(*rel).ok());
+  ColumnEngine col_engine;
+  ASSERT_TRUE(col_engine.AddTable(rel).ok());
+
+  for (auto mode : {DeliveryMode::kCount, DeliveryMode::kPrint,
+                    DeliveryMode::kMaterialize}) {
+    auto row_run =
+        row_engine.RunSelect("R", "c0", RangeBounds::Closed(100, 600), mode);
+    auto col_run =
+        col_engine.RunSelect("R", "c0", RangeBounds::Closed(100, 600), mode);
+    ASSERT_TRUE(row_run.ok() && col_run.ok());
+    EXPECT_EQ(row_run->count, col_run->count);
+  }
+}
+
+TEST(ColumnEngineTest, MaterializeProducesRelation) {
+  ColumnEngine engine;
+  ASSERT_TRUE(engine.AddTable(Tapestry("R", 500)).ok());
+  auto run = engine.RunSelect("R", "c0", RangeBounds::Closed(1, 50),
+                              DeliveryMode::kMaterialize, "result");
+  ASSERT_TRUE(run.ok());
+  ASSERT_NE(engine.last_result(), nullptr);
+  EXPECT_EQ(engine.last_result()->num_rows(), 50u);
+  EXPECT_EQ(engine.last_result()->name(), "result");
+}
+
+TEST(ColumnEngineTest, ChainJoinMatchesRowEngine) {
+  RowEngine row_engine;
+  ColumnEngine col_engine;
+  std::vector<std::string> tables;
+  for (int i = 0; i < 4; ++i) {
+    auto rel = Tapestry("T" + std::to_string(i), 150, /*seed=*/40 + i);
+    ASSERT_TRUE(row_engine.ImportRelation(*rel).ok());
+    ASSERT_TRUE(col_engine.AddTable(rel).ok());
+    tables.push_back(rel->name());
+  }
+  auto row_run = row_engine.RunChainJoin(tables, "c1", "c0");
+  auto col_run = col_engine.RunChainJoin(tables, "c1", "c0");
+  ASSERT_TRUE(row_run.ok() && col_run.ok());
+  EXPECT_EQ(row_run->count, col_run->count);
+  EXPECT_EQ(col_run->count, 150u);
+}
+
+TEST(ColumnEngineTest, LongChainStaysCheap) {
+  ColumnEngine engine;
+  std::vector<std::string> tables;
+  for (int i = 0; i < 32; ++i) {
+    auto rel = Tapestry("T" + std::to_string(i), 500, /*seed=*/100 + i);
+    ASSERT_TRUE(engine.AddTable(rel).ok());
+    tables.push_back(rel->name());
+  }
+  auto run = engine.RunChainJoin(tables, "c1", "c0");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->count, 500u);
+  EXPECT_FALSE(run->truncated);
+}
+
+TEST(ColumnEngineTest, ValidatesInputs) {
+  ColumnEngine engine;
+  ASSERT_TRUE(engine.AddTable(Tapestry("R", 10)).ok());
+  EXPECT_TRUE(engine.AddTable(Tapestry("R", 10)).IsAlreadyExists());
+  EXPECT_TRUE(engine
+                  .RunSelect("X", "c0", RangeBounds::All(),
+                             DeliveryMode::kCount)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(engine.RunChainJoin({"R"}, "c1", "c0").status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,233 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for Ω-cracking (group cracker) and clustered aggregation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/group_cracker.h"
+#include "util/rng.h"
+
+namespace crackstore {
+namespace {
+
+std::shared_ptr<Bat> I64(std::vector<int64_t> v, const char* name = "g") {
+  return Bat::FromVector(v, name);
+}
+
+TEST(GroupCrackerTest, ClustersByValue) {
+  auto col = I64({3, 1, 2, 3, 1, 3});
+  auto cracked = CrackGroup(col);
+  ASSERT_TRUE(cracked.ok());
+  ASSERT_EQ(cracked->groups.size(), 3u);
+  // Groups are in ascending value order with correct sizes.
+  EXPECT_EQ(cracked->groups[0].value, 1);
+  EXPECT_EQ(cracked->groups[0].size(), 2u);
+  EXPECT_EQ(cracked->groups[1].value, 2);
+  EXPECT_EQ(cracked->groups[1].size(), 1u);
+  EXPECT_EQ(cracked->groups[2].value, 3);
+  EXPECT_EQ(cracked->groups[2].size(), 3u);
+  // Every piece holds only its value.
+  for (size_t g = 0; g < cracked->groups.size(); ++g) {
+    BatView piece = cracked->piece(g);
+    for (size_t i = 0; i < piece.size(); ++i) {
+      EXPECT_EQ(piece.Get<int64_t>(i), cracked->groups[g].value);
+    }
+  }
+}
+
+TEST(GroupCrackerTest, PiecesTileColumn) {
+  Pcg32 rng(3);
+  std::vector<int64_t> v(500);
+  for (auto& x : v) x = rng.NextInRange(0, 20);
+  auto cracked = CrackGroup(I64(v));
+  ASSERT_TRUE(cracked.ok());
+  size_t expected_begin = 0;
+  for (const GroupPiece& g : cracked->groups) {
+    EXPECT_EQ(g.begin, expected_begin);
+    expected_begin = g.end;
+  }
+  EXPECT_EQ(expected_begin, v.size());
+}
+
+TEST(GroupCrackerTest, LossLess) {
+  Pcg32 rng(5);
+  std::vector<int64_t> v(300);
+  for (auto& x : v) x = rng.NextInRange(0, 10);
+  auto cracked = CrackGroup(I64(v));
+  ASSERT_TRUE(cracked.ok());
+  std::multiset<int64_t> clustered(
+      cracked->values->TailData<int64_t>(),
+      cracked->values->TailData<int64_t>() + v.size());
+  EXPECT_EQ(clustered, std::multiset<int64_t>(v.begin(), v.end()));
+}
+
+TEST(GroupCrackerTest, OidsMapBack) {
+  auto col = I64({5, 9, 5, 7});
+  auto cracked = CrackGroup(col);
+  ASSERT_TRUE(cracked.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    Oid oid = cracked->oids->Get<Oid>(i);
+    EXPECT_EQ(col->Get<int64_t>(static_cast<size_t>(oid)),
+              cracked->values->Get<int64_t>(i));
+  }
+}
+
+TEST(GroupCrackerTest, SingleGroup) {
+  auto cracked = CrackGroup(I64({4, 4, 4}));
+  ASSERT_TRUE(cracked.ok());
+  ASSERT_EQ(cracked->groups.size(), 1u);
+  EXPECT_EQ(cracked->groups[0].size(), 3u);
+}
+
+TEST(GroupCrackerTest, EmptyColumn) {
+  auto cracked = CrackGroup(I64({}));
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_TRUE(cracked->groups.empty());
+}
+
+TEST(GroupCrackerTest, Int32Columns) {
+  auto col = Bat::FromVector(std::vector<int32_t>{2, 1, 2}, "i32");
+  auto cracked = CrackGroup(col);
+  ASSERT_TRUE(cracked.ok());
+  ASSERT_EQ(cracked->groups.size(), 2u);
+  EXPECT_EQ(cracked->groups[1].size(), 2u);
+}
+
+TEST(GroupCrackerTest, RejectsNonIntegers) {
+  auto col = Bat::FromVector(std::vector<double>{1.0}, "f");
+  EXPECT_TRUE(CrackGroup(col).status().IsUnimplemented());
+  EXPECT_TRUE(CrackGroup(nullptr).status().IsInvalidArgument());
+}
+
+TEST(GroupCrackerTest, StatsAccounting) {
+  IoStats stats;
+  auto cracked = CrackGroup(I64({1, 2, 1, 2, 3}), &stats);
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(stats.tuples_read, 10u);   // histogram + scatter passes
+  EXPECT_EQ(stats.tuples_written, 5u);
+  EXPECT_EQ(stats.pieces_created, 3u);
+}
+
+class GroupAggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    group_col_ = I64({2, 1, 2, 1, 2}, "grp");
+    agg_col_ = I64({10, 100, 20, 200, 30}, "val");
+    auto cracked = CrackGroup(group_col_);
+    ASSERT_TRUE(cracked.ok());
+    cracked_ = std::move(*cracked);
+  }
+
+  std::shared_ptr<Bat> group_col_;
+  std::shared_ptr<Bat> agg_col_;
+  GroupCrackResult cracked_;
+};
+
+TEST_F(GroupAggregateTest, Count) {
+  auto aggs = AggregateGroups(cracked_, agg_col_, AggKind::kCount);
+  ASSERT_TRUE(aggs.ok());
+  ASSERT_EQ(aggs->size(), 2u);
+  EXPECT_EQ((*aggs)[0].group, 1);
+  EXPECT_EQ((*aggs)[0].value, 2);
+  EXPECT_EQ((*aggs)[1].group, 2);
+  EXPECT_EQ((*aggs)[1].value, 3);
+}
+
+TEST_F(GroupAggregateTest, Sum) {
+  auto aggs = AggregateGroups(cracked_, agg_col_, AggKind::kSum);
+  ASSERT_TRUE(aggs.ok());
+  EXPECT_EQ((*aggs)[0].value, 300);  // group 1: 100 + 200
+  EXPECT_EQ((*aggs)[1].value, 60);   // group 2: 10 + 20 + 30
+}
+
+TEST_F(GroupAggregateTest, MinMax) {
+  auto mins = AggregateGroups(cracked_, agg_col_, AggKind::kMin);
+  ASSERT_TRUE(mins.ok());
+  EXPECT_EQ((*mins)[0].value, 100);
+  EXPECT_EQ((*mins)[1].value, 10);
+  auto maxs = AggregateGroups(cracked_, agg_col_, AggKind::kMax);
+  ASSERT_TRUE(maxs.ok());
+  EXPECT_EQ((*maxs)[0].value, 200);
+  EXPECT_EQ((*maxs)[1].value, 30);
+}
+
+TEST_F(GroupAggregateTest, RejectsBadAggColumn) {
+  EXPECT_TRUE(AggregateGroups(cracked_, nullptr, AggKind::kSum)
+                  .status()
+                  .IsInvalidArgument());
+  auto f64 = Bat::FromVector(std::vector<double>{1.0}, "f");
+  EXPECT_TRUE(AggregateGroups(cracked_, f64, AggKind::kSum)
+                  .status()
+                  .IsUnimplemented());
+}
+
+// Property sweep: random data shapes, piece invariants + loss-lessness.
+class GroupCrackerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int64_t, uint64_t>> {
+};
+
+TEST_P(GroupCrackerPropertyTest, Invariants) {
+  auto [n, domain, seed] = GetParam();
+  Pcg32 rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.NextInRange(0, domain);
+  auto col = I64(v);
+  auto cracked = CrackGroup(col);
+  ASSERT_TRUE(cracked.ok());
+
+  // Pieces tile [0, n), are value-sorted, and hold only their value.
+  size_t cursor = 0;
+  int64_t prev = INT64_MIN;
+  for (const GroupPiece& g : cracked->groups) {
+    ASSERT_EQ(g.begin, cursor);
+    ASSERT_GT(g.value, prev);
+    for (size_t i = g.begin; i < g.end; ++i) {
+      ASSERT_EQ(cracked->values->Get<int64_t>(i), g.value);
+      // Oid maps back to a source slot holding the same value.
+      Oid oid = cracked->oids->Get<Oid>(i);
+      ASSERT_EQ(v[static_cast<size_t>(oid)], g.value);
+    }
+    cursor = g.end;
+    prev = g.value;
+  }
+  ASSERT_EQ(cursor, n);
+  // Group sizes match a naive histogram.
+  std::map<int64_t, size_t> naive;
+  for (int64_t x : v) ++naive[x];
+  ASSERT_EQ(cracked->groups.size(), naive.size());
+  for (const GroupPiece& g : cracked->groups) {
+    ASSERT_EQ(g.size(), naive[g.value]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupCrackerPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 10, 1000, 5000),
+                       ::testing::Values<int64_t>(0, 3, 100, 1000000),
+                       ::testing::Values<uint64_t>(1, 42)));
+
+TEST(GroupAggregateTest2, MatchesNaiveAggregation) {
+  Pcg32 rng(11);
+  std::vector<int64_t> grp(400), val(400);
+  for (auto& x : grp) x = rng.NextInRange(0, 15);
+  for (auto& x : val) x = rng.NextInRange(-100, 100);
+  auto cracked = CrackGroup(I64(grp));
+  ASSERT_TRUE(cracked.ok());
+  auto sums = AggregateGroups(*cracked, I64(val), AggKind::kSum);
+  ASSERT_TRUE(sums.ok());
+
+  std::map<int64_t, int64_t> naive;
+  for (size_t i = 0; i < grp.size(); ++i) naive[grp[i]] += val[i];
+  ASSERT_EQ(sums->size(), naive.size());
+  for (const GroupAggregate& agg : *sums) {
+    EXPECT_EQ(agg.value, naive[agg.group]) << "group " << agg.group;
+  }
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,196 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for ^-cracking (join cracker).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/join_cracker.h"
+#include "util/rng.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+std::shared_ptr<Bat> I64(std::vector<int64_t> v, const char* name = "c") {
+  return Bat::FromVector(v, name);
+}
+
+std::multiset<int64_t> ViewValues(const BatView& view) {
+  std::multiset<int64_t> out;
+  for (size_t i = 0; i < view.size(); ++i) out.insert(view.Get<int64_t>(i));
+  return out;
+}
+
+TEST(JoinCrackerTest, SplitsMatchingAndNonMatching) {
+  auto r = I64({1, 2, 3, 4, 5}, "R.k");
+  auto s = I64({4, 5, 6, 7}, "S.k");
+  auto cracked = CrackJoin(r, s);
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(ViewValues(cracked->left.matching()),
+            (std::multiset<int64_t>{4, 5}));
+  EXPECT_EQ(ViewValues(cracked->left.non_matching()),
+            (std::multiset<int64_t>{1, 2, 3}));
+  EXPECT_EQ(ViewValues(cracked->right.matching()),
+            (std::multiset<int64_t>{4, 5}));
+  EXPECT_EQ(ViewValues(cracked->right.non_matching()),
+            (std::multiset<int64_t>{6, 7}));
+}
+
+TEST(JoinCrackerTest, LossLessBothSides) {
+  Pcg32 rng(5);
+  std::vector<int64_t> rv(200), sv(300);
+  for (auto& v : rv) v = rng.NextInRange(0, 100);
+  for (auto& v : sv) v = rng.NextInRange(50, 150);
+  auto cracked = CrackJoin(I64(rv), I64(sv));
+  ASSERT_TRUE(cracked.ok());
+  // P1 u P2 == R, P3 u P4 == S (multiset equality).
+  std::multiset<int64_t> left_all = ViewValues(cracked->left.matching());
+  for (int64_t v : ViewValues(cracked->left.non_matching())) {
+    left_all.insert(v);
+  }
+  EXPECT_EQ(left_all, std::multiset<int64_t>(rv.begin(), rv.end()));
+  std::multiset<int64_t> right_all = ViewValues(cracked->right.matching());
+  for (int64_t v : ViewValues(cracked->right.non_matching())) {
+    right_all.insert(v);
+  }
+  EXPECT_EQ(right_all, std::multiset<int64_t>(sv.begin(), sv.end()));
+}
+
+TEST(JoinCrackerTest, SemijoinProperty) {
+  // Every matching value must appear in the other side; every non-matching
+  // value must not.
+  Pcg32 rng(6);
+  std::vector<int64_t> rv(150), sv(150);
+  for (auto& v : rv) v = rng.NextInRange(0, 80);
+  for (auto& v : sv) v = rng.NextInRange(40, 120);
+  auto cracked = CrackJoin(I64(rv), I64(sv));
+  ASSERT_TRUE(cracked.ok());
+  std::set<int64_t> s_keys(sv.begin(), sv.end());
+  for (int64_t v : ViewValues(cracked->left.matching())) {
+    EXPECT_TRUE(s_keys.count(v) > 0);
+  }
+  for (int64_t v : ViewValues(cracked->left.non_matching())) {
+    EXPECT_TRUE(s_keys.count(v) == 0);
+  }
+}
+
+TEST(JoinCrackerTest, OidsMapBackToSources) {
+  auto r = I64({10, 20, 30}, "R");
+  auto s = I64({30, 10, 99}, "S");
+  auto cracked = CrackJoin(r, s);
+  ASSERT_TRUE(cracked.ok());
+  for (size_t i = 0; i < cracked->left.values->size(); ++i) {
+    Oid oid = cracked->left.oids->Get<Oid>(i);
+    EXPECT_EQ(r->Get<int64_t>(static_cast<size_t>(oid)),
+              cracked->left.values->Get<int64_t>(i));
+  }
+  for (size_t i = 0; i < cracked->right.values->size(); ++i) {
+    Oid oid = cracked->right.oids->Get<Oid>(i);
+    EXPECT_EQ(s->Get<int64_t>(static_cast<size_t>(oid)),
+              cracked->right.values->Get<int64_t>(i));
+  }
+}
+
+TEST(JoinCrackerTest, JoinMatchingAreasEqualsFullHashJoin) {
+  Pcg32 rng(7);
+  std::vector<int64_t> rv(300), sv(200);
+  for (auto& v : rv) v = rng.NextInRange(0, 150);
+  for (auto& v : sv) v = rng.NextInRange(100, 250);
+  auto r = I64(rv, "R");
+  auto s = I64(sv, "S");
+
+  auto cracked = CrackJoin(r, s);
+  ASSERT_TRUE(cracked.ok());
+  std::vector<OidPair> via_crack = JoinMatchingAreas(*cracked);
+  auto full = HashJoinOids(r, s);
+  ASSERT_TRUE(full.ok());
+
+  auto normalize = [](std::vector<OidPair> pairs) {
+    std::vector<std::pair<Oid, Oid>> out;
+    out.reserve(pairs.size());
+    for (const auto& p : pairs) out.emplace_back(p.left, p.right);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(normalize(via_crack), normalize(*full));
+}
+
+TEST(JoinCrackerTest, DisjointInputs) {
+  auto cracked = CrackJoin(I64({1, 2}), I64({3, 4}));
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(cracked->left.split, 0u);
+  EXPECT_EQ(cracked->right.split, 0u);
+  EXPECT_TRUE(JoinMatchingAreas(*cracked).empty());
+}
+
+TEST(JoinCrackerTest, IdenticalInputs) {
+  auto cracked = CrackJoin(I64({1, 2, 3}), I64({1, 2, 3}));
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(cracked->left.split, 3u);
+  EXPECT_EQ(cracked->right.split, 3u);
+  EXPECT_EQ(JoinMatchingAreas(*cracked).size(), 3u);
+}
+
+TEST(JoinCrackerTest, DuplicateKeysMultiplyPairs) {
+  auto r = I64({7, 7});
+  auto s = I64({7, 7, 7});
+  auto cracked = CrackJoin(r, s);
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(JoinMatchingAreas(*cracked).size(), 6u);  // 2 x 3
+}
+
+TEST(JoinCrackerTest, EmptyOperand) {
+  auto cracked = CrackJoin(I64({}), I64({1, 2}));
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(cracked->left.split, 0u);
+  EXPECT_EQ(cracked->right.split, 0u);
+}
+
+TEST(JoinCrackerTest, TypeMismatchRejected) {
+  auto r = I64({1});
+  auto s = Bat::FromVector(std::vector<int32_t>{1}, "i32");
+  EXPECT_TRUE(CrackJoin(r, s).status().IsTypeMismatch());
+  EXPECT_TRUE(HashJoinOids(r, s).status().IsTypeMismatch());
+}
+
+TEST(JoinCrackerTest, NullRejected) {
+  EXPECT_TRUE(CrackJoin(nullptr, I64({1})).status().IsInvalidArgument());
+  EXPECT_TRUE(HashJoinOids(I64({1}), nullptr).status().IsInvalidArgument());
+}
+
+TEST(JoinCrackerTest, StatsAccounting) {
+  IoStats stats;
+  auto cracked = CrackJoin(I64({1, 2, 3, 4}), I64({3, 4, 5}), &stats);
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_GT(stats.tuples_read, 0u);
+  EXPECT_EQ(stats.cracks, 2u);          // one shuffle per side
+  EXPECT_EQ(stats.pieces_created, 4u);  // P1..P4
+}
+
+TEST(JoinCrackerTest, HeadBaseRespected) {
+  auto r = I64({5, 6});
+  r->set_head_base(100);
+  auto s = I64({6});
+  auto pairs = HashJoinOids(r, s);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].left, 101u);
+  EXPECT_EQ((*pairs)[0].right, 0u);
+}
+
+TEST(JoinCrackerTest, PermutationSelfJoinCountsN) {
+  auto r = BuildPermutationColumn(1000, 31, "p1");
+  auto s = BuildPermutationColumn(1000, 37, "p2");
+  auto cracked = CrackJoin(r, s);
+  ASSERT_TRUE(cracked.ok());
+  // Two permutations of 1..N match everywhere.
+  EXPECT_EQ(cracked->left.split, 1000u);
+  EXPECT_EQ(JoinMatchingAreas(*cracked).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,188 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for the lineage DAG (paper Figs. 5-6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/lineage.h"
+
+namespace crackstore {
+namespace {
+
+TEST(LineageTest, AddRootBasics) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 1000);
+  EXPECT_EQ(g.num_pieces(), 1u);
+  const LineagePiece& p = g.piece(r);
+  EXPECT_EQ(p.label, "R");
+  EXPECT_EQ(p.size, 1000u);
+  EXPECT_TRUE(p.is_root);
+  EXPECT_TRUE(p.parents.empty());
+}
+
+TEST(LineageTest, XiCrackAddsChildren) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  auto kids = g.AddCrack(CrackOp::kXi, {r}, {{"R[1]", 40}, {"R[2]", 60}});
+  ASSERT_TRUE(kids.ok());
+  ASSERT_EQ(kids->size(), 2u);
+  EXPECT_EQ(g.piece((*kids)[0]).label, "R[1]");
+  EXPECT_EQ(g.piece((*kids)[0]).produced_by, CrackOp::kXi);
+  EXPECT_EQ(g.piece(r).children.size(), 2u);
+  EXPECT_EQ(g.piece((*kids)[1]).parents.size(), 1u);
+  EXPECT_EQ(g.piece((*kids)[1]).parents[0], r);
+}
+
+TEST(LineageTest, RejectsBadInputs) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 10);
+  EXPECT_TRUE(g.AddCrack(CrackOp::kXi, {}, {{"x", 1}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(g.AddCrack(CrackOp::kXi, {r}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      g.AddCrack(CrackOp::kXi, {999}, {{"x", 1}}).status().IsNotFound());
+}
+
+TEST(LineageTest, LeavesOfFreshRootIsItself) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 10);
+  auto leaves = g.Leaves(r);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0], r);
+}
+
+TEST(LineageTest, LeavesAfterNestedCracks) {
+  // Reproduce the paper's Fig. 5 shape: R -> {R[1], R[2]}, R[2] -> {R[3],
+  // R[4]}, R[4] -> {R[5], R[6]}.
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  auto l1 = *g.AddCrack(CrackOp::kXi, {r}, {{"R[1]", 30}, {"R[2]", 70}});
+  auto l2 =
+      *g.AddCrack(CrackOp::kXi, {l1[1]}, {{"R[3]", 20}, {"R[4]", 50}});
+  auto l3 =
+      *g.AddCrack(CrackOp::kXi, {l2[1]}, {{"R[5]", 10}, {"R[6]", 40}});
+  auto leaves = g.Leaves(r);
+  std::vector<std::string> labels;
+  labels.reserve(leaves.size());
+  for (PieceId id : leaves) labels.push_back(g.piece(id).label);
+  std::sort(labels.begin(), labels.end());
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"R[1]", "R[3]", "R[5]", "R[6]"}));
+  (void)l3;
+}
+
+TEST(LineageTest, CheckLosslessAcceptsConsistentSizes) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  auto kids = *g.AddCrack(CrackOp::kXi, {r}, {{"R[1]", 30}, {"R[2]", 70}});
+  (void)g.AddCrack(CrackOp::kXi, {kids[1]}, {{"R[3]", 69}, {"R[4]", 1}});
+  EXPECT_TRUE(g.CheckLossless(r).ok());
+}
+
+TEST(LineageTest, CheckLosslessRejectsLeak) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  (void)g.AddCrack(CrackOp::kXi, {r}, {{"R[1]", 30}, {"R[2]", 60}});  // 90!
+  EXPECT_FALSE(g.CheckLossless(r).ok());
+}
+
+TEST(LineageTest, CheckLosslessSkipsPsi) {
+  // Ψ duplicates cardinality across fragments; it must not trip the check.
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  (void)g.AddCrack(CrackOp::kPsi, {r}, {{"R#1", 100}, {"R#2", 100}});
+  EXPECT_TRUE(g.CheckLossless(r).ok());
+}
+
+TEST(LineageTest, CheckLosslessSkipsMultiParentOps) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 10);
+  PieceId s = g.AddRoot("S", 20);
+  (void)g.AddCrack(CrackOp::kWedge, {r, s},
+                   {{"P1", 5}, {"P2", 5}, {"P3", 15}, {"P4", 5}});
+  EXPECT_TRUE(g.CheckLossless(r).ok());
+}
+
+TEST(LineageTest, CheckLosslessUnknownRoot) {
+  LineageGraph g;
+  EXPECT_TRUE(g.CheckLossless(7).IsNotFound());
+}
+
+TEST(LineageTest, OmegaFanout) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R.g", 9);
+  auto kids = g.AddCrack(CrackOp::kOmega, {r},
+                         {{"g=1", 3}, {"g=2", 3}, {"g=3", 3}});
+  ASSERT_TRUE(kids.ok());
+  EXPECT_EQ(g.Leaves(r).size(), 3u);
+  EXPECT_TRUE(g.CheckLossless(r).ok());
+}
+
+TEST(LineageTest, DotRenderingContainsNodesAndEdges) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  (void)g.AddCrack(CrackOp::kXi, {r}, {{"R[1]", 40}, {"R[2]", 60}});
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("digraph lineage"), std::string::npos);
+  EXPECT_NE(dot.find("R[1]"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("Xi"), std::string::npos);
+}
+
+TEST(LineageTest, TrimDescendantsFusesSubtree) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  auto l1 = *g.AddCrack(CrackOp::kXi, {r}, {{"R[1]", 30}, {"R[2]", 70}});
+  (void)g.AddCrack(CrackOp::kXi, {l1[1]}, {{"R[3]", 20}, {"R[4]", 50}});
+  ASSERT_EQ(g.Leaves(r).size(), 3u);
+
+  ASSERT_TRUE(g.TrimDescendants(r).ok());
+  // The root is a leaf again; descendants are marked trimmed.
+  auto leaves = g.Leaves(r);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0], r);
+  EXPECT_TRUE(g.piece(l1[0]).trimmed);
+  EXPECT_TRUE(g.piece(l1[1]).trimmed);
+  EXPECT_TRUE(g.CheckLossless(r).ok());
+}
+
+TEST(LineageTest, TrimThenRecrackStaysConsistent) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 100);
+  (void)g.AddCrack(CrackOp::kXi, {r}, {{"R[1]", 40}, {"R[2]", 60}});
+  ASSERT_TRUE(g.TrimDescendants(r).ok());
+  auto fresh = *g.AddCrack(CrackOp::kXi, {r}, {{"R[a]", 25}, {"R[b]", 75}});
+  EXPECT_TRUE(g.CheckLossless(r).ok());
+  auto leaves = g.Leaves(r);
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0], fresh[1]);  // DFS order; both fresh children present
+  EXPECT_EQ(leaves[1], fresh[0]);
+}
+
+TEST(LineageTest, TrimUnknownPieceFails) {
+  LineageGraph g;
+  EXPECT_TRUE(g.TrimDescendants(42).IsNotFound());
+}
+
+TEST(LineageTest, TrimmedNodesLeaveDotOutput) {
+  LineageGraph g;
+  PieceId r = g.AddRoot("R", 10);
+  (void)g.AddCrack(CrackOp::kXi, {r}, {{"gone[1]", 4}, {"gone[2]", 6}});
+  ASSERT_TRUE(g.TrimDescendants(r).ok());
+  std::string dot = g.ToDot();
+  EXPECT_EQ(dot.find("gone[1]"), std::string::npos);
+  EXPECT_NE(dot.find("\"R\\n"), std::string::npos);
+}
+
+TEST(LineageTest, CrackOpNames) {
+  EXPECT_STREQ(CrackOpName(CrackOp::kXi), "Xi");
+  EXPECT_STREQ(CrackOpName(CrackOp::kPsi), "Psi");
+  EXPECT_STREQ(CrackOpName(CrackOp::kWedge), "Wedge");
+  EXPECT_STREQ(CrackOpName(CrackOp::kOmega), "Omega");
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,135 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for piece-fusion budgets and victim-selection policies.
+
+#include <gtest/gtest.h>
+
+#include "core/merge_policy.h"
+#include "util/rng.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+std::unique_ptr<CrackerIndex<int64_t>> MakeCrackedIndex(size_t n,
+                                                        size_t queries,
+                                                        uint64_t seed) {
+  auto col = BuildPermutationColumn(n, seed, "perm");
+  auto index = std::make_unique<CrackerIndex<int64_t>>(col);
+  Pcg32 rng(seed ^ 0xFEED);
+  for (size_t q = 0; q < queries; ++q) {
+    int64_t lo = rng.NextInRange(1, static_cast<int64_t>(n) - 10);
+    index->Select(lo, true, lo + 9, true);
+  }
+  return index;
+}
+
+TEST(MergePolicyTest, UnlimitedBudgetNeverDrops) {
+  auto index = MakeCrackedIndex(1000, 20, 1);
+  size_t bounds = index->num_bounds();
+  MergeBudget none;  // kNone
+  EXPECT_EQ(EnforceMergeBudget(index.get(), none), 0u);
+  MergeBudget zero_cap{MergePolicyKind::kLeastRecentlyUsed, 0};
+  EXPECT_EQ(EnforceMergeBudget(index.get(), zero_cap), 0u);
+  EXPECT_EQ(index->num_bounds(), bounds);
+}
+
+TEST(MergePolicyTest, BudgetEnforced) {
+  auto index = MakeCrackedIndex(1000, 30, 2);
+  ASSERT_GT(index->num_bounds(), 8u);
+  MergeBudget budget{MergePolicyKind::kLeastRecentlyUsed, 8};
+  size_t dropped = EnforceMergeBudget(index.get(), budget);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LE(index->num_bounds(), 8u);
+  EXPECT_TRUE(index->Validate().ok());
+}
+
+TEST(MergePolicyTest, LruDropsColdestBoundary) {
+  auto col = BuildPermutationColumn(1000, 3, "perm");
+  CrackerIndex<int64_t> index(col);
+  index.Select(100, true, 200, true);  // bounds 100, 200
+  index.Select(500, true, 600, true);  // bounds 500, 600
+  // Re-touch 100/200 so 500 becomes the coldest.
+  index.Select(100, true, 200, true);
+  // 600 was touched later than 500 within the same query; re-touch it too.
+  index.SelectLessThan(600, true);
+
+  MergeBudget budget{MergePolicyKind::kLeastRecentlyUsed, 3};
+  EXPECT_EQ(EnforceMergeBudget(&index, budget), 1u);
+  bool has500 = false;
+  for (const auto& b : index.Bounds()) has500 |= (b.value == 500);
+  EXPECT_FALSE(has500);
+}
+
+TEST(MergePolicyTest, FifoDropsOldestBoundary) {
+  auto col = BuildPermutationColumn(1000, 4, "perm");
+  CrackerIndex<int64_t> index(col);
+  index.Select(100, true, 200, true);
+  index.Select(500, true, 600, true);
+  // Touching 100 again must NOT save it under FIFO (creation order rules).
+  index.Select(100, true, 150, true);
+
+  MergeBudget budget{MergePolicyKind::kOldestFirst, 4};
+  EXPECT_EQ(EnforceMergeBudget(&index, budget), 1u);
+  bool has100 = false;
+  for (const auto& b : index.Bounds()) has100 |= (b.value == 100);
+  EXPECT_FALSE(has100);  // 100 was created first -> dropped first
+}
+
+TEST(MergePolicyTest, SmallestPiecesFusesCrumbs) {
+  auto col = BuildPermutationColumn(10000, 5, "perm");
+  CrackerIndex<int64_t> index(col);
+  // A big cut at 5000 and a crumb cut at 10-12 (tiny adjacent pieces).
+  index.Select(1, true, 5000, true);
+  index.Select(10, true, 12, true);
+  MergeBudget budget{MergePolicyKind::kSmallestPieces, 2};
+  size_t dropped = EnforceMergeBudget(&index, budget);
+  EXPECT_GE(dropped, 1u);
+  // The big boundary at 5000 must survive; crumbs around 10-12 fuse first.
+  bool has5000 = false;
+  for (const auto& b : index.Bounds()) has5000 |= (b.value == 5000);
+  EXPECT_TRUE(has5000);
+}
+
+TEST(MergePolicyTest, QueriesStayCorrectAfterFusion) {
+  auto col = BuildPermutationColumn(2000, 6, "perm");
+  CrackerIndex<int64_t> index(col);
+  Pcg32 rng(77);
+  MergeBudget budget{MergePolicyKind::kLeastRecentlyUsed, 4};
+  for (int q = 0; q < 40; ++q) {
+    int64_t lo = rng.NextInRange(1, 1900);
+    int64_t hi = lo + 99;
+    CrackSelection sel = index.Select(lo, true, hi, true);
+    EXPECT_EQ(sel.count(), 100u) << "query " << q;  // permutation of 1..N
+    EnforceMergeBudget(&index, budget);
+    ASSERT_TRUE(index.Validate().ok());
+    ASSERT_LE(index.num_bounds(), 4u);
+  }
+}
+
+TEST(MergePolicyTest, KindNamesAndParsing) {
+  EXPECT_STREQ(MergePolicyKindName(MergePolicyKind::kNone), "none");
+  EXPECT_STREQ(MergePolicyKindName(MergePolicyKind::kLeastRecentlyUsed),
+               "lru");
+  EXPECT_STREQ(MergePolicyKindName(MergePolicyKind::kOldestFirst), "fifo");
+  EXPECT_STREQ(MergePolicyKindName(MergePolicyKind::kSmallestPieces),
+               "smallest");
+  EXPECT_EQ(MergePolicyKindFromString("lru"),
+            MergePolicyKind::kLeastRecentlyUsed);
+  EXPECT_EQ(MergePolicyKindFromString("fifo"), MergePolicyKind::kOldestFirst);
+  EXPECT_EQ(MergePolicyKindFromString("smallest"),
+            MergePolicyKind::kSmallestPieces);
+  EXPECT_EQ(MergePolicyKindFromString("whatever"), MergePolicyKind::kNone);
+}
+
+TEST(MergePolicyTest, BudgetUnlimitedPredicate) {
+  MergeBudget a;
+  EXPECT_TRUE(a.unlimited());
+  MergeBudget b{MergePolicyKind::kLeastRecentlyUsed, 0};
+  EXPECT_TRUE(b.unlimited());
+  MergeBudget c{MergePolicyKind::kLeastRecentlyUsed, 5};
+  EXPECT_FALSE(c.unlimited());
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,150 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for Ψ-cracking (vertical fragmentation) and its reconstruction.
+
+#include <gtest/gtest.h>
+
+#include "core/projection_cracker.h"
+
+namespace crackstore {
+namespace {
+
+std::shared_ptr<Relation> MakeWideTable() {
+  Schema schema({{"k", ValueType::kInt64},
+                 {"a", ValueType::kInt64},
+                 {"b", ValueType::kInt64},
+                 {"tag", ValueType::kString}});
+  auto rel = *Relation::Create("W", schema);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(rel->AppendRow({Value(i), Value(i * 2), Value(i * 3),
+                                Value(std::string(i % 2 == 0 ? "even"
+                                                             : "odd"))})
+                    .ok());
+  }
+  return rel;
+}
+
+TEST(ProjectionCrackerTest, SplitsIntoTwoFragments) {
+  auto rel = MakeWideTable();
+  auto cracked = CrackProjection(rel, {"a", "b"});
+  ASSERT_TRUE(cracked.ok());
+  // P1: oid + projected, P2: oid + rest.
+  EXPECT_EQ(cracked->projected->num_columns(), 3u);
+  EXPECT_EQ(cracked->remainder->num_columns(), 3u);
+  EXPECT_GE(cracked->projected->schema().FieldIndex("a"), 0);
+  EXPECT_GE(cracked->projected->schema().FieldIndex("b"), 0);
+  EXPECT_GE(cracked->remainder->schema().FieldIndex("k"), 0);
+  EXPECT_GE(cracked->remainder->schema().FieldIndex("tag"), 0);
+  EXPECT_EQ(cracked->projected->schema().FieldIndex("k"), -1);
+}
+
+TEST(ProjectionCrackerTest, BothFragmentsCarrySurrogates) {
+  auto cracked = CrackProjection(MakeWideTable(), {"a"});
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(cracked->projected->schema().column(0).name, "oid");
+  EXPECT_EQ(cracked->projected->schema().column(0).type, ValueType::kOid);
+  EXPECT_EQ(cracked->remainder->schema().column(0).name, "oid");
+  // Surrogates are duplicate-free and aligned.
+  auto oids = *cracked->projected->column("oid");
+  for (size_t i = 0; i < oids->size(); ++i) {
+    EXPECT_EQ(oids->Get<Oid>(i), i);
+  }
+}
+
+TEST(ProjectionCrackerTest, FragmentsShareColumnStorage) {
+  auto rel = MakeWideTable();
+  auto cracked = CrackProjection(rel, {"a"});
+  ASSERT_TRUE(cracked.ok());
+  // Vertical cracking on BATs is zero-copy: same physical column objects.
+  EXPECT_EQ((*cracked->projected->column("a")).get(),
+            (*rel->column("a")).get());
+}
+
+TEST(ProjectionCrackerTest, ValidatesAttributeList) {
+  auto rel = MakeWideTable();
+  EXPECT_TRUE(CrackProjection(rel, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(CrackProjection(rel, {"nope"}).status().IsNotFound());
+  EXPECT_TRUE(CrackProjection(rel, {"a", "a"}).status().IsInvalidArgument());
+  EXPECT_TRUE(CrackProjection(rel, {"k", "a", "b", "tag"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CrackProjection(nullptr, {"a"}).status().IsInvalidArgument());
+}
+
+TEST(ProjectionCrackerTest, ReconstructRestoresOriginal) {
+  auto rel = MakeWideTable();
+  auto cracked = CrackProjection(rel, {"a", "tag"});
+  ASSERT_TRUE(cracked.ok());
+  auto rebuilt = ReconstructProjection(*cracked, rel->schema(), "W2");
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_EQ((*rebuilt)->num_rows(), rel->num_rows());
+  ASSERT_TRUE((*rebuilt)->schema() == rel->schema());
+  for (size_t i = 0; i < rel->num_rows(); ++i) {
+    EXPECT_EQ((*rebuilt)->GetRow(i), rel->GetRow(i)) << "row " << i;
+  }
+}
+
+TEST(ProjectionCrackerTest, ReconstructHandlesReorderedRemainder) {
+  auto rel = MakeWideTable();
+  auto cracked = CrackProjection(rel, {"a"});
+  ASSERT_TRUE(cracked.ok());
+
+  // Simulate independent physical reorganization of the remainder fragment
+  // (e.g. it was Ξ-cracked on k): reverse its rows.
+  auto rem = cracked->remainder;
+  auto reversed = *Relation::Create("rev", rem->schema());
+  for (size_t i = rem->num_rows(); i > 0; --i) {
+    ASSERT_TRUE(reversed->AppendRow(rem->GetRow(i - 1)).ok());
+  }
+  ProjectionCrackResult shuffled;
+  shuffled.projected = cracked->projected;
+  shuffled.remainder = reversed;
+
+  auto rebuilt = ReconstructProjection(shuffled, rel->schema(), "W3");
+  ASSERT_TRUE(rebuilt.ok());
+  for (size_t i = 0; i < rel->num_rows(); ++i) {
+    EXPECT_EQ((*rebuilt)->GetRow(i), rel->GetRow(i)) << "row " << i;
+  }
+}
+
+TEST(ProjectionCrackerTest, ReconstructDetectsCorruptSurrogates) {
+  auto rel = MakeWideTable();
+  auto cracked = CrackProjection(rel, {"a"});
+  ASSERT_TRUE(cracked.ok());
+  // Break the remainder's surrogate column: duplicate oid 0.
+  auto bad = *Relation::Create("bad", cracked->remainder->schema());
+  for (size_t i = 0; i < cracked->remainder->num_rows(); ++i) {
+    auto row = cracked->remainder->GetRow(i);
+    row[0] = Value::FromOid(0);
+    ASSERT_TRUE(bad->AppendRow(row).ok());
+  }
+  ProjectionCrackResult corrupt;
+  corrupt.projected = cracked->projected;
+  corrupt.remainder = bad;
+  auto rebuilt = ReconstructProjection(corrupt, rel->schema(), "X");
+  EXPECT_FALSE(rebuilt.ok());
+}
+
+TEST(ProjectionCrackerTest, ReconstructValidatesCardinality) {
+  auto rel = MakeWideTable();
+  auto cracked = CrackProjection(rel, {"a"});
+  ASSERT_TRUE(cracked.ok());
+  ProjectionCrackResult truncated;
+  truncated.projected = cracked->projected;
+  truncated.remainder = *Relation::Create("empty",
+                                          cracked->remainder->schema());
+  EXPECT_TRUE(ReconstructProjection(truncated, rel->schema(), "X")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProjectionCrackerTest, StatsAccounting) {
+  IoStats stats;
+  auto cracked = CrackProjection(MakeWideTable(), {"a"}, &stats);
+  ASSERT_TRUE(cracked.ok());
+  EXPECT_EQ(stats.tuples_written, 100u);  // two surrogate columns of 50
+  EXPECT_EQ(stats.pieces_created, 2u);
+}
+
+}  // namespace
+}  // namespace crackstore

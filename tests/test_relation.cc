@@ -1,0 +1,135 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for Schema and Relation.
+
+#include <gtest/gtest.h>
+
+#include "storage/relation.h"
+
+namespace crackstore {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"k", ValueType::kInt64}, {"a", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, FieldIndex) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.FieldIndex("k"), 0);
+  EXPECT_EQ(s.FieldIndex("a"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TwoColSchema().ToString(), "(k:int64, a:int64)");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(TwoColSchema(), TwoColSchema());
+  Schema other({{"k", ValueType::kInt64}});
+  EXPECT_FALSE(TwoColSchema() == other);
+  Schema renamed({{"x", ValueType::kInt64}, {"a", ValueType::kInt64}});
+  EXPECT_FALSE(TwoColSchema() == renamed);
+}
+
+TEST(RelationTest, CreateEmpty) {
+  auto rel = Relation::Create("R", TwoColSchema());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->num_rows(), 0u);
+  EXPECT_EQ((*rel)->num_columns(), 2u);
+  EXPECT_EQ((*rel)->name(), "R");
+}
+
+TEST(RelationTest, DuplicateColumnNamesRejected) {
+  Schema dup({{"a", ValueType::kInt64}, {"a", ValueType::kInt32}});
+  auto rel = Relation::Create("R", dup);
+  EXPECT_FALSE(rel.ok());
+  EXPECT_TRUE(rel.status().IsInvalidArgument());
+}
+
+TEST(RelationTest, AppendAndGetRow) {
+  auto rel = *Relation::Create("R", TwoColSchema());
+  ASSERT_TRUE(rel->AppendRow({Value(int64_t{1}), Value(int64_t{10})}).ok());
+  ASSERT_TRUE(rel->AppendRow({Value(int64_t{2}), Value(int64_t{20})}).ok());
+  EXPECT_EQ(rel->num_rows(), 2u);
+  auto row = rel->GetRow(1);
+  EXPECT_EQ(row[0].AsInt64(), 2);
+  EXPECT_EQ(row[1].AsInt64(), 20);
+}
+
+TEST(RelationTest, AppendRowArityMismatch) {
+  auto rel = *Relation::Create("R", TwoColSchema());
+  Status s = rel->AppendRow({Value(int64_t{1})});
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(rel->num_rows(), 0u);
+}
+
+TEST(RelationTest, AppendRowTypeMismatchLeavesColumnsAligned) {
+  auto rel = *Relation::Create("R", TwoColSchema());
+  Status s = rel->AppendRow({Value(int64_t{1}), Value(std::string("oops"))});
+  EXPECT_TRUE(s.IsTypeMismatch());
+  // The failed append must not have grown any column.
+  EXPECT_EQ(rel->column(size_t{0})->size(), 0u);
+  EXPECT_EQ(rel->column(size_t{1})->size(), 0u);
+}
+
+TEST(RelationTest, ColumnLookupByName) {
+  auto rel = *Relation::Create("R", TwoColSchema());
+  auto col = rel->column("a");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->name(), "R.a");
+  EXPECT_TRUE(rel->column("zzz").status().IsNotFound());
+}
+
+TEST(RelationTest, FromColumnsValidatesCardinality) {
+  auto c1 = Bat::FromVector(std::vector<int64_t>{1, 2});
+  auto c2 = Bat::FromVector(std::vector<int64_t>{1, 2, 3});
+  auto rel = Relation::FromColumns("R", TwoColSchema(), {c1, c2});
+  EXPECT_FALSE(rel.ok());
+  EXPECT_TRUE(rel.status().IsInvalidArgument());
+}
+
+TEST(RelationTest, FromColumnsValidatesTypes) {
+  auto c1 = Bat::FromVector(std::vector<int64_t>{1});
+  auto c2 = Bat::FromVector(std::vector<int32_t>{1});
+  auto rel = Relation::FromColumns("R", TwoColSchema(), {c1, c2});
+  EXPECT_TRUE(rel.status().IsTypeMismatch());
+}
+
+TEST(RelationTest, FromColumnsValidatesArity) {
+  auto c1 = Bat::FromVector(std::vector<int64_t>{1});
+  auto rel = Relation::FromColumns("R", TwoColSchema(), {c1});
+  EXPECT_TRUE(rel.status().IsInvalidArgument());
+}
+
+TEST(RelationTest, FromColumnsWrapsWithoutCopy) {
+  auto c1 = Bat::FromVector(std::vector<int64_t>{1, 2});
+  auto c2 = Bat::FromVector(std::vector<int64_t>{3, 4});
+  auto rel = *Relation::FromColumns("R", TwoColSchema(), {c1, c2});
+  EXPECT_EQ(rel->column(size_t{0}).get(), c1.get());  // same Bat object
+  c1->MutableTailData<int64_t>()[0] = 42;
+  EXPECT_EQ(rel->GetRow(0)[0].AsInt64(), 42);
+}
+
+TEST(RelationTest, TotalBytes) {
+  auto rel = *Relation::Create("R", TwoColSchema());
+  ASSERT_TRUE(rel->AppendRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  EXPECT_EQ(rel->total_bytes(), 16u);
+}
+
+TEST(RelationTest, MixedTypeSchema) {
+  Schema mixed({{"id", ValueType::kInt32},
+                {"score", ValueType::kFloat64},
+                {"tag", ValueType::kString}});
+  auto rel = *Relation::Create("M", mixed);
+  ASSERT_TRUE(rel->AppendRow({Value(int32_t{1}), Value(0.5),
+                              Value(std::string("hot"))})
+                  .ok());
+  auto row = rel->GetRow(0);
+  EXPECT_EQ(row[0].AsInt32(), 1);
+  EXPECT_DOUBLE_EQ(row[1].AsDouble(), 0.5);
+  EXPECT_EQ(row[2].AsString(), "hot");
+}
+
+}  // namespace
+}  // namespace crackstore

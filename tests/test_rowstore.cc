@@ -1,0 +1,311 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for the row-store substrate: pages, codec, heap file, journal,
+// tables.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rowstore/heap_file.h"
+#include "rowstore/journal.h"
+#include "rowstore/page.h"
+#include "rowstore/row_table.h"
+#include "rowstore/tuple_codec.h"
+
+namespace crackstore {
+namespace {
+
+Schema PairSchema() {
+  return Schema({{"k", ValueType::kInt64}, {"a", ValueType::kInt64}});
+}
+
+TEST(PageTest, InsertAndGet) {
+  Page page(256);
+  int s0 = page.Insert("hello");
+  int s1 = page.Insert("world!");
+  ASSERT_EQ(s0, 0);
+  ASSERT_EQ(s1, 1);
+  EXPECT_EQ(page.Get(0), "hello");
+  EXPECT_EQ(page.Get(1), "world!");
+  EXPECT_EQ(page.num_slots(), 2u);
+}
+
+TEST(PageTest, RejectsWhenFull) {
+  Page page(64);
+  std::string big(100, 'x');
+  EXPECT_EQ(page.Insert(big), -1);
+  std::string small(10, 'y');
+  EXPECT_GE(page.Insert(small), 0);
+}
+
+TEST(PageTest, AccountsSlotDirectoryOverhead) {
+  Page page(64);
+  // Each slot entry costs 8 bytes; payload + slots must fit in 64.
+  int count = 0;
+  while (page.Insert("12345678") >= 0) ++count;
+  EXPECT_GT(count, 0);
+  EXPECT_LT(count, 8);  // 8 tuples * (8 payload + 8 slot) = 128 > 64
+}
+
+TEST(TupleCodecTest, RoundTripFixedWidth) {
+  TupleCodec codec(PairSchema());
+  std::string bytes;
+  ASSERT_TRUE(codec.Encode({Value(int64_t{7}), Value(int64_t{-3})}, &bytes)
+                  .ok());
+  EXPECT_EQ(bytes.size(), 16u);
+  auto decoded = codec.Decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].AsInt64(), 7);
+  EXPECT_EQ((*decoded)[1].AsInt64(), -3);
+}
+
+TEST(TupleCodecTest, RoundTripAllTypes) {
+  Schema schema({{"i", ValueType::kInt32},
+                 {"l", ValueType::kInt64},
+                 {"d", ValueType::kFloat64},
+                 {"o", ValueType::kOid},
+                 {"s", ValueType::kString}});
+  TupleCodec codec(schema);
+  std::string bytes;
+  ASSERT_TRUE(codec.Encode({Value(int32_t{1}), Value(int64_t{2}), Value(3.5),
+                            Value::FromOid(4), Value(std::string("five"))},
+                           &bytes)
+                  .ok());
+  auto decoded = codec.Decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].AsInt32(), 1);
+  EXPECT_EQ((*decoded)[1].AsInt64(), 2);
+  EXPECT_DOUBLE_EQ((*decoded)[2].AsDouble(), 3.5);
+  EXPECT_EQ((*decoded)[3].AsOid(), 4u);
+  EXPECT_EQ((*decoded)[4].AsString(), "five");
+}
+
+TEST(TupleCodecTest, EncodeTypeMismatch) {
+  TupleCodec codec(PairSchema());
+  std::string bytes;
+  Status s = codec.Encode({Value(1.5), Value(int64_t{1})}, &bytes);
+  EXPECT_TRUE(s.IsTypeMismatch());
+}
+
+TEST(TupleCodecTest, DecodeTruncated) {
+  TupleCodec codec(PairSchema());
+  std::string bytes;
+  ASSERT_TRUE(
+      codec.Encode({Value(int64_t{1}), Value(int64_t{2})}, &bytes).ok());
+  auto decoded = codec.Decode(std::string_view(bytes).substr(0, 10));
+  EXPECT_TRUE(decoded.status().IsOutOfRange());
+}
+
+TEST(TupleCodecTest, DecodeTrailingGarbage) {
+  TupleCodec codec(PairSchema());
+  std::string bytes;
+  ASSERT_TRUE(
+      codec.Encode({Value(int64_t{1}), Value(int64_t{2})}, &bytes).ok());
+  bytes += "xx";
+  EXPECT_TRUE(codec.Decode(bytes).status().IsOutOfRange());
+}
+
+TEST(TupleCodecTest, DecodeSingleColumn) {
+  Schema schema({{"s", ValueType::kString}, {"v", ValueType::kInt64}});
+  TupleCodec codec(schema);
+  std::string bytes;
+  ASSERT_TRUE(
+      codec.Encode({Value(std::string("key")), Value(int64_t{77})}, &bytes)
+          .ok());
+  auto v = codec.DecodeColumn(bytes, 1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 77);
+  auto s = codec.DecodeColumn(bytes, 0);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->AsString(), "key");
+  EXPECT_TRUE(codec.DecodeColumn(bytes, 5).status().IsInvalidArgument());
+}
+
+TEST(HeapFileTest, AppendReadScan) {
+  HeapFile file(256);
+  TupleId id0 = file.Append("tuple-0");
+  TupleId id1 = file.Append("tuple-1");
+  EXPECT_EQ(file.num_tuples(), 2u);
+  EXPECT_EQ(file.Read(id0), "tuple-0");
+  EXPECT_EQ(file.Read(id1), "tuple-1");
+
+  std::vector<std::string> seen;
+  file.Scan([&](TupleId, std::string_view t) { seen.emplace_back(t); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "tuple-0");
+  EXPECT_EQ(seen[1], "tuple-1");
+}
+
+TEST(HeapFileTest, SpillsAcrossPages) {
+  HeapFile file(64);
+  for (int i = 0; i < 20; ++i) file.Append("0123456789");
+  EXPECT_GT(file.num_pages(), 1u);
+  size_t count = 0;
+  file.Scan([&](TupleId, std::string_view) { ++count; });
+  EXPECT_EQ(count, 20u);
+}
+
+TEST(HeapFileTest, CountsIo) {
+  HeapFile file(128);
+  for (int i = 0; i < 10; ++i) file.Append("abcdefgh");
+  uint64_t writes = file.stats().tuples_written;
+  EXPECT_EQ(writes, 10u);
+  EXPECT_GT(file.stats().page_writes, 0u);
+  file.stats().Reset();
+  size_t n = 0;
+  file.Scan([&](TupleId, std::string_view) { ++n; });
+  EXPECT_EQ(file.stats().tuples_read, 10u);
+  EXPECT_EQ(file.stats().page_reads, file.num_pages());
+}
+
+TEST(JournalTest, LsnMonotone) {
+  Journal journal;
+  uint64_t l1 = journal.Append("t", "payload1");
+  uint64_t l2 = journal.Append("t", "payload2");
+  EXPECT_LT(l1, l2);
+  EXPECT_EQ(journal.stats().journal_writes, 2u);
+}
+
+TEST(JournalTest, BytesAccumulate) {
+  Journal journal;
+  size_t before = journal.log_bytes();
+  journal.Append("table", "0123456789");
+  EXPECT_GT(journal.log_bytes(), before + 10);  // header + payload
+}
+
+TEST(JournalTest, CommitCounts) {
+  Journal journal;
+  journal.Commit();
+  journal.Commit();
+  EXPECT_EQ(journal.num_commits(), 2u);
+}
+
+TEST(JournalTest, VerifyLogAcceptsCleanLog) {
+  Journal journal;
+  for (int i = 0; i < 50; ++i) {
+    journal.Append("t", "payload-" + std::to_string(i));
+  }
+  auto records = journal.VerifyLog();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, 50u);
+}
+
+TEST(JournalTest, VerifyLogEmptyLog) {
+  Journal journal;
+  auto records = journal.VerifyLog();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, 0u);
+}
+
+TEST(JournalTest, VerifyLogDetectsPayloadCorruption) {
+  Journal journal;
+  journal.Append("table", "precious bytes");
+  // Flip a byte inside the record body (headers are 16 bytes).
+  journal.CorruptByteForTesting(journal.log_bytes() - 3);
+  auto records = journal.VerifyLog();
+  ASSERT_FALSE(records.ok());
+  EXPECT_TRUE(records.status().IsIoError());
+  EXPECT_NE(records.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(JournalTest, VerifyLogDetectsTruncatedHeader) {
+  Journal journal;
+  journal.Append("t", "x");
+  // Corrupting the length field makes the body run past the log end.
+  journal.CorruptByteForTesting(12);  // body_len field
+  EXPECT_TRUE(journal.VerifyLog().status().IsIoError());
+}
+
+TEST(RowTableTest, InsertAndScan) {
+  auto table = RowTable::Create("R", PairSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table->Insert({Value(i), Value(i * 10)}).ok());
+  }
+  table->Commit();
+  EXPECT_EQ(table->num_rows(), 100u);
+
+  int64_t sum = 0;
+  table->ScanRows([&](const std::vector<Value>& row) {
+    sum += row[1].AsInt64();
+  });
+  EXPECT_EQ(sum, 49500);
+}
+
+TEST(RowTableTest, JournaledInsertWritesJournal) {
+  RowTableOptions journaled;
+  journaled.journaled = true;
+  auto t1 = RowTable::Create("J", PairSchema(), journaled);
+  ASSERT_TRUE(t1->Insert({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  EXPECT_EQ(t1->journal()->stats().journal_writes, 1u);
+
+  RowTableOptions light;
+  light.journaled = false;
+  auto t2 = RowTable::Create("L", PairSchema(), light);
+  ASSERT_TRUE(t2->Insert({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  EXPECT_EQ(t2->journal()->stats().journal_writes, 0u);
+}
+
+TEST(RowTableTest, ScanColumnDecodesOnlyOne) {
+  auto table = RowTable::Create("R", PairSchema());
+  ASSERT_TRUE(table->Insert({Value(int64_t{5}), Value(int64_t{50})}).ok());
+  int64_t got = 0;
+  ASSERT_TRUE(table
+                  ->ScanColumn(1, [&](TupleId, const Value& v) {
+                    got = v.AsInt64();
+                  })
+                  .ok());
+  EXPECT_EQ(got, 50);
+  EXPECT_TRUE(table->ScanColumn(9, [](TupleId, const Value&) {})
+                  .IsInvalidArgument());
+}
+
+TEST(RowTableTest, RandomRead) {
+  auto table = RowTable::Create("R", PairSchema());
+  ASSERT_TRUE(table->Insert({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  auto row = table->Read(TupleId{0, 0});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt64(), 1);
+}
+
+TEST(RowTableTest, SharedJournalAcrossTables) {
+  auto journal = std::make_shared<Journal>();
+  auto a = RowTable::Create("A", PairSchema(), {}, journal);
+  auto b = RowTable::Create("B", PairSchema(), {}, journal);
+  ASSERT_TRUE(a->Insert({Value(int64_t{1}), Value(int64_t{1})}).ok());
+  ASSERT_TRUE(b->Insert({Value(int64_t{2}), Value(int64_t{2})}).ok());
+  EXPECT_EQ(journal->stats().journal_writes, 2u);
+}
+
+TEST(RowTableTest, CollectStatsMergesFileAndJournal) {
+  auto table = RowTable::Create("R", PairSchema());
+  ASSERT_TRUE(table->Insert({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  IoStats stats = table->CollectStats();
+  EXPECT_EQ(stats.tuples_written, 1u);
+  EXPECT_EQ(stats.journal_writes, 1u);
+}
+
+TEST(IoStatsTest, AdditionAndReset) {
+  IoStats a;
+  a.tuples_read = 5;
+  a.page_writes = 2;
+  IoStats b;
+  b.tuples_read = 3;
+  b.cracks = 1;
+  IoStats c = a + b;
+  EXPECT_EQ(c.tuples_read, 8u);
+  EXPECT_EQ(c.page_writes, 2u);
+  EXPECT_EQ(c.cracks, 1u);
+  c.Reset();
+  EXPECT_EQ(c.tuples_read, 0u);
+}
+
+TEST(IoStatsTest, ToStringMentionsCounters) {
+  IoStats s;
+  s.tuples_read = 42;
+  EXPECT_NE(s.ToString().find("read=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,110 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for the upfront-sort baseline.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sorted_column.h"
+#include "util/rng.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+TEST(SortedColumnTest, SortsClone) {
+  auto col = Bat::FromVector(std::vector<int64_t>{5, 2, 9, 1}, "c");
+  SortedColumn<int64_t> sorted(col);
+  const int64_t* d = sorted.values()->TailData<int64_t>();
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], 5);
+  EXPECT_EQ(d[3], 9);
+  // Source untouched.
+  EXPECT_EQ(col->Get<int64_t>(0), 5);
+}
+
+TEST(SortedColumnTest, OidsFollowSort) {
+  auto col = Bat::FromVector(std::vector<int64_t>{5, 2, 9, 1}, "c");
+  SortedColumn<int64_t> sorted(col);
+  for (size_t i = 0; i < 4; ++i) {
+    Oid oid = sorted.oids()->Get<Oid>(i);
+    EXPECT_EQ(col->Get<int64_t>(static_cast<size_t>(oid)),
+              sorted.values()->Get<int64_t>(i));
+  }
+}
+
+TEST(SortedColumnTest, RangeSelect) {
+  auto col = BuildPermutationColumn(1000, 3, "perm");
+  SortedColumn<int64_t> sorted(col);
+  CrackSelection sel = sorted.Select(100, true, 200, true);
+  EXPECT_EQ(sel.count(), 101u);
+  for (size_t i = 0; i < sel.count(); ++i) {
+    int64_t v = sel.values.Get<int64_t>(i);
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 200);
+  }
+}
+
+TEST(SortedColumnTest, InclusivityCombinations) {
+  auto col = Bat::FromVector(std::vector<int64_t>{1, 2, 2, 3, 4}, "c");
+  SortedColumn<int64_t> sorted(col);
+  EXPECT_EQ(sorted.Select(2, true, 3, true).count(), 3u);    // {2,2,3}
+  EXPECT_EQ(sorted.Select(2, false, 3, true).count(), 1u);   // {3}
+  EXPECT_EQ(sorted.Select(2, true, 3, false).count(), 2u);   // {2,2}
+  EXPECT_EQ(sorted.Select(2, false, 3, false).count(), 0u);  // (2,3)
+}
+
+TEST(SortedColumnTest, EmptyAndOutOfDomain) {
+  auto col = Bat::FromVector(std::vector<int64_t>{10, 20}, "c");
+  SortedColumn<int64_t> sorted(col);
+  EXPECT_EQ(sorted.Select(30, true, 40, true).count(), 0u);
+  EXPECT_EQ(sorted.Select(15, true, 12, true).count(), 0u);  // inverted
+  EXPECT_EQ(sorted.Select(0, true, 100, true).count(), 2u);
+}
+
+TEST(SortedColumnTest, BuildCostFollowsNLogN) {
+  auto col = BuildPermutationColumn(1024, 5, "perm");
+  IoStats stats;
+  SortedColumn<int64_t> sorted(col, &stats);
+  EXPECT_EQ(stats.tuples_read, 1024u);
+  EXPECT_EQ(stats.tuples_written, 1024u * 10u);  // N * log2(N)
+}
+
+TEST(SortedColumnTest, QueryCostIsLogarithmic) {
+  auto col = BuildPermutationColumn(100000, 7, "perm");
+  SortedColumn<int64_t> sorted(col);
+  IoStats stats;
+  sorted.Select(5, true, 50000, true, &stats);
+  EXPECT_LE(stats.tuples_read, 64u);  // 2 * ceil(log2 n)
+}
+
+TEST(SortedColumnTest, MatchesCrackerIndexAnswers) {
+  auto col = BuildPermutationColumn(5000, 11, "perm");
+  SortedColumn<int64_t> sorted(col);
+  CrackerIndex<int64_t> index(col);
+  Pcg32 rng(13);
+  for (int q = 0; q < 30; ++q) {
+    int64_t lo = rng.NextInRange(1, 4000);
+    int64_t hi = lo + rng.NextInRange(0, 900);
+    EXPECT_EQ(sorted.Select(lo, true, hi, true).count(),
+              index.Select(lo, true, hi, true).count());
+  }
+}
+
+TEST(SortedColumnTest, DuplicateHeavyColumn) {
+  Pcg32 rng(17);
+  std::vector<int64_t> v(1000);
+  for (auto& x : v) x = rng.NextInRange(0, 5);
+  auto col = Bat::FromVector(v, "dups");
+  SortedColumn<int64_t> sorted(col);
+  size_t total = 0;
+  for (int64_t g = 0; g <= 5; ++g) {
+    total += sorted.Select(g, true, g, true).count();
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,158 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for Status and Result<T>.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no table R");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no table R");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsInvalidArgument());
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::TypeMismatch("x").IsTypeMismatch());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("bad arity").ToString(),
+            "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+  b = Status::OK();
+  EXPECT_TRUE(b.ok());
+  EXPECT_FALSE(a.ok());  // deep copy, no aliasing
+}
+
+TEST(StatusTest, MoveSemantics) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status s = Status::NotFound("no column a").WithContext("table R");
+  EXPECT_EQ(s.message(), "table R: no column a");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> ok = 7;
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(ok.ValueOr(0), 7);
+  EXPECT_EQ(err.ValueOr(99), 99);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseHalf(int v, int* out) {
+  CRACK_ASSIGN_OR_RETURN(*out, Half(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesValue) {
+  int out = 0;
+  ASSERT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  int out = 0;
+  Status s = UseHalf(3, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+Status ReturnNotOkHelper(bool fail) {
+  CRACK_RETURN_NOT_OK(fail ? Status::IoError("disk") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(ReturnNotOkHelper(false).ok());
+  EXPECT_TRUE(ReturnNotOkHelper(true).IsIoError());
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,341 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Tests for DBtapestry, the contraction models (Fig. 8) and the MQS
+// sequence generators (homerun / hiking / strolling).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "workload/contraction.h"
+#include "workload/sequence.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+bool IsPermutationOf1ToN(const Bat& bat) {
+  size_t n = bat.size();
+  std::vector<bool> seen(n + 1, false);
+  const int64_t* d = bat.TailData<int64_t>();
+  for (size_t i = 0; i < n; ++i) {
+    if (d[i] < 1 || d[i] > static_cast<int64_t>(n)) return false;
+    if (seen[static_cast<size_t>(d[i])]) return false;
+    seen[static_cast<size_t>(d[i])] = true;
+  }
+  return true;
+}
+
+TEST(TapestryTest, EveryColumnIsAPermutation) {
+  TapestryOptions opts;
+  opts.num_rows = 5000;
+  opts.num_columns = 3;
+  auto rel = BuildTapestry("T", opts);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->num_rows(), 5000u);
+  EXPECT_EQ((*rel)->num_columns(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_TRUE(IsPermutationOf1ToN(*(*rel)->column(c))) << "column " << c;
+  }
+}
+
+TEST(TapestryTest, NonMultipleOfSeedBlock) {
+  TapestryOptions opts;
+  opts.num_rows = 1000;
+  opts.seed_table_size = 300;  // 1000 = 3*300 + 100 -> overflow remap path
+  auto rel = BuildTapestry("T", opts);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(IsPermutationOf1ToN(*(*rel)->column(size_t{0})));
+}
+
+TEST(TapestryTest, TinyTables) {
+  TapestryOptions opts;
+  opts.num_rows = 1;
+  auto rel = BuildTapestry("T", opts);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->column(size_t{0})->Get<int64_t>(0), 1);
+}
+
+TEST(TapestryTest, DeterministicInSeed) {
+  TapestryOptions opts;
+  opts.num_rows = 500;
+  auto a = *BuildTapestry("A", opts);
+  auto b = *BuildTapestry("B", opts);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a->column(size_t{0})->Get<int64_t>(i),
+              b->column(size_t{0})->Get<int64_t>(i));
+  }
+  opts.seed += 1;
+  auto c = *BuildTapestry("C", opts);
+  bool all_equal = true;
+  for (size_t i = 0; i < 500; ++i) {
+    all_equal &= a->column(size_t{0})->Get<int64_t>(i) ==
+                 c->column(size_t{0})->Get<int64_t>(i);
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(TapestryTest, ColumnsAreIndependent) {
+  TapestryOptions opts;
+  opts.num_rows = 1000;
+  auto rel = *BuildTapestry("T", opts);
+  size_t same = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    if (rel->column(size_t{0})->Get<int64_t>(i) ==
+        rel->column(size_t{1})->Get<int64_t>(i)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 20u);  // ~1 expected for independent permutations
+}
+
+TEST(TapestryTest, ValidatesOptions) {
+  TapestryOptions opts;
+  opts.num_rows = 0;
+  EXPECT_TRUE(BuildTapestry("T", opts).status().IsInvalidArgument());
+  opts.num_rows = 10;
+  opts.num_columns = 0;
+  EXPECT_TRUE(BuildTapestry("T", opts).status().IsInvalidArgument());
+  opts.num_columns = 1;
+  opts.seed_table_size = 0;
+  EXPECT_TRUE(BuildTapestry("T", opts).status().IsInvalidArgument());
+}
+
+TEST(TapestryTest, PermutationColumnHelper) {
+  auto col = BuildPermutationColumn(777, 3, "p");
+  EXPECT_TRUE(IsPermutationOf1ToN(*col));
+}
+
+// Parameterized permutation sweep: sizes around seed-block boundaries.
+class TapestrySweepTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(TapestrySweepTest, PermutationInvariant) {
+  auto [rows, seed_block] = GetParam();
+  TapestryOptions opts;
+  opts.num_rows = rows;
+  opts.num_columns = 1;
+  opts.seed_table_size = seed_block;
+  auto rel = BuildTapestry("T", opts);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(IsPermutationOf1ToN(*(*rel)->column(size_t{0})));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TapestrySweepTest,
+    ::testing::Combine(
+        ::testing::Values<uint64_t>(1, 2, 17, 100, 1023, 1024, 1025, 4096),
+        ::testing::Values<uint64_t>(1, 7, 1024)));
+
+// ---------------------------------------------------------------------------
+// Contraction models.
+// ---------------------------------------------------------------------------
+
+class ContractionModelTest
+    : public ::testing::TestWithParam<ContractionModel> {};
+
+TEST_P(ContractionModelTest, EndpointsAndMonotonicity) {
+  ContractionModel model = GetParam();
+  const size_t k = 20;
+  const double sigma = 0.2;
+  double prev = Contraction(model, 0, k, sigma);
+  EXPECT_GT(prev, 0.95);  // starts at (or near) the whole table
+  for (size_t i = 1; i <= k; ++i) {
+    double cur = Contraction(model, i, k, sigma);
+    EXPECT_LE(cur, prev + 1e-12) << "step " << i;
+    EXPECT_GE(cur, sigma - 1e-12);
+    prev = cur;
+  }
+  EXPECT_NEAR(Contraction(model, k, k, sigma), sigma, 1e-9);
+}
+
+TEST_P(ContractionModelTest, BeyondKStaysAtSigma) {
+  EXPECT_DOUBLE_EQ(Contraction(GetParam(), 25, 20, 0.3), 0.3);
+}
+
+TEST_P(ContractionModelTest, SigmaOneIsConstant) {
+  for (size_t i = 0; i <= 10; ++i) {
+    EXPECT_DOUBLE_EQ(Contraction(GetParam(), i, 10, 1.0), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ContractionModelTest,
+                         ::testing::Values(ContractionModel::kLinear,
+                                           ContractionModel::kExponential,
+                                           ContractionModel::kLogarithmic));
+
+TEST(ContractionTest, LinearIsExactlyLinear) {
+  // (1 - i (1-σ)/k)
+  EXPECT_DOUBLE_EQ(Contraction(ContractionModel::kLinear, 10, 20, 0.2), 0.6);
+  EXPECT_DOUBLE_EQ(Contraction(ContractionModel::kLinear, 5, 20, 0.2), 0.8);
+}
+
+TEST(ContractionTest, ShapesMatchFig8) {
+  // Fig. 8 (σ=0.2, k=20): at mid-sequence the exponential curve is already
+  // near σ, the linear curve at (1+σ)/2, the logarithmic still near 1.
+  const size_t k = 20;
+  const double sigma = 0.2;
+  double exp_mid = Contraction(ContractionModel::kExponential, 10, k, sigma);
+  double lin_mid = Contraction(ContractionModel::kLinear, 10, k, sigma);
+  double log_mid = Contraction(ContractionModel::kLogarithmic, 10, k, sigma);
+  EXPECT_LT(exp_mid, 0.3);
+  EXPECT_NEAR(lin_mid, 0.6, 1e-9);
+  EXPECT_GT(log_mid, 0.9);
+  EXPECT_LT(exp_mid, lin_mid);
+  EXPECT_LT(lin_mid, log_mid);
+}
+
+TEST(ContractionTest, NamesAndParsing) {
+  EXPECT_STREQ(ContractionModelName(ContractionModel::kLinear), "linear");
+  EXPECT_EQ(ContractionModelFromString("exp"),
+            ContractionModel::kExponential);
+  EXPECT_EQ(ContractionModelFromString("logarithmic"),
+            ContractionModel::kLogarithmic);
+  EXPECT_EQ(ContractionModelFromString("junk"), ContractionModel::kLinear);
+}
+
+// ---------------------------------------------------------------------------
+// Sequence generators.
+// ---------------------------------------------------------------------------
+
+MqsSpec BaseSpec(Profile profile) {
+  MqsSpec spec;
+  spec.num_rows = 100000;
+  spec.sequence_length = 20;
+  spec.target_selectivity = 0.05;
+  spec.profile = profile;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(SequenceTest, ValidatesSpec) {
+  MqsSpec bad = BaseSpec(Profile::kHomerun);
+  bad.num_rows = 0;
+  EXPECT_TRUE(GenerateSequence(bad).status().IsInvalidArgument());
+  bad = BaseSpec(Profile::kHomerun);
+  bad.sequence_length = 0;
+  EXPECT_TRUE(GenerateSequence(bad).status().IsInvalidArgument());
+  bad = BaseSpec(Profile::kHomerun);
+  bad.target_selectivity = 0.0;
+  EXPECT_TRUE(GenerateSequence(bad).status().IsInvalidArgument());
+  bad.target_selectivity = 1.5;
+  EXPECT_TRUE(GenerateSequence(bad).status().IsInvalidArgument());
+}
+
+TEST(SequenceTest, DeterministicInSeed) {
+  auto a = *GenerateSequence(BaseSpec(Profile::kStrolling));
+  auto b = *GenerateSequence(BaseSpec(Profile::kStrolling));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lo, b[i].lo);
+    EXPECT_EQ(a[i].hi, b[i].hi);
+  }
+}
+
+class ProfileTest : public ::testing::TestWithParam<Profile> {};
+
+TEST_P(ProfileTest, QueriesStayInDomainWithSaneWidths) {
+  MqsSpec spec = BaseSpec(GetParam());
+  auto queries = GenerateSequence(spec);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), spec.sequence_length);
+  int64_t n = static_cast<int64_t>(spec.num_rows);
+  for (const RangeQuery& q : *queries) {
+    EXPECT_GE(q.lo, 1);
+    EXPECT_LE(q.hi, n);
+    EXPECT_LE(q.lo, q.hi);
+    EXPECT_GT(q.selectivity, 0.0);
+    EXPECT_LE(q.selectivity, 1.0);
+    EXPECT_NEAR(q.selectivity,
+                static_cast<double>(q.width()) / static_cast<double>(n),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileTest,
+                         ::testing::Values(Profile::kHomerun,
+                                           Profile::kHiking,
+                                           Profile::kStrolling,
+                                           Profile::kStrollingConverge));
+
+TEST(SequenceTest, HomerunIsNestedAndMonotone) {
+  for (auto model :
+       {ContractionModel::kLinear, ContractionModel::kExponential,
+        ContractionModel::kLogarithmic}) {
+    MqsSpec spec = BaseSpec(Profile::kHomerun);
+    spec.rho = model;
+    auto queries = *GenerateSequence(spec);
+    for (size_t i = 1; i < queries.size(); ++i) {
+      EXPECT_GE(queries[i].lo, queries[i - 1].lo) << "step " << i;
+      EXPECT_LE(queries[i].hi, queries[i - 1].hi) << "step " << i;
+      EXPECT_LE(queries[i].width(), queries[i - 1].width());
+    }
+    // Final query hits the target selectivity exactly.
+    EXPECT_NEAR(queries.back().selectivity, spec.target_selectivity, 1e-3);
+  }
+}
+
+TEST(SequenceTest, HomerunFirstQueryIsBroad) {
+  auto queries = *GenerateSequence(BaseSpec(Profile::kHomerun));
+  EXPECT_GT(queries.front().selectivity, 0.8);
+}
+
+TEST(SequenceTest, HikingWindowsHaveFixedWidthAndConverge) {
+  MqsSpec spec = BaseSpec(Profile::kHiking);
+  auto queries = *GenerateSequence(spec);
+  int64_t w = queries.front().width();
+  for (const RangeQuery& q : queries) EXPECT_EQ(q.width(), w);
+  // Later windows overlap their predecessor more and more (δ -> 100%).
+  auto overlap = [](const RangeQuery& a, const RangeQuery& b) {
+    int64_t lo = std::max(a.lo, b.lo);
+    int64_t hi = std::min(a.hi, b.hi);
+    return hi >= lo ? hi - lo + 1 : 0;
+  };
+  int64_t late = overlap(queries[queries.size() - 2], queries.back());
+  EXPECT_GT(late, w / 2);  // near-total overlap at the end
+}
+
+TEST(SequenceTest, StrollingConvergeShrinksWidths) {
+  MqsSpec spec = BaseSpec(Profile::kStrollingConverge);
+  auto queries = *GenerateSequence(spec);
+  // Widths follow ρ: non-increasing.
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_LE(queries[i].width(), queries[i - 1].width());
+  }
+  EXPECT_NEAR(queries.back().selectivity, spec.target_selectivity, 1e-3);
+}
+
+TEST(SequenceTest, StrollingPositionsVary) {
+  MqsSpec spec = BaseSpec(Profile::kStrolling);
+  spec.sequence_length = 50;
+  auto queries = *GenerateSequence(spec);
+  std::set<int64_t> los;
+  for (const RangeQuery& q : queries) los.insert(q.lo);
+  EXPECT_GT(los.size(), 25u);  // not stuck in one place
+}
+
+TEST(SequenceTest, ProfileNamesAndParsing) {
+  EXPECT_STREQ(ProfileName(Profile::kHomerun), "homerun");
+  EXPECT_STREQ(ProfileName(Profile::kStrollingConverge),
+               "strolling-converge");
+  EXPECT_EQ(ProfileFromString("hiking"), Profile::kHiking);
+  EXPECT_EQ(ProfileFromString("strolling"), Profile::kStrolling);
+  EXPECT_EQ(ProfileFromString("???"), Profile::kHomerun);
+}
+
+TEST(SequenceTest, FullSelectivityTarget) {
+  MqsSpec spec = BaseSpec(Profile::kHomerun);
+  spec.target_selectivity = 1.0;  // whole table every step
+  auto queries = GenerateSequence(spec);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : *queries) {
+    EXPECT_EQ(q.width(), static_cast<int64_t>(spec.num_rows));
+  }
+}
+
+}  // namespace
+}  // namespace crackstore

@@ -1,0 +1,360 @@
+// Copyright 2026 The CrackStore Authors
+//
+// crackstore_shell: a small interactive shell over the AdaptiveStore. Reads
+// one command per line from stdin (pipe a script or type interactively):
+//
+//   create tapestry R 1000000 2        # build a permutation table
+//   select R c0 1000 2000              # crack-select a closed range
+//   select R c0 1000 2000 materialize  # ... materializing the rows
+//   where R c0 < 500                   # one-sided predicates (< <= > >= =)
+//   and R c0 100 900 c1 200 800        # conjunctive selection
+//   join R c0 S c0                     # ^-cracked equi-join (count)
+//   groupby R c0 c1 sum                # Ω-cracked aggregate
+//   pieces R c0                        # piece table of the cracker index
+//   lineage                            # Graphviz dump of the lineage DAG
+//   stats                              # cumulative cost counters
+//   strategy sort                      # rebuild the store: scan|crack|sort
+//   tables / help / quit
+//
+// Exit status is non-zero if any command failed (useful for scripted runs).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_store.h"
+#include "sql/executor.h"
+#include "util/string_util.h"
+#include "workload/tapestry.h"
+
+namespace crackstore {
+namespace {
+
+class Shell {
+ public:
+  Shell() { Reset(AccessStrategy::kCrack); }
+
+  /// Executes one command line; returns false only for `quit`.
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    Status status = Dispatch(cmd, &in);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      ++errors_;
+    }
+    return true;
+  }
+
+  int errors() const { return errors_; }
+
+ private:
+  void Reset(AccessStrategy strategy) {
+    AdaptiveStoreOptions opts;
+    opts.strategy = strategy;
+    std::vector<std::shared_ptr<Relation>> tables;
+    if (store_ != nullptr) {
+      for (const std::string& name : store_->TableNames()) {
+        tables.push_back(*store_->table(name));
+      }
+    }
+    store_ = std::make_unique<AdaptiveStore>(opts);
+    for (auto& t : tables) (void)store_->AddTable(std::move(t));
+    strategy_ = strategy;
+  }
+
+  Status Dispatch(const std::string& cmd, std::istringstream* in) {
+    if (cmd == "help") return Help();
+    if (cmd == "sql" || cmd == "SELECT" || cmd == "select" ||
+        cmd == "Select") {
+      // `sql SELECT ...` or a bare SELECT statement... but `select` without
+      // SQL syntax is the positional command; disambiguate on the next
+      // token: SQL always continues with `*`, `COUNT`, or a column list
+      // followed by FROM.
+      return Sql(cmd, in);
+    }
+    if (cmd == "create") return Create(in);
+    if (cmd == "tables") return Tables();
+    if (cmd == "select") return Select(in);
+    if (cmd == "where") return Where(in);
+    if (cmd == "and") return Conjunction(in);
+    if (cmd == "join") return Join(in);
+    if (cmd == "groupby") return GroupBy(in);
+    if (cmd == "pieces") return Pieces(in);
+    if (cmd == "explain") return Explain(in);
+    if (cmd == "lineage") return Lineage();
+    if (cmd == "stats") return Stats();
+    if (cmd == "strategy") return Strategy(in);
+    return Status::InvalidArgument("unknown command '" + cmd +
+                                   "' (try: help)");
+  }
+
+  Status Sql(const std::string& first, std::istringstream* in) {
+    std::string rest;
+    std::getline(*in, rest);
+    if (first == "sql") {
+      return RunSql(rest);
+    }
+    // A bare SELECT: SQL statements always contain FROM; the positional
+    // command never does.
+    if (rest.find("FROM") != std::string::npos ||
+        rest.find("from") != std::string::npos) {
+      return RunSql(first + rest);
+    }
+    std::istringstream positional(rest);
+    return Select(&positional);
+  }
+
+  Status RunSql(const std::string& text) {
+    CRACK_ASSIGN_OR_RETURN(sql::QueryOutput out,
+                           sql::ExecuteSql(store_.get(), text));
+    std::fputs(sql::FormatOutput(out).c_str(), stdout);
+    return Status::OK();
+  }
+
+  Status Help() {
+    std::printf(
+        "commands:\n"
+        "  create tapestry <name> <rows> <cols> [seed]\n"
+        "  SELECT ... FROM ... [WHERE|JOIN|GROUP BY] (SQL subset; or sql <stmt>)\n"
+        "  select <table> <col> <lo> <hi> [count|view|materialize]\n"
+        "  where <table> <col> <op:< <= > >= => <value>\n"
+        "  and <table> <col> <lo> <hi> <col> <lo> <hi> ...\n"
+        "  join <t1> <c1> <t2> <c2>\n"
+        "  groupby <table> <group-col> <agg-col> <count|sum|min|max>\n"
+        "  pieces <table> <col> | explain <table> <col> | lineage | stats\n"
+        "  tables\n"
+        "  strategy <scan|crack|sort>   (keeps tables, drops accelerators)\n"
+        "  quit\n");
+    return Status::OK();
+  }
+
+  Status Create(std::istringstream* in) {
+    std::string kind, name;
+    uint64_t rows = 0, cols = 2, seed = 20040901;
+    *in >> kind >> name >> rows;
+    if (!(*in >> cols)) cols = 2;
+    if (!(*in >> seed)) seed = 20040901;
+    if (kind != "tapestry" || name.empty() || rows == 0) {
+      return Status::InvalidArgument(
+          "usage: create tapestry <name> <rows> [cols] [seed]");
+    }
+    TapestryOptions opts;
+    opts.num_rows = rows;
+    opts.num_columns = cols;
+    opts.seed = seed;
+    CRACK_ASSIGN_OR_RETURN(auto rel, BuildTapestry(name, opts));
+    CRACK_RETURN_NOT_OK(store_->AddTable(rel));
+    std::printf("created %s (%llu rows, %llu permutation columns)\n",
+                name.c_str(), static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(cols));
+    return Status::OK();
+  }
+
+  Status Tables() {
+    for (const std::string& name : store_->TableNames()) {
+      auto rel = *store_->table(name);
+      std::printf("%s %s  (%zu rows)\n", name.c_str(),
+                  rel->schema().ToString().c_str(), rel->num_rows());
+    }
+    return Status::OK();
+  }
+
+  void PrintResult(const QueryResult& r) {
+    std::printf("count=%llu  time=%.3f ms  read=%llu written=%llu cracks=%llu\n",
+                static_cast<unsigned long long>(r.count), r.seconds * 1e3,
+                static_cast<unsigned long long>(r.io.tuples_read),
+                static_cast<unsigned long long>(r.io.tuples_written),
+                static_cast<unsigned long long>(r.io.cracks));
+    if (r.materialized != nullptr) {
+      std::printf("materialized '%s' (%zu rows)\n",
+                  r.materialized->name().c_str(),
+                  r.materialized->num_rows());
+    }
+  }
+
+  Status Select(std::istringstream* in) {
+    std::string table, column, mode = "count";
+    int64_t lo = 0, hi = 0;
+    if (!(*in >> table >> column >> lo >> hi)) {
+      return Status::InvalidArgument(
+          "usage: select <table> <col> <lo> <hi> [count|view|materialize]");
+    }
+    *in >> mode;
+    Delivery delivery = mode == "materialize" ? Delivery::kMaterialize
+                        : mode == "view"      ? Delivery::kView
+                                              : Delivery::kCount;
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult r,
+        store_->SelectRange(table, column, RangeBounds::Closed(lo, hi),
+                            delivery));
+    PrintResult(r);
+    return Status::OK();
+  }
+
+  Status Where(std::istringstream* in) {
+    std::string table, column, op;
+    int64_t v = 0;
+    if (!(*in >> table >> column >> op >> v)) {
+      return Status::InvalidArgument(
+          "usage: where <table> <col> <op> <value>   op in {< <= > >= =}");
+    }
+    RangeBounds range;
+    if (op == "<") {
+      range = RangeBounds::LessThan(v);
+    } else if (op == "<=") {
+      range = RangeBounds::AtMost(v);
+    } else if (op == ">") {
+      range = RangeBounds::GreaterThan(v);
+    } else if (op == ">=") {
+      range = RangeBounds::AtLeast(v);
+    } else if (op == "=" || op == "==") {
+      range = RangeBounds::Equal(v);
+    } else {
+      return Status::InvalidArgument("unknown operator: " + op);
+    }
+    CRACK_ASSIGN_OR_RETURN(QueryResult r,
+                           store_->SelectRange(table, column, range));
+    PrintResult(r);
+    return Status::OK();
+  }
+
+  Status Conjunction(std::istringstream* in) {
+    std::string table;
+    if (!(*in >> table)) {
+      return Status::InvalidArgument(
+          "usage: and <table> (<col> <lo> <hi>)+");
+    }
+    std::vector<AdaptiveStore::ColumnRange> conjuncts;
+    std::string column;
+    int64_t lo, hi;
+    while (*in >> column >> lo >> hi) {
+      conjuncts.push_back({column, RangeBounds::Closed(lo, hi)});
+    }
+    CRACK_ASSIGN_OR_RETURN(QueryResult r,
+                           store_->SelectConjunction(table, conjuncts));
+    PrintResult(r);
+    return Status::OK();
+  }
+
+  Status Join(std::istringstream* in) {
+    std::string t1, c1, t2, c2;
+    if (!(*in >> t1 >> c1 >> t2 >> c2)) {
+      return Status::InvalidArgument("usage: join <t1> <c1> <t2> <c2>");
+    }
+    CRACK_ASSIGN_OR_RETURN(QueryResult r, store_->JoinEquals(t1, c1, t2, c2));
+    PrintResult(r);
+    return Status::OK();
+  }
+
+  Status GroupBy(std::istringstream* in) {
+    std::string table, gcol, acol, kind = "count";
+    if (!(*in >> table >> gcol >> acol)) {
+      return Status::InvalidArgument(
+          "usage: groupby <table> <group-col> <agg-col> [count|sum|min|max]");
+    }
+    *in >> kind;
+    AggKind agg = kind == "sum"   ? AggKind::kSum
+                  : kind == "min" ? AggKind::kMin
+                  : kind == "max" ? AggKind::kMax
+                                  : AggKind::kCount;
+    CRACK_ASSIGN_OR_RETURN(std::vector<GroupAggregate> groups,
+                           store_->GroupBy(table, gcol, acol, agg));
+    size_t shown = 0;
+    for (const GroupAggregate& g : groups) {
+      if (++shown > 20) {
+        std::printf("... (%zu groups total)\n", groups.size());
+        break;
+      }
+      std::printf("%lld -> %lld\n", static_cast<long long>(g.group),
+                  static_cast<long long>(g.value));
+    }
+    return Status::OK();
+  }
+
+  Status Pieces(std::istringstream* in) {
+    std::string table, column;
+    if (!(*in >> table >> column)) {
+      return Status::InvalidArgument("usage: pieces <table> <col>");
+    }
+    CRACK_ASSIGN_OR_RETURN(size_t n, store_->NumPieces(table, column));
+    std::printf("%zu piece(s) on %s.%s\n", n, table.c_str(), column.c_str());
+    return Status::OK();
+  }
+
+  Status Explain(std::istringstream* in) {
+    std::string table, column;
+    if (!(*in >> table >> column)) {
+      return Status::InvalidArgument("usage: explain <table> <col>");
+    }
+    CRACK_ASSIGN_OR_RETURN(std::string report,
+                           store_->ExplainColumn(table, column));
+    std::fputs(report.c_str(), stdout);
+    return Status::OK();
+  }
+
+  Status Lineage() {
+    std::fputs(store_->lineage().ToDot().c_str(), stdout);
+    return Status::OK();
+  }
+
+  Status Stats() {
+    std::printf("strategy=%s  total: %s\n", AccessStrategyName(strategy_),
+                store_->total_io().ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Strategy(std::istringstream* in) {
+    std::string name;
+    *in >> name;
+    AccessStrategy strategy;
+    if (name == "scan") {
+      strategy = AccessStrategy::kScan;
+    } else if (name == "crack") {
+      strategy = AccessStrategy::kCrack;
+    } else if (name == "sort") {
+      strategy = AccessStrategy::kSort;
+    } else {
+      return Status::InvalidArgument("usage: strategy <scan|crack|sort>");
+    }
+    Reset(strategy);
+    std::printf("strategy set to %s (accelerators dropped)\n",
+                AccessStrategyName(strategy));
+    return Status::OK();
+  }
+
+  std::unique_ptr<AdaptiveStore> store_;
+  AccessStrategy strategy_ = AccessStrategy::kCrack;
+  int errors_ = 0;
+};
+
+int Main() {
+  Shell shell;
+  bool interactive = isatty(fileno(stdin));
+  std::string line;
+  if (interactive) {
+    std::printf("crackstore shell — 'help' lists commands\n");
+  }
+  while (true) {
+    if (interactive) {
+      std::printf("crack> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Execute(line)) break;
+  }
+  return shell.errors() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace crackstore
+
+int main() { return crackstore::Main(); }
