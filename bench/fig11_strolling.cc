@@ -28,10 +28,21 @@ int Run(int argc, char** argv) {
   size_t k = flags.GetUint("k", 128);
   double sigma = flags.GetDouble("sigma", 0.05);
   uint64_t seed = flags.GetUint("seed", 20040901);
+  std::string policy_name = flags.GetString("policy", "standard");
+  CrackPolicy policy = CrackPolicy::kStandard;
+  if (!ParseCrackPolicy(policy_name, &policy)) {
+    std::fprintf(stderr,
+                 "unknown --policy=%s (use standard|stochastic|coarse, or "
+                 "ddc|dd1c)\n",
+                 policy_name.c_str());
+    return 2;
+  }
 
   bench::Banner("fig11_strolling", "Fig. 11 of CIDR'05 cracking",
-                StrFormat("n=%llu k=%zu sigma=%.2f (--n=, --k=, --sigma=)",
-                          static_cast<unsigned long long>(n), k, sigma));
+                StrFormat("n=%llu k=%zu sigma=%.2f policy=%s (--n=, --k=, "
+                          "--sigma=, --policy=)",
+                          static_cast<unsigned long long>(n), k, sigma,
+                          CrackPolicyName(policy)));
 
   TapestryOptions topts;
   topts.num_rows = n;
@@ -61,6 +72,7 @@ int Run(int argc, char** argv) {
   for (Strategy& s : strategies) {
     AdaptiveStoreOptions opts;
     opts.strategy = s.strategy;
+    opts.policy.policy = policy;  // pivot discipline of the crack line
     opts.track_lineage = false;
     AdaptiveStore store(opts);
     CRACK_CHECK(store.AddTable(rel).ok());

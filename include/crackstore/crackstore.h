@@ -12,8 +12,10 @@
 #define CRACKSTORE_CRACKSTORE_H_
 
 // Core: the paper's contribution.
+#include "core/access_path.h"             // type-erased per-column access paths
 #include "core/adaptive_store.h"          // facade: tables, Ξ/^/Ω/Ψ entry points
 #include "core/crack_kernels.h"           // crack-in-two / crack-in-three
+#include "core/crack_policy.h"            // pivot disciplines (standard/stochastic/coarse)
 #include "core/cracker_index.h"           // the cracker index
 #include "core/group_cracker.h"           // Ω
 #include "core/join_cracker.h"            // ^

@@ -1,0 +1,408 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/access_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/sorted_column.h"
+#include "util/string_util.h"
+
+namespace crackstore {
+
+const char* AccessStrategyName(AccessStrategy strategy) {
+  switch (strategy) {
+    case AccessStrategy::kScan:
+      return "scan";
+    case AccessStrategy::kCrack:
+      return "crack";
+    case AccessStrategy::kSort:
+      return "sort";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Clamps int64 range bounds into the typed domain of the column so that
+/// sentinel bounds (INT64_MIN/MAX) work for narrower types.
+template <typename T>
+void ClampRange(const RangeBounds& range, T* lo, bool* lo_incl, T* hi,
+                bool* hi_incl) {
+  int64_t tmin = static_cast<int64_t>(std::numeric_limits<T>::min());
+  int64_t tmax = static_cast<int64_t>(std::numeric_limits<T>::max());
+  int64_t lo64 = std::clamp(range.lo, tmin, tmax);
+  int64_t hi64 = std::clamp(range.hi, tmin, tmax);
+  *lo = static_cast<T>(lo64);
+  *hi = static_cast<T>(hi64);
+  // A bound clamped from *outside* the domain keeps its meaning via the
+  // inclusivity: lo = INT64_MIN over int32 becomes lo = INT32_MIN inclusive
+  // (everything passes that side), while lo > INT32_MAX becomes
+  // lo = INT32_MAX exclusive (nothing can satisfy v >= lo). Mirrored for hi.
+  *lo_incl = (lo64 != range.lo) ? (range.lo < tmin) : range.lo_incl;
+  *hi_incl = (hi64 != range.hi) ? (range.hi > tmax) : range.hi_incl;
+}
+
+template <typename T>
+bool InRange(T v, T lo, bool lo_incl, T hi, bool hi_incl) {
+  if (lo_incl ? v < lo : v <= lo) return false;
+  if (hi_incl ? v > hi : v >= hi) return false;
+  return true;
+}
+
+std::string ExplainPieces(const std::vector<PieceInfo>& pieces) {
+  std::string out;
+  size_t shown = 0;
+  for (const PieceInfo& p : pieces) {
+    if (++shown > 64) {
+      out += StrFormat("  ... (%zu pieces)\n", pieces.size());
+      break;
+    }
+    std::string lo = p.has_lo ? StrFormat("%s%lld", p.lo_strict ? ">" : ">=",
+                                          static_cast<long long>(p.lo))
+                              : "-inf";
+    std::string hi = p.has_hi ? StrFormat("%s%lld", p.hi_strict ? "<" : "<=",
+                                          static_cast<long long>(p.hi))
+                              : "+inf";
+    out += StrFormat("  piece [%zu, %zu) size=%zu  values %s .. %s\n",
+                     p.begin, p.end, p.size(), lo.c_str(), hi.c_str());
+  }
+  return out;
+}
+
+/// The whole column as one undecorated piece.
+std::vector<PieceInfo> WholeColumnPiece(size_t n) {
+  PieceInfo piece;
+  piece.begin = 0;
+  piece.end = n;
+  return {piece};
+}
+
+// --- crack ----------------------------------------------------------------
+
+template <typename T>
+class CrackAccessPath : public ColumnAccessPath {
+ public:
+  CrackAccessPath(std::shared_ptr<Bat> column, const AccessPathConfig& config)
+      : column_(std::move(column)), config_(config), engine_(config.policy) {}
+
+  AccessStrategy strategy() const override { return AccessStrategy::kCrack; }
+  const AccessPathConfig& config() const override { return config_; }
+  size_t size() const override { return column_->size(); }
+
+  AccessSelection Select(const RangeBounds& range, bool want_oids,
+                         IoStats* stats) override {
+    T lo, hi;
+    bool lo_incl, hi_incl;
+    ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+
+    AccessSelection out;
+    // Provably-empty range: answer before paying the O(n) index build.
+    if (lo > hi || (lo == hi && !(lo_incl && hi_incl))) return out;
+
+    EnsureBuilt(stats);
+    out.contiguous = true;
+    switch (engine_.policy()) {
+      case CrackPolicy::kStandard:
+        out.view = index_->Select(lo, lo_incl, hi, hi_incl, stats);
+        out.count = out.view.count();
+        break;
+      case CrackPolicy::kStochastic:
+        // DDC: shrink the pieces the bounds land in with random pivots
+        // first, so progress is made even when the bounds themselves follow
+        // a pathological (e.g. sequential) pattern.
+        StochasticShrink(lo, /*want_incl=*/!lo_incl, stats);
+        StochasticShrink(hi, /*want_incl=*/hi_incl, stats);
+        out.view = index_->Select(lo, lo_incl, hi, hi_incl, stats);
+        out.count = out.view.count();
+        break;
+      case CrackPolicy::kCoarse:
+        CoarseSelect(lo, lo_incl, hi, hi_incl, want_oids, stats, &out);
+        break;
+    }
+
+    if (!config_.merge_budget.unlimited()) {
+      out.bounds_dropped =
+          EnforceMergeBudget(index_.get(), config_.merge_budget, stats);
+    }
+    return out;
+  }
+
+  std::vector<PieceInfo> Pieces() const override {
+    if (index_ == nullptr) return WholeColumnPiece(column_->size());
+    std::vector<PieceInfo> out;
+    for (const CrackPiece<T>& p : index_->Pieces()) {
+      PieceInfo info;
+      info.begin = p.begin;
+      info.end = p.end;
+      info.has_lo = p.has_lo;
+      info.lo = static_cast<int64_t>(p.lo);
+      info.lo_strict = p.lo_strict;
+      info.has_hi = p.has_hi;
+      info.hi = static_cast<int64_t>(p.hi);
+      info.hi_strict = p.hi_strict;
+      out.push_back(info);
+    }
+    return out;
+  }
+
+  size_t NumPieces() const override {
+    return index_ == nullptr ? 1 : index_->num_pieces();
+  }
+
+  Status ApplyPolicy(const PivotChoice& choice, IoStats* stats) override {
+    EnsureBuilt(stats);
+    T pivot = static_cast<T>(std::clamp(
+        choice.value,
+        static_cast<int64_t>(std::numeric_limits<T>::min()),
+        static_cast<int64_t>(std::numeric_limits<T>::max())));
+    index_->ForceCut(pivot, /*want_incl=*/choice.after_duplicates, stats);
+    return Status::OK();
+  }
+
+  std::string Explain() const override {
+    std::string out = StrFormat("access path: crack, policy=%s\n",
+                                CrackPolicyName(engine_.policy()));
+    if (index_ == nullptr) {
+      return out + "no accelerator yet (never queried)\n";
+    }
+    out += StrFormat("cracker index: %zu tuples, %zu pieces, %zu boundaries\n",
+                     index_->size(), index_->num_pieces(),
+                     index_->num_bounds());
+    return out + ExplainPieces(Pieces());
+  }
+
+ private:
+  void EnsureBuilt(IoStats* stats) {
+    if (index_ == nullptr) {
+      index_ = std::make_unique<CrackerIndex<T>>(column_, stats);
+    }
+  }
+
+  /// Cracks the piece enclosing `v` at randomly drawn elements until it is
+  /// at or below the policy threshold (or no pivot makes progress, e.g. all
+  /// duplicates). Skipped when the cut for `v` is already registered.
+  void StochasticShrink(T v, bool want_incl, IoStats* stats) {
+    size_t pos;
+    if (index_->FindCut(v, want_incl, &pos)) return;
+    std::pair<size_t, size_t> span = index_->PieceSpanFor(v);
+    while (engine_.WantsAuxiliaryPivot(span.second - span.first)) {
+      T pivot = index_->values()->template TailData<T>()[engine_.DrawSlot(
+          span.first, span.second)];
+      index_->ForceCut(pivot, /*want_incl=*/false, stats);
+      std::pair<size_t, size_t> next = index_->PieceSpanFor(v);
+      if (next == span) break;  // pivot was the piece minimum: no progress
+      span = next;
+    }
+  }
+
+  /// DD1C selection: bounds landing in pieces above the threshold crack as
+  /// usual; bounds inside small pieces stay uncracked and the enclosing
+  /// span is filtered instead.
+  void CoarseSelect(T lo, bool lo_incl, T hi, bool hi_incl, bool want_oids,
+                    IoStats* stats, AccessSelection* out) {
+    size_t cut_lo = 0;
+    bool lo_exact = index_->FindCut(lo, /*want_incl=*/!lo_incl, &cut_lo);
+    if (lo_exact) {
+      index_->TouchBound(lo);  // keep LRU merge budgets honest
+    } else {
+      std::pair<size_t, size_t> span = index_->PieceSpanFor(lo);
+      if (engine_.ShouldCrack(span.second - span.first)) {
+        cut_lo = index_->ForceCut(lo, /*want_incl=*/!lo_incl, stats);
+        lo_exact = true;
+      } else {
+        cut_lo = span.first;  // conservative: keep the whole piece
+      }
+    }
+    size_t cut_hi = 0;
+    bool hi_exact = index_->FindCut(hi, /*want_incl=*/hi_incl, &cut_hi);
+    if (hi_exact) {
+      index_->TouchBound(hi);
+    } else {
+      std::pair<size_t, size_t> span = index_->PieceSpanFor(hi);
+      if (engine_.ShouldCrack(span.second - span.first)) {
+        cut_hi = index_->ForceCut(hi, /*want_incl=*/hi_incl, stats);
+        hi_exact = true;
+      } else {
+        cut_hi = span.second;  // conservative: keep the whole piece
+      }
+    }
+    if (cut_hi < cut_lo) cut_hi = cut_lo;  // empty result
+
+    if (lo_exact && hi_exact) {
+      out->view = CrackSelection{BatView(index_->values(), cut_lo,
+                                         cut_hi - cut_lo),
+                                 BatView(index_->oids(), cut_lo,
+                                         cut_hi - cut_lo)};
+      out->count = out->view.count();
+      return;
+    }
+
+    // At least one fuzzy edge: filter the conservative span. Interior
+    // tuples are known-qualifying, but one predicate pass over the span is
+    // simpler and the span exceeds the answer by at most two small pieces.
+    out->contiguous = false;
+    const T* data = index_->values()->template TailData<T>();
+    const Oid* oids = index_->oids()->template TailData<Oid>();
+    for (size_t i = cut_lo; i < cut_hi; ++i) {
+      if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
+        ++out->count;
+        if (want_oids) out->oids.push_back(oids[i]);
+      }
+    }
+    if (want_oids) std::sort(out->oids.begin(), out->oids.end());
+    if (stats != nullptr) {
+      stats->tuples_read += cut_hi - cut_lo;
+      if (want_oids) stats->tuples_written += out->count;
+    }
+  }
+
+  std::shared_ptr<Bat> column_;
+  AccessPathConfig config_;
+  CrackPolicyEngine engine_;
+  std::unique_ptr<CrackerIndex<T>> index_;
+};
+
+// --- sort -----------------------------------------------------------------
+
+template <typename T>
+class SortAccessPath : public ColumnAccessPath {
+ public:
+  SortAccessPath(std::shared_ptr<Bat> column, const AccessPathConfig& config)
+      : column_(std::move(column)), config_(config) {}
+
+  AccessStrategy strategy() const override { return AccessStrategy::kSort; }
+  const AccessPathConfig& config() const override { return config_; }
+  size_t size() const override { return column_->size(); }
+
+  AccessSelection Select(const RangeBounds& range, bool want_oids,
+                         IoStats* stats) override {
+    (void)want_oids;  // contiguous answers carry their oid view
+    if (sorted_ == nullptr) {
+      sorted_ = std::make_unique<SortedColumn<T>>(column_, stats);
+    }
+    T lo, hi;
+    bool lo_incl, hi_incl;
+    ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+    AccessSelection out;
+    out.contiguous = true;
+    out.view = sorted_->Select(lo, lo_incl, hi, hi_incl, stats);
+    out.count = out.view.count();
+    return out;
+  }
+
+  std::vector<PieceInfo> Pieces() const override {
+    return WholeColumnPiece(column_->size());
+  }
+  size_t NumPieces() const override { return 1; }
+
+  Status ApplyPolicy(const PivotChoice& choice, IoStats* stats) override {
+    (void)choice;
+    (void)stats;
+    return Status::Unimplemented(
+        "sort access path has no piece table to crack");
+  }
+
+  std::string Explain() const override {
+    std::string out = "access path: sort\n";
+    if (sorted_ == nullptr) {
+      return out + "no accelerator yet (never queried)\n";
+    }
+    return out + "sorted copy present (binary-search access)\n";
+  }
+
+ private:
+  std::shared_ptr<Bat> column_;
+  AccessPathConfig config_;
+  std::unique_ptr<SortedColumn<T>> sorted_;
+};
+
+// --- scan -----------------------------------------------------------------
+
+template <typename T>
+class ScanAccessPath : public ColumnAccessPath {
+ public:
+  ScanAccessPath(std::shared_ptr<Bat> column, const AccessPathConfig& config)
+      : column_(std::move(column)), config_(config) {}
+
+  AccessStrategy strategy() const override { return AccessStrategy::kScan; }
+  const AccessPathConfig& config() const override { return config_; }
+  size_t size() const override { return column_->size(); }
+
+  AccessSelection Select(const RangeBounds& range, bool want_oids,
+                         IoStats* stats) override {
+    T lo, hi;
+    bool lo_incl, hi_incl;
+    ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+    AccessSelection out;
+    const T* data = column_->TailData<T>();
+    size_t n = column_->size();
+    Oid base = column_->head_base();
+    for (size_t i = 0; i < n; ++i) {
+      if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
+        ++out.count;
+        if (want_oids) out.oids.push_back(base + i);
+      }
+    }
+    if (stats != nullptr) {
+      stats->tuples_read += n;
+      if (want_oids) stats->tuples_written += out.count;
+    }
+    return out;
+  }
+
+  std::vector<PieceInfo> Pieces() const override {
+    return WholeColumnPiece(column_->size());
+  }
+  size_t NumPieces() const override { return 1; }
+
+  Status ApplyPolicy(const PivotChoice& choice, IoStats* stats) override {
+    (void)choice;
+    (void)stats;
+    return Status::Unimplemented(
+        "scan access path has no piece table to crack");
+  }
+
+  std::string Explain() const override {
+    return "access path: scan\nno auxiliary structure (full scan per "
+           "query)\n";
+  }
+
+ private:
+  std::shared_ptr<Bat> column_;
+  AccessPathConfig config_;
+};
+
+template <typename T>
+std::unique_ptr<ColumnAccessPath> MakePath(std::shared_ptr<Bat> column,
+                                           const AccessPathConfig& config) {
+  switch (config.strategy) {
+    case AccessStrategy::kScan:
+      return std::make_unique<ScanAccessPath<T>>(std::move(column), config);
+    case AccessStrategy::kCrack:
+      return std::make_unique<CrackAccessPath<T>>(std::move(column), config);
+    case AccessStrategy::kSort:
+      return std::make_unique<SortAccessPath<T>>(std::move(column), config);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ColumnAccessPath>> CreateColumnAccessPath(
+    std::shared_ptr<Bat> column, const AccessPathConfig& config) {
+  if (column == nullptr) return Status::InvalidArgument("null column");
+  switch (column->tail_type()) {
+    case ValueType::kInt32:
+      return MakePath<int32_t>(std::move(column), config);
+    case ValueType::kInt64:
+      return MakePath<int64_t>(std::move(column), config);
+    default:
+      return Status::Unimplemented(
+          StrFormat("no access path for %s columns",
+                    ValueTypeName(column->tail_type())));
+  }
+}
+
+}  // namespace crackstore

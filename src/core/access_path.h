@@ -1,0 +1,134 @@
+// Copyright 2026 The CrackStore Authors
+//
+// ColumnAccessPath: the type-erased physical-acceleration layer of one
+// column. The paper's architecture treats every query as "advice to crack
+// the store" (§2.2); this interface is where that advice lands. A path owns
+// whatever auxiliary state its strategy needs — a cracker index, a sorted
+// copy, or nothing at all — and answers range selections behind a virtual
+// interface, so the facade (AdaptiveStore), the column engine and the SQL
+// executor never see element widths or strategy internals.
+//
+// Three concrete paths (each templated over int32_t/int64_t internally):
+//   * crack — query-driven cracking with a pluggable CrackPolicy
+//             (standard / stochastic / coarse, core/crack_policy.h);
+//   * sort  — upfront sort on first touch, then binary search (Fig. 11's
+//             "sort" line);
+//   * scan  — stateless full scan per query (the "nocrack" baseline).
+//
+// Construction is lazy: building the accelerator is deferred to the first
+// Select, so its investment is charged to the query that triggered it —
+// exactly the accounting Figures 2-3 analyze.
+
+#ifndef CRACKSTORE_CORE_ACCESS_PATH_H_
+#define CRACKSTORE_CORE_ACCESS_PATH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/crack_policy.h"
+#include "core/cracker_index.h"
+#include "core/merge_policy.h"
+#include "core/range_bounds.h"
+#include "storage/bat.h"
+#include "storage/io_stats.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+/// How a column is accessed across a query sequence.
+enum class AccessStrategy : uint8_t {
+  kScan = 0,   ///< full scan per query (the "nocrack" baseline)
+  kCrack = 1,  ///< query-driven cracking (the paper's proposal)
+  kSort = 2,   ///< sort upfront on first touch, then binary search
+};
+
+const char* AccessStrategyName(AccessStrategy strategy);
+
+/// Everything needed to build one column's access path.
+struct AccessPathConfig {
+  AccessStrategy strategy = AccessStrategy::kCrack;
+  CrackPolicyOptions policy;  ///< pivot discipline (crack strategy only)
+  MergeBudget merge_budget;   ///< piece-fusion budget (crack strategy only)
+};
+
+/// Type-erased snapshot of one piece (int64-widened value decorations).
+struct PieceInfo {
+  size_t begin = 0;  ///< first position in the accelerator column
+  size_t end = 0;    ///< one past the last position
+  bool has_lo = false;
+  int64_t lo = 0;          ///< if has_lo: every value v in the piece satisfies
+  bool lo_strict = false;  ///< lo_strict ? v > lo : v >= lo
+  bool has_hi = false;
+  int64_t hi = 0;          ///< if has_hi: every value v satisfies
+  bool hi_strict = false;  ///< hi_strict ? v < hi : v <= hi
+  size_t size() const { return end - begin; }
+};
+
+/// An explicit pivot injection — advice arriving from outside any query
+/// (a policy warm-up pass, the optimizer, an operator hint).
+struct PivotChoice {
+  int64_t value = 0;
+  /// false: cut before the duplicates of `value` (left side < value);
+  /// true: cut after them (left side <= value).
+  bool after_duplicates = false;
+};
+
+/// The answer of one access-path selection. Cracked and sorted paths hand
+/// out zero-copy contiguous views; scan (and coarse-policy edge pieces)
+/// deliver an oid list instead.
+struct AccessSelection {
+  uint64_t count = 0;      ///< qualifying tuples (always set)
+  bool contiguous = false; ///< true: `view` is valid; false: `oids` is
+  CrackSelection view;     ///< parallel (values, oids) views
+  std::vector<Oid> oids;   ///< qualifying source oids, ascending (only
+                           ///< filled when the caller asked for oids)
+  size_t bounds_dropped = 0;  ///< boundaries fused by the merge budget
+};
+
+/// See file comment.
+class ColumnAccessPath {
+ public:
+  virtual ~ColumnAccessPath() = default;
+
+  virtual AccessStrategy strategy() const = 0;
+
+  /// The policy configuration this path runs (meaningful for kCrack; other
+  /// strategies report their config verbatim).
+  virtual const AccessPathConfig& config() const = 0;
+
+  /// Tuples in the underlying column.
+  virtual size_t size() const = 0;
+
+  /// Range selection. `want_oids` asks for the qualifying oid list when the
+  /// answer cannot be contiguous (scan; coarse edge pieces) — pass false
+  /// for count-only queries to skip the gather.
+  virtual AccessSelection Select(const RangeBounds& range, bool want_oids,
+                                 IoStats* stats) = 0;
+
+  /// Pieces currently delimiting the column; {[0, n)} when never cracked.
+  virtual std::vector<PieceInfo> Pieces() const = 0;
+
+  /// Number of pieces (cheaper than Pieces().size()).
+  virtual size_t NumPieces() const = 0;
+
+  /// Applies an explicit pivot: cracks the column at `choice` outside any
+  /// query. Unimplemented for paths without a piece table (sort, scan).
+  virtual Status ApplyPolicy(const PivotChoice& choice,
+                             IoStats* stats = nullptr) = 0;
+
+  /// Human-readable physical state: accelerator kind, active policy, piece
+  /// table. The per-column body of AdaptiveStore::ExplainColumn.
+  virtual std::string Explain() const = 0;
+};
+
+/// Builds the access path for `column` per `config`. The column must be
+/// kInt32 or kInt64; anything else is Unimplemented. Accelerator
+/// construction itself is lazy (first Select pays).
+Result<std::unique_ptr<ColumnAccessPath>> CreateColumnAccessPath(
+    std::shared_ptr<Bat> column, const AccessPathConfig& config);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_ACCESS_PATH_H_

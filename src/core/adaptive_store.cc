@@ -3,23 +3,27 @@
 #include "core/adaptive_store.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <iterator>
 
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace crackstore {
 
-const char* AccessStrategyName(AccessStrategy strategy) {
-  switch (strategy) {
-    case AccessStrategy::kScan:
-      return "scan";
-    case AccessStrategy::kCrack:
-      return "crack";
-    case AccessStrategy::kSort:
-      return "sort";
+std::vector<Oid> QueryResult::CollectOids() const& {
+  if (!has_selection) return scan_oids;
+  std::vector<Oid> oids;
+  oids.reserve(selection.count());
+  for (size_t i = 0; i < selection.count(); ++i) {
+    oids.push_back(selection.oids.Get<Oid>(i));
   }
-  return "?";
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+std::vector<Oid> QueryResult::CollectOids() && {
+  if (!has_selection) return std::move(scan_oids);
+  return static_cast<const QueryResult&>(*this).CollectOids();
 }
 
 AdaptiveStore::AdaptiveStore(AdaptiveStoreOptions options)
@@ -55,134 +59,15 @@ Result<std::shared_ptr<Bat>> AdaptiveStore::ResolveColumn(
   return (*rel)->column(column);
 }
 
-AdaptiveStore::ColumnAccel& AdaptiveStore::Accel(const std::string& table,
-                                                 const std::string& column) {
-  return accels_[table + "." + column];
-}
-
-namespace {
-
-/// Clamps int64 range bounds into the typed domain of the column so that
-/// sentinel bounds (INT64_MIN/MAX) work for narrower types.
-template <typename T>
-void ClampRange(const RangeBounds& range, T* lo, bool* lo_incl, T* hi,
-                bool* hi_incl) {
-  int64_t tmin = static_cast<int64_t>(std::numeric_limits<T>::min());
-  int64_t tmax = static_cast<int64_t>(std::numeric_limits<T>::max());
-  int64_t lo64 = std::clamp(range.lo, tmin, tmax);
-  int64_t hi64 = std::clamp(range.hi, tmin, tmax);
-  *lo = static_cast<T>(lo64);
-  *hi = static_cast<T>(hi64);
-  // A clamped bound widens to inclusive only when clamping moved it inward;
-  // e.g. lo = INT64_MIN over int32 becomes lo = INT32_MIN inclusive.
-  *lo_incl = (lo64 != range.lo) ? true : range.lo_incl;
-  *hi_incl = (hi64 != range.hi) ? true : range.hi_incl;
-}
-
-template <typename T>
-bool InRange(T v, T lo, bool lo_incl, T hi, bool hi_incl) {
-  if (lo_incl ? v < lo : v <= lo) return false;
-  if (hi_incl ? v > hi : v >= hi) return false;
-  return true;
-}
-
-}  // namespace
-
-template <typename T>
-CrackSelection AdaptiveStore::CrackSelect(const std::string& table,
-                                          const std::string& column,
-                                          const std::shared_ptr<Bat>& bat,
-                                          const RangeBounds& range,
-                                          IoStats* stats) {
-  ColumnAccel& accel = Accel(table, column);
-  CrackerIndex<T>* index = nullptr;
-  if constexpr (std::is_same_v<T, int32_t>) {
-    if (accel.crack32 == nullptr) {
-      accel.crack32 = std::make_unique<CrackerIndex<int32_t>>(bat, stats);
-    }
-    index = accel.crack32.get();
-  } else {
-    if (accel.crack64 == nullptr) {
-      accel.crack64 = std::make_unique<CrackerIndex<int64_t>>(bat, stats);
-    }
-    index = accel.crack64.get();
+Result<AdaptiveStore::ColumnAccel*> AdaptiveStore::Accel(
+    const std::string& table, const std::string& column,
+    const std::shared_ptr<Bat>& bat) {
+  ColumnAccel& accel = accels_[table + "." + column];
+  if (accel.path == nullptr) {
+    CRACK_ASSIGN_OR_RETURN(
+        accel.path, CreateColumnAccessPath(bat, options_.path_config()));
   }
-  if (options_.track_lineage && accel.root == kInvalidPieceId) {
-    accel.root = lineage_.AddRoot(table + "." + column, bat->size());
-    accel.piece_nodes[{0, bat->size()}] = accel.root;
-  }
-
-  T lo, hi;
-  bool lo_incl, hi_incl;
-  ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
-  CrackSelection sel = index->Select(lo, lo_incl, hi, hi_incl, stats);
-
-  if (!options_.merge_budget.unlimited()) {
-    size_t dropped = EnforceMergeBudget(index, options_.merge_budget, stats);
-    if (dropped > 0 && options_.track_lineage) {
-      // Fused pieces no longer tile the registered nodes; apply the inverse
-      // operation to the column's subtree (§3.2: "trimming the graph") and
-      // re-register the surviving partitioning from the root.
-      (void)lineage_.TrimDescendants(accel.root);
-      accel.piece_nodes.clear();
-      accel.piece_nodes[{0, index->size()}] = accel.root;
-    }
-  }
-  if (options_.track_lineage) {
-    UpdateLineage(table, column, &accel, *index);
-  }
-  return sel;
-}
-
-template <typename T>
-CrackSelection AdaptiveStore::SortSelect(const std::string& table,
-                                         const std::string& column,
-                                         const std::shared_ptr<Bat>& bat,
-                                         const RangeBounds& range,
-                                         IoStats* stats) {
-  ColumnAccel& accel = Accel(table, column);
-  const SortedColumn<T>* sorted = nullptr;
-  if constexpr (std::is_same_v<T, int32_t>) {
-    if (accel.sort32 == nullptr) {
-      accel.sort32 = std::make_unique<SortedColumn<int32_t>>(bat, stats);
-    }
-    sorted = accel.sort32.get();
-  } else {
-    if (accel.sort64 == nullptr) {
-      accel.sort64 = std::make_unique<SortedColumn<int64_t>>(bat, stats);
-    }
-    sorted = accel.sort64.get();
-  }
-  T lo, hi;
-  bool lo_incl, hi_incl;
-  ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
-  return sorted->Select(lo, lo_incl, hi, hi_incl, stats);
-}
-
-template <typename T>
-void AdaptiveStore::ScanSelect(const std::shared_ptr<Bat>& bat,
-                               const RangeBounds& range, Delivery delivery,
-                               QueryResult* result) {
-  T lo, hi;
-  bool lo_incl, hi_incl;
-  ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
-  const T* data = bat->TailData<T>();
-  size_t n = bat->size();
-  Oid base = bat->head_base();
-  uint64_t count = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
-      ++count;
-      if (delivery != Delivery::kCount) {
-        result->scan_oids.push_back(base + i);
-      }
-    }
-  }
-  result->count = count;
-  result->io.tuples_read += n;
-  if (delivery != Delivery::kCount) {
-    result->io.tuples_written += count;
-  }
+  return &accel;
 }
 
 Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
@@ -199,36 +84,37 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
                   table.c_str(), column.c_str(),
                   ValueTypeName(bat->tail_type())));
   }
-  bool is32 = bat->tail_type() == ValueType::kInt32;
 
   QueryResult result;
   WallTimer timer;
-  switch (options_.strategy) {
-    case AccessStrategy::kScan:
-      if (is32) {
-        ScanSelect<int32_t>(bat, range, delivery, &result);
-      } else {
-        ScanSelect<int64_t>(bat, range, delivery, &result);
-      }
-      break;
-    case AccessStrategy::kCrack: {
-      CrackSelection sel =
-          is32 ? CrackSelect<int32_t>(table, column, bat, range, &result.io)
-               : CrackSelect<int64_t>(table, column, bat, range, &result.io);
-      result.count = sel.count();
-      result.selection = sel;
-      result.has_selection = true;
-      break;
+
+  CRACK_ASSIGN_OR_RETURN(ColumnAccel * accel, Accel(table, column, bat));
+  bool is_crack = accel->path->strategy() == AccessStrategy::kCrack;
+  if (is_crack && options_.track_lineage && accel->root == kInvalidPieceId) {
+    accel->root = lineage_.AddRoot(table + "." + column, bat->size());
+    accel->piece_nodes[{0, bat->size()}] = accel->root;
+  }
+
+  AccessSelection sel = accel->path->Select(
+      range, /*want_oids=*/delivery != Delivery::kCount, &result.io);
+  result.count = sel.count;
+  if (sel.contiguous) {
+    result.selection = sel.view;
+    result.has_selection = true;
+  } else {
+    result.scan_oids = std::move(sel.oids);
+  }
+
+  if (is_crack && options_.track_lineage) {
+    if (sel.bounds_dropped > 0) {
+      // Fused pieces no longer tile the registered nodes; apply the inverse
+      // operation to the column's subtree (§3.2: "trimming the graph") and
+      // re-register the surviving partitioning from the root.
+      (void)lineage_.TrimDescendants(accel->root);
+      accel->piece_nodes.clear();
+      accel->piece_nodes[{0, accel->path->size()}] = accel->root;
     }
-    case AccessStrategy::kSort: {
-      CrackSelection sel =
-          is32 ? SortSelect<int32_t>(table, column, bat, range, &result.io)
-               : SortSelect<int64_t>(table, column, bat, range, &result.io);
-      result.count = sel.count();
-      result.selection = sel;
-      result.has_selection = true;
-      break;
-    }
+    UpdateLineage(table, column, accel);
   }
 
   if (delivery == Delivery::kMaterialize) {
@@ -238,7 +124,7 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
           MaterializeSelection(table, result.selection,
                                table + "_" + column + "_result", &result.io));
     } else {
-      // Scan strategy: materialize from the gathered oid list.
+      // Non-contiguous answer: materialize from the gathered oid list.
       auto rel = this->table(table);
       auto out = Relation::Create(table + "_" + column + "_result",
                                   (*rel)->schema());
@@ -276,38 +162,44 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
   QueryResult result;
   WallTimer timer;
 
+  // The stateless scan strategy has a cheaper shape: one fused pass over
+  // all referenced columns, no per-column oid materialization. Stateful
+  // paths (crack/sort) must go per-column anyway — each conjunct is advice
+  // for its own column's accelerator.
   if (options_.strategy == AccessStrategy::kScan) {
-    // Single fused pass over all referenced columns.
     auto rel_result = this->table(table);
     if (!rel_result.ok()) return rel_result.status();
     std::shared_ptr<Relation> rel = *rel_result;
-    std::vector<const int64_t*> cols64;
-    std::vector<const int32_t*> cols32;
-    std::vector<bool> is32;
+    struct TypedColumn {
+      const int32_t* d32 = nullptr;
+      const int64_t* d64 = nullptr;
+    };
+    std::vector<TypedColumn> cols;
+    cols.reserve(conjuncts.size());
     for (const ColumnRange& c : conjuncts) {
       auto bat = rel->column(c.column);
       if (!bat.ok()) return bat.status();
+      TypedColumn col;
       switch ((*bat)->tail_type()) {
         case ValueType::kInt64:
-          cols64.push_back((*bat)->TailData<int64_t>());
-          cols32.push_back(nullptr);
-          is32.push_back(false);
+          col.d64 = (*bat)->TailData<int64_t>();
           break;
         case ValueType::kInt32:
-          cols64.push_back(nullptr);
-          cols32.push_back((*bat)->TailData<int32_t>());
-          is32.push_back(true);
+          col.d32 = (*bat)->TailData<int32_t>();
           break;
         default:
           return Status::Unimplemented("conjunction needs integer columns");
       }
+      cols.push_back(col);
     }
     size_t n = rel->num_rows();
     Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
     for (size_t i = 0; i < n; ++i) {
       bool all = true;
       for (size_t c = 0; c < conjuncts.size() && all; ++c) {
-        int64_t v = is32[c] ? cols32[c][i] : cols64[c][i];
+        int64_t v = cols[c].d32 != nullptr
+                        ? static_cast<int64_t>(cols[c].d32[i])
+                        : cols[c].d64[i];
         all = conjuncts[c].range.Contains(v);
       }
       if (all) {
@@ -316,44 +208,39 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
       }
     }
     result.io.tuples_read += n * conjuncts.size();
-  } else {
-    // Crack (or binary-search) each column independently, then intersect
-    // the oid sets starting from the smallest.
-    std::vector<QueryResult> per_column;
-    per_column.reserve(conjuncts.size());
-    for (const ColumnRange& c : conjuncts) {
-      CRACK_ASSIGN_OR_RETURN(
-          QueryResult qr,
-          SelectRange(table, c.column, c.range, Delivery::kView));
-      result.io += qr.io;
-      per_column.push_back(std::move(qr));
-    }
-    std::sort(per_column.begin(), per_column.end(),
-              [](const QueryResult& a, const QueryResult& b) {
-                return a.count < b.count;
-              });
-    std::unordered_set<Oid> survivors;
-    survivors.reserve(per_column.front().count * 2);
-    const CrackSelection& seed = per_column.front().selection;
-    for (size_t i = 0; i < seed.oids.size(); ++i) {
-      survivors.insert(seed.oids.Get<Oid>(i));
-    }
-    for (size_t c = 1; c < per_column.size() && !survivors.empty(); ++c) {
-      std::unordered_set<Oid> next;
-      next.reserve(survivors.size() * 2);
-      const CrackSelection& sel = per_column[c].selection;
-      for (size_t i = 0; i < sel.oids.size(); ++i) {
-        Oid oid = sel.oids.Get<Oid>(i);
-        if (survivors.count(oid) > 0) next.insert(oid);
-      }
-      survivors = std::move(next);
-      result.io.tuples_read += sel.oids.size();
-    }
-    result.count = survivors.size();
-    if (delivery == Delivery::kView) {
-      result.scan_oids.assign(survivors.begin(), survivors.end());
-      std::sort(result.scan_oids.begin(), result.scan_oids.end());
-    }
+    result.seconds = timer.ElapsedSeconds();
+    total_io_ += result.io;
+    return result;
+  }
+
+  // Answer each conjunct through its column's access path, then intersect
+  // the (already ascending) oid lists starting from the smallest. One code
+  // path for every crack-policy × sort combination.
+  std::vector<std::vector<Oid>> per_column;
+  per_column.reserve(conjuncts.size());
+  for (const ColumnRange& c : conjuncts) {
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult qr, SelectRange(table, c.column, c.range, Delivery::kView));
+    result.io += qr.io;
+    per_column.push_back(std::move(qr).CollectOids());
+  }
+  std::sort(per_column.begin(), per_column.end(),
+            [](const std::vector<Oid>& a, const std::vector<Oid>& b) {
+              return a.size() < b.size();
+            });
+  std::vector<Oid> survivors = std::move(per_column.front());
+  std::vector<Oid> next;
+  for (size_t c = 1; c < per_column.size() && !survivors.empty(); ++c) {
+    next.clear();
+    std::set_intersection(survivors.begin(), survivors.end(),
+                          per_column[c].begin(), per_column[c].end(),
+                          std::back_inserter(next));
+    survivors.swap(next);
+    result.io.tuples_read += per_column[c].size();
+  }
+  result.count = survivors.size();
+  if (delivery == Delivery::kView) {
+    result.scan_oids = std::move(survivors);
   }
 
   result.seconds = timer.ElapsedSeconds();
@@ -506,41 +393,21 @@ Result<std::shared_ptr<Relation>> AdaptiveStore::MaterializeSelection(
   return out;
 }
 
+Result<ColumnAccessPath*> AdaptiveStore::AccessPathFor(
+    const std::string& table, const std::string& column) const {
+  auto it = accels_.find(table + "." + column);
+  if (it == accels_.end() || it->second.path == nullptr) {
+    return Status::NotFound("no access path yet for " + table + "." + column);
+  }
+  return it->second.path.get();
+}
+
 Result<size_t> AdaptiveStore::NumPieces(const std::string& table,
                                         const std::string& column) const {
   auto it = accels_.find(table + "." + column);
-  if (it == accels_.end()) return size_t{1};
-  if (it->second.crack32 != nullptr) return it->second.crack32->num_pieces();
-  if (it->second.crack64 != nullptr) return it->second.crack64->num_pieces();
-  return size_t{1};
+  if (it == accels_.end() || it->second.path == nullptr) return size_t{1};
+  return it->second.path->NumPieces();
 }
-
-namespace {
-
-template <typename T>
-std::string ExplainIndex(const CrackerIndex<T>& index) {
-  std::string out =
-      StrFormat("cracker index: %zu tuples, %zu pieces, %zu boundaries\n",
-                index.size(), index.num_pieces(), index.num_bounds());
-  size_t shown = 0;
-  for (const CrackPiece<T>& p : index.Pieces()) {
-    if (++shown > 64) {
-      out += StrFormat("  ... (%zu pieces)\n", index.num_pieces());
-      break;
-    }
-    std::string lo = p.has_lo ? StrFormat("%s%lld", p.lo_strict ? ">" : ">=",
-                                          static_cast<long long>(p.lo))
-                              : "-inf";
-    std::string hi = p.has_hi ? StrFormat("%s%lld", p.hi_strict ? "<" : "<=",
-                                          static_cast<long long>(p.hi))
-                              : "+inf";
-    out += StrFormat("  piece [%zu, %zu) size=%zu  values %s .. %s\n",
-                     p.begin, p.end, p.size(), lo.c_str(), hi.c_str());
-  }
-  return out;
-}
-
-}  // namespace
 
 Result<std::string> AdaptiveStore::ExplainColumn(
     const std::string& table, const std::string& column) const {
@@ -552,38 +419,22 @@ Result<std::string> AdaptiveStore::ExplainColumn(
                               (*bat)->size(),
                               AccessStrategyName(options_.strategy));
   auto it = accels_.find(table + "." + column);
-  bool has_accel = false;
-  if (it != accels_.end()) {
-    const ColumnAccel& accel = it->second;
-    if (accel.crack32 != nullptr) {
-      out += ExplainIndex(*accel.crack32);
-      has_accel = true;
-    }
-    if (accel.crack64 != nullptr) {
-      out += ExplainIndex(*accel.crack64);
-      has_accel = true;
-    }
-    if (accel.sort32 != nullptr || accel.sort64 != nullptr) {
-      out += "sorted copy present (binary-search access)\n";
-      has_accel = true;
-    }
+  if (it == accels_.end() || it->second.path == nullptr) {
+    return out + "no accelerator yet (never queried)\n";
   }
-  if (!has_accel) out += "no accelerator yet (never queried)\n";
-  return out;
+  return out + it->second.path->Explain();
 }
 
-template <typename T>
 void AdaptiveStore::UpdateLineage(const std::string& table,
                                   const std::string& column,
-                                  ColumnAccel* accel,
-                                  const CrackerIndex<T>& index) {
-  std::vector<CrackPiece<T>> pieces = index.Pieces();
+                                  ColumnAccel* accel) {
+  std::vector<PieceInfo> pieces = accel->path->Pieces();
   std::string prefix = table + "." + column;
   // Every current piece lies inside exactly one registered node (cuts only
   // ever subdivide). Group new pieces by enclosing registered range and log
   // one Ξ application per split node.
-  std::map<std::pair<size_t, size_t>, std::vector<CrackPiece<T>>> by_parent;
-  for (const CrackPiece<T>& p : pieces) {
+  std::map<std::pair<size_t, size_t>, std::vector<PieceInfo>> by_parent;
+  for (const PieceInfo& p : pieces) {
     std::pair<size_t, size_t> self{p.begin, p.end};
     if (accel->piece_nodes.count(self) > 0) continue;  // unchanged piece
     // Find the enclosing registered node.
@@ -598,7 +449,7 @@ void AdaptiveStore::UpdateLineage(const std::string& table,
     PieceId parent = accel->piece_nodes[range];
     std::vector<std::pair<std::string, uint64_t>> outputs;
     outputs.reserve(children.size());
-    for (const CrackPiece<T>& p : children) {
+    for (const PieceInfo& p : children) {
       outputs.emplace_back(
           StrFormat("%s[%zu,%zu)", prefix.c_str(), p.begin, p.end),
           p.size());
@@ -611,12 +462,5 @@ void AdaptiveStore::UpdateLineage(const std::string& table,
     }
   }
 }
-
-template void AdaptiveStore::UpdateLineage<int32_t>(
-    const std::string&, const std::string&, ColumnAccel*,
-    const CrackerIndex<int32_t>&);
-template void AdaptiveStore::UpdateLineage<int64_t>(
-    const std::string&, const std::string&, ColumnAccel*,
-    const CrackerIndex<int64_t>&);
 
 }  // namespace crackstore

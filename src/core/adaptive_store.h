@@ -4,9 +4,13 @@
 // tables and, per the paper's architecture (§3), sits "between the semantic
 // analyzer and the query optimizer": every incoming selection, join or
 // group-by is interpreted both as a request for a subset and as advice to
-// crack the store. Strategy knobs allow running the same query stream as
-// plain scans (the paper's "nocrack" lines) or against an upfront sorted
-// copy (the "sort" line of Fig. 11), which is how the benchmarks compare.
+// crack the store. Physical access per column is delegated to the
+// type-erased ColumnAccessPath layer (core/access_path.h), so the facade is
+// independent of both element widths and the strategy/policy axes: strategy
+// knobs allow running the same query stream as plain scans (the paper's
+// "nocrack" lines) or against an upfront sorted copy (the "sort" line of
+// Fig. 11), and the crack strategy composes with any CrackPolicy
+// (standard / stochastic / coarse, core/crack_policy.h).
 
 #ifndef CRACKSTORE_CORE_ADAPTIVE_STORE_H_
 #define CRACKSTORE_CORE_ADAPTIVE_STORE_H_
@@ -17,28 +21,19 @@
 #include <string>
 #include <vector>
 
-#include "core/cracker_index.h"
+#include "core/access_path.h"
+#include "core/crack_policy.h"
 #include "core/group_cracker.h"
 #include "core/join_cracker.h"
 #include "core/lineage.h"
 #include "core/merge_policy.h"
 #include "core/projection_cracker.h"
 #include "core/range_bounds.h"
-#include "core/sorted_column.h"
 #include "storage/io_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
 
 namespace crackstore {
-
-/// How a column is accessed across a query sequence.
-enum class AccessStrategy : uint8_t {
-  kScan = 0,   ///< full scan per query (the "nocrack" baseline)
-  kCrack = 1,  ///< query-driven cracking (the paper's proposal)
-  kSort = 2,   ///< sort upfront on first touch, then binary search
-};
-
-const char* AccessStrategyName(AccessStrategy strategy);
 
 /// What a query delivers (paper §2.1, Fig. 1): counting is cheapest,
 /// view/stream delivery is middle, materializing a new table is dearest.
@@ -51,23 +46,37 @@ enum class Delivery : uint8_t {
 /// Store-wide options.
 struct AdaptiveStoreOptions {
   AccessStrategy strategy = AccessStrategy::kCrack;
+  CrackPolicyOptions policy;  ///< pivot discipline (crack strategy only)
   MergeBudget merge_budget;   ///< piece-fusion budget (crack strategy only)
   bool track_lineage = true;  ///< record the Ξ/Ψ/^/Ω DAG (Figs. 5-6)
+
+  /// The per-column slice of these options.
+  AccessPathConfig path_config() const {
+    return AccessPathConfig{strategy, policy, merge_budget};
+  }
 };
 
 /// Result of one query against the store.
 struct QueryResult {
   uint64_t count = 0;  ///< qualifying tuples
-  /// Contiguous (values, oids) views; valid for crack/sort strategies with
-  /// Delivery::kView or kMaterialize.
+  /// Contiguous (values, oids) views; valid for access paths that answer
+  /// with zero-copy pieces (crack/sort) with Delivery::kView or
+  /// kMaterialize.
   bool has_selection = false;
   CrackSelection selection;
-  /// Qualifying oids for the scan strategy with Delivery::kView.
+  /// Qualifying oids (ascending) for non-contiguous answers (scan strategy,
+  /// coarse-policy edge pieces) with Delivery::kView.
   std::vector<Oid> scan_oids;
   /// The new table for Delivery::kMaterialize.
   std::shared_ptr<Relation> materialized;
   double seconds = 0.0;  ///< wall-clock of this query
   IoStats io;            ///< deterministic cost of this query
+
+  /// The qualifying oids regardless of answer shape (copied out of the
+  /// contiguous view or the scan list). Sorted ascending. The rvalue
+  /// overload moves the scan list out instead of copying.
+  std::vector<Oid> CollectOids() const&;
+  std::vector<Oid> CollectOids() &&;
 };
 
 /// See file comment.
@@ -95,8 +104,8 @@ class AdaptiveStore {
   };
 
   /// σ over a conjunction of range predicates (WHERE a IN r1 AND b IN r2
-  /// ...). Under kCrack every referenced column is cracked by its own
-  /// predicate — "each and every query initiates breaking the database
+  /// ...). Every referenced column is answered by its own access path —
+  /// under kCrack "each and every query initiates breaking the database
   /// further into pieces" (§2.2) — and the per-column oid sets are
   /// intersected. Returns the qualifying count and (for kView) the oids.
   Result<QueryResult> SelectConjunction(
@@ -136,12 +145,18 @@ class AdaptiveStore {
       const std::string& table, const CrackSelection& selection,
       const std::string& result_name, IoStats* stats = nullptr);
 
+  /// The access path currently accelerating (table, column), or NotFound
+  /// when the column was never queried. Borrowed pointer, owned by the
+  /// store.
+  Result<ColumnAccessPath*> AccessPathFor(const std::string& table,
+                                          const std::string& column) const;
+
   /// Pieces currently delimiting (table, column); 1 when never cracked.
   Result<size_t> NumPieces(const std::string& table,
                            const std::string& column) const;
 
-  /// Human-readable report of a column's physical state: accelerator kind,
-  /// piece table with value bounds and sizes, boundary usage clocks. The
+  /// Human-readable report of a column's physical state: access-path kind,
+  /// active crack policy, piece table with value bounds and sizes. The
   /// EXPLAIN of an adaptive store — what a DBA would ask "what did the
   /// workload teach you about this column?".
   Result<std::string> ExplainColumn(const std::string& table,
@@ -156,10 +171,7 @@ class AdaptiveStore {
 
  private:
   struct ColumnAccel {
-    std::unique_ptr<CrackerIndex<int32_t>> crack32;
-    std::unique_ptr<CrackerIndex<int64_t>> crack64;
-    std::unique_ptr<SortedColumn<int32_t>> sort32;
-    std::unique_ptr<SortedColumn<int64_t>> sort64;
+    std::unique_ptr<ColumnAccessPath> path;
     PieceId root = kInvalidPieceId;
     /// Lineage piece nodes keyed by their [begin, end) slot range.
     std::map<std::pair<size_t, size_t>, PieceId> piece_nodes;
@@ -174,29 +186,16 @@ class AdaptiveStore {
                                                 const std::string& right_column,
                                                 IoStats* stats);
 
-  ColumnAccel& Accel(const std::string& table, const std::string& column);
-
-  template <typename T>
-  CrackSelection CrackSelect(const std::string& table,
+  /// The accelerator slot of (table, column), with the access path built on
+  /// first use (the build itself stays lazy inside the path).
+  Result<ColumnAccel*> Accel(const std::string& table,
                              const std::string& column,
-                             const std::shared_ptr<Bat>& bat,
-                             const RangeBounds& range, IoStats* stats);
-
-  template <typename T>
-  CrackSelection SortSelect(const std::string& table,
-                            const std::string& column,
-                            const std::shared_ptr<Bat>& bat,
-                            const RangeBounds& range, IoStats* stats);
-
-  template <typename T>
-  void ScanSelect(const std::shared_ptr<Bat>& bat, const RangeBounds& range,
-                  Delivery delivery, QueryResult* result);
+                             const std::shared_ptr<Bat>& bat);
 
   /// Records Ξ piece splits into the lineage after a crack (diffs the piece
   /// table against the registered nodes).
-  template <typename T>
   void UpdateLineage(const std::string& table, const std::string& column,
-                     ColumnAccel* accel, const CrackerIndex<T>& index);
+                     ColumnAccel* accel);
 
   AdaptiveStoreOptions options_;
   std::map<std::string, std::shared_ptr<Relation>> tables_;

@@ -1,0 +1,38 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/crack_policy.h"
+
+namespace crackstore {
+
+const char* CrackPolicyName(CrackPolicy policy) {
+  switch (policy) {
+    case CrackPolicy::kStandard:
+      return "standard";
+    case CrackPolicy::kStochastic:
+      return "stochastic";
+    case CrackPolicy::kCoarse:
+      return "coarse";
+  }
+  return "?";
+}
+
+bool ParseCrackPolicy(const std::string& s, CrackPolicy* out) {
+  if (s == "standard") {
+    *out = CrackPolicy::kStandard;
+  } else if (s == "stochastic" || s == "ddc") {
+    *out = CrackPolicy::kStochastic;
+  } else if (s == "coarse" || s == "dd1c") {
+    *out = CrackPolicy::kCoarse;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CrackPolicy CrackPolicyFromString(const std::string& s) {
+  CrackPolicy policy = CrackPolicy::kStandard;
+  (void)ParseCrackPolicy(s, &policy);
+  return policy;
+}
+
+}  // namespace crackstore

@@ -1,0 +1,103 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Cracking policies: *where* a query's advice places pivots. The source
+// paper always cracks exactly at the query bounds, which Halim et al.
+// ("Stochastic Database Cracking", VLDB 2012) show is fragile: sequential
+// or skewed workloads keep cutting slivers off one huge piece and every
+// query degenerates to a near-full scan. The cure is to decouple the pivot
+// choice from the query bounds:
+//
+//   * kStandard   — pivots are the query bounds (the CIDR'05 behavior);
+//   * kStochastic — DDC-style: before cutting at a bound that lands in a
+//     large piece, crack that piece at randomly drawn elements until the
+//     enclosing piece is small, so progress is made regardless of the
+//     workload pattern;
+//   * kCoarse     — DD1C-style: pieces at or below a size threshold are
+//     never cracked further; queries whose bounds land inside such a piece
+//     filter it instead. Caps the piece table (and its administration) at a
+//     granularity of the caller's choosing.
+//
+// The policy is orthogonal to the access strategy: any ColumnAccessPath of
+// kind kCrack can run any policy (core/access_path.h composes the two).
+
+#ifndef CRACKSTORE_CORE_CRACK_POLICY_H_
+#define CRACKSTORE_CORE_CRACK_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace crackstore {
+
+/// Pivot-choice discipline of a cracked column. See file comment.
+enum class CrackPolicy : uint8_t {
+  kStandard = 0,    ///< pivot = query bound (CIDR'05)
+  kStochastic = 1,  ///< random auxiliary pivots in large touched pieces (DDC)
+  kCoarse = 2,      ///< stop cracking below a piece-size threshold (DD1C)
+};
+
+const char* CrackPolicyName(CrackPolicy policy);
+
+/// Parses a policy name ("standard", "stochastic", "coarse") or research
+/// alias ("ddc" -> stochastic, "dd1c" -> coarse) into `*out`. Returns false
+/// (leaving `*out` untouched) for anything else.
+bool ParseCrackPolicy(const std::string& s, CrackPolicy* out);
+
+/// Lenient variant: falls back to kStandard on unknown input.
+CrackPolicy CrackPolicyFromString(const std::string& s);
+
+/// A policy plus its tuning knobs.
+struct CrackPolicyOptions {
+  CrackPolicy policy = CrackPolicy::kStandard;
+  /// kStochastic: auxiliary pivots are drawn until the piece enclosing the
+  /// query bound is at or below this size. kCoarse: pieces at or below this
+  /// size are never cracked (their queries filter instead). Ignored by
+  /// kStandard.
+  size_t min_piece_size = 1024;
+  /// Seed of the deterministic pivot stream (kStochastic only).
+  uint64_t seed = 20120101;
+};
+
+/// The per-column decision engine behind a CrackPolicyOptions: answers
+/// "crack this piece?" / "inject a random pivot first?" and owns the
+/// deterministic pivot stream. One instance per access path, so two columns
+/// with the same seed draw identical pivot sequences.
+class CrackPolicyEngine {
+ public:
+  explicit CrackPolicyEngine(CrackPolicyOptions options)
+      : options_(options), rng_(options.seed) {}
+
+  const CrackPolicyOptions& options() const { return options_; }
+  CrackPolicy policy() const { return options_.policy; }
+
+  /// kCoarse: may a piece of `piece_size` tuples be cracked at all?
+  bool ShouldCrack(size_t piece_size) const {
+    return options_.policy != CrackPolicy::kCoarse ||
+           piece_size > options_.min_piece_size;
+  }
+
+  /// kStochastic: does a piece of `piece_size` tuples still warrant an
+  /// auxiliary random pivot before the query-bound cut?
+  bool WantsAuxiliaryPivot(size_t piece_size) const {
+    return options_.policy == CrackPolicy::kStochastic &&
+           piece_size > options_.min_piece_size;
+  }
+
+  /// Draws a slot uniformly from [begin, end); the element there becomes
+  /// the auxiliary pivot.
+  size_t DrawSlot(size_t begin, size_t end) {
+    CRACK_DCHECK(begin < end);
+    return begin + static_cast<size_t>(rng_.NextInRange(
+                       0, static_cast<int64_t>(end - begin - 1)));
+  }
+
+ private:
+  CrackPolicyOptions options_;
+  Pcg32 rng_;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_CRACK_POLICY_H_

@@ -229,6 +229,28 @@ CrackSelection CrackerIndex<T>::SelectEquals(T v, IoStats* stats) {
 }
 
 template <typename T>
+bool CrackerIndex<T>::FindCut(T v, bool want_incl, size_t* pos) const {
+  auto it = bounds_.find(v);
+  if (it == bounds_.end()) return false;
+  const Bound& b = it->second;
+  if (want_incl && b.has_incl) {
+    *pos = b.pos_incl;
+    return true;
+  }
+  if (!want_incl && b.has_excl) {
+    *pos = b.pos_excl;
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+void CrackerIndex<T>::TouchBound(T v) {
+  auto it = bounds_.find(v);
+  if (it != bounds_.end()) Touch(&it->second);
+}
+
+template <typename T>
 CrackSelection CrackerIndex<T>::SelectAll() const {
   return CrackSelection{BatView(values_, 0, n_), BatView(oids_, 0, n_)};
 }

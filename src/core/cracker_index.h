@@ -116,6 +116,35 @@ class CrackerIndex {
   /// The whole cracker column as one selection (no cracking).
   CrackSelection SelectAll() const;
 
+  // --- policy hooks (core/crack_policy.h) ---------------------------------
+  // Cracking policies steer *where* pivots land beyond the query bounds;
+  // these primitives let them inspect and cut the piece table directly.
+
+  /// True (and `*pos` set) iff the cut for value `v` with the requested
+  /// inclusivity is already registered. Never cracks, never touches clocks.
+  bool FindCut(T v, bool want_incl, size_t* pos) const;
+
+  /// Refreshes the usage clock of the boundary at `v` (no-op when absent).
+  /// Callers answering from a FindCut hit use this to keep LRU-based merge
+  /// budgets honest about which boundaries the workload still needs.
+  void TouchBound(T v);
+
+  /// Registers the cut for `v` (cracking the enclosing piece if needed) and
+  /// returns its position — the crack-at-pivot primitive:
+  ///   want_incl == false -> first index holding values >= v
+  ///   want_incl == true  -> first index holding values >  v
+  size_t ForceCut(T v, bool want_incl, IoStats* stats = nullptr) {
+    return Cut(v, want_incl, stats);
+  }
+
+  /// The slot range [begin, end) of the piece(s) still undivided around
+  /// value `v`: every tuple with tail value v lies inside. Derived from
+  /// registered boundaries strictly below/above v, so an existing boundary
+  /// at v itself does not narrow the span.
+  std::pair<size_t, size_t> PieceSpanFor(T v) const {
+    return {LowerLimitFor(v), UpperLimitFor(v)};
+  }
+
   size_t size() const { return n_; }
 
   /// Number of pieces currently delimited (distinct cut positions + 1).

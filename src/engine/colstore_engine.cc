@@ -2,6 +2,7 @@
 
 #include "engine/colstore_engine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 
@@ -28,21 +29,21 @@ Result<std::shared_ptr<Relation>> ColumnEngine::table(
   return it->second;
 }
 
-namespace {
-
-/// Typed vectorized selection: emits qualifying row indexes.
-template <typename T>
-void ScanMatches(const Bat& bat, const RangeBounds& range,
-                 std::vector<uint32_t>* matches, uint64_t* count) {
-  const T* data = bat.TailData<T>();
-  size_t n = bat.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (range.Contains(static_cast<int64_t>(data[i]))) {
-      ++*count;
-      if (matches != nullptr) matches->push_back(static_cast<uint32_t>(i));
-    }
+Result<ColumnAccessPath*> ColumnEngine::PathFor(
+    const std::string& table, const std::string& column,
+    const std::shared_ptr<Bat>& bat) {
+  std::string key = table + "." + column;
+  auto it = paths_.find(key);
+  if (it == paths_.end()) {
+    CRACK_ASSIGN_OR_RETURN(
+        std::unique_ptr<ColumnAccessPath> path,
+        CreateColumnAccessPath(bat, options_.path_config()));
+    it = paths_.emplace(key, std::move(path)).first;
   }
+  return it->second.get();
 }
+
+namespace {
 
 /// Column-at-a-time gather of `rows` from `src` into `dst`.
 Status GatherColumn(const Bat& src, const std::vector<uint32_t>& rows,
@@ -76,6 +77,23 @@ Status GatherColumn(const Bat& src, const std::vector<uint32_t>& rows,
   return Status::Internal("unknown column type");
 }
 
+/// Source row indexes of an access-path answer, ascending.
+std::vector<uint32_t> MatchRows(const AccessSelection& sel, Oid base) {
+  std::vector<uint32_t> rows;
+  rows.reserve(sel.count);
+  if (sel.contiguous) {
+    for (size_t i = 0; i < sel.view.oids.size(); ++i) {
+      rows.push_back(static_cast<uint32_t>(sel.view.oids.Get<Oid>(i) - base));
+    }
+    std::sort(rows.begin(), rows.end());
+  } else {
+    for (Oid oid : sel.oids) {
+      rows.push_back(static_cast<uint32_t>(oid - base));
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
 Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
@@ -97,20 +115,16 @@ Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
   RunResult run;
   WallTimer timer;
 
-  std::vector<uint32_t> matches;
-  std::vector<uint32_t>* matches_ptr =
-      mode == DeliveryMode::kCount ? nullptr : &matches;
-  if (bat->tail_type() == ValueType::kInt32) {
-    ScanMatches<int32_t>(*bat, range, matches_ptr, &run.count);
-  } else {
-    ScanMatches<int64_t>(*bat, range, matches_ptr, &run.count);
-  }
-  run.io.tuples_read += bat->size();
+  CRACK_ASSIGN_OR_RETURN(ColumnAccessPath * path, PathFor(table, column, bat));
+  AccessSelection sel =
+      path->Select(range, /*want_oids=*/mode != DeliveryMode::kCount, &run.io);
+  run.count = sel.count;
 
   switch (mode) {
     case DeliveryMode::kCount:
       break;
     case DeliveryMode::kPrint: {
+      std::vector<uint32_t> matches = MatchRows(sel, bat->head_base());
       FrontendSink sink;
       std::vector<Value> row(rel->num_columns());
       for (uint32_t r : matches) {
@@ -124,6 +138,7 @@ Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
       break;
     }
     case DeliveryMode::kMaterialize: {
+      std::vector<uint32_t> matches = MatchRows(sel, bat->head_base());
       auto out = Relation::Create(result_name, rel->schema());
       if (!out.ok()) return out.status();
       for (size_t c = 0; c < rel->num_columns(); ++c) {

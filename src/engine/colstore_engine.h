@@ -3,8 +3,11 @@
 // ColumnEngine: the binary-relational engine stand-in (MonetDB class in the
 // paper's experiments). Operator-at-a-time execution over whole BATs —
 // tight typed loops, no per-tuple virtual calls — which is why its lines in
-// Figs. 1 and 9 stay flat where the row engines climb. The cracking module
-// (core/) plugs in underneath exactly as the paper's MonetDB module does.
+// Figs. 1 and 9 stay flat where the row engines climb. Range selections are
+// served by the per-column ColumnAccessPath layer (core/access_path.h): the
+// default configuration scans (the paper's MonetDB baseline), but the same
+// engine runs cracked or sorted access — the cracking module plugs in
+// underneath exactly as the paper's MonetDB module does.
 
 #ifndef CRACKSTORE_ENGINE_COLSTORE_ENGINE_H_
 #define CRACKSTORE_ENGINE_COLSTORE_ENGINE_H_
@@ -14,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/access_path.h"
 #include "core/range_bounds.h"
 #include "engine/rowstore_engine.h"  // RunResult
 #include "engine/sinks.h"
@@ -25,6 +29,17 @@ namespace crackstore {
 /// Engine-wide knobs.
 struct ColumnEngineOptions {
   double statement_deadline_seconds = 0.0;  ///< 0 = no deadline
+  /// Per-column physical access. kScan reproduces the paper's MonetDB
+  /// baseline; kCrack turns the engine adaptive (policy selects the pivot
+  /// discipline).
+  AccessStrategy strategy = AccessStrategy::kScan;
+  CrackPolicyOptions policy;
+  MergeBudget merge_budget;
+
+  /// The per-column slice of these options.
+  AccessPathConfig path_config() const {
+    return AccessPathConfig{strategy, policy, merge_budget};
+  }
 };
 
 /// See file comment.
@@ -38,8 +53,9 @@ class ColumnEngine {
 
   Result<std::shared_ptr<Relation>> table(const std::string& name) const;
 
-  /// Vectorized SELECT ... WHERE column IN range, delivered per `mode`
-  /// (Fig. 1's MonetDB line). Materialization gathers column-at-a-time.
+  /// SELECT ... WHERE column IN range through the column's access path,
+  /// delivered per `mode` (Fig. 1's MonetDB line). Materialization gathers
+  /// column-at-a-time.
   Result<RunResult> RunSelect(const std::string& table,
                               const std::string& column,
                               const RangeBounds& range, DeliveryMode mode,
@@ -57,8 +73,14 @@ class ColumnEngine {
   const std::shared_ptr<Relation>& last_result() const { return last_result_; }
 
  private:
+  /// The access path of (table, column), created on first touch.
+  Result<ColumnAccessPath*> PathFor(const std::string& table,
+                                    const std::string& column,
+                                    const std::shared_ptr<Bat>& bat);
+
   ColumnEngineOptions options_;
   std::map<std::string, std::shared_ptr<Relation>> tables_;
+  std::map<std::string, std::unique_ptr<ColumnAccessPath>> paths_;
   std::shared_ptr<Relation> last_result_;
 };
 

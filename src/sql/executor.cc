@@ -66,7 +66,10 @@ Result<std::shared_ptr<Relation>> MaterializeRows(
   return out;
 }
 
-/// Collects the qualifying oids of a WHERE clause (cracking each column).
+/// Collects the qualifying oids of a WHERE clause. Every predicate routes
+/// through the referenced column's access path (cracking it under the crack
+/// strategy); the answer shape (contiguous piece vs oid list) is erased by
+/// QueryResult::CollectOids.
 Result<std::vector<Oid>> WhereOids(AdaptiveStore* store,
                                    const std::string& table,
                                    const std::vector<Predicate>& where,
@@ -76,28 +79,11 @@ Result<std::vector<Oid>> WhereOids(AdaptiveStore* store,
   for (const Predicate& p : where) {
     conjuncts.push_back({p.column, p.range});
   }
-  if (conjuncts.size() == 1) {
-    CRACK_ASSIGN_OR_RETURN(
-        QueryResult qr,
-        store->SelectRange(table, conjuncts[0].column, conjuncts[0].range,
-                           Delivery::kView));
-    *io += qr.io;
-    if (qr.has_selection) {
-      std::vector<Oid> oids;
-      oids.reserve(qr.selection.count());
-      for (size_t i = 0; i < qr.selection.count(); ++i) {
-        oids.push_back(qr.selection.oids.Get<Oid>(i));
-      }
-      std::sort(oids.begin(), oids.end());
-      return oids;
-    }
-    return qr.scan_oids;
-  }
   CRACK_ASSIGN_OR_RETURN(
       QueryResult qr,
       store->SelectConjunction(table, conjuncts, Delivery::kView));
   *io += qr.io;
-  return qr.scan_oids;
+  return std::move(qr).CollectOids();
 }
 
 }  // namespace

@@ -28,6 +28,14 @@ std::shared_ptr<Relation> Tapestry(uint64_t n, uint64_t seed = 77) {
   return *BuildTapestry("R", opts);
 }
 
+AdaptiveStoreOptions WithStrategy(AccessStrategy strategy,
+                                  bool track_lineage) {
+  AdaptiveStoreOptions opts;
+  opts.strategy = strategy;
+  opts.track_lineage = track_lineage;
+  return opts;
+}
+
 class MqsSessionTest : public ::testing::TestWithParam<Profile> {};
 
 TEST_P(MqsSessionTest, StrategiesAgreeStepByStep) {
@@ -43,9 +51,9 @@ TEST_P(MqsSessionTest, StrategiesAgreeStepByStep) {
   auto queries = GenerateSequence(spec);
   ASSERT_TRUE(queries.ok());
 
-  AdaptiveStore scan({AccessStrategy::kScan, {}, false});
-  AdaptiveStore crack({AccessStrategy::kCrack, {}, true});
-  AdaptiveStore sort({AccessStrategy::kSort, {}, false});
+  AdaptiveStore scan(WithStrategy(AccessStrategy::kScan, false));
+  AdaptiveStore crack(WithStrategy(AccessStrategy::kCrack, true));
+  AdaptiveStore sort(WithStrategy(AccessStrategy::kSort, false));
   for (AdaptiveStore* s : {&scan, &crack, &sort}) {
     ASSERT_TRUE(s->AddTable(rel).ok());
   }
@@ -86,8 +94,8 @@ TEST(IntegrationTest, HomerunCrackBeatsScanInTouchedTuples) {
   spec.profile = Profile::kHomerun;
   auto queries = *GenerateSequence(spec);
 
-  AdaptiveStore scan({AccessStrategy::kScan, {}, false});
-  AdaptiveStore crack({AccessStrategy::kCrack, {}, false});
+  AdaptiveStore scan(WithStrategy(AccessStrategy::kScan, false));
+  AdaptiveStore crack(WithStrategy(AccessStrategy::kCrack, false));
   ASSERT_TRUE(scan.AddTable(rel).ok());
   ASSERT_TRUE(crack.AddTable(rel).ok());
   for (const RangeQuery& q : queries) {
@@ -155,8 +163,8 @@ TEST(IntegrationTest, WedgeThenXiComposition) {
   opts.seed = 10;
   auto s = *BuildTapestry("S", opts);
 
-  AdaptiveStore crack({AccessStrategy::kCrack, {}, true});
-  AdaptiveStore scan({AccessStrategy::kScan, {}, false});
+  AdaptiveStore crack(WithStrategy(AccessStrategy::kCrack, true));
+  AdaptiveStore scan(WithStrategy(AccessStrategy::kScan, false));
   for (AdaptiveStore* store : {&crack, &scan}) {
     ASSERT_TRUE(store->AddTable(r).ok());
     ASSERT_TRUE(store->AddTable(s).ok());

@@ -57,9 +57,12 @@ class Shell {
   int errors() const { return errors_; }
 
  private:
-  void Reset(AccessStrategy strategy) {
+  void Reset(AccessStrategy strategy) { Reset(strategy, policy_); }
+
+  void Reset(AccessStrategy strategy, CrackPolicy policy) {
     AdaptiveStoreOptions opts;
     opts.strategy = strategy;
+    opts.policy.policy = policy;
     std::vector<std::shared_ptr<Relation>> tables;
     if (store_ != nullptr) {
       for (const std::string& name : store_->TableNames()) {
@@ -69,6 +72,7 @@ class Shell {
     store_ = std::make_unique<AdaptiveStore>(opts);
     for (auto& t : tables) (void)store_->AddTable(std::move(t));
     strategy_ = strategy;
+    policy_ = policy;
   }
 
   Status Dispatch(const std::string& cmd, std::istringstream* in) {
@@ -93,6 +97,7 @@ class Shell {
     if (cmd == "lineage") return Lineage();
     if (cmd == "stats") return Stats();
     if (cmd == "strategy") return Strategy(in);
+    if (cmd == "policy") return Policy(in);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try: help)");
   }
@@ -133,6 +138,7 @@ class Shell {
         "  pieces <table> <col> | explain <table> <col> | lineage | stats\n"
         "  tables\n"
         "  strategy <scan|crack|sort>   (keeps tables, drops accelerators)\n"
+        "  policy <standard|stochastic|coarse>   (crack pivot discipline)\n"
         "  quit\n");
     return Status::OK();
   }
@@ -307,7 +313,8 @@ class Shell {
   }
 
   Status Stats() {
-    std::printf("strategy=%s  total: %s\n", AccessStrategyName(strategy_),
+    std::printf("strategy=%s policy=%s  total: %s\n",
+                AccessStrategyName(strategy_), CrackPolicyName(policy_),
                 store_->total_io().ToString().c_str());
     return Status::OK();
   }
@@ -331,8 +338,23 @@ class Shell {
     return Status::OK();
   }
 
+  Status Policy(std::istringstream* in) {
+    std::string name;
+    *in >> name;
+    CrackPolicy policy = CrackPolicy::kStandard;
+    if (!ParseCrackPolicy(name, &policy)) {
+      return Status::InvalidArgument(
+          "usage: policy <standard|stochastic|coarse>");
+    }
+    Reset(strategy_, policy);
+    std::printf("crack policy set to %s (accelerators dropped)\n",
+                CrackPolicyName(policy_));
+    return Status::OK();
+  }
+
   std::unique_ptr<AdaptiveStore> store_;
   AccessStrategy strategy_ = AccessStrategy::kCrack;
+  CrackPolicy policy_ = CrackPolicy::kStandard;
   int errors_ = 0;
 };
 
