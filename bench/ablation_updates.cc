@@ -1,25 +1,33 @@
 // Copyright 2026 The CrackStore Authors
 //
 // Ablation (§2.2/§7): "What are the effects of updates on the scheme
-// proposed?" — quantified with the differential UpdatableCrackerIndex.
-// A 128-query random range workload is interleaved with varying update
-// rates (inserts+deletes per query); the sweep reports how query cost and
-// merge cost move as volatility grows, for two auto-merge thresholds.
+// proposed?" — quantified end-to-end through the public AdaptiveStore
+// facade, so every write crosses the type-erased access path exactly as
+// SQL DML does. A 128-query random range workload is interleaved with
+// varying update rates (inserts+deletes per query); the sweep reports how
+// query cost and merge cost move as volatility grows, for each
+// DeltaMergePolicy (immediate / threshold at two fractions / ripple).
 //
-// Output: CSV rows (updates_per_query, merge_fraction, total_seconds,
-// tuples_read, tuples_written, merges_observed, final_pieces).
+// Output: CSV rows (updates_per_query, merge_policy, total_seconds,
+// tuples_read, tuples_written, merges, pending_at_end, final_pieces).
 
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "core/updatable_cracker_index.h"
+#include "core/adaptive_store.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "workload/tapestry.h"
 
 namespace crackstore {
 namespace {
+
+struct PolicyPoint {
+  DeltaMergePolicy policy;
+  double fraction;
+  const char* label;
+};
 
 int Run(int argc, char** argv) {
   bench::Flags flags(argc, argv);
@@ -29,7 +37,7 @@ int Run(int argc, char** argv) {
   uint64_t seed = flags.GetUint("seed", 20040901);
 
   bench::Banner("ablation_updates",
-                "§2.2/§7 updates question, differential scheme",
+                "§2.2/§7 updates question, DML through the facade",
                 StrFormat("n=%llu queries=%zu sigma=%.2f",
                           static_cast<unsigned long long>(n), queries,
                           sigma));
@@ -38,53 +46,77 @@ int Run(int argc, char** argv) {
   int64_t width = std::max<int64_t>(
       1, static_cast<int64_t>(sigma * static_cast<double>(n)));
 
+  const PolicyPoint kPolicies[] = {
+      {DeltaMergePolicy::kImmediate, 0.0, "immediate"},
+      {DeltaMergePolicy::kThreshold, 0.01, "threshold-0.01"},
+      {DeltaMergePolicy::kThreshold, 0.10, "threshold-0.10"},
+      {DeltaMergePolicy::kRippleOnSelect, 0.0, "ripple"},
+  };
+
   TablePrinter out;
-  out.SetHeader({"updates_per_query", "merge_fraction", "total_seconds",
+  out.SetHeader({"updates_per_query", "merge_policy", "total_seconds",
                  "tuples_read", "tuples_written", "merges", "pending_at_end",
                  "final_pieces"});
 
   for (uint64_t updates_per_query : {0ULL, 1ULL, 10ULL, 100ULL}) {
-    for (double merge_fraction : {0.001, 0.01, 0.10}) {
-      auto column = BuildPermutationColumn(n, seed, "R.c0");
-      UpdatableCrackerIndexOptions opts;
-      opts.auto_merge_fraction = merge_fraction;
-      IoStats io;
-      WallTimer timer;
-      UpdatableCrackerIndex<int64_t> index(column, &io, opts);
+    for (const PolicyPoint& point : kPolicies) {
+      auto column = BuildPermutationColumn(n, seed, "c0");
+      auto relation = Relation::FromColumns(
+          "R", Schema({{"c0", ValueType::kInt64}}), {column});
+      CRACK_CHECK(relation.ok());
+
+      AdaptiveStoreOptions opts;
+      opts.strategy = AccessStrategy::kCrack;
+      opts.delta_merge.policy = point.policy;
+      if (point.fraction > 0) {
+        opts.delta_merge.threshold_fraction = point.fraction;
+      }
+      opts.track_lineage = false;  // measure the write path, not the DAG
+      AdaptiveStore store(opts);
+      CRACK_CHECK(store.AddTable(*relation).ok());
+
       Pcg32 rng(seed ^ 0x5EED);
-      Oid next_oid = n;
       std::vector<Oid> live_inserted;
+      WallTimer timer;
       for (size_t q = 0; q < queries; ++q) {
         for (uint64_t u = 0; u < updates_per_query; ++u) {
           if (rng.NextBounded(4) != 0 || live_inserted.empty()) {
             int64_t v = rng.NextInRange(1, n64);
-            CRACK_CHECK(index.Insert(v, next_oid).ok());
-            live_inserted.push_back(next_oid);
-            ++next_oid;
+            auto inserted = store.Insert("R", {Value(v)});
+            CRACK_CHECK(inserted.ok());
+            auto rel = *store.table("R");
+            live_inserted.push_back(rel->column(size_t{0})->head_base() +
+                                    rel->num_rows() - 1);
           } else {
             size_t pick = rng.NextBounded(
                 static_cast<uint32_t>(live_inserted.size()));
-            CRACK_CHECK(index.Delete(live_inserted[pick]).ok());
+            CRACK_CHECK(
+                store.DeleteOids("R", {live_inserted[pick]}).ok());
             live_inserted.erase(live_inserted.begin() +
                                 static_cast<ptrdiff_t>(pick));
           }
         }
         int64_t lo = rng.NextInRange(1, std::max<int64_t>(1, n64 - width));
-        auto sel = index.Select(lo, true, lo + width - 1, true, &io);
-        (void)sel.count();
+        auto sel = store.SelectRange("R", "c0",
+                                     RangeBounds::Closed(lo, lo + width - 1));
+        CRACK_CHECK(sel.ok());
       }
       double seconds = timer.ElapsedSeconds();
+      const IoStats& io = store.total_io();
+      auto path = store.AccessPathFor("R", "c0");
+      size_t merges = path.ok() ? (*path)->merges_performed() : 0;
+      size_t pending = path.ok() ? (*path)->pending_inserts() : 0;
       out.AddRow({StrFormat("%llu",
                             static_cast<unsigned long long>(updates_per_query)),
-                  StrFormat("%.2f", merge_fraction),
+                  point.label,
                   StrFormat("%.6f", seconds),
                   StrFormat("%llu",
                             static_cast<unsigned long long>(io.tuples_read)),
                   StrFormat("%llu",
                             static_cast<unsigned long long>(io.tuples_written)),
-                  StrFormat("%zu", index.merges_performed()),
-                  StrFormat("%zu", index.pending_inserts()),
-                  StrFormat("%zu", index.num_pieces())});
+                  StrFormat("%zu", merges),
+                  StrFormat("%zu", pending),
+                  StrFormat("%zu", *store.NumPieces("R", "c0"))});
     }
   }
   out.PrintCsv(stdout);

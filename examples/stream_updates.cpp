@@ -6,16 +6,18 @@
 // limited window", combined with §7's open updates question).
 //
 // A sliding-window monitor: every tick appends a batch of new readings and
-// expires the oldest ones, while an analyst keeps probing a value band. The
-// UpdatableCrackerIndex absorbs the churn in its delta structures and folds
-// it back with boundary-preserving merges — the learned cracking survives.
+// expires the oldest ones, while an analyst keeps probing a value band —
+// everything through the public AdaptiveStore facade, so the writes route
+// through the same type-erased access path the selections crack. The path's
+// delta structures absorb the churn and fold it back with
+// boundary-preserving merges — the learned cracking survives.
 //
-// Build & run:  ./build/examples/stream_updates
+// Build & run:  ./build/example_stream_updates
 
 #include <cstdio>
 #include <deque>
 
-#include "core/updatable_cracker_index.h"
+#include "core/adaptive_store.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "workload/tapestry.h"
@@ -28,14 +30,21 @@ int main() {
   constexpr int kBatch = 2000;            // arrivals (and expiries) per tick
 
   auto column = BuildPermutationColumn(kInitial, 2026, "readings.value");
-  UpdatableCrackerIndexOptions opts;
-  opts.auto_merge_fraction = 0.02;  // fold deltas at 2% churn
-  UpdatableCrackerIndex<int64_t> index(column, nullptr, opts);
+  auto relation = Relation::FromColumns(
+      "readings", Schema({{"value", ValueType::kInt64}}), {column});
+  if (!relation.ok()) return 1;
+
+  AdaptiveStoreOptions opts;
+  opts.strategy = AccessStrategy::kCrack;
+  opts.delta_merge.policy = DeltaMergePolicy::kThreshold;
+  opts.delta_merge.threshold_fraction = 0.02;  // fold deltas at 2% churn
+  opts.track_lineage = false;                  // long-running stream
+  AdaptiveStore store(opts);
+  if (!store.AddTable(*relation).ok()) return 1;
 
   Pcg32 rng(7);
   std::deque<Oid> window;  // oids in arrival order (for expiry)
   for (Oid oid = 0; oid < kInitial; ++oid) window.push_back(oid);
-  Oid next_oid = kInitial;
 
   std::printf(
       "tick | alerts in band | query ms | pending | merges | pieces\n");
@@ -44,31 +53,39 @@ int main() {
   double total_ms = 0;
   for (int tick = 1; tick <= kTicks; ++tick) {
     // Ingest a batch and expire the same number of oldest readings.
+    std::vector<Oid> expired;
+    expired.reserve(kBatch);
     for (int i = 0; i < kBatch; ++i) {
       int64_t value = rng.NextInRange(1, static_cast<int64_t>(kInitial));
-      if (!index.Insert(value, next_oid).ok()) return 1;
-      window.push_back(next_oid);
-      ++next_oid;
-      if (!index.Delete(window.front()).ok()) return 1;
+      auto inserted = store.Insert("readings", {Value(value)});
+      if (!inserted.ok()) return 1;
+      window.push_back(window.back() + 1);
+      expired.push_back(window.front());
       window.pop_front();
     }
+    if (!store.DeleteOids("readings", expired).ok()) return 1;
 
     // The analyst's probe: a fixed alert band.
     WallTimer timer;
-    auto sel = index.Select(200000, true, 210000, true);
+    auto sel = store.SelectRange("readings", "value",
+                                 RangeBounds::Closed(200000, 210000));
+    if (!sel.ok()) return 1;
     double ms = timer.ElapsedMillis();
     total_ms += ms;
     if (tick % 5 == 0 || tick == 1) {
+      auto path = store.AccessPathFor("readings", "value");
+      size_t pending = path.ok() ? (*path)->pending_inserts() : 0;
+      size_t merges = path.ok() ? (*path)->merges_performed() : 0;
       std::printf("%4d | %14llu | %8.3f | %7zu | %6zu | %5zu\n", tick,
-                  static_cast<unsigned long long>(sel.count()), ms,
-                  index.pending_inserts(), index.merges_performed(),
-                  index.num_pieces());
+                  static_cast<unsigned long long>(sel->count), ms, pending,
+                  merges, *store.NumPieces("readings", "value"));
     }
   }
   std::printf(
       "\n%d ticks, %d updates each; query band stayed answerable in %.3f ms"
       " average\nwhile %d%% of the store churned — the cracked pieces and"
-      " their boundaries\nsurvived every merge.\n",
+      " their boundaries\nsurvived every merge, with every write routed"
+      " through the public facade.\n",
       kTicks, kBatch, total_ms / kTicks,
       static_cast<int>(100.0 * kTicks * kBatch / kInitial));
   return 0;

@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
+#include <unordered_set>
 #include <utility>
 
 #include "core/sorted_column.h"
+#include "core/updatable_cracker_index.h"
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -26,22 +29,48 @@ const char* AccessStrategyName(AccessStrategy strategy) {
 namespace {
 
 /// Clamps int64 range bounds into the typed domain of the column so that
-/// sentinel bounds (INT64_MIN/MAX) work for narrower types.
+/// sentinel bounds (INT64_MIN/MAX) work for narrower types. Floating-point
+/// columns take the bounds verbatim (every int64 is representable, modulo
+/// rounding at the extremes).
 template <typename T>
 void ClampRange(const RangeBounds& range, T* lo, bool* lo_incl, T* hi,
                 bool* hi_incl) {
-  int64_t tmin = static_cast<int64_t>(std::numeric_limits<T>::min());
-  int64_t tmax = static_cast<int64_t>(std::numeric_limits<T>::max());
-  int64_t lo64 = std::clamp(range.lo, tmin, tmax);
-  int64_t hi64 = std::clamp(range.hi, tmin, tmax);
-  *lo = static_cast<T>(lo64);
-  *hi = static_cast<T>(hi64);
-  // A bound clamped from *outside* the domain keeps its meaning via the
-  // inclusivity: lo = INT64_MIN over int32 becomes lo = INT32_MIN inclusive
-  // (everything passes that side), while lo > INT32_MAX becomes
-  // lo = INT32_MAX exclusive (nothing can satisfy v >= lo). Mirrored for hi.
-  *lo_incl = (lo64 != range.lo) ? (range.lo < tmin) : range.lo_incl;
-  *hi_incl = (hi64 != range.hi) ? (range.hi > tmax) : range.hi_incl;
+  if constexpr (std::is_floating_point_v<T>) {
+    *lo = static_cast<T>(range.lo);
+    *hi = static_cast<T>(range.hi);
+    *lo_incl = range.lo_incl;
+    *hi_incl = range.hi_incl;
+  } else {
+    int64_t tmin = static_cast<int64_t>(std::numeric_limits<T>::min());
+    int64_t tmax = static_cast<int64_t>(std::numeric_limits<T>::max());
+    int64_t lo64 = std::clamp(range.lo, tmin, tmax);
+    int64_t hi64 = std::clamp(range.hi, tmin, tmax);
+    *lo = static_cast<T>(lo64);
+    *hi = static_cast<T>(hi64);
+    // A bound clamped from *outside* the domain keeps its meaning via the
+    // inclusivity: lo = INT64_MIN over int32 becomes lo = INT32_MIN inclusive
+    // (everything passes that side), while lo > INT32_MAX becomes
+    // lo = INT32_MAX exclusive (nothing can satisfy v >= lo). Mirrored for hi.
+    *lo_incl = (lo64 != range.lo) ? (range.lo < tmin) : range.lo_incl;
+    *hi_incl = (hi64 != range.hi) ? (range.hi > tmax) : range.hi_incl;
+  }
+}
+
+/// Narrows a dynamically-typed DML value into the column's domain. Owners
+/// coerce rows to the column types before the base mutation (CoerceRow), so
+/// this is a defensive cast, not a validation point.
+template <typename T>
+T CastValue(const Value& v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return v.is_double() ? static_cast<T>(v.AsDouble())
+                         : static_cast<T>(v.ToInt64());
+  } else {
+    int64_t wide = v.is_double() ? static_cast<int64_t>(v.AsDouble())
+                                 : v.ToInt64();
+    return static_cast<T>(
+        std::clamp(wide, static_cast<int64_t>(std::numeric_limits<T>::min()),
+                   static_cast<int64_t>(std::numeric_limits<T>::max())));
+  }
 }
 
 template <typename T>
@@ -79,6 +108,66 @@ std::vector<PieceInfo> WholeColumnPiece(size_t n) {
   return {piece};
 }
 
+/// Applies a path's pending write deltas to a base answer: tombstoned rows
+/// drop out, qualifying pending inserts join in. When the answer is touched
+/// at all it degrades from a contiguous view to an (ascending) oid list —
+/// the price of reading through an unmerged delta.
+template <typename T, typename IsDeletedFn>
+void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
+                        size_t num_tombstones, IsDeletedFn&& is_deleted, T lo,
+                        bool lo_incl, T hi, bool hi_incl, bool want_oids,
+                        IoStats* stats, AccessSelection* out) {
+  size_t delta_hits = 0;
+  for (const auto& [value, oid] : pending) {
+    delta_hits += InRange(value, lo, lo_incl, hi, hi_incl) ? 1 : 0;
+  }
+  if (stats != nullptr && !pending.empty()) {
+    stats->tuples_read += pending.size();
+  }
+  if (num_tombstones == 0 && delta_hits == 0) return;  // clean answer
+
+  if (!out->contiguous && num_tombstones == 0) {
+    // Oid-list base answer with nothing to subtract: the base count stands
+    // even when the caller skipped the oid gather (count-only coarse
+    // selects); just add the qualifying pending inserts.
+    out->count += delta_hits;
+    if (want_oids) {
+      for (const auto& [value, oid] : pending) {
+        if (InRange(value, lo, lo_incl, hi, hi_incl)) out->oids.push_back(oid);
+      }
+      std::sort(out->oids.begin(), out->oids.end());
+    }
+    return;
+  }
+
+  uint64_t count = 0;
+  std::vector<Oid> oids;
+  if (want_oids) oids.reserve(static_cast<size_t>(out->count) + delta_hits);
+  auto visit = [&](Oid oid) {
+    if (num_tombstones > 0 && is_deleted(oid)) return;
+    ++count;
+    if (want_oids) oids.push_back(oid);
+  };
+  if (out->contiguous) {
+    for (size_t i = 0; i < out->view.oids.size(); ++i) {
+      visit(out->view.oids.template Get<Oid>(i));
+    }
+    if (stats != nullptr) stats->tuples_read += out->view.oids.size();
+  } else {
+    for (Oid oid : out->oids) visit(oid);
+  }
+  for (const auto& [value, oid] : pending) {
+    if (!InRange(value, lo, lo_incl, hi, hi_incl)) continue;
+    ++count;
+    if (want_oids) oids.push_back(oid);
+  }
+  if (want_oids) std::sort(oids.begin(), oids.end());
+  out->contiguous = false;
+  out->view = CrackSelection{};
+  out->count = count;
+  out->oids = std::move(oids);
+}
+
 // --- crack ----------------------------------------------------------------
 
 template <typename T>
@@ -102,10 +191,15 @@ class CrackAccessPath : public ColumnAccessPath {
     if (lo > hi || (lo == hi && !(lo_incl && hi_incl))) return out;
 
     EnsureBuilt(stats);
+    MaybeMergeOnSelect(stats);
+    CrackerIndex<T>* inner = updatable_->mutable_index();
+    // Tombstones force the coarse path to gather oids: an answer spanning
+    // uncracked edges cannot subtract deleted rows without naming them.
+    bool gather = want_oids || updatable_->pending_deletes() > 0;
     out.contiguous = true;
     switch (engine_.policy()) {
       case CrackPolicy::kStandard:
-        out.view = index_->Select(lo, lo_incl, hi, hi_incl, stats);
+        out.view = inner->Select(lo, lo_incl, hi, hi_incl, stats);
         out.count = out.view.count();
         break;
       case CrackPolicy::kStochastic:
@@ -114,25 +208,71 @@ class CrackAccessPath : public ColumnAccessPath {
         // a pathological (e.g. sequential) pattern.
         StochasticShrink(lo, /*want_incl=*/!lo_incl, stats);
         StochasticShrink(hi, /*want_incl=*/hi_incl, stats);
-        out.view = index_->Select(lo, lo_incl, hi, hi_incl, stats);
+        out.view = inner->Select(lo, lo_incl, hi, hi_incl, stats);
         out.count = out.view.count();
         break;
       case CrackPolicy::kCoarse:
-        CoarseSelect(lo, lo_incl, hi, hi_incl, want_oids, stats, &out);
+        CoarseSelect(lo, lo_incl, hi, hi_incl, gather, stats, &out);
         break;
     }
+    OverlayDeltaAnswer<T>(
+        updatable_->pending(), updatable_->pending_deletes(),
+        [this](Oid oid) { return updatable_->IsDeleted(oid); }, lo, lo_incl,
+        hi, hi_incl, want_oids, stats, &out);
 
     if (!config_.merge_budget.unlimited()) {
       out.bounds_dropped =
-          EnforceMergeBudget(index_.get(), config_.merge_budget, stats);
+          EnforceMergeBudget(inner, config_.merge_budget, stats);
     }
     return out;
   }
 
+  Status Insert(const Value& value, Oid oid, IoStats* stats) override {
+    if (updatable_ == nullptr) return Status::OK();  // lazy build reads base
+    CRACK_RETURN_NOT_OK(updatable_->Insert(CastValue<T>(value), oid));
+    if (stats != nullptr) ++stats->tuples_written;
+    return MaybeMergeOnWrite(stats);
+  }
+
+  Status Delete(Oid oid, IoStats* stats) override {
+    if (updatable_ == nullptr) {
+      pre_build_deletes_.push_back(oid);
+      return Status::OK();
+    }
+    CRACK_RETURN_NOT_OK(updatable_->Delete(oid));
+    return MaybeMergeOnWrite(stats);
+  }
+
+  Status Update(Oid oid, const Value& value, IoStats* stats) override {
+    if (updatable_ == nullptr) return Status::OK();  // base slot overwritten
+    CRACK_RETURN_NOT_OK(updatable_->Update(CastValue<T>(value), oid));
+    if (stats != nullptr) ++stats->tuples_written;
+    return MaybeMergeOnWrite(stats);
+  }
+
+  Status FlushDeltas(IoStats* stats) override {
+    if (updatable_ == nullptr && pre_build_deletes_.empty()) {
+      return Status::OK();
+    }
+    EnsureBuilt(stats);
+    return updatable_->Merge(stats);
+  }
+
+  size_t pending_inserts() const override {
+    return updatable_ == nullptr ? 0 : updatable_->pending_inserts();
+  }
+  size_t pending_deletes() const override {
+    return updatable_ == nullptr ? pre_build_deletes_.size()
+                                 : updatable_->pending_deletes();
+  }
+  size_t merges_performed() const override {
+    return updatable_ == nullptr ? 0 : updatable_->merges_performed();
+  }
+
   std::vector<PieceInfo> Pieces() const override {
-    if (index_ == nullptr) return WholeColumnPiece(column_->size());
+    if (updatable_ == nullptr) return WholeColumnPiece(column_->size());
     std::vector<PieceInfo> out;
-    for (const CrackPiece<T>& p : index_->Pieces()) {
+    for (const CrackPiece<T>& p : updatable_->index().Pieces()) {
       PieceInfo info;
       info.begin = p.begin;
       info.end = p.end;
@@ -148,35 +288,99 @@ class CrackAccessPath : public ColumnAccessPath {
   }
 
   size_t NumPieces() const override {
-    return index_ == nullptr ? 1 : index_->num_pieces();
+    return updatable_ == nullptr ? 1 : updatable_->num_pieces();
   }
 
   Status ApplyPolicy(const PivotChoice& choice, IoStats* stats) override {
     EnsureBuilt(stats);
-    T pivot = static_cast<T>(std::clamp(
-        choice.value,
-        static_cast<int64_t>(std::numeric_limits<T>::min()),
-        static_cast<int64_t>(std::numeric_limits<T>::max())));
-    index_->ForceCut(pivot, /*want_incl=*/choice.after_duplicates, stats);
+    T pivot;
+    if constexpr (std::is_floating_point_v<T>) {
+      pivot = static_cast<T>(choice.value);
+    } else {
+      pivot = static_cast<T>(std::clamp(
+          choice.value,
+          static_cast<int64_t>(std::numeric_limits<T>::min()),
+          static_cast<int64_t>(std::numeric_limits<T>::max())));
+    }
+    updatable_->mutable_index()->ForceCut(
+        pivot, /*want_incl=*/choice.after_duplicates, stats);
     return Status::OK();
   }
 
   std::string Explain() const override {
-    std::string out = StrFormat("access path: crack, policy=%s\n",
-                                CrackPolicyName(engine_.policy()));
-    if (index_ == nullptr) {
+    std::string out = StrFormat(
+        "access path: crack, policy=%s, delta-merge=%s\n",
+        CrackPolicyName(engine_.policy()),
+        DeltaMergePolicyName(config_.delta_merge.policy));
+    if (updatable_ == nullptr) {
+      if (!pre_build_deletes_.empty()) {
+        out += StrFormat("deltas: %zu tombstones buffered pre-build\n",
+                         pre_build_deletes_.size());
+      }
       return out + "no accelerator yet (never queried)\n";
     }
+    const CrackerIndex<T>& inner = updatable_->index();
     out += StrFormat("cracker index: %zu tuples, %zu pieces, %zu boundaries\n",
-                     index_->size(), index_->num_pieces(),
-                     index_->num_bounds());
+                     inner.size(), inner.num_pieces(), inner.num_bounds());
+    out += StrFormat("deltas: %zu pending inserts, %zu tombstones, "
+                     "%zu merges\n",
+                     updatable_->pending_inserts(),
+                     updatable_->pending_deletes(),
+                     updatable_->merges_performed());
     return out + ExplainPieces(Pieces());
   }
 
  private:
   void EnsureBuilt(IoStats* stats) {
-    if (index_ == nullptr) {
-      index_ = std::make_unique<CrackerIndex<T>>(column_, stats);
+    if (updatable_ != nullptr) return;
+    UpdatableCrackerIndexOptions opts;
+    // The path drives merges per its DeltaMergePolicy; the index's own
+    // select-time auto-merge only backs the threshold discipline.
+    opts.auto_merge_fraction =
+        config_.delta_merge.policy == DeltaMergePolicy::kThreshold
+            ? config_.delta_merge.threshold_fraction
+            : 0.0;
+    updatable_ =
+        std::make_unique<UpdatableCrackerIndex<T>>(column_, stats, opts);
+    for (Oid oid : pre_build_deletes_) {
+      Status st = updatable_->Delete(oid);
+      CRACK_DCHECK(st.ok());
+      (void)st;
+    }
+    pre_build_deletes_.clear();
+    if (config_.delta_merge.policy == DeltaMergePolicy::kImmediate &&
+        updatable_->pending_deletes() > 0) {
+      (void)updatable_->Merge(stats);
+    }
+  }
+
+  Status MaybeMergeOnWrite(IoStats* stats) {
+    switch (config_.delta_merge.policy) {
+      case DeltaMergePolicy::kImmediate:
+        return updatable_->Merge(stats);
+      case DeltaMergePolicy::kThreshold:
+        if (updatable_->ShouldAutoMerge()) return updatable_->Merge(stats);
+        return Status::OK();
+      case DeltaMergePolicy::kRippleOnSelect:
+        return Status::OK();  // the next selection folds the delta
+    }
+    return Status::OK();
+  }
+
+  void MaybeMergeOnSelect(IoStats* stats) {
+    bool dirty =
+        updatable_->pending_inserts() + updatable_->pending_deletes() > 0;
+    switch (config_.delta_merge.policy) {
+      case DeltaMergePolicy::kImmediate:
+        break;  // writes already merged
+      case DeltaMergePolicy::kThreshold:
+        if (updatable_->ShouldAutoMerge()) {
+          (void)updatable_->Merge(stats);
+        }
+        break;
+      case DeltaMergePolicy::kRippleOnSelect:
+        if (dirty) (void)updatable_->Merge(stats);
+        break;
     }
   }
 
@@ -184,14 +388,15 @@ class CrackAccessPath : public ColumnAccessPath {
   /// at or below the policy threshold (or no pivot makes progress, e.g. all
   /// duplicates). Skipped when the cut for `v` is already registered.
   void StochasticShrink(T v, bool want_incl, IoStats* stats) {
+    CrackerIndex<T>* inner = updatable_->mutable_index();
     size_t pos;
-    if (index_->FindCut(v, want_incl, &pos)) return;
-    std::pair<size_t, size_t> span = index_->PieceSpanFor(v);
+    if (inner->FindCut(v, want_incl, &pos)) return;
+    std::pair<size_t, size_t> span = inner->PieceSpanFor(v);
     while (engine_.WantsAuxiliaryPivot(span.second - span.first)) {
-      T pivot = index_->values()->template TailData<T>()[engine_.DrawSlot(
+      T pivot = inner->values()->template TailData<T>()[engine_.DrawSlot(
           span.first, span.second)];
-      index_->ForceCut(pivot, /*want_incl=*/false, stats);
-      std::pair<size_t, size_t> next = index_->PieceSpanFor(v);
+      inner->ForceCut(pivot, /*want_incl=*/false, stats);
+      std::pair<size_t, size_t> next = inner->PieceSpanFor(v);
       if (next == span) break;  // pivot was the piece minimum: no progress
       span = next;
     }
@@ -202,27 +407,28 @@ class CrackAccessPath : public ColumnAccessPath {
   /// span is filtered instead.
   void CoarseSelect(T lo, bool lo_incl, T hi, bool hi_incl, bool want_oids,
                     IoStats* stats, AccessSelection* out) {
+    CrackerIndex<T>* inner = updatable_->mutable_index();
     size_t cut_lo = 0;
-    bool lo_exact = index_->FindCut(lo, /*want_incl=*/!lo_incl, &cut_lo);
+    bool lo_exact = inner->FindCut(lo, /*want_incl=*/!lo_incl, &cut_lo);
     if (lo_exact) {
-      index_->TouchBound(lo);  // keep LRU merge budgets honest
+      inner->TouchBound(lo);  // keep LRU merge budgets honest
     } else {
-      std::pair<size_t, size_t> span = index_->PieceSpanFor(lo);
+      std::pair<size_t, size_t> span = inner->PieceSpanFor(lo);
       if (engine_.ShouldCrack(span.second - span.first)) {
-        cut_lo = index_->ForceCut(lo, /*want_incl=*/!lo_incl, stats);
+        cut_lo = inner->ForceCut(lo, /*want_incl=*/!lo_incl, stats);
         lo_exact = true;
       } else {
         cut_lo = span.first;  // conservative: keep the whole piece
       }
     }
     size_t cut_hi = 0;
-    bool hi_exact = index_->FindCut(hi, /*want_incl=*/hi_incl, &cut_hi);
+    bool hi_exact = inner->FindCut(hi, /*want_incl=*/hi_incl, &cut_hi);
     if (hi_exact) {
-      index_->TouchBound(hi);
+      inner->TouchBound(hi);
     } else {
-      std::pair<size_t, size_t> span = index_->PieceSpanFor(hi);
+      std::pair<size_t, size_t> span = inner->PieceSpanFor(hi);
       if (engine_.ShouldCrack(span.second - span.first)) {
-        cut_hi = index_->ForceCut(hi, /*want_incl=*/hi_incl, stats);
+        cut_hi = inner->ForceCut(hi, /*want_incl=*/hi_incl, stats);
         hi_exact = true;
       } else {
         cut_hi = span.second;  // conservative: keep the whole piece
@@ -231,9 +437,9 @@ class CrackAccessPath : public ColumnAccessPath {
     if (cut_hi < cut_lo) cut_hi = cut_lo;  // empty result
 
     if (lo_exact && hi_exact) {
-      out->view = CrackSelection{BatView(index_->values(), cut_lo,
+      out->view = CrackSelection{BatView(inner->values(), cut_lo,
                                          cut_hi - cut_lo),
-                                 BatView(index_->oids(), cut_lo,
+                                 BatView(inner->oids(), cut_lo,
                                          cut_hi - cut_lo)};
       out->count = out->view.count();
       return;
@@ -243,8 +449,8 @@ class CrackAccessPath : public ColumnAccessPath {
     // tuples are known-qualifying, but one predicate pass over the span is
     // simpler and the span exceeds the answer by at most two small pieces.
     out->contiguous = false;
-    const T* data = index_->values()->template TailData<T>();
-    const Oid* oids = index_->oids()->template TailData<Oid>();
+    const T* data = inner->values()->template TailData<T>();
+    const Oid* oids = inner->oids()->template TailData<Oid>();
     for (size_t i = cut_lo; i < cut_hi; ++i) {
       if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
         ++out->count;
@@ -261,7 +467,8 @@ class CrackAccessPath : public ColumnAccessPath {
   std::shared_ptr<Bat> column_;
   AccessPathConfig config_;
   CrackPolicyEngine engine_;
-  std::unique_ptr<CrackerIndex<T>> index_;
+  std::unique_ptr<UpdatableCrackerIndex<T>> updatable_;
+  std::vector<Oid> pre_build_deletes_;  ///< tombstones before lazy build
 };
 
 // --- sort -----------------------------------------------------------------
@@ -278,10 +485,10 @@ class SortAccessPath : public ColumnAccessPath {
 
   AccessSelection Select(const RangeBounds& range, bool want_oids,
                          IoStats* stats) override {
-    (void)want_oids;  // contiguous answers carry their oid view
     if (sorted_ == nullptr) {
       sorted_ = std::make_unique<SortedColumn<T>>(column_, stats);
     }
+    MaybeMergeOnSelect(stats);
     T lo, hi;
     bool lo_incl, hi_incl;
     ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
@@ -289,8 +496,68 @@ class SortAccessPath : public ColumnAccessPath {
     out.contiguous = true;
     out.view = sorted_->Select(lo, lo_incl, hi, hi_incl, stats);
     out.count = out.view.count();
+    OverlayDeltaAnswer<T>(
+        pending_, deleted_.size(),
+        [this](Oid oid) { return deleted_.count(oid) > 0; }, lo, lo_incl, hi,
+        hi_incl, want_oids, stats, &out);
     return out;
   }
+
+  Status Insert(const Value& value, Oid oid, IoStats* stats) override {
+    if (sorted_ == nullptr) return Status::OK();  // lazy build reads base
+    pending_.emplace_back(CastValue<T>(value), oid);
+    if (stats != nullptr) ++stats->tuples_written;
+    return MaybeMergeOnWrite(stats);
+  }
+
+  Status Delete(Oid oid, IoStats* stats) override {
+    auto it = std::find_if(pending_.begin(), pending_.end(),
+                           [oid](const auto& p) { return p.second == oid; });
+    if (it != pending_.end()) {
+      pending_.erase(it);
+      return Status::OK();
+    }
+    if (!deleted_.insert(oid).second) {
+      return Status::AlreadyExists(
+          StrFormat("oid %llu already deleted",
+                    static_cast<unsigned long long>(oid)));
+    }
+    if (sorted_ == nullptr) return Status::OK();  // filtered until a merge
+    return MaybeMergeOnWrite(stats);
+  }
+
+  Status Update(Oid oid, const Value& value, IoStats* stats) override {
+    if (sorted_ == nullptr) return Status::OK();  // base slot overwritten
+    auto it = std::find_if(pending_.begin(), pending_.end(),
+                           [oid](const auto& p) { return p.second == oid; });
+    if (it != pending_.end()) {
+      it->first = CastValue<T>(value);
+      return Status::OK();
+    }
+    if (deleted_.count(oid) > 0) {
+      return Status::NotFound(
+          StrFormat("oid %llu is deleted",
+                    static_cast<unsigned long long>(oid)));
+    }
+    deleted_.insert(oid);
+    pending_.emplace_back(CastValue<T>(value), oid);
+    if (stats != nullptr) ++stats->tuples_written;
+    return MaybeMergeOnWrite(stats);
+  }
+
+  Status FlushDeltas(IoStats* stats) override {
+    if (sorted_ == nullptr && pending_.empty() && deleted_.empty()) {
+      return Status::OK();
+    }
+    if (sorted_ == nullptr) {
+      sorted_ = std::make_unique<SortedColumn<T>>(column_, stats);
+    }
+    return MergeDeltas(stats);
+  }
+
+  size_t pending_inserts() const override { return pending_.size(); }
+  size_t pending_deletes() const override { return deleted_.size(); }
+  size_t merges_performed() const override { return merges_; }
 
   std::vector<PieceInfo> Pieces() const override {
     return WholeColumnPiece(column_->size());
@@ -305,17 +572,106 @@ class SortAccessPath : public ColumnAccessPath {
   }
 
   std::string Explain() const override {
-    std::string out = "access path: sort\n";
+    std::string out = StrFormat("access path: sort, delta-merge=%s\n",
+                                DeltaMergePolicyName(
+                                    config_.delta_merge.policy));
     if (sorted_ == nullptr) {
       return out + "no accelerator yet (never queried)\n";
     }
-    return out + "sorted copy present (binary-search access)\n";
+    out += "sorted copy present (binary-search access)\n";
+    out += StrFormat("deltas: %zu pending inserts, %zu tombstones, "
+                     "%zu merges\n",
+                     pending_.size(), deleted_.size(), merges_);
+    return out;
   }
 
  private:
+  Status MaybeMergeOnWrite(IoStats* stats) {
+    if (config_.delta_merge.policy == DeltaMergePolicy::kImmediate ||
+        (config_.delta_merge.policy == DeltaMergePolicy::kThreshold &&
+         OverThreshold())) {
+      return MergeDeltas(stats);
+    }
+    return Status::OK();
+  }
+
+  void MaybeMergeOnSelect(IoStats* stats) {
+    bool dirty = !pending_.empty() || !deleted_.empty();
+    if (!dirty) return;
+    // kImmediate also folds here: tombstones buffered before the lazy build
+    // could not merge at write time (there was nothing to merge into).
+    if (config_.delta_merge.policy == DeltaMergePolicy::kRippleOnSelect ||
+        config_.delta_merge.policy == DeltaMergePolicy::kImmediate ||
+        (config_.delta_merge.policy == DeltaMergePolicy::kThreshold &&
+         OverThreshold())) {
+      (void)MergeDeltas(stats);
+    }
+  }
+
+  bool OverThreshold() const {
+    double fraction = config_.delta_merge.threshold_fraction;
+    if (fraction <= 0 || sorted_ == nullptr) return false;
+    return pending_.size() + deleted_.size() >
+           static_cast<size_t>(fraction *
+                               static_cast<double>(sorted_->size()));
+  }
+
+  /// Folds deltas back by merging two sorted runs: the surviving sorted
+  /// copy (minus tombstones) and the value-sorted pending inserts. The
+  /// result adopts fresh (values, oids) columns — O(n + d log d), no resort
+  /// of the bulk.
+  Status MergeDeltas(IoStats* stats) {
+    if (pending_.empty() && deleted_.empty()) return Status::OK();
+    std::sort(pending_.begin(), pending_.end());
+    size_t old_n = sorted_->size();
+    auto values = Bat::Create(TypeTraits<T>::kType,
+                              column_->name() + "#sorted");
+    auto oids = Bat::Create(ValueType::kOid, column_->name() + "#sortedmap");
+    values->Reserve(old_n + pending_.size());
+    oids->Reserve(old_n + pending_.size());
+    T* vd = values->template MutableTailData<T>();
+    Oid* od = oids->template MutableTailData<Oid>();
+    const T* src_v = sorted_->values()->template TailData<T>();
+    const Oid* src_o = sorted_->oids()->template TailData<Oid>();
+    size_t w = 0;
+    size_t p = 0;
+    for (size_t i = 0; i < old_n; ++i) {
+      if (!deleted_.empty() && deleted_.count(src_o[i]) > 0) continue;
+      while (p < pending_.size() && pending_[p].first < src_v[i]) {
+        vd[w] = pending_[p].first;
+        od[w] = pending_[p].second;
+        ++w;
+        ++p;
+      }
+      vd[w] = src_v[i];
+      od[w] = src_o[i];
+      ++w;
+    }
+    for (; p < pending_.size(); ++p) {
+      vd[w] = pending_[p].first;
+      od[w] = pending_[p].second;
+      ++w;
+    }
+    values->SetCountUnsafe(w);
+    oids->SetCountUnsafe(w);
+    if (stats != nullptr) {
+      stats->tuples_read += old_n + pending_.size();
+      stats->tuples_written += w;
+    }
+    sorted_ = std::make_unique<SortedColumn<T>>(std::move(values),
+                                                std::move(oids));
+    pending_.clear();
+    deleted_.clear();
+    ++merges_;
+    return Status::OK();
+  }
+
   std::shared_ptr<Bat> column_;
   AccessPathConfig config_;
   std::unique_ptr<SortedColumn<T>> sorted_;
+  std::vector<std::pair<T, Oid>> pending_;  ///< inserts since the last merge
+  std::unordered_set<Oid> deleted_;         ///< tombstones since the last merge
+  size_t merges_ = 0;
 };
 
 // --- scan -----------------------------------------------------------------
@@ -340,6 +696,7 @@ class ScanAccessPath : public ColumnAccessPath {
     size_t n = column_->size();
     Oid base = column_->head_base();
     for (size_t i = 0; i < n; ++i) {
+      if (!deleted_.empty() && deleted_.count(base + i) > 0) continue;
       if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
         ++out.count;
         if (want_oids) out.oids.push_back(base + i);
@@ -351,6 +708,41 @@ class ScanAccessPath : public ColumnAccessPath {
     }
     return out;
   }
+
+  // The base column carries inserts (appended) and updates (overwritten in
+  // place); the only delta a scan must remember is the tombstone set.
+  Status Insert(const Value& value, Oid oid, IoStats* stats) override {
+    (void)value;
+    (void)oid;
+    (void)stats;
+    return Status::OK();
+  }
+
+  Status Delete(Oid oid, IoStats* stats) override {
+    (void)stats;
+    if (!deleted_.insert(oid).second) {
+      return Status::AlreadyExists(
+          StrFormat("oid %llu already deleted",
+                    static_cast<unsigned long long>(oid)));
+    }
+    return Status::OK();
+  }
+
+  Status Update(Oid oid, const Value& value, IoStats* stats) override {
+    (void)oid;
+    (void)value;
+    (void)stats;
+    return Status::OK();
+  }
+
+  Status FlushDeltas(IoStats* stats) override {
+    (void)stats;
+    return Status::OK();  // tombstones are the scan's terminal state
+  }
+
+  size_t pending_inserts() const override { return 0; }
+  size_t pending_deletes() const override { return deleted_.size(); }
+  size_t merges_performed() const override { return 0; }
 
   std::vector<PieceInfo> Pieces() const override {
     return WholeColumnPiece(column_->size());
@@ -365,13 +757,19 @@ class ScanAccessPath : public ColumnAccessPath {
   }
 
   std::string Explain() const override {
-    return "access path: scan\nno auxiliary structure (full scan per "
-           "query)\n";
+    std::string out =
+        "access path: scan\nno auxiliary structure (full scan per query)\n";
+    if (!deleted_.empty()) {
+      out += StrFormat("deltas: %zu tombstones filtered per scan\n",
+                       deleted_.size());
+    }
+    return out;
   }
 
  private:
   std::shared_ptr<Bat> column_;
   AccessPathConfig config_;
+  std::unordered_set<Oid> deleted_;
 };
 
 template <typename T>
@@ -398,6 +796,8 @@ Result<std::unique_ptr<ColumnAccessPath>> CreateColumnAccessPath(
       return MakePath<int32_t>(std::move(column), config);
     case ValueType::kInt64:
       return MakePath<int64_t>(std::move(column), config);
+    case ValueType::kFloat64:
+      return MakePath<double>(std::move(column), config);
     default:
       return Status::Unimplemented(
           StrFormat("no access path for %s columns",

@@ -8,7 +8,8 @@
 // interface, so the facade (AdaptiveStore), the column engine and the SQL
 // executor never see element widths or strategy internals.
 //
-// Three concrete paths (each templated over int32_t/int64_t internally):
+// Three concrete paths (each templated over int32_t/int64_t/double
+// internally):
 //   * crack — query-driven cracking with a pluggable CrackPolicy
 //             (standard / stochastic / coarse, core/crack_policy.h);
 //   * sort  — upfront sort on first touch, then binary search (Fig. 11's
@@ -18,6 +19,12 @@
 // Construction is lazy: building the accelerator is deferred to the first
 // Select, so its investment is charged to the query that triggered it —
 // exactly the accounting Figures 2-3 analyze.
+//
+// Paths also absorb DML (§2.2/§7's updates question): inserts and deletes
+// land in per-path delta structures (pending list + tombstone set) and fold
+// back into the accelerator per a DeltaMergePolicy — immediately, past a
+// threshold, or rippled into the next selection — preserving the learned
+// physical order across maintenance.
 
 #ifndef CRACKSTORE_CORE_ACCESS_PATH_H_
 #define CRACKSTORE_CORE_ACCESS_PATH_H_
@@ -51,6 +58,7 @@ struct AccessPathConfig {
   AccessStrategy strategy = AccessStrategy::kCrack;
   CrackPolicyOptions policy;  ///< pivot discipline (crack strategy only)
   MergeBudget merge_budget;   ///< piece-fusion budget (crack strategy only)
+  DeltaMergeOptions delta_merge;  ///< when write deltas fold back
 };
 
 /// Type-erased snapshot of one piece (int64-widened value decorations).
@@ -102,10 +110,41 @@ class ColumnAccessPath {
   virtual size_t size() const = 0;
 
   /// Range selection. `want_oids` asks for the qualifying oid list when the
-  /// answer cannot be contiguous (scan; coarse edge pieces) — pass false
-  /// for count-only queries to skip the gather.
+  /// answer cannot be contiguous (scan; coarse edge pieces; pending write
+  /// deltas) — pass false for count-only queries to skip the gather.
   virtual AccessSelection Select(const RangeBounds& range, bool want_oids,
                                  IoStats* stats) = 0;
+
+  // --- DML ------------------------------------------------------------------
+  // Contract: the owner of the base column applies the physical mutation
+  // FIRST (append the row for Insert, overwrite the slot for Update; Delete
+  // leaves the append-only base untouched), then notifies the path. A path
+  // whose accelerator is not built yet absorbs Insert/Update for free — the
+  // lazy build reads the already-mutated base — and only buffers tombstones.
+  // Values cross the type-erased boundary dynamically typed (a fractional
+  // double must reach a double column intact; int64-widening, as RangeBounds
+  // does, would silently truncate it).
+
+  /// Registers the freshly appended row `oid` carrying `value`.
+  virtual Status Insert(const Value& value, Oid oid,
+                        IoStats* stats = nullptr) = 0;
+
+  /// Tombstones row `oid`; every later Select excludes it.
+  virtual Status Delete(Oid oid, IoStats* stats = nullptr) = 0;
+
+  /// Changes the value of live row `oid` (the oid survives, so sibling
+  /// columns keep referencing the same logical row).
+  virtual Status Update(Oid oid, const Value& value,
+                        IoStats* stats = nullptr) = 0;
+
+  /// Folds all pending deltas into the accelerator now, regardless of the
+  /// configured DeltaMergePolicy. No-op for paths without pending state.
+  virtual Status FlushDeltas(IoStats* stats = nullptr) = 0;
+
+  /// Pending delta sizes and maintenance history (shell / EXPLAIN support).
+  virtual size_t pending_inserts() const = 0;
+  virtual size_t pending_deletes() const = 0;
+  virtual size_t merges_performed() const = 0;
 
   /// Pieces currently delimiting the column; {[0, n)} when never cracked.
   virtual std::vector<PieceInfo> Pieces() const = 0;
@@ -124,7 +163,7 @@ class ColumnAccessPath {
 };
 
 /// Builds the access path for `column` per `config`. The column must be
-/// kInt32 or kInt64; anything else is Unimplemented. Accelerator
+/// kInt32, kInt64 or kFloat64; anything else is Unimplemented. Accelerator
 /// construction itself is lazy (first Select pays).
 Result<std::unique_ptr<ColumnAccessPath>> CreateColumnAccessPath(
     std::shared_ptr<Bat> column, const AccessPathConfig& config);

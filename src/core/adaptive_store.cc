@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <iterator>
+#include <limits>
 
+#include "core/oid_set_ops.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -66,8 +68,26 @@ Result<AdaptiveStore::ColumnAccel*> AdaptiveStore::Accel(
   if (accel.path == nullptr) {
     CRACK_ASSIGN_OR_RETURN(
         accel.path, CreateColumnAccessPath(bat, options_.path_config()));
+    // A path born after deletes must not resurrect them: replay the table's
+    // tombstones (the lazy accelerator build reads the append-only base,
+    // which still holds the dead rows physically).
+    const std::unordered_set<Oid>* tomb = TombstonesFor(table);
+    if (tomb != nullptr) {
+      for (Oid oid : *tomb) {
+        Status st = accel.path->Delete(oid);
+        CRACK_DCHECK(st.ok());
+        (void)st;
+      }
+    }
   }
   return &accel;
+}
+
+const std::unordered_set<Oid>* AdaptiveStore::TombstonesFor(
+    const std::string& table) const {
+  auto it = tombstones_.find(table);
+  if (it == tombstones_.end() || it->second.empty()) return nullptr;
+  return &it->second;
 }
 
 Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
@@ -78,9 +98,10 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
   if (!bat_result.ok()) return bat_result.status();
   std::shared_ptr<Bat> bat = *bat_result;
   if (bat->tail_type() != ValueType::kInt32 &&
-      bat->tail_type() != ValueType::kInt64) {
+      bat->tail_type() != ValueType::kInt64 &&
+      bat->tail_type() != ValueType::kFloat64) {
     return Status::Unimplemented(
-        StrFormat("SelectRange needs an integer column; %s.%s is %s",
+        StrFormat("SelectRange needs a numeric column; %s.%s is %s",
                   table.c_str(), column.c_str(),
                   ValueTypeName(bat->tail_type())));
   }
@@ -106,13 +127,19 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
   }
 
   if (is_crack && options_.track_lineage) {
-    if (sel.bounds_dropped > 0) {
-      // Fused pieces no longer tile the registered nodes; apply the inverse
-      // operation to the column's subtree (§3.2: "trimming the graph") and
-      // re-register the surviving partitioning from the root.
+    size_t merges_now = accel->path->merges_performed();
+    if (sel.bounds_dropped > 0 || merges_now != accel->merges_seen) {
+      // Fused pieces (or a delta merge's rebuilt cracker column) no longer
+      // tile the registered nodes; apply the inverse operation to the
+      // column's subtree (§3.2: "trimming the graph") and re-register the
+      // surviving partitioning from the root.
       (void)lineage_.TrimDescendants(accel->root);
       accel->piece_nodes.clear();
-      accel->piece_nodes[{0, accel->path->size()}] = accel->root;
+      std::vector<PieceInfo> pieces = accel->path->Pieces();
+      size_t span_end =
+          pieces.empty() ? accel->path->size() : pieces.back().end;
+      accel->piece_nodes[{0, span_end}] = accel->root;
+      accel->merges_seen = merges_now;
     }
     UpdateLineage(table, column, accel);
   }
@@ -173,6 +200,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
     struct TypedColumn {
       const int32_t* d32 = nullptr;
       const int64_t* d64 = nullptr;
+      const double* f64 = nullptr;
     };
     std::vector<TypedColumn> cols;
     cols.reserve(conjuncts.size());
@@ -187,20 +215,35 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
         case ValueType::kInt32:
           col.d32 = (*bat)->TailData<int32_t>();
           break;
+        case ValueType::kFloat64:
+          col.f64 = (*bat)->TailData<double>();
+          break;
         default:
-          return Status::Unimplemented("conjunction needs integer columns");
+          return Status::Unimplemented("conjunction needs numeric columns");
       }
       cols.push_back(col);
     }
     size_t n = rel->num_rows();
     Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+    const std::unordered_set<Oid>* tomb = TombstonesFor(table);
     for (size_t i = 0; i < n; ++i) {
+      if (tomb != nullptr && tomb->count(base + i) > 0) continue;
       bool all = true;
       for (size_t c = 0; c < conjuncts.size() && all; ++c) {
-        int64_t v = cols[c].d32 != nullptr
-                        ? static_cast<int64_t>(cols[c].d32[i])
-                        : cols[c].d64[i];
-        all = conjuncts[c].range.Contains(v);
+        if (cols[c].f64 != nullptr) {
+          // Doubles compare in their own domain (int64 bounds widen).
+          const RangeBounds& r = conjuncts[c].range;
+          double v = cols[c].f64[i];
+          double lo = static_cast<double>(r.lo);
+          double hi = static_cast<double>(r.hi);
+          all = !(r.lo_incl ? v < lo : v <= lo) &&
+                !(r.hi_incl ? v > hi : v >= hi);
+        } else {
+          int64_t v = cols[c].d32 != nullptr
+                          ? static_cast<int64_t>(cols[c].d32[i])
+                          : cols[c].d64[i];
+          all = conjuncts[c].range.Contains(v);
+        }
       }
       if (all) {
         ++result.count;
@@ -229,14 +272,20 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
               return a.size() < b.size();
             });
   std::vector<Oid> survivors = std::move(per_column.front());
-  std::vector<Oid> next;
   for (size_t c = 1; c < per_column.size() && !survivors.empty(); ++c) {
-    next.clear();
-    std::set_intersection(survivors.begin(), survivors.end(),
-                          per_column[c].begin(), per_column[c].end(),
-                          std::back_inserter(next));
-    survivors.swap(next);
-    result.io.tuples_read += per_column[c].size();
+    // Galloping kicks in when the survivor set is already much smaller than
+    // the next list (the common shape: one tight predicate prunes the
+    // rest); it touches O(m log(n/m)) tuples instead of the merge's n + m.
+    size_t small = std::min(survivors.size(), per_column[c].size());
+    size_t large = std::max(survivors.size(), per_column[c].size());
+    if (ShouldGallop(small, large)) {
+      uint64_t log_ratio = 1;
+      for (size_t r = large / small; r > 1; r >>= 1) ++log_ratio;
+      result.io.tuples_read += small * log_ratio;
+    } else {
+      result.io.tuples_read += small + large;
+    }
+    survivors = IntersectSorted(survivors, per_column[c]);
   }
   result.count = survivors.size();
   if (delivery == Delivery::kView) {
@@ -246,6 +295,220 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
   result.seconds = timer.ElapsedSeconds();
   total_io_ += result.io;
   return result;
+}
+
+Result<QueryResult> AdaptiveStore::Insert(const std::string& table,
+                                          std::vector<Value> values) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+
+  QueryResult result;
+  WallTimer timer;
+  CRACK_RETURN_NOT_OK(CoerceRow(rel->schema(), &values));
+  CRACK_RETURN_NOT_OK(rel->AppendRow(values));
+  result.io.tuples_written += rel->num_columns();
+  Oid oid = (rel->num_columns() > 0 ? rel->column(size_t{0})->head_base()
+                                    : 0) +
+            rel->num_rows() - 1;
+
+  // Every materialized accelerator absorbs the new row; columns never
+  // queried stay lazy (their eventual build reads the appended base).
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    auto it = accels_.find(table + "." + rel->schema().column(c).name);
+    if (it == accels_.end() || it->second.path == nullptr) continue;
+    CRACK_RETURN_NOT_OK(
+        it->second.path->Insert(values[c], oid, &result.io));
+  }
+
+  result.count = 1;
+  result.seconds = timer.ElapsedSeconds();
+  total_io_ += result.io;
+  return result;
+}
+
+Result<uint64_t> AdaptiveStore::DeleteOidsInternal(const std::string& table,
+                                                   const std::vector<Oid>& oids,
+                                                   IoStats* stats) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+  Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+  Oid end = base + rel->num_rows();
+
+  std::string prefix = table + ".";
+  std::unordered_set<Oid>& tomb = tombstones_[table];
+  uint64_t removed = 0;
+  for (Oid oid : oids) {
+    if (oid < base || oid >= end) {
+      return Status::InvalidArgument(
+          StrFormat("oid %llu outside %s's row range",
+                    static_cast<unsigned long long>(oid), table.c_str()));
+    }
+    if (!tomb.insert(oid).second) continue;  // already dead
+    ++removed;
+    for (auto it = accels_.lower_bound(prefix);
+         it != accels_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      if (it->second.path == nullptr) continue;
+      CRACK_RETURN_NOT_OK(it->second.path->Delete(oid, stats));
+    }
+    if (stats != nullptr) ++stats->tuples_written;
+  }
+  return removed;
+}
+
+Result<QueryResult> AdaptiveStore::DeleteOids(const std::string& table,
+                                              const std::vector<Oid>& oids) {
+  QueryResult result;
+  WallTimer timer;
+  CRACK_ASSIGN_OR_RETURN(result.count,
+                         DeleteOidsInternal(table, oids, &result.io));
+  result.seconds = timer.ElapsedSeconds();
+  total_io_ += result.io;
+  return result;
+}
+
+Result<QueryResult> AdaptiveStore::Delete(
+    const std::string& table, const std::vector<ColumnRange>& conjuncts) {
+  QueryResult result;
+  WallTimer timer;
+  std::vector<Oid> oids;
+  if (conjuncts.empty()) {
+    CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table));
+  } else {
+    // The WHERE is a read like any other: it cracks the referenced columns
+    // on its way to the victim set.
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult qr, SelectConjunction(table, conjuncts, Delivery::kView));
+    result.io += qr.io;
+    oids = std::move(qr).CollectOids();
+  }
+  CRACK_ASSIGN_OR_RETURN(result.count,
+                         DeleteOidsInternal(table, oids, &result.io));
+  result.seconds = timer.ElapsedSeconds();
+  total_io_ += result.io;
+  return result;
+}
+
+Result<QueryResult> AdaptiveStore::Update(
+    const std::string& table, const std::vector<Assignment>& sets,
+    const std::vector<ColumnRange>& conjuncts) {
+  if (sets.empty()) {
+    return Status::InvalidArgument("UPDATE needs at least one SET clause");
+  }
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+
+  QueryResult result;
+  WallTimer timer;
+  std::vector<Oid> oids;
+  if (conjuncts.empty()) {
+    CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table));
+  } else {
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult qr, SelectConjunction(table, conjuncts, Delivery::kView));
+    result.io += qr.io;
+    oids = std::move(qr).CollectOids();
+  }
+
+  // Validate every SET clause up front so a bad column name or an
+  // overflowing value cannot leave the statement half-applied.
+  for (const Assignment& set : sets) {
+    auto bat_result = rel->column(set.column);
+    if (!bat_result.ok()) return bat_result.status();
+    switch ((*bat_result)->tail_type()) {
+      case ValueType::kInt32:
+        if (set.value < std::numeric_limits<int32_t>::min() ||
+            set.value > std::numeric_limits<int32_t>::max()) {
+          return Status::InvalidArgument(
+              StrFormat("value %lld overflows int32 column %s",
+                        static_cast<long long>(set.value),
+                        set.column.c_str()));
+        }
+        break;
+      case ValueType::kInt64:
+      case ValueType::kFloat64:
+        break;
+      default:
+        return Status::TypeMismatch(
+            StrFormat("UPDATE needs a numeric column; %s is %s",
+                      set.column.c_str(),
+                      ValueTypeName((*bat_result)->tail_type())));
+    }
+  }
+
+  for (const Assignment& set : sets) {
+    std::shared_ptr<Bat> bat = *rel->column(set.column);
+    Oid base = bat->head_base();
+    auto it = accels_.find(table + "." + set.column);
+    ColumnAccessPath* path =
+        (it != accels_.end() && it->second.path != nullptr)
+            ? it->second.path.get()
+            : nullptr;
+    for (Oid oid : oids) {
+      // Base first (write-through), then the accelerator's delta.
+      CRACK_RETURN_NOT_OK(
+          bat->SetNumeric(static_cast<size_t>(oid - base), set.value));
+      result.io.tuples_written += 1;
+      if (path != nullptr) {
+        CRACK_RETURN_NOT_OK(path->Update(oid, Value(set.value), &result.io));
+      }
+    }
+  }
+
+  result.count = oids.size();
+  result.seconds = timer.ElapsedSeconds();
+  total_io_ += result.io;
+  return result;
+}
+
+Result<std::vector<Oid>> AdaptiveStore::LiveOids(
+    const std::string& table) const {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+  const std::unordered_set<Oid>* tomb = TombstonesFor(table);
+  std::vector<Oid> oids;
+  oids.reserve(rel->num_rows() - (tomb == nullptr ? 0 : tomb->size()));
+  Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+  for (size_t i = 0; i < rel->num_rows(); ++i) {
+    Oid oid = base + i;
+    if (tomb != nullptr && tomb->count(oid) > 0) continue;
+    oids.push_back(oid);
+  }
+  return oids;
+}
+
+Result<uint64_t> AdaptiveStore::LiveRowCount(const std::string& table) const {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  const std::unordered_set<Oid>* tomb = TombstonesFor(table);
+  return (*rel_result)->num_rows() - (tomb == nullptr ? 0 : tomb->size());
+}
+
+Status AdaptiveStore::MarkDeleted(const std::string& table,
+                                  const std::vector<Oid>& oids) {
+  IoStats io;
+  auto removed = DeleteOidsInternal(table, oids, &io);
+  if (!removed.ok()) return removed.status();
+  total_io_ += io;
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> AdaptiveStore::DeletedOids(
+    const std::string& table) const {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::vector<Oid> out;
+  const std::unordered_set<Oid>* tomb = TombstonesFor(table);
+  if (tomb != nullptr) {
+    out.assign(tomb->begin(), tomb->end());
+    std::sort(out.begin(), out.end());
+  }
+  return out;
 }
 
 Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,

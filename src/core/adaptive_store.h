@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/access_path.h"
@@ -48,11 +49,12 @@ struct AdaptiveStoreOptions {
   AccessStrategy strategy = AccessStrategy::kCrack;
   CrackPolicyOptions policy;  ///< pivot discipline (crack strategy only)
   MergeBudget merge_budget;   ///< piece-fusion budget (crack strategy only)
+  DeltaMergeOptions delta_merge;  ///< when DML deltas fold back per column
   bool track_lineage = true;  ///< record the Ξ/Ψ/^/Ω DAG (Figs. 5-6)
 
   /// The per-column slice of these options.
   AccessPathConfig path_config() const {
-    return AccessPathConfig{strategy, policy, merge_budget};
+    return AccessPathConfig{strategy, policy, merge_budget, delta_merge};
   }
 };
 
@@ -107,10 +109,62 @@ class AdaptiveStore {
   /// ...). Every referenced column is answered by its own access path —
   /// under kCrack "each and every query initiates breaking the database
   /// further into pieces" (§2.2) — and the per-column oid sets are
-  /// intersected. Returns the qualifying count and (for kView) the oids.
+  /// intersected (galloping when the list sizes are skewed). Returns the
+  /// qualifying count and (for kView) the oids.
   Result<QueryResult> SelectConjunction(
       const std::string& table, const std::vector<ColumnRange>& conjuncts,
       Delivery delivery = Delivery::kCount);
+
+  // --- DML ------------------------------------------------------------------
+  // Writes route through the same type-erased access paths as reads: the
+  // base column is mutated first (append / in-place overwrite), then every
+  // materialized accelerator absorbs the change into its delta structures
+  // and folds it back per options().delta_merge. WHERE predicates of
+  // Delete/Update are themselves advice to crack — a mixed workload keeps
+  // teaching the store.
+
+  /// Appends one row. Numeric values are coerced to the column types
+  /// (range-checked). `count` of the result is 1.
+  Result<QueryResult> Insert(const std::string& table,
+                             std::vector<Value> values);
+
+  /// Deletes the rows matching the conjunction (all live rows when
+  /// `conjuncts` is empty). `count` reports the rows removed.
+  Result<QueryResult> Delete(const std::string& table,
+                             const std::vector<ColumnRange>& conjuncts);
+
+  /// One SET clause of an UPDATE (values int64-widened like RangeBounds).
+  struct Assignment {
+    std::string column;
+    int64_t value = 0;
+  };
+
+  /// Sets `sets` on the rows matching the conjunction (all live rows when
+  /// `conjuncts` is empty). Row oids survive updates; only the written
+  /// columns' accelerators are touched. `count` reports the rows changed.
+  Result<QueryResult> Update(const std::string& table,
+                             const std::vector<Assignment>& sets,
+                             const std::vector<ColumnRange>& conjuncts);
+
+  /// Deletes specific rows by oid (streaming-expiry support; the WHERE-less
+  /// primitive underneath Delete).
+  Result<QueryResult> DeleteOids(const std::string& table,
+                                 const std::vector<Oid>& oids);
+
+  /// The oids of the live (non-deleted) rows, ascending.
+  Result<std::vector<Oid>> LiveOids(const std::string& table) const;
+
+  /// Rows minus tombstones — what COUNT(*) without a WHERE must report.
+  Result<uint64_t> LiveRowCount(const std::string& table) const;
+
+  /// Re-registers tombstones on a fresh store (session hand-over support:
+  /// the base relations are append-only, so deleted rows must be re-marked
+  /// when tables move to a new store). Existing accelerators are notified.
+  Status MarkDeleted(const std::string& table, const std::vector<Oid>& oids);
+
+  /// The tombstoned oids of `table`, ascending (hand-over counterpart of
+  /// MarkDeleted).
+  Result<std::vector<Oid>> DeletedOids(const std::string& table) const;
 
   /// ⋈/^: equi-join of two integer columns. The first call ^-cracks both
   /// operands (cached); subsequent calls join only the matching areas.
@@ -175,6 +229,9 @@ class AdaptiveStore {
     PieceId root = kInvalidPieceId;
     /// Lineage piece nodes keyed by their [begin, end) slot range.
     std::map<std::pair<size_t, size_t>, PieceId> piece_nodes;
+    /// Delta merges folded when the lineage was last synced; a change means
+    /// the accelerator was rebuilt and the piece subtree must re-root.
+    size_t merges_seen = 0;
   };
 
   Result<std::shared_ptr<Bat>> ResolveColumn(const std::string& table,
@@ -197,9 +254,19 @@ class AdaptiveStore {
   void UpdateLineage(const std::string& table, const std::string& column,
                      ColumnAccel* accel);
 
+  /// The tombstone set of `table`, or nullptr when nothing was deleted.
+  const std::unordered_set<Oid>* TombstonesFor(const std::string& table) const;
+
+  /// Tombstones `oids` (skipping already-dead ones) and notifies every
+  /// materialized access path of the table. Returns the rows newly removed.
+  Result<uint64_t> DeleteOidsInternal(const std::string& table,
+                                      const std::vector<Oid>& oids,
+                                      IoStats* stats);
+
   AdaptiveStoreOptions options_;
   std::map<std::string, std::shared_ptr<Relation>> tables_;
   std::map<std::string, ColumnAccel> accels_;  // key: table + "." + column
+  std::map<std::string, std::unordered_set<Oid>> tombstones_;
   std::map<std::string, JoinCrackResult> join_cracks_;
   std::map<std::string, GroupCrackResult> group_cracks_;
   LineageGraph lineage_;

@@ -25,4 +25,29 @@ MergePolicyKind MergePolicyKindFromString(const std::string& s) {
   return MergePolicyKind::kNone;
 }
 
+const char* DeltaMergePolicyName(DeltaMergePolicy policy) {
+  switch (policy) {
+    case DeltaMergePolicy::kImmediate:
+      return "immediate";
+    case DeltaMergePolicy::kThreshold:
+      return "threshold";
+    case DeltaMergePolicy::kRippleOnSelect:
+      return "ripple";
+  }
+  return "?";
+}
+
+bool ParseDeltaMergePolicy(const std::string& s, DeltaMergePolicy* out) {
+  if (s == "immediate") {
+    *out = DeltaMergePolicy::kImmediate;
+  } else if (s == "threshold") {
+    *out = DeltaMergePolicy::kThreshold;
+  } else if (s == "ripple" || s == "ripple-on-select") {
+    *out = DeltaMergePolicy::kRippleOnSelect;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace crackstore

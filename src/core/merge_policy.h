@@ -48,6 +48,30 @@ struct MergeBudget {
   }
 };
 
+/// When an access path folds its pending write deltas (inserts, tombstones)
+/// back into the accelerator. Orthogonal to the boundary-fusion MergeBudget
+/// above: that one forgets navigation knowledge, this one moves delta data.
+enum class DeltaMergePolicy : uint8_t {
+  kImmediate = 0,     ///< every write merges right away (writes pay)
+  kThreshold = 1,     ///< merge when the delta outgrows a fraction of the
+                      ///< accelerator (amortized; reads filter small deltas)
+  kRippleOnSelect = 2,  ///< writes never merge; the next selection folds the
+                        ///< delta before answering (first read pays)
+};
+
+const char* DeltaMergePolicyName(DeltaMergePolicy policy);
+
+/// Parses "immediate", "threshold", "ripple"; false on anything else.
+bool ParseDeltaMergePolicy(const std::string& s, DeltaMergePolicy* out);
+
+/// Per-column delta-merge configuration.
+struct DeltaMergeOptions {
+  DeltaMergePolicy policy = DeltaMergePolicy::kThreshold;
+  /// kThreshold: merge once pending inserts + tombstones exceed this
+  /// fraction of the accelerator's tuple count.
+  double threshold_fraction = 0.1;
+};
+
 namespace internal {
 
 /// For kSmallestPieces: the combined size of the pieces adjacent to the cut

@@ -65,6 +65,19 @@ class SortedColumn {
     }
   }
 
+  /// Adopts pre-sorted parallel (values, oids) columns without re-sorting.
+  /// Used by delta maintenance that rebuilds the sorted copy by merging
+  /// sorted runs. `values` must be typed T and ascending, `oids` typed kOid,
+  /// equal length.
+  SortedColumn(std::shared_ptr<Bat> values, std::shared_ptr<Bat> oids)
+      : values_(std::move(values)), oids_(std::move(oids)) {
+    CRACK_CHECK(values_ != nullptr && oids_ != nullptr);
+    CRACK_CHECK(values_->tail_type() == TypeTraits<T>::kType);
+    CRACK_CHECK(oids_->tail_type() == ValueType::kOid);
+    CRACK_CHECK(values_->size() == oids_->size());
+    n_ = values_->size();
+  }
+
   CRACK_DISALLOW_COPY_AND_ASSIGN(SortedColumn);
 
   /// Binary-search range selection; O(log n) reads charged to `stats`.

@@ -55,6 +55,32 @@ Status UpdatableCrackerIndex<T>::Delete(Oid oid) {
 }
 
 template <typename T>
+Status UpdatableCrackerIndex<T>::Update(T value, Oid oid) {
+  if (oid >= next_fresh_oid_) {
+    return Status::NotFound(
+        StrFormat("oid %llu was never inserted",
+                  static_cast<unsigned long long>(oid)));
+  }
+  // A pending insert is rewritten in place.
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [oid](const auto& p) { return p.second == oid; });
+  if (it != pending_.end()) {
+    it->first = value;
+    return Status::OK();
+  }
+  if (purged_.count(oid) > 0 || deleted_.count(oid) > 0) {
+    return Status::NotFound(
+        StrFormat("oid %llu is deleted",
+                  static_cast<unsigned long long>(oid)));
+  }
+  // Merged tuple: tombstone the old value, re-enter the new one under the
+  // same oid. Merge() folds both sides, leaving one live copy.
+  deleted_.insert(oid);
+  pending_.emplace_back(value, oid);
+  return Status::OK();
+}
+
+template <typename T>
 UpdatableSelection<T> UpdatableCrackerIndex<T>::Select(T lo, bool lo_incl,
                                                        T hi, bool hi_incl,
                                                        IoStats* stats) {
@@ -163,7 +189,15 @@ Status UpdatableCrackerIndex<T>::Merge(IoStats* stats) {
 
   index_ = std::move(rebuilt);
   merged_size_ = w;
-  for (Oid oid : deleted_) purged_.insert(oid);
+  // An Update() leaves its oid both tombstoned (old value) and pending (new
+  // value): the fold keeps that row alive, so only tombstones without a
+  // pending rebirth are physically gone.
+  std::unordered_set<Oid> reborn;
+  reborn.reserve(pending_.size());
+  for (const auto& [value, oid] : pending_) reborn.insert(oid);
+  for (Oid oid : deleted_) {
+    if (reborn.count(oid) == 0) purged_.insert(oid);
+  }
   deleted_.clear();
   pending_.clear();
   ++merges_performed_;

@@ -70,6 +70,12 @@ class UpdatableCrackerIndex {
   /// pending insert cancels it directly.
   Status Delete(Oid oid);
 
+  /// Changes the value of an existing tuple *without* retiring its oid: a
+  /// pending insert is rewritten in place; a merged tuple is tombstoned and
+  /// re-entered as a pending insert carrying the same oid, so the oid keeps
+  /// naming the same logical row across every column of a table.
+  Status Update(T value, Oid oid);
+
   /// Range selection over the live tuples (see UpdatableSelection). May
   /// trigger an automatic Merge() first.
   UpdatableSelection<T> Select(T lo, bool lo_incl, T hi, bool hi_incl,
@@ -98,10 +104,18 @@ class UpdatableCrackerIndex {
 
   const CrackerIndex<T>& index() const { return *index_; }
 
-  /// Exhaustive consistency check (test support).
-  Status Validate() const;
+  /// Mutable access to the inner cracker index, for callers that steer
+  /// cracking beyond plain selections (pivot policies, merge budgets). The
+  /// delta structures stay consistent: they reference oids, not positions.
+  CrackerIndex<T>* mutable_index() { return index_.get(); }
 
- private:
+  /// The pending inserts, in arrival order.
+  const std::vector<std::pair<T, Oid>>& pending() const { return pending_; }
+
+  /// True iff `oid` is tombstoned against the merged area.
+  bool IsDeleted(Oid oid) const { return deleted_.count(oid) > 0; }
+
+  /// True when the delta has outgrown options().auto_merge_fraction.
   bool ShouldAutoMerge() const {
     if (options_.auto_merge_fraction <= 0) return false;
     size_t delta = pending_.size() + deleted_.size();
@@ -109,6 +123,10 @@ class UpdatableCrackerIndex {
                                        static_cast<double>(merged_size_));
   }
 
+  /// Exhaustive consistency check (test support).
+  Status Validate() const;
+
+ private:
   UpdatableCrackerIndexOptions options_;
   std::unique_ptr<CrackerIndex<T>> index_;
   size_t merged_size_ = 0;   ///< tuples inside the cracker column

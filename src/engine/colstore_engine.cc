@@ -38,9 +38,89 @@ Result<ColumnAccessPath*> ColumnEngine::PathFor(
     CRACK_ASSIGN_OR_RETURN(
         std::unique_ptr<ColumnAccessPath> path,
         CreateColumnAccessPath(bat, options_.path_config()));
+    // Replay the table's tombstones: the lazy accelerator build reads the
+    // append-only base, which still holds deleted rows physically.
+    auto tomb = tombstones_.find(table);
+    if (tomb != tombstones_.end()) {
+      for (Oid oid : tomb->second) {
+        Status st = path->Delete(oid);
+        CRACK_DCHECK(st.ok());
+        (void)st;
+      }
+    }
     it = paths_.emplace(key, std::move(path)).first;
   }
   return it->second.get();
+}
+
+Status ColumnEngine::Insert(const std::string& table,
+                            std::vector<Value> values) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+  CRACK_RETURN_NOT_OK(CoerceRow(rel->schema(), &values));
+  CRACK_RETURN_NOT_OK(rel->AppendRow(values));
+  Oid oid = (rel->num_columns() > 0 ? rel->column(size_t{0})->head_base()
+                                    : 0) +
+            rel->num_rows() - 1;
+  for (size_t c = 0; c < rel->num_columns(); ++c) {
+    auto it = paths_.find(table + "." + rel->schema().column(c).name);
+    if (it == paths_.end()) continue;
+    CRACK_RETURN_NOT_OK(it->second->Insert(values[c], oid));
+  }
+  return Status::OK();
+}
+
+Status ColumnEngine::Delete(const std::string& table, Oid oid) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+  Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+  if (oid < base || oid >= base + rel->num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("oid %llu outside %s's row range",
+                  static_cast<unsigned long long>(oid), table.c_str()));
+  }
+  if (!tombstones_[table].insert(oid).second) {
+    return Status::AlreadyExists(
+        StrFormat("oid %llu already deleted",
+                  static_cast<unsigned long long>(oid)));
+  }
+  std::string prefix = table + ".";
+  for (auto it = paths_.lower_bound(prefix);
+       it != paths_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    CRACK_RETURN_NOT_OK(it->second->Delete(oid));
+  }
+  return Status::OK();
+}
+
+Status ColumnEngine::Update(const std::string& table,
+                            const std::string& column, Oid oid,
+                            int64_t value) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  auto bat_result = (*rel_result)->column(column);
+  if (!bat_result.ok()) return bat_result.status();
+  std::shared_ptr<Bat> bat = *bat_result;
+  Oid base = bat->head_base();
+  if (oid < base || oid >= base + bat->size()) {
+    return Status::InvalidArgument(
+        StrFormat("oid %llu outside %s's row range",
+                  static_cast<unsigned long long>(oid), table.c_str()));
+  }
+  auto tomb = tombstones_.find(table);
+  if (tomb != tombstones_.end() && tomb->second.count(oid) > 0) {
+    return Status::NotFound(
+        StrFormat("oid %llu is deleted",
+                  static_cast<unsigned long long>(oid)));
+  }
+  CRACK_RETURN_NOT_OK(bat->SetNumeric(static_cast<size_t>(oid - base), value));
+  auto it = paths_.find(table + "." + column);
+  if (it != paths_.end()) {
+    CRACK_RETURN_NOT_OK(it->second->Update(oid, Value(value)));
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -108,8 +188,9 @@ Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
   if (!col_result.ok()) return col_result.status();
   std::shared_ptr<Bat> bat = *col_result;
   if (bat->tail_type() != ValueType::kInt32 &&
-      bat->tail_type() != ValueType::kInt64) {
-    return Status::Unimplemented("selection column must be integer");
+      bat->tail_type() != ValueType::kInt64 &&
+      bat->tail_type() != ValueType::kFloat64) {
+    return Status::Unimplemented("selection column must be numeric");
   }
 
   RunResult run;

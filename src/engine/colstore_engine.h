@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/access_path.h"
@@ -35,10 +36,11 @@ struct ColumnEngineOptions {
   AccessStrategy strategy = AccessStrategy::kScan;
   CrackPolicyOptions policy;
   MergeBudget merge_budget;
+  DeltaMergeOptions delta_merge;
 
   /// The per-column slice of these options.
   AccessPathConfig path_config() const {
-    return AccessPathConfig{strategy, policy, merge_budget};
+    return AccessPathConfig{strategy, policy, merge_budget, delta_merge};
   }
 };
 
@@ -69,6 +71,22 @@ class ColumnEngine {
                                  const std::string& in_col,
                                  DeliveryMode mode = DeliveryMode::kCount);
 
+  // --- DML ------------------------------------------------------------------
+  // Row-level writes through the same access paths the selections use (the
+  // facade's WHERE-driven DML sits one layer up, in AdaptiveStore).
+
+  /// Appends one row (numeric values coerced to the column types) and
+  /// notifies every materialized access path of the table.
+  Status Insert(const std::string& table, std::vector<Value> values);
+
+  /// Tombstones row `oid`; selections through any strategy exclude it.
+  Status Delete(const std::string& table, Oid oid);
+
+  /// Overwrites one column of row `oid` (base write-through plus the
+  /// column's access-path delta).
+  Status Update(const std::string& table, const std::string& column, Oid oid,
+                int64_t value);
+
   /// The materialized result of the last kMaterialize select.
   const std::shared_ptr<Relation>& last_result() const { return last_result_; }
 
@@ -81,6 +99,7 @@ class ColumnEngine {
   ColumnEngineOptions options_;
   std::map<std::string, std::shared_ptr<Relation>> tables_;
   std::map<std::string, std::unique_ptr<ColumnAccessPath>> paths_;
+  std::map<std::string, std::unordered_set<Oid>> tombstones_;
   std::shared_ptr<Relation> last_result_;
 };
 

@@ -66,6 +66,17 @@ Result<std::shared_ptr<Relation>> MaterializeRows(
   return out;
 }
 
+/// Rewrites parsed predicates into the facade's conjunct shape.
+std::vector<AdaptiveStore::ColumnRange> ToConjuncts(
+    const std::vector<Predicate>& where) {
+  std::vector<AdaptiveStore::ColumnRange> conjuncts;
+  conjuncts.reserve(where.size());
+  for (const Predicate& p : where) {
+    conjuncts.push_back({p.column, p.range});
+  }
+  return conjuncts;
+}
+
 /// Collects the qualifying oids of a WHERE clause. Every predicate routes
 /// through the referenced column's access path (cracking it under the crack
 /// strategy); the answer shape (contiguous piece vs oid list) is erased by
@@ -74,14 +85,9 @@ Result<std::vector<Oid>> WhereOids(AdaptiveStore* store,
                                    const std::string& table,
                                    const std::vector<Predicate>& where,
                                    IoStats* io) {
-  std::vector<AdaptiveStore::ColumnRange> conjuncts;
-  conjuncts.reserve(where.size());
-  for (const Predicate& p : where) {
-    conjuncts.push_back({p.column, p.range});
-  }
   CRACK_ASSIGN_OR_RETURN(
       QueryResult qr,
-      store->SelectConjunction(table, conjuncts, Delivery::kView));
+      store->SelectConjunction(table, ToConjuncts(where), Delivery::kView));
   *io += qr.io;
   return std::move(qr).CollectOids();
 }
@@ -164,7 +170,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
   // COUNT(*).
   if (stmt.count_star) {
     if (stmt.where.empty()) {
-      out.count = rel->num_rows();
+      CRACK_ASSIGN_OR_RETURN(out.count, store->LiveRowCount(stmt.table));
     } else if (stmt.where.size() == 1) {
       CRACK_ASSIGN_OR_RETURN(
           QueryResult qr,
@@ -197,9 +203,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
     }
     std::vector<Oid> oids;
     if (stmt.where.empty()) {
-      oids.resize(rel->num_rows());
-      Oid base = agg_col->head_base();
-      for (size_t i = 0; i < oids.size(); ++i) oids[i] = base + i;
+      CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table));
     } else {
       CRACK_ASSIGN_OR_RETURN(oids,
                              WhereOids(store, stmt.table, stmt.where, &out.io));
@@ -254,12 +258,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
   }
   std::vector<Oid> oids;
   if (stmt.where.empty()) {
-    oids.resize(rel->num_rows());
-    for (size_t i = 0; i < oids.size(); ++i) {
-      oids[i] = rel->num_columns() > 0
-                    ? rel->column(size_t{0})->head_base() + i
-                    : i;
-    }
+    CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table));
   } else {
     CRACK_ASSIGN_OR_RETURN(oids,
                            WhereOids(store, stmt.table, stmt.where, &out.io));
@@ -272,9 +271,59 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
   return out;
 }
 
+Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return Execute(store, stmt.select);
+    case StatementKind::kInsert: {
+      QueryOutput out;
+      std::vector<Value> row;
+      row.reserve(stmt.insert.values.size());
+      for (int64_t v : stmt.insert.values) row.emplace_back(v);
+      CRACK_ASSIGN_OR_RETURN(QueryResult qr,
+                             store->Insert(stmt.insert.table, std::move(row)));
+      out.kind = OutputKind::kAffected;
+      out.count = qr.count;
+      out.io += qr.io;
+      out.seconds = qr.seconds;
+      return out;
+    }
+    case StatementKind::kDelete: {
+      QueryOutput out;
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          store->Delete(stmt.del.table, ToConjuncts(stmt.del.where)));
+      out.kind = OutputKind::kAffected;
+      out.count = qr.count;
+      out.io += qr.io;
+      out.seconds = qr.seconds;
+      return out;
+    }
+    case StatementKind::kUpdate: {
+      QueryOutput out;
+      std::vector<AdaptiveStore::Assignment> sets;
+      sets.reserve(stmt.update.sets.size());
+      for (const SetClause& s : stmt.update.sets) {
+        sets.push_back({s.column, s.value});
+      }
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          store->Update(stmt.update.table, sets,
+                        ToConjuncts(stmt.update.where)));
+      out.kind = OutputKind::kAffected;
+      out.count = qr.count;
+      out.io += qr.io;
+      out.seconds = qr.seconds;
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown statement kind");
+}
+
 Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
                                const std::string& statement) {
-  CRACK_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(statement));
+  CRACK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
   return Execute(store, stmt);
 }
 
@@ -283,6 +332,10 @@ std::string FormatOutput(const QueryOutput& output, size_t max_rows) {
   switch (output.kind) {
     case OutputKind::kCount:
       out = StrFormat("count: %llu\n",
+                      static_cast<unsigned long long>(output.count));
+      break;
+    case OutputKind::kAffected:
+      out = StrFormat("%llu row(s) affected\n",
                       static_cast<unsigned long long>(output.count));
       break;
     case OutputKind::kGroups: {

@@ -1,9 +1,12 @@
 // Copyright 2026 The CrackStore Authors
 //
-// Executor: maps a parsed SELECT onto the AdaptiveStore — the step where
+// Executor: maps parsed statements onto the AdaptiveStore — the step where
 // "every query is first analyzed for its contribution to break the database
 // into pieces" (paper abstract). WHERE conjuncts become Ξ cracks (one per
-// referenced column), JOIN becomes a ^ crack, GROUP BY an Ω crack.
+// referenced column), JOIN becomes a ^ crack, GROUP BY an Ω crack. DML
+// (INSERT/DELETE/UPDATE) routes through the same access paths: its WHERE
+// predicates crack the store exactly like a SELECT's before the write
+// deltas land.
 
 #ifndef CRACKSTORE_SQL_EXECUTOR_H_
 #define CRACKSTORE_SQL_EXECUTOR_H_
@@ -21,9 +24,10 @@ namespace sql {
 
 /// Shape of a statement's result.
 enum class OutputKind : uint8_t {
-  kCount = 0,   ///< single counter (COUNT(*))
-  kRows = 1,    ///< materialized rows (SELECT * / SELECT cols)
-  kGroups = 2,  ///< (group, aggregate) pairs (GROUP BY)
+  kCount = 0,     ///< single counter (COUNT(*))
+  kRows = 1,      ///< materialized rows (SELECT * / SELECT cols)
+  kGroups = 2,    ///< (group, aggregate) pairs (GROUP BY)
+  kAffected = 3,  ///< rows touched by DML (INSERT/DELETE/UPDATE)
 };
 
 /// The result of executing one statement.
@@ -38,11 +42,14 @@ struct QueryOutput {
   IoStats io;
 };
 
-/// Parses and executes `statement` against `store`.
+/// Parses and executes `statement` (SELECT or DML) against `store`.
 Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
                                const std::string& statement);
 
-/// Executes an already-parsed statement.
+/// Executes an already-parsed statement of any kind.
+Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt);
+
+/// Executes an already-parsed SELECT.
 Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt);
 
 /// Renders `output` as human-readable text (shell support).

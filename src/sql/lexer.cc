@@ -14,9 +14,10 @@ namespace {
 
 const std::unordered_set<std::string>& Keywords() {
   static const std::unordered_set<std::string> kKeywords{
-      "SELECT", "FROM",  "WHERE",   "AND",   "JOIN", "ON",
-      "GROUP",  "BY",    "COUNT",   "SUM",   "MIN",  "MAX",
-      "BETWEEN", "AS",   "INTO",    "ORDER", "LIMIT"};
+      "SELECT", "FROM",  "WHERE",   "AND",   "JOIN",   "ON",
+      "GROUP",  "BY",    "COUNT",   "SUM",   "MIN",    "MAX",
+      "BETWEEN", "AS",   "INTO",    "ORDER", "LIMIT",  "INSERT",
+      "VALUES", "DELETE", "UPDATE", "SET"};
   return kKeywords;
 }
 

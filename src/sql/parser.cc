@@ -30,7 +30,27 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<SelectStatement> ParseStatement() {
+  Result<Statement> ParseAny() {
+    Statement out;
+    if (Peek().IsKeyword("INSERT")) {
+      out.kind = StatementKind::kInsert;
+      CRACK_RETURN_NOT_OK(ParseInsert(&out.insert));
+    } else if (Peek().IsKeyword("DELETE")) {
+      out.kind = StatementKind::kDelete;
+      CRACK_RETURN_NOT_OK(ParseDelete(&out.del));
+    } else if (Peek().IsKeyword("UPDATE")) {
+      out.kind = StatementKind::kUpdate;
+      CRACK_RETURN_NOT_OK(ParseUpdate(&out.update));
+    } else {
+      out.kind = StatementKind::kSelect;
+      CRACK_ASSIGN_OR_RETURN(out.select, ParseSelect());
+      return out;  // ParseSelect consumes the terminator itself
+    }
+    CRACK_RETURN_NOT_OK(ExpectStatementEnd());
+    return out;
+  }
+
+  Result<SelectStatement> ParseSelect() {
     SelectStatement stmt;
     CRACK_RETURN_NOT_OK(ExpectKeyword("SELECT"));
     CRACK_RETURN_NOT_OK(ParseSelectList(&stmt));
@@ -40,7 +60,7 @@ class Parser {
       CRACK_RETURN_NOT_OK(ParseJoin(&stmt));
     }
     if (Peek().IsKeyword("WHERE")) {
-      CRACK_RETURN_NOT_OK(ParseWhere(&stmt));
+      CRACK_RETURN_NOT_OK(ParseWhere(&stmt.where));
     }
     if (Peek().IsKeyword("GROUP")) {
       Advance();
@@ -49,10 +69,7 @@ class Parser {
                              ExpectIdentifier("grouping column"));
       stmt.group_by = col;
     }
-    if (Peek().IsSymbol(";")) Advance();
-    if (Peek().type != TokenType::kEnd) {
-      return Error("trailing input after statement");
-    }
+    CRACK_RETURN_NOT_OK(ExpectStatementEnd());
     return stmt;
   }
 
@@ -153,7 +170,60 @@ class Parser {
     return Status::OK();
   }
 
-  Status ParseWhere(SelectStatement* stmt) {
+  Status ExpectStatementEnd() {
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return Status::OK();
+  }
+
+  Status ParseInsert(InsertStatement* stmt) {
+    Advance();  // INSERT
+    CRACK_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    CRACK_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    CRACK_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    CRACK_RETURN_NOT_OK(ExpectSymbol("("));
+    while (true) {
+      CRACK_ASSIGN_OR_RETURN(int64_t v, ExpectNumber());
+      stmt->values.push_back(v);
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return ExpectSymbol(")");
+  }
+
+  Status ParseDelete(DeleteStatement* stmt) {
+    Advance();  // DELETE
+    CRACK_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    CRACK_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    if (Peek().IsKeyword("WHERE")) {
+      CRACK_RETURN_NOT_OK(ParseWhere(&stmt->where));
+    }
+    return Status::OK();
+  }
+
+  Status ParseUpdate(UpdateStatement* stmt) {
+    Advance();  // UPDATE
+    CRACK_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    CRACK_RETURN_NOT_OK(ExpectKeyword("SET"));
+    while (true) {
+      SetClause set;
+      CRACK_ASSIGN_OR_RETURN(set.column, ExpectIdentifier("SET column"));
+      if (!Peek().IsSymbol("=")) return Error("expected '=' in SET clause");
+      Advance();
+      CRACK_ASSIGN_OR_RETURN(set.value, ExpectNumber());
+      stmt->sets.push_back(std::move(set));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      CRACK_RETURN_NOT_OK(ParseWhere(&stmt->where));
+    }
+    return Status::OK();
+  }
+
+  Status ParseWhere(std::vector<Predicate>* where) {
     Advance();  // WHERE
     while (true) {
       Predicate pred;
@@ -184,7 +254,7 @@ class Parser {
       } else {
         return Error("expected a comparison operator or BETWEEN");
       }
-      stmt->where.push_back(std::move(pred));
+      where->push_back(std::move(pred));
       if (!Peek().IsKeyword("AND")) break;
       Advance();
     }
@@ -197,10 +267,16 @@ class Parser {
 
 }  // namespace
 
+Result<Statement> ParseStatement(const std::string& statement) {
+  CRACK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Parser parser(std::move(tokens));
+  return parser.ParseAny();
+}
+
 Result<SelectStatement> Parse(const std::string& statement) {
   CRACK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
   Parser parser(std::move(tokens));
-  return parser.ParseStatement();
+  return parser.ParseSelect();
 }
 
 }  // namespace sql

@@ -2,7 +2,12 @@
 //
 // Parser for the SQL subset. Grammar (keywords case-insensitive):
 //
-//   statement   := SELECT select_list FROM table [join] [where] [group] [;]
+//   statement   := select_stmt | insert_stmt | delete_stmt | update_stmt
+//   select_stmt := SELECT select_list FROM table [join] [where] [group] [;]
+//   insert_stmt := INSERT INTO table VALUES '(' number (',' number)* ')' [;]
+//   delete_stmt := DELETE FROM table [where] [;]
+//   update_stmt := UPDATE table SET assignment (',' assignment)* [where] [;]
+//   assignment  := column '=' number
 //   select_list := '*' | COUNT '(' '*' ')' | item (',' item)*
 //   item        := column | agg '(' column ')'
 //   agg         := COUNT | SUM | MIN | MAX
@@ -15,7 +20,8 @@
 //
 // The WHERE clause is exactly the paper's selection-cracker shape: simple
 // (range) conditions `attr θ cst` / `attr ∈ [low, high]` in conjunctive
-// form (§3.1, eq. 1).
+// form (§3.1, eq. 1) — shared verbatim by SELECT, DELETE and UPDATE, so
+// every DML predicate is also advice to crack.
 
 #ifndef CRACKSTORE_SQL_PARSER_H_
 #define CRACKSTORE_SQL_PARSER_H_
@@ -68,7 +74,53 @@ struct SelectStatement {
   std::optional<std::string> group_by;
 };
 
-/// Parses one statement. Errors carry the offending position.
+/// A parsed INSERT statement (positional values, integer literals widened
+/// to the column types at execution).
+struct InsertStatement {
+  std::string table;
+  std::vector<int64_t> values;
+};
+
+/// A parsed DELETE statement (empty `where` = all rows).
+struct DeleteStatement {
+  std::string table;
+  std::vector<Predicate> where;
+};
+
+/// One SET clause of an UPDATE.
+struct SetClause {
+  std::string column;
+  int64_t value = 0;
+};
+
+/// A parsed UPDATE statement (empty `where` = all rows).
+struct UpdateStatement {
+  std::string table;
+  std::vector<SetClause> sets;
+  std::vector<Predicate> where;
+};
+
+/// What a statement is.
+enum class StatementKind : uint8_t {
+  kSelect = 0,
+  kInsert,
+  kDelete,
+  kUpdate,
+};
+
+/// A parsed statement of any kind; only the member matching `kind` is set.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  SelectStatement select;
+  InsertStatement insert;
+  DeleteStatement del;
+  UpdateStatement update;
+};
+
+/// Parses one statement of any kind. Errors carry the offending position.
+Result<Statement> ParseStatement(const std::string& statement);
+
+/// Parses one SELECT statement (legacy entry; DML is rejected).
 Result<SelectStatement> Parse(const std::string& statement);
 
 }  // namespace sql

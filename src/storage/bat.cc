@@ -3,6 +3,7 @@
 #include "storage/bat.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/string_util.h"
 
@@ -65,6 +66,36 @@ Status Bat::AppendValue(const Value& v) {
   }
   return Status::TypeMismatch(
       StrFormat("cannot append %s to %s tail", v.ToString().c_str(),
+                ValueTypeName(tail_type_)));
+}
+
+Status Bat::SetNumeric(size_t i, int64_t value) {
+  if (i >= count_) {
+    return Status::InvalidArgument(
+        StrFormat("row %zu out of range (size %zu)", i, count_));
+  }
+  switch (tail_type_) {
+    case ValueType::kInt32:
+      if (value < std::numeric_limits<int32_t>::min() ||
+          value > std::numeric_limits<int32_t>::max()) {
+        return Status::InvalidArgument(
+            StrFormat("value %lld overflows int32",
+                      static_cast<long long>(value)));
+      }
+      MutableTailData<int32_t>()[i] = static_cast<int32_t>(value);
+      return Status::OK();
+    case ValueType::kInt64:
+      MutableTailData<int64_t>()[i] = value;
+      return Status::OK();
+    case ValueType::kFloat64:
+      MutableTailData<double>()[i] = static_cast<double>(value);
+      return Status::OK();
+    case ValueType::kOid:
+    case ValueType::kString:
+      break;
+  }
+  return Status::TypeMismatch(
+      StrFormat("cannot overwrite %s tail with a number",
                 ValueTypeName(tail_type_)));
 }
 

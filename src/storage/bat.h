@@ -51,7 +51,10 @@ class Bat {
     auto bat = Create(TypeTraits<T>::kType, std::move(name));
     bat->Reserve(values.size());
     bat->count_ = values.size();
-    std::memcpy(bat->data_.data(), values.data(), values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bat->data_.data(), values.data(),
+                  values.size() * sizeof(T));
+    }
     return bat;
   }
 
@@ -104,6 +107,10 @@ class Bat {
 
   /// Appends a dynamically-typed value; fails on a type mismatch.
   Status AppendValue(const Value& v);
+
+  /// Overwrites element i of a numeric tail with the int64-widened `value`
+  /// (update write-through). Fails on string tails and narrowing overflow.
+  Status SetNumeric(size_t i, int64_t value);
 
   /// Reads element i as a dynamically-typed Value.
   Value GetValue(size_t i) const;

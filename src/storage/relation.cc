@@ -2,6 +2,7 @@
 
 #include "storage/relation.h"
 
+#include <limits>
 #include <unordered_set>
 
 #include "util/string_util.h"
@@ -106,6 +107,51 @@ bool IsCompatible(ValueType type, const Value& v) {
 }
 
 }  // namespace
+
+Status CoerceRow(const Schema& schema, std::vector<Value>* values) {
+  if (values == nullptr || values->size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu",
+                  values == nullptr ? 0 : values->size(),
+                  schema.num_columns()));
+  }
+  for (size_t i = 0; i < values->size(); ++i) {
+    Value& v = (*values)[i];
+    ValueType want = schema.column(i).type;
+    if (IsCompatible(want, v)) continue;
+    // Numeric widening/narrowing: SQL literals arrive as int64.
+    bool numeric = v.is_int32() || v.is_int64() || v.is_double();
+    if (!numeric) {
+      return Status::TypeMismatch(
+          StrFormat("value %s does not fit column %s:%s",
+                    v.ToString().c_str(), schema.column(i).name.c_str(),
+                    ValueTypeName(want)));
+    }
+    if (want == ValueType::kInt32) {
+      int64_t wide = v.is_double() ? static_cast<int64_t>(v.AsDouble())
+                                   : v.ToInt64();
+      if (wide < std::numeric_limits<int32_t>::min() ||
+          wide > std::numeric_limits<int32_t>::max()) {
+        return Status::InvalidArgument(
+            StrFormat("value %lld overflows int32 column %s",
+                      static_cast<long long>(wide),
+                      schema.column(i).name.c_str()));
+      }
+      v = Value(static_cast<int32_t>(wide));
+    } else if (want == ValueType::kInt64) {
+      v = Value(v.is_double() ? static_cast<int64_t>(v.AsDouble())
+                              : v.ToInt64());
+    } else if (want == ValueType::kFloat64) {
+      v = Value(static_cast<double>(v.ToInt64()));
+    } else {
+      return Status::TypeMismatch(
+          StrFormat("value %s does not fit column %s:%s",
+                    v.ToString().c_str(), schema.column(i).name.c_str(),
+                    ValueTypeName(want)));
+    }
+  }
+  return Status::OK();
+}
 
 Status Relation::AppendRow(const std::vector<Value>& values) {
   if (values.size() != columns_.size()) {

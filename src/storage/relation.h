@@ -47,6 +47,12 @@ class Schema {
   std::vector<ColumnDef> columns_;
 };
 
+/// Coerces a row of dynamically-typed values to `schema` in place: numeric
+/// alternatives widen/narrow to the column type (int64 literal into an int32
+/// or double column, etc.), with range checks on narrowing. Fails on arity
+/// mismatch and non-numeric type mismatches.
+Status CoerceRow(const Schema& schema, std::vector<Value>* values);
+
 /// A named N-ary table stored column-wise as BATs.
 class Relation {
  public:

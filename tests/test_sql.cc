@@ -143,6 +143,56 @@ TEST(ParserTest, TrailingSemicolonAllowed) {
   EXPECT_TRUE(Parse("SELECT COUNT(*) FROM R;").ok());
 }
 
+TEST(ParserTest, InsertStatement) {
+  auto stmt = *ParseStatement("INSERT INTO R VALUES (1, -2, 30);");
+  ASSERT_EQ(stmt.kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt.insert.table, "R");
+  EXPECT_EQ(stmt.insert.values, (std::vector<int64_t>{1, -2, 30}));
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto stmt = *ParseStatement("DELETE FROM R WHERE c0 BETWEEN 5 AND 9");
+  ASSERT_EQ(stmt.kind, StatementKind::kDelete);
+  EXPECT_EQ(stmt.del.table, "R");
+  ASSERT_EQ(stmt.del.where.size(), 1u);
+  EXPECT_TRUE(stmt.del.where[0].range.Contains(5));
+  EXPECT_FALSE(stmt.del.where[0].range.Contains(10));
+
+  auto all = *ParseStatement("DELETE FROM R");
+  EXPECT_TRUE(all.del.where.empty());
+}
+
+TEST(ParserTest, UpdateStatement) {
+  auto stmt = *ParseStatement(
+      "UPDATE R SET c0 = 5, c1 = -7 WHERE c0 > 100 AND c1 <= 50");
+  ASSERT_EQ(stmt.kind, StatementKind::kUpdate);
+  EXPECT_EQ(stmt.update.table, "R");
+  ASSERT_EQ(stmt.update.sets.size(), 2u);
+  EXPECT_EQ(stmt.update.sets[0].column, "c0");
+  EXPECT_EQ(stmt.update.sets[0].value, 5);
+  EXPECT_EQ(stmt.update.sets[1].column, "c1");
+  EXPECT_EQ(stmt.update.sets[1].value, -7);
+  EXPECT_EQ(stmt.update.where.size(), 2u);
+}
+
+TEST(ParserTest, ParseStatementStillHandlesSelect) {
+  auto stmt = *ParseStatement("SELECT COUNT(*) FROM R WHERE c0 < 5");
+  ASSERT_EQ(stmt.kind, StatementKind::kSelect);
+  EXPECT_TRUE(stmt.select.count_star);
+}
+
+TEST(ParserTest, DmlErrors) {
+  EXPECT_FALSE(ParseStatement("INSERT INTO R").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO R VALUES ()").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO R VALUES (1, 2").ok());
+  EXPECT_FALSE(ParseStatement("DELETE R WHERE c0 < 5").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE R c0 = 5").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE R SET c0 5").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO R VALUES (1) trailing").ok());
+  // The SELECT-only legacy entry rejects DML.
+  EXPECT_FALSE(Parse("INSERT INTO R VALUES (1)").ok());
+}
+
 TEST(ParserTest, Errors) {
   EXPECT_FALSE(Parse("").ok());
   EXPECT_FALSE(Parse("SELECT").ok());
@@ -297,6 +347,87 @@ TEST_F(SqlExecutorTest, SqlQueriesDriveCracking) {
   auto repeat = *ExecuteSql(
       &store_, "SELECT COUNT(*) FROM R WHERE c0 BETWEEN 50 AND 90");
   EXPECT_EQ(repeat.io.cracks, 0u);
+}
+
+TEST_F(SqlExecutorTest, InsertRoundTrip) {
+  auto ins = *ExecuteSql(&store_, "INSERT INTO R VALUES (5001, 5002)");
+  EXPECT_EQ(ins.kind, OutputKind::kAffected);
+  EXPECT_EQ(ins.count, 1u);
+  auto count = *ExecuteSql(&store_, "SELECT COUNT(*) FROM R");
+  EXPECT_EQ(count.count, 2001u);
+  auto rows = *ExecuteSql(&store_, "SELECT * FROM R WHERE c0 >= 5000");
+  ASSERT_EQ(rows.rows->num_rows(), 1u);
+  EXPECT_EQ(rows.rows->GetRow(0)[0].AsInt64(), 5001);
+  EXPECT_EQ(rows.rows->GetRow(0)[1].AsInt64(), 5002);
+}
+
+TEST_F(SqlExecutorTest, DeleteRoundTrip) {
+  auto del =
+      *ExecuteSql(&store_, "DELETE FROM R WHERE c0 BETWEEN 1 AND 100");
+  EXPECT_EQ(del.kind, OutputKind::kAffected);
+  EXPECT_EQ(del.count, 100u);
+  EXPECT_EQ(ExecuteSql(&store_, "SELECT COUNT(*) FROM R")->count, 1900u);
+  EXPECT_EQ(
+      ExecuteSql(&store_, "SELECT COUNT(*) FROM R WHERE c0 <= 100")->count,
+      0u);
+  // Deleting the same band again touches nothing.
+  EXPECT_EQ(
+      ExecuteSql(&store_, "DELETE FROM R WHERE c0 BETWEEN 1 AND 100")->count,
+      0u);
+  // SELECT * must not materialize ghosts.
+  auto rows = *ExecuteSql(&store_, "SELECT * FROM R WHERE c0 <= 110");
+  EXPECT_EQ(rows.rows->num_rows(), 10u);
+}
+
+TEST_F(SqlExecutorTest, UpdateRoundTrip) {
+  auto upd = *ExecuteSql(&store_, "UPDATE R SET c1 = 9999 WHERE c0 <= 50");
+  EXPECT_EQ(upd.kind, OutputKind::kAffected);
+  EXPECT_EQ(upd.count, 50u);
+  EXPECT_EQ(
+      ExecuteSql(&store_, "SELECT COUNT(*) FROM R WHERE c1 = 9999")->count,
+      50u);
+  // The updated rows keep their other column: c0 still selects them.
+  EXPECT_EQ(ExecuteSql(&store_,
+                       "SELECT COUNT(*) FROM R WHERE c0 <= 50 AND c1 = 9999")
+                ->count,
+            50u);
+  // Aggregates see the new values.
+  auto max = *ExecuteSql(&store_, "SELECT MAX(c1) FROM R");
+  EXPECT_EQ(max.groups[0].value, 9999);
+}
+
+TEST_F(SqlExecutorTest, MixedDmlSequenceStaysConsistent) {
+  ASSERT_TRUE(ExecuteSql(&store_, "INSERT INTO R VALUES (3000, 3000)").ok());
+  ASSERT_TRUE(ExecuteSql(&store_, "INSERT INTO R VALUES (3001, 3001)").ok());
+  ASSERT_TRUE(
+      ExecuteSql(&store_, "DELETE FROM R WHERE c0 = 3000").ok());
+  ASSERT_TRUE(
+      ExecuteSql(&store_, "UPDATE R SET c0 = 4000 WHERE c0 = 3001").ok());
+  EXPECT_EQ(
+      ExecuteSql(&store_, "SELECT COUNT(*) FROM R WHERE c0 >= 3000")->count,
+      1u);
+  auto rows = *ExecuteSql(&store_, "SELECT c1 FROM R WHERE c0 = 4000");
+  ASSERT_EQ(rows.rows->num_rows(), 1u);
+  EXPECT_EQ(rows.rows->GetRow(0)[0].AsInt64(), 3001);
+  // The DML WHERE clauses cracked the column like any SELECT would.
+  EXPECT_GT(*store_.NumPieces("R", "c0"), 1u);
+}
+
+TEST_F(SqlExecutorTest, DmlExecutionErrors) {
+  EXPECT_TRUE(ExecuteSql(&store_, "INSERT INTO missing VALUES (1)")
+                  .status()
+                  .IsNotFound());
+  // Arity mismatch: R has two columns.
+  EXPECT_FALSE(ExecuteSql(&store_, "INSERT INTO R VALUES (1)").ok());
+  EXPECT_TRUE(ExecuteSql(&store_, "DELETE FROM missing").status().IsNotFound());
+  EXPECT_TRUE(ExecuteSql(&store_, "UPDATE R SET zz = 5 WHERE c0 < 5")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SqlExecutorTest, FormatOutputRendersAffectedRows) {
+  auto out = *ExecuteSql(&store_, "DELETE FROM R WHERE c0 <= 3");
+  EXPECT_NE(FormatOutput(out).find("3 row(s) affected"), std::string::npos);
 }
 
 TEST_F(SqlExecutorTest, FormatOutputRendersAllKinds) {

@@ -10,16 +10,23 @@
 //   and R c0 100 900 c1 200 800        # conjunctive selection
 //   join R c0 S c0                     # ^-cracked equi-join (count)
 //   groupby R c0 c1 sum                # Ω-cracked aggregate
+//   INSERT INTO R VALUES (7, 8)        # DML through the access paths
+//   DELETE FROM R WHERE c0 < 10        # (WHERE predicates crack too)
+//   UPDATE R SET c1 = 5 WHERE c0 = 7
+//   deltas R c0                        # pending inserts/tombstones/merges
+//   flush R c0                         # fold a column's deltas now
 //   pieces R c0                        # piece table of the cracker index
 //   lineage                            # Graphviz dump of the lineage DAG
 //   stats                              # cumulative cost counters
 //   strategy sort                      # rebuild the store: scan|crack|sort
+//   mergepolicy ripple                 # immediate|threshold|ripple deltas
 //   tables / help / quit
 //
 // Exit status is non-zero if any command failed (useful for scripted runs).
 
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -57,22 +64,33 @@ class Shell {
   int errors() const { return errors_; }
 
  private:
-  void Reset(AccessStrategy strategy) { Reset(strategy, policy_); }
+  void Reset(AccessStrategy strategy) {
+    Reset(strategy, policy_, delta_merge_);
+  }
 
-  void Reset(AccessStrategy strategy, CrackPolicy policy) {
+  void Reset(AccessStrategy strategy, CrackPolicy policy,
+             DeltaMergeOptions delta_merge) {
     AdaptiveStoreOptions opts;
     opts.strategy = strategy;
     opts.policy.policy = policy;
+    opts.delta_merge = delta_merge;
     std::vector<std::shared_ptr<Relation>> tables;
+    std::vector<std::pair<std::string, std::vector<Oid>>> dead;
     if (store_ != nullptr) {
       for (const std::string& name : store_->TableNames()) {
         tables.push_back(*store_->table(name));
+        // The base relations are append-only; deleted rows must be
+        // re-marked on the fresh store or they would resurrect.
+        auto oids = store_->DeletedOids(name);
+        if (oids.ok() && !oids->empty()) dead.emplace_back(name, *oids);
       }
     }
     store_ = std::make_unique<AdaptiveStore>(opts);
     for (auto& t : tables) (void)store_->AddTable(std::move(t));
+    for (auto& [name, oids] : dead) (void)store_->MarkDeleted(name, oids);
     strategy_ = strategy;
     policy_ = policy;
+    delta_merge_ = delta_merge;
   }
 
   Status Dispatch(const std::string& cmd, std::istringstream* in) {
@@ -85,6 +103,14 @@ class Shell {
       // followed by FROM.
       return Sql(cmd, in);
     }
+    std::string upper = cmd;
+    for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+    if (upper == "INSERT" || upper == "DELETE" || upper == "UPDATE") {
+      // Bare DML statements route straight to the SQL frontend.
+      std::string rest;
+      std::getline(*in, rest);
+      return RunSql(upper + rest);
+    }
     if (cmd == "create") return Create(in);
     if (cmd == "tables") return Tables();
     if (cmd == "select") return Select(in);
@@ -93,11 +119,14 @@ class Shell {
     if (cmd == "join") return Join(in);
     if (cmd == "groupby") return GroupBy(in);
     if (cmd == "pieces") return Pieces(in);
+    if (cmd == "deltas") return Deltas(in);
+    if (cmd == "flush") return Flush(in);
     if (cmd == "explain") return Explain(in);
     if (cmd == "lineage") return Lineage();
     if (cmd == "stats") return Stats();
     if (cmd == "strategy") return Strategy(in);
     if (cmd == "policy") return Policy(in);
+    if (cmd == "mergepolicy") return MergePolicyCmd(in);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try: help)");
   }
@@ -130,15 +159,20 @@ class Shell {
         "commands:\n"
         "  create tapestry <name> <rows> <cols> [seed]\n"
         "  SELECT ... FROM ... [WHERE|JOIN|GROUP BY] (SQL subset; or sql <stmt>)\n"
+        "  INSERT INTO <t> VALUES (v, ...) | DELETE FROM <t> [WHERE ...]\n"
+        "  UPDATE <t> SET <col> = v [, ...] [WHERE ...]\n"
         "  select <table> <col> <lo> <hi> [count|view|materialize]\n"
         "  where <table> <col> <op:< <= > >= => <value>\n"
         "  and <table> <col> <lo> <hi> <col> <lo> <hi> ...\n"
         "  join <t1> <c1> <t2> <c2>\n"
         "  groupby <table> <group-col> <agg-col> <count|sum|min|max>\n"
         "  pieces <table> <col> | explain <table> <col> | lineage | stats\n"
+        "  deltas <table> <col>   (pending inserts/tombstones/merges)\n"
+        "  flush <table> <col>    (fold the column's deltas now)\n"
         "  tables\n"
         "  strategy <scan|crack|sort>   (keeps tables, drops accelerators)\n"
         "  policy <standard|stochastic|coarse>   (crack pivot discipline)\n"
+        "  mergepolicy <immediate|threshold|ripple> [fraction]\n"
         "  quit\n");
     return Status::OK();
   }
@@ -296,6 +330,37 @@ class Shell {
     return Status::OK();
   }
 
+  Status Deltas(std::istringstream* in) {
+    std::string table, column;
+    if (!(*in >> table >> column)) {
+      return Status::InvalidArgument("usage: deltas <table> <col>");
+    }
+    auto path = store_->AccessPathFor(table, column);
+    if (!path.ok()) {
+      std::printf("%s.%s: no access path yet (never queried)\n",
+                  table.c_str(), column.c_str());
+      return Status::OK();
+    }
+    std::printf(
+        "%s.%s: %zu pending insert(s), %zu tombstone(s), %zu merge(s)\n",
+        table.c_str(), column.c_str(), (*path)->pending_inserts(),
+        (*path)->pending_deletes(), (*path)->merges_performed());
+    return Status::OK();
+  }
+
+  Status Flush(std::istringstream* in) {
+    std::string table, column;
+    if (!(*in >> table >> column)) {
+      return Status::InvalidArgument("usage: flush <table> <col>");
+    }
+    CRACK_ASSIGN_OR_RETURN(ColumnAccessPath * path,
+                           store_->AccessPathFor(table, column));
+    CRACK_RETURN_NOT_OK(path->FlushDeltas());
+    std::printf("flushed %s.%s (%zu merge(s) total)\n", table.c_str(),
+                column.c_str(), path->merges_performed());
+    return Status::OK();
+  }
+
   Status Explain(std::istringstream* in) {
     std::string table, column;
     if (!(*in >> table >> column)) {
@@ -313,8 +378,9 @@ class Shell {
   }
 
   Status Stats() {
-    std::printf("strategy=%s policy=%s  total: %s\n",
+    std::printf("strategy=%s policy=%s delta-merge=%s  total: %s\n",
                 AccessStrategyName(strategy_), CrackPolicyName(policy_),
+                DeltaMergePolicyName(delta_merge_.policy),
                 store_->total_io().ToString().c_str());
     return Status::OK();
   }
@@ -346,15 +412,32 @@ class Shell {
       return Status::InvalidArgument(
           "usage: policy <standard|stochastic|coarse>");
     }
-    Reset(strategy_, policy);
+    Reset(strategy_, policy, delta_merge_);
     std::printf("crack policy set to %s (accelerators dropped)\n",
                 CrackPolicyName(policy_));
+    return Status::OK();
+  }
+
+  Status MergePolicyCmd(std::istringstream* in) {
+    std::string name;
+    *in >> name;
+    DeltaMergeOptions options = delta_merge_;
+    if (!ParseDeltaMergePolicy(name, &options.policy)) {
+      return Status::InvalidArgument(
+          "usage: mergepolicy <immediate|threshold|ripple> [fraction]");
+    }
+    double fraction;
+    if (*in >> fraction) options.threshold_fraction = fraction;
+    Reset(strategy_, policy_, options);
+    std::printf("delta merge policy set to %s (accelerators dropped)\n",
+                DeltaMergePolicyName(delta_merge_.policy));
     return Status::OK();
   }
 
   std::unique_ptr<AdaptiveStore> store_;
   AccessStrategy strategy_ = AccessStrategy::kCrack;
   CrackPolicy policy_ = CrackPolicy::kStandard;
+  DeltaMergeOptions delta_merge_;
   int errors_ = 0;
 };
 
