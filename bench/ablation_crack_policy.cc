@@ -14,6 +14,13 @@
 //   skewed     — bounds clustered in a narrow hot region, occasionally
 //                jumping outside (zoom-in with restarts)
 //
+// Since PR 3, the sweep also covers the dictionary-encoded string paths:
+// two extra "patterns" (str_low / str_high) run the same per-policy
+// comparison over a string column drawn from a low- and a high-cardinality
+// dictionary, with random string-range queries translated through the
+// order-preserving encoding (the code column cracks like an integer, so the
+// policy claims must carry over; this makes it measurable).
+//
 // Output: CSV rows (pattern, step, then per policy: cumulative tuples
 // touched and cumulative seconds, plus final piece counts on stderr).
 
@@ -158,6 +165,90 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "# %s: final pieces standard=%zu stochastic=%zu "
                          "coarse=%zu\n",
                  pattern.name, pieces[0], pieces[1], pieces[2]);
+  }
+
+  // --- dictionary-encoded string sweep -------------------------------------
+  // Same policy comparison over string columns: every value is one of
+  // `cardinality` distinct keys (zero-padded, so bytewise order equals key
+  // order) and every query is a random closed string range. The low
+  // cardinality regime stresses duplicate-heavy pieces, the high one the
+  // dictionary itself.
+  struct StringSweep {
+    const char* name;
+    size_t cardinality;
+  };
+  const StringSweep sweeps[] = {{"str_low", 64},
+                                {"str_high", std::min<size_t>(n / 4, 65536)}};
+  for (const StringSweep& sweep : sweeps) {
+    std::vector<std::string> keys(sweep.cardinality);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = StrFormat("k%08zu", i);
+    }
+    Pcg32 fill_rng(seed + 7);
+    auto column = Bat::Create(ValueType::kString, "s0");
+    for (size_t i = 0; i < n; ++i) {
+      column->AppendString(
+          keys[fill_rng.NextBounded(static_cast<uint32_t>(keys.size()))]);
+    }
+    size_t key_width = std::max<size_t>(1, keys.size() / 20);
+    Pcg32 query_rng(seed + 8);
+    std::vector<TypedRange> queries;
+    queries.reserve(k);
+    for (size_t q = 0; q < k; ++q) {
+      size_t lo = static_cast<size_t>(query_rng.NextBounded(
+          static_cast<uint32_t>(keys.size() - key_width)));
+      queries.push_back(TypedRange::Closed(Value(keys[lo]),
+                                           Value(keys[lo + key_width])));
+    }
+
+    std::vector<std::vector<uint64_t>> cost(3);
+    std::vector<std::vector<double>> secs(3);
+    std::vector<size_t> pieces(3);
+    std::vector<uint64_t> counts;
+    for (size_t p = 0; p < 3; ++p) {
+      AccessPathConfig config;
+      config.strategy = AccessStrategy::kCrack;
+      config.policy.policy = policies[p];
+      config.policy.min_piece_size = min_piece;
+      config.policy.seed = seed;
+      auto path = CreateColumnAccessPath(column, config);
+      CRACK_CHECK(path.ok());
+      uint64_t total_cost = 0;
+      double total_secs = 0;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        IoStats io;
+        WallTimer timer;
+        auto sel = (*path)->SelectTyped(queries[q], /*want_oids=*/false, &io);
+        CRACK_CHECK(sel.ok());
+        total_secs += timer.ElapsedSeconds();
+        if (p == 0) {
+          counts.push_back(sel->count);
+        } else {
+          CRACK_CHECK(sel->count == counts[q]);
+        }
+        total_cost += io.tuples_read + io.tuples_written;
+        cost[p].push_back(total_cost);
+        secs[p].push_back(total_secs);
+      }
+      pieces[p] = (*path)->NumPieces();
+    }
+    for (size_t step = 0; step < k; ++step) {
+      out.AddRow({sweep.name, StrFormat("%zu", step + 1),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(cost[0][step])),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(cost[1][step])),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(cost[2][step])),
+                  StrFormat("%.6f", secs[0][step]),
+                  StrFormat("%.6f", secs[1][step]),
+                  StrFormat("%.6f", secs[2][step])});
+    }
+    std::fprintf(stderr,
+                 "# %s (cardinality %zu): final pieces standard=%zu "
+                 "stochastic=%zu coarse=%zu\n",
+                 sweep.name, sweep.cardinality, pieces[0], pieces[1],
+                 pieces[2]);
   }
 
   out.PrintCsv(stdout);

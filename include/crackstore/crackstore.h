@@ -25,10 +25,12 @@
 #include "core/projection_cracker.h"      // Ψ
 #include "core/range_bounds.h"            // range predicates
 #include "core/sorted_column.h"           // the sort baseline
+#include "core/typed_range.h"             // Value-typed predicates (strings)
 #include "core/updatable_cracker_index.h" // differential updates
 
 // Storage substrate.
 #include "storage/bat.h"
+#include "storage/dictionary.h"           // order-preserving string encoding
 #include "storage/relation.h"
 
 // Engines (Fig. 1 / Fig. 9 comparisons).

@@ -10,6 +10,7 @@
 
 #include "core/sorted_column.h"
 #include "core/updatable_cracker_index.h"
+#include "storage/dictionary.h"
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -24,6 +25,17 @@ const char* AccessStrategyName(AccessStrategy strategy) {
       return "sort";
   }
   return "?";
+}
+
+Result<AccessSelection> ColumnAccessPath::SelectTyped(const TypedRange& range,
+                                                      bool want_oids,
+                                                      IoStats* stats) {
+  if (range.has_string()) {
+    return Status::TypeMismatch(
+        "string predicate on a numeric access path (string bounds need a "
+        "string column)");
+  }
+  return Select(range.ToNumericBounds(), want_oids, stats);
 }
 
 namespace {
@@ -98,6 +110,24 @@ std::string ExplainPieces(const std::vector<PieceInfo>& pieces) {
                      p.begin, p.end, p.size(), lo.c_str(), hi.c_str());
   }
   return out;
+}
+
+/// Shared Delete() validation: inserts append to the base before notifying
+/// the path, so the base size bounds every oid ever issued — one check for
+/// all strategies, independent of build timing.
+Status CheckDeletableOid(const Bat& column, Oid oid) {
+  if (oid >= column.head_base() + column.size()) {
+    return Status::NotFound(
+        StrFormat("oid %llu was never inserted",
+                  static_cast<unsigned long long>(oid)));
+  }
+  return Status::OK();
+}
+
+Status AlreadyDeletedError(Oid oid) {
+  return Status::AlreadyExists(
+      StrFormat("oid %llu already deleted",
+                static_cast<unsigned long long>(oid)));
 }
 
 /// The whole column as one undecorated piece.
@@ -236,7 +266,12 @@ class CrackAccessPath : public ColumnAccessPath {
 
   Status Delete(Oid oid, IoStats* stats) override {
     if (updatable_ == nullptr) {
-      pre_build_deletes_.push_back(oid);
+      // Mirror the built path's validation so the answer does not depend on
+      // build timing (and so EnsureBuilt's replay cannot fail).
+      CRACK_RETURN_NOT_OK(CheckDeletableOid(*column_, oid));
+      if (!pre_build_deletes_.insert(oid).second) {
+        return AlreadyDeletedError(oid);
+      }
       return Status::OK();
     }
     CRACK_RETURN_NOT_OK(updatable_->Delete(oid));
@@ -468,7 +503,7 @@ class CrackAccessPath : public ColumnAccessPath {
   AccessPathConfig config_;
   CrackPolicyEngine engine_;
   std::unique_ptr<UpdatableCrackerIndex<T>> updatable_;
-  std::vector<Oid> pre_build_deletes_;  ///< tombstones before lazy build
+  std::unordered_set<Oid> pre_build_deletes_;  ///< tombstones before build
 };
 
 // --- sort -----------------------------------------------------------------
@@ -511,17 +546,18 @@ class SortAccessPath : public ColumnAccessPath {
   }
 
   Status Delete(Oid oid, IoStats* stats) override {
+    CRACK_RETURN_NOT_OK(CheckDeletableOid(*column_, oid));
+    if (purged_.count(oid) > 0) return AlreadyDeletedError(oid);
     auto it = std::find_if(pending_.begin(), pending_.end(),
                            [oid](const auto& p) { return p.second == oid; });
     if (it != pending_.end()) {
+      // Cancel the pending insert; the oid joins the physically-gone set so
+      // a later Update()/Delete() sees a dead row, not a merged tuple.
       pending_.erase(it);
+      purged_.insert(oid);
       return Status::OK();
     }
-    if (!deleted_.insert(oid).second) {
-      return Status::AlreadyExists(
-          StrFormat("oid %llu already deleted",
-                    static_cast<unsigned long long>(oid)));
-    }
+    if (!deleted_.insert(oid).second) return AlreadyDeletedError(oid);
     if (sorted_ == nullptr) return Status::OK();  // filtered until a merge
     return MaybeMergeOnWrite(stats);
   }
@@ -534,7 +570,7 @@ class SortAccessPath : public ColumnAccessPath {
       it->first = CastValue<T>(value);
       return Status::OK();
     }
-    if (deleted_.count(oid) > 0) {
+    if (purged_.count(oid) > 0 || deleted_.count(oid) > 0) {
       return Status::NotFound(
           StrFormat("oid %llu is deleted",
                     static_cast<unsigned long long>(oid)));
@@ -660,6 +696,14 @@ class SortAccessPath : public ColumnAccessPath {
     }
     sorted_ = std::make_unique<SortedColumn<T>>(std::move(values),
                                                 std::move(oids));
+    // Only tombstones without a pending rebirth (an Update leaves both) are
+    // physically gone; remember them so later writes report the row dead.
+    std::unordered_set<Oid> reborn;
+    reborn.reserve(pending_.size());
+    for (const auto& [value, oid] : pending_) reborn.insert(oid);
+    for (Oid oid : deleted_) {
+      if (reborn.count(oid) == 0) purged_.insert(oid);
+    }
     pending_.clear();
     deleted_.clear();
     ++merges_;
@@ -671,6 +715,7 @@ class SortAccessPath : public ColumnAccessPath {
   std::unique_ptr<SortedColumn<T>> sorted_;
   std::vector<std::pair<T, Oid>> pending_;  ///< inserts since the last merge
   std::unordered_set<Oid> deleted_;         ///< tombstones since the last merge
+  std::unordered_set<Oid> purged_;  ///< oids physically gone (merged away)
   size_t merges_ = 0;
 };
 
@@ -720,11 +765,8 @@ class ScanAccessPath : public ColumnAccessPath {
 
   Status Delete(Oid oid, IoStats* stats) override {
     (void)stats;
-    if (!deleted_.insert(oid).second) {
-      return Status::AlreadyExists(
-          StrFormat("oid %llu already deleted",
-                    static_cast<unsigned long long>(oid)));
-    }
+    CRACK_RETURN_NOT_OK(CheckDeletableOid(*column_, oid));
+    if (!deleted_.insert(oid).second) return AlreadyDeletedError(oid);
     return Status::OK();
   }
 
@@ -786,6 +828,238 @@ std::unique_ptr<ColumnAccessPath> MakePath(std::shared_ptr<Bat> column,
   return nullptr;
 }
 
+// --- dict-string ----------------------------------------------------------
+
+/// Encoding decorator for kString columns: an order-preserving dictionary
+/// presents the column as an int64 code domain, a shadow code column
+/// mirrors the base row-for-row, and an inner numeric path (any strategy x
+/// policy) cracks/sorts/scans the codes. String predicates arrive through
+/// SelectTyped and translate to code ranges; DML interns unseen strings,
+/// and when an out-of-order insert exhausts its code gap the dictionary's
+/// remap hook folds the inner deltas through the existing Merge machinery,
+/// rewrites the code column monotonically, and re-arms a fresh lazy
+/// accelerator.
+class DictStringAccessPath : public ColumnAccessPath {
+ public:
+  DictStringAccessPath(std::shared_ptr<Bat> column,
+                       const AccessPathConfig& config)
+      : column_(std::move(column)), config_(config) {}
+
+  AccessStrategy strategy() const override { return config_.strategy; }
+  const AccessPathConfig& config() const override { return config_; }
+  size_t size() const override { return column_->size(); }
+
+  AccessSelection Select(const RangeBounds& range, bool want_oids,
+                         IoStats* stats) override {
+    // Native-domain selection: the bounds are dictionary codes.
+    EnsureEncoded(stats);
+    return inner_->Select(range, want_oids, stats);
+  }
+
+  Result<AccessSelection> SelectTyped(const TypedRange& range, bool want_oids,
+                                      IoStats* stats) override {
+    if ((!range.lo.is_null() && !range.lo.is_string()) ||
+        (!range.hi.is_null() && !range.hi.is_string())) {
+      return Status::TypeMismatch(
+          StrFormat("numeric predicate on string column %s",
+                    column_->name().c_str()));
+    }
+    EnsureEncoded(stats);
+    RangeBounds codes;  // defaults: unbounded both sides
+    if (!range.lo.is_null()) {
+      int64_t code;
+      if (dict_->CodeFor(range.lo.AsString(), &code)) {
+        codes.lo = code;
+        codes.lo_incl = range.lo_incl;
+      } else if (dict_->CeilCode(range.lo.AsString(), &code)) {
+        // Absent bound: >s and >=s agree on the interned domain.
+        codes.lo = code;
+        codes.lo_incl = true;
+      } else {
+        return AccessSelection{};  // sorts after every string: empty
+      }
+    }
+    if (!range.hi.is_null()) {
+      int64_t code;
+      if (dict_->CodeFor(range.hi.AsString(), &code)) {
+        codes.hi = code;
+        codes.hi_incl = range.hi_incl;
+      } else if (dict_->FloorCode(range.hi.AsString(), &code)) {
+        codes.hi = code;
+        codes.hi_incl = true;
+      } else {
+        return AccessSelection{};  // sorts before every string: empty
+      }
+    }
+    return inner_->Select(codes, want_oids, stats);
+  }
+
+  Status Insert(const Value& value, Oid oid, IoStats* stats) override {
+    if (!value.is_string()) {
+      return Status::TypeMismatch(
+          StrFormat("cannot insert %s into string column %s",
+                    value.ToString().c_str(), column_->name().c_str()));
+    }
+    if (inner_ == nullptr) return Status::OK();  // lazy encode reads base
+    int64_t code = Intern(value.AsString(), stats);
+    codes_->Append<int64_t>(code);
+    return inner_->Insert(Value(code), oid, stats);
+  }
+
+  Status Delete(Oid oid, IoStats* stats) override {
+    CRACK_RETURN_NOT_OK(CheckDeletableOid(*column_, oid));
+    // The all-time tombstone set is the wrapper's own: the shadow code
+    // column is append-only, so a rebuilt inner path must re-learn every
+    // historical delete.
+    if (!deleted_.insert(oid).second) return AlreadyDeletedError(oid);
+    if (inner_ == nullptr) return Status::OK();
+    Status st = inner_->Delete(oid, stats);
+    if (!st.ok()) deleted_.erase(oid);  // keep the replay set replayable
+    return st;
+  }
+
+  Status Update(Oid oid, const Value& value, IoStats* stats) override {
+    if (!value.is_string()) {
+      return Status::TypeMismatch(
+          StrFormat("cannot update string column %s with %s",
+                    column_->name().c_str(), value.ToString().c_str()));
+    }
+    if (inner_ == nullptr) return Status::OK();  // base slot overwritten
+    int64_t code = Intern(value.AsString(), stats);
+    CRACK_RETURN_NOT_OK(codes_->SetNumeric(
+        static_cast<size_t>(oid - codes_->head_base()), code));
+    return inner_->Update(oid, Value(code), stats);
+  }
+
+  Status FlushDeltas(IoStats* stats) override {
+    if (inner_ == nullptr && deleted_.empty()) return Status::OK();
+    EnsureEncoded(stats);
+    return inner_->FlushDeltas(stats);
+  }
+
+  size_t pending_inserts() const override {
+    return inner_ == nullptr ? 0 : inner_->pending_inserts();
+  }
+  size_t pending_deletes() const override {
+    return inner_ == nullptr ? deleted_.size() : inner_->pending_deletes();
+  }
+  size_t merges_performed() const override {
+    return merges_carry_ +
+           (inner_ == nullptr ? 0 : inner_->merges_performed());
+  }
+
+  std::vector<PieceInfo> Pieces() const override {
+    if (inner_ == nullptr) return WholeColumnPiece(column_->size());
+    return inner_->Pieces();  // code-domain value decorations
+  }
+  size_t NumPieces() const override {
+    return inner_ == nullptr ? 1 : inner_->NumPieces();
+  }
+
+  Status ApplyPolicy(const PivotChoice& choice, IoStats* stats) override {
+    EnsureEncoded(stats);
+    return inner_->ApplyPolicy(choice, stats);  // pivot in the code domain
+  }
+
+  std::string Explain() const override {
+    std::string out = StrFormat(
+        "encoding: order-preserving dictionary over %s\n",
+        column_->name().c_str());
+    if (inner_ == nullptr) {
+      if (!deleted_.empty()) {
+        out += StrFormat("deltas: %zu tombstones buffered pre-encode\n",
+                         deleted_.size());
+      }
+      return out + "no code column yet (never queried)\n";
+    }
+    out += StrFormat("dictionary: %zu distinct strings, gap=%lld, "
+                     "%zu rebuild(s)\n",
+                     dict_->size(), static_cast<long long>(dict_->gap()),
+                     dict_->rebuilds());
+    return out + inner_->Explain();
+  }
+
+ private:
+  /// Lazily builds the dictionary, the shadow code column and the inner
+  /// path — the whole encoding investment is charged to the first query.
+  void EnsureEncoded(IoStats* stats) {
+    if (inner_ != nullptr) return;
+    auto dict = StringDictionary::FromColumn(*column_);
+    CRACK_DCHECK(dict.ok());
+    dict_ = std::make_unique<StringDictionary>(std::move(*dict));
+    codes_ = Bat::Create(ValueType::kInt64, column_->name() + "#codes");
+    codes_->set_head_base(column_->head_base());
+    size_t n = column_->size();
+    codes_->Reserve(n);
+    int64_t* d = codes_->MutableTailData<int64_t>();
+    const std::shared_ptr<VarHeap>& heap = column_->heap();
+    const uint64_t* offsets = column_->TailData<uint64_t>();
+    for (size_t i = 0; i < n; ++i) {
+      int64_t code = 0;
+      bool known = dict_->CodeFor(heap->Read(offsets[i]), &code);
+      CRACK_DCHECK(known);
+      (void)known;
+      d[i] = code;
+    }
+    codes_->SetCountUnsafe(n);
+    if (stats != nullptr) {
+      stats->tuples_read += n;
+      stats->tuples_written += n;
+    }
+    RebuildInner(stats);
+  }
+
+  /// Interns `s`, wiring the dictionary's rebuild path into this column's
+  /// remap procedure.
+  int64_t Intern(std::string_view s, IoStats* stats) {
+    return dict_->InternOrdered(
+        s, [this, stats](const StringDictionary::RemapMap& remap) {
+          RemapCodes(remap, stats);
+        });
+  }
+
+  /// A code-gap exhausted: every code was reassigned (monotonically).
+  /// Rewrite the shadow column through the mapping and re-arm a fresh lazy
+  /// inner path over the new codes. No flush is needed before the swap:
+  /// pending inserts/updates are already physically in codes_ (the wrapper
+  /// mutates codes_ before notifying the inner path) and tombstones replay
+  /// from the wrapper's all-time deleted_ set, so the rebuilt path folds
+  /// them through the ordinary Merge machinery on its next merge.
+  void RemapCodes(const StringDictionary::RemapMap& remap, IoStats* stats) {
+    // +1 marks the accelerator hand-over (even when nothing was pending),
+    // so facade-level lineage re-roots the piece subtree.
+    merges_carry_ += inner_->merges_performed() + 1;
+    int64_t* d = codes_->MutableTailData<int64_t>();
+    for (size_t i = 0; i < codes_->size(); ++i) {
+      auto it = remap.find(d[i]);
+      CRACK_DCHECK(it != remap.end());
+      d[i] = it->second;
+    }
+    if (stats != nullptr) stats->tuples_written += codes_->size();
+    RebuildInner(stats);
+  }
+
+  /// (Re)creates the inner numeric path over the code column and replays
+  /// the all-time tombstones into it.
+  void RebuildInner(IoStats* stats) {
+    (void)stats;
+    inner_ = MakePath<int64_t>(codes_, config_);
+    for (Oid oid : deleted_) {
+      Status st = inner_->Delete(oid);
+      CRACK_DCHECK(st.ok());
+      (void)st;
+    }
+  }
+
+  std::shared_ptr<Bat> column_;  ///< the kString base (append-only)
+  AccessPathConfig config_;
+  std::unique_ptr<StringDictionary> dict_;
+  std::shared_ptr<Bat> codes_;  ///< int64 shadow, row-parallel to the base
+  std::unique_ptr<ColumnAccessPath> inner_;
+  std::unordered_set<Oid> deleted_;  ///< all-time tombstones (replayable)
+  size_t merges_carry_ = 0;  ///< merges of discarded inner paths (+rebuilds)
+};
+
 }  // namespace
 
 Result<std::unique_ptr<ColumnAccessPath>> CreateColumnAccessPath(
@@ -798,6 +1072,9 @@ Result<std::unique_ptr<ColumnAccessPath>> CreateColumnAccessPath(
       return MakePath<int64_t>(std::move(column), config);
     case ValueType::kFloat64:
       return MakePath<double>(std::move(column), config);
+    case ValueType::kString:
+      return std::unique_ptr<ColumnAccessPath>(
+          std::make_unique<DictStringAccessPath>(std::move(column), config));
     default:
       return Status::Unimplemented(
           StrFormat("no access path for %s columns",

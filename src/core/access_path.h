@@ -16,6 +16,12 @@
 //             "sort" line);
 //   * scan  — stateless full scan per query (the "nocrack" baseline).
 //
+// String columns compose with all of the above through an encoding
+// decorator: an order-preserving dictionary (storage/dictionary.h) presents
+// the column as an int64 code domain, string predicates translate to code
+// ranges (SelectTyped), and the inner path cracks/sorts/scans codes exactly
+// like integers.
+//
 // Construction is lazy: building the accelerator is deferred to the first
 // Select, so its investment is charged to the query that triggered it —
 // exactly the accounting Figures 2-3 analyze.
@@ -38,6 +44,7 @@
 #include "core/cracker_index.h"
 #include "core/merge_policy.h"
 #include "core/range_bounds.h"
+#include "core/typed_range.h"
 #include "storage/bat.h"
 #include "storage/io_stats.h"
 #include "util/result.h"
@@ -109,11 +116,21 @@ class ColumnAccessPath {
   /// Tuples in the underlying column.
   virtual size_t size() const = 0;
 
-  /// Range selection. `want_oids` asks for the qualifying oid list when the
+  /// Range selection over the path's *native accelerator domain* —
+  /// element values for numeric columns, dictionary codes for encoded
+  /// string columns. `want_oids` asks for the qualifying oid list when the
   /// answer cannot be contiguous (scan; coarse edge pieces; pending write
   /// deltas) — pass false for count-only queries to skip the gather.
   virtual AccessSelection Select(const RangeBounds& range, bool want_oids,
                                  IoStats* stats) = 0;
+
+  /// Typed range selection — the boundary the facade and SQL cross.
+  /// Numeric endpoints lower to RangeBounds (the default implementation);
+  /// encoding-aware paths translate string endpoints into their code
+  /// domain. Mistyped predicates (string bounds on a numeric column and
+  /// vice versa) come back as TypeMismatch instead of silently widening.
+  virtual Result<AccessSelection> SelectTyped(const TypedRange& range,
+                                              bool want_oids, IoStats* stats);
 
   // --- DML ------------------------------------------------------------------
   // Contract: the owner of the base column applies the physical mutation
@@ -162,9 +179,13 @@ class ColumnAccessPath {
   virtual std::string Explain() const = 0;
 };
 
-/// Builds the access path for `column` per `config`. The column must be
-/// kInt32, kInt64 or kFloat64; anything else is Unimplemented. Accelerator
-/// construction itself is lazy (first Select pays).
+/// Builds the access path for `column` per `config`. The factory is
+/// encoding-aware: kInt32/kInt64/kFloat64 columns run the strategy
+/// directly; kString columns are wrapped in an order-preserving dictionary
+/// encoding (storage/dictionary.h) whose int64 code column runs the very
+/// same strategy underneath — every {encoding} x {strategy} x {policy}
+/// combination shares one implementation. Anything else is Unimplemented.
+/// Accelerator (and dictionary) construction is lazy (first Select pays).
 Result<std::unique_ptr<ColumnAccessPath>> CreateColumnAccessPath(
     std::shared_ptr<Bat> column, const AccessPathConfig& config);
 

@@ -92,19 +92,11 @@ const std::unordered_set<Oid>* AdaptiveStore::TombstonesFor(
 
 Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
                                                const std::string& column,
-                                               const RangeBounds& range,
+                                               const TypedRange& range,
                                                Delivery delivery) {
   auto bat_result = ResolveColumn(table, column);
   if (!bat_result.ok()) return bat_result.status();
   std::shared_ptr<Bat> bat = *bat_result;
-  if (bat->tail_type() != ValueType::kInt32 &&
-      bat->tail_type() != ValueType::kInt64 &&
-      bat->tail_type() != ValueType::kFloat64) {
-    return Status::Unimplemented(
-        StrFormat("SelectRange needs a numeric column; %s.%s is %s",
-                  table.c_str(), column.c_str(),
-                  ValueTypeName(bat->tail_type())));
-  }
 
   QueryResult result;
   WallTimer timer;
@@ -116,8 +108,10 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
     accel->piece_nodes[{0, bat->size()}] = accel->root;
   }
 
-  AccessSelection sel = accel->path->Select(
-      range, /*want_oids=*/delivery != Delivery::kCount, &result.io);
+  CRACK_ASSIGN_OR_RETURN(
+      AccessSelection sel,
+      accel->path->SelectTyped(
+          range, /*want_oids=*/delivery != Delivery::kCount, &result.io));
   result.count = sel.count;
   if (sel.contiguous) {
     result.selection = sel.view;
@@ -189,11 +183,15 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
   QueryResult result;
   WallTimer timer;
 
-  // The stateless scan strategy has a cheaper shape: one fused pass over
-  // all referenced columns, no per-column oid materialization. Stateful
-  // paths (crack/sort) must go per-column anyway — each conjunct is advice
-  // for its own column's accelerator.
-  if (options_.strategy == AccessStrategy::kScan) {
+  // The stateless scan strategy has a cheaper shape for all-numeric
+  // conjunctions: one fused pass over the referenced columns, no per-column
+  // oid materialization. Stateful paths (crack/sort) go per-column anyway —
+  // each conjunct is advice for its own column's accelerator — and
+  // string-typed conjuncts route per-column too, where the dictionary
+  // encoding lives.
+  bool all_numeric = true;
+  for (const ColumnRange& c : conjuncts) all_numeric &= !c.range.has_string();
+  if (options_.strategy == AccessStrategy::kScan && all_numeric) {
     auto rel_result = this->table(table);
     if (!rel_result.ok()) return rel_result.status();
     std::shared_ptr<Relation> rel = *rel_result;
@@ -201,13 +199,16 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
       const int32_t* d32 = nullptr;
       const int64_t* d64 = nullptr;
       const double* f64 = nullptr;
+      RangeBounds range;
     };
     std::vector<TypedColumn> cols;
     cols.reserve(conjuncts.size());
+    bool fusable = true;
     for (const ColumnRange& c : conjuncts) {
       auto bat = rel->column(c.column);
       if (!bat.ok()) return bat.status();
       TypedColumn col;
+      col.range = c.range.ToNumericBounds();
       switch ((*bat)->tail_type()) {
         case ValueType::kInt64:
           col.d64 = (*bat)->TailData<int64_t>();
@@ -219,41 +220,50 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
           col.f64 = (*bat)->TailData<double>();
           break;
         default:
-          return Status::Unimplemented("conjunction needs numeric columns");
+          // A numeric bound on a string column: let the per-column path
+          // report the TypeMismatch uniformly.
+          fusable = false;
+          break;
       }
+      if (!fusable) break;
       cols.push_back(col);
     }
-    size_t n = rel->num_rows();
-    Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
-    const std::unordered_set<Oid>* tomb = TombstonesFor(table);
-    for (size_t i = 0; i < n; ++i) {
-      if (tomb != nullptr && tomb->count(base + i) > 0) continue;
-      bool all = true;
-      for (size_t c = 0; c < conjuncts.size() && all; ++c) {
-        if (cols[c].f64 != nullptr) {
-          // Doubles compare in their own domain (int64 bounds widen).
-          const RangeBounds& r = conjuncts[c].range;
-          double v = cols[c].f64[i];
-          double lo = static_cast<double>(r.lo);
-          double hi = static_cast<double>(r.hi);
-          all = !(r.lo_incl ? v < lo : v <= lo) &&
-                !(r.hi_incl ? v > hi : v >= hi);
-        } else {
-          int64_t v = cols[c].d32 != nullptr
-                          ? static_cast<int64_t>(cols[c].d32[i])
-                          : cols[c].d64[i];
-          all = conjuncts[c].range.Contains(v);
+    if (fusable) {
+      size_t n = rel->num_rows();
+      Oid base =
+          rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+      const std::unordered_set<Oid>* tomb = TombstonesFor(table);
+      for (size_t i = 0; i < n; ++i) {
+        if (tomb != nullptr && tomb->count(base + i) > 0) continue;
+        bool all = true;
+        for (size_t c = 0; c < cols.size() && all; ++c) {
+          if (cols[c].f64 != nullptr) {
+            // Doubles compare in their own domain (int64 bounds widen).
+            const RangeBounds& r = cols[c].range;
+            double v = cols[c].f64[i];
+            double lo = static_cast<double>(r.lo);
+            double hi = static_cast<double>(r.hi);
+            all = !(r.lo_incl ? v < lo : v <= lo) &&
+                  !(r.hi_incl ? v > hi : v >= hi);
+          } else {
+            int64_t v = cols[c].d32 != nullptr
+                            ? static_cast<int64_t>(cols[c].d32[i])
+                            : cols[c].d64[i];
+            all = cols[c].range.Contains(v);
+          }
+        }
+        if (all) {
+          ++result.count;
+          if (delivery == Delivery::kView) {
+            result.scan_oids.push_back(base + i);
+          }
         }
       }
-      if (all) {
-        ++result.count;
-        if (delivery == Delivery::kView) result.scan_oids.push_back(base + i);
-      }
+      result.io.tuples_read += n * conjuncts.size();
+      result.seconds = timer.ElapsedSeconds();
+      total_io_ += result.io;
+      return result;
     }
-    result.io.tuples_read += n * conjuncts.size();
-    result.seconds = timer.ElapsedSeconds();
-    total_io_ += result.io;
-    return result;
   }
 
   // Answer each conjunct through its column's access path, then intersect
@@ -414,30 +424,43 @@ Result<QueryResult> AdaptiveStore::Update(
     oids = std::move(qr).CollectOids();
   }
 
-  // Validate every SET clause up front so a bad column name or an
-  // overflowing value cannot leave the statement half-applied.
+  // Validate every SET clause up front so a bad column name, a mistyped
+  // value or an overflowing literal cannot leave the statement
+  // half-applied.
   for (const Assignment& set : sets) {
     auto bat_result = rel->column(set.column);
     if (!bat_result.ok()) return bat_result.status();
-    switch ((*bat_result)->tail_type()) {
-      case ValueType::kInt32:
-        if (set.value < std::numeric_limits<int32_t>::min() ||
-            set.value > std::numeric_limits<int32_t>::max()) {
+    ValueType type = (*bat_result)->tail_type();
+    bool integral_value = set.value.is_int32() || set.value.is_int64();
+    switch (type) {
+      case ValueType::kInt32: {
+        // Doubles are rejected on integer columns (silent fraction
+        // truncation; an out-of-range double->int64 cast is UB).
+        if (!integral_value) break;
+        int64_t wide = set.value.ToInt64();
+        if (wide < std::numeric_limits<int32_t>::min() ||
+            wide > std::numeric_limits<int32_t>::max()) {
           return Status::InvalidArgument(
               StrFormat("value %lld overflows int32 column %s",
-                        static_cast<long long>(set.value),
-                        set.column.c_str()));
+                        static_cast<long long>(wide), set.column.c_str()));
         }
-        break;
+        continue;
+      }
       case ValueType::kInt64:
+        if (!integral_value) break;
+        continue;
       case ValueType::kFloat64:
-        break;
+        if (!integral_value && !set.value.is_double()) break;
+        continue;
+      case ValueType::kString:
+        if (!set.value.is_string()) break;
+        continue;
       default:
-        return Status::TypeMismatch(
-            StrFormat("UPDATE needs a numeric column; %s is %s",
-                      set.column.c_str(),
-                      ValueTypeName((*bat_result)->tail_type())));
+        break;
     }
+    return Status::TypeMismatch(
+        StrFormat("cannot SET %s:%s to %s", set.column.c_str(),
+                  ValueTypeName(type), set.value.ToString().c_str()));
   }
 
   for (const Assignment& set : sets) {
@@ -451,10 +474,10 @@ Result<QueryResult> AdaptiveStore::Update(
     for (Oid oid : oids) {
       // Base first (write-through), then the accelerator's delta.
       CRACK_RETURN_NOT_OK(
-          bat->SetNumeric(static_cast<size_t>(oid - base), set.value));
+          bat->SetValue(static_cast<size_t>(oid - base), set.value));
       result.io.tuples_written += 1;
       if (path != nullptr) {
-        CRACK_RETURN_NOT_OK(path->Update(oid, Value(set.value), &result.io));
+        CRACK_RETURN_NOT_OK(path->Update(oid, set.value, &result.io));
       }
     }
   }

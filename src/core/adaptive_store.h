@@ -93,16 +93,20 @@ class AdaptiveStore {
   Result<std::shared_ptr<Relation>> table(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
-  /// σ/Ξ: range selection over an integer column, cracking per the strategy.
+  /// σ/Ξ: range selection over a column, cracking per the strategy. The
+  /// predicate is typed: numeric RangeBounds convert implicitly, string
+  /// endpoints (TypedRange over Value) reach dictionary-encoded string
+  /// columns and crack their code domain exactly like integers.
   Result<QueryResult> SelectRange(const std::string& table,
                                   const std::string& column,
-                                  const RangeBounds& range,
+                                  const TypedRange& range,
                                   Delivery delivery = Delivery::kCount);
 
-  /// One conjunct of a multi-attribute selection.
+  /// One conjunct of a multi-attribute selection (typed; numeric
+  /// RangeBounds convert implicitly).
   struct ColumnRange {
     std::string column;
-    RangeBounds range;
+    TypedRange range;
   };
 
   /// σ over a conjunction of range predicates (WHERE a IN r1 AND b IN r2
@@ -133,10 +137,12 @@ class AdaptiveStore {
   Result<QueryResult> Delete(const std::string& table,
                              const std::vector<ColumnRange>& conjuncts);
 
-  /// One SET clause of an UPDATE (values int64-widened like RangeBounds).
+  /// One SET clause of an UPDATE. The value is typed: int64 literals for
+  /// integer columns, doubles for float columns (fraction preserved),
+  /// strings for dictionary-encoded string columns.
   struct Assignment {
     std::string column;
-    int64_t value = 0;
+    Value value;
   };
 
   /// Sets `sets` on the rows matching the conjunction (all live rows when

@@ -1,0 +1,130 @@
+// Copyright 2026 The CrackStore Authors
+//
+// TypedRange: a range predicate whose endpoints are dynamically-typed
+// Values, the typed generalization of the int64-widened RangeBounds. PR 2
+// let DML values cross the access-path boundary dynamically typed as a
+// special case; this header makes the same move for predicates, so string
+// bounds (and, through the same door, any future encoded domain) reach the
+// encoding-aware access paths intact. Numeric predicates lower back to
+// RangeBounds at the boundary — the hot kernels never see a Value.
+
+#ifndef CRACKSTORE_CORE_TYPED_RANGE_H_
+#define CRACKSTORE_CORE_TYPED_RANGE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "core/range_bounds.h"
+#include "storage/types.h"
+#include "util/macros.h"
+
+namespace crackstore {
+
+/// Range predicate with Value endpoints; a null Value means unbounded on
+/// that side. Both endpoints must be of the same family (numeric or
+/// string) — access paths reject mixed or mistyped ranges with a Status.
+struct TypedRange {
+  Value lo;  ///< null = unbounded below
+  bool lo_incl = true;
+  Value hi;  ///< null = unbounded above
+  bool hi_incl = true;
+
+  TypedRange() = default;
+
+  /// Implicit: every numeric RangeBounds is a TypedRange (the INT64_MIN/MAX
+  /// inclusive sentinels become unbounded sides), so existing numeric call
+  /// sites keep compiling against typed interfaces.
+  TypedRange(const RangeBounds& r) {  // NOLINT(runtime/explicit)
+    if (!(r.lo == INT64_MIN && r.lo_incl)) {
+      lo = Value(r.lo);
+      lo_incl = r.lo_incl;
+    }
+    if (!(r.hi == INT64_MAX && r.hi_incl)) {
+      hi = Value(r.hi);
+      hi_incl = r.hi_incl;
+    }
+  }
+
+  static TypedRange All() { return TypedRange{}; }
+  static TypedRange Closed(Value lo, Value hi) {
+    return TypedRange{std::move(lo), true, std::move(hi), true};
+  }
+  static TypedRange Open(Value lo, Value hi) {
+    return TypedRange{std::move(lo), false, std::move(hi), false};
+  }
+  static TypedRange Equal(Value v) {
+    TypedRange r;
+    r.lo = v;
+    r.hi = std::move(v);
+    return r;
+  }
+  static TypedRange LessThan(Value v) {
+    return TypedRange{Value(), true, std::move(v), false};
+  }
+  static TypedRange AtMost(Value v) {
+    return TypedRange{Value(), true, std::move(v), true};
+  }
+  static TypedRange GreaterThan(Value v) {
+    return TypedRange{std::move(v), false, Value(), true};
+  }
+  static TypedRange AtLeast(Value v) {
+    return TypedRange{std::move(v), true, Value(), true};
+  }
+
+  TypedRange(Value lo_v, bool lo_i, Value hi_v, bool hi_i)
+      : lo(std::move(lo_v)),
+        lo_incl(lo_i),
+        hi(std::move(hi_v)),
+        hi_incl(hi_i) {}
+
+  bool unbounded_lo() const { return lo.is_null(); }
+  bool unbounded_hi() const { return hi.is_null(); }
+
+  /// True when either endpoint is a string (the predicate needs an
+  /// encoding-aware path).
+  bool has_string() const { return lo.is_string() || hi.is_string(); }
+
+  /// Numeric membership (false whenever an endpoint is a string).
+  bool Contains(int64_t v) const {
+    return !has_string() && ToNumericBounds().Contains(v);
+  }
+
+  /// String membership under bytewise order (false whenever an endpoint is
+  /// numeric) — the oracle-side mirror of the dictionary translation.
+  bool Contains(std::string_view s) const {
+    if ((!lo.is_null() && !lo.is_string()) ||
+        (!hi.is_null() && !hi.is_string())) {
+      return false;
+    }
+    if (!lo.is_null()) {
+      std::string_view b = lo.AsString();
+      if (lo_incl ? s < b : s <= b) return false;
+    }
+    if (!hi.is_null()) {
+      std::string_view b = hi.AsString();
+      if (hi_incl ? s > b : s >= b) return false;
+    }
+    return true;
+  }
+
+  /// Numeric lowering: the int64-widened RangeBounds this predicate means
+  /// over a numeric domain. Callers must have ruled out string endpoints.
+  RangeBounds ToNumericBounds() const {
+    CRACK_DCHECK(!has_string());
+    RangeBounds out;
+    if (!lo.is_null()) {
+      out.lo = lo.ToInt64();
+      out.lo_incl = lo_incl;
+    }
+    if (!hi.is_null()) {
+      out.hi = hi.ToInt64();
+      out.hi_incl = hi_incl;
+    }
+    return out;
+  }
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_TYPED_RANGE_H_

@@ -38,11 +38,14 @@ Status UpdatableCrackerIndex<T>::Delete(Oid oid) {
         StrFormat("oid %llu was never inserted",
                   static_cast<unsigned long long>(oid)));
   }
-  // A pending insert is cancelled directly.
+  // A pending insert is cancelled directly. The oid joins the physically-
+  // gone set so that a later Update()/Delete() on it reports the row dead
+  // instead of re-entering it as a "merged tuple" rebirth.
   auto it = std::find_if(pending_.begin(), pending_.end(),
                          [oid](const auto& p) { return p.second == oid; });
   if (it != pending_.end()) {
     pending_.erase(it);
+    purged_.insert(oid);
     return Status::OK();
   }
   if (purged_.count(oid) > 0 || deleted_.count(oid) > 0) {

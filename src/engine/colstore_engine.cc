@@ -97,7 +97,7 @@ Status ColumnEngine::Delete(const std::string& table, Oid oid) {
 
 Status ColumnEngine::Update(const std::string& table,
                             const std::string& column, Oid oid,
-                            int64_t value) {
+                            const Value& value) {
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   auto bat_result = (*rel_result)->column(column);
@@ -115,10 +115,10 @@ Status ColumnEngine::Update(const std::string& table,
         StrFormat("oid %llu is deleted",
                   static_cast<unsigned long long>(oid)));
   }
-  CRACK_RETURN_NOT_OK(bat->SetNumeric(static_cast<size_t>(oid - base), value));
+  CRACK_RETURN_NOT_OK(bat->SetValue(static_cast<size_t>(oid - base), value));
   auto it = paths_.find(table + "." + column);
   if (it != paths_.end()) {
-    CRACK_RETURN_NOT_OK(it->second->Update(oid, Value(value)));
+    CRACK_RETURN_NOT_OK(it->second->Update(oid, value));
   }
   return Status::OK();
 }
@@ -178,7 +178,7 @@ std::vector<uint32_t> MatchRows(const AccessSelection& sel, Oid base) {
 
 Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
                                           const std::string& column,
-                                          const RangeBounds& range,
+                                          const TypedRange& range,
                                           DeliveryMode mode,
                                           const std::string& result_name) {
   auto rel_result = this->table(table);
@@ -187,18 +187,15 @@ Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
   auto col_result = rel->column(column);
   if (!col_result.ok()) return col_result.status();
   std::shared_ptr<Bat> bat = *col_result;
-  if (bat->tail_type() != ValueType::kInt32 &&
-      bat->tail_type() != ValueType::kInt64 &&
-      bat->tail_type() != ValueType::kFloat64) {
-    return Status::Unimplemented("selection column must be numeric");
-  }
 
   RunResult run;
   WallTimer timer;
 
   CRACK_ASSIGN_OR_RETURN(ColumnAccessPath * path, PathFor(table, column, bat));
-  AccessSelection sel =
-      path->Select(range, /*want_oids=*/mode != DeliveryMode::kCount, &run.io);
+  CRACK_ASSIGN_OR_RETURN(
+      AccessSelection sel,
+      path->SelectTyped(range, /*want_oids=*/mode != DeliveryMode::kCount,
+                        &run.io));
   run.count = sel.count;
 
   switch (mode) {

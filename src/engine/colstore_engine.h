@@ -56,11 +56,13 @@ class ColumnEngine {
   Result<std::shared_ptr<Relation>> table(const std::string& name) const;
 
   /// SELECT ... WHERE column IN range through the column's access path,
-  /// delivered per `mode` (Fig. 1's MonetDB line). Materialization gathers
+  /// delivered per `mode` (Fig. 1's MonetDB line). The predicate is typed
+  /// (numeric RangeBounds convert implicitly; string endpoints reach
+  /// dictionary-encoded string columns). Materialization gathers
   /// column-at-a-time.
   Result<RunResult> RunSelect(const std::string& table,
                               const std::string& column,
-                              const RangeBounds& range, DeliveryMode mode,
+                              const TypedRange& range, DeliveryMode mode,
                               const std::string& result_name = "tmp_result");
 
   /// k-way linear chain join (Fig. 9), BAT-at-a-time: per step one hash
@@ -83,9 +85,10 @@ class ColumnEngine {
   Status Delete(const std::string& table, Oid oid);
 
   /// Overwrites one column of row `oid` (base write-through plus the
-  /// column's access-path delta).
+  /// column's access-path delta). The value is typed: numerics for numeric
+  /// columns, strings for string columns.
   Status Update(const std::string& table, const std::string& column, Oid oid,
-                int64_t value);
+                const Value& value);
 
   /// The materialized result of the last kMaterialize select.
   const std::shared_ptr<Relation>& last_result() const { return last_result_; }

@@ -179,12 +179,9 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
       out.count = qr.count;
       out.io += qr.io;
     } else {
-      std::vector<AdaptiveStore::ColumnRange> conjuncts;
-      for (const Predicate& p : stmt.where) {
-        conjuncts.push_back({p.column, p.range});
-      }
-      CRACK_ASSIGN_OR_RETURN(QueryResult qr,
-                             store->SelectConjunction(stmt.table, conjuncts));
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          store->SelectConjunction(stmt.table, ToConjuncts(stmt.where)));
       out.count = qr.count;
       out.io += qr.io;
     }
@@ -278,9 +275,9 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt) {
       return Execute(store, stmt.select);
     case StatementKind::kInsert: {
       QueryOutput out;
-      std::vector<Value> row;
-      row.reserve(stmt.insert.values.size());
-      for (int64_t v : stmt.insert.values) row.emplace_back(v);
+      // Literals arrive typed from the parser; the store coerces numerics
+      // to the column widths and routes strings through the dictionary.
+      std::vector<Value> row = stmt.insert.values;
       CRACK_ASSIGN_OR_RETURN(QueryResult qr,
                              store->Insert(stmt.insert.table, std::move(row)));
       out.kind = OutputKind::kAffected;

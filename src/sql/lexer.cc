@@ -66,6 +66,33 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       token.type = TokenType::kNumber;
       token.text = input.substr(start, i - start);
       token.number = std::strtoll(token.text.c_str(), nullptr, 10);
+    } else if (c == '\'') {
+      // Single-quoted string literal; '' escapes an embedded quote.
+      ++i;  // opening quote
+      std::string decoded;
+      bool terminated = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            decoded += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;  // closing quote
+          terminated = true;
+          break;
+        }
+        decoded += input[i];
+        ++i;
+      }
+      if (!terminated) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal starting at position %zu "
+                      "(expected a closing ')",
+                      token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(decoded);
     } else if (c == '<' || c == '>') {
       token.type = TokenType::kOperator;
       token.text = std::string(1, c);

@@ -21,6 +21,7 @@ enum class TokenType : uint8_t {
   kIdentifier,  ///< table/column names (case-preserved)
   kKeyword,     ///< SELECT, FROM, WHERE, ... (upper-cased in `text`)
   kNumber,      ///< integer literal (value in `number`)
+  kString,      ///< single-quoted string literal (decoded in `text`)
   kSymbol,      ///< ( ) , . * =
   kOperator,    ///< < <= > >= = <>
   kEnd,         ///< end of input
@@ -42,8 +43,10 @@ struct Token {
   }
 };
 
-/// Splits `input` into tokens (a kEnd token is appended). Fails on
-/// unexpected characters or malformed numbers.
+/// Splits `input` into tokens (a kEnd token is appended). String literals
+/// are single-quoted with '' as the escape for an embedded quote
+/// ('it''s' -> it's). Fails on unexpected characters, malformed numbers,
+/// or an unterminated string literal.
 Result<std::vector<Token>> Tokenize(const std::string& input);
 
 }  // namespace sql

@@ -2,6 +2,8 @@
 
 #include "sql/parser.h"
 
+#include <utility>
+
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -110,6 +112,13 @@ class Parser {
     return Advance().number;
   }
 
+  /// A typed literal: integer -> Value(int64), 'string' -> Value(string).
+  Result<Value> ExpectLiteral() {
+    if (Peek().type == TokenType::kNumber) return Value(Advance().number);
+    if (Peek().type == TokenType::kString) return Value(Advance().text);
+    return Error("expected a literal (number or 'string')");
+  }
+
   static AggFunc KeywordToAgg(const Token& t) {
     if (t.IsKeyword("COUNT")) return AggFunc::kCount;
     if (t.IsKeyword("SUM")) return AggFunc::kSum;
@@ -185,8 +194,8 @@ class Parser {
     CRACK_RETURN_NOT_OK(ExpectKeyword("VALUES"));
     CRACK_RETURN_NOT_OK(ExpectSymbol("("));
     while (true) {
-      CRACK_ASSIGN_OR_RETURN(int64_t v, ExpectNumber());
-      stmt->values.push_back(v);
+      CRACK_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
+      stmt->values.push_back(std::move(v));
       if (!Peek().IsSymbol(",")) break;
       Advance();
     }
@@ -212,7 +221,7 @@ class Parser {
       CRACK_ASSIGN_OR_RETURN(set.column, ExpectIdentifier("SET column"));
       if (!Peek().IsSymbol("=")) return Error("expected '=' in SET clause");
       Advance();
-      CRACK_ASSIGN_OR_RETURN(set.value, ExpectNumber());
+      CRACK_ASSIGN_OR_RETURN(set.value, ExpectLiteral());
       stmt->sets.push_back(std::move(set));
       if (!Peek().IsSymbol(",")) break;
       Advance();
@@ -231,23 +240,27 @@ class Parser {
                              ExpectIdentifier("predicate column"));
       if (Peek().IsKeyword("BETWEEN")) {
         Advance();
-        CRACK_ASSIGN_OR_RETURN(int64_t lo, ExpectNumber());
+        CRACK_ASSIGN_OR_RETURN(Value lo, ExpectLiteral());
         CRACK_RETURN_NOT_OK(ExpectKeyword("AND"));
-        CRACK_ASSIGN_OR_RETURN(int64_t hi, ExpectNumber());
-        pred.range = RangeBounds::Closed(lo, hi);
+        CRACK_ASSIGN_OR_RETURN(Value hi, ExpectLiteral());
+        if (lo.is_string() != hi.is_string()) {
+          return Error("BETWEEN endpoints must both be numbers or both be "
+                       "strings");
+        }
+        pred.range = TypedRange::Closed(std::move(lo), std::move(hi));
       } else if (Peek().type == TokenType::kOperator) {
         std::string op = Advance().text;
-        CRACK_ASSIGN_OR_RETURN(int64_t v, ExpectNumber());
+        CRACK_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
         if (op == "<") {
-          pred.range = RangeBounds::LessThan(v);
+          pred.range = TypedRange::LessThan(std::move(v));
         } else if (op == "<=") {
-          pred.range = RangeBounds::AtMost(v);
+          pred.range = TypedRange::AtMost(std::move(v));
         } else if (op == ">") {
-          pred.range = RangeBounds::GreaterThan(v);
+          pred.range = TypedRange::GreaterThan(std::move(v));
         } else if (op == ">=") {
-          pred.range = RangeBounds::AtLeast(v);
+          pred.range = TypedRange::AtLeast(std::move(v));
         } else if (op == "=") {
-          pred.range = RangeBounds::Equal(v);
+          pred.range = TypedRange::Equal(std::move(v));
         } else {
           return Error("operator '" + op + "' is not supported (use ranges)");
         }

@@ -4,24 +4,28 @@
 //
 //   statement   := select_stmt | insert_stmt | delete_stmt | update_stmt
 //   select_stmt := SELECT select_list FROM table [join] [where] [group] [;]
-//   insert_stmt := INSERT INTO table VALUES '(' number (',' number)* ')' [;]
+//   insert_stmt := INSERT INTO table VALUES '(' literal (',' literal)* ')' [;]
 //   delete_stmt := DELETE FROM table [where] [;]
 //   update_stmt := UPDATE table SET assignment (',' assignment)* [where] [;]
-//   assignment  := column '=' number
+//   assignment  := column '=' literal
 //   select_list := '*' | COUNT '(' '*' ')' | item (',' item)*
 //   item        := column | agg '(' column ')'
 //   agg         := COUNT | SUM | MIN | MAX
 //   join        := JOIN table ON qualified '=' qualified
 //   qualified   := table '.' column
 //   where       := WHERE predicate (AND predicate)*
-//   predicate   := column op number | column BETWEEN number AND number
+//   predicate   := column op literal | column BETWEEN literal AND literal
 //   op          := '<' | '<=' | '>' | '>=' | '=' | '<>'
+//   literal     := number | string        (strings single-quoted, '' escape)
 //   group       := GROUP BY column
 //
 // The WHERE clause is exactly the paper's selection-cracker shape: simple
 // (range) conditions `attr θ cst` / `attr ∈ [low, high]` in conjunctive
 // form (§3.1, eq. 1) — shared verbatim by SELECT, DELETE and UPDATE, so
-// every DML predicate is also advice to crack.
+// every DML predicate is also advice to crack. Literals are typed end to
+// end: a string literal stays a string through the predicate (TypedRange)
+// or DML value (Value) until the dictionary-encoded access path translates
+// it to its code domain; BETWEEN endpoints must be of one family.
 
 #ifndef CRACKSTORE_SQL_PARSER_H_
 #define CRACKSTORE_SQL_PARSER_H_
@@ -31,7 +35,9 @@
 #include <vector>
 
 #include "core/range_bounds.h"
+#include "core/typed_range.h"
 #include "sql/lexer.h"
+#include "storage/types.h"
 #include "util/result.h"
 
 namespace crackstore {
@@ -57,10 +63,11 @@ struct JoinClause {
   std::string right_column;
 };
 
-/// One conjunct of the WHERE clause, already normalized to RangeBounds.
+/// One conjunct of the WHERE clause, already normalized to a typed range
+/// (integer literals int64-widened, string literals kept as strings).
 struct Predicate {
   std::string column;
-  RangeBounds range;
+  TypedRange range;
 };
 
 /// A parsed SELECT statement.
@@ -74,11 +81,12 @@ struct SelectStatement {
   std::optional<std::string> group_by;
 };
 
-/// A parsed INSERT statement (positional values, integer literals widened
-/// to the column types at execution).
+/// A parsed INSERT statement (positional, typed literals: integers widen
+/// to the column types at execution, strings intern into the column's
+/// dictionary).
 struct InsertStatement {
   std::string table;
-  std::vector<int64_t> values;
+  std::vector<Value> values;
 };
 
 /// A parsed DELETE statement (empty `where` = all rows).
@@ -87,10 +95,10 @@ struct DeleteStatement {
   std::vector<Predicate> where;
 };
 
-/// One SET clause of an UPDATE.
+/// One SET clause of an UPDATE (typed literal).
 struct SetClause {
   std::string column;
-  int64_t value = 0;
+  Value value;
 };
 
 /// A parsed UPDATE statement (empty `where` = all rows).

@@ -99,6 +99,38 @@ Status Bat::SetNumeric(size_t i, int64_t value) {
                 ValueTypeName(tail_type_)));
 }
 
+Status Bat::SetString(size_t i, std::string_view s) {
+  if (i >= count_) {
+    return Status::InvalidArgument(
+        StrFormat("row %zu out of range (size %zu)", i, count_));
+  }
+  if (tail_type_ != ValueType::kString) {
+    return Status::TypeMismatch(
+        StrFormat("cannot overwrite %s tail with a string",
+                  ValueTypeName(tail_type_)));
+  }
+  uint64_t offset = heap_->Intern(s);
+  std::memcpy(data_.data() + i * width_, &offset, sizeof(uint64_t));
+  InvalidateStats();
+  return Status::OK();
+}
+
+Status Bat::SetValue(size_t i, const Value& v) {
+  if (v.is_string()) return SetString(i, v.AsString());
+  if (tail_type_ == ValueType::kFloat64 && v.is_double()) {
+    if (i >= count_) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu out of range (size %zu)", i, count_));
+    }
+    MutableTailData<double>()[i] = v.AsDouble();
+    return Status::OK();
+  }
+  if (v.is_null()) {
+    return Status::InvalidArgument("cannot overwrite with a null value");
+  }
+  return SetNumeric(i, v.ToInt64());
+}
+
 Value Bat::GetValue(size_t i) const {
   CRACK_DCHECK(i < count_);
   switch (tail_type_) {

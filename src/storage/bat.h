@@ -112,6 +112,14 @@ class Bat {
   /// (update write-through). Fails on string tails and narrowing overflow.
   Status SetNumeric(size_t i, int64_t value);
 
+  /// Overwrites element i of a string tail with `s` (interned into the
+  /// heap). Fails on non-string tails.
+  Status SetString(size_t i, std::string_view s);
+
+  /// Typed overwrite of element i: strings route to SetString, numerics to
+  /// the matching width (preserving double fractions, unlike SetNumeric).
+  Status SetValue(size_t i, const Value& v);
+
   /// Reads element i as a dynamically-typed Value.
   Value GetValue(size_t i) const;
 

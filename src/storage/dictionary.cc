@@ -1,0 +1,176 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "storage/dictionary.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "storage/bat.h"
+#include "util/string_util.h"
+
+namespace crackstore {
+
+StringDictionary::StringDictionary(std::shared_ptr<VarHeap> heap, int64_t gap)
+    : heap_(std::move(heap)), gap_(gap) {
+  CRACK_DCHECK(heap_ != nullptr);
+  CRACK_DCHECK(gap_ >= 2);
+}
+
+Result<StringDictionary> StringDictionary::FromColumn(const Bat& column,
+                                                      int64_t gap) {
+  if (column.tail_type() != ValueType::kString) {
+    return Status::TypeMismatch(
+        StrFormat("dictionary needs a string column; %s is %s",
+                  column.name().c_str(), ValueTypeName(column.tail_type())));
+  }
+  StringDictionary dict(column.heap(), gap);
+  // The heap deduplicates, so distinct offsets are exactly the distinct
+  // strings of the column.
+  std::unordered_set<uint64_t> seen;
+  const uint64_t* offsets = column.TailData<uint64_t>();
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (seen.insert(offsets[i]).second) {
+      dict.entries_.push_back(Entry{offsets[i], 0});
+    }
+  }
+  std::sort(dict.entries_.begin(), dict.entries_.end(),
+            [&dict](const Entry& a, const Entry& b) {
+              return dict.Str(a) < dict.Str(b);
+            });
+  // Shrink the grid when the distinct count would overflow int64 at the
+  // requested spacing (keeps bulk loads of huge dictionaries valid).
+  int64_t n = static_cast<int64_t>(dict.entries_.size());
+  if (n > 0 && dict.gap_ > std::numeric_limits<int64_t>::max() / (n + 1)) {
+    dict.gap_ = std::max<int64_t>(2, std::numeric_limits<int64_t>::max() /
+                                         (n + 2));
+  }
+  for (size_t i = 0; i < dict.entries_.size(); ++i) {
+    dict.entries_[i].code = (static_cast<int64_t>(i) + 1) * dict.gap_;
+  }
+  return dict;
+}
+
+size_t StringDictionary::LowerBound(std::string_view s) const {
+  size_t lo = 0;
+  size_t hi = entries_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (Str(entries_[mid]) < s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool StringDictionary::CodeFor(std::string_view s, int64_t* code) const {
+  size_t pos = LowerBound(s);
+  if (pos == entries_.size() || Str(entries_[pos]) != s) return false;
+  *code = entries_[pos].code;
+  return true;
+}
+
+std::string_view StringDictionary::StringFor(int64_t code) const {
+  // Codes ascend with strings, so the entry table is sorted by code too.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), code,
+      [](const Entry& e, int64_t c) { return e.code < c; });
+  CRACK_DCHECK(it != entries_.end() && it->code == code);
+  return Str(*it);
+}
+
+bool StringDictionary::CeilCode(std::string_view s, int64_t* code) const {
+  size_t pos = LowerBound(s);
+  if (pos == entries_.size()) return false;
+  *code = entries_[pos].code;
+  return true;
+}
+
+bool StringDictionary::FloorCode(std::string_view s, int64_t* code) const {
+  size_t pos = LowerBound(s);
+  if (pos < entries_.size() && Str(entries_[pos]) == s) {
+    *code = entries_[pos].code;
+    return true;
+  }
+  if (pos == 0) return false;
+  *code = entries_[pos - 1].code;
+  return true;
+}
+
+void StringDictionary::Rebuild(RemapMap* remap) {
+  remap->clear();
+  remap->reserve(entries_.size());
+  int64_t n = static_cast<int64_t>(entries_.size());
+  if (n > 0 && gap_ > std::numeric_limits<int64_t>::max() / (n + 1)) {
+    gap_ = std::max<int64_t>(2, std::numeric_limits<int64_t>::max() / (n + 2));
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    int64_t fresh = (static_cast<int64_t>(i) + 1) * gap_;
+    (*remap)[entries_[i].code] = fresh;
+    entries_[i].code = fresh;
+  }
+  ++rebuilds_;
+}
+
+int64_t StringDictionary::InternOrdered(std::string_view s,
+                                        const RemapHook& remap) {
+  size_t pos = LowerBound(s);
+  if (pos < entries_.size() && Str(entries_[pos]) == s) {
+    return entries_[pos].code;  // known string: idempotent
+  }
+
+  int64_t code = 0;
+  bool fits = false;
+  if (entries_.empty()) {
+    code = gap_;
+    fits = true;
+  } else if (pos == 0) {
+    // New global minimum: step below the current front (never exhausts
+    // until the int64 floor).
+    int64_t front = entries_.front().code;
+    if (front > std::numeric_limits<int64_t>::min() + gap_) {
+      code = front - gap_;
+      fits = true;
+    }
+  } else if (pos == entries_.size()) {
+    // New global maximum: the common append-at-the-end shape.
+    int64_t back = entries_.back().code;
+    if (back < std::numeric_limits<int64_t>::max() - gap_) {
+      code = back + gap_;
+      fits = true;
+    }
+  } else {
+    // Strictly between two neighbors: take the midpoint of their codes.
+    int64_t before = entries_[pos - 1].code;
+    int64_t after = entries_[pos].code;
+    if (after - before >= 2) {
+      code = before + (after - before) / 2;
+      fits = true;
+    }
+  }
+
+  if (!fits) {
+    // Gap exhausted: reassign everything on the grid, let dependents remap
+    // their code columns/accelerators, then slot the new string in.
+    RemapMap mapping;
+    Rebuild(&mapping);
+    if (remap != nullptr) remap(mapping);
+    if (pos == 0) {
+      code = entries_.front().code - gap_;
+    } else if (pos == entries_.size()) {
+      code = entries_.back().code + gap_;
+    } else {
+      code = entries_[pos - 1].code +
+             (entries_[pos].code - entries_[pos - 1].code) / 2;
+    }
+  }
+
+  uint64_t offset = heap_->Intern(s);
+  entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(pos),
+                  Entry{offset, code});
+  return code;
+}
+
+}  // namespace crackstore

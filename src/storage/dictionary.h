@@ -1,0 +1,116 @@
+// Copyright 2026 The CrackStore Authors
+//
+// StringDictionary: the order-preserving encoding layer between the string
+// storage substrate (VarHeap, paper Fig. 7) and the numeric crack kernels.
+// Every distinct string of a column maps to a dense-ish int64 code such
+// that code(a) < code(b) iff a < b (bytewise), so range and equality
+// predicates over strings become range predicates over codes and the
+// existing cracker machinery applies unchanged.
+//
+// Codes are assigned on a gapped grid (multiples of `gap`), so an unseen
+// string that sorts *between* two known strings usually takes the midpoint
+// of its neighbors' codes without disturbing anything already encoded. Only
+// when a gap is exhausted (or the code domain would overflow) does the
+// dictionary reassign every code — and then it reports the old->new mapping
+// through a caller-supplied remap hook, so code columns and accelerators
+// built on the old assignment can follow. The mapping is monotone: relative
+// order of codes never changes, which is what lets a cracked column stay
+// cracked across a rebuild.
+
+#ifndef CRACKSTORE_STORAGE_DICTIONARY_H_
+#define CRACKSTORE_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/var_heap.h"
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace crackstore {
+
+class Bat;
+
+/// See file comment.
+class StringDictionary {
+ public:
+  /// Default spacing between adjacent codes: 2^32 leaves ~32 midpoint
+  /// insertions between any two neighbors before a rebuild.
+  static constexpr int64_t kDefaultGap = int64_t{1} << 32;
+
+  /// An empty dictionary interning into `heap` (shared with the column it
+  /// encodes, so offset equality keeps implying string equality).
+  explicit StringDictionary(std::shared_ptr<VarHeap> heap,
+                            int64_t gap = kDefaultGap);
+
+  /// Builds the dictionary over the distinct strings of a kString column
+  /// (sharing its heap). Fails on a non-string column.
+  static Result<StringDictionary> FromColumn(const Bat& column,
+                                             int64_t gap = kDefaultGap);
+
+  StringDictionary(StringDictionary&&) = default;
+  StringDictionary& operator=(StringDictionary&&) = default;
+  CRACK_DISALLOW_COPY_AND_ASSIGN(StringDictionary);
+
+  /// Distinct strings encoded.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Full-reassignment count (diagnostics; each one fired the remap hook).
+  size_t rebuilds() const { return rebuilds_; }
+
+  int64_t gap() const { return gap_; }
+
+  /// Exact lookup: the code of `s`, if interned.
+  bool CodeFor(std::string_view s, int64_t* code) const;
+
+  /// The string behind `code` (must be a code this dictionary handed out).
+  std::string_view StringFor(int64_t code) const;
+
+  /// The smallest code whose string is >= `s` (false when `s` sorts after
+  /// every interned string). With `CeilCode`/`FloorCode` any string range
+  /// translates to a code range, interned or not.
+  bool CeilCode(std::string_view s, int64_t* code) const;
+
+  /// The largest code whose string is <= `s` (false when `s` sorts before
+  /// every interned string).
+  bool FloorCode(std::string_view s, int64_t* code) const;
+
+  /// Old code -> new code, monotone. Only pre-existing codes appear.
+  using RemapMap = std::unordered_map<int64_t, int64_t>;
+  using RemapHook = std::function<void(const RemapMap&)>;
+
+  /// Interns `s` with an order-preserving code (idempotent for known
+  /// strings). When the neighboring codes leave no integer in between, all
+  /// codes are reassigned on the gapped grid and `remap` fires with the
+  /// old->new mapping *before* the new code is returned, so the caller can
+  /// rewrite dependent state first.
+  int64_t InternOrdered(std::string_view s, const RemapHook& remap = nullptr);
+
+ private:
+  struct Entry {
+    uint64_t offset;  ///< heap offset of the string
+    int64_t code;
+  };
+
+  std::string_view Str(const Entry& e) const { return heap_->Read(e.offset); }
+
+  /// Index of the first entry whose string is >= `s`.
+  size_t LowerBound(std::string_view s) const;
+
+  /// Reassigns every code on the gapped grid; fills `*remap` old -> new.
+  void Rebuild(RemapMap* remap);
+
+  std::shared_ptr<VarHeap> heap_;
+  std::vector<Entry> entries_;  ///< ascending by string and (hence) by code
+  int64_t gap_;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_STORAGE_DICTIONARY_H_

@@ -76,6 +76,32 @@ TEST(VarHeapTest, EmptyString) {
   VarHeap heap;
   uint64_t off = heap.Intern("");
   EXPECT_EQ(heap.Read(off), "");
+  // The empty string deduplicates like any other and costs no payload.
+  EXPECT_EQ(heap.Intern(""), off);
+  EXPECT_EQ(heap.num_strings(), 1u);
+}
+
+TEST(VarHeapTest, NonAsciiBytes) {
+  VarHeap heap;
+  std::string bytes("\x00\xff\x7f\x80", 4);  // embedded NUL and high bytes
+  uint64_t off = heap.Intern(bytes);
+  std::string_view read = heap.Read(off);
+  ASSERT_EQ(read.size(), 4u);
+  EXPECT_EQ(read, std::string_view(bytes));
+  EXPECT_EQ(heap.Intern(bytes), off);  // dedup sees the full byte string
+  // A prefix that stops at the NUL is a different string.
+  EXPECT_NE(heap.Intern(std::string_view("\x00", 1)), off);
+  EXPECT_EQ(heap.num_strings(), 2u);
+}
+
+TEST(VarHeapTest, PayloadBytesGrowOnlyForFreshStrings) {
+  VarHeap heap;
+  size_t before = heap.payload_bytes();
+  heap.Intern("abc");
+  size_t after_first = heap.payload_bytes();
+  EXPECT_GT(after_first, before);
+  heap.Intern("abc");  // duplicate: no growth
+  EXPECT_EQ(heap.payload_bytes(), after_first);
 }
 
 TEST(BatTest, AppendAndGetTyped) {
@@ -131,6 +157,46 @@ TEST(BatTest, StringTail) {
   EXPECT_EQ(bat->GetString(1), "bar");
   EXPECT_EQ(bat->GetString(2), "foo");
   EXPECT_EQ(bat->heap()->num_strings(), 2u);
+}
+
+TEST(BatTest, SetNumericRejectsStringTailsWithStatus) {
+  auto bat = Bat::Create(ValueType::kString, "s");
+  bat->AppendString("foo");
+  Status st = bat->SetNumeric(0, 42);
+  ASSERT_TRUE(st.IsTypeMismatch());
+  EXPECT_NE(st.message().find("string"), std::string::npos);
+  EXPECT_EQ(bat->GetString(0), "foo");  // untouched
+  // Out-of-range rows error before the type check path.
+  EXPECT_TRUE(bat->SetNumeric(5, 1).IsInvalidArgument());
+}
+
+TEST(BatTest, SetStringOverwritesInPlace) {
+  auto bat = Bat::Create(ValueType::kString, "s");
+  bat->AppendString("old");
+  bat->AppendString("keep");
+  ASSERT_TRUE(bat->SetString(0, "new").ok());
+  EXPECT_EQ(bat->GetString(0), "new");
+  EXPECT_EQ(bat->GetString(1), "keep");
+  EXPECT_TRUE(bat->SetString(9, "x").IsInvalidArgument());
+  // Non-string tails reject string overwrites symmetrically.
+  auto ints = Bat::FromVector(std::vector<int64_t>{1}, "i");
+  EXPECT_TRUE(ints->SetString(0, "x").IsTypeMismatch());
+}
+
+TEST(BatTest, SetValueDispatchesByType) {
+  auto strings = Bat::Create(ValueType::kString, "s");
+  strings->AppendString("a");
+  ASSERT_TRUE(strings->SetValue(0, Value(std::string("b"))).ok());
+  EXPECT_EQ(strings->GetString(0), "b");
+  auto doubles = Bat::FromVector(std::vector<double>{1.0}, "d");
+  ASSERT_TRUE(doubles->SetValue(0, Value(2.5)).ok());
+  EXPECT_DOUBLE_EQ(doubles->Get<double>(0), 2.5);  // fraction preserved
+  auto ints = Bat::FromVector(std::vector<int32_t>{1}, "i");
+  ASSERT_TRUE(ints->SetValue(0, Value(int64_t{7})).ok());
+  EXPECT_EQ(ints->Get<int32_t>(0), 7);
+  EXPECT_TRUE(
+      ints->SetValue(0, Value(int64_t{1} << 40)).IsInvalidArgument());
+  EXPECT_TRUE(ints->SetValue(0, Value()).IsInvalidArgument());  // null
 }
 
 TEST(BatTest, StatsMinMaxSorted) {

@@ -66,6 +66,27 @@ TEST(LexerTest, RejectsGarbage) {
   EXPECT_FALSE(Tokenize("select # t").ok());
 }
 
+TEST(LexerTest, StringLiterals) {
+  auto tokens = *Tokenize("'hello' 'it''s' ''");
+  ASSERT_EQ(tokens.size(), 4u);  // three strings + end
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].type, TokenType::kString);
+  EXPECT_EQ(tokens[1].text, "it's");  // '' decodes to a single quote
+  EXPECT_EQ(tokens[2].type, TokenType::kString);
+  EXPECT_EQ(tokens[2].text, "");  // the empty string is a valid literal
+}
+
+TEST(LexerTest, UnterminatedStringLiteral) {
+  auto result = Tokenize("SELECT * FROM t WHERE name = 'oops");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unterminated string literal"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("position"), std::string::npos);
+  // A trailing '' escape must not read past the end either.
+  EXPECT_FALSE(Tokenize("WHERE name = 'trailing''").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Parser.
 // ---------------------------------------------------------------------------
@@ -100,6 +121,31 @@ TEST(ParserTest, AllComparisonOperators) {
   auto eq = *Parse("SELECT COUNT(*) FROM R WHERE a = 5");
   EXPECT_TRUE(eq.where[0].range.Contains(5));
   EXPECT_FALSE(eq.where[0].range.Contains(4));
+}
+
+TEST(ParserTest, StringPredicates) {
+  auto eq = *Parse("SELECT COUNT(*) FROM P WHERE name = 'gadget'");
+  ASSERT_EQ(eq.where.size(), 1u);
+  EXPECT_TRUE(eq.where[0].range.has_string());
+  EXPECT_TRUE(eq.where[0].range.Contains("gadget"));
+  EXPECT_FALSE(eq.where[0].range.Contains("gizmo"));
+
+  auto between = *Parse("SELECT * FROM P WHERE name BETWEEN 'a' AND 'mzz'");
+  EXPECT_TRUE(between.where[0].range.Contains("banana"));
+  EXPECT_FALSE(between.where[0].range.Contains("zebra"));
+
+  auto lt = *Parse("SELECT COUNT(*) FROM P WHERE name < 'm'");
+  EXPECT_TRUE(lt.where[0].range.Contains("alpha"));
+  EXPECT_FALSE(lt.where[0].range.Contains("m"));
+
+  // Mixed-family BETWEEN endpoints are a parse error.
+  EXPECT_FALSE(Parse("SELECT * FROM P WHERE name BETWEEN 'a' AND 5").ok());
+}
+
+TEST(ParserTest, UpdateWithStringLiteral) {
+  auto stmt = *ParseStatement("UPDATE P SET name = 'widget' WHERE qty = 3");
+  ASSERT_EQ(stmt.update.sets.size(), 1u);
+  EXPECT_EQ(stmt.update.sets[0].value, Value(std::string("widget")));
 }
 
 TEST(ParserTest, ConjunctiveWhere) {
@@ -147,7 +193,19 @@ TEST(ParserTest, InsertStatement) {
   auto stmt = *ParseStatement("INSERT INTO R VALUES (1, -2, 30);");
   ASSERT_EQ(stmt.kind, StatementKind::kInsert);
   EXPECT_EQ(stmt.insert.table, "R");
-  EXPECT_EQ(stmt.insert.values, (std::vector<int64_t>{1, -2, 30}));
+  ASSERT_EQ(stmt.insert.values.size(), 3u);
+  EXPECT_EQ(stmt.insert.values[0], Value(int64_t{1}));
+  EXPECT_EQ(stmt.insert.values[1], Value(int64_t{-2}));
+  EXPECT_EQ(stmt.insert.values[2], Value(int64_t{30}));
+}
+
+TEST(ParserTest, InsertStatementWithStringLiterals) {
+  auto stmt = *ParseStatement("INSERT INTO P VALUES ('widget', 7, 'a''b')");
+  ASSERT_EQ(stmt.kind, StatementKind::kInsert);
+  ASSERT_EQ(stmt.insert.values.size(), 3u);
+  EXPECT_EQ(stmt.insert.values[0], Value(std::string("widget")));
+  EXPECT_EQ(stmt.insert.values[1], Value(int64_t{7}));
+  EXPECT_EQ(stmt.insert.values[2], Value(std::string("a'b")));
 }
 
 TEST(ParserTest, DeleteStatement) {
@@ -169,9 +227,9 @@ TEST(ParserTest, UpdateStatement) {
   EXPECT_EQ(stmt.update.table, "R");
   ASSERT_EQ(stmt.update.sets.size(), 2u);
   EXPECT_EQ(stmt.update.sets[0].column, "c0");
-  EXPECT_EQ(stmt.update.sets[0].value, 5);
+  EXPECT_EQ(stmt.update.sets[0].value, Value(int64_t{5}));
   EXPECT_EQ(stmt.update.sets[1].column, "c1");
-  EXPECT_EQ(stmt.update.sets[1].value, -7);
+  EXPECT_EQ(stmt.update.sets[1].value, Value(int64_t{-7}));
   EXPECT_EQ(stmt.update.where.size(), 2u);
 }
 

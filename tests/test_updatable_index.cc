@@ -91,6 +91,19 @@ TEST(UpdatableIndexTest, DeletePendingInsertCancelsIt) {
   EXPECT_EQ(index.Select(0, true, 100, true).count(), 1u);
 }
 
+TEST(UpdatableIndexTest, CancelledPendingInsertStaysDead) {
+  // Regression: a Delete() that cancels a pending insert must leave the oid
+  // dead — a later Update() used to fall through the merged-tuple branch
+  // and resurrect the row; a second Delete() used to report OK.
+  auto col = I64({10});
+  UpdatableCrackerIndex<int64_t> index(col, nullptr, NoAutoMerge());
+  ASSERT_TRUE(index.Insert(50, 1).ok());
+  ASSERT_TRUE(index.Delete(1).ok());
+  EXPECT_TRUE(index.Update(60, 1).IsNotFound());
+  EXPECT_TRUE(index.Delete(1).IsAlreadyExists());
+  EXPECT_EQ(index.Select(0, true, 100, true).count(), 1u);  // only oid 0
+}
+
 TEST(UpdatableIndexTest, MergeFoldsDeltasAndPreservesBounds) {
   auto col = BuildPermutationColumn(1000, 3, "perm");
   UpdatableCrackerIndex<int64_t> index(col, nullptr, NoAutoMerge());

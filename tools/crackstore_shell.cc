@@ -4,6 +4,8 @@
 // one command per line from stdin (pipe a script or type interactively):
 //
 //   create tapestry R 1000000 2        # build a permutation table
+//   create strings P 100000 64         # (s:string, v:int64) sample table
+//   SELECT COUNT(*) FROM P WHERE s < 'k000032'   # strings crack too
 //   select R c0 1000 2000              # crack-select a closed range
 //   select R c0 1000 2000 materialize  # ... materializing the rows
 //   where R c0 < 500                   # one-sided predicates (< <= > >= =)
@@ -36,6 +38,7 @@
 
 #include "core/adaptive_store.h"
 #include "sql/executor.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "workload/tapestry.h"
 
@@ -158,7 +161,10 @@ class Shell {
     std::printf(
         "commands:\n"
         "  create tapestry <name> <rows> <cols> [seed]\n"
+        "  create strings <name> <rows> [cardinality] [seed]   (s:string, v:int64)\n"
         "  SELECT ... FROM ... [WHERE|JOIN|GROUP BY] (SQL subset; or sql <stmt>)\n"
+        "    literals: integers or 'strings' ('' escapes a quote), e.g.\n"
+        "    SELECT COUNT(*) FROM P WHERE s BETWEEN 'a' AND 'k'\n"
         "  INSERT INTO <t> VALUES (v, ...) | DELETE FROM <t> [WHERE ...]\n"
         "  UPDATE <t> SET <col> = v [, ...] [WHERE ...]\n"
         "  select <table> <col> <lo> <hi> [count|view|materialize]\n"
@@ -178,12 +184,22 @@ class Shell {
   }
 
   Status Create(std::istringstream* in) {
-    std::string kind, name;
+    std::string kind;
+    *in >> kind;
+    if (kind == "tapestry") return CreateTapestry(in);
+    if (kind == "strings") return CreateStrings(in);
+    return Status::InvalidArgument(
+        "usage: create tapestry <name> <rows> [cols] [seed]  |  "
+        "create strings <name> <rows> [cardinality] [seed]");
+  }
+
+  Status CreateTapestry(std::istringstream* in) {
+    std::string name;
     uint64_t rows = 0, cols = 2, seed = 20040901;
-    *in >> kind >> name >> rows;
+    *in >> name >> rows;
     if (!(*in >> cols)) cols = 2;
     if (!(*in >> seed)) seed = 20040901;
-    if (kind != "tapestry" || name.empty() || rows == 0) {
+    if (name.empty() || rows == 0) {
       return Status::InvalidArgument(
           "usage: create tapestry <name> <rows> [cols] [seed]");
     }
@@ -196,6 +212,42 @@ class Shell {
     std::printf("created %s (%llu rows, %llu permutation columns)\n",
                 name.c_str(), static_cast<unsigned long long>(rows),
                 static_cast<unsigned long long>(cols));
+    return Status::OK();
+  }
+
+  /// A two-column (s:string, v:int64) table whose string attribute draws
+  /// from `cardinality` zero-padded keys — the playground for the
+  /// dictionary-encoded access paths (string predicates crack the code
+  /// column; watch with `explain <name> s`).
+  Status CreateStrings(std::istringstream* in) {
+    std::string name;
+    uint64_t rows = 0, cardinality = 64, seed = 20040901;
+    *in >> name >> rows;
+    if (!(*in >> cardinality)) cardinality = 64;
+    if (!(*in >> seed)) seed = 20040901;
+    if (name.empty() || rows == 0 || cardinality == 0) {
+      return Status::InvalidArgument(
+          "usage: create strings <name> <rows> [cardinality] [seed]");
+    }
+    CRACK_ASSIGN_OR_RETURN(
+        auto rel,
+        Relation::Create(name, Schema({{"s", ValueType::kString},
+                                       {"v", ValueType::kInt64}})));
+    Pcg32 rng(seed);
+    for (uint64_t i = 0; i < rows; ++i) {
+      std::string key = StrFormat(
+          "k%06llu", static_cast<unsigned long long>(rng.NextBounded(
+                         static_cast<uint32_t>(cardinality))));
+      Status st = rel->AppendRow(
+          {Value(std::move(key)),
+           Value(rng.NextInRange(1, static_cast<int64_t>(rows)))});
+      CRACK_RETURN_NOT_OK(st);
+    }
+    CRACK_RETURN_NOT_OK(store_->AddTable(rel));
+    std::printf("created %s (%llu rows, s:string over %llu distinct keys, "
+                "v:int64)\n",
+                name.c_str(), static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(cardinality));
     return Status::OK();
   }
 
