@@ -24,10 +24,11 @@ int Run(int argc, char** argv) {
   base.steps = flags.GetUint("steps", 20);
   base.seed = flags.GetUint("seed", 20040901);
   base.repetitions = flags.GetUint("reps", 10);
+  std::string json_path = flags.GetString("json", "");
 
   bench::Banner("fig02_crack_overhead", "Fig. 2 of CIDR'05 cracking",
                 StrFormat("n=%llu steps=%zu reps=%llu (--n=, --steps=, "
-                          "--reps=, --seed=)",
+                          "--reps=, --seed=, --json=)",
                           static_cast<unsigned long long>(base.num_granules),
                           base.steps,
                           static_cast<unsigned long long>(base.repetitions)));
@@ -59,6 +60,30 @@ int Run(int argc, char** argv) {
     out.AddRow(std::move(row));
   }
   out.PrintCsv(stdout);
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig02_crack_overhead\",\n"
+                 "  \"n\": %llu,\n  \"series\": [\n",
+                 static_cast<unsigned long long>(base.num_granules));
+    for (size_t s = 0; s < selectivities.size(); ++s) {
+      std::fprintf(f, "    {\"selectivity\": %.2f, \"overhead\": [",
+                   selectivities[s]);
+      for (size_t step = 0; step < base.steps; ++step) {
+        std::fprintf(f, "%s%.4f", step == 0 ? "" : ", ",
+                     results[s].steps[step].fractional_write_overhead);
+      }
+      std::fprintf(f, "]}%s\n", s + 1 < selectivities.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "# wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 

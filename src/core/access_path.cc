@@ -3,12 +3,18 @@
 #include "core/access_path.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <limits>
+#include <mutex>
 #include <type_traits>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "core/latch.h"
 #include "core/sorted_column.h"
+#include "core/task_pool.h"
 #include "core/updatable_cracker_index.h"
 #include "storage/dictionary.h"
 #include "util/string_util.h"
@@ -130,6 +136,23 @@ Status AlreadyDeletedError(Oid oid) {
                 static_cast<unsigned long long>(oid)));
 }
 
+/// Owner-maintenance poll shared by the delta-carrying paths: do `dirty`
+/// pending deltas against an accelerator of `accel_size` tuples warrant a
+/// fold under `options`?
+bool MaintenanceDue(const DeltaMergeOptions& options, size_t dirty,
+                    size_t accel_size) {
+  if (dirty == 0) return false;
+  switch (options.policy) {
+    case DeltaMergePolicy::kImmediate:
+    case DeltaMergePolicy::kRippleOnSelect:
+      return true;
+    case DeltaMergePolicy::kThreshold:
+      return dirty > static_cast<size_t>(options.threshold_fraction *
+                                         static_cast<double>(accel_size));
+  }
+  return false;
+}
+
 /// The whole column as one undecorated piece.
 std::vector<PieceInfo> WholeColumnPiece(size_t n) {
   PieceInfo piece;
@@ -210,6 +233,31 @@ class CrackAccessPath : public ColumnAccessPath {
   const AccessPathConfig& config() const override { return config_; }
   size_t size() const override { return column_->size(); }
 
+  PathConcurrency concurrency() const override {
+    // Standard-policy cracking parallelizes across pieces (the cuts are the
+    // query bounds and every shuffle is covered by a range lock). The
+    // steered policies read piece spans and draw pivots between cuts, and
+    // merge budgets rewrite the boundary map on every select — both need
+    // the whole index still, i.e. the exclusive latch.
+    return (config_.policy.policy == CrackPolicy::kStandard &&
+            config_.merge_budget.unlimited())
+               ? PathConcurrency::kSharedReads
+               : PathConcurrency::kExclusiveOnly;
+  }
+
+  bool SharedSelectReady() const override {
+    return built_.load(std::memory_order_acquire);
+  }
+
+  bool WantsMaintenance() const override {
+    if (!config_.concurrent || !built_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    return MaintenanceDue(config_.delta_merge,
+                          dirty_count_.load(std::memory_order_relaxed),
+                          accel_size_.load(std::memory_order_relaxed));
+  }
+
   AccessSelection Select(const RangeBounds& range, bool want_oids,
                          IoStats* stats) override {
     T lo, hi;
@@ -220,8 +268,16 @@ class CrackAccessPath : public ColumnAccessPath {
     // Provably-empty range: answer before paying the O(n) index build.
     if (lo > hi || (lo == hi && !(lo_incl && hi_incl))) return out;
 
+    if (config_.concurrent &&
+        concurrency() == PathConcurrency::kSharedReads &&
+        built_.load(std::memory_order_acquire)) {
+      return SelectShared(lo, lo_incl, hi, hi_incl, want_oids, stats);
+    }
+
     EnsureBuilt(stats);
-    MaybeMergeOnSelect(stats);
+    // Concurrent mode defers delta folds to the owner's maintenance hook
+    // (exclusive latch); a raced-in delta is overlaid below instead.
+    if (!config_.concurrent) MaybeMergeOnSelect(stats);
     CrackerIndex<T>* inner = updatable_->mutable_index();
     // Tombstones force the coarse path to gather oids: an answer spanning
     // uncracked edges cannot subtract deleted rows without naming them.
@@ -259,7 +315,12 @@ class CrackAccessPath : public ColumnAccessPath {
 
   Status Insert(const Value& value, Oid oid, IoStats* stats) override {
     if (updatable_ == nullptr) return Status::OK();  // lazy build reads base
-    CRACK_RETURN_NOT_OK(updatable_->Insert(CastValue<T>(value), oid));
+    {
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (config_.concurrent) dl.lock();
+      CRACK_RETURN_NOT_OK(updatable_->Insert(CastValue<T>(value), oid));
+      SyncDirty();
+    }
     if (stats != nullptr) ++stats->tuples_written;
     return MaybeMergeOnWrite(stats);
   }
@@ -269,18 +330,30 @@ class CrackAccessPath : public ColumnAccessPath {
       // Mirror the built path's validation so the answer does not depend on
       // build timing (and so EnsureBuilt's replay cannot fail).
       CRACK_RETURN_NOT_OK(CheckDeletableOid(*column_, oid));
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (config_.concurrent) dl.lock();
       if (!pre_build_deletes_.insert(oid).second) {
         return AlreadyDeletedError(oid);
       }
       return Status::OK();
     }
-    CRACK_RETURN_NOT_OK(updatable_->Delete(oid));
+    {
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (config_.concurrent) dl.lock();
+      CRACK_RETURN_NOT_OK(updatable_->Delete(oid));
+      SyncDirty();
+    }
     return MaybeMergeOnWrite(stats);
   }
 
   Status Update(Oid oid, const Value& value, IoStats* stats) override {
     if (updatable_ == nullptr) return Status::OK();  // base slot overwritten
-    CRACK_RETURN_NOT_OK(updatable_->Update(CastValue<T>(value), oid));
+    {
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (config_.concurrent) dl.lock();
+      CRACK_RETURN_NOT_OK(updatable_->Update(CastValue<T>(value), oid));
+      SyncDirty();
+    }
     if (stats != nullptr) ++stats->tuples_written;
     return MaybeMergeOnWrite(stats);
   }
@@ -290,13 +363,19 @@ class CrackAccessPath : public ColumnAccessPath {
       return Status::OK();
     }
     EnsureBuilt(stats);
-    return updatable_->Merge(stats);
+    Status st = updatable_->Merge(stats);
+    SyncDirty();
+    return st;
   }
 
   size_t pending_inserts() const override {
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
     return updatable_ == nullptr ? 0 : updatable_->pending_inserts();
   }
   size_t pending_deletes() const override {
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
     return updatable_ == nullptr ? pre_build_deletes_.size()
                                  : updatable_->pending_deletes();
   }
@@ -387,9 +466,102 @@ class CrackAccessPath : public ColumnAccessPath {
         updatable_->pending_deletes() > 0) {
       (void)updatable_->Merge(stats);
     }
+    SyncDirty();
+    // Publish readiness last: shared-mode readers may dereference
+    // updatable_ as soon as they observe built_.
+    built_.store(true, std::memory_order_release);
+  }
+
+  /// Mirrors the delta/accelerator sizes into the latch-free counters the
+  /// owner's maintenance poll reads. Callers hold the delta latch or the
+  /// exclusive column latch; a no-op in serial mode.
+  void SyncDirty() {
+    if (!config_.concurrent || updatable_ == nullptr) return;
+    dirty_count_.store(
+        updatable_->pending_inserts() + updatable_->pending_deletes(),
+        std::memory_order_relaxed);
+    accel_size_.store(updatable_->index().size(), std::memory_order_relaxed);
+  }
+
+  /// Shared-latch selection for the standard policy: concurrent cuts under
+  /// piece-granular range locks, answer materialized (never a view — the
+  /// data behind a view may be shuffled by a neighbor the moment the span
+  /// lock drops).
+  AccessSelection SelectShared(T lo, bool lo_incl, T hi, bool hi_incl,
+                               bool want_oids, IoStats* stats) {
+    AccessSelection out;
+    out.contiguous = false;
+    // Stable under the shared latch: swapping the index needs the
+    // exclusive latch (Merge/FlushDeltas).
+    CrackerIndex<T>* inner = updatable_->mutable_index();
+    size_t cut_lo = 0;
+    size_t cut_hi = 0;
+    // Probe first: in steady state both cuts are registered and the select
+    // must not pay batch scheduling for two map lookups.
+    bool have_lo = inner->FindCutConcurrent(lo, !lo_incl, &cut_lo);
+    bool have_hi = inner->FindCutConcurrent(hi, hi_incl, &cut_hi);
+    TaskPool* pool = TaskPool::Global();
+    if (!have_lo && !have_hi && pool->num_threads() > 1) {
+      // Fan the two crack kernels out across pieces: once the column holds
+      // more than one piece the bounds usually land in different pieces,
+      // whose shuffles the range locks let proceed concurrently.
+      IoStats lo_stats, hi_stats;
+      std::vector<std::function<void()>> cuts;
+      cuts.emplace_back(
+          [&] { cut_lo = inner->CutConcurrent(lo, !lo_incl, &lo_stats); });
+      cuts.emplace_back(
+          [&] { cut_hi = inner->CutConcurrent(hi, hi_incl, &hi_stats); });
+      pool->RunBatch(std::move(cuts));
+      if (stats != nullptr) {
+        *stats += lo_stats;
+        *stats += hi_stats;
+      }
+    } else {
+      if (!have_lo) {
+        cut_lo = inner->CutConcurrent(lo, /*want_incl=*/!lo_incl, stats);
+      }
+      if (!have_hi) {
+        cut_hi = inner->CutConcurrent(hi, /*want_incl=*/hi_incl, stats);
+      }
+    }
+    if (cut_hi < cut_lo) cut_hi = cut_lo;
+
+    // Hold the answer span still (no concurrent shuffle inside it) and the
+    // delta latch (stable pending list / tombstones) while forming the
+    // answer. Cut positions themselves never move once registered.
+    RangeLockGuard span = inner->LockRangeShared(cut_lo, cut_hi);
+    std::lock_guard<std::mutex> dl(delta_mu_);
+    size_t tombstones = updatable_->pending_deletes();
+    if (tombstones == 0 && !want_oids) {
+      out.count = cut_hi - cut_lo;  // positions alone answer the count
+    } else {
+      const Oid* oid_data = inner->oids()->template TailData<Oid>();
+      if (want_oids) out.oids.reserve(cut_hi - cut_lo);
+      for (size_t i = cut_lo; i < cut_hi; ++i) {
+        Oid oid = oid_data[i];
+        if (tombstones > 0 && updatable_->IsDeleted(oid)) continue;
+        ++out.count;
+        if (want_oids) out.oids.push_back(oid);
+      }
+      if (stats != nullptr) stats->tuples_read += cut_hi - cut_lo;
+    }
+    for (const auto& [value, oid] : updatable_->pending()) {
+      if (!InRange(value, lo, lo_incl, hi, hi_incl)) continue;
+      ++out.count;
+      if (want_oids) out.oids.push_back(oid);
+    }
+    if (stats != nullptr && !updatable_->pending().empty()) {
+      stats->tuples_read += updatable_->pending().size();
+    }
+    if (want_oids) std::sort(out.oids.begin(), out.oids.end());
+    return out;
   }
 
   Status MaybeMergeOnWrite(IoStats* stats) {
+    // Concurrent mode: merges swap the accelerator, which needs the
+    // exclusive latch; DML runs under the shared one. The owner polls
+    // WantsMaintenance() and flushes under the exclusive latch instead.
+    if (config_.concurrent) return Status::OK();
     switch (config_.delta_merge.policy) {
       case DeltaMergePolicy::kImmediate:
         return updatable_->Merge(stats);
@@ -504,6 +676,11 @@ class CrackAccessPath : public ColumnAccessPath {
   CrackPolicyEngine engine_;
   std::unique_ptr<UpdatableCrackerIndex<T>> updatable_;
   std::unordered_set<Oid> pre_build_deletes_;  ///< tombstones before build
+  // Concurrent-mode state (inert in serial mode).
+  std::atomic<bool> built_{false};     ///< updatable_ is safe to dereference
+  mutable std::mutex delta_mu_;        ///< guards the delta structures
+  std::atomic<size_t> dirty_count_{0};  ///< pending inserts + tombstones
+  std::atomic<size_t> accel_size_{0};   ///< tuples in the cracker column
 };
 
 // --- sort -----------------------------------------------------------------
@@ -518,35 +695,72 @@ class SortAccessPath : public ColumnAccessPath {
   const AccessPathConfig& config() const override { return config_; }
   size_t size() const override { return column_->size(); }
 
+  PathConcurrency concurrency() const override {
+    return PathConcurrency::kSharedReads;
+  }
+
+  bool SharedSelectReady() const override {
+    return built_.load(std::memory_order_acquire);
+  }
+
+  bool WantsMaintenance() const override {
+    if (!config_.concurrent || !built_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    return MaintenanceDue(config_.delta_merge,
+                          dirty_count_.load(std::memory_order_relaxed),
+                          accel_size_.load(std::memory_order_relaxed));
+  }
+
   AccessSelection Select(const RangeBounds& range, bool want_oids,
                          IoStats* stats) override {
+    bool shared_mode =
+        config_.concurrent && built_.load(std::memory_order_acquire);
     if (sorted_ == nullptr) {
       sorted_ = std::make_unique<SortedColumn<T>>(column_, stats);
+      accel_size_.store(sorted_->size(), std::memory_order_relaxed);
+      built_.store(true, std::memory_order_release);
     }
-    MaybeMergeOnSelect(stats);
+    if (!config_.concurrent) MaybeMergeOnSelect(stats);
     T lo, hi;
     bool lo_incl, hi_incl;
     ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
     AccessSelection out;
     out.contiguous = true;
+    // Binary search over the sorted copy: read-only, so safe under the
+    // shared latch (the copy is only replaced under the exclusive one).
     out.view = sorted_->Select(lo, lo_incl, hi, hi_incl, stats);
     out.count = out.view.count();
-    OverlayDeltaAnswer<T>(
-        pending_, deleted_.size(),
-        [this](Oid oid) { return deleted_.count(oid) > 0; }, lo, lo_incl, hi,
-        hi_incl, want_oids, stats, &out);
+    {
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (shared_mode) dl.lock();
+      OverlayDeltaAnswer<T>(
+          pending_, deleted_.size(),
+          [this](Oid oid) { return deleted_.count(oid) > 0; }, lo, lo_incl,
+          hi, hi_incl, want_oids, stats, &out);
+    }
+    // A clean answer stays a contiguous view: unlike a cracker column, the
+    // sorted copy never shuffles under shared readers, so the view is
+    // stable for as long as the caller holds the (shared) column latch.
     return out;
   }
 
   Status Insert(const Value& value, Oid oid, IoStats* stats) override {
     if (sorted_ == nullptr) return Status::OK();  // lazy build reads base
-    pending_.emplace_back(CastValue<T>(value), oid);
+    {
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (config_.concurrent) dl.lock();
+      pending_.emplace_back(CastValue<T>(value), oid);
+      SyncDirty();
+    }
     if (stats != nullptr) ++stats->tuples_written;
     return MaybeMergeOnWrite(stats);
   }
 
   Status Delete(Oid oid, IoStats* stats) override {
     CRACK_RETURN_NOT_OK(CheckDeletableOid(*column_, oid));
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
     if (purged_.count(oid) > 0) return AlreadyDeletedError(oid);
     auto it = std::find_if(pending_.begin(), pending_.end(),
                            [oid](const auto& p) { return p.second == oid; });
@@ -555,28 +769,36 @@ class SortAccessPath : public ColumnAccessPath {
       // a later Update()/Delete() sees a dead row, not a merged tuple.
       pending_.erase(it);
       purged_.insert(oid);
+      SyncDirty();
       return Status::OK();
     }
     if (!deleted_.insert(oid).second) return AlreadyDeletedError(oid);
+    SyncDirty();
     if (sorted_ == nullptr) return Status::OK();  // filtered until a merge
+    if (dl.owns_lock()) dl.unlock();
     return MaybeMergeOnWrite(stats);
   }
 
   Status Update(Oid oid, const Value& value, IoStats* stats) override {
     if (sorted_ == nullptr) return Status::OK();  // base slot overwritten
-    auto it = std::find_if(pending_.begin(), pending_.end(),
-                           [oid](const auto& p) { return p.second == oid; });
-    if (it != pending_.end()) {
-      it->first = CastValue<T>(value);
-      return Status::OK();
+    {
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (config_.concurrent) dl.lock();
+      auto it = std::find_if(pending_.begin(), pending_.end(),
+                             [oid](const auto& p) { return p.second == oid; });
+      if (it != pending_.end()) {
+        it->first = CastValue<T>(value);
+        return Status::OK();
+      }
+      if (purged_.count(oid) > 0 || deleted_.count(oid) > 0) {
+        return Status::NotFound(
+            StrFormat("oid %llu is deleted",
+                      static_cast<unsigned long long>(oid)));
+      }
+      deleted_.insert(oid);
+      pending_.emplace_back(CastValue<T>(value), oid);
+      SyncDirty();
     }
-    if (purged_.count(oid) > 0 || deleted_.count(oid) > 0) {
-      return Status::NotFound(
-          StrFormat("oid %llu is deleted",
-                    static_cast<unsigned long long>(oid)));
-    }
-    deleted_.insert(oid);
-    pending_.emplace_back(CastValue<T>(value), oid);
     if (stats != nullptr) ++stats->tuples_written;
     return MaybeMergeOnWrite(stats);
   }
@@ -587,12 +809,22 @@ class SortAccessPath : public ColumnAccessPath {
     }
     if (sorted_ == nullptr) {
       sorted_ = std::make_unique<SortedColumn<T>>(column_, stats);
+      accel_size_.store(sorted_->size(), std::memory_order_relaxed);
+      built_.store(true, std::memory_order_release);
     }
     return MergeDeltas(stats);
   }
 
-  size_t pending_inserts() const override { return pending_.size(); }
-  size_t pending_deletes() const override { return deleted_.size(); }
+  size_t pending_inserts() const override {
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
+    return pending_.size();
+  }
+  size_t pending_deletes() const override {
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
+    return deleted_.size();
+  }
   size_t merges_performed() const override { return merges_; }
 
   std::vector<PieceInfo> Pieces() const override {
@@ -622,7 +854,18 @@ class SortAccessPath : public ColumnAccessPath {
   }
 
  private:
+  /// See CrackAccessPath::SyncDirty. Callers hold the delta latch or the
+  /// exclusive column latch; a no-op in serial mode.
+  void SyncDirty() {
+    if (!config_.concurrent) return;
+    dirty_count_.store(pending_.size() + deleted_.size(),
+                       std::memory_order_relaxed);
+  }
+
   Status MaybeMergeOnWrite(IoStats* stats) {
+    // Concurrent mode: merging swaps the sorted copy (exclusive latch);
+    // the owner's maintenance hook does it via FlushDeltas.
+    if (config_.concurrent) return Status::OK();
     if (config_.delta_merge.policy == DeltaMergePolicy::kImmediate ||
         (config_.delta_merge.policy == DeltaMergePolicy::kThreshold &&
          OverThreshold())) {
@@ -707,6 +950,8 @@ class SortAccessPath : public ColumnAccessPath {
     pending_.clear();
     deleted_.clear();
     ++merges_;
+    SyncDirty();
+    accel_size_.store(sorted_->size(), std::memory_order_relaxed);
     return Status::OK();
   }
 
@@ -717,6 +962,11 @@ class SortAccessPath : public ColumnAccessPath {
   std::unordered_set<Oid> deleted_;         ///< tombstones since the last merge
   std::unordered_set<Oid> purged_;  ///< oids physically gone (merged away)
   size_t merges_ = 0;
+  // Concurrent-mode state (inert in serial mode).
+  std::atomic<bool> built_{false};      ///< sorted_ is safe to dereference
+  mutable std::mutex delta_mu_;         ///< guards the delta structures
+  std::atomic<size_t> dirty_count_{0};  ///< pending inserts + tombstones
+  std::atomic<size_t> accel_size_{0};   ///< tuples in the sorted copy
 };
 
 // --- scan -----------------------------------------------------------------
@@ -731,17 +981,35 @@ class ScanAccessPath : public ColumnAccessPath {
   const AccessPathConfig& config() const override { return config_; }
   size_t size() const override { return column_->size(); }
 
+  PathConcurrency concurrency() const override {
+    return PathConcurrency::kSharedReads;
+  }
+
+  // Stateless from birth: shared selections need no accelerator.
+  bool SharedSelectReady() const override { return true; }
+
   AccessSelection Select(const RangeBounds& range, bool want_oids,
                          IoStats* stats) override {
     T lo, hi;
     bool lo_incl, hi_incl;
     ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
     AccessSelection out;
+    // Concurrent mode: snapshot the tombstone set under the delta latch,
+    // then scan latch-free — holding the latch across the O(n) loop would
+    // serialize every concurrent scan on this column (the base data itself
+    // is covered by the owner's table base latch).
+    std::unordered_set<Oid> snapshot;
+    const std::unordered_set<Oid>* tombs = &deleted_;
+    if (config_.concurrent) {
+      std::lock_guard<std::mutex> dl(delta_mu_);
+      snapshot = deleted_;
+      tombs = &snapshot;
+    }
     const T* data = column_->TailData<T>();
     size_t n = column_->size();
     Oid base = column_->head_base();
     for (size_t i = 0; i < n; ++i) {
-      if (!deleted_.empty() && deleted_.count(base + i) > 0) continue;
+      if (!tombs->empty() && tombs->count(base + i) > 0) continue;
       if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
         ++out.count;
         if (want_oids) out.oids.push_back(base + i);
@@ -766,6 +1034,8 @@ class ScanAccessPath : public ColumnAccessPath {
   Status Delete(Oid oid, IoStats* stats) override {
     (void)stats;
     CRACK_RETURN_NOT_OK(CheckDeletableOid(*column_, oid));
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
     if (!deleted_.insert(oid).second) return AlreadyDeletedError(oid);
     return Status::OK();
   }
@@ -783,7 +1053,11 @@ class ScanAccessPath : public ColumnAccessPath {
   }
 
   size_t pending_inserts() const override { return 0; }
-  size_t pending_deletes() const override { return deleted_.size(); }
+  size_t pending_deletes() const override {
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
+    return deleted_.size();
+  }
   size_t merges_performed() const override { return 0; }
 
   std::vector<PieceInfo> Pieces() const override {
@@ -812,6 +1086,7 @@ class ScanAccessPath : public ColumnAccessPath {
   std::shared_ptr<Bat> column_;
   AccessPathConfig config_;
   std::unordered_set<Oid> deleted_;
+  mutable std::mutex delta_mu_;  ///< guards deleted_ (concurrent mode only)
 };
 
 template <typename T>
@@ -843,11 +1118,20 @@ class DictStringAccessPath : public ColumnAccessPath {
  public:
   DictStringAccessPath(std::shared_ptr<Bat> column,
                        const AccessPathConfig& config)
-      : column_(std::move(column)), config_(config) {}
+      : column_(std::move(column)), config_(config), inner_config_(config) {
+    // The wrapper is exclusive-only under concurrency (the dictionary has
+    // no internal locking and a gap-exhaustion remap swaps the whole inner
+    // path), so the inner numeric path keeps serial semantics — its inline
+    // merges are safe under the wrapper's exclusive column latch.
+    inner_config_.concurrent = false;
+  }
 
   AccessStrategy strategy() const override { return config_.strategy; }
   const AccessPathConfig& config() const override { return config_; }
   size_t size() const override { return column_->size(); }
+
+  // Inherited concurrency defaults are exactly right for this wrapper:
+  // kExclusiveOnly, never shared-ready, no owner-driven maintenance.
 
   AccessSelection Select(const RangeBounds& range, bool want_oids,
                          IoStats* stats) override {
@@ -1043,7 +1327,7 @@ class DictStringAccessPath : public ColumnAccessPath {
   /// the all-time tombstones into it.
   void RebuildInner(IoStats* stats) {
     (void)stats;
-    inner_ = MakePath<int64_t>(codes_, config_);
+    inner_ = MakePath<int64_t>(codes_, inner_config_);
     for (Oid oid : deleted_) {
       Status st = inner_->Delete(oid);
       CRACK_DCHECK(st.ok());
@@ -1053,6 +1337,7 @@ class DictStringAccessPath : public ColumnAccessPath {
 
   std::shared_ptr<Bat> column_;  ///< the kString base (append-only)
   AccessPathConfig config_;
+  AccessPathConfig inner_config_;  ///< config_ with concurrent forced off
   std::unique_ptr<StringDictionary> dict_;
   std::shared_ptr<Bat> codes_;  ///< int64 shadow, row-parallel to the base
   std::unique_ptr<ColumnAccessPath> inner_;

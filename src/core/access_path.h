@@ -66,6 +66,19 @@ struct AccessPathConfig {
   CrackPolicyOptions policy;  ///< pivot discipline (crack strategy only)
   MergeBudget merge_budget;   ///< piece-fusion budget (crack strategy only)
   DeltaMergeOptions delta_merge;  ///< when write deltas fold back
+  /// Concurrent mode: the owner (AdaptiveStore) coordinates callers via a
+  /// per-column reader/writer latch; the path guards its delta structures
+  /// with an internal delta latch, answers shared-mode selections through
+  /// piece-granular range locks, and defers every delta merge to the
+  /// owner's maintenance hook (WantsMaintenance -> FlushDeltas under the
+  /// exclusive latch). Off by default: the serial paths take no locks.
+  bool concurrent = false;
+};
+
+/// What a path guarantees under the owner's per-column latch.
+enum class PathConcurrency : uint8_t {
+  kExclusiveOnly = 0,  ///< every operation needs the exclusive column latch
+  kSharedReads = 1,    ///< Select/DML are safe under the shared column latch
 };
 
 /// Type-erased snapshot of one piece (int64-widened value decorations).
@@ -156,7 +169,31 @@ class ColumnAccessPath {
 
   /// Folds all pending deltas into the accelerator now, regardless of the
   /// configured DeltaMergePolicy. No-op for paths without pending state.
+  /// Concurrent mode: requires the exclusive column latch.
   virtual Status FlushDeltas(IoStats* stats = nullptr) = 0;
+
+  // --- concurrency contract (concurrent mode only) --------------------------
+  // The owner serializes via a per-column std::shared_mutex. A path whose
+  // concurrency() is kSharedReads accepts Select and DML calls under the
+  // *shared* latch once SharedSelectReady() is true (readiness is
+  // monotonic); builds, flushes and kExclusiveOnly paths need the exclusive
+  // latch. Paths never merge deltas inline in concurrent mode — the owner
+  // polls WantsMaintenance() and calls FlushDeltas under the exclusive
+  // latch instead, so shared-mode readers only ever overlay deltas.
+
+  /// The latch mode this path's operations need (see above). Constant for
+  /// the path's lifetime.
+  virtual PathConcurrency concurrency() const {
+    return PathConcurrency::kExclusiveOnly;
+  }
+
+  /// True once selections are safe under the shared column latch (the
+  /// accelerator is built). Monotonic; callable without any latch.
+  virtual bool SharedSelectReady() const { return false; }
+
+  /// True when the delta-merge policy says a fold is due; the owner should
+  /// take the exclusive latch and FlushDeltas. Callable without any latch.
+  virtual bool WantsMaintenance() const { return false; }
 
   /// Pending delta sizes and maintenance history (shell / EXPLAIN support).
   virtual size_t pending_inserts() const = 0;

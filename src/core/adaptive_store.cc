@@ -3,14 +3,95 @@
 #include "core/adaptive_store.h"
 
 #include <algorithm>
+#include <functional>
 #include <iterator>
 #include <limits>
+#include <numeric>
 
 #include "core/oid_set_ops.h"
+#include "core/task_pool.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace crackstore {
+
+namespace {
+
+/// Intersects per-conjunct oid lists smallest-first (galloping when the
+/// sizes are skewed), charging the intersection reads to `result->io`.
+/// Shared by the serial and concurrent conjunction paths.
+void IntersectConjunctionLegs(std::vector<std::vector<Oid>> per_column,
+                              Delivery delivery, QueryResult* result) {
+  std::sort(per_column.begin(), per_column.end(),
+            [](const std::vector<Oid>& a, const std::vector<Oid>& b) {
+              return a.size() < b.size();
+            });
+  std::vector<Oid> survivors = std::move(per_column.front());
+  for (size_t c = 1; c < per_column.size() && !survivors.empty(); ++c) {
+    // Galloping kicks in when the survivor set is already much smaller than
+    // the next list (the common shape: one tight predicate prunes the
+    // rest); it touches O(m log(n/m)) tuples instead of the merge's n + m.
+    size_t small = std::min(survivors.size(), per_column[c].size());
+    size_t large = std::max(survivors.size(), per_column[c].size());
+    if (ShouldGallop(small, large)) {
+      uint64_t log_ratio = 1;
+      for (size_t r = large / small; r > 1; r >>= 1) ++log_ratio;
+      result->io.tuples_read += small * log_ratio;
+    } else {
+      result->io.tuples_read += small + large;
+    }
+    survivors = IntersectSorted(survivors, per_column[c]);
+  }
+  result->count = survivors.size();
+  if (delivery == Delivery::kView) {
+    result->scan_oids = std::move(survivors);
+  }
+}
+
+/// Validates every SET clause of an UPDATE up front so a bad column name, a
+/// mistyped value or an overflowing literal cannot leave the statement
+/// half-applied. Shared by the serial and concurrent write paths.
+Status ValidateAssignments(const Relation& rel,
+                           const std::vector<AdaptiveStore::Assignment>& sets) {
+  for (const AdaptiveStore::Assignment& set : sets) {
+    auto bat_result = rel.column(set.column);
+    if (!bat_result.ok()) return bat_result.status();
+    ValueType type = (*bat_result)->tail_type();
+    bool integral_value = set.value.is_int32() || set.value.is_int64();
+    switch (type) {
+      case ValueType::kInt32: {
+        // Doubles are rejected on integer columns (silent fraction
+        // truncation; an out-of-range double->int64 cast is UB).
+        if (!integral_value) break;
+        int64_t wide = set.value.ToInt64();
+        if (wide < std::numeric_limits<int32_t>::min() ||
+            wide > std::numeric_limits<int32_t>::max()) {
+          return Status::InvalidArgument(
+              StrFormat("value %lld overflows int32 column %s",
+                        static_cast<long long>(wide), set.column.c_str()));
+        }
+        continue;
+      }
+      case ValueType::kInt64:
+        if (!integral_value) break;
+        continue;
+      case ValueType::kFloat64:
+        if (!integral_value && !set.value.is_double()) break;
+        continue;
+      case ValueType::kString:
+        if (!set.value.is_string()) break;
+        continue;
+      default:
+        break;
+    }
+    return Status::TypeMismatch(
+        StrFormat("cannot SET %s:%s to %s", set.column.c_str(),
+                  ValueTypeName(type), set.value.ToString().c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 std::vector<Oid> QueryResult::CollectOids() const& {
   if (!has_selection) return scan_oids;
@@ -29,10 +110,19 @@ std::vector<Oid> QueryResult::CollectOids() && {
 }
 
 AdaptiveStore::AdaptiveStore(AdaptiveStoreOptions options)
-    : options_(options) {}
+    : options_(options) {
+  // Lineage bookkeeping diffs whole piece tables after every select, which
+  // cannot be kept consistent while neighbors crack pieces concurrently;
+  // concurrent mode trades the DAG away (README "Concurrency model").
+  if (options_.concurrent) options_.track_lineage = false;
+}
 
 Status AdaptiveStore::AddTable(std::shared_ptr<Relation> relation) {
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
   if (relation == nullptr) return Status::InvalidArgument("null relation");
+  std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+  if (options_.concurrent) rl.lock();
   if (tables_.count(relation->name()) > 0) {
     return Status::AlreadyExists("table exists: " + relation->name());
   }
@@ -42,12 +132,16 @@ Status AdaptiveStore::AddTable(std::shared_ptr<Relation> relation) {
 
 Result<std::shared_ptr<Relation>> AdaptiveStore::table(
     const std::string& name) const {
+  std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+  if (options_.concurrent) rl.lock();
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table: " + name);
   return it->second;
 }
 
 std::vector<std::string> AdaptiveStore::TableNames() const {
+  std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+  if (options_.concurrent) rl.lock();
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, rel] : tables_) out.push_back(name);
@@ -90,10 +184,503 @@ const std::unordered_set<Oid>* AdaptiveStore::TombstonesFor(
   return &it->second;
 }
 
+// --- concurrent-mode machinery ---------------------------------------------
+
+void AdaptiveStore::ConcurrentEntries(const std::string& table,
+                                      const std::string& column,
+                                      ColumnAccel** accel, TableState** ts) {
+  std::lock_guard<std::mutex> rl(registry_mu_);
+  *accel = &accels_[table + "." + column];
+  *ts = &table_states_[table];
+}
+
+AdaptiveStore::TableState* AdaptiveStore::TableStateFor(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> rl(registry_mu_);
+  return &table_states_[table];
+}
+
+Status AdaptiveStore::CreatePathLocked(const std::string& table,
+                                       ColumnAccel* accel,
+                                       const std::shared_ptr<Bat>& bat,
+                                       TableState* ts) {
+  if (accel->has_path.load(std::memory_order_acquire)) return Status::OK();
+  CRACK_ASSIGN_OR_RETURN(accel->path,
+                         CreateColumnAccessPath(bat, options_.path_config()));
+  // A path born after deletes must not resurrect them: replay the table's
+  // tombstones before publishing the path.
+  std::unordered_set<Oid>* tomb;
+  {
+    std::lock_guard<std::mutex> rl(registry_mu_);
+    tomb = &tombstones_[table];
+  }
+  {
+    std::lock_guard<std::mutex> tl(ts->tombstone_mu);
+    for (Oid oid : *tomb) {
+      Status st = accel->path->Delete(oid);
+      CRACK_DCHECK(st.ok());
+      (void)st;
+    }
+  }
+  accel->has_path.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status AdaptiveStore::MaintainColumn(ColumnAccel* accel, TableState* ts,
+                                     IoStats* stats) {
+  if (!accel->has_path.load(std::memory_order_acquire)) return Status::OK();
+  if (!accel->path->WantsMaintenance()) return Status::OK();
+  std::unique_lock<std::shared_mutex> col(accel->latch);
+  std::shared_lock<std::shared_mutex> base(ts->base_latch);
+  return accel->path->FlushDeltas(stats);
+}
+
+Status AdaptiveStore::FinishSelectConcurrent(const std::string& table,
+                                             const std::string& column,
+                                             AccessSelection sel,
+                                             Delivery delivery,
+                                             QueryResult* result) {
+  result->count = sel.count;
+  if (sel.contiguous) {
+    // Never let a zero-copy view escape the latch scope: the data behind it
+    // may be shuffled by a neighbor's crack the moment the latch drops.
+    if (delivery != Delivery::kCount) {
+      result->scan_oids.reserve(sel.view.oids.size());
+      for (size_t i = 0; i < sel.view.oids.size(); ++i) {
+        result->scan_oids.push_back(sel.view.oids.Get<Oid>(i));
+      }
+      std::sort(result->scan_oids.begin(), result->scan_oids.end());
+    }
+  } else {
+    result->scan_oids = std::move(sel.oids);
+  }
+  if (delivery == Delivery::kMaterialize) {
+    auto rel = this->table(table);
+    if (!rel.ok()) return rel.status();
+    auto out = Relation::Create(table + "_" + column + "_result",
+                                (*rel)->schema());
+    if (!out.ok()) return out.status();
+    for (Oid oid : result->scan_oids) {
+      CRACK_RETURN_NOT_OK(
+          (*out)->AppendRow((*rel)->GetRow(static_cast<size_t>(oid))));
+      result->io.tuples_read += (*rel)->num_columns();
+      result->io.tuples_written += (*rel)->num_columns();
+    }
+    result->materialized = *out;
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
+    const std::string& table, const std::string& column,
+    const TypedRange& range, Delivery delivery) {
+  auto bat_result = ResolveColumn(table, column);
+  if (!bat_result.ok()) return bat_result.status();
+  std::shared_ptr<Bat> bat = *bat_result;
+
+  QueryResult result;
+  WallTimer timer;
+  ColumnAccel* accel;
+  TableState* ts;
+  ConcurrentEntries(table, column, &accel, &ts);
+
+  // Fold deltas the shared path must not (ripple / threshold / immediate
+  // folds all run here, under the exclusive latch).
+  CRACK_RETURN_NOT_OK(MaintainColumn(accel, ts, &result.io));
+
+  bool want_oids = delivery != Delivery::kCount;
+  bool shared_mode =
+      accel->has_path.load(std::memory_order_acquire) &&
+      accel->path->concurrency() == PathConcurrency::kSharedReads &&
+      accel->path->SharedSelectReady();
+  if (shared_mode) {
+    std::shared_lock<std::shared_mutex> col(accel->latch);
+    std::shared_lock<std::shared_mutex> base(ts->base_latch);
+    CRACK_ASSIGN_OR_RETURN(
+        AccessSelection sel,
+        accel->path->SelectTyped(range, want_oids, &result.io));
+    CRACK_RETURN_NOT_OK(FinishSelectConcurrent(table, column, std::move(sel),
+                                               delivery, &result));
+  } else {
+    std::unique_lock<std::shared_mutex> col(accel->latch);
+    std::shared_lock<std::shared_mutex> base(ts->base_latch);
+    CRACK_RETURN_NOT_OK(CreatePathLocked(table, accel, bat, ts));
+    CRACK_ASSIGN_OR_RETURN(
+        AccessSelection sel,
+        accel->path->SelectTyped(range, want_oids, &result.io));
+    CRACK_RETURN_NOT_OK(FinishSelectConcurrent(table, column, std::move(sel),
+                                               delivery, &result));
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  AddIo(result.io);
+  return result;
+}
+
+Result<QueryResult> AdaptiveStore::SelectConjunctionLocked(
+    const std::string& table, const std::vector<ColumnRange>& conjuncts,
+    Delivery delivery) {
+  if (conjuncts.empty()) {
+    return Status::InvalidArgument("conjunction needs at least one predicate");
+  }
+  if (delivery == Delivery::kMaterialize) {
+    return Status::Unimplemented(
+        "materialize a conjunction via kView + MaterializeSelection");
+  }
+  if (conjuncts.size() == 1) {
+    return SelectRangeConcurrent(table, conjuncts[0].column,
+                                 conjuncts[0].range, delivery);
+  }
+
+  QueryResult result;
+  WallTimer timer;
+
+  // Fan the conjunction legs across the task pool: each leg latches only
+  // its own column, so legs over different columns crack concurrently.
+  struct Leg {
+    Status status;
+    IoStats io;
+    std::vector<Oid> oids;
+  };
+  std::vector<Leg> legs(conjuncts.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(conjuncts.size());
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    tasks.emplace_back([this, &table, &conjuncts, &legs, i] {
+      auto qr = SelectRangeConcurrent(table, conjuncts[i].column,
+                                      conjuncts[i].range, Delivery::kView);
+      if (!qr.ok()) {
+        legs[i].status = qr.status();
+        return;
+      }
+      legs[i].io = qr->io;
+      legs[i].oids = std::move(*qr).CollectOids();
+    });
+  }
+  TaskPool::Global()->RunBatch(std::move(tasks));
+
+  std::vector<std::vector<Oid>> per_column;
+  per_column.reserve(legs.size());
+  for (Leg& leg : legs) {
+    CRACK_RETURN_NOT_OK(leg.status);
+    result.io += leg.io;
+    per_column.push_back(std::move(leg.oids));
+  }
+  IntersectConjunctionLegs(std::move(per_column), delivery, &result);
+
+  result.seconds = timer.ElapsedSeconds();
+  AddIo(result.io);
+  return result;
+}
+
+Result<QueryResult> AdaptiveStore::InsertConcurrent(const std::string& table,
+                                                    std::vector<Value> values) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+
+  QueryResult result;
+  WallTimer timer;
+  CRACK_RETURN_NOT_OK(CoerceRow(rel->schema(), &values));
+
+  size_t ncols = rel->num_columns();
+  std::vector<ColumnAccel*> accels(ncols);
+  TableState* ts;
+  {
+    std::lock_guard<std::mutex> rl(registry_mu_);
+    for (size_t c = 0; c < ncols; ++c) {
+      accels[c] = &accels_[table + "." + rel->schema().column(c).name];
+    }
+    ts = &table_states_[table];
+  }
+  // Latch acquisition in key (= column-name) order; pathless columns take
+  // the exclusive latch so no path can be created (and built from a
+  // half-appended base) while the row lands.
+  std::vector<size_t> order(ncols);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rel->schema().column(a).name < rel->schema().column(b).name;
+  });
+
+  Oid oid = 0;
+  {
+    std::vector<std::shared_lock<std::shared_mutex>> shared_locks;
+    std::vector<std::unique_lock<std::shared_mutex>> unique_locks;
+    for (size_t idx : order) {
+      ColumnAccel* accel = accels[idx];
+      bool shared = accel->has_path.load(std::memory_order_acquire) &&
+                    accel->path->concurrency() ==
+                        PathConcurrency::kSharedReads;
+      if (shared) {
+        shared_locks.emplace_back(accel->latch);
+      } else {
+        unique_locks.emplace_back(accel->latch);
+      }
+    }
+    std::unique_lock<std::shared_mutex> base(ts->base_latch);
+
+    CRACK_RETURN_NOT_OK(rel->AppendRow(values));
+    result.io.tuples_written += ncols;
+    oid = (ncols > 0 ? rel->column(size_t{0})->head_base() : 0) +
+          rel->num_rows() - 1;
+    for (size_t c = 0; c < ncols; ++c) {
+      // Re-read under the held latch: a path that appeared since the mode
+      // snapshot sits behind our exclusive latch and gets notified; one
+      // that never appeared will lazy-build from the appended base.
+      if (!accels[c]->has_path.load(std::memory_order_acquire)) continue;
+      CRACK_RETURN_NOT_OK(
+          accels[c]->path->Insert(values[c], oid, &result.io));
+    }
+  }
+  // Post-statement folds (immediate / threshold) outside the DML latches.
+  for (size_t c = 0; c < ncols; ++c) {
+    CRACK_RETURN_NOT_OK(MaintainColumn(accels[c], ts, &result.io));
+  }
+
+  result.count = 1;
+  result.scan_oids.push_back(oid);
+  result.seconds = timer.ElapsedSeconds();
+  AddIo(result.io);
+  return result;
+}
+
+Result<uint64_t> AdaptiveStore::DeleteOidsConcurrent(
+    const std::string& table, const std::vector<Oid>& oids, IoStats* stats) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+
+  size_t ncols = rel->num_columns();
+  std::vector<ColumnAccel*> accels(ncols);
+  TableState* ts;
+  std::unordered_set<Oid>* tomb;
+  {
+    std::lock_guard<std::mutex> rl(registry_mu_);
+    for (size_t c = 0; c < ncols; ++c) {
+      accels[c] = &accels_[table + "." + rel->schema().column(c).name];
+    }
+    ts = &table_states_[table];
+    tomb = &tombstones_[table];
+  }
+  std::vector<size_t> order(ncols);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rel->schema().column(a).name < rel->schema().column(b).name;
+  });
+
+  uint64_t removed = 0;
+  {
+    // Every column latched (pathless ones exclusively, so no path creation
+    // can slip between the tombstone registration and its replay), plus the
+    // base latch shared for oid validation against a stable row count.
+    std::vector<std::shared_lock<std::shared_mutex>> shared_locks;
+    std::vector<std::unique_lock<std::shared_mutex>> unique_locks;
+    for (size_t idx : order) {
+      ColumnAccel* accel = accels[idx];
+      bool shared = accel->has_path.load(std::memory_order_acquire) &&
+                    accel->path->concurrency() ==
+                        PathConcurrency::kSharedReads;
+      if (shared) {
+        shared_locks.emplace_back(accel->latch);
+      } else {
+        unique_locks.emplace_back(accel->latch);
+      }
+    }
+    std::shared_lock<std::shared_mutex> base(ts->base_latch);
+    Oid base_oid =
+        ncols > 0 ? rel->column(size_t{0})->head_base() : 0;
+    Oid end_oid = base_oid + rel->num_rows();
+
+    for (Oid oid : oids) {
+      if (oid < base_oid || oid >= end_oid) {
+        return Status::InvalidArgument(
+            StrFormat("oid %llu outside %s's row range",
+                      static_cast<unsigned long long>(oid), table.c_str()));
+      }
+      {
+        std::lock_guard<std::mutex> tl(ts->tombstone_mu);
+        if (!tomb->insert(oid).second) continue;  // already dead
+      }
+      ++removed;
+      for (size_t c = 0; c < ncols; ++c) {
+        if (!accels[c]->has_path.load(std::memory_order_acquire)) continue;
+        CRACK_RETURN_NOT_OK(accels[c]->path->Delete(oid, stats));
+      }
+      if (stats != nullptr) ++stats->tuples_written;
+    }
+  }
+  for (size_t c = 0; c < ncols; ++c) {
+    CRACK_RETURN_NOT_OK(MaintainColumn(accels[c], ts, stats));
+  }
+  return removed;
+}
+
+Result<QueryResult> AdaptiveStore::DeleteConcurrent(
+    const std::string& table, const std::vector<ColumnRange>& conjuncts) {
+  QueryResult result;
+  WallTimer timer;
+  std::vector<Oid> oids;
+  if (conjuncts.empty()) {
+    CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table));
+  } else {
+    // The WHERE is a read like any other: it cracks the referenced columns
+    // on its way to the victim set.
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult qr,
+        SelectConjunctionLocked(table, conjuncts, Delivery::kView));
+    result.io += qr.io;
+    oids = std::move(qr).CollectOids();
+  }
+  CRACK_ASSIGN_OR_RETURN(result.count,
+                         DeleteOidsConcurrent(table, oids, &result.io));
+  result.seconds = timer.ElapsedSeconds();
+  AddIo(result.io);
+  return result;
+}
+
+Result<QueryResult> AdaptiveStore::UpdateConcurrent(
+    const std::string& table, const std::vector<Assignment>& sets,
+    const std::vector<ColumnRange>& conjuncts) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+
+  QueryResult result;
+  WallTimer timer;
+  std::vector<Oid> oids;
+  if (conjuncts.empty()) {
+    CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table));
+  } else {
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult qr,
+        SelectConjunctionLocked(table, conjuncts, Delivery::kView));
+    result.io += qr.io;
+    oids = std::move(qr).CollectOids();
+  }
+
+  CRACK_RETURN_NOT_OK(ValidateAssignments(*rel, sets));
+
+  std::vector<ColumnAccel*> accels(sets.size());
+  // Distinct latch set, already in key order: duplicate SET clauses on one
+  // column are legal (last one wins), but a shared_mutex must never be
+  // acquired twice by one thread.
+  std::map<std::string, ColumnAccel*> distinct;
+  TableState* ts;
+  std::unordered_set<Oid>* tomb;
+  {
+    std::lock_guard<std::mutex> rl(registry_mu_);
+    for (size_t s = 0; s < sets.size(); ++s) {
+      accels[s] = &accels_[table + "." + sets[s].column];
+      distinct[sets[s].column] = accels[s];
+    }
+    ts = &table_states_[table];
+    tomb = &tombstones_[table];
+  }
+
+  uint64_t applied = 0;
+  {
+    std::vector<std::shared_lock<std::shared_mutex>> shared_locks;
+    std::vector<std::unique_lock<std::shared_mutex>> unique_locks;
+    for (const auto& [name, accel] : distinct) {
+      bool shared = accel->has_path.load(std::memory_order_acquire) &&
+                    accel->path->concurrency() ==
+                        PathConcurrency::kSharedReads;
+      if (shared) {
+        shared_locks.emplace_back(accel->latch);
+      } else {
+        unique_locks.emplace_back(accel->latch);
+      }
+    }
+    // Base exclusive: the slot overwrites must not race base readers, and
+    // holding it blocks deleters (they validate under base shared), which
+    // freezes the tombstone set for the whole statement.
+    std::unique_lock<std::shared_mutex> base(ts->base_latch);
+
+    std::vector<std::shared_ptr<Bat>> bats(sets.size());
+    for (size_t s = 0; s < sets.size(); ++s) {
+      bats[s] = *rel->column(sets[s].column);
+    }
+    for (Oid oid : oids) {
+      {
+        // Revalidate liveness: the row may have died between the WHERE
+        // select and this write phase (the stale window that is a benign
+        // no-match in serial mode but a real race under concurrency).
+        std::lock_guard<std::mutex> tl(ts->tombstone_mu);
+        if (tomb->count(oid) > 0) continue;
+      }
+      bool row_applied = true;
+      for (size_t s = 0; s < sets.size(); ++s) {
+        Oid base_oid = bats[s]->head_base();
+        CRACK_RETURN_NOT_OK(bats[s]->SetValue(
+            static_cast<size_t>(oid - base_oid), sets[s].value));
+        result.io.tuples_written += 1;
+        if (!accels[s]->has_path.load(std::memory_order_acquire)) continue;
+        Status st = accels[s]->path->Update(oid, sets[s].value, &result.io);
+        if (st.IsNotFound()) {
+          // The path believes the row is dead (raced tombstone); skip the
+          // row rather than aborting the statement half-applied.
+          row_applied = false;
+          continue;
+        }
+        CRACK_RETURN_NOT_OK(st);
+      }
+      if (row_applied) ++applied;
+    }
+  }
+  for (size_t s = 0; s < sets.size(); ++s) {
+    CRACK_RETURN_NOT_OK(MaintainColumn(accels[s], ts, &result.io));
+  }
+
+  result.count = applied;
+  result.seconds = timer.ElapsedSeconds();
+  AddIo(result.io);
+  return result;
+}
+
+Result<std::vector<Oid>> AdaptiveStore::LiveOidsLocked(
+    const std::string& table) const {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  std::shared_ptr<Relation> rel = *rel_result;
+  TableState* ts = TableStateFor(table);
+  const std::unordered_set<Oid>* tomb;
+  {
+    std::lock_guard<std::mutex> rl(registry_mu_);
+    auto it = tombstones_.find(table);
+    tomb = it == tombstones_.end() ? nullptr : &it->second;
+  }
+  std::shared_lock<std::shared_mutex> base(ts->base_latch);
+  std::lock_guard<std::mutex> tl(ts->tombstone_mu);
+  std::vector<Oid> oids;
+  size_t dead = tomb == nullptr ? 0 : tomb->size();
+  oids.reserve(rel->num_rows() - std::min(rel->num_rows(), dead));
+  Oid base_oid =
+      rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+  for (size_t i = 0; i < rel->num_rows(); ++i) {
+    Oid oid = base_oid + i;
+    if (tomb != nullptr && tomb->count(oid) > 0) continue;
+    oids.push_back(oid);
+  }
+  return oids;
+}
+
+void AdaptiveStore::AddIo(const IoStats& io) {
+  if (options_.concurrent) {
+    std::lock_guard<std::mutex> il(io_mu_);
+    total_io_ += io;
+  } else {
+    total_io_ += io;
+  }
+}
+
 Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
                                                const std::string& column,
                                                const TypedRange& range,
                                                Delivery delivery) {
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    return SelectRangeConcurrent(table, column, range, delivery);
+  }
   auto bat_result = ResolveColumn(table, column);
   if (!bat_result.ok()) return bat_result.status();
   std::shared_ptr<Bat> bat = *bat_result;
@@ -168,6 +755,12 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
 Result<QueryResult> AdaptiveStore::SelectConjunction(
     const std::string& table, const std::vector<ColumnRange>& conjuncts,
     Delivery delivery) {
+  if (options_.concurrent) {
+    // Note: the scan-strategy fused pass below reads base columns without
+    // per-column coordination; the concurrent path always goes per-column.
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    return SelectConjunctionLocked(table, conjuncts, delivery);
+  }
   if (conjuncts.empty()) {
     return Status::InvalidArgument("conjunction needs at least one predicate");
   }
@@ -277,30 +870,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
     result.io += qr.io;
     per_column.push_back(std::move(qr).CollectOids());
   }
-  std::sort(per_column.begin(), per_column.end(),
-            [](const std::vector<Oid>& a, const std::vector<Oid>& b) {
-              return a.size() < b.size();
-            });
-  std::vector<Oid> survivors = std::move(per_column.front());
-  for (size_t c = 1; c < per_column.size() && !survivors.empty(); ++c) {
-    // Galloping kicks in when the survivor set is already much smaller than
-    // the next list (the common shape: one tight predicate prunes the
-    // rest); it touches O(m log(n/m)) tuples instead of the merge's n + m.
-    size_t small = std::min(survivors.size(), per_column[c].size());
-    size_t large = std::max(survivors.size(), per_column[c].size());
-    if (ShouldGallop(small, large)) {
-      uint64_t log_ratio = 1;
-      for (size_t r = large / small; r > 1; r >>= 1) ++log_ratio;
-      result.io.tuples_read += small * log_ratio;
-    } else {
-      result.io.tuples_read += small + large;
-    }
-    survivors = IntersectSorted(survivors, per_column[c]);
-  }
-  result.count = survivors.size();
-  if (delivery == Delivery::kView) {
-    result.scan_oids = std::move(survivors);
-  }
+  IntersectConjunctionLegs(std::move(per_column), delivery, &result);
 
   result.seconds = timer.ElapsedSeconds();
   total_io_ += result.io;
@@ -309,6 +879,10 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
 
 Result<QueryResult> AdaptiveStore::Insert(const std::string& table,
                                           std::vector<Value> values) {
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    return InsertConcurrent(table, std::move(values));
+  }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
@@ -332,6 +906,7 @@ Result<QueryResult> AdaptiveStore::Insert(const std::string& table,
   }
 
   result.count = 1;
+  result.scan_oids.push_back(oid);  // the new row's identity
   result.seconds = timer.ElapsedSeconds();
   total_io_ += result.io;
   return result;
@@ -373,6 +948,14 @@ Result<QueryResult> AdaptiveStore::DeleteOids(const std::string& table,
                                               const std::vector<Oid>& oids) {
   QueryResult result;
   WallTimer timer;
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    CRACK_ASSIGN_OR_RETURN(result.count,
+                           DeleteOidsConcurrent(table, oids, &result.io));
+    result.seconds = timer.ElapsedSeconds();
+    AddIo(result.io);
+    return result;
+  }
   CRACK_ASSIGN_OR_RETURN(result.count,
                          DeleteOidsInternal(table, oids, &result.io));
   result.seconds = timer.ElapsedSeconds();
@@ -382,6 +965,10 @@ Result<QueryResult> AdaptiveStore::DeleteOids(const std::string& table,
 
 Result<QueryResult> AdaptiveStore::Delete(
     const std::string& table, const std::vector<ColumnRange>& conjuncts) {
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    return DeleteConcurrent(table, conjuncts);
+  }
   QueryResult result;
   WallTimer timer;
   std::vector<Oid> oids;
@@ -408,6 +995,10 @@ Result<QueryResult> AdaptiveStore::Update(
   if (sets.empty()) {
     return Status::InvalidArgument("UPDATE needs at least one SET clause");
   }
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    return UpdateConcurrent(table, sets, conjuncts);
+  }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
@@ -424,44 +1015,7 @@ Result<QueryResult> AdaptiveStore::Update(
     oids = std::move(qr).CollectOids();
   }
 
-  // Validate every SET clause up front so a bad column name, a mistyped
-  // value or an overflowing literal cannot leave the statement
-  // half-applied.
-  for (const Assignment& set : sets) {
-    auto bat_result = rel->column(set.column);
-    if (!bat_result.ok()) return bat_result.status();
-    ValueType type = (*bat_result)->tail_type();
-    bool integral_value = set.value.is_int32() || set.value.is_int64();
-    switch (type) {
-      case ValueType::kInt32: {
-        // Doubles are rejected on integer columns (silent fraction
-        // truncation; an out-of-range double->int64 cast is UB).
-        if (!integral_value) break;
-        int64_t wide = set.value.ToInt64();
-        if (wide < std::numeric_limits<int32_t>::min() ||
-            wide > std::numeric_limits<int32_t>::max()) {
-          return Status::InvalidArgument(
-              StrFormat("value %lld overflows int32 column %s",
-                        static_cast<long long>(wide), set.column.c_str()));
-        }
-        continue;
-      }
-      case ValueType::kInt64:
-        if (!integral_value) break;
-        continue;
-      case ValueType::kFloat64:
-        if (!integral_value && !set.value.is_double()) break;
-        continue;
-      case ValueType::kString:
-        if (!set.value.is_string()) break;
-        continue;
-      default:
-        break;
-    }
-    return Status::TypeMismatch(
-        StrFormat("cannot SET %s:%s to %s", set.column.c_str(),
-                  ValueTypeName(type), set.value.ToString().c_str()));
-  }
+  CRACK_RETURN_NOT_OK(ValidateAssignments(*rel, sets));
 
   for (const Assignment& set : sets) {
     std::shared_ptr<Bat> bat = *rel->column(set.column);
@@ -490,6 +1044,10 @@ Result<QueryResult> AdaptiveStore::Update(
 
 Result<std::vector<Oid>> AdaptiveStore::LiveOids(
     const std::string& table) const {
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    return LiveOidsLocked(table);
+  }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
@@ -506,6 +1064,21 @@ Result<std::vector<Oid>> AdaptiveStore::LiveOids(
 }
 
 Result<uint64_t> AdaptiveStore::LiveRowCount(const std::string& table) const {
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    auto rel_result = this->table(table);
+    if (!rel_result.ok()) return rel_result.status();
+    TableState* ts = TableStateFor(table);
+    const std::unordered_set<Oid>* tomb;
+    {
+      std::lock_guard<std::mutex> rl(registry_mu_);
+      auto it = tombstones_.find(table);
+      tomb = it == tombstones_.end() ? nullptr : &it->second;
+    }
+    std::shared_lock<std::shared_mutex> base(ts->base_latch);
+    std::lock_guard<std::mutex> tl(ts->tombstone_mu);
+    return (*rel_result)->num_rows() - (tomb == nullptr ? 0 : tomb->size());
+  }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   const std::unordered_set<Oid>* tomb = TombstonesFor(table);
@@ -515,6 +1088,13 @@ Result<uint64_t> AdaptiveStore::LiveRowCount(const std::string& table) const {
 Status AdaptiveStore::MarkDeleted(const std::string& table,
                                   const std::vector<Oid>& oids) {
   IoStats io;
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    auto removed = DeleteOidsConcurrent(table, oids, &io);
+    if (!removed.ok()) return removed.status();
+    AddIo(io);
+    return Status::OK();
+  }
   auto removed = DeleteOidsInternal(table, oids, &io);
   if (!removed.ok()) return removed.status();
   total_io_ += io;
@@ -523,6 +1103,25 @@ Status AdaptiveStore::MarkDeleted(const std::string& table,
 
 Result<std::vector<Oid>> AdaptiveStore::DeletedOids(
     const std::string& table) const {
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    auto rel_result = this->table(table);
+    if (!rel_result.ok()) return rel_result.status();
+    TableState* ts = TableStateFor(table);
+    const std::unordered_set<Oid>* tomb;
+    {
+      std::lock_guard<std::mutex> rl(registry_mu_);
+      auto it = tombstones_.find(table);
+      tomb = it == tombstones_.end() ? nullptr : &it->second;
+    }
+    std::vector<Oid> out;
+    std::lock_guard<std::mutex> tl(ts->tombstone_mu);
+    if (tomb != nullptr) {
+      out.assign(tomb->begin(), tomb->end());
+      std::sort(out.begin(), out.end());
+    }
+    return out;
+  }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::vector<Oid> out;
@@ -539,6 +1138,10 @@ Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
                                               const std::string& right_table,
                                               const std::string& right_column,
                                               Delivery delivery) {
+  // Joins crack base columns and fill store-wide caches without per-column
+  // latches; concurrent mode gates them store-wide instead.
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
   QueryResult result;
   WallTimer timer;
   CRACK_ASSIGN_OR_RETURN(
@@ -559,6 +1162,8 @@ Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
 Result<std::vector<OidPair>> AdaptiveStore::JoinOids(
     const std::string& left_table, const std::string& left_column,
     const std::string& right_table, const std::string& right_column) {
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
   IoStats io;
   auto out = JoinOidsInternal(left_table, left_column, right_table,
                               right_column, &io);
@@ -605,6 +1210,8 @@ Result<std::vector<OidPair>> AdaptiveStore::JoinOidsInternal(
 Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
     const std::string& table, const std::string& group_column,
     const std::string& agg_column, AggKind kind) {
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
   auto grp = ResolveColumn(table, group_column);
   if (!grp.ok()) return grp.status();
   auto agg = ResolveColumn(table, agg_column);
@@ -635,6 +1242,8 @@ Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
 
 Result<ProjectionCrackResult> AdaptiveStore::Project(
     const std::string& table, const std::vector<std::string>& attrs) {
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
   auto rel = this->table(table);
   if (!rel.ok()) return rel.status();
   IoStats io;
@@ -653,6 +1262,16 @@ Result<ProjectionCrackResult> AdaptiveStore::Project(
 Result<std::shared_ptr<Relation>> AdaptiveStore::MaterializeSelection(
     const std::string& table, const CrackSelection& selection,
     const std::string& result_name, IoStats* stats) {
+  // Concurrent mode: base reads under the table base latch. The caller
+  // remains responsible for the view's validity (views over cracker columns
+  // are only stable while the owning column is quiesced).
+  std::shared_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> base_lock;
+  if (options_.concurrent) {
+    g.lock();
+    base_lock = std::shared_lock<std::shared_mutex>(
+        TableStateFor(table)->base_latch);
+  }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
@@ -681,8 +1300,16 @@ Result<std::shared_ptr<Relation>> AdaptiveStore::MaterializeSelection(
 
 Result<ColumnAccessPath*> AdaptiveStore::AccessPathFor(
     const std::string& table, const std::string& column) const {
+  // Concurrent mode: the borrowed pointer is safe to hand out (paths are
+  // never destroyed while the store lives), but using it for introspection
+  // is only meaningful on a quiesced store.
+  std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+  if (options_.concurrent) rl.lock();
   auto it = accels_.find(table + "." + column);
-  if (it == accels_.end() || it->second.path == nullptr) {
+  if (it == accels_.end() ||
+      !(options_.concurrent
+            ? it->second.has_path.load(std::memory_order_acquire)
+            : it->second.path != nullptr)) {
     return Status::NotFound("no access path yet for " + table + "." + column);
   }
   return it->second.path.get();
@@ -690,6 +1317,21 @@ Result<ColumnAccessPath*> AdaptiveStore::AccessPathFor(
 
 Result<size_t> AdaptiveStore::NumPieces(const std::string& table,
                                         const std::string& column) const {
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    const ColumnAccel* accel = nullptr;
+    {
+      std::lock_guard<std::mutex> rl(registry_mu_);
+      auto it = accels_.find(table + "." + column);
+      if (it != accels_.end()) accel = &it->second;
+    }
+    if (accel == nullptr ||
+        !accel->has_path.load(std::memory_order_acquire)) {
+      return size_t{1};
+    }
+    std::shared_lock<std::shared_mutex> col(accel->latch);
+    return accel->path->NumPieces();
+  }
   auto it = accels_.find(table + "." + column);
   if (it == accels_.end() || it->second.path == nullptr) return size_t{1};
   return it->second.path->NumPieces();
@@ -697,6 +1339,8 @@ Result<size_t> AdaptiveStore::NumPieces(const std::string& table,
 
 Result<std::string> AdaptiveStore::ExplainColumn(
     const std::string& table, const std::string& column) const {
+  std::shared_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
   auto bat = ResolveColumn(table, column);
   if (!bat.ok()) return bat.status();
   std::string out = StrFormat("%s.%s: %s, %zu tuples, strategy=%s\n",
@@ -704,6 +1348,21 @@ Result<std::string> AdaptiveStore::ExplainColumn(
                               ValueTypeName((*bat)->tail_type()),
                               (*bat)->size(),
                               AccessStrategyName(options_.strategy));
+  if (options_.concurrent) {
+    const ColumnAccel* accel = nullptr;
+    {
+      std::lock_guard<std::mutex> rl(registry_mu_);
+      auto it = accels_.find(table + "." + column);
+      if (it != accels_.end()) accel = &it->second;
+    }
+    if (accel == nullptr ||
+        !accel->has_path.load(std::memory_order_acquire)) {
+      return out + "no accelerator yet (never queried)\n";
+    }
+    // Exclusive: Explain reads piece tables and delta sizes wholesale.
+    std::unique_lock<std::shared_mutex> col(accel->latch);
+    return out + accel->path->Explain();
+  }
   auto it = accels_.find(table + "." + column);
   if (it == accels_.end() || it->second.path == nullptr) {
     return out + "no accelerator yet (never queried)\n";

@@ -15,9 +15,12 @@
 #ifndef CRACKSTORE_CORE_ADAPTIVE_STORE_H_
 #define CRACKSTORE_CORE_ADAPTIVE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -52,9 +55,23 @@ struct AdaptiveStoreOptions {
   DeltaMergeOptions delta_merge;  ///< when DML deltas fold back per column
   bool track_lineage = true;  ///< record the Ξ/Ψ/^/Ω DAG (Figs. 5-6)
 
+  /// Concurrent mode: every public operation may be called from any thread.
+  /// The store coordinates via a per-column reader/writer latch (DML and
+  /// shared-capable selections take it shared; builds and delta merges take
+  /// it exclusive), a per-table base latch (row appends / in-place updates
+  /// exclusive, base readers shared) and piece-granular range locks inside
+  /// the cracker indexes, so selections hitting different pieces of one
+  /// column crack in parallel. Costs: results are always materialized oid
+  /// lists (never zero-copy views), joins/group-bys/projections serialize
+  /// store-wide, and lineage tracking is forced off. Statements are atomic
+  /// per column, not across columns (see README, "Concurrency model").
+  bool concurrent = false;
+
   /// The per-column slice of these options.
   AccessPathConfig path_config() const {
-    return AccessPathConfig{strategy, policy, merge_budget, delta_merge};
+    AccessPathConfig config{strategy, policy, merge_budget, delta_merge};
+    config.concurrent = concurrent;
+    return config;
   }
 };
 
@@ -128,7 +145,9 @@ class AdaptiveStore {
   // teaching the store.
 
   /// Appends one row. Numeric values are coerced to the column types
-  /// (range-checked). `count` of the result is 1.
+  /// (range-checked). `count` of the result is 1 and `scan_oids` carries
+  /// the oid assigned to the new row (concurrent writers learn their row's
+  /// identity from it).
   Result<QueryResult> Insert(const std::string& table,
                              std::vector<Value> values);
 
@@ -232,12 +251,30 @@ class AdaptiveStore {
  private:
   struct ColumnAccel {
     std::unique_ptr<ColumnAccessPath> path;
+    /// Concurrent mode: `path` is written once, under `latch` held
+    /// exclusively; has_path (release-stored after the write) is the
+    /// latch-free existence hint. The flag is monotonic — paths are never
+    /// destroyed while the store lives.
+    std::atomic<bool> has_path{false};
+    /// The per-column reader/writer latch (concurrent mode only).
+    mutable std::shared_mutex latch;
     PieceId root = kInvalidPieceId;
     /// Lineage piece nodes keyed by their [begin, end) slot range.
     std::map<std::pair<size_t, size_t>, PieceId> piece_nodes;
     /// Delta merges folded when the lineage was last synced; a change means
     /// the accelerator was rebuilt and the piece subtree must re-root.
     size_t merges_seen = 0;
+  };
+
+  /// Per-table concurrency state (concurrent mode only).
+  struct TableState {
+    /// Base-storage latch: row appends and in-place slot overwrites take it
+    /// exclusive; anything reading base columns (scans, lazy accelerator
+    /// builds, oid validation) takes it shared. Ordered after the column
+    /// latches, before the leaf mutexes.
+    mutable std::shared_mutex base_latch;
+    /// Guards this table's tombstone set.
+    mutable std::mutex tombstone_mu;
   };
 
   Result<std::shared_ptr<Bat>> ResolveColumn(const std::string& table,
@@ -269,14 +306,72 @@ class AdaptiveStore {
                                       const std::vector<Oid>& oids,
                                       IoStats* stats);
 
+  // --- concurrent-mode machinery (see AdaptiveStoreOptions::concurrent) ---
+  // Lock order, outer to inner: global_mu_ -> column latches (ascending
+  // key) -> table base latch -> {tombstone_mu | path-internal latches |
+  // registry_mu_ | io_mu_}. The *Locked variants assume global_mu_ is held
+  // (shared) by the caller; public entry points acquire it.
+
+  /// The accel slot and table state of (table, column), created (empty) on
+  /// demand. Pointers are stable: the maps only grow.
+  void ConcurrentEntries(const std::string& table, const std::string& column,
+                         ColumnAccel** accel, TableState** ts);
+  TableState* TableStateFor(const std::string& table) const;
+
+  /// Creates accel->path (caller holds accel->latch exclusive + the base
+  /// latch shared) and replays the table's tombstones into it.
+  Status CreatePathLocked(const std::string& table, ColumnAccel* accel,
+                          const std::shared_ptr<Bat>& bat, TableState* ts);
+
+  /// If the path's delta policy says a fold is due, takes the exclusive
+  /// column latch and flushes. Safe to call with no latches held.
+  Status MaintainColumn(ColumnAccel* accel, TableState* ts, IoStats* stats);
+
+  Result<QueryResult> SelectRangeConcurrent(const std::string& table,
+                                            const std::string& column,
+                                            const TypedRange& range,
+                                            Delivery delivery);
+  /// Converts a selection into latch-independent result shape (oid lists,
+  /// never views) and materializes if asked. Caller holds the column latch
+  /// plus the base latch shared.
+  Status FinishSelectConcurrent(const std::string& table,
+                                const std::string& column,
+                                AccessSelection sel, Delivery delivery,
+                                QueryResult* result);
+  Result<QueryResult> SelectConjunctionLocked(
+      const std::string& table, const std::vector<ColumnRange>& conjuncts,
+      Delivery delivery);
+  Result<QueryResult> InsertConcurrent(const std::string& table,
+                                       std::vector<Value> values);
+  Result<QueryResult> DeleteConcurrent(
+      const std::string& table, const std::vector<ColumnRange>& conjuncts);
+  Result<QueryResult> UpdateConcurrent(
+      const std::string& table, const std::vector<Assignment>& sets,
+      const std::vector<ColumnRange>& conjuncts);
+  Result<uint64_t> DeleteOidsConcurrent(const std::string& table,
+                                        const std::vector<Oid>& oids,
+                                        IoStats* stats);
+  Result<std::vector<Oid>> LiveOidsLocked(const std::string& table) const;
+
+  void AddIo(const IoStats& io);
+
   AdaptiveStoreOptions options_;
   std::map<std::string, std::shared_ptr<Relation>> tables_;
   std::map<std::string, ColumnAccel> accels_;  // key: table + "." + column
+  mutable std::map<std::string, TableState> table_states_;
   std::map<std::string, std::unordered_set<Oid>> tombstones_;
   std::map<std::string, JoinCrackResult> join_cracks_;
   std::map<std::string, GroupCrackResult> group_cracks_;
   LineageGraph lineage_;
   IoStats total_io_;
+  /// Concurrent mode only. global_mu_: selections and DML run shared;
+  /// joins, group-bys, projections and AddTable run exclusive (they touch
+  /// base columns and caches without per-column latches). registry_mu_:
+  /// guards the map *structure* of tables_/accels_/table_states_ (leaf).
+  /// io_mu_: guards total_io_ (leaf).
+  mutable std::shared_mutex global_mu_;
+  mutable std::mutex registry_mu_;
+  mutable std::mutex io_mu_;
 };
 
 }  // namespace crackstore

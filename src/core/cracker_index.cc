@@ -23,6 +23,8 @@ CrackerIndex<T>::CrackerIndex(const std::shared_ptr<Bat>& source,
   Oid base = source->head_base();
   for (size_t i = 0; i < n_; ++i) om[i] = base + i;
   oids_->SetCountUnsafe(n_);
+  raw_values_ = values_->MutableTailData<T>();
+  raw_oids_ = oids_->MutableTailData<Oid>();
   if (stats != nullptr) {
     stats->tuples_read += n_;
     stats->tuples_written += n_;
@@ -41,6 +43,8 @@ CrackerIndex<T>::CrackerIndex(std::shared_ptr<Bat> values,
   n_ = values->size();
   values_ = std::move(values);
   oids_ = std::move(oids);
+  raw_values_ = values_->MutableTailData<T>();
+  raw_oids_ = oids_->MutableTailData<Oid>();
 }
 
 template <typename T>
@@ -61,23 +65,9 @@ size_t CrackerIndex<T>::UpperLimitFor(T v) const {
 }
 
 template <typename T>
-size_t CrackerIndex<T>::Cut(T v, bool want_incl, IoStats* stats) {
+void CrackerIndex<T>::CrackRegionFor(T v, bool want_incl, size_t* begin,
+                                     size_t* end) const {
   auto it = bounds_.find(v);
-  if (it != bounds_.end()) {
-    Bound& b = it->second;
-    if (want_incl && b.has_incl) {
-      Touch(&b);
-      return b.pos_incl;
-    }
-    if (!want_incl && b.has_excl) {
-      Touch(&b);
-      return b.pos_excl;
-    }
-  }
-
-  // The cut is unknown: locate the piece [begin, end) that must be cracked.
-  size_t begin = 0;
-  size_t end = n_;
   if (it != bounds_.end()) {
     // A boundary at v exists but with the other inclusivity; the slice of
     // duplicates of v bounds the crack region on one side.
@@ -86,33 +76,24 @@ size_t CrackerIndex<T>::Cut(T v, bool want_incl, IoStats* stats) {
       // pos_incl lies in [pos_excl, successor); everything left of pos_excl
       // is already < v.
       CRACK_DCHECK(b.has_excl);
-      begin = b.pos_excl;
-      end = UpperLimitFor(v);
+      *begin = b.pos_excl;
+      *end = UpperLimitFor(v);
     } else {
       // pos_excl lies in [predecessor, pos_incl); everything right of
       // pos_incl is already > v.
       CRACK_DCHECK(b.has_incl);
-      begin = LowerLimitFor(v);
-      end = b.pos_incl;
+      *begin = LowerLimitFor(v);
+      *end = b.pos_incl;
     }
   } else {
-    begin = LowerLimitFor(v);
-    end = UpperLimitFor(v);
+    *begin = LowerLimitFor(v);
+    *end = UpperLimitFor(v);
   }
-  CRACK_DCHECK(begin <= end);
+  CRACK_DCHECK(*begin <= *end);
+}
 
-  CrackSplit split = want_incl
-                         ? CrackInTwoLe(data() + begin, oid_data() + begin,
-                                        end - begin, v)
-                         : CrackInTwoLt(data() + begin, oid_data() + begin,
-                                        end - begin, v);
-  size_t pos = begin + split.split;
-  if (stats != nullptr) {
-    stats->tuples_read += end - begin;
-    stats->tuples_written += split.writes;
-    ++stats->cracks;
-  }
-
+template <typename T>
+void CrackerIndex<T>::RegisterCut(T v, bool want_incl, size_t pos) {
   Bound& b = bounds_[v];
   if (b.created == 0) b.created = clock_;
   if (want_incl) {
@@ -123,7 +104,113 @@ size_t CrackerIndex<T>::Cut(T v, bool want_incl, IoStats* stats) {
     b.pos_excl = pos;
   }
   Touch(&b);
+}
+
+template <typename T>
+bool CrackerIndex<T>::FindCutAndTouch(T v, bool want_incl, size_t* pos) {
+  auto it = bounds_.find(v);
+  if (it == bounds_.end()) return false;
+  Bound& b = it->second;
+  if (want_incl && b.has_incl) {
+    Touch(&b);
+    *pos = b.pos_incl;
+    return true;
+  }
+  if (!want_incl && b.has_excl) {
+    Touch(&b);
+    *pos = b.pos_excl;
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+size_t CrackerIndex<T>::Cut(T v, bool want_incl, IoStats* stats) {
+  size_t pos;
+  if (FindCutAndTouch(v, want_incl, &pos)) return pos;
+
+  // The cut is unknown: locate the piece [begin, end) that must be cracked.
+  size_t begin, end;
+  CrackRegionFor(v, want_incl, &begin, &end);
+
+  CrackSplit split = want_incl
+                         ? CrackInTwoLe(data() + begin, oid_data() + begin,
+                                        end - begin, v)
+                         : CrackInTwoLt(data() + begin, oid_data() + begin,
+                                        end - begin, v);
+  pos = begin + split.split;
+  if (stats != nullptr) {
+    stats->tuples_read += end - begin;
+    stats->tuples_written += split.writes;
+    ++stats->cracks;
+  }
+  RegisterCut(v, want_incl, pos);
   return pos;
+}
+
+template <typename T>
+bool CrackerIndex<T>::FindCutConcurrent(T v, bool want_incl, size_t* pos) {
+  std::lock_guard<std::mutex> lk(map_mu_);
+  return FindCutAndTouch(v, want_incl, pos);
+}
+
+template <typename T>
+size_t CrackerIndex<T>::CutConcurrent(T v, bool want_incl, IoStats* stats) {
+  size_t begin, end;
+  {
+    std::lock_guard<std::mutex> lk(map_mu_);
+    size_t pos;
+    if (FindCutAndTouch(v, want_incl, &pos)) return pos;
+    CrackRegionFor(v, want_incl, &begin, &end);
+  }
+  for (;;) {
+    // Shuffles only happen under an exclusive lock on the enclosing piece.
+    // Between the map snapshot and the lock grant another thread may have
+    // subdivided (or fully cut) the region, so revalidate under the map
+    // mutex once the lock is held: the live region is always a subrange of
+    // the one we locked, because cracks only ever subdivide pieces.
+    RangeLockGuard region(&range_locks_, begin, end, /*exclusive=*/true);
+    size_t b2, e2;
+    {
+      std::lock_guard<std::mutex> lk(map_mu_);
+      size_t pos;
+      if (FindCutAndTouch(v, want_incl, &pos)) return pos;
+      CrackRegionFor(v, want_incl, &b2, &e2);
+    }
+    if (b2 < begin || e2 > end) {
+      // Defensive: the region can only shrink; if it ever widened, retry
+      // with the wider lock rather than shuffling outside the held range.
+      begin = b2;
+      end = e2;
+      continue;
+    }
+    begin = b2;
+    end = e2;
+    // The kernel runs outside map_mu_: no other thread can register a cut
+    // inside [begin, end) meanwhile (doing so would need this range lock),
+    // and cuts elsewhere don't move data in here.
+    CrackSplit split =
+        want_incl ? CrackInTwoLe(raw_values_ + begin, raw_oids_ + begin,
+                                 end - begin, v)
+                  : CrackInTwoLt(raw_values_ + begin, raw_oids_ + begin,
+                                 end - begin, v);
+    size_t pos = begin + split.split;
+    if (stats != nullptr) {
+      stats->tuples_read += end - begin;
+      stats->tuples_written += split.writes;
+      ++stats->cracks;
+      // A strictly-interior split is a brand-new cut position (registered
+      // cuts bound the crack region, so its interior held none): exactly
+      // one new piece. Edge splits create nothing, matching the serial
+      // path's num_pieces() diff accounting.
+      if (pos > begin && pos < end) ++stats->pieces_created;
+    }
+    {
+      std::lock_guard<std::mutex> lk(map_mu_);
+      RegisterCut(v, want_incl, pos);
+    }
+    return pos;
+  }
 }
 
 template <typename T>
@@ -257,6 +344,7 @@ CrackSelection CrackerIndex<T>::SelectAll() const {
 
 template <typename T>
 size_t CrackerIndex<T>::num_pieces() const {
+  std::lock_guard<std::mutex> lk(map_mu_);
   std::set<size_t> cuts;
   for (const auto& [value, b] : bounds_) {
     if (b.has_excl && b.pos_excl > 0 && b.pos_excl < n_) cuts.insert(b.pos_excl);
@@ -274,6 +362,7 @@ std::vector<CrackPiece<T>> CrackerIndex<T>::Pieces() const {
     T value;
     bool incl;  // true when this is a pos_incl cut
   };
+  std::lock_guard<std::mutex> lk(map_mu_);
   std::vector<Event> events;
   events.reserve(bounds_.size() * 2);
   for (const auto& [value, b] : bounds_) {
@@ -315,6 +404,7 @@ std::vector<CrackPiece<T>> CrackerIndex<T>::Pieces() const {
 
 template <typename T>
 std::vector<CrackBound<T>> CrackerIndex<T>::Bounds() const {
+  std::lock_guard<std::mutex> lk(map_mu_);
   std::vector<CrackBound<T>> out;
   out.reserve(bounds_.size());
   for (const auto& [value, b] : bounds_) {

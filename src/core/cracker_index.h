@@ -21,11 +21,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/crack_kernels.h"
+#include "core/latch.h"
 #include "storage/bat.h"
 #include "storage/io_stats.h"
 #include "util/macros.h"
@@ -137,6 +139,36 @@ class CrackerIndex {
     return Cut(v, want_incl, stats);
   }
 
+  // --- concurrent cracking (core/latch.h) ----------------------------------
+  // Pieces are disjoint slot ranges, so crack kernels on different pieces
+  // can shuffle concurrently. CutConcurrent navigates the boundary map under
+  // a short internal mutex, then takes an *exclusive* range lock on the
+  // enclosing piece for the shuffle itself; registered cut positions never
+  // move afterwards (cracks only ever subdivide pieces), so readers may rely
+  // on returned positions without further coordination. Callers reading tail
+  // data inside a span must hold LockRangeShared over it for the duration of
+  // the read, which excludes in-flight shuffles of enclosed pieces.
+  //
+  // Contract: concurrent callers use ONLY CutConcurrent + LockRangeShared +
+  // the const accessors below; the serial primitives (Select/ForceCut/...)
+  // require external exclusive ownership of the whole index. The two modes
+  // must not be mixed without that exclusion.
+
+  /// Thread-safe ForceCut: same postcondition, callable from many threads
+  /// at once. Returns the (stable) cut position.
+  size_t CutConcurrent(T v, bool want_incl, IoStats* stats = nullptr);
+
+  /// Thread-safe FindCut + usage-clock touch: true (and *pos set) iff the
+  /// cut is already registered. CutConcurrent's fast path, exposed so
+  /// callers can skip fan-out scheduling when no shuffle is pending.
+  bool FindCutConcurrent(T v, bool want_incl, size_t* pos);
+
+  /// Blocks until no concurrent cut is shuffling inside [begin, end); the
+  /// returned guard keeps those pieces still while the caller reads them.
+  RangeLockGuard LockRangeShared(size_t begin, size_t end) {
+    return RangeLockGuard(&range_locks_, begin, end, /*exclusive=*/false);
+  }
+
   /// The slot range [begin, end) of the piece(s) still undivided around
   /// value `v`: every tuple with tail value v lies inside. Derived from
   /// registered boundaries strictly below/above v, so an existing boundary
@@ -203,14 +235,36 @@ class CrackerIndex {
   /// Cracks the enclosing piece if the cut is not yet known.
   size_t Cut(T v, bool want_incl, IoStats* stats);
 
+  /// The slot region a cut for `v`/`want_incl` would have to shuffle. Only
+  /// valid when the cut is not yet registered.
+  void CrackRegionFor(T v, bool want_incl, size_t* begin, size_t* end) const;
+
+  /// Records the cut position `pos` for `v`/`want_incl` and touches the
+  /// boundary's usage clock.
+  void RegisterCut(T v, bool want_incl, size_t pos);
+
+  /// FindCut that refreshes the usage clock on a hit (CutConcurrent's
+  /// fast path; callers hold map_mu_).
+  bool FindCutAndTouch(T v, bool want_incl, size_t* pos);
+
   void Touch(Bound* b) { b->last_used = clock_++; }
 
   std::map<T, Bound> bounds_;
   std::shared_ptr<Bat> values_;
   std::shared_ptr<Bat> oids_;
+  /// Raw tail pointers, cached so concurrent kernels skip the Bat accessor
+  /// (whose stats invalidation is a write). The cracker column never grows,
+  /// so the pointers are stable for the index's lifetime.
+  T* raw_values_ = nullptr;
+  Oid* raw_oids_ = nullptr;
   size_t n_ = 0;
   uint64_t clock_ = 1;
   CrackerIndexOptions options_;
+  /// Guards bounds_/clock_ among CutConcurrent callers (and makes the const
+  /// piece/bound snapshots safe against in-flight concurrent cuts). The
+  /// serial primitives bypass it; see the concurrency contract above.
+  mutable std::mutex map_mu_;
+  RangeLockTable range_locks_;  ///< piece-granular data locks
 };
 
 extern template class CrackerIndex<int32_t>;

@@ -1,0 +1,107 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/task_pool.h"
+
+namespace crackstore {
+
+TaskPool::TaskPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty() || tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(batch);
+  }
+  work_cv_.notify_all();
+
+  // The submitter drains its own batch alongside the workers; when it runs
+  // out of unclaimed tasks it waits only for tasks already in flight on
+  // other threads — progress is guaranteed even on a saturated pool.
+  const size_t n = batch->tasks.size();
+  for (;;) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    batch->tasks[i]();
+    batch->done.fetch_add(1, std::memory_order_release);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return batch->done.load(std::memory_order_acquire) >= n;
+  });
+}
+
+void TaskPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    std::shared_ptr<Batch> batch = queue_.front();
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->tasks.size()) {
+      // Batch fully claimed: retire it from the queue (it may already be
+      // gone if another worker retired it first).
+      if (!queue_.empty() && queue_.front() == batch) queue_.pop_front();
+      continue;
+    }
+    lk.unlock();
+    batch->tasks[i]();
+    if (batch->done.fetch_add(1, std::memory_order_release) + 1 ==
+        batch->tasks.size()) {
+      // Pairing the notify with a lock/unlock of mu_ closes the lost-wakeup
+      // window against a submitter that checked the predicate just before
+      // this increment landed.
+      { std::lock_guard<std::mutex> g(mu_); }
+      done_cv_.notify_all();
+    }
+    lk.lock();
+  }
+}
+
+namespace {
+
+struct GlobalPoolHolder {
+  std::mutex mu;
+  std::unique_ptr<TaskPool> pool = std::make_unique<TaskPool>(0);
+};
+
+GlobalPoolHolder& Holder() {
+  static GlobalPoolHolder holder;
+  return holder;
+}
+
+}  // namespace
+
+TaskPool* TaskPool::Global() {
+  GlobalPoolHolder& h = Holder();
+  std::lock_guard<std::mutex> lk(h.mu);
+  return h.pool.get();
+}
+
+void TaskPool::SetGlobalThreads(size_t num_threads) {
+  GlobalPoolHolder& h = Holder();
+  std::lock_guard<std::mutex> lk(h.mu);
+  h.pool.reset();  // join the old workers before spawning the new ones
+  h.pool = std::make_unique<TaskPool>(num_threads);
+}
+
+}  // namespace crackstore

@@ -1,0 +1,77 @@
+// Copyright 2026 The CrackStore Authors
+//
+// TaskPool: a fixed thread pool with batch-granular work queues, the fan-out
+// engine behind per-piece parallel cracking (ROADMAP) and parallel
+// conjunction legs. The unit of scheduling is a *batch* — a vector of
+// independent closures submitted together (the crack kernels of one query's
+// two bounds, the per-column legs of one conjunction). The submitting thread
+// participates in draining its own batch, so nested submissions from inside
+// pool workers can never deadlock on an exhausted pool: every batch makes
+// progress on at least the thread that submitted it.
+//
+// A process-wide instance (Global()) backs the shell's `threads N` command
+// and the concurrency benchmarks; with 0 threads every batch runs inline on
+// the caller, which keeps single-threaded deployments allocation- and
+// lock-free on this layer.
+
+#ifndef CRACKSTORE_CORE_TASK_POOL_H_
+#define CRACKSTORE_CORE_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace crackstore {
+
+/// See file comment.
+class TaskPool {
+ public:
+  /// Spawns `num_threads` workers (0 = inline execution).
+  explicit TaskPool(size_t num_threads);
+  ~TaskPool();
+  CRACK_DISALLOW_COPY_AND_ASSIGN(TaskPool);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs every task of `tasks` and returns when all have completed. Tasks
+  /// must be independent and must not throw. The caller claims tasks
+  /// alongside the workers (see file comment), so this is safe to call from
+  /// inside a pool task.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  /// The process-wide pool (born with 0 threads). Never null.
+  static TaskPool* Global();
+
+  /// Replaces the global pool with one of `num_threads` workers. Joins the
+  /// previous workers first; must not race in-flight RunBatch calls (resize
+  /// between workloads, not during one).
+  static void SetGlobalThreads(size_t num_threads);
+
+ private:
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: a batch arrived
+  std::condition_variable done_cv_;  ///< submitters: a batch completed
+  std::deque<std::shared_ptr<Batch>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_TASK_POOL_H_

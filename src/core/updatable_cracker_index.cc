@@ -59,6 +59,18 @@ Status UpdatableCrackerIndex<T>::Delete(Oid oid) {
 
 template <typename T>
 Status UpdatableCrackerIndex<T>::Update(T value, Oid oid) {
+  // Concurrency audit (PR 4): this routine runs strictly under the owning
+  // path's delta latch, so the classification below (pending? purged?
+  // deleted? else merged) cannot go stale between the checks and the
+  // delta mutation. The *piece map* is deliberately never consulted here —
+  // the tombstone + re-pend pair keys on oids, which survive any concurrent
+  // crack's shuffle, unlike positions. The window that remains is between a
+  // caller's WHERE scan and this call; the facade closes it by revalidating
+  // liveness per oid inside its write-latch scope and treating the NotFound
+  // below as "row died, skip" rather than a statement abort. Merge()
+  // re-checks the whole tombstone set against the fold
+  // ("tombstone set references missing oids"), so a stale entry can never
+  // silently drop rows.
   if (oid >= next_fresh_oid_) {
     return Status::NotFound(
         StrFormat("oid %llu was never inserted",

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <unordered_map>
 
+#include "core/task_pool.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -232,6 +234,60 @@ Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
 
   run.seconds = timer.ElapsedSeconds();
   return run;
+}
+
+Result<std::vector<uint64_t>> ColumnEngine::RunSelectCountBatch(
+    const std::vector<SelectSpec>& specs) {
+  // Phase 1 (serial): resolve columns and force-create every path, so the
+  // parallel phase never mutates the paths_ map or the tombstone registry.
+  struct Leg {
+    ColumnAccessPath* path = nullptr;
+    const SelectSpec* spec = nullptr;
+    Status status;
+    uint64_t count = 0;
+  };
+  std::vector<Leg> legs(specs.size());
+  std::unordered_map<std::string, std::vector<size_t>> by_column;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto rel_result = this->table(specs[i].table);
+    if (!rel_result.ok()) return rel_result.status();
+    auto bat = (*rel_result)->column(specs[i].column);
+    if (!bat.ok()) return bat.status();
+    CRACK_ASSIGN_OR_RETURN(legs[i].path,
+                           PathFor(specs[i].table, specs[i].column, *bat));
+    legs[i].spec = &specs[i];
+    by_column[specs[i].table + "." + specs[i].column].push_back(i);
+  }
+
+  // Phase 2 (parallel): one task per distinct column; legs sharing a column
+  // run back-to-back inside their task (the serial path may crack or fold
+  // deltas on every select).
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(by_column.size());
+  for (auto& [key, indices] : by_column) {
+    std::vector<size_t>* group = &indices;
+    tasks.emplace_back([&legs, group] {
+      for (size_t i : *group) {
+        Leg& leg = legs[i];
+        auto sel = leg.path->SelectTyped(leg.spec->range,
+                                         /*want_oids=*/false, nullptr);
+        if (!sel.ok()) {
+          leg.status = sel.status();
+          continue;
+        }
+        leg.count = sel->count;
+      }
+    });
+  }
+  TaskPool::Global()->RunBatch(std::move(tasks));
+
+  std::vector<uint64_t> counts;
+  counts.reserve(legs.size());
+  for (Leg& leg : legs) {
+    CRACK_RETURN_NOT_OK(leg.status);
+    counts.push_back(leg.count);
+  }
+  return counts;
 }
 
 Result<RunResult> ColumnEngine::RunChainJoin(

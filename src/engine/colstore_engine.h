@@ -73,6 +73,23 @@ class ColumnEngine {
                                  const std::string& in_col,
                                  DeliveryMode mode = DeliveryMode::kCount);
 
+  /// One leg of a RunSelectCountBatch.
+  struct SelectSpec {
+    std::string table;
+    std::string column;
+    TypedRange range;
+  };
+
+  /// Evaluates many independent count-selections, fanning legs over the
+  /// global TaskPool. Legs over *distinct* columns run concurrently (each
+  /// leg touches only its own access path); legs sharing a column are
+  /// chained into one task, because the engine keeps its paths serial (no
+  /// per-column latches — that protocol lives in AdaptiveStore). Paths are
+  /// created (and tombstones replayed) up front on the calling thread.
+  /// Returns per-leg counts in spec order.
+  Result<std::vector<uint64_t>> RunSelectCountBatch(
+      const std::vector<SelectSpec>& specs);
+
   // --- DML ------------------------------------------------------------------
   // Row-level writes through the same access paths the selections use (the
   // facade's WHERE-driven DML sits one layer up, in AdaptiveStore).

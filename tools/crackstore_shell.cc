@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/adaptive_store.h"
+#include "core/task_pool.h"
 #include "sql/executor.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -77,6 +78,7 @@ class Shell {
     opts.strategy = strategy;
     opts.policy.policy = policy;
     opts.delta_merge = delta_merge;
+    opts.concurrent = concurrent_;
     std::vector<std::shared_ptr<Relation>> tables;
     std::vector<std::pair<std::string, std::vector<Oid>>> dead;
     if (store_ != nullptr) {
@@ -130,6 +132,7 @@ class Shell {
     if (cmd == "strategy") return Strategy(in);
     if (cmd == "policy") return Policy(in);
     if (cmd == "mergepolicy") return MergePolicyCmd(in);
+    if (cmd == "threads") return Threads(in);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try: help)");
   }
@@ -179,6 +182,7 @@ class Shell {
         "  strategy <scan|crack|sort>   (keeps tables, drops accelerators)\n"
         "  policy <standard|stochastic|coarse>   (crack pivot discipline)\n"
         "  mergepolicy <immediate|threshold|ripple> [fraction]\n"
+        "  threads <n>   (task-pool size; n>1 turns on the concurrent store)\n"
         "  quit\n");
     return Status::OK();
   }
@@ -470,6 +474,26 @@ class Shell {
     return Status::OK();
   }
 
+  Status Threads(std::istringstream* in) {
+    size_t n = 0;
+    if (!(*in >> n)) {
+      return Status::InvalidArgument("usage: threads <count>   (0/1 = serial)");
+    }
+    TaskPool::SetGlobalThreads(n);
+    bool concurrent = n > 1;
+    if (concurrent != concurrent_) {
+      concurrent_ = concurrent;
+      // The latch protocol is a store-construction property; rebuild the
+      // store around the existing tables (tombstones re-marked, like
+      // `strategy`).
+      Reset(strategy_);
+    }
+    std::printf("task pool: %zu thread(s); store runs %s\n", n,
+                concurrent_ ? "concurrent (per-column latches + piece locks)"
+                            : "serial");
+    return Status::OK();
+  }
+
   Status MergePolicyCmd(std::istringstream* in) {
     std::string name;
     *in >> name;
@@ -490,6 +514,7 @@ class Shell {
   AccessStrategy strategy_ = AccessStrategy::kCrack;
   CrackPolicy policy_ = CrackPolicy::kStandard;
   DeltaMergeOptions delta_merge_;
+  bool concurrent_ = false;  ///< store built with the latch protocol on
   int errors_ = 0;
 };
 
