@@ -110,8 +110,8 @@ double RunPhase(AdaptiveStore* store, const RunConfig& cfg, size_t threads,
         auto ins = store->Insert(
             "R", {Value(rng.NextInRange(1, domain)),
                   Value(rng.NextInRange(1, domain))});
-        if (ins.ok() && !ins->scan_oids.empty()) {
-          mine.push_back(ins->scan_oids.front());
+        if (ins.ok() && ins->inserted_oid != kInvalidOid) {
+          mine.push_back(ins->inserted_oid);
         }
         if (mine.size() > 64) {
           (void)store->DeleteOids("R", {mine.front()});

@@ -35,13 +35,14 @@ const char* AccessStrategyName(AccessStrategy strategy) {
 
 Result<AccessSelection> ColumnAccessPath::SelectTyped(const TypedRange& range,
                                                       bool want_oids,
-                                                      IoStats* stats) {
+                                                      IoStats* stats,
+                                                      const SnapshotView* view) {
   if (range.has_string()) {
     return Status::TypeMismatch(
         "string predicate on a numeric access path (string bounds need a "
         "string column)");
   }
-  return Select(range.ToNumericBounds(), want_oids, stats);
+  return Select(range.ToNumericBounds(), want_oids, stats, view);
 }
 
 namespace {
@@ -161,15 +162,41 @@ std::vector<PieceInfo> WholeColumnPiece(size_t n) {
   return {piece};
 }
 
-/// Applies a path's pending write deltas to a base answer: tombstoned rows
-/// drop out, qualifying pending inserts join in. When the answer is touched
-/// at all it degrades from a contiguous view to an (ascending) oid list —
-/// the price of reading through an unmerged delta.
+/// True when `view` can change an answer (hide rows or override values).
+inline bool ViewActive(const SnapshotView* view) {
+  return view != nullptr && view->active();
+}
+
+/// Re-admits a view's value overrides into an (already non-contiguous)
+/// answer: rows whose value at the snapshot differs from the physical one
+/// were excluded by the visibility filter; the ones whose snapshot value
+/// qualifies join back here (vacuum-purged rows stay out via RowVisible).
+/// Caller sorts the oid list afterwards.
+template <typename T>
+void ReadmitOverrides(const SnapshotView* view, T lo, bool lo_incl, T hi,
+                      bool hi_incl, bool want_oids, AccessSelection* out) {
+  if (!ViewActive(view)) return;
+  for (const auto& [oid, value] : view->overrides()) {
+    if (!view->RowVisible(oid)) continue;
+    if (!InRange(CastValue<T>(value), lo, lo_incl, hi, hi_incl)) continue;
+    ++out->count;
+    if (want_oids) out->oids.push_back(oid);
+  }
+}
+
+/// Applies a path's pending write deltas — and the caller's MVCC read
+/// filter — to a base answer: physically tombstoned and snapshot-invisible
+/// rows drop out, qualifying pending inserts join in, and overridden rows
+/// re-enter per their value at the snapshot. When the answer is touched at
+/// all it degrades from a contiguous view to an (ascending) oid list — the
+/// price of reading through an unmerged delta or an unvacuumed version.
 template <typename T, typename IsDeletedFn>
 void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
                         size_t num_tombstones, IsDeletedFn&& is_deleted, T lo,
                         bool lo_incl, T hi, bool hi_incl, bool want_oids,
-                        IoStats* stats, AccessSelection* out) {
+                        const SnapshotView* view, IoStats* stats,
+                        AccessSelection* out) {
+  bool versioned = ViewActive(view);
   size_t delta_hits = 0;
   for (const auto& [value, oid] : pending) {
     delta_hits += InRange(value, lo, lo_incl, hi, hi_incl) ? 1 : 0;
@@ -177,9 +204,16 @@ void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
   if (stats != nullptr && !pending.empty()) {
     stats->tuples_read += pending.size();
   }
-  if (num_tombstones == 0 && delta_hits == 0) return;  // clean answer
+  if (num_tombstones == 0 && delta_hits == 0 && !versioned) {
+    return;  // clean answer
+  }
 
-  if (!out->contiguous && num_tombstones == 0) {
+  auto hidden = [&](Oid oid) {
+    if (num_tombstones > 0 && is_deleted(oid)) return true;
+    return versioned && view->Hides(oid);
+  };
+
+  if (!out->contiguous && num_tombstones == 0 && !versioned) {
     // Oid-list base answer with nothing to subtract: the base count stands
     // even when the caller skipped the oid gather (count-only coarse
     // selects); just add the qualifying pending inserts.
@@ -197,7 +231,7 @@ void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
   std::vector<Oid> oids;
   if (want_oids) oids.reserve(static_cast<size_t>(out->count) + delta_hits);
   auto visit = [&](Oid oid) {
-    if (num_tombstones > 0 && is_deleted(oid)) return;
+    if (hidden(oid)) return;
     ++count;
     if (want_oids) oids.push_back(oid);
   };
@@ -211,14 +245,19 @@ void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
   }
   for (const auto& [value, oid] : pending) {
     if (!InRange(value, lo, lo_incl, hi, hi_incl)) continue;
+    // Only the snapshot filter applies here: an updated row is tombstoned
+    // at its old position AND pending at its new value — the tombstone
+    // must not cancel the pending re-entry.
+    if (versioned && view->Hides(oid)) continue;
     ++count;
     if (want_oids) oids.push_back(oid);
   }
-  if (want_oids) std::sort(oids.begin(), oids.end());
   out->contiguous = false;
   out->view = CrackSelection{};
   out->count = count;
   out->oids = std::move(oids);
+  ReadmitOverrides<T>(view, lo, lo_incl, hi, hi_incl, want_oids, out);
+  if (want_oids) std::sort(out->oids.begin(), out->oids.end());
 }
 
 // --- crack ----------------------------------------------------------------
@@ -259,19 +298,21 @@ class CrackAccessPath : public ColumnAccessPath {
   }
 
   AccessSelection Select(const RangeBounds& range, bool want_oids,
-                         IoStats* stats) override {
+                         IoStats* stats,
+                         const SnapshotView* view = nullptr) override {
     T lo, hi;
     bool lo_incl, hi_incl;
     ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
 
     AccessSelection out;
-    // Provably-empty range: answer before paying the O(n) index build.
+    // Provably-empty range: answer before paying the O(n) index build
+    // (nothing — not even an override — can satisfy an empty range).
     if (lo > hi || (lo == hi && !(lo_incl && hi_incl))) return out;
 
     if (config_.concurrent &&
         concurrency() == PathConcurrency::kSharedReads &&
         built_.load(std::memory_order_acquire)) {
-      return SelectShared(lo, lo_incl, hi, hi_incl, want_oids, stats);
+      return SelectShared(lo, lo_incl, hi, hi_incl, want_oids, stats, view);
     }
 
     EnsureBuilt(stats);
@@ -279,9 +320,11 @@ class CrackAccessPath : public ColumnAccessPath {
     // (exclusive latch); a raced-in delta is overlaid below instead.
     if (!config_.concurrent) MaybeMergeOnSelect(stats);
     CrackerIndex<T>* inner = updatable_->mutable_index();
-    // Tombstones force the coarse path to gather oids: an answer spanning
-    // uncracked edges cannot subtract deleted rows without naming them.
-    bool gather = want_oids || updatable_->pending_deletes() > 0;
+    // Tombstones (and snapshot filters) force the coarse path to gather
+    // oids: an answer spanning uncracked edges cannot subtract hidden rows
+    // without naming them.
+    bool gather = want_oids || updatable_->pending_deletes() > 0 ||
+                  ViewActive(view);
     out.contiguous = true;
     switch (engine_.policy()) {
       case CrackPolicy::kStandard:
@@ -304,7 +347,7 @@ class CrackAccessPath : public ColumnAccessPath {
     OverlayDeltaAnswer<T>(
         updatable_->pending(), updatable_->pending_deletes(),
         [this](Oid oid) { return updatable_->IsDeleted(oid); }, lo, lo_incl,
-        hi, hi_incl, want_oids, stats, &out);
+        hi, hi_incl, want_oids, view, stats, &out);
 
     if (!config_.merge_budget.unlimited()) {
       out.bounds_dropped =
@@ -381,6 +424,12 @@ class CrackAccessPath : public ColumnAccessPath {
   }
   size_t merges_performed() const override {
     return updatable_ == nullptr ? 0 : updatable_->merges_performed();
+  }
+
+  size_t accel_tuples() const override {
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
+    return updatable_ == nullptr ? 0 : updatable_->index().size();
   }
 
   std::vector<PieceInfo> Pieces() const override {
@@ -488,9 +537,11 @@ class CrackAccessPath : public ColumnAccessPath {
   /// data behind a view may be shuffled by a neighbor the moment the span
   /// lock drops).
   AccessSelection SelectShared(T lo, bool lo_incl, T hi, bool hi_incl,
-                               bool want_oids, IoStats* stats) {
+                               bool want_oids, IoStats* stats,
+                               const SnapshotView* view) {
     AccessSelection out;
     out.contiguous = false;
+    bool versioned = ViewActive(view);
     // Stable under the shared latch: swapping the index needs the
     // exclusive latch (Merge/FlushDeltas).
     CrackerIndex<T>* inner = updatable_->mutable_index();
@@ -532,14 +583,18 @@ class CrackAccessPath : public ColumnAccessPath {
     RangeLockGuard span = inner->LockRangeShared(cut_lo, cut_hi);
     std::lock_guard<std::mutex> dl(delta_mu_);
     size_t tombstones = updatable_->pending_deletes();
-    if (tombstones == 0 && !want_oids) {
+    auto hidden = [&](Oid oid) {
+      if (tombstones > 0 && updatable_->IsDeleted(oid)) return true;
+      return versioned && view->Hides(oid);
+    };
+    if (tombstones == 0 && !versioned && !want_oids) {
       out.count = cut_hi - cut_lo;  // positions alone answer the count
     } else {
       const Oid* oid_data = inner->oids()->template TailData<Oid>();
       if (want_oids) out.oids.reserve(cut_hi - cut_lo);
       for (size_t i = cut_lo; i < cut_hi; ++i) {
         Oid oid = oid_data[i];
-        if (tombstones > 0 && updatable_->IsDeleted(oid)) continue;
+        if (hidden(oid)) continue;
         ++out.count;
         if (want_oids) out.oids.push_back(oid);
       }
@@ -547,12 +602,16 @@ class CrackAccessPath : public ColumnAccessPath {
     }
     for (const auto& [value, oid] : updatable_->pending()) {
       if (!InRange(value, lo, lo_incl, hi, hi_incl)) continue;
+      // Snapshot filter only: an updated row is tombstoned at its old
+      // position and pending at its new value.
+      if (versioned && view->Hides(oid)) continue;
       ++out.count;
       if (want_oids) out.oids.push_back(oid);
     }
     if (stats != nullptr && !updatable_->pending().empty()) {
       stats->tuples_read += updatable_->pending().size();
     }
+    ReadmitOverrides<T>(view, lo, lo_incl, hi, hi_incl, want_oids, &out);
     if (want_oids) std::sort(out.oids.begin(), out.oids.end());
     return out;
   }
@@ -713,7 +772,8 @@ class SortAccessPath : public ColumnAccessPath {
   }
 
   AccessSelection Select(const RangeBounds& range, bool want_oids,
-                         IoStats* stats) override {
+                         IoStats* stats,
+                         const SnapshotView* view = nullptr) override {
     bool shared_mode =
         config_.concurrent && built_.load(std::memory_order_acquire);
     if (sorted_ == nullptr) {
@@ -737,7 +797,7 @@ class SortAccessPath : public ColumnAccessPath {
       OverlayDeltaAnswer<T>(
           pending_, deleted_.size(),
           [this](Oid oid) { return deleted_.count(oid) > 0; }, lo, lo_incl,
-          hi, hi_incl, want_oids, stats, &out);
+          hi, hi_incl, want_oids, view, stats, &out);
     }
     // A clean answer stays a contiguous view: unlike a cracker column, the
     // sorted copy never shuffles under shared readers, so the view is
@@ -826,6 +886,12 @@ class SortAccessPath : public ColumnAccessPath {
     return deleted_.size();
   }
   size_t merges_performed() const override { return merges_; }
+
+  size_t accel_tuples() const override {
+    std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+    if (config_.concurrent) dl.lock();
+    return sorted_ == nullptr ? 0 : sorted_->size();
+  }
 
   std::vector<PieceInfo> Pieces() const override {
     return WholeColumnPiece(column_->size());
@@ -989,11 +1055,13 @@ class ScanAccessPath : public ColumnAccessPath {
   bool SharedSelectReady() const override { return true; }
 
   AccessSelection Select(const RangeBounds& range, bool want_oids,
-                         IoStats* stats) override {
+                         IoStats* stats,
+                         const SnapshotView* view = nullptr) override {
     T lo, hi;
     bool lo_incl, hi_incl;
     ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
     AccessSelection out;
+    bool versioned = ViewActive(view);
     // Concurrent mode: snapshot the tombstone set under the delta latch,
     // then scan latch-free — holding the latch across the O(n) loop would
     // serialize every concurrent scan on this column (the base data itself
@@ -1009,12 +1077,16 @@ class ScanAccessPath : public ColumnAccessPath {
     size_t n = column_->size();
     Oid base = column_->head_base();
     for (size_t i = 0; i < n; ++i) {
-      if (!tombs->empty() && tombs->count(base + i) > 0) continue;
+      Oid oid = base + i;
+      if (!tombs->empty() && tombs->count(oid) > 0) continue;
+      if (versioned && view->Hides(oid)) continue;
       if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
         ++out.count;
-        if (want_oids) out.oids.push_back(base + i);
+        if (want_oids) out.oids.push_back(oid);
       }
     }
+    ReadmitOverrides<T>(view, lo, lo_incl, hi, hi_incl, want_oids, &out);
+    if (versioned && want_oids) std::sort(out.oids.begin(), out.oids.end());
     if (stats != nullptr) {
       stats->tuples_read += n;
       if (want_oids) stats->tuples_written += out.count;
@@ -1134,14 +1206,19 @@ class DictStringAccessPath : public ColumnAccessPath {
   // kExclusiveOnly, never shared-ready, no owner-driven maintenance.
 
   AccessSelection Select(const RangeBounds& range, bool want_oids,
-                         IoStats* stats) override {
+                         IoStats* stats,
+                         const SnapshotView* view = nullptr) override {
     // Native-domain selection: the bounds are dictionary codes.
     EnsureEncoded(stats);
-    return inner_->Select(range, want_oids, stats);
+    SnapshotView code_view;
+    return inner_->Select(range, want_oids, stats,
+                          TranslateView(view, stats, &code_view));
   }
 
   Result<AccessSelection> SelectTyped(const TypedRange& range, bool want_oids,
-                                      IoStats* stats) override {
+                                      IoStats* stats,
+                                      const SnapshotView* view = nullptr)
+      override {
     if ((!range.lo.is_null() && !range.lo.is_string()) ||
         (!range.hi.is_null() && !range.hi.is_string())) {
       return Status::TypeMismatch(
@@ -1149,6 +1226,11 @@ class DictStringAccessPath : public ColumnAccessPath {
                     column_->name().c_str()));
     }
     EnsureEncoded(stats);
+    // Translate the view before the bounds: interning an unseen override
+    // value may remap the whole code domain, which would stale previously
+    // computed code bounds.
+    SnapshotView code_view;
+    const SnapshotView* inner_view = TranslateView(view, stats, &code_view);
     RangeBounds codes;  // defaults: unbounded both sides
     if (!range.lo.is_null()) {
       int64_t code;
@@ -1175,7 +1257,7 @@ class DictStringAccessPath : public ColumnAccessPath {
         return AccessSelection{};  // sorts before every string: empty
       }
     }
-    return inner_->Select(codes, want_oids, stats);
+    return inner_->Select(codes, want_oids, stats, inner_view);
   }
 
   Status Insert(const Value& value, Oid oid, IoStats* stats) override {
@@ -1232,6 +1314,10 @@ class DictStringAccessPath : public ColumnAccessPath {
            (inner_ == nullptr ? 0 : inner_->merges_performed());
   }
 
+  size_t accel_tuples() const override {
+    return inner_ == nullptr ? 0 : inner_->accel_tuples();
+  }
+
   std::vector<PieceInfo> Pieces() const override {
     if (inner_ == nullptr) return WholeColumnPiece(column_->size());
     return inner_->Pieces();  // code-domain value decorations
@@ -1264,6 +1350,46 @@ class DictStringAccessPath : public ColumnAccessPath {
   }
 
  private:
+  /// Translates the facade's string-valued overrides into the inner path's
+  /// code domain (order-preserving, so range membership is preserved).
+  /// Returns nullptr when the view is inactive; otherwise fills *storage
+  /// and returns it. Unseen old values (an accelerator reset can outlive
+  /// the version log) intern on demand — EnsureEncoded has already run, so
+  /// a gap-exhaustion remap stays safely before the inner selection.
+  const SnapshotView* TranslateView(const SnapshotView* view, IoStats* stats,
+                                    SnapshotView* storage) {
+    if (view == nullptr || !view->active()) return nullptr;
+    if (view->overrides().empty()) return view;
+    // Interning an unseen value can exhaust a code gap and remap the whole
+    // code domain, which would stale codes translated earlier in this very
+    // loop — restart the translation whenever a rebuild fires.
+    std::vector<std::pair<Oid, Value>> code_overrides;
+    bool remapped = true;
+    while (remapped) {
+      remapped = false;
+      code_overrides.clear();
+      code_overrides.reserve(view->overrides().size());
+      size_t rebuilds = dict_->rebuilds();
+      for (const auto& [oid, value] : view->overrides()) {
+        if (!value.is_string()) {
+          code_overrides.emplace_back(oid, value);  // already numeric
+          continue;
+        }
+        int64_t code;
+        if (!dict_->CodeFor(value.AsString(), &code)) {
+          code = Intern(value.AsString(), stats);
+          if (dict_->rebuilds() != rebuilds) {
+            remapped = true;  // earlier translations are stale
+            break;
+          }
+        }
+        code_overrides.emplace_back(oid, Value(code));
+      }
+    }
+    *storage = view->WithOverrides(std::move(code_overrides));
+    return storage;
+  }
+
   /// Lazily builds the dictionary, the shadow code column and the inner
   /// path — the whole encoding investment is charged to the first query.
   void EnsureEncoded(IoStats* stats) {

@@ -44,6 +44,7 @@
 #include "core/cracker_index.h"
 #include "core/merge_policy.h"
 #include "core/range_bounds.h"
+#include "core/txn_manager.h"
 #include "core/typed_range.h"
 #include "storage/bat.h"
 #include "storage/io_stats.h"
@@ -134,16 +135,26 @@ class ColumnAccessPath {
   /// string columns. `want_oids` asks for the qualifying oid list when the
   /// answer cannot be contiguous (scan; coarse edge pieces; pending write
   /// deltas) — pass false for count-only queries to skip the gather.
+  ///
+  /// `view` (optional) is the caller's MVCC read filter: rows the snapshot
+  /// cannot see are dropped from the physical answer, and rows whose value
+  /// postdates the snapshot are re-admitted per view->overrides(). A null
+  /// or inactive view reads the latest physical state (the pre-MVCC
+  /// behavior, still filtered by the path's own vacuum tombstones).
   virtual AccessSelection Select(const RangeBounds& range, bool want_oids,
-                                 IoStats* stats) = 0;
+                                 IoStats* stats,
+                                 const SnapshotView* view = nullptr) = 0;
 
   /// Typed range selection — the boundary the facade and SQL cross.
   /// Numeric endpoints lower to RangeBounds (the default implementation);
   /// encoding-aware paths translate string endpoints into their code
   /// domain. Mistyped predicates (string bounds on a numeric column and
   /// vice versa) come back as TypeMismatch instead of silently widening.
+  /// `view`: see Select.
   virtual Result<AccessSelection> SelectTyped(const TypedRange& range,
-                                              bool want_oids, IoStats* stats);
+                                              bool want_oids, IoStats* stats,
+                                              const SnapshotView* view =
+                                                  nullptr);
 
   // --- DML ------------------------------------------------------------------
   // Contract: the owner of the base column applies the physical mutation
@@ -159,7 +170,11 @@ class ColumnAccessPath {
   virtual Status Insert(const Value& value, Oid oid,
                         IoStats* stats = nullptr) = 0;
 
-  /// Tombstones row `oid`; every later Select excludes it.
+  /// Tombstones row `oid` *physically*; every later Select excludes it
+  /// regardless of any SnapshotView. Under the MVCC facade deletes are
+  /// version stamps first (core/txn_manager.h) and reach this method only
+  /// when vacuum purges a version below the low-water snapshot; direct
+  /// (non-transactional) users keep the original instant-delete semantics.
   virtual Status Delete(Oid oid, IoStats* stats = nullptr) = 0;
 
   /// Changes the value of live row `oid` (the oid survives, so sibling
@@ -199,6 +214,12 @@ class ColumnAccessPath {
   virtual size_t pending_inserts() const = 0;
   virtual size_t pending_deletes() const = 0;
   virtual size_t merges_performed() const = 0;
+
+  /// Tuples physically held by the accelerator (cracker column / sorted
+  /// copy / dictionary code column), 0 when none is built or the strategy
+  /// keeps no copy (scan). Vacuum tests assert this shrinks after purged
+  /// versions merge out.
+  virtual size_t accel_tuples() const { return 0; }
 
   /// Pieces currently delimiting the column; {[0, n)} when never cracked.
   virtual std::vector<PieceInfo> Pieces() const = 0;

@@ -91,6 +91,11 @@ Status ValidateAssignments(const Relation& rel,
   return Status::OK();
 }
 
+/// First oid of `rel`'s dense head (0 for empty schemas).
+Oid BaseOid(const Relation& rel) {
+  return rel.num_columns() > 0 ? rel.column(size_t{0})->head_base() : 0;
+}
+
 }  // namespace
 
 std::vector<Oid> QueryResult::CollectOids() const& {
@@ -126,7 +131,11 @@ Status AdaptiveStore::AddTable(std::shared_ptr<Relation> relation) {
   if (tables_.count(relation->name()) > 0) {
     return Status::AlreadyExists("table exists: " + relation->name());
   }
-  tables_.emplace(relation->name(), std::move(relation));
+  std::string name = relation->name();
+  Oid base = BaseOid(*relation);
+  size_t rows = relation->num_rows();
+  tables_.emplace(name, std::move(relation));
+  versions_.emplace(name, std::make_unique<VersionedTable>(base, rows));
   return Status::OK();
 }
 
@@ -162,14 +171,15 @@ Result<AdaptiveStore::ColumnAccel*> AdaptiveStore::Accel(
   if (accel.path == nullptr) {
     CRACK_ASSIGN_OR_RETURN(
         accel.path, CreateColumnAccessPath(bat, options_.path_config()));
-    // A path born after deletes must not resurrect them: replay the table's
-    // tombstones (the lazy accelerator build reads the append-only base,
-    // which still holds the dead rows physically).
-    const std::unordered_set<Oid>* tomb = TombstonesFor(table);
-    if (tomb != nullptr) {
-      for (Oid oid : *tomb) {
+    // A path born after a vacuum must not resurrect purged rows: the lazy
+    // accelerator build reads the append-only base, which still holds them
+    // physically. (Versioned-but-unpurged deletes need no replay — the
+    // SnapshotView filters them at read time.)
+    VersionedTable* vt = VersionsIfAny(table);
+    if (vt != nullptr) {
+      for (Oid oid : vt->PurgedOids()) {
         Status st = accel.path->Delete(oid);
-        CRACK_DCHECK(st.ok());
+        CRACK_DCHECK(st.ok() || st.IsNotFound());
         (void)st;
       }
     }
@@ -177,11 +187,296 @@ Result<AdaptiveStore::ColumnAccel*> AdaptiveStore::Accel(
   return &accel;
 }
 
-const std::unordered_set<Oid>* AdaptiveStore::TombstonesFor(
-    const std::string& table) const {
-  auto it = tombstones_.find(table);
-  if (it == tombstones_.end() || it->second.empty()) return nullptr;
-  return &it->second;
+// --- MVCC machinery ---------------------------------------------------------
+
+VersionedTable* AdaptiveStore::VersionsFor(const std::string& table) const {
+  std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+  if (options_.concurrent) rl.lock();
+  auto it = versions_.find(table);
+  if (it == versions_.end()) {
+    Oid base = 0;
+    size_t rows = 0;
+    auto t = tables_.find(table);
+    if (t != tables_.end()) {
+      base = BaseOid(*t->second);
+      rows = t->second->num_rows();
+    }
+    it = versions_
+             .emplace(table, std::make_unique<VersionedTable>(base, rows))
+             .first;
+  }
+  return it->second.get();
+}
+
+VersionedTable* AdaptiveStore::VersionsIfAny(const std::string& table) const {
+  std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+  if (options_.concurrent) rl.lock();
+  auto it = versions_.find(table);
+  return it == versions_.end() ? nullptr : it->second.get();
+}
+
+Result<Snapshot> AdaptiveStore::ReadSnapshot(TxnId txn) const {
+  if (txn == kNoTxn) {
+    // Under commit_mu_: a snapshot must never observe a commit timestamp
+    // whose version stamps have not landed yet (see commit_mu_).
+    std::lock_guard<std::mutex> cl(commit_mu_);
+    return txn_mgr_.LatestSnapshot();
+  }
+  return txn_mgr_.SnapshotOf(txn);
+}
+
+SnapshotView AdaptiveStore::ViewForColumn(const std::string& table,
+                                          const std::string& column,
+                                          const Snapshot& snap) const {
+  VersionedTable* vt = VersionsIfAny(table);
+  if (vt == nullptr) return SnapshotView();
+  // Concurrent stores always get an active view: rows appended while the
+  // statement runs must fall beyond the view's horizon even when no
+  // version state existed at build time.
+  return vt->ViewFor(snap, column, /*force_active=*/options_.concurrent);
+}
+
+Result<SnapshotView> AdaptiveStore::ReadView(const std::string& table,
+                                             const std::string& column,
+                                             TxnId txn) const {
+  CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
+  return ViewForColumn(table, column, snap);
+}
+
+Result<TxnId> AdaptiveStore::Begin() {
+  TxnId txn;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> cl(commit_mu_);  // see commit_mu_
+    txn = txn_mgr_.Begin();
+    CRACK_ASSIGN_OR_RETURN(snap, txn_mgr_.SnapshotOf(txn));
+  }
+  std::lock_guard<std::mutex> tl(txn_states_mu_);
+  TxnState state;
+  state.snap = snap;
+  txn_states_.emplace(txn, std::move(state));
+  return txn;
+}
+
+bool AdaptiveStore::TxnActive(TxnId txn) const {
+  return txn != kNoTxn && txn_mgr_.IsActive(txn);
+}
+
+Result<AdaptiveStore::WriteScope> AdaptiveStore::BeginWriteScope(TxnId txn) {
+  WriteScope scope;
+  if (txn == kNoTxn) {
+    // Auto-commit: the statement is its own transaction — its writes
+    // become visible atomically when FinishWriteScope commits, and a
+    // failed statement leaves no visibility trace.
+    {
+      std::lock_guard<std::mutex> cl(commit_mu_);  // see commit_mu_
+      scope.txn = txn_mgr_.Begin();
+      CRACK_ASSIGN_OR_RETURN(scope.snap, txn_mgr_.SnapshotOf(scope.txn));
+    }
+    scope.implicit = true;
+    std::lock_guard<std::mutex> tl(txn_states_mu_);
+    TxnState state;
+    state.snap = scope.snap;
+    state.implicit = true;
+    txn_states_.emplace(scope.txn, std::move(state));
+    return scope;
+  }
+  std::lock_guard<std::mutex> tl(txn_states_mu_);
+  auto it = txn_states_.find(txn);
+  if (it == txn_states_.end()) {
+    return Status::NotFound(
+        StrFormat("no active transaction %llu",
+                  static_cast<unsigned long long>(txn)));
+  }
+  if (it->second.abort_only) {
+    return Status::Aborted(
+        "transaction hit a write-write conflict; roll it back");
+  }
+  scope.txn = txn;
+  scope.snap = it->second.snap;
+  scope.implicit = false;
+  return scope;
+}
+
+Status AdaptiveStore::FinishWriteScope(const WriteScope& scope,
+                                       Status op_status) {
+  if (scope.implicit) {
+    if (op_status.ok()) return Commit(scope.txn);
+    Status rb = Rollback(scope.txn);
+    CRACK_DCHECK(rb.ok());
+    (void)rb;
+    return op_status;
+  }
+  if (op_status.IsAborted()) {
+    std::lock_guard<std::mutex> tl(txn_states_mu_);
+    auto it = txn_states_.find(scope.txn);
+    if (it != txn_states_.end()) it->second.abort_only = true;
+  }
+  return op_status;
+}
+
+void AdaptiveStore::Touch(const WriteScope& scope, const std::string& table,
+                          Oid oid) {
+  std::lock_guard<std::mutex> tl(txn_states_mu_);
+  auto it = txn_states_.find(scope.txn);
+  if (it != txn_states_.end()) it->second.touched[table].push_back(oid);
+}
+
+void AdaptiveStore::PushUndo(const WriteScope& scope, UndoRecord record) {
+  std::lock_guard<std::mutex> tl(txn_states_mu_);
+  auto it = txn_states_.find(scope.txn);
+  if (it != txn_states_.end()) it->second.undo.push_back(std::move(record));
+}
+
+Status AdaptiveStore::Commit(TxnId txn) {
+  if (txn == kNoTxn) {
+    return Status::InvalidArgument("auto-commit has no transaction to commit");
+  }
+  bool abort_only = false;
+  {
+    std::lock_guard<std::mutex> tl(txn_states_mu_);
+    auto it = txn_states_.find(txn);
+    if (it == txn_states_.end()) {
+      return Status::NotFound(
+          StrFormat("no active transaction %llu",
+                    static_cast<unsigned long long>(txn)));
+    }
+    abort_only = it->second.abort_only;
+  }
+  if (abort_only) {
+    CRACK_RETURN_NOT_OK(Rollback(txn));
+    return Status::Aborted(
+        "transaction hit a write-write conflict and was rolled back");
+  }
+  TxnState state;
+  {
+    std::lock_guard<std::mutex> tl(txn_states_mu_);
+    auto it = txn_states_.find(txn);
+    state = std::move(it->second);
+    txn_states_.erase(it);
+  }
+  // Formal first-committer-wins validation. Write admission already locks
+  // rows eagerly, so this cannot fire today — it is the commit-time guard
+  // the protocol is defined by.
+  for (const auto& [table, oids] : state.touched) {
+    Status st = VersionsFor(table)->ValidateWriteSet(state.snap, txn, oids);
+    if (!st.ok()) {
+      {
+        std::lock_guard<std::mutex> tl(txn_states_mu_);
+        txn_states_.emplace(txn, std::move(state));
+      }
+      CRACK_RETURN_NOT_OK(Rollback(txn));
+      return st;
+    }
+  }
+  // Atomic with respect to snapshot acquisition: no reader may pin a
+  // read_ts covering `cts` before every marker is stamped.
+  std::lock_guard<std::mutex> cl(commit_mu_);
+  CRACK_ASSIGN_OR_RETURN(Ts cts, txn_mgr_.FinishCommit(txn));
+  for (const auto& [table, oids] : state.touched) {
+    VersionsFor(table)->CommitTxn(txn, cts, oids);
+  }
+  return Status::OK();
+}
+
+Status AdaptiveStore::Rollback(TxnId txn) {
+  if (txn == kNoTxn) {
+    return Status::InvalidArgument(
+        "auto-commit has no transaction to roll back");
+  }
+  TxnState state;
+  {
+    std::lock_guard<std::mutex> tl(txn_states_mu_);
+    auto it = txn_states_.find(txn);
+    if (it == txn_states_.end()) {
+      return Status::NotFound(
+          StrFormat("no active transaction %llu",
+                    static_cast<unsigned long long>(txn)));
+    }
+    state = std::move(it->second);
+    txn_states_.erase(it);
+  }
+  // Physical value restores need the store quiesced in concurrent mode
+  // (they bypass the per-column latch protocol).
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
+  return RollbackLocked(txn, &state);
+}
+
+Status AdaptiveStore::RollbackLocked(TxnId txn, TxnState* state) {
+  Status result = Status::OK();
+  // Undo physical update writes in reverse order, so multiple writes to
+  // one slot unwind to the oldest value.
+  for (auto it = state->undo.rbegin(); it != state->undo.rend(); ++it) {
+    auto rel = this->table(it->table);
+    if (!rel.ok()) {
+      result = rel.status();
+      continue;
+    }
+    auto bat = (*rel)->column(it->column);
+    if (!bat.ok()) {
+      result = bat.status();
+      continue;
+    }
+    Oid base = (*bat)->head_base();
+    Status st =
+        (*bat)->SetValue(static_cast<size_t>(it->oid - base), it->old_value);
+    if (!st.ok()) result = st;
+    ColumnAccessPath* path = nullptr;
+    {
+      std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+      if (options_.concurrent) rl.lock();
+      auto ait = accels_.find(it->table + "." + it->column);
+      if (ait != accels_.end() &&
+          (options_.concurrent
+               ? ait->second.has_path.load(std::memory_order_acquire)
+               : ait->second.path != nullptr)) {
+        path = ait->second.path.get();
+      }
+    }
+    if (path != nullptr) {
+      st = path->Update(it->oid, it->old_value);
+      if (!st.ok() && !st.IsNotFound()) result = st;
+    }
+  }
+  for (const auto& [table, oids] : state->touched) {
+    VersionsFor(table)->RollbackTxn(txn, oids);
+  }
+  Status fin = txn_mgr_.FinishRollback(txn);
+  if (!fin.ok()) result = fin;
+  return result;
+}
+
+Result<uint64_t> AdaptiveStore::StampDeletes(const std::string& table,
+                                             const WriteScope& scope,
+                                             const std::vector<Oid>& oids,
+                                             IoStats* stats) {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  VersionedTable* vt = VersionsFor(table);
+  Oid base = BaseOid(**rel_result);
+  Oid end = vt->horizon();
+  uint64_t removed = 0;
+  for (Oid oid : oids) {
+    if (oid < base || oid >= end) {
+      return Status::InvalidArgument(
+          StrFormat("oid %llu outside %s's row range",
+                    static_cast<unsigned long long>(oid), table.c_str()));
+    }
+    std::string why;
+    VersionedTable::Admission adm =
+        vt->AdmitWrite(oid, scope.snap, scope.txn, &why);
+    if (adm == VersionedTable::Admission::kSkip) continue;  // already dead
+    if (adm == VersionedTable::Admission::kConflict) {
+      if (scope.implicit) continue;  // pre-MVCC race semantics: skip the row
+      return Status::Aborted("DELETE " + why);
+    }
+    Touch(scope, table, oid);
+    vt->StampDelete(oid, TxnStamp(scope.txn));
+    ++removed;
+    if (stats != nullptr) ++stats->tuples_written;
+  }
+  return removed;
 }
 
 // --- concurrent-mode machinery ---------------------------------------------
@@ -205,20 +500,17 @@ Status AdaptiveStore::CreatePathLocked(const std::string& table,
                                        const std::shared_ptr<Bat>& bat,
                                        TableState* ts) {
   if (accel->has_path.load(std::memory_order_acquire)) return Status::OK();
+  (void)ts;
   CRACK_ASSIGN_OR_RETURN(accel->path,
                          CreateColumnAccessPath(bat, options_.path_config()));
-  // A path born after deletes must not resurrect them: replay the table's
-  // tombstones before publishing the path.
-  std::unordered_set<Oid>* tomb;
-  {
-    std::lock_guard<std::mutex> rl(registry_mu_);
-    tomb = &tombstones_[table];
-  }
-  {
-    std::lock_guard<std::mutex> tl(ts->tombstone_mu);
-    for (Oid oid : *tomb) {
+  // A path born after a vacuum must not resurrect purged rows: replay them
+  // before publishing the path (versioned deletes are filtered by the
+  // SnapshotView at read time and need no replay).
+  VersionedTable* vt = VersionsIfAny(table);
+  if (vt != nullptr) {
+    for (Oid oid : vt->PurgedOids()) {
       Status st = accel->path->Delete(oid);
-      CRACK_DCHECK(st.ok());
+      CRACK_DCHECK(st.ok() || st.IsNotFound());
       (void)st;
     }
   }
@@ -273,7 +565,7 @@ Status AdaptiveStore::FinishSelectConcurrent(const std::string& table,
 
 Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
     const std::string& table, const std::string& column,
-    const TypedRange& range, Delivery delivery) {
+    const TypedRange& range, Delivery delivery, const Snapshot& snap) {
   auto bat_result = ResolveColumn(table, column);
   if (!bat_result.ok()) return bat_result.status();
   std::shared_ptr<Bat> bat = *bat_result;
@@ -283,6 +575,11 @@ Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
   ColumnAccel* accel;
   TableState* ts;
   ConcurrentEntries(table, column, &accel, &ts);
+
+  // The MVCC read filter, captured before any latch: its horizon hides
+  // rows appended after this point, so the filter needs no base latch.
+  SnapshotView view = ViewForColumn(table, column, snap);
+  const SnapshotView* view_ptr = view.active() ? &view : nullptr;
 
   // Fold deltas the shared path must not (ripple / threshold / immediate
   // folds all run here, under the exclusive latch).
@@ -298,7 +595,7 @@ Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
     std::shared_lock<std::shared_mutex> base(ts->base_latch);
     CRACK_ASSIGN_OR_RETURN(
         AccessSelection sel,
-        accel->path->SelectTyped(range, want_oids, &result.io));
+        accel->path->SelectTyped(range, want_oids, &result.io, view_ptr));
     CRACK_RETURN_NOT_OK(FinishSelectConcurrent(table, column, std::move(sel),
                                                delivery, &result));
   } else {
@@ -307,7 +604,7 @@ Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
     CRACK_RETURN_NOT_OK(CreatePathLocked(table, accel, bat, ts));
     CRACK_ASSIGN_OR_RETURN(
         AccessSelection sel,
-        accel->path->SelectTyped(range, want_oids, &result.io));
+        accel->path->SelectTyped(range, want_oids, &result.io, view_ptr));
     CRACK_RETURN_NOT_OK(FinishSelectConcurrent(table, column, std::move(sel),
                                                delivery, &result));
   }
@@ -319,7 +616,7 @@ Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
 
 Result<QueryResult> AdaptiveStore::SelectConjunctionLocked(
     const std::string& table, const std::vector<ColumnRange>& conjuncts,
-    Delivery delivery) {
+    Delivery delivery, const Snapshot& snap) {
   if (conjuncts.empty()) {
     return Status::InvalidArgument("conjunction needs at least one predicate");
   }
@@ -329,7 +626,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunctionLocked(
   }
   if (conjuncts.size() == 1) {
     return SelectRangeConcurrent(table, conjuncts[0].column,
-                                 conjuncts[0].range, delivery);
+                                 conjuncts[0].range, delivery, snap);
   }
 
   QueryResult result;
@@ -346,9 +643,10 @@ Result<QueryResult> AdaptiveStore::SelectConjunctionLocked(
   std::vector<std::function<void()>> tasks;
   tasks.reserve(conjuncts.size());
   for (size_t i = 0; i < conjuncts.size(); ++i) {
-    tasks.emplace_back([this, &table, &conjuncts, &legs, i] {
+    tasks.emplace_back([this, &table, &conjuncts, &legs, &snap, i] {
       auto qr = SelectRangeConcurrent(table, conjuncts[i].column,
-                                      conjuncts[i].range, Delivery::kView);
+                                      conjuncts[i].range, Delivery::kView,
+                                      snap);
       if (!qr.ok()) {
         legs[i].status = qr.status();
         return;
@@ -374,7 +672,8 @@ Result<QueryResult> AdaptiveStore::SelectConjunctionLocked(
 }
 
 Result<QueryResult> AdaptiveStore::InsertConcurrent(const std::string& table,
-                                                    std::vector<Value> values) {
+                                                    std::vector<Value> values,
+                                                    const WriteScope& scope) {
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
@@ -393,6 +692,7 @@ Result<QueryResult> AdaptiveStore::InsertConcurrent(const std::string& table,
     }
     ts = &table_states_[table];
   }
+  VersionedTable* vt = VersionsFor(table);
   // Latch acquisition in key (= column-name) order; pathless columns take
   // the exclusive latch so no path can be created (and built from a
   // half-appended base) while the row lands.
@@ -419,10 +719,13 @@ Result<QueryResult> AdaptiveStore::InsertConcurrent(const std::string& table,
     }
     std::unique_lock<std::shared_mutex> base(ts->base_latch);
 
+    // Stamp before the physical append: any reader that can observe the
+    // row physically must find its (uncommitted) version stamp.
+    oid = BaseOid(*rel) + rel->num_rows();
+    vt->NoteInsert(oid, TxnStamp(scope.txn));
+    Touch(scope, table, oid);  // with the stamp: rollback must revert it
     CRACK_RETURN_NOT_OK(rel->AppendRow(values));
     result.io.tuples_written += ncols;
-    oid = (ncols > 0 ? rel->column(size_t{0})->head_base() : 0) +
-          rel->num_rows() - 1;
     for (size_t c = 0; c < ncols; ++c) {
       // Re-read under the held latch: a path that appeared since the mode
       // snapshot sits behind our exclusive latch and gets notified; one
@@ -438,101 +741,34 @@ Result<QueryResult> AdaptiveStore::InsertConcurrent(const std::string& table,
   }
 
   result.count = 1;
-  result.scan_oids.push_back(oid);
+  result.inserted_oid = oid;
   result.seconds = timer.ElapsedSeconds();
   AddIo(result.io);
   return result;
 }
 
-Result<uint64_t> AdaptiveStore::DeleteOidsConcurrent(
-    const std::string& table, const std::vector<Oid>& oids, IoStats* stats) {
-  auto rel_result = this->table(table);
-  if (!rel_result.ok()) return rel_result.status();
-  std::shared_ptr<Relation> rel = *rel_result;
-
-  size_t ncols = rel->num_columns();
-  std::vector<ColumnAccel*> accels(ncols);
-  TableState* ts;
-  std::unordered_set<Oid>* tomb;
-  {
-    std::lock_guard<std::mutex> rl(registry_mu_);
-    for (size_t c = 0; c < ncols; ++c) {
-      accels[c] = &accels_[table + "." + rel->schema().column(c).name];
-    }
-    ts = &table_states_[table];
-    tomb = &tombstones_[table];
-  }
-  std::vector<size_t> order(ncols);
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return rel->schema().column(a).name < rel->schema().column(b).name;
-  });
-
-  uint64_t removed = 0;
-  {
-    // Every column latched (pathless ones exclusively, so no path creation
-    // can slip between the tombstone registration and its replay), plus the
-    // base latch shared for oid validation against a stable row count.
-    std::vector<std::shared_lock<std::shared_mutex>> shared_locks;
-    std::vector<std::unique_lock<std::shared_mutex>> unique_locks;
-    for (size_t idx : order) {
-      ColumnAccel* accel = accels[idx];
-      bool shared = accel->has_path.load(std::memory_order_acquire) &&
-                    accel->path->concurrency() ==
-                        PathConcurrency::kSharedReads;
-      if (shared) {
-        shared_locks.emplace_back(accel->latch);
-      } else {
-        unique_locks.emplace_back(accel->latch);
-      }
-    }
-    std::shared_lock<std::shared_mutex> base(ts->base_latch);
-    Oid base_oid =
-        ncols > 0 ? rel->column(size_t{0})->head_base() : 0;
-    Oid end_oid = base_oid + rel->num_rows();
-
-    for (Oid oid : oids) {
-      if (oid < base_oid || oid >= end_oid) {
-        return Status::InvalidArgument(
-            StrFormat("oid %llu outside %s's row range",
-                      static_cast<unsigned long long>(oid), table.c_str()));
-      }
-      {
-        std::lock_guard<std::mutex> tl(ts->tombstone_mu);
-        if (!tomb->insert(oid).second) continue;  // already dead
-      }
-      ++removed;
-      for (size_t c = 0; c < ncols; ++c) {
-        if (!accels[c]->has_path.load(std::memory_order_acquire)) continue;
-        CRACK_RETURN_NOT_OK(accels[c]->path->Delete(oid, stats));
-      }
-      if (stats != nullptr) ++stats->tuples_written;
-    }
-  }
-  for (size_t c = 0; c < ncols; ++c) {
-    CRACK_RETURN_NOT_OK(MaintainColumn(accels[c], ts, stats));
-  }
-  return removed;
-}
-
 Result<QueryResult> AdaptiveStore::DeleteConcurrent(
-    const std::string& table, const std::vector<ColumnRange>& conjuncts) {
+    const std::string& table, const std::vector<ColumnRange>& conjuncts,
+    const WriteScope& scope) {
   QueryResult result;
   WallTimer timer;
   std::vector<Oid> oids;
   if (conjuncts.empty()) {
-    CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table));
+    CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table, scope.snap));
   } else {
     // The WHERE is a read like any other: it cracks the referenced columns
     // on its way to the victim set.
     CRACK_ASSIGN_OR_RETURN(
         QueryResult qr,
-        SelectConjunctionLocked(table, conjuncts, Delivery::kView));
+        SelectConjunctionLocked(table, conjuncts, Delivery::kView,
+                                scope.snap));
     result.io += qr.io;
     oids = std::move(qr).CollectOids();
   }
+  // Deletes are version stamps only — no access-path latches needed; the
+  // rows stay physically in place until vacuum folds them out.
   CRACK_ASSIGN_OR_RETURN(result.count,
-                         DeleteOidsConcurrent(table, oids, &result.io));
+                         StampDeletes(table, scope, oids, &result.io));
   result.seconds = timer.ElapsedSeconds();
   AddIo(result.io);
   return result;
@@ -540,7 +776,7 @@ Result<QueryResult> AdaptiveStore::DeleteConcurrent(
 
 Result<QueryResult> AdaptiveStore::UpdateConcurrent(
     const std::string& table, const std::vector<Assignment>& sets,
-    const std::vector<ColumnRange>& conjuncts) {
+    const std::vector<ColumnRange>& conjuncts, const WriteScope& scope) {
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
@@ -549,11 +785,12 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
   WallTimer timer;
   std::vector<Oid> oids;
   if (conjuncts.empty()) {
-    CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table));
+    CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table, scope.snap));
   } else {
     CRACK_ASSIGN_OR_RETURN(
         QueryResult qr,
-        SelectConjunctionLocked(table, conjuncts, Delivery::kView));
+        SelectConjunctionLocked(table, conjuncts, Delivery::kView,
+                                scope.snap));
     result.io += qr.io;
     oids = std::move(qr).CollectOids();
   }
@@ -566,7 +803,6 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
   // acquired twice by one thread.
   std::map<std::string, ColumnAccel*> distinct;
   TableState* ts;
-  std::unordered_set<Oid>* tomb;
   {
     std::lock_guard<std::mutex> rl(registry_mu_);
     for (size_t s = 0; s < sets.size(); ++s) {
@@ -574,8 +810,8 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
       distinct[sets[s].column] = accels[s];
     }
     ts = &table_states_[table];
-    tomb = &tombstones_[table];
   }
+  VersionedTable* vt = VersionsFor(table);
 
   uint64_t applied = 0;
   {
@@ -591,9 +827,7 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
         unique_locks.emplace_back(accel->latch);
       }
     }
-    // Base exclusive: the slot overwrites must not race base readers, and
-    // holding it blocks deleters (they validate under base shared), which
-    // freezes the tombstone set for the whole statement.
+    // Base exclusive: the slot overwrites must not race base readers.
     std::unique_lock<std::shared_mutex> base(ts->base_latch);
 
     std::vector<std::shared_ptr<Bat>> bats(sets.size());
@@ -601,24 +835,35 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
       bats[s] = *rel->column(sets[s].column);
     }
     for (Oid oid : oids) {
-      {
-        // Revalidate liveness: the row may have died between the WHERE
-        // select and this write phase (the stale window that is a benign
-        // no-match in serial mode but a real race under concurrency).
-        std::lock_guard<std::mutex> tl(ts->tombstone_mu);
-        if (tomb->count(oid) > 0) continue;
+      // Write admission revalidates liveness (the row may have died
+      // between the WHERE select and this write phase) and detects
+      // write-write conflicts first-committer-wins.
+      std::string why;
+      VersionedTable::Admission adm =
+          vt->AdmitWrite(oid, scope.snap, scope.txn, &why);
+      if (adm == VersionedTable::Admission::kSkip) continue;
+      if (adm == VersionedTable::Admission::kConflict) {
+        if (scope.implicit) continue;  // pre-MVCC race semantics
+        return Status::Aborted("UPDATE " + why);
       }
+      Touch(scope, table, oid);
       bool row_applied = true;
       for (size_t s = 0; s < sets.size(); ++s) {
         Oid base_oid = bats[s]->head_base();
-        CRACK_RETURN_NOT_OK(bats[s]->SetValue(
-            static_cast<size_t>(oid - base_oid), sets[s].value));
+        size_t row = static_cast<size_t>(oid - base_oid);
+        Value old_value = bats[s]->GetValue(row);
+        vt->StampUpdate(oid, sets[s].column, old_value,
+                        TxnStamp(scope.txn));
+        PushUndo(scope, UndoRecord{table, sets[s].column, oid,
+                                   std::move(old_value)});
+        CRACK_RETURN_NOT_OK(bats[s]->SetValue(row, sets[s].value));
         result.io.tuples_written += 1;
         if (!accels[s]->has_path.load(std::memory_order_acquire)) continue;
         Status st = accels[s]->path->Update(oid, sets[s].value, &result.io);
         if (st.IsNotFound()) {
-          // The path believes the row is dead (raced tombstone); skip the
-          // row rather than aborting the statement half-applied.
+          // The path believes the row is physically dead (vacuum-purged
+          // under our feet); skip the row rather than aborting the
+          // statement half-applied.
           row_applied = false;
           continue;
         }
@@ -638,27 +883,19 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
 }
 
 Result<std::vector<Oid>> AdaptiveStore::LiveOidsLocked(
-    const std::string& table) const {
+    const std::string& table, const Snapshot& snap) const {
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
   TableState* ts = TableStateFor(table);
-  const std::unordered_set<Oid>* tomb;
-  {
-    std::lock_guard<std::mutex> rl(registry_mu_);
-    auto it = tombstones_.find(table);
-    tomb = it == tombstones_.end() ? nullptr : &it->second;
-  }
+  VersionedTable* vt = VersionsIfAny(table);
   std::shared_lock<std::shared_mutex> base(ts->base_latch);
-  std::lock_guard<std::mutex> tl(ts->tombstone_mu);
   std::vector<Oid> oids;
-  size_t dead = tomb == nullptr ? 0 : tomb->size();
-  oids.reserve(rel->num_rows() - std::min(rel->num_rows(), dead));
-  Oid base_oid =
-      rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+  oids.reserve(rel->num_rows());
+  Oid base_oid = BaseOid(*rel);
   for (size_t i = 0; i < rel->num_rows(); ++i) {
     Oid oid = base_oid + i;
-    if (tomb != nullptr && tomb->count(oid) > 0) continue;
+    if (vt != nullptr && !vt->RowVisibleAt(oid, snap)) continue;
     oids.push_back(oid);
   }
   return oids;
@@ -676,10 +913,11 @@ void AdaptiveStore::AddIo(const IoStats& io) {
 Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
                                                const std::string& column,
                                                const TypedRange& range,
-                                               Delivery delivery) {
+                                               Delivery delivery, TxnId txn) {
+  CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
   if (options_.concurrent) {
     std::shared_lock<std::shared_mutex> g(global_mu_);
-    return SelectRangeConcurrent(table, column, range, delivery);
+    return SelectRangeConcurrent(table, column, range, delivery, snap);
   }
   auto bat_result = ResolveColumn(table, column);
   if (!bat_result.ok()) return bat_result.status();
@@ -695,10 +933,12 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
     accel->piece_nodes[{0, bat->size()}] = accel->root;
   }
 
+  SnapshotView view = ViewForColumn(table, column, snap);
   CRACK_ASSIGN_OR_RETURN(
       AccessSelection sel,
       accel->path->SelectTyped(
-          range, /*want_oids=*/delivery != Delivery::kCount, &result.io));
+          range, /*want_oids=*/delivery != Delivery::kCount, &result.io,
+          view.active() ? &view : nullptr));
   result.count = sel.count;
   if (sel.contiguous) {
     result.selection = sel.view;
@@ -754,12 +994,13 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
 
 Result<QueryResult> AdaptiveStore::SelectConjunction(
     const std::string& table, const std::vector<ColumnRange>& conjuncts,
-    Delivery delivery) {
+    Delivery delivery, TxnId txn) {
   if (options_.concurrent) {
     // Note: the scan-strategy fused pass below reads base columns without
     // per-column coordination; the concurrent path always goes per-column.
+    CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
     std::shared_lock<std::shared_mutex> g(global_mu_);
-    return SelectConjunctionLocked(table, conjuncts, delivery);
+    return SelectConjunctionLocked(table, conjuncts, delivery, snap);
   }
   if (conjuncts.empty()) {
     return Status::InvalidArgument("conjunction needs at least one predicate");
@@ -770,7 +1011,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
   }
   if (conjuncts.size() == 1) {
     return SelectRange(table, conjuncts[0].column, conjuncts[0].range,
-                       delivery);
+                       delivery, txn);
   }
 
   QueryResult result;
@@ -784,7 +1025,14 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
   // encoding lives.
   bool all_numeric = true;
   for (const ColumnRange& c : conjuncts) all_numeric &= !c.range.has_string();
-  if (options_.strategy == AccessStrategy::kScan && all_numeric) {
+  // The fused pass reads current base values with no visibility filter, so
+  // it only runs while the table has no version state at all (no DML yet);
+  // any stamp routes the conjunction per-column, where the SnapshotView
+  // applies.
+  VersionedTable* fused_vt = VersionsIfAny(table);
+  bool version_free = fused_vt == nullptr || fused_vt->empty();
+  if (options_.strategy == AccessStrategy::kScan && all_numeric &&
+      version_free) {
     auto rel_result = this->table(table);
     if (!rel_result.ok()) return rel_result.status();
     std::shared_ptr<Relation> rel = *rel_result;
@@ -823,11 +1071,8 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
     }
     if (fusable) {
       size_t n = rel->num_rows();
-      Oid base =
-          rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
-      const std::unordered_set<Oid>* tomb = TombstonesFor(table);
+      Oid base = BaseOid(*rel);
       for (size_t i = 0; i < n; ++i) {
-        if (tomb != nullptr && tomb->count(base + i) > 0) continue;
         bool all = true;
         for (size_t c = 0; c < cols.size() && all; ++c) {
           if (cols[c].f64 != nullptr) {
@@ -866,7 +1111,8 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
   per_column.reserve(conjuncts.size());
   for (const ColumnRange& c : conjuncts) {
     CRACK_ASSIGN_OR_RETURN(
-        QueryResult qr, SelectRange(table, c.column, c.range, Delivery::kView));
+        QueryResult qr,
+        SelectRange(table, c.column, c.range, Delivery::kView, txn));
     result.io += qr.io;
     per_column.push_back(std::move(qr).CollectOids());
   }
@@ -878,259 +1124,296 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
 }
 
 Result<QueryResult> AdaptiveStore::Insert(const std::string& table,
-                                          std::vector<Value> values) {
-  if (options_.concurrent) {
-    std::shared_lock<std::shared_mutex> g(global_mu_);
-    return InsertConcurrent(table, std::move(values));
-  }
-  auto rel_result = this->table(table);
-  if (!rel_result.ok()) return rel_result.status();
-  std::shared_ptr<Relation> rel = *rel_result;
-
-  QueryResult result;
-  WallTimer timer;
-  CRACK_RETURN_NOT_OK(CoerceRow(rel->schema(), &values));
-  CRACK_RETURN_NOT_OK(rel->AppendRow(values));
-  result.io.tuples_written += rel->num_columns();
-  Oid oid = (rel->num_columns() > 0 ? rel->column(size_t{0})->head_base()
-                                    : 0) +
-            rel->num_rows() - 1;
-
-  // Every materialized accelerator absorbs the new row; columns never
-  // queried stay lazy (their eventual build reads the appended base).
-  for (size_t c = 0; c < rel->num_columns(); ++c) {
-    auto it = accels_.find(table + "." + rel->schema().column(c).name);
-    if (it == accels_.end() || it->second.path == nullptr) continue;
-    CRACK_RETURN_NOT_OK(
-        it->second.path->Insert(values[c], oid, &result.io));
-  }
-
-  result.count = 1;
-  result.scan_oids.push_back(oid);  // the new row's identity
-  result.seconds = timer.ElapsedSeconds();
-  total_io_ += result.io;
-  return result;
-}
-
-Result<uint64_t> AdaptiveStore::DeleteOidsInternal(const std::string& table,
-                                                   const std::vector<Oid>& oids,
-                                                   IoStats* stats) {
-  auto rel_result = this->table(table);
-  if (!rel_result.ok()) return rel_result.status();
-  std::shared_ptr<Relation> rel = *rel_result;
-  Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
-  Oid end = base + rel->num_rows();
-
-  std::string prefix = table + ".";
-  std::unordered_set<Oid>& tomb = tombstones_[table];
-  uint64_t removed = 0;
-  for (Oid oid : oids) {
-    if (oid < base || oid >= end) {
-      return Status::InvalidArgument(
-          StrFormat("oid %llu outside %s's row range",
-                    static_cast<unsigned long long>(oid), table.c_str()));
+                                          std::vector<Value> values,
+                                          TxnId txn) {
+  return RunInWriteScope(txn, [&](const WriteScope& scope)
+                                  -> Result<QueryResult> {
+    if (options_.concurrent) {
+      std::shared_lock<std::shared_mutex> g(global_mu_);
+      return InsertConcurrent(table, std::move(values), scope);
     }
-    if (!tomb.insert(oid).second) continue;  // already dead
-    ++removed;
-    for (auto it = accels_.lower_bound(prefix);
-         it != accels_.end() &&
-         it->first.compare(0, prefix.size(), prefix) == 0;
-         ++it) {
-      if (it->second.path == nullptr) continue;
-      CRACK_RETURN_NOT_OK(it->second.path->Delete(oid, stats));
+    auto rel_result = this->table(table);
+    if (!rel_result.ok()) return rel_result.status();
+    std::shared_ptr<Relation> rel = *rel_result;
+
+    QueryResult result;
+    WallTimer timer;
+    CRACK_RETURN_NOT_OK(CoerceRow(rel->schema(), &values));
+    // Stamp before the physical append (uniform with concurrent mode).
+    Oid oid = BaseOid(*rel) + rel->num_rows();
+    VersionsFor(table)->NoteInsert(oid, TxnStamp(scope.txn));
+    Touch(scope, table, oid);
+    CRACK_RETURN_NOT_OK(rel->AppendRow(values));
+    result.io.tuples_written += rel->num_columns();
+
+    // Every materialized accelerator absorbs the new row; columns never
+    // queried stay lazy (their eventual build reads the appended base).
+    for (size_t c = 0; c < rel->num_columns(); ++c) {
+      auto it = accels_.find(table + "." + rel->schema().column(c).name);
+      if (it == accels_.end() || it->second.path == nullptr) continue;
+      CRACK_RETURN_NOT_OK(
+          it->second.path->Insert(values[c], oid, &result.io));
     }
-    if (stats != nullptr) ++stats->tuples_written;
-  }
-  return removed;
+
+    result.count = 1;
+    result.inserted_oid = oid;  // the new row's identity
+    result.seconds = timer.ElapsedSeconds();
+    total_io_ += result.io;
+    return result;
+  });
 }
 
 Result<QueryResult> AdaptiveStore::DeleteOids(const std::string& table,
-                                              const std::vector<Oid>& oids) {
-  QueryResult result;
-  WallTimer timer;
-  if (options_.concurrent) {
-    std::shared_lock<std::shared_mutex> g(global_mu_);
+                                              const std::vector<Oid>& oids,
+                                              TxnId txn) {
+  return RunInWriteScope(txn, [&](const WriteScope& scope)
+                                  -> Result<QueryResult> {
+    QueryResult result;
+    WallTimer timer;
+    // Version stamps only — the shared store latch suffices.
+    std::shared_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+    if (options_.concurrent) g.lock();
     CRACK_ASSIGN_OR_RETURN(result.count,
-                           DeleteOidsConcurrent(table, oids, &result.io));
+                           StampDeletes(table, scope, oids, &result.io));
     result.seconds = timer.ElapsedSeconds();
     AddIo(result.io);
     return result;
-  }
-  CRACK_ASSIGN_OR_RETURN(result.count,
-                         DeleteOidsInternal(table, oids, &result.io));
-  result.seconds = timer.ElapsedSeconds();
-  total_io_ += result.io;
-  return result;
+  });
 }
 
 Result<QueryResult> AdaptiveStore::Delete(
-    const std::string& table, const std::vector<ColumnRange>& conjuncts) {
-  if (options_.concurrent) {
-    std::shared_lock<std::shared_mutex> g(global_mu_);
-    return DeleteConcurrent(table, conjuncts);
-  }
-  QueryResult result;
-  WallTimer timer;
-  std::vector<Oid> oids;
-  if (conjuncts.empty()) {
-    CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table));
-  } else {
-    // The WHERE is a read like any other: it cracks the referenced columns
-    // on its way to the victim set.
-    CRACK_ASSIGN_OR_RETURN(
-        QueryResult qr, SelectConjunction(table, conjuncts, Delivery::kView));
-    result.io += qr.io;
-    oids = std::move(qr).CollectOids();
-  }
-  CRACK_ASSIGN_OR_RETURN(result.count,
-                         DeleteOidsInternal(table, oids, &result.io));
-  result.seconds = timer.ElapsedSeconds();
-  total_io_ += result.io;
-  return result;
+    const std::string& table, const std::vector<ColumnRange>& conjuncts,
+    TxnId txn) {
+  return RunInWriteScope(txn, [&](const WriteScope& scope)
+                                  -> Result<QueryResult> {
+    if (options_.concurrent) {
+      std::shared_lock<std::shared_mutex> g(global_mu_);
+      return DeleteConcurrent(table, conjuncts, scope);
+    }
+    QueryResult result;
+    WallTimer timer;
+    std::vector<Oid> oids;
+    if (conjuncts.empty()) {
+      CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table, scope.txn));
+    } else {
+      // The WHERE is a read like any other: it cracks the referenced
+      // columns on its way to the victim set.
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          SelectConjunction(table, conjuncts, Delivery::kView, scope.txn));
+      result.io += qr.io;
+      oids = std::move(qr).CollectOids();
+    }
+    CRACK_ASSIGN_OR_RETURN(result.count,
+                           StampDeletes(table, scope, oids, &result.io));
+    result.seconds = timer.ElapsedSeconds();
+    total_io_ += result.io;
+    return result;
+  });
 }
 
 Result<QueryResult> AdaptiveStore::Update(
     const std::string& table, const std::vector<Assignment>& sets,
-    const std::vector<ColumnRange>& conjuncts) {
+    const std::vector<ColumnRange>& conjuncts, TxnId txn) {
   if (sets.empty()) {
     return Status::InvalidArgument("UPDATE needs at least one SET clause");
   }
-  if (options_.concurrent) {
-    std::shared_lock<std::shared_mutex> g(global_mu_);
-    return UpdateConcurrent(table, sets, conjuncts);
-  }
-  auto rel_result = this->table(table);
-  if (!rel_result.ok()) return rel_result.status();
-  std::shared_ptr<Relation> rel = *rel_result;
+  return RunInWriteScope(txn, [&](const WriteScope& scope)
+                                  -> Result<QueryResult> {
+    if (options_.concurrent) {
+      std::shared_lock<std::shared_mutex> g(global_mu_);
+      return UpdateConcurrent(table, sets, conjuncts, scope);
+    }
+    auto rel_result = this->table(table);
+    if (!rel_result.ok()) return rel_result.status();
+    std::shared_ptr<Relation> rel = *rel_result;
 
-  QueryResult result;
-  WallTimer timer;
-  std::vector<Oid> oids;
-  if (conjuncts.empty()) {
-    CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table));
-  } else {
-    CRACK_ASSIGN_OR_RETURN(
-        QueryResult qr, SelectConjunction(table, conjuncts, Delivery::kView));
-    result.io += qr.io;
-    oids = std::move(qr).CollectOids();
-  }
+    QueryResult result;
+    WallTimer timer;
+    std::vector<Oid> oids;
+    if (conjuncts.empty()) {
+      CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table, scope.txn));
+    } else {
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          SelectConjunction(table, conjuncts, Delivery::kView, scope.txn));
+      result.io += qr.io;
+      oids = std::move(qr).CollectOids();
+    }
 
-  CRACK_RETURN_NOT_OK(ValidateAssignments(*rel, sets));
+    CRACK_RETURN_NOT_OK(ValidateAssignments(*rel, sets));
+    VersionedTable* vt = VersionsFor(table);
 
-  for (const Assignment& set : sets) {
-    std::shared_ptr<Bat> bat = *rel->column(set.column);
-    Oid base = bat->head_base();
-    auto it = accels_.find(table + "." + set.column);
-    ColumnAccessPath* path =
-        (it != accels_.end() && it->second.path != nullptr)
-            ? it->second.path.get()
-            : nullptr;
-    for (Oid oid : oids) {
-      // Base first (write-through), then the accelerator's delta.
-      CRACK_RETURN_NOT_OK(
-          bat->SetValue(static_cast<size_t>(oid - base), set.value));
-      result.io.tuples_written += 1;
-      if (path != nullptr) {
-        CRACK_RETURN_NOT_OK(path->Update(oid, set.value, &result.io));
+    std::vector<std::shared_ptr<Bat>> bats(sets.size());
+    std::vector<ColumnAccessPath*> paths(sets.size(), nullptr);
+    for (size_t s = 0; s < sets.size(); ++s) {
+      bats[s] = *rel->column(sets[s].column);
+      auto it = accels_.find(table + "." + sets[s].column);
+      if (it != accels_.end() && it->second.path != nullptr) {
+        paths[s] = it->second.path.get();
       }
     }
-  }
+    uint64_t applied = 0;
+    for (Oid oid : oids) {
+      std::string why;
+      VersionedTable::Admission adm =
+          vt->AdmitWrite(oid, scope.snap, scope.txn, &why);
+      if (adm == VersionedTable::Admission::kSkip) continue;
+      if (adm == VersionedTable::Admission::kConflict) {
+        if (scope.implicit) continue;
+        return Status::Aborted("UPDATE " + why);
+      }
+      Touch(scope, table, oid);
+      for (size_t s = 0; s < sets.size(); ++s) {
+        size_t row = static_cast<size_t>(oid - bats[s]->head_base());
+        // Log the superseded value (older snapshots keep reading it), then
+        // write through: base first, then the accelerator's delta.
+        Value old_value = bats[s]->GetValue(row);
+        vt->StampUpdate(oid, sets[s].column, old_value, TxnStamp(scope.txn));
+        PushUndo(scope, UndoRecord{table, sets[s].column, oid,
+                                   std::move(old_value)});
+        CRACK_RETURN_NOT_OK(bats[s]->SetValue(row, sets[s].value));
+        result.io.tuples_written += 1;
+        if (paths[s] != nullptr) {
+          CRACK_RETURN_NOT_OK(
+              paths[s]->Update(oid, sets[s].value, &result.io));
+        }
+      }
+      ++applied;
+    }
 
-  result.count = oids.size();
-  result.seconds = timer.ElapsedSeconds();
-  total_io_ += result.io;
-  return result;
+    result.count = applied;
+    result.seconds = timer.ElapsedSeconds();
+    total_io_ += result.io;
+    return result;
+  });
 }
 
-Result<std::vector<Oid>> AdaptiveStore::LiveOids(
-    const std::string& table) const {
+Result<std::vector<Oid>> AdaptiveStore::LiveOids(const std::string& table,
+                                                 TxnId txn) const {
+  CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
   if (options_.concurrent) {
     std::shared_lock<std::shared_mutex> g(global_mu_);
-    return LiveOidsLocked(table);
+    return LiveOidsLocked(table, snap);
   }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
   std::shared_ptr<Relation> rel = *rel_result;
-  const std::unordered_set<Oid>* tomb = TombstonesFor(table);
+  VersionedTable* vt = VersionsIfAny(table);
   std::vector<Oid> oids;
-  oids.reserve(rel->num_rows() - (tomb == nullptr ? 0 : tomb->size()));
-  Oid base = rel->num_columns() > 0 ? rel->column(size_t{0})->head_base() : 0;
+  oids.reserve(rel->num_rows());
+  Oid base = BaseOid(*rel);
   for (size_t i = 0; i < rel->num_rows(); ++i) {
     Oid oid = base + i;
-    if (tomb != nullptr && tomb->count(oid) > 0) continue;
+    if (vt != nullptr && !vt->RowVisibleAt(oid, snap)) continue;
     oids.push_back(oid);
   }
   return oids;
 }
 
-Result<uint64_t> AdaptiveStore::LiveRowCount(const std::string& table) const {
+Result<uint64_t> AdaptiveStore::LiveRowCount(const std::string& table,
+                                             TxnId txn) const {
+  CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
+  std::shared_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> base_lock;
   if (options_.concurrent) {
-    std::shared_lock<std::shared_mutex> g(global_mu_);
-    auto rel_result = this->table(table);
-    if (!rel_result.ok()) return rel_result.status();
-    TableState* ts = TableStateFor(table);
-    const std::unordered_set<Oid>* tomb;
-    {
-      std::lock_guard<std::mutex> rl(registry_mu_);
-      auto it = tombstones_.find(table);
-      tomb = it == tombstones_.end() ? nullptr : &it->second;
-    }
-    std::shared_lock<std::shared_mutex> base(ts->base_latch);
-    std::lock_guard<std::mutex> tl(ts->tombstone_mu);
-    return (*rel_result)->num_rows() - (tomb == nullptr ? 0 : tomb->size());
+    g.lock();
+    base_lock =
+        std::shared_lock<std::shared_mutex>(TableStateFor(table)->base_latch);
   }
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
-  const std::unordered_set<Oid>* tomb = TombstonesFor(table);
-  return (*rel_result)->num_rows() - (tomb == nullptr ? 0 : tomb->size());
+  std::shared_ptr<Relation> rel = *rel_result;
+  VersionedTable* vt = VersionsIfAny(table);
+  if (vt == nullptr || vt->empty()) return rel->num_rows();
+  uint64_t live = 0;
+  Oid base = BaseOid(*rel);
+  for (size_t i = 0; i < rel->num_rows(); ++i) {
+    live += vt->RowVisibleAt(base + i, snap) ? 1 : 0;
+  }
+  return live;
 }
 
 Status AdaptiveStore::MarkDeleted(const std::string& table,
                                   const std::vector<Oid>& oids) {
-  IoStats io;
-  if (options_.concurrent) {
-    std::shared_lock<std::shared_mutex> g(global_mu_);
-    auto removed = DeleteOidsConcurrent(table, oids, &io);
-    if (!removed.ok()) return removed.status();
-    AddIo(io);
-    return Status::OK();
-  }
-  auto removed = DeleteOidsInternal(table, oids, &io);
-  if (!removed.ok()) return removed.status();
-  total_io_ += io;
-  return Status::OK();
+  // Hand-over replay is an ordinary (auto-commit) delete by oid: the rows
+  // get committed end stamps at a fresh timestamp; already-dead rows skip.
+  auto removed = DeleteOids(table, oids);
+  return removed.ok() ? Status::OK() : removed.status();
 }
 
 Result<std::vector<Oid>> AdaptiveStore::DeletedOids(
     const std::string& table) const {
-  if (options_.concurrent) {
-    std::shared_lock<std::shared_mutex> g(global_mu_);
-    auto rel_result = this->table(table);
-    if (!rel_result.ok()) return rel_result.status();
-    TableState* ts = TableStateFor(table);
-    const std::unordered_set<Oid>* tomb;
-    {
-      std::lock_guard<std::mutex> rl(registry_mu_);
-      auto it = tombstones_.find(table);
-      tomb = it == tombstones_.end() ? nullptr : &it->second;
-    }
-    std::vector<Oid> out;
-    std::lock_guard<std::mutex> tl(ts->tombstone_mu);
-    if (tomb != nullptr) {
-      out.assign(tomb->begin(), tomb->end());
-      std::sort(out.begin(), out.end());
-    }
-    return out;
-  }
+  std::shared_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
   auto rel_result = this->table(table);
   if (!rel_result.ok()) return rel_result.status();
-  std::vector<Oid> out;
-  const std::unordered_set<Oid>* tomb = TombstonesFor(table);
-  if (tomb != nullptr) {
-    out.assign(tomb->begin(), tomb->end());
-    std::sort(out.begin(), out.end());
+  std::shared_ptr<Relation> rel = *rel_result;
+  VersionedTable* vt = VersionsIfAny(table);
+  if (vt == nullptr) return std::vector<Oid>{};
+  std::shared_lock<std::shared_mutex> base_lock;
+  if (options_.concurrent) {
+    base_lock =
+        std::shared_lock<std::shared_mutex>(TableStateFor(table)->base_latch);
   }
-  return out;
+  return vt->InvisibleOids(txn_mgr_.LatestSnapshot(), BaseOid(*rel),
+                           rel->num_rows());
+}
+
+Result<AdaptiveStore::VacuumStats> AdaptiveStore::Vacuum() {
+  // Quiesce the store: the physical purge calls into access paths and
+  // flushes deltas outside the per-statement latch discipline.
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
+  VacuumStats stats;
+  stats.low_water = txn_mgr_.low_water();
+  IoStats io;
+  for (const std::string& name : TableNames()) {
+    VersionedTable* vt = VersionsIfAny(name);
+    if (vt == nullptr) continue;
+    VersionedTable::VacuumResult res = vt->Vacuum(stats.low_water);
+    stats.rows_purged += res.purged.size();
+    stats.versions_dropped += res.versions_dropped;
+    stats.chain_entries_dropped += res.chain_entries_dropped;
+    if (res.purged.empty()) continue;
+    // Feed the purge to every materialized access path of the table, then
+    // fold it through the ordinary Merge machinery.
+    std::vector<ColumnAccessPath*> paths;
+    {
+      std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+      if (options_.concurrent) rl.lock();
+      std::string prefix = name + ".";
+      for (auto it = accels_.lower_bound(prefix);
+           it != accels_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0;
+           ++it) {
+        bool has = options_.concurrent
+                       ? it->second.has_path.load(std::memory_order_acquire)
+                       : it->second.path != nullptr;
+        if (has) paths.push_back(it->second.path.get());
+      }
+    }
+    for (ColumnAccessPath* path : paths) {
+      for (Oid oid : res.purged) {
+        Status st = path->Delete(oid, &io);
+        // NotFound: the row never physically landed (failed append);
+        // AlreadyExists: an earlier purge already tombstoned it.
+        if (!st.ok() && !st.IsNotFound() && !st.IsAlreadyExists()) return st;
+      }
+      CRACK_RETURN_NOT_OK(path->FlushDeltas(&io));
+    }
+  }
+  AddIo(io);
+  return stats;
+}
+
+Result<VersionedTable::Counts> AdaptiveStore::VersionCountsFor(
+    const std::string& table) const {
+  auto rel_result = this->table(table);
+  if (!rel_result.ok()) return rel_result.status();
+  VersionedTable* vt = VersionsIfAny(table);
+  if (vt == nullptr) return VersionedTable::Counts{};
+  return vt->counts();
 }
 
 Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,

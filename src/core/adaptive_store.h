@@ -33,6 +33,7 @@
 #include "core/merge_policy.h"
 #include "core/projection_cracker.h"
 #include "core/range_bounds.h"
+#include "core/txn_manager.h"
 #include "storage/io_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
@@ -86,6 +87,9 @@ struct QueryResult {
   /// Qualifying oids (ascending) for non-contiguous answers (scan strategy,
   /// coarse-policy edge pieces) with Delivery::kView.
   std::vector<Oid> scan_oids;
+  /// The oid assigned to the row of an Insert (concurrent writers learn
+  /// their row's identity from it); kInvalidOid for every other statement.
+  Oid inserted_oid = kInvalidOid;
   /// The new table for Delivery::kMaterialize.
   std::shared_ptr<Relation> materialized;
   double seconds = 0.0;  ///< wall-clock of this query
@@ -110,6 +114,61 @@ class AdaptiveStore {
   Result<std::shared_ptr<Relation>> table(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
+  // --- transactions ---------------------------------------------------------
+  // Snapshot isolation over the versioned delta layer (core/txn_manager.h).
+  // Every read and DML method takes an optional trailing TxnId; kNoTxn (the
+  // default) preserves auto-commit semantics for existing callers — the
+  // statement runs as its own transaction, committed on success, rolled
+  // back on failure. Inside an explicit transaction, reads see the state as
+  // of Begin() plus the transaction's own writes; writes take row-level
+  // write locks and conflict first-committer-wins: a row committed by a
+  // competitor after this transaction's snapshot aborts the statement with
+  // Status::Aborted, after which only Rollback (or Commit, which then
+  // performs the rollback and reports Aborted) is meaningful. A transaction
+  // is single-threaded; different transactions may run on different
+  // threads of a concurrent store.
+
+  /// Opens a transaction pinned at the current committed snapshot.
+  Result<TxnId> Begin();
+
+  /// Publishes the transaction's writes at a fresh commit timestamp.
+  /// Aborted statements force a rollback instead (returned as Aborted).
+  Status Commit(TxnId txn);
+
+  /// Undoes the transaction's writes (base values restored, version stamps
+  /// reverted; aborted insert rows become vacuum garbage).
+  Status Rollback(TxnId txn);
+
+  bool TxnActive(TxnId txn) const;
+
+  /// What a vacuum pass reclaimed.
+  struct VacuumStats {
+    uint64_t rows_purged = 0;        ///< dead versions physically purged
+    uint64_t versions_dropped = 0;   ///< fully-visible stamps folded away
+    uint64_t chain_entries_dropped = 0;  ///< superseded values reclaimed
+    Ts low_water = 0;                ///< the snapshot floor vacuum honored
+  };
+
+  /// Folds every version below the low-water snapshot into the physical
+  /// delta machinery: dead rows become access-path tombstones and the
+  /// affected columns FlushDeltas (the existing Merge maintenance hook), so
+  /// storage shrinks without disturbing any open snapshot. Concurrent mode:
+  /// quiesces the store for the pass.
+  Result<VacuumStats> Vacuum();
+
+  /// Version-log sizes of `table` (tests / shell introspection).
+  Result<VersionedTable::Counts> VersionCountsFor(
+      const std::string& table) const;
+
+  const TxnManager& txn_manager() const { return txn_mgr_; }
+
+  /// The MVCC read filter of (table, column) at `txn`'s snapshot (latest
+  /// committed when kNoTxn) — executor support for materializing
+  /// snapshot-correct values.
+  Result<SnapshotView> ReadView(const std::string& table,
+                                const std::string& column,
+                                TxnId txn = kNoTxn) const;
+
   /// σ/Ξ: range selection over a column, cracking per the strategy. The
   /// predicate is typed: numeric RangeBounds convert implicitly, string
   /// endpoints (TypedRange over Value) reach dictionary-encoded string
@@ -117,7 +176,8 @@ class AdaptiveStore {
   Result<QueryResult> SelectRange(const std::string& table,
                                   const std::string& column,
                                   const TypedRange& range,
-                                  Delivery delivery = Delivery::kCount);
+                                  Delivery delivery = Delivery::kCount,
+                                  TxnId txn = kNoTxn);
 
   /// One conjunct of a multi-attribute selection (typed; numeric
   /// RangeBounds convert implicitly).
@@ -134,7 +194,7 @@ class AdaptiveStore {
   /// qualifying count and (for kView) the oids.
   Result<QueryResult> SelectConjunction(
       const std::string& table, const std::vector<ColumnRange>& conjuncts,
-      Delivery delivery = Delivery::kCount);
+      Delivery delivery = Delivery::kCount, TxnId txn = kNoTxn);
 
   // --- DML ------------------------------------------------------------------
   // Writes route through the same type-erased access paths as reads: the
@@ -145,16 +205,19 @@ class AdaptiveStore {
   // teaching the store.
 
   /// Appends one row. Numeric values are coerced to the column types
-  /// (range-checked). `count` of the result is 1 and `scan_oids` carries
+  /// (range-checked). `count` of the result is 1 and `inserted_oid` carries
   /// the oid assigned to the new row (concurrent writers learn their row's
   /// identity from it).
   Result<QueryResult> Insert(const std::string& table,
-                             std::vector<Value> values);
+                             std::vector<Value> values, TxnId txn = kNoTxn);
 
   /// Deletes the rows matching the conjunction (all live rows when
-  /// `conjuncts` is empty). `count` reports the rows removed.
+  /// `conjuncts` is empty). `count` reports the rows removed. Deletes are
+  /// version stamps: the rows stay physically present (and visible to
+  /// older snapshots) until Vacuum folds them out.
   Result<QueryResult> Delete(const std::string& table,
-                             const std::vector<ColumnRange>& conjuncts);
+                             const std::vector<ColumnRange>& conjuncts,
+                             TxnId txn = kNoTxn);
 
   /// One SET clause of an UPDATE. The value is typed: int64 literals for
   /// integer columns, doubles for float columns (fraction preserved),
@@ -169,26 +232,33 @@ class AdaptiveStore {
   /// columns' accelerators are touched. `count` reports the rows changed.
   Result<QueryResult> Update(const std::string& table,
                              const std::vector<Assignment>& sets,
-                             const std::vector<ColumnRange>& conjuncts);
+                             const std::vector<ColumnRange>& conjuncts,
+                             TxnId txn = kNoTxn);
 
   /// Deletes specific rows by oid (streaming-expiry support; the WHERE-less
   /// primitive underneath Delete).
   Result<QueryResult> DeleteOids(const std::string& table,
-                                 const std::vector<Oid>& oids);
+                                 const std::vector<Oid>& oids,
+                                 TxnId txn = kNoTxn);
 
-  /// The oids of the live (non-deleted) rows, ascending.
-  Result<std::vector<Oid>> LiveOids(const std::string& table) const;
+  /// The oids of the rows live at `txn`'s snapshot (latest committed when
+  /// kNoTxn), ascending.
+  Result<std::vector<Oid>> LiveOids(const std::string& table,
+                                    TxnId txn = kNoTxn) const;
 
-  /// Rows minus tombstones — what COUNT(*) without a WHERE must report.
-  Result<uint64_t> LiveRowCount(const std::string& table) const;
+  /// Rows visible at the snapshot — what COUNT(*) without a WHERE reports.
+  Result<uint64_t> LiveRowCount(const std::string& table,
+                                TxnId txn = kNoTxn) const;
 
-  /// Re-registers tombstones on a fresh store (session hand-over support:
-  /// the base relations are append-only, so deleted rows must be re-marked
-  /// when tables move to a new store). Existing accelerators are notified.
+  /// Re-registers deletions on a fresh store (session hand-over support:
+  /// the base relations are append-only, so dead rows must be re-marked
+  /// when tables move to a new store). Stamped as committed deletes at a
+  /// fresh timestamp.
   Status MarkDeleted(const std::string& table, const std::vector<Oid>& oids);
 
-  /// The tombstoned oids of `table`, ascending (hand-over counterpart of
-  /// MarkDeleted).
+  /// The oids invisible at the latest committed snapshot (committed
+  /// deletes, aborted inserts, vacuum-purged rows), ascending — the
+  /// hand-over counterpart of MarkDeleted.
   Result<std::vector<Oid>> DeletedOids(const std::string& table) const;
 
   /// ⋈/^: equi-join of two integer columns. The first call ^-cracks both
@@ -273,8 +343,32 @@ class AdaptiveStore {
     /// builds, oid validation) takes it shared. Ordered after the column
     /// latches, before the leaf mutexes.
     mutable std::shared_mutex base_latch;
-    /// Guards this table's tombstone set.
-    mutable std::mutex tombstone_mu;
+  };
+
+  /// One in-flight transaction: its snapshot, the rows it stamped (per
+  /// table), and the undo log for rolling physical update writes back.
+  struct UndoRecord {
+    std::string table;
+    std::string column;
+    Oid oid = 0;
+    Value old_value;
+  };
+  struct TxnState {
+    Snapshot snap;
+    bool implicit = false;    ///< an auto-commit statement's mini-txn
+    bool abort_only = false;  ///< a statement hit a write-write conflict
+    std::map<std::string, std::vector<Oid>> touched;  ///< stamped rows
+    std::vector<UndoRecord> undo;  ///< update undo, in write order
+  };
+
+  /// The per-statement transactional context: an explicit transaction's
+  /// state, or a fresh implicit mini-transaction that FinishWrite commits
+  /// (visibility flips atomically at the end of the statement) or rolls
+  /// back on failure.
+  struct WriteScope {
+    TxnId txn = kNoTxn;
+    Snapshot snap;
+    bool implicit = false;
   };
 
   Result<std::shared_ptr<Bat>> ResolveColumn(const std::string& table,
@@ -297,14 +391,61 @@ class AdaptiveStore {
   void UpdateLineage(const std::string& table, const std::string& column,
                      ColumnAccel* accel);
 
-  /// The tombstone set of `table`, or nullptr when nothing was deleted.
-  const std::unordered_set<Oid>* TombstonesFor(const std::string& table) const;
+  // --- MVCC machinery -------------------------------------------------------
 
-  /// Tombstones `oids` (skipping already-dead ones) and notifies every
-  /// materialized access path of the table. Returns the rows newly removed.
-  Result<uint64_t> DeleteOidsInternal(const std::string& table,
-                                      const std::vector<Oid>& oids,
-                                      IoStats* stats);
+  /// The version log of `table`, created on demand. Stable pointer.
+  VersionedTable* VersionsFor(const std::string& table) const;
+  /// ... or nullptr when the table has no version state yet (const probe).
+  VersionedTable* VersionsIfAny(const std::string& table) const;
+
+  /// The snapshot a read at `txn` evaluates against (latest committed for
+  /// kNoTxn). Errors on an unknown transaction.
+  Result<Snapshot> ReadSnapshot(TxnId txn) const;
+
+  /// The read filter of (table, column) at `snap`; inactive when the table
+  /// has no version state (serial fast path — concurrent stores always get
+  /// an active view, the horizon must hide mid-statement appends).
+  SnapshotView ViewForColumn(const std::string& table,
+                             const std::string& column,
+                             const Snapshot& snap) const;
+
+  /// Opens the transactional context of a statement (see WriteScope).
+  Result<WriteScope> BeginWriteScope(TxnId txn);
+  /// Commits an implicit mini-transaction on OK / rolls it back on error;
+  /// marks an explicit transaction abort-only on Aborted. Returns the
+  /// statement's status (op_status, unless finishing itself fails).
+  Status FinishWriteScope(const WriteScope& scope, Status op_status);
+
+  /// The write-statement frame every DML entry point shares: open the
+  /// scope, run `body(scope)` (which must release any store latches before
+  /// returning — FinishWriteScope may take the store exclusively to roll
+  /// back), finish the scope per the body's status.
+  template <typename Fn>
+  Result<QueryResult> RunInWriteScope(TxnId txn, Fn&& body) {
+    CRACK_ASSIGN_OR_RETURN(WriteScope scope, BeginWriteScope(txn));
+    Result<QueryResult> out = body(scope);
+    Status fin =
+        FinishWriteScope(scope, out.ok() ? Status::OK() : out.status());
+    if (!fin.ok()) return fin;
+    return out;
+  }
+
+  /// Row-level write admission + version stamping shared by every delete
+  /// flow. Appends stamped rows to the scope's touched set; returns the
+  /// rows newly deleted. Conflicts abort explicit transactions and are
+  /// skipped by implicit ones (the pre-MVCC race semantics).
+  Result<uint64_t> StampDeletes(const std::string& table,
+                                const WriteScope& scope,
+                                const std::vector<Oid>& oids, IoStats* stats);
+
+  /// Rollback body shared by Rollback() and failed implicit statements.
+  /// Caller must have quiesced the store in concurrent mode.
+  Status RollbackLocked(TxnId txn, TxnState* state);
+
+  /// Records `oid` as touched by `scope`'s transaction.
+  void Touch(const WriteScope& scope, const std::string& table, Oid oid);
+  /// Records an update's undo information.
+  void PushUndo(const WriteScope& scope, UndoRecord record);
 
   // --- concurrent-mode machinery (see AdaptiveStoreOptions::concurrent) ---
   // Lock order, outer to inner: global_mu_ -> column latches (ascending
@@ -319,7 +460,7 @@ class AdaptiveStore {
   TableState* TableStateFor(const std::string& table) const;
 
   /// Creates accel->path (caller holds accel->latch exclusive + the base
-  /// latch shared) and replays the table's tombstones into it.
+  /// latch shared) and replays the table's vacuum-purged rows into it.
   Status CreatePathLocked(const std::string& table, ColumnAccel* accel,
                           const std::shared_ptr<Bat>& bat, TableState* ts);
 
@@ -330,7 +471,8 @@ class AdaptiveStore {
   Result<QueryResult> SelectRangeConcurrent(const std::string& table,
                                             const std::string& column,
                                             const TypedRange& range,
-                                            Delivery delivery);
+                                            Delivery delivery,
+                                            const Snapshot& snap);
   /// Converts a selection into latch-independent result shape (oid lists,
   /// never views) and materializes if asked. Caller holds the column latch
   /// plus the base latch shared.
@@ -340,18 +482,18 @@ class AdaptiveStore {
                                 QueryResult* result);
   Result<QueryResult> SelectConjunctionLocked(
       const std::string& table, const std::vector<ColumnRange>& conjuncts,
-      Delivery delivery);
+      Delivery delivery, const Snapshot& snap);
   Result<QueryResult> InsertConcurrent(const std::string& table,
-                                       std::vector<Value> values);
-  Result<QueryResult> DeleteConcurrent(
-      const std::string& table, const std::vector<ColumnRange>& conjuncts);
+                                       std::vector<Value> values,
+                                       const WriteScope& scope);
+  Result<QueryResult> DeleteConcurrent(const std::string& table,
+                                       const std::vector<ColumnRange>& conjuncts,
+                                       const WriteScope& scope);
   Result<QueryResult> UpdateConcurrent(
       const std::string& table, const std::vector<Assignment>& sets,
-      const std::vector<ColumnRange>& conjuncts);
-  Result<uint64_t> DeleteOidsConcurrent(const std::string& table,
-                                        const std::vector<Oid>& oids,
-                                        IoStats* stats);
-  Result<std::vector<Oid>> LiveOidsLocked(const std::string& table) const;
+      const std::vector<ColumnRange>& conjuncts, const WriteScope& scope);
+  Result<std::vector<Oid>> LiveOidsLocked(const std::string& table,
+                                          const Snapshot& snap) const;
 
   void AddIo(const IoStats& io);
 
@@ -359,7 +501,22 @@ class AdaptiveStore {
   std::map<std::string, std::shared_ptr<Relation>> tables_;
   std::map<std::string, ColumnAccel> accels_;  // key: table + "." + column
   mutable std::map<std::string, TableState> table_states_;
-  std::map<std::string, std::unordered_set<Oid>> tombstones_;
+  /// Per-table version logs (MVCC). unique_ptr: pointers stay stable while
+  /// the registry map grows. Guarded by registry_mu_ in concurrent mode;
+  /// the VersionedTable itself is internally latched.
+  mutable std::map<std::string, std::unique_ptr<VersionedTable>> versions_;
+  TxnManager txn_mgr_;
+  /// In-flight transaction state; txn_states_mu_ guards the map structure
+  /// (each transaction is single-threaded by contract).
+  mutable std::mutex txn_states_mu_;
+  std::map<TxnId, TxnState> txn_states_;
+  /// Makes (allocate commit ts, stamp markers) atomic with respect to
+  /// snapshot acquisition: without it a reader could pin read_ts >= cts
+  /// while the markers are still unstamped, and watch visibility at its
+  /// fixed snapshot flip when they land. Ordered before every other lock
+  /// it meets (txn-manager mutex, version latches); never held across
+  /// physical work.
+  mutable std::mutex commit_mu_;
   std::map<std::string, JoinCrackResult> join_cracks_;
   std::map<std::string, GroupCrackResult> group_cracks_;
   LineageGraph lineage_;

@@ -3,6 +3,7 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -29,10 +30,13 @@ Result<AggKind> ToAggKind(AggFunc func) {
 }
 
 /// Materializes the rows named by `oids` (source positions) from `rel`,
-/// keeping only `columns` (empty = all, in schema order).
+/// keeping only `columns` (empty = all, in schema order). Snapshot-correct:
+/// cells whose physical value postdates `txn`'s snapshot materialize the
+/// value the snapshot reads (the version log's override).
 Result<std::shared_ptr<Relation>> MaterializeRows(
-    const std::shared_ptr<Relation>& rel, const std::vector<Oid>& oids,
-    const std::vector<std::string>& columns, IoStats* io) {
+    AdaptiveStore* store, const std::shared_ptr<Relation>& rel,
+    const std::vector<Oid>& oids, const std::vector<std::string>& columns,
+    TxnId txn, IoStats* io) {
   std::vector<ColumnDef> defs;
   std::vector<size_t> sources;
   if (columns.empty()) {
@@ -54,10 +58,21 @@ Result<std::shared_ptr<Relation>> MaterializeRows(
   for (size_t c = 0; c < sources.size(); ++c) {
     const std::shared_ptr<Bat>& src = rel->column(sources[c]);
     const std::shared_ptr<Bat>& dst = out->column(c);
+    const std::string& name = rel->schema().column(sources[c]).name;
+    CRACK_ASSIGN_OR_RETURN(SnapshotView view,
+                           store->ReadView(rel->name(), name, txn));
+    std::unordered_map<Oid, const Value*> overridden;
+    for (const auto& [oid, value] : view.overrides()) {
+      overridden.emplace(oid, &value);
+    }
     Oid base = src->head_base();
     for (Oid oid : oids) {
-      Status st = dst->AppendValue(src->GetValue(static_cast<size_t>(
-          oid - base)));
+      auto ov = overridden.find(oid);
+      Status st =
+          ov != overridden.end()
+              ? dst->AppendValue(*ov->second)
+              : dst->AppendValue(src->GetValue(static_cast<size_t>(
+                    oid - base)));
       if (!st.ok()) return st;
     }
   }
@@ -84,18 +99,19 @@ std::vector<AdaptiveStore::ColumnRange> ToConjuncts(
 Result<std::vector<Oid>> WhereOids(AdaptiveStore* store,
                                    const std::string& table,
                                    const std::vector<Predicate>& where,
-                                   IoStats* io) {
+                                   TxnId txn, IoStats* io) {
   CRACK_ASSIGN_OR_RETURN(
       QueryResult qr,
-      store->SelectConjunction(table, ToConjuncts(where), Delivery::kView));
+      store->SelectConjunction(table, ToConjuncts(where), Delivery::kView,
+                               txn));
   *io += qr.io;
   return std::move(qr).CollectOids();
 }
 
 }  // namespace
 
-Result<QueryOutput> Execute(AdaptiveStore* store,
-                            const SelectStatement& stmt) {
+Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
+                            TxnId txn) {
   if (store == nullptr) return Status::InvalidArgument("null store");
   QueryOutput out;
   WallTimer timer;
@@ -170,18 +186,19 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
   // COUNT(*).
   if (stmt.count_star) {
     if (stmt.where.empty()) {
-      CRACK_ASSIGN_OR_RETURN(out.count, store->LiveRowCount(stmt.table));
+      CRACK_ASSIGN_OR_RETURN(out.count, store->LiveRowCount(stmt.table, txn));
     } else if (stmt.where.size() == 1) {
       CRACK_ASSIGN_OR_RETURN(
           QueryResult qr,
           store->SelectRange(stmt.table, stmt.where[0].column,
-                             stmt.where[0].range));
+                             stmt.where[0].range, Delivery::kCount, txn));
       out.count = qr.count;
       out.io += qr.io;
     } else {
       CRACK_ASSIGN_OR_RETURN(
           QueryResult qr,
-          store->SelectConjunction(stmt.table, ToConjuncts(stmt.where)));
+          store->SelectConjunction(stmt.table, ToConjuncts(stmt.where),
+                                   Delivery::kCount, txn));
       out.count = qr.count;
       out.io += qr.io;
     }
@@ -200,10 +217,18 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
     }
     std::vector<Oid> oids;
     if (stmt.where.empty()) {
-      CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table));
+      CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table, txn));
     } else {
-      CRACK_ASSIGN_OR_RETURN(oids,
-                             WhereOids(store, stmt.table, stmt.where, &out.io));
+      CRACK_ASSIGN_OR_RETURN(
+          oids, WhereOids(store, stmt.table, stmt.where, txn, &out.io));
+    }
+    // Aggregate the values the snapshot reads, not the physical ones.
+    CRACK_ASSIGN_OR_RETURN(
+        SnapshotView agg_view,
+        store->ReadView(stmt.table, stmt.items[0].column, txn));
+    std::unordered_map<Oid, int64_t> agg_overrides;
+    for (const auto& [oid, value] : agg_view.overrides()) {
+      agg_overrides.emplace(oid, value.ToInt64());
     }
     bool is32 = agg_col->tail_type() == ValueType::kInt32;
     Oid base = agg_col->head_base();
@@ -213,6 +238,8 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
       size_t row = static_cast<size_t>(oid - base);
       int64_t v = is32 ? agg_col->Get<int32_t>(row)
                        : agg_col->Get<int64_t>(row);
+      auto ov = agg_overrides.find(oid);
+      if (ov != agg_overrides.end()) v = ov->second;
       switch (stmt.items[0].agg) {
         case AggFunc::kCount:
           ++acc;
@@ -255,31 +282,33 @@ Result<QueryOutput> Execute(AdaptiveStore* store,
   }
   std::vector<Oid> oids;
   if (stmt.where.empty()) {
-    CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table));
+    CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table, txn));
   } else {
-    CRACK_ASSIGN_OR_RETURN(oids,
-                           WhereOids(store, stmt.table, stmt.where, &out.io));
+    CRACK_ASSIGN_OR_RETURN(
+        oids, WhereOids(store, stmt.table, stmt.where, txn, &out.io));
   }
-  CRACK_ASSIGN_OR_RETURN(out.rows,
-                         MaterializeRows(rel, oids, projection, &out.io));
+  CRACK_ASSIGN_OR_RETURN(
+      out.rows, MaterializeRows(store, rel, oids, projection, txn, &out.io));
   out.kind = OutputKind::kRows;
   out.count = out.rows->num_rows();
   out.seconds = timer.ElapsedSeconds();
   return out;
 }
 
-Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt) {
+Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
+                            TxnId txn) {
   if (store == nullptr) return Status::InvalidArgument("null store");
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return Execute(store, stmt.select);
+      return Execute(store, stmt.select, txn);
     case StatementKind::kInsert: {
       QueryOutput out;
       // Literals arrive typed from the parser; the store coerces numerics
       // to the column widths and routes strings through the dictionary.
       std::vector<Value> row = stmt.insert.values;
-      CRACK_ASSIGN_OR_RETURN(QueryResult qr,
-                             store->Insert(stmt.insert.table, std::move(row)));
+      CRACK_ASSIGN_OR_RETURN(
+          QueryResult qr,
+          store->Insert(stmt.insert.table, std::move(row), txn));
       out.kind = OutputKind::kAffected;
       out.count = qr.count;
       out.io += qr.io;
@@ -290,7 +319,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt) {
       QueryOutput out;
       CRACK_ASSIGN_OR_RETURN(
           QueryResult qr,
-          store->Delete(stmt.del.table, ToConjuncts(stmt.del.where)));
+          store->Delete(stmt.del.table, ToConjuncts(stmt.del.where), txn));
       out.kind = OutputKind::kAffected;
       out.count = qr.count;
       out.io += qr.io;
@@ -307,13 +336,34 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt) {
       CRACK_ASSIGN_OR_RETURN(
           QueryResult qr,
           store->Update(stmt.update.table, sets,
-                        ToConjuncts(stmt.update.where)));
+                        ToConjuncts(stmt.update.where), txn));
       out.kind = OutputKind::kAffected;
       out.count = qr.count;
       out.io += qr.io;
       out.seconds = qr.seconds;
       return out;
     }
+    case StatementKind::kVacuum: {
+      QueryOutput out;
+      CRACK_ASSIGN_OR_RETURN(AdaptiveStore::VacuumStats stats,
+                             store->Vacuum());
+      out.kind = OutputKind::kTxn;
+      out.count = stats.rows_purged;
+      out.message = StrFormat(
+          "VACUUM: purged %llu row version(s), folded %llu stamp(s), "
+          "dropped %llu superseded value(s) below ts %llu",
+          static_cast<unsigned long long>(stats.rows_purged),
+          static_cast<unsigned long long>(stats.versions_dropped),
+          static_cast<unsigned long long>(stats.chain_entries_dropped),
+          static_cast<unsigned long long>(stats.low_water));
+      return out;
+    }
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return Status::InvalidArgument(
+          "transaction control needs a SqlSession (the stateless entry "
+          "point is auto-commit only)");
   }
   return Status::InvalidArgument("unknown statement kind");
 }
@@ -322,6 +372,64 @@ Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
                                const std::string& statement) {
   CRACK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
   return Execute(store, stmt);
+}
+
+Result<QueryOutput> SqlSession::ExecuteSql(const std::string& statement) {
+  CRACK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  return Execute(stmt);
+}
+
+Result<QueryOutput> SqlSession::Execute(const Statement& stmt) {
+  if (store_ == nullptr) return Status::InvalidArgument("null store");
+  QueryOutput out;
+  out.kind = OutputKind::kTxn;
+  switch (stmt.kind) {
+    case StatementKind::kBegin: {
+      if (in_txn()) {
+        return Status::InvalidArgument(
+            StrFormat("already in transaction %llu (COMMIT or ROLLBACK "
+                      "first)",
+                      static_cast<unsigned long long>(txn_)));
+      }
+      CRACK_ASSIGN_OR_RETURN(txn_, store_->Begin());
+      out.message = StrFormat("BEGIN: transaction %llu at snapshot ts %llu",
+                              static_cast<unsigned long long>(txn_),
+                              static_cast<unsigned long long>(
+                                  store_->txn_manager().last_commit_ts()));
+      return out;
+    }
+    case StatementKind::kCommit: {
+      if (!in_txn()) {
+        return Status::InvalidArgument("no open transaction to COMMIT");
+      }
+      TxnId finished = txn_;
+      txn_ = kNoTxn;  // the transaction ends either way
+      CRACK_RETURN_NOT_OK(store_->Commit(finished));
+      out.message = StrFormat("COMMIT: transaction %llu",
+                              static_cast<unsigned long long>(finished));
+      return out;
+    }
+    case StatementKind::kRollback: {
+      if (!in_txn()) {
+        return Status::InvalidArgument("no open transaction to ROLLBACK");
+      }
+      TxnId finished = txn_;
+      txn_ = kNoTxn;
+      CRACK_RETURN_NOT_OK(store_->Rollback(finished));
+      out.message = StrFormat("ROLLBACK: transaction %llu",
+                              static_cast<unsigned long long>(finished));
+      return out;
+    }
+    default:
+      return sql::Execute(store_, stmt, txn_);
+  }
+}
+
+Status SqlSession::Close() {
+  if (!in_txn()) return Status::OK();
+  TxnId finished = txn_;
+  txn_ = kNoTxn;
+  return store_->Rollback(finished);
 }
 
 std::string FormatOutput(const QueryOutput& output, size_t max_rows) {
@@ -334,6 +442,9 @@ std::string FormatOutput(const QueryOutput& output, size_t max_rows) {
     case OutputKind::kAffected:
       out = StrFormat("%llu row(s) affected\n",
                       static_cast<unsigned long long>(output.count));
+      break;
+    case OutputKind::kTxn:
+      out = output.message + "\n";
       break;
     case OutputKind::kGroups: {
       out = StrFormat("%s | %s\n", output.group_column.c_str(),

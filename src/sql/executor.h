@@ -28,6 +28,7 @@ enum class OutputKind : uint8_t {
   kRows = 1,      ///< materialized rows (SELECT * / SELECT cols)
   kGroups = 2,    ///< (group, aggregate) pairs (GROUP BY)
   kAffected = 3,  ///< rows touched by DML (INSERT/DELETE/UPDATE)
+  kTxn = 4,       ///< transaction control / VACUUM acknowledgement
 };
 
 /// The result of executing one statement.
@@ -38,19 +39,49 @@ struct QueryOutput {
   std::vector<GroupAggregate> groups;     ///< kGroups
   std::string group_column;               ///< kGroups: the grouping column
   std::string agg_description;            ///< kGroups: e.g. "sum(c1)"
+  std::string message;                    ///< kTxn: human-readable ack
   double seconds = 0.0;
   IoStats io;
 };
 
-/// Parses and executes `statement` (SELECT or DML) against `store`.
+/// Parses and executes `statement` (SELECT or DML) against `store` in
+/// auto-commit mode. Transaction-control statements (BEGIN/COMMIT/ROLLBACK)
+/// need a SqlSession and are rejected here.
 Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
                                const std::string& statement);
 
-/// Executes an already-parsed statement of any kind.
-Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt);
+/// Executes an already-parsed statement of any kind (auto-commit; `txn`
+/// selects the transaction every read/DML runs in).
+Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
+                            TxnId txn = kNoTxn);
 
-/// Executes an already-parsed SELECT.
-Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt);
+/// Executes an already-parsed SELECT (at `txn`'s snapshot).
+Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
+                            TxnId txn = kNoTxn);
+
+/// One SQL session: the unit that owns a current transaction. BEGIN opens
+/// a snapshot transaction, every following statement runs inside it (reads
+/// see the snapshot plus the session's own writes), COMMIT/ROLLBACK end
+/// it; outside a transaction every statement auto-commits. A session is
+/// single-threaded; open one per shell/worker for per-session snapshots.
+class SqlSession {
+ public:
+  explicit SqlSession(AdaptiveStore* store) : store_(store) {}
+
+  /// Parses and executes one statement, tracking BEGIN/COMMIT/ROLLBACK.
+  Result<QueryOutput> ExecuteSql(const std::string& statement);
+  Result<QueryOutput> Execute(const Statement& stmt);
+
+  bool in_txn() const { return txn_ != kNoTxn; }
+  TxnId txn() const { return txn_; }
+
+  /// Rolls back an open transaction (session teardown support).
+  Status Close();
+
+ private:
+  AdaptiveStore* store_;
+  TxnId txn_ = kNoTxn;
+};
 
 /// Renders `output` as human-readable text (shell support).
 std::string FormatOutput(const QueryOutput& output, size_t max_rows = 20);

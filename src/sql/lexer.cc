@@ -17,7 +17,8 @@ const std::unordered_set<std::string>& Keywords() {
       "SELECT", "FROM",  "WHERE",   "AND",   "JOIN",   "ON",
       "GROUP",  "BY",    "COUNT",   "SUM",   "MIN",    "MAX",
       "BETWEEN", "AS",   "INTO",    "ORDER", "LIMIT",  "INSERT",
-      "VALUES", "DELETE", "UPDATE", "SET"};
+      "VALUES", "DELETE", "UPDATE", "SET",
+      "BEGIN",  "COMMIT", "ROLLBACK", "ABORT", "TRANSACTION", "VACUUM"};
   return kKeywords;
 }
 

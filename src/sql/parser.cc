@@ -43,6 +43,19 @@ class Parser {
     } else if (Peek().IsKeyword("UPDATE")) {
       out.kind = StatementKind::kUpdate;
       CRACK_RETURN_NOT_OK(ParseUpdate(&out.update));
+    } else if (Peek().IsKeyword("BEGIN")) {
+      Advance();
+      if (Peek().IsKeyword("TRANSACTION")) Advance();
+      out.kind = StatementKind::kBegin;
+    } else if (Peek().IsKeyword("COMMIT")) {
+      Advance();
+      out.kind = StatementKind::kCommit;
+    } else if (Peek().IsKeyword("ROLLBACK") || Peek().IsKeyword("ABORT")) {
+      Advance();
+      out.kind = StatementKind::kRollback;
+    } else if (Peek().IsKeyword("VACUUM")) {
+      Advance();
+      out.kind = StatementKind::kVacuum;
     } else {
       out.kind = StatementKind::kSelect;
       CRACK_ASSIGN_OR_RETURN(out.select, ParseSelect());

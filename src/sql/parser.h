@@ -3,6 +3,10 @@
 // Parser for the SQL subset. Grammar (keywords case-insensitive):
 //
 //   statement   := select_stmt | insert_stmt | delete_stmt | update_stmt
+//                | txn_stmt | vacuum_stmt
+//   txn_stmt    := BEGIN [TRANSACTION] [;] | COMMIT [;]
+//                | ROLLBACK [;] | ABORT [;]
+//   vacuum_stmt := VACUUM [;]
 //   select_stmt := SELECT select_list FROM table [join] [where] [group] [;]
 //   insert_stmt := INSERT INTO table VALUES '(' literal (',' literal)* ')' [;]
 //   delete_stmt := DELETE FROM table [where] [;]
@@ -114,6 +118,10 @@ enum class StatementKind : uint8_t {
   kInsert,
   kDelete,
   kUpdate,
+  kBegin,     ///< BEGIN [TRANSACTION] — open a snapshot transaction
+  kCommit,    ///< COMMIT — publish the session transaction
+  kRollback,  ///< ROLLBACK / ABORT — undo the session transaction
+  kVacuum,    ///< VACUUM — reclaim versions below the low-water snapshot
 };
 
 /// A parsed statement of any kind; only the member matching `kind` is set.

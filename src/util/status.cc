@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kResourceExhausted = 7,
   kTypeMismatch = 8,
   kIoError = 9,
+  kAborted = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -82,6 +83,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   /// True iff this represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -107,6 +111,7 @@ class Status {
   }
   bool IsTypeMismatch() const { return code() == StatusCode::kTypeMismatch; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

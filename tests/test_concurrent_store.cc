@@ -257,12 +257,12 @@ TEST(ConcurrentStore, SerializedParityAcrossConfigSweep) {
           } else if (dice < 70) {  // insert
             int64_t v = rng.NextInRange(1, domain);
             auto r = store->Insert("t", {Value(v), Value(int64_t{0})});
-            if (!r.ok() || r->scan_oids.empty()) {
+            if (!r.ok() || r->inserted_oid == kInvalidOid) {
               ADD_FAILURE() << "insert: " << r.status().ToString();
               failed = true;
               return;
             }
-            model[r->scan_oids.front()] = v;
+            model[r->inserted_oid] = v;
           } else if (dice < 85) {  // delete a random live row
             if (model.empty()) continue;
             auto it = model.begin();
@@ -370,12 +370,12 @@ void RunReaderWriterRace(const StoreConfig& config, uint64_t seed) {
         if (dice < 40 || live.empty()) {  // insert into my stripe
           int64_t v = rng.NextInRange(stripe_lo(w), stripe_hi(w));
           auto r = store->Insert("t", {Value(v), Value(int64_t{7})});
-          if (!r.ok() || r->scan_oids.empty()) {
+          if (!r.ok() || r->inserted_oid == kInvalidOid) {
             ADD_FAILURE() << "insert: " << r.status().ToString();
             failed = true;
             return;
           }
-          Oid oid = r->scan_oids.front();
+          Oid oid = r->inserted_oid;
           live.emplace_back(oid, v);
           logs[w].push_back({WriterOp::kInsert, oid, 0, v});
         } else if (dice < 70) {  // delete one of my rows

@@ -15,6 +15,9 @@
 //   INSERT INTO R VALUES (7, 8)        # DML through the access paths
 //   DELETE FROM R WHERE c0 < 10        # (WHERE predicates crack too)
 //   UPDATE R SET c1 = 5 WHERE c0 = 7
+//   BEGIN / COMMIT / ROLLBACK          # snapshot transactions (or: txn ...)
+//   txn status                         # the session's transaction state
+//   vacuum                             # reclaim versions below low-water
 //   deltas R c0                        # pending inserts/tombstones/merges
 //   flush R c0                         # fold a column's deltas now
 //   pieces R c0                        # piece table of the cracker index
@@ -82,6 +85,12 @@ class Shell {
     std::vector<std::shared_ptr<Relation>> tables;
     std::vector<std::pair<std::string, std::vector<Oid>>> dead;
     if (store_ != nullptr) {
+      if (session_ != nullptr && session_->in_txn()) {
+        // The transaction's version stamps live in the store being torn
+        // down; it cannot survive the hand-over.
+        std::printf("note: open transaction rolled back by the reset\n");
+        (void)session_->Close();
+      }
       for (const std::string& name : store_->TableNames()) {
         tables.push_back(*store_->table(name));
         // The base relations are append-only; deleted rows must be
@@ -91,6 +100,7 @@ class Shell {
       }
     }
     store_ = std::make_unique<AdaptiveStore>(opts);
+    session_ = std::make_unique<sql::SqlSession>(store_.get());
     for (auto& t : tables) (void)store_->AddTable(std::move(t));
     for (auto& [name, oids] : dead) (void)store_->MarkDeleted(name, oids);
     strategy_ = strategy;
@@ -110,12 +120,17 @@ class Shell {
     }
     std::string upper = cmd;
     for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
-    if (upper == "INSERT" || upper == "DELETE" || upper == "UPDATE") {
-      // Bare DML statements route straight to the SQL frontend.
+    if (upper == "INSERT" || upper == "DELETE" || upper == "UPDATE" ||
+        upper == "BEGIN" || upper == "COMMIT" || upper == "ROLLBACK" ||
+        upper == "ABORT" || upper == "VACUUM") {
+      // Bare DML / transaction statements route straight to the SQL
+      // frontend (the session tracks the open transaction).
       std::string rest;
       std::getline(*in, rest);
       return RunSql(upper + rest);
     }
+    if (cmd == "txn") return Txn(in);
+    if (cmd == "vacuum") return RunSql("VACUUM");
     if (cmd == "create") return Create(in);
     if (cmd == "tables") return Tables();
     if (cmd == "select") return Select(in);
@@ -154,10 +169,32 @@ class Shell {
   }
 
   Status RunSql(const std::string& text) {
-    CRACK_ASSIGN_OR_RETURN(sql::QueryOutput out,
-                           sql::ExecuteSql(store_.get(), text));
+    CRACK_ASSIGN_OR_RETURN(sql::QueryOutput out, session_->ExecuteSql(text));
     std::fputs(sql::FormatOutput(out).c_str(), stdout);
     return Status::OK();
+  }
+
+  /// `txn begin|commit|abort|status` — the command-style face of the SQL
+  /// transaction statements, plus session introspection.
+  Status Txn(std::istringstream* in) {
+    std::string sub;
+    *in >> sub;
+    if (sub == "begin") return RunSql("BEGIN");
+    if (sub == "commit") return RunSql("COMMIT");
+    if (sub == "abort" || sub == "rollback") return RunSql("ROLLBACK");
+    if (sub == "status" || sub.empty()) {
+      if (session_->in_txn()) {
+        std::printf("in transaction %llu (snapshot isolation; COMMIT or "
+                    "ROLLBACK to end)\n",
+                    static_cast<unsigned long long>(session_->txn()));
+      } else {
+        std::printf("auto-commit (no open transaction); %zu transaction(s) "
+                    "active store-wide\n",
+                    store_->txn_manager().active_count());
+      }
+      return Status::OK();
+    }
+    return Status::InvalidArgument("usage: txn <begin|commit|abort|status>");
   }
 
   Status Help() {
@@ -170,6 +207,10 @@ class Shell {
         "    SELECT COUNT(*) FROM P WHERE s BETWEEN 'a' AND 'k'\n"
         "  INSERT INTO <t> VALUES (v, ...) | DELETE FROM <t> [WHERE ...]\n"
         "  UPDATE <t> SET <col> = v [, ...] [WHERE ...]\n"
+        "  BEGIN | COMMIT | ROLLBACK      (snapshot transactions; also:\n"
+        "  txn <begin|commit|abort|status>; reads inside a txn keep seeing\n"
+        "  its snapshot, write-write conflicts abort the second committer)\n"
+        "  vacuum | VACUUM    (reclaim versions below the low-water snapshot)\n"
         "  select <table> <col> <lo> <hi> [count|view|materialize]\n"
         "  where <table> <col> <op:< <= > >= => <value>\n"
         "  and <table> <col> <lo> <hi> <col> <lo> <hi> ...\n"
@@ -401,6 +442,14 @@ class Shell {
         "%s.%s: %zu pending insert(s), %zu tombstone(s), %zu merge(s)\n",
         table.c_str(), column.c_str(), (*path)->pending_inserts(),
         (*path)->pending_deletes(), (*path)->merges_performed());
+    auto counts = store_->VersionCountsFor(table);
+    if (counts.ok()) {
+      std::printf(
+          "%s versions: %zu row stamp(s), %zu superseded value(s), "
+          "%zu purged (vacuum reclaims below the low-water snapshot)\n",
+          table.c_str(), counts->row_versions, counts->chain_entries,
+          counts->purged);
+    }
     return Status::OK();
   }
 
@@ -489,7 +538,8 @@ class Shell {
       Reset(strategy_);
     }
     std::printf("task pool: %zu thread(s); store runs %s\n", n,
-                concurrent_ ? "concurrent (per-column latches + piece locks)"
+                concurrent_ ? "concurrent (per-column latches + piece locks; "
+                              "each session reads its own snapshot)"
                             : "serial");
     return Status::OK();
   }
@@ -511,6 +561,7 @@ class Shell {
   }
 
   std::unique_ptr<AdaptiveStore> store_;
+  std::unique_ptr<sql::SqlSession> session_;  ///< owns the open transaction
   AccessStrategy strategy_ = AccessStrategy::kCrack;
   CrackPolicy policy_ = CrackPolicy::kStandard;
   DeltaMergeOptions delta_merge_;
