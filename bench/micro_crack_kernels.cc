@@ -5,15 +5,29 @@
 // numbers ground the claim of §2.2 that "with proper engineering the total
 // CPU cost for such an incremental scheme is in the same order of magnitude
 // as sorting".
+//
+// `--json=PATH` switches to a self-contained SIMD-tier comparison: every
+// supported kernel tier (scalar / predicated / avx2 / neon) cracks 1M rows
+// per element type and selectivity, and the medians land in PATH as JSON.
+// CI's bench-smoke lane reads `dispatched_vs_scalar_int32` from that file.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/crack_kernels.h"
 #include "core/cracker_index.h"
 #include "core/oid_set_ops.h"
+#include "core/simd_dispatch.h"
 #include "core/sorted_column.h"
 #include "util/rng.h"
 #include "workload/tapestry.h"
@@ -179,7 +193,129 @@ void BM_SortedColumnQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_SortedColumnQuery)->Arg(1 << 18)->Arg(1 << 20);
 
+// ---------------------------------------------------------------------------
+// --json mode: tier comparison matrix.
+// ---------------------------------------------------------------------------
+
+/// Median wall time in ns of one crack-in-two over `n` rows with the oid
+/// map in lockstep (the shape every access path runs). The clone back to
+/// the unsorted input is outside the timed region.
+template <typename T>
+double MedianCrack2Ns(SimdTier tier, double selectivity, size_t n, int reps) {
+  Pcg32 rng(99);
+  std::vector<T> original(n);
+  for (auto& x : original)
+    x = static_cast<T>(rng.NextInRange(0, static_cast<int64_t>(n)));
+  const T pivot = static_cast<T>(selectivity * static_cast<double>(n));
+  std::vector<T> data(n);
+  std::vector<Oid> oids(n);
+  std::vector<double> times;
+  for (int r = 0; r <= reps; ++r) {  // rep 0 is warm-up
+    std::copy(original.begin(), original.end(), data.begin());
+    std::iota(oids.begin(), oids.end(), Oid{0});
+    auto t0 = std::chrono::steady_clock::now();
+    CrackSplit split = CrackInTwoLtTier(data.data(), oids.data(), n, pivot, tier);
+    auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(split.split);
+    if (r > 0) {
+      times.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct TierRow {
+  const char* type;
+  double selectivity;
+  SimdTier tier;
+  double ns;
+};
+
+int RunTierComparison(const std::string& path) {
+  const size_t kRows = 1 << 20;
+  const int kReps = 7;
+  const double kSelectivities[] = {0.1, 0.5, 0.9};
+  std::vector<SimdTier> tiers;
+  for (SimdTier t : {SimdTier::kScalar, SimdTier::kPredicated, SimdTier::kAvx2,
+                     SimdTier::kNeon}) {
+    if (SimdTierSupported(t)) tiers.push_back(t);
+  }
+
+  std::vector<TierRow> rows;
+  for (double sel : kSelectivities) {
+    for (SimdTier t : tiers)
+      rows.push_back({"int32", sel, t, MedianCrack2Ns<int32_t>(t, sel, kRows, kReps)});
+    for (SimdTier t : tiers)
+      rows.push_back({"int64", sel, t, MedianCrack2Ns<int64_t>(t, sel, kRows, kReps)});
+    for (SimdTier t : tiers)
+      rows.push_back({"double", sel, t, MedianCrack2Ns<double>(t, sel, kRows, kReps)});
+  }
+
+  // Headline ratio for CI: the dispatched tier vs scalar on int32 keys,
+  // geometric-mean across selectivities.
+  const SimdTier active = ActiveSimdTier();
+  double log_sum = 0.0;
+  int pairs = 0;
+  for (double sel : kSelectivities) {
+    double scalar_ns = 0.0, active_ns = 0.0;
+    for (const TierRow& r : rows) {
+      if (std::strcmp(r.type, "int32") != 0 || r.selectivity != sel) continue;
+      if (r.tier == SimdTier::kScalar) scalar_ns = r.ns;
+      if (r.tier == active) active_ns = r.ns;
+    }
+    if (scalar_ns > 0.0 && active_ns > 0.0) {
+      log_sum += std::log(scalar_ns / active_ns);
+      ++pairs;
+    }
+  }
+  const double dispatched_vs_scalar =
+      pairs > 0 ? std::exp(log_sum / pairs) : 1.0;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"kernel\": \"crack_in_two_lt\",\n";
+  out << "  \"rows\": " << kRows << ",\n";
+  out << "  \"reps\": " << kReps << ",\n";
+  out << "  \"active_tier\": \"" << SimdTierName(active) << "\",\n";
+  out << "  \"dispatched_vs_scalar_int32\": " << dispatched_vs_scalar << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TierRow& r = rows[i];
+    out << "    {\"type\": \"" << r.type << "\", \"selectivity\": "
+        << r.selectivity << ", \"tier\": \"" << SimdTierName(r.tier)
+        << "\", \"median_ns\": " << r.ns << ", \"ns_per_row\": "
+        << r.ns / static_cast<double>(kRows) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  out.close();
+
+  std::printf("active tier: %s\n", SimdTierName(active));
+  std::printf("dispatched vs scalar (int32, geomean): %.2fx\n",
+              dispatched_vs_scalar);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace crackstore
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      return crackstore::RunTierComparison(argv[i] + 7);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

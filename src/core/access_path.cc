@@ -230,18 +230,31 @@ void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
   uint64_t count = 0;
   std::vector<Oid> oids;
   if (want_oids) oids.reserve(static_cast<size_t>(out->count) + delta_hits);
-  auto visit = [&](Oid oid) {
-    if (hidden(oid)) return;
-    ++count;
-    if (want_oids) oids.push_back(oid);
-  };
   if (out->contiguous) {
-    for (size_t i = 0; i < out->view.oids.size(); ++i) {
-      visit(out->view.oids.template Get<Oid>(i));
+    // Contiguous crack answers filter through a batch visibility bitmap:
+    // one version-log latch acquisition for the whole span instead of a
+    // per-row Hides() probe.
+    size_t span = out->view.oids.size();
+    const Oid* oid_ptr = out->view.oids.template data<Oid>();
+    std::vector<uint64_t> vis;
+    if (versioned) {
+      vis.resize(BitmapWords(span));
+      view->VisibleMask(oid_ptr, span, vis.data());
     }
-    if (stats != nullptr) stats->tuples_read += out->view.oids.size();
+    for (size_t i = 0; i < span; ++i) {
+      Oid oid = oid_ptr[i];
+      if (num_tombstones > 0 && is_deleted(oid)) continue;
+      if (versioned && !BitmapTest(vis.data(), i)) continue;
+      ++count;
+      if (want_oids) oids.push_back(oid);
+    }
+    if (stats != nullptr) stats->tuples_read += span;
   } else {
-    for (Oid oid : out->oids) visit(oid);
+    for (Oid oid : out->oids) {
+      if (hidden(oid)) continue;
+      ++count;
+      if (want_oids) oids.push_back(oid);
+    }
   }
   for (const auto& [value, oid] : pending) {
     if (!InRange(value, lo, lo_incl, hi, hi_incl)) continue;
@@ -273,15 +286,15 @@ class CrackAccessPath : public ColumnAccessPath {
   size_t size() const override { return column_->size(); }
 
   PathConcurrency concurrency() const override {
-    // Standard-policy cracking parallelizes across pieces (the cuts are the
-    // query bounds and every shuffle is covered by a range lock). The
-    // steered policies read piece spans and draw pivots between cuts, and
-    // merge budgets rewrite the boundary map on every select — both need
-    // the whole index still, i.e. the exclusive latch.
-    return (config_.policy.policy == CrackPolicy::kStandard &&
-            config_.merge_budget.unlimited())
-               ? PathConcurrency::kSharedReads
-               : PathConcurrency::kExclusiveOnly;
+    // Cracking parallelizes across pieces: every shuffle is covered by a
+    // range lock, and all three policies can steer under the shared latch —
+    // standard cuts at the query bounds, stochastic draws auxiliary pivots
+    // through the concurrent primitives (PieceSpanForConcurrent + a cell
+    // lock on the drawn slot), and coarse filters fuzzy edges under the
+    // shared span lock. Only merge budgets still need the exclusive latch:
+    // they rewrite the boundary map on every select.
+    return config_.merge_budget.unlimited() ? PathConcurrency::kSharedReads
+                                            : PathConcurrency::kExclusiveOnly;
   }
 
   bool SharedSelectReady() const override {
@@ -545,14 +558,42 @@ class CrackAccessPath : public ColumnAccessPath {
     // Stable under the shared latch: swapping the index needs the
     // exclusive latch (Merge/FlushDeltas).
     CrackerIndex<T>* inner = updatable_->mutable_index();
+    if (engine_.policy() == CrackPolicy::kStochastic) {
+      // DDC under the shared latch: shrink the enclosing pieces with random
+      // pivots before cutting at the bounds, same as the serial path.
+      StochasticShrinkConcurrent(lo, /*want_incl=*/!lo_incl, stats);
+      StochasticShrinkConcurrent(hi, /*want_incl=*/hi_incl, stats);
+    }
     size_t cut_lo = 0;
     size_t cut_hi = 0;
     // Probe first: in steady state both cuts are registered and the select
     // must not pay batch scheduling for two map lookups.
-    bool have_lo = inner->FindCutConcurrent(lo, !lo_incl, &cut_lo);
-    bool have_hi = inner->FindCutConcurrent(hi, hi_incl, &cut_hi);
+    bool lo_exact = inner->FindCutConcurrent(lo, !lo_incl, &cut_lo);
+    bool hi_exact = inner->FindCutConcurrent(hi, hi_incl, &cut_hi);
+    bool crack_lo = !lo_exact;
+    bool crack_hi = !hi_exact;
+    if (engine_.policy() == CrackPolicy::kCoarse) {
+      // DD1C: bounds inside pieces at or below the threshold stay uncracked;
+      // the conservative piece edge stands in and the span is filtered by
+      // value below. The edge is a registered cut (or 0/n), so it never
+      // moves even if a neighbor subdivides the piece meanwhile.
+      if (crack_lo) {
+        std::pair<size_t, size_t> span = inner->PieceSpanForConcurrent(lo);
+        if (!engine_.ShouldCrack(span.second - span.first)) {
+          cut_lo = span.first;
+          crack_lo = false;
+        }
+      }
+      if (crack_hi) {
+        std::pair<size_t, size_t> span = inner->PieceSpanForConcurrent(hi);
+        if (!engine_.ShouldCrack(span.second - span.first)) {
+          cut_hi = span.second;
+          crack_hi = false;
+        }
+      }
+    }
     TaskPool* pool = TaskPool::Global();
-    if (!have_lo && !have_hi && pool->num_threads() > 1) {
+    if (crack_lo && crack_hi && pool->num_threads() > 1) {
       // Fan the two crack kernels out across pieces: once the column holds
       // more than one piece the bounds usually land in different pieces,
       // whose shuffles the range locks let proceed concurrently.
@@ -567,15 +608,21 @@ class CrackAccessPath : public ColumnAccessPath {
         *stats += lo_stats;
         *stats += hi_stats;
       }
+      lo_exact = hi_exact = true;
     } else {
-      if (!have_lo) {
+      if (crack_lo) {
         cut_lo = inner->CutConcurrent(lo, /*want_incl=*/!lo_incl, stats);
+        lo_exact = true;
       }
-      if (!have_hi) {
+      if (crack_hi) {
         cut_hi = inner->CutConcurrent(hi, /*want_incl=*/hi_incl, stats);
+        hi_exact = true;
       }
     }
     if (cut_hi < cut_lo) cut_hi = cut_lo;
+    // Coarse fuzzy edges widen the span past the answer by at most two
+    // small pieces; a value filter under the span lock trims them.
+    bool exact = lo_exact && hi_exact;
 
     // Hold the answer span still (no concurrent shuffle inside it) and the
     // delta latch (stable pending list / tombstones) while forming the
@@ -583,22 +630,37 @@ class CrackAccessPath : public ColumnAccessPath {
     RangeLockGuard span = inner->LockRangeShared(cut_lo, cut_hi);
     std::lock_guard<std::mutex> dl(delta_mu_);
     size_t tombstones = updatable_->pending_deletes();
-    auto hidden = [&](Oid oid) {
-      if (tombstones > 0 && updatable_->IsDeleted(oid)) return true;
-      return versioned && view->Hides(oid);
-    };
-    if (tombstones == 0 && !versioned && !want_oids) {
+    if (exact && tombstones == 0 && !versioned && !want_oids) {
       out.count = cut_hi - cut_lo;  // positions alone answer the count
     } else {
       const Oid* oid_data = inner->oids()->template TailData<Oid>();
-      if (want_oids) out.oids.reserve(cut_hi - cut_lo);
-      for (size_t i = cut_lo; i < cut_hi; ++i) {
-        Oid oid = oid_data[i];
-        if (hidden(oid)) continue;
+      size_t span_n = cut_hi - cut_lo;
+      // Batch the predicate on fuzzy (coarse) edges and the snapshot
+      // filter: one RangeMatchMask pass / one version-log latch for the
+      // span instead of per-row probes.
+      std::vector<uint64_t> match;
+      if (!exact) {
+        const T* val_data = inner->values()->template TailData<T>();
+        match.resize(BitmapWords(span_n));
+        RangeMatchMask<T>(val_data + cut_lo, span_n, /*has_lo=*/true, lo,
+                          lo_incl, /*has_hi=*/true, hi, hi_incl,
+                          match.data());
+      }
+      std::vector<uint64_t> vis;
+      if (versioned) {
+        vis.resize(BitmapWords(span_n));
+        view->VisibleMask(oid_data + cut_lo, span_n, vis.data());
+      }
+      if (want_oids) out.oids.reserve(span_n);
+      for (size_t i = 0; i < span_n; ++i) {
+        Oid oid = oid_data[cut_lo + i];
+        if (!exact && !BitmapTest(match.data(), i)) continue;
+        if (tombstones > 0 && updatable_->IsDeleted(oid)) continue;
+        if (versioned && !BitmapTest(vis.data(), i)) continue;
         ++out.count;
         if (want_oids) out.oids.push_back(oid);
       }
-      if (stats != nullptr) stats->tuples_read += cut_hi - cut_lo;
+      if (stats != nullptr) stats->tuples_read += span_n;
     }
     for (const auto& [value, oid] : updatable_->pending()) {
       if (!InRange(value, lo, lo_incl, hi, hi_incl)) continue;
@@ -663,6 +725,31 @@ class CrackAccessPath : public ColumnAccessPath {
           span.first, span.second)];
       inner->ForceCut(pivot, /*want_incl=*/false, stats);
       std::pair<size_t, size_t> next = inner->PieceSpanFor(v);
+      if (next == span) break;  // pivot was the piece minimum: no progress
+      span = next;
+    }
+  }
+
+  /// StochasticShrink through the concurrent primitives only (shared-latch
+  /// mode). Races are benign: any element read under the cell lock is a
+  /// valid pivot (shuffles only permute tuples within a piece), and a
+  /// neighbor subdividing the same piece just leaves less auxiliary work
+  /// for this thread — the span re-probe observes their cuts too.
+  void StochasticShrinkConcurrent(T v, bool want_incl, IoStats* stats) {
+    CrackerIndex<T>* inner = updatable_->mutable_index();
+    size_t pos;
+    if (inner->FindCutConcurrent(v, want_incl, &pos)) return;
+    std::pair<size_t, size_t> span = inner->PieceSpanForConcurrent(v);
+    while (engine_.WantsAuxiliaryPivot(span.second - span.first)) {
+      size_t slot;
+      {
+        // The policy engine's pivot stream (Pcg32) is not thread-safe.
+        std::lock_guard<std::mutex> lk(engine_mu_);
+        slot = engine_.DrawSlot(span.first, span.second);
+      }
+      T pivot = inner->ValueAtConcurrent(slot);
+      inner->CutConcurrent(pivot, /*want_incl=*/false, stats);
+      std::pair<size_t, size_t> next = inner->PieceSpanForConcurrent(v);
       if (next == span) break;  // pivot was the piece minimum: no progress
       span = next;
     }
@@ -733,6 +820,9 @@ class CrackAccessPath : public ColumnAccessPath {
   std::shared_ptr<Bat> column_;
   AccessPathConfig config_;
   CrackPolicyEngine engine_;
+  /// Serializes the policy engine's pivot stream among shared-latch
+  /// selects (Pcg32 is not thread-safe). Serial callers bypass it.
+  std::mutex engine_mu_;
   std::unique_ptr<UpdatableCrackerIndex<T>> updatable_;
   std::unordered_set<Oid> pre_build_deletes_;  ///< tombstones before build
   // Concurrent-mode state (inert in serial mode).
@@ -1076,13 +1166,35 @@ class ScanAccessPath : public ColumnAccessPath {
     const T* data = column_->TailData<T>();
     size_t n = column_->size();
     Oid base = column_->head_base();
-    for (size_t i = 0; i < n; ++i) {
-      Oid oid = base + i;
-      if (!tombs->empty() && tombs->count(oid) > 0) continue;
-      if (versioned && view->Hides(oid)) continue;
-      if (InRange(data[i], lo, lo_incl, hi, hi_incl)) {
-        ++out.count;
-        if (want_oids) out.oids.push_back(oid);
+    // Branchless scan: one vectorized range bitmap, AND-ed with one batch
+    // visibility bitmap (a single version-log latch acquisition instead of
+    // one per row), tombstones cleared bit-wise — then popcount for the
+    // count and bit-iterate for the oid gather.
+    std::vector<uint64_t> match(BitmapWords(n));
+    RangeMatchMask<T>(data, n, /*has_lo=*/true, lo, lo_incl, /*has_hi=*/true,
+                      hi, hi_incl, match.data());
+    if (versioned) {
+      std::vector<uint64_t> vis(BitmapWords(n));
+      view->VisibleRangeMask(base, n, vis.data());
+      for (size_t w = 0; w < match.size(); ++w) match[w] &= vis[w];
+    }
+    if (!tombs->empty()) {
+      for (Oid oid : *tombs) {
+        if (oid >= base && oid - base < n) {
+          BitmapClearBit(match.data(), size_t(oid - base));
+        }
+      }
+    }
+    out.count = BitmapCount(match.data(), n);
+    if (want_oids) {
+      out.oids.reserve(out.count);
+      for (size_t w = 0; w < match.size(); ++w) {
+        uint64_t m = match[w];
+        while (m != 0) {
+          size_t i = (w << 6) + size_t(__builtin_ctzll(m));
+          out.oids.push_back(base + i);
+          m &= m - 1;
+        }
       }
     }
     ReadmitOverrides<T>(view, lo, lo_incl, hi, hi_incl, want_oids, &out);

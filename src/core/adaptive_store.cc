@@ -1420,7 +1420,7 @@ Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
                                               const std::string& left_column,
                                               const std::string& right_table,
                                               const std::string& right_column,
-                                              Delivery delivery) {
+                                              Delivery delivery, TxnId txn) {
   // Joins crack base columns and fill store-wide caches without per-column
   // latches; concurrent mode gates them store-wide instead.
   std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
@@ -1430,7 +1430,7 @@ Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
   CRACK_ASSIGN_OR_RETURN(
       std::vector<OidPair> pairs,
       JoinOidsInternal(left_table, left_column, right_table, right_column,
-                       &result.io));
+                       &result.io, txn));
   result.count = pairs.size();
   if (delivery == Delivery::kMaterialize) {
     // Materialize left ⨯ right columns of matching tuples as a 2-column view
@@ -1444,32 +1444,56 @@ Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
 
 Result<std::vector<OidPair>> AdaptiveStore::JoinOids(
     const std::string& left_table, const std::string& left_column,
-    const std::string& right_table, const std::string& right_column) {
+    const std::string& right_table, const std::string& right_column,
+    TxnId txn) {
   std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
   if (options_.concurrent) g.lock();
   IoStats io;
   auto out = JoinOidsInternal(left_table, left_column, right_table,
-                              right_column, &io);
+                              right_column, &io, txn);
   total_io_ += io;
   return out;
+}
+
+AdaptiveStore::CrackCacheStamp AdaptiveStore::StampFor(
+    const std::string& table) const {
+  CrackCacheStamp s;
+  auto rel = this->table(table);
+  if (rel.ok()) s.rows = (*rel)->num_rows();
+  VersionedTable* vt = VersionsIfAny(table);
+  if (vt != nullptr) s.counts = vt->counts();
+  return s;
 }
 
 Result<std::vector<OidPair>> AdaptiveStore::JoinOidsInternal(
     const std::string& left_table, const std::string& left_column,
     const std::string& right_table, const std::string& right_column,
-    IoStats* stats) {
+    IoStats* stats, TxnId txn) {
   auto left = ResolveColumn(left_table, left_column);
   if (!left.ok()) return left.status();
   auto right = ResolveColumn(right_table, right_column);
   if (!right.ok()) return right.status();
 
+  CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
+  SnapshotView lview = ViewForColumn(left_table, left_column, snap);
+  SnapshotView rview = ViewForColumn(right_table, right_column, snap);
+
   if (options_.strategy != AccessStrategy::kCrack) {
-    return HashJoinOids(*left, *right, stats);
+    return HashJoinOids(*left, *right, stats, &lview, &rview);
   }
 
   std::string key = left_table + "." + left_column + "|" + right_table + "." +
                     right_column;
+  CrackCacheStamp lstamp = StampFor(left_table);
+  CrackCacheStamp rstamp = StampFor(right_table);
   auto it = join_cracks_.find(key);
+  if (it != join_cracks_.end() && (it->second.left_stamp != lstamp ||
+                                   it->second.right_stamp != rstamp)) {
+    // Version churn since the ^ crack was built: its clones snapshot base
+    // data that has changed (append, in-place update, vacuum). Rebuild.
+    join_cracks_.erase(it);
+    it = join_cracks_.end();
+  }
   if (it == join_cracks_.end()) {
     CRACK_ASSIGN_OR_RETURN(JoinCrackResult cracked,
                            CrackJoin(*left, *right, stats));
@@ -1485,14 +1509,18 @@ Result<std::vector<OidPair>> AdaptiveStore::JoinOidsInternal(
            {key + " P3 (R match)", cracked.right.split},
            {key + " P4 (R rest)", (*right)->size() - cracked.right.split}});
     }
-    it = join_cracks_.emplace(key, std::move(cracked)).first;
+    JoinCrackEntry entry;
+    entry.cracked = std::move(cracked);
+    entry.left_stamp = lstamp;
+    entry.right_stamp = rstamp;
+    it = join_cracks_.emplace(key, std::move(entry)).first;
   }
-  return JoinMatchingAreas(it->second, stats);
+  return JoinMatchingAreas(it->second.cracked, stats, &lview, &rview);
 }
 
 Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
     const std::string& table, const std::string& group_column,
-    const std::string& agg_column, AggKind kind) {
+    const std::string& agg_column, AggKind kind, TxnId txn) {
   std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
   if (options_.concurrent) g.lock();
   auto grp = ResolveColumn(table, group_column);
@@ -1500,9 +1528,19 @@ Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
   auto agg = ResolveColumn(table, agg_column);
   if (!agg.ok()) return agg.status();
 
+  CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
+  SnapshotView group_view = ViewForColumn(table, group_column, snap);
+  SnapshotView agg_view = ViewForColumn(table, agg_column, snap);
+
   IoStats io;
   std::string key = table + "." + group_column;
+  CrackCacheStamp stamp = StampFor(table);
   auto it = group_cracks_.find(key);
+  if (it != group_cracks_.end() && it->second.stamp != stamp) {
+    // Version churn since the Ω crack was built (see JoinOidsInternal).
+    group_cracks_.erase(it);
+    it = group_cracks_.end();
+  }
   if (it == group_cracks_.end()) {
     CRACK_ASSIGN_OR_RETURN(GroupCrackResult cracked, CrackGroup(*grp, &io));
     if (options_.track_lineage && cracked.groups.size() <= 1024) {
@@ -1516,9 +1554,14 @@ Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
       }
       (void)lineage_.AddCrack(CrackOp::kOmega, {root}, outputs);
     }
-    it = group_cracks_.emplace(key, std::move(cracked)).first;
+    GroupCrackEntry entry;
+    entry.cracked = std::move(cracked);
+    entry.stamp = stamp;
+    it = group_cracks_.emplace(key, std::move(entry)).first;
   }
-  auto out = AggregateGroups(it->second, *agg, kind, &io);
+  auto out =
+      AggregateGroups(it->second.cracked, *agg, kind, &io, &group_view,
+                      &agg_view);
   total_io_ += io;
   return out;
 }

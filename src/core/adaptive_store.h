@@ -263,25 +263,34 @@ class AdaptiveStore {
 
   /// ⋈/^: equi-join of two integer columns. The first call ^-cracks both
   /// operands (cached); subsequent calls join only the matching areas.
+  /// `txn` pins the snapshot the join evaluates against (latest committed
+  /// when kNoTxn): hidden rows drop out and overridden keys re-join with
+  /// their snapshot values. The ^ cache is stamped with the operands' base
+  /// sizes and version counts and is rebuilt when either churns (appends,
+  /// in-place updates, vacuum all change what a fresh crack would see).
   Result<QueryResult> JoinEquals(const std::string& left_table,
                                  const std::string& left_column,
                                  const std::string& right_table,
                                  const std::string& right_column,
-                                 Delivery delivery = Delivery::kCount);
+                                 Delivery delivery = Delivery::kCount,
+                                 TxnId txn = kNoTxn);
 
   /// The oid pairs of the most natural join evaluation (cached ^ areas under
-  /// kCrack, full hash join otherwise).
+  /// kCrack, full hash join otherwise), at `txn`'s snapshot.
   Result<std::vector<OidPair>> JoinOids(const std::string& left_table,
                                         const std::string& left_column,
                                         const std::string& right_table,
-                                        const std::string& right_column);
+                                        const std::string& right_column,
+                                        TxnId txn = kNoTxn);
 
   /// γ/Ω: grouped aggregate over integer columns. The first call Ω-cracks
   /// the grouping column (cached); later aggregates reuse the clustering.
+  /// `txn` pins the snapshot (see JoinEquals); the Ω cache carries the same
+  /// churn stamp as the ^ cache.
   Result<std::vector<GroupAggregate>> GroupBy(const std::string& table,
                                               const std::string& group_column,
                                               const std::string& agg_column,
-                                              AggKind kind);
+                                              AggKind kind, TxnId txn = kNoTxn);
 
   /// π/Ψ: vertical crack of `table` on `attrs` (fragments share physical
   /// columns; both registered in the lineage).
@@ -378,7 +387,7 @@ class AdaptiveStore {
                                                 const std::string& left_column,
                                                 const std::string& right_table,
                                                 const std::string& right_column,
-                                                IoStats* stats);
+                                                IoStats* stats, TxnId txn);
 
   /// The accelerator slot of (table, column), with the access path built on
   /// first use (the build itself stays lazy inside the path).
@@ -517,8 +526,33 @@ class AdaptiveStore {
   /// it meets (txn-manager mutex, version latches); never held across
   /// physical work.
   mutable std::mutex commit_mu_;
-  std::map<std::string, JoinCrackResult> join_cracks_;
-  std::map<std::string, GroupCrackResult> group_cracks_;
+  /// Version-churn stamp of a ^/Ω cache entry: what the operand columns
+  /// looked like when the crack was built. Any mismatch (append, in-place
+  /// update adding a chain entry, vacuum purging rows) invalidates the
+  /// entry — the cached clone snapshots base data that has since changed.
+  struct CrackCacheStamp {
+    size_t rows = 0;
+    VersionedTable::Counts counts;
+    bool operator==(const CrackCacheStamp& o) const {
+      return rows == o.rows && counts.row_versions == o.counts.row_versions &&
+             counts.chain_entries == o.counts.chain_entries &&
+             counts.purged == o.counts.purged;
+    }
+    bool operator!=(const CrackCacheStamp& o) const { return !(*this == o); }
+  };
+  CrackCacheStamp StampFor(const std::string& table) const;
+
+  struct JoinCrackEntry {
+    JoinCrackResult cracked;
+    CrackCacheStamp left_stamp;
+    CrackCacheStamp right_stamp;
+  };
+  struct GroupCrackEntry {
+    GroupCrackResult cracked;
+    CrackCacheStamp stamp;
+  };
+  std::map<std::string, JoinCrackEntry> join_cracks_;
+  std::map<std::string, GroupCrackEntry> group_cracks_;
   LineageGraph lineage_;
   IoStats total_io_;
   /// Concurrent mode only. global_mu_: selections and DML run shared;

@@ -8,31 +8,27 @@
 // All kernels optionally permute a parallel oid array (the cracker map) in
 // lockstep, and report the number of tuple writes they performed so the
 // experiments can account cost in deterministic units.
+//
+// This header holds the scalar reference kernels plus the public dispatch
+// wrappers (CrackInTwoLt / CrackInTwoLe / CrackInThree): for int32/int64/
+// double the wrappers route through the runtime-selected SIMD tier in
+// simd_dispatch.h, every other type falls back to the scalar reference.
+// The vector tiers of crack-in-two are bit-identical to the scalar kernel
+// (same split, same layout, same writes) — see simd_dispatch.h.
 
 #ifndef CRACKSTORE_CORE_CRACK_KERNELS_H_
 #define CRACKSTORE_CORE_CRACK_KERNELS_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
+#include "core/simd_dispatch.h"
 #include "storage/types.h"
 #include "util/macros.h"
 
 namespace crackstore {
-
-/// Outcome of a two-way crack.
-struct CrackSplit {
-  size_t split = 0;      ///< first index of the right-hand partition
-  uint64_t writes = 0;   ///< tuple writes performed (2 per swap)
-};
-
-/// Outcome of a three-way crack.
-struct Crack3Split {
-  size_t first = 0;      ///< first index of the middle partition
-  size_t second = 0;     ///< first index of the upper partition
-  uint64_t writes = 0;   ///< tuple writes performed
-};
 
 namespace internal {
 
@@ -63,32 +59,36 @@ CrackSplit Partition2(T* data, Oid* oids, size_t n, GoesLeft goes_left) {
   return out;
 }
 
+/// True for the element types that have vectorized kernel tiers.
+template <typename T>
+inline constexpr bool kHasSimdKernels = std::is_same_v<T, int32_t> ||
+                                        std::is_same_v<T, int64_t> ||
+                                        std::is_same_v<T, double>;
+
 }  // namespace internal
 
-/// Partitions so that values `< pivot` come first. Returns the index of the
-/// first element `>= pivot`.
+/// Scalar reference: partitions so that values `< pivot` come first.
 template <typename T>
-CrackSplit CrackInTwoLt(T* data, Oid* oids, size_t n, T pivot) {
+CrackSplit CrackInTwoLtScalar(T* data, Oid* oids, size_t n, T pivot) {
   return internal::Partition2(data, oids, n,
                               [pivot](T v) { return v < pivot; });
 }
 
-/// Partitions so that values `<= pivot` come first. Returns the index of the
-/// first element `> pivot`.
+/// Scalar reference: partitions so that values `<= pivot` come first.
 template <typename T>
-CrackSplit CrackInTwoLe(T* data, Oid* oids, size_t n, T pivot) {
+CrackSplit CrackInTwoLeScalar(T* data, Oid* oids, size_t n, T pivot) {
   return internal::Partition2(data, oids, n,
                               [pivot](T v) { return v <= pivot; });
 }
 
-/// Three-way partition (Dutch-national-flag) into
+/// Scalar reference: three-way partition (Dutch-national-flag) into
 ///   [ below | middle | above ]
 /// where `middle` holds values v with
 ///   (lo_incl ? v >= lo : v > lo)  &&  (hi_incl ? v <= hi : v < hi).
 /// Degenerate pivot pairs (empty middle) are allowed.
 template <typename T>
-Crack3Split CrackInThree(T* data, Oid* oids, size_t n, T lo, bool lo_incl,
-                         T hi, bool hi_incl) {
+Crack3Split CrackInThreeScalar(T* data, Oid* oids, size_t n, T lo,
+                               bool lo_incl, T hi, bool hi_incl) {
   Crack3Split out;
   auto below = [lo, lo_incl](T v) { return lo_incl ? v < lo : v <= lo; };
   auto above = [hi, hi_incl](T v) { return hi_incl ? v > hi : v >= hi; };
@@ -114,6 +114,42 @@ Crack3Split CrackInThree(T* data, Oid* oids, size_t n, T lo, bool lo_incl,
   out.first = lt;
   out.second = gt;
   return out;
+}
+
+/// Partitions so that values `< pivot` come first. Returns the index of the
+/// first element `>= pivot`. Dispatches to the active SIMD tier.
+template <typename T>
+CrackSplit CrackInTwoLt(T* data, Oid* oids, size_t n, T pivot) {
+  if constexpr (internal::kHasSimdKernels<T>) {
+    return CrackInTwoLtTier(data, oids, n, pivot, ActiveSimdTier());
+  } else {
+    return CrackInTwoLtScalar(data, oids, n, pivot);
+  }
+}
+
+/// Partitions so that values `<= pivot` come first. Returns the index of the
+/// first element `> pivot`. Dispatches to the active SIMD tier.
+template <typename T>
+CrackSplit CrackInTwoLe(T* data, Oid* oids, size_t n, T pivot) {
+  if constexpr (internal::kHasSimdKernels<T>) {
+    return CrackInTwoLeTier(data, oids, n, pivot, ActiveSimdTier());
+  } else {
+    return CrackInTwoLeScalar(data, oids, n, pivot);
+  }
+}
+
+/// Three-way partition into [ below | middle | above ]; see
+/// CrackInThreeScalar for the predicate semantics. Dispatches to the active
+/// SIMD tier.
+template <typename T>
+Crack3Split CrackInThree(T* data, Oid* oids, size_t n, T lo, bool lo_incl,
+                         T hi, bool hi_incl) {
+  if constexpr (internal::kHasSimdKernels<T>) {
+    return CrackInThreeTier(data, oids, n, lo, lo_incl, hi, hi_incl,
+                            ActiveSimdTier());
+  } else {
+    return CrackInThreeScalar(data, oids, n, lo, lo_incl, hi, hi_incl);
+  }
 }
 
 }  // namespace crackstore

@@ -155,6 +155,19 @@ bool CrackerIndex<T>::FindCutConcurrent(T v, bool want_incl, size_t* pos) {
 }
 
 template <typename T>
+std::pair<size_t, size_t> CrackerIndex<T>::PieceSpanForConcurrent(T v) const {
+  std::lock_guard<std::mutex> lk(map_mu_);
+  return {LowerLimitFor(v), UpperLimitFor(v)};
+}
+
+template <typename T>
+T CrackerIndex<T>::ValueAtConcurrent(size_t slot) {
+  CRACK_DCHECK(slot < n_);
+  RangeLockGuard cell(&range_locks_, slot, slot + 1, /*exclusive=*/false);
+  return raw_values_[slot];
+}
+
+template <typename T>
 size_t CrackerIndex<T>::CutConcurrent(T v, bool want_incl, IoStats* stats) {
   size_t begin, end;
   {

@@ -150,9 +150,10 @@ class CrackerIndex {
   // the read, which excludes in-flight shuffles of enclosed pieces.
   //
   // Contract: concurrent callers use ONLY CutConcurrent + LockRangeShared +
-  // the const accessors below; the serial primitives (Select/ForceCut/...)
-  // require external exclusive ownership of the whole index. The two modes
-  // must not be mixed without that exclusion.
+  // PieceSpanForConcurrent + ValueAtConcurrent + the const accessors below;
+  // the serial primitives (Select/ForceCut/...) require external exclusive
+  // ownership of the whole index. The two modes must not be mixed without
+  // that exclusion.
 
   /// Thread-safe ForceCut: same postcondition, callable from many threads
   /// at once. Returns the (stable) cut position.
@@ -168,6 +169,20 @@ class CrackerIndex {
   RangeLockGuard LockRangeShared(size_t begin, size_t end) {
     return RangeLockGuard(&range_locks_, begin, end, /*exclusive=*/false);
   }
+
+  /// Thread-safe PieceSpanFor: the undivided slot range around `v`, read
+  /// under the boundary-map mutex. A racing cut may subdivide the span the
+  /// moment the mutex drops; steered policies tolerate that (a narrower
+  /// live span only means the auxiliary work was already done by someone
+  /// else).
+  std::pair<size_t, size_t> PieceSpanForConcurrent(T v) const;
+
+  /// Thread-safe read of the tail value at `slot`: holds a shared range
+  /// lock over [slot, slot+1) so no in-flight shuffle is mid-swap there.
+  /// Any value observed is a valid pivot — shuffles only permute tuples
+  /// within a piece, so whatever sits at `slot` is some element of the
+  /// piece that covered it.
+  T ValueAtConcurrent(size_t slot);
 
   /// The slot range [begin, end) of the piece(s) still undivided around
   /// value `v`: every tuple with tail value v lies inside. Derived from

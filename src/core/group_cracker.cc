@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/txn_manager.h"
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -81,19 +82,85 @@ Result<GroupCrackResult> CrackGroup(const std::shared_ptr<Bat>& column,
 
 Result<std::vector<GroupAggregate>> AggregateGroups(
     const GroupCrackResult& cracked, const std::shared_ptr<Bat>& agg_column,
-    AggKind kind, IoStats* stats) {
+    AggKind kind, IoStats* stats, const SnapshotView* group_view,
+    const SnapshotView* agg_view) {
   if (agg_column == nullptr) return Status::InvalidArgument("null column");
   if (agg_column->tail_type() != ValueType::kInt64 &&
       agg_column->tail_type() != ValueType::kInt32) {
     return Status::Unimplemented("aggregate column must be integer");
   }
   bool is32 = agg_column->tail_type() == ValueType::kInt32;
+  bool gv_active = group_view != nullptr && group_view->active();
+  bool av_active = agg_view != nullptr && agg_view->active();
   Oid base = agg_column->head_base();
   auto fetch = [&](Oid oid) -> int64_t {
+    if (av_active) {
+      // The aggregate input at the snapshot: the physical cell is newer
+      // than the snapshot for overridden rows.
+      if (const Value* ov = agg_view->OverrideFor(oid)) return ov->ToInt64();
+    }
     size_t idx = static_cast<size_t>(oid - base);
     CRACK_DCHECK(idx < agg_column->size());
     return is32 ? agg_column->Get<int32_t>(idx) : agg_column->Get<int64_t>(idx);
   };
+
+  if (gv_active) {
+    // Transactional pass: membership is decided per row against the
+    // snapshot, so the clustered fast path below (piece size == group
+    // cardinality) does not apply. Rows hidden at the view drop out; rows
+    // whose group key is overridden migrate to their snapshot key's group
+    // (possibly one no physical piece holds).
+    struct Accum {
+      int64_t count = 0;
+      int64_t sum = 0;
+      int64_t mn = INT64_MAX;
+      int64_t mx = INT64_MIN;
+    };
+    std::map<int64_t, Accum> groups;
+    auto admit = [&](int64_t group, Oid oid) {
+      Accum& a = groups[group];
+      ++a.count;
+      if (kind != AggKind::kCount) {
+        int64_t v = fetch(oid);
+        a.sum += v;
+        a.mn = std::min(a.mn, v);
+        a.mx = std::max(a.mx, v);
+      }
+    };
+    const Oid* oids = cracked.oids->TailData<Oid>();
+    for (const GroupPiece& g : cracked.groups) {
+      for (size_t i = g.begin; i < g.end; ++i) {
+        if (group_view->Hides(oids[i])) continue;
+        admit(g.value, oids[i]);
+      }
+    }
+    for (const auto& [oid, value] : group_view->overrides()) {
+      admit(value.ToInt64(), oid);
+    }
+    std::vector<GroupAggregate> out;
+    out.reserve(groups.size());
+    for (const auto& [group, a] : groups) {
+      GroupAggregate agg;
+      agg.group = group;
+      switch (kind) {
+        case AggKind::kCount:
+          agg.value = a.count;
+          break;
+        case AggKind::kSum:
+          agg.value = a.sum;
+          break;
+        case AggKind::kMin:
+          agg.value = a.mn;
+          break;
+        case AggKind::kMax:
+          agg.value = a.mx;
+          break;
+      }
+      out.push_back(agg);
+    }
+    if (stats != nullptr) stats->tuples_read += cracked.oids->size();
+    return out;
+  }
 
   std::vector<GroupAggregate> out;
   out.reserve(cracked.groups.size());

@@ -19,6 +19,8 @@
 
 namespace crackstore {
 
+class SnapshotView;  // core/txn_manager.h
+
 /// One group piece: the grouping value (as int64 view) and its contiguous
 /// slot range in the clustered column.
 struct GroupPiece {
@@ -62,9 +64,17 @@ struct GroupAggregate {
 
 /// Computes `kind` of `agg_column[oid]` per group of `cracked`, exploiting
 /// the clustered layout (one sequential pass, no hash table).
+///
+/// Active snapshot views make the aggregate transactional: rows hidden at
+/// `group_view` drop out, rows whose group key is overridden there (their
+/// physical key is newer than the snapshot) migrate into the group of the
+/// override value, and `agg_view` overrides substitute the aggregate input
+/// per row. Groups with no visible member are not reported.
 Result<std::vector<GroupAggregate>> AggregateGroups(
     const GroupCrackResult& cracked, const std::shared_ptr<Bat>& agg_column,
-    AggKind kind, IoStats* stats = nullptr);
+    AggKind kind, IoStats* stats = nullptr,
+    const SnapshotView* group_view = nullptr,
+    const SnapshotView* agg_view = nullptr);
 
 }  // namespace crackstore
 

@@ -2,15 +2,56 @@
 
 #include "core/join_cracker.h"
 
+#include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/crack_kernels.h"
+#include "core/txn_manager.h"
 #include "util/string_util.h"
 
 namespace crackstore {
 
 namespace {
+
+bool ViewActive(const SnapshotView* view) {
+  return view != nullptr && view->active();
+}
+
+/// Narrows an override Value into the join key domain (mirrors the access
+/// paths' defensive cast).
+template <typename T>
+T CastKey(const Value& v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return v.is_double() ? static_cast<T>(v.AsDouble())
+                         : static_cast<T>(v.ToInt64());
+  } else {
+    int64_t wide = v.is_double() ? static_cast<int64_t>(v.AsDouble())
+                                 : v.ToInt64();
+    return static_cast<T>(
+        std::clamp(wide, static_cast<int64_t>(std::numeric_limits<T>::min()),
+                   static_cast<int64_t>(std::numeric_limits<T>::max())));
+  }
+}
+
+/// The value `oid` holds at `view`'s snapshot: the override when the
+/// physical value is newer than the snapshot, the raw value otherwise.
+/// Returns false when the row is invisible at the view.
+template <typename T>
+bool EffectiveAt(const SnapshotView* view, Oid oid, T raw, T* out) {
+  if (!ViewActive(view)) {
+    *out = raw;
+    return true;
+  }
+  if (const Value* ov = view->OverrideFor(oid)) {
+    *out = CastKey<T>(*ov);
+    return true;
+  }
+  if (view->Hides(oid)) return false;
+  *out = raw;
+  return true;
+}
 
 /// Clones `src` into a shuffle-able (values, oids) pair.
 JoinCrackSide CloneSide(const std::shared_ptr<Bat>& src, IoStats* stats) {
@@ -78,8 +119,18 @@ JoinCrackResult CrackJoinTyped(const std::shared_ptr<Bat>& left,
 
 template <typename T>
 std::vector<OidPair> JoinAreasTyped(const JoinCrackResult& cracked,
-                                    IoStats* stats) {
-  // Hash join over the matching areas only.
+                                    IoStats* stats,
+                                    const SnapshotView* left_view,
+                                    const SnapshotView* right_view) {
+  bool lv_active = ViewActive(left_view);
+  bool rv_active = ViewActive(right_view);
+
+  // Main pass: hash join over the matching areas only. Rows hidden at a
+  // view drop out here; overridden rows (whose key at the snapshot differs
+  // from the physical one) also drop out — the override passes below
+  // re-join them against effective values. Any pair of visible
+  // non-overridden rows matches on physical keys, so both of its rows sit
+  // inside the matching areas by construction.
   BatView lv = cracked.left.matching();
   BatView rv = cracked.right.matching();
   BatView lo = cracked.left.matching_oids();
@@ -89,39 +140,93 @@ std::vector<OidPair> JoinAreasTyped(const JoinCrackResult& cracked,
   build.reserve(lv.size() * 2);
   const T* ld = lv.data<T>();
   for (size_t i = 0; i < lv.size(); ++i) {
-    build[ld[i]].push_back(lo.Get<Oid>(i));
+    Oid oid = lo.Get<Oid>(i);
+    if (lv_active && left_view->Hides(oid)) continue;
+    build[ld[i]].push_back(oid);
   }
   std::vector<OidPair> out;
   const T* rd = rv.data<T>();
   for (size_t i = 0; i < rv.size(); ++i) {
+    Oid right_oid = ro.Get<Oid>(i);
+    if (rv_active && right_view->Hides(right_oid)) continue;
     auto it = build.find(rd[i]);
     if (it == build.end()) continue;
-    Oid right_oid = ro.Get<Oid>(i);
     for (Oid left_oid : it->second) out.push_back(OidPair{left_oid, right_oid});
   }
   if (stats != nullptr) {
     stats->tuples_read += lv.size() + rv.size();
-    stats->tuples_written += out.size();
   }
+
+  // Override passes: an overridden key may match rows anywhere in the
+  // other side (including its non-matching area, which was partitioned by
+  // physical keys), so they scan the full clone. Pass A pairs left
+  // overrides with every visible right row (effective values, right
+  // overrides included); pass B pairs right overrides with visible
+  // non-overridden left rows — together exactly the pairs with at least
+  // one overridden member, each counted once.
+  if (lv_active && !left_view->overrides().empty()) {
+    const T* rall = cracked.right.values->TailData<T>();
+    const Oid* rall_oids = cracked.right.oids->TailData<Oid>();
+    size_t rn = cracked.right.values->size();
+    std::unordered_map<T, std::vector<Oid>> lov;
+    for (const auto& [loid, lval] : left_view->overrides()) {
+      lov[CastKey<T>(lval)].push_back(loid);
+    }
+    for (size_t i = 0; i < rn; ++i) {
+      T rkey;
+      if (!EffectiveAt<T>(right_view, rall_oids[i], rall[i], &rkey)) continue;
+      auto it = lov.find(rkey);
+      if (it == lov.end()) continue;
+      for (Oid loid : it->second) out.push_back(OidPair{loid, rall_oids[i]});
+    }
+    if (stats != nullptr) stats->tuples_read += rn;
+  }
+  if (rv_active && !right_view->overrides().empty()) {
+    const T* lall = cracked.left.values->TailData<T>();
+    const Oid* lall_oids = cracked.left.oids->TailData<Oid>();
+    size_t ln = cracked.left.values->size();
+    std::unordered_map<T, std::vector<Oid>> rov;
+    for (const auto& [roid, rval] : right_view->overrides()) {
+      rov[CastKey<T>(rval)].push_back(roid);
+    }
+    for (size_t i = 0; i < ln; ++i) {
+      Oid loid = lall_oids[i];
+      if (lv_active && left_view->Hides(loid)) continue;  // pass A owns these
+      auto it = rov.find(lall[i]);
+      if (it == rov.end()) continue;
+      for (Oid roid : it->second) out.push_back(OidPair{loid, roid});
+    }
+    if (stats != nullptr) stats->tuples_read += ln;
+  }
+
+  if (stats != nullptr) stats->tuples_written += out.size();
   return out;
 }
 
 template <typename T>
 std::vector<OidPair> HashJoinTyped(const std::shared_ptr<Bat>& left,
                                    const std::shared_ptr<Bat>& right,
-                                   IoStats* stats) {
+                                   IoStats* stats,
+                                   const SnapshotView* left_view,
+                                   const SnapshotView* right_view) {
+  // Full columns in hand: build and probe with effective (snapshot)
+  // values directly — no re-admission pass needed.
   std::unordered_map<T, std::vector<Oid>> build;
   build.reserve(left->size() * 2);
   const T* ld = left->TailData<T>();
   Oid lbase = left->head_base();
   for (size_t i = 0; i < left->size(); ++i) {
-    build[ld[i]].push_back(lbase + i);
+    T key;
+    if (!EffectiveAt<T>(left_view, lbase + i, ld[i], &key)) continue;
+    build[key].push_back(lbase + i);
   }
   std::vector<OidPair> out;
   const T* rd = right->TailData<T>();
   Oid rbase = right->head_base();
   for (size_t i = 0; i < right->size(); ++i) {
-    auto it = build.find(rd[i]);
+    T key;
+    if (!EffectiveAt<T>(right_view, rbase + i, rd[i], &key)) continue;
+    auto it = build.find(key);
     if (it == build.end()) continue;
     for (Oid l : it->second) out.push_back(OidPair{l, rbase + i});
   }
@@ -159,14 +264,16 @@ Result<JoinCrackResult> CrackJoin(const std::shared_ptr<Bat>& left,
 }
 
 std::vector<OidPair> JoinMatchingAreas(const JoinCrackResult& cracked,
-                                       IoStats* stats) {
+                                       IoStats* stats,
+                                       const SnapshotView* left_view,
+                                       const SnapshotView* right_view) {
   switch (cracked.left.values->tail_type()) {
     case ValueType::kInt32:
-      return JoinAreasTyped<int32_t>(cracked, stats);
+      return JoinAreasTyped<int32_t>(cracked, stats, left_view, right_view);
     case ValueType::kInt64:
-      return JoinAreasTyped<int64_t>(cracked, stats);
+      return JoinAreasTyped<int64_t>(cracked, stats, left_view, right_view);
     case ValueType::kFloat64:
-      return JoinAreasTyped<double>(cracked, stats);
+      return JoinAreasTyped<double>(cracked, stats, left_view, right_view);
     default:
       CRACK_DCHECK(false);
       return {};
@@ -175,7 +282,9 @@ std::vector<OidPair> JoinMatchingAreas(const JoinCrackResult& cracked,
 
 Result<std::vector<OidPair>> HashJoinOids(const std::shared_ptr<Bat>& left,
                                           const std::shared_ptr<Bat>& right,
-                                          IoStats* stats) {
+                                          IoStats* stats,
+                                          const SnapshotView* left_view,
+                                          const SnapshotView* right_view) {
   if (left == nullptr || right == nullptr) {
     return Status::InvalidArgument("null join operand");
   }
@@ -184,11 +293,11 @@ Result<std::vector<OidPair>> HashJoinOids(const std::shared_ptr<Bat>& left,
   }
   switch (left->tail_type()) {
     case ValueType::kInt32:
-      return HashJoinTyped<int32_t>(left, right, stats);
+      return HashJoinTyped<int32_t>(left, right, stats, left_view, right_view);
     case ValueType::kInt64:
-      return HashJoinTyped<int64_t>(left, right, stats);
+      return HashJoinTyped<int64_t>(left, right, stats, left_view, right_view);
     case ValueType::kFloat64:
-      return HashJoinTyped<double>(left, right, stats);
+      return HashJoinTyped<double>(left, right, stats, left_view, right_view);
     default:
       return Status::Unimplemented("hash join requires numeric columns");
   }

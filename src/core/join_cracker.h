@@ -21,6 +21,8 @@
 
 namespace crackstore {
 
+class SnapshotView;  // core/txn_manager.h
+
 /// One cracked join operand: its shuffled values/oids plus the split point
 /// between the matching prefix and the non-matching suffix.
 struct JoinCrackSide {
@@ -60,14 +62,24 @@ Result<JoinCrackResult> CrackJoin(const std::shared_ptr<Bat>& left,
 /// Equi-joins the matching areas of a cracked pair, returning source oid
 /// pairs. This is the "calculate the join without caring about non-matching
 /// tuples" step (§3.3).
+///
+/// Active snapshot views filter the answer: rows hidden at a view drop out,
+/// and rows whose key is overridden at the view (their physical value is
+/// newer than the snapshot) are re-joined with the override value — an
+/// override pass scans the full clone of the other side, so it only runs
+/// when a view actually carries overrides.
 std::vector<OidPair> JoinMatchingAreas(const JoinCrackResult& cracked,
-                                       IoStats* stats = nullptr);
+                                       IoStats* stats = nullptr,
+                                       const SnapshotView* left_view = nullptr,
+                                       const SnapshotView* right_view = nullptr);
 
 /// Reference equi-join over two whole columns (no cracking); baseline for
-/// tests and benchmarks.
-Result<std::vector<OidPair>> HashJoinOids(const std::shared_ptr<Bat>& left,
-                                          const std::shared_ptr<Bat>& right,
-                                          IoStats* stats = nullptr);
+/// tests and benchmarks. Active views join effective (snapshot) values and
+/// skip hidden rows.
+Result<std::vector<OidPair>> HashJoinOids(
+    const std::shared_ptr<Bat>& left, const std::shared_ptr<Bat>& right,
+    IoStats* stats = nullptr, const SnapshotView* left_view = nullptr,
+    const SnapshotView* right_view = nullptr);
 
 }  // namespace crackstore
 

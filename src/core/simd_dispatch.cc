@@ -1,0 +1,482 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Kernel tier implementations. The central piece is CrackMasked: a Hoare
+// partition whose scans run over 64-element predicate bitmaps ("out of
+// register" offset buffers) instead of per-element branches. Bits are
+// consumed in exact Hoare order — lowest misplaced index on the left
+// frontier swapped with the highest misplaced index on the right frontier —
+// so every tier performs the *same* swap sequence as the scalar reference:
+// identical split, identical permuted layout, identical writes. The tiers
+// differ only in how the 64-bit block predicate is computed (branchless
+// scalar, AVX2 movemask, NEON lane packing).
+
+#include "core/simd_dispatch.h"
+
+#include <cstdlib>
+#include <type_traits>
+
+#include "core/crack_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CRACKSTORE_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define CRACKSTORE_NEON_TIER 1
+#include <arm_neon.h>
+#endif
+
+namespace crackstore {
+namespace {
+
+constexpr size_t kChunk = 64;  // elements per predicate bitmap
+
+struct CmpLt {
+  template <typename T>
+  static bool Pred(T v, T pivot) { return v < pivot; }
+};
+struct CmpLe {
+  template <typename T>
+  static bool Pred(T v, T pivot) { return v <= pivot; }
+};
+
+// Branchless scalar block predicate: the compiler lowers Pred to setcc, so
+// the fill has no data-dependent branches (the predicated tier's whole
+// advantage over the scalar reference on branchy mispredicting inputs).
+template <typename T, typename C>
+uint64_t PredicatedMask64(const T* p, T pivot) {
+  uint64_t m = 0;
+  for (size_t k = 0; k < kChunk; ++k) {
+    m |= uint64_t(C::Pred(p[k], pivot)) << k;
+  }
+  return m;
+}
+
+#if CRACKSTORE_X86
+
+// AVX2 block predicates. Compare direction is chosen so no pivot adjustment
+// is ever needed (cmpgt(pivot, v) for Lt avoids the pivot-1 underflow at
+// INT_MIN; ~cmpgt(v, pivot) gives Le). Unaligned loads throughout: Cut()
+// cracks at arbitrary piece offsets. For doubles the ordered compares
+// (_CMP_LT_OQ/_CMP_LE_OQ) send NaN right, matching the scalar predicate.
+
+__attribute__((target("avx2")))
+uint64_t Avx2LtI32(const int32_t* p, int32_t pivot) {
+  const __m256i pv = _mm256_set1_epi32(pivot);
+  uint64_t m = 0;
+  for (int k = 0; k < 8; ++k) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 8 * k));
+    __m256i c = _mm256_cmpgt_epi32(pv, v);
+    m |= uint64_t(uint32_t(_mm256_movemask_ps(_mm256_castsi256_ps(c))))
+         << (8 * k);
+  }
+  return m;
+}
+
+__attribute__((target("avx2")))
+uint64_t Avx2LeI32(const int32_t* p, int32_t pivot) {
+  const __m256i pv = _mm256_set1_epi32(pivot);
+  uint64_t m = 0;
+  for (int k = 0; k < 8; ++k) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 8 * k));
+    __m256i c = _mm256_cmpgt_epi32(v, pv);
+    uint32_t gt = uint32_t(_mm256_movemask_ps(_mm256_castsi256_ps(c)));
+    m |= uint64_t(~gt & 0xFFu) << (8 * k);
+  }
+  return m;
+}
+
+__attribute__((target("avx2")))
+uint64_t Avx2LtI64(const int64_t* p, int64_t pivot) {
+  const __m256i pv = _mm256_set1_epi64x(pivot);
+  uint64_t m = 0;
+  for (int k = 0; k < 16; ++k) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4 * k));
+    __m256i c = _mm256_cmpgt_epi64(pv, v);
+    m |= uint64_t(uint32_t(_mm256_movemask_pd(_mm256_castsi256_pd(c))))
+         << (4 * k);
+  }
+  return m;
+}
+
+__attribute__((target("avx2")))
+uint64_t Avx2LeI64(const int64_t* p, int64_t pivot) {
+  const __m256i pv = _mm256_set1_epi64x(pivot);
+  uint64_t m = 0;
+  for (int k = 0; k < 16; ++k) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4 * k));
+    __m256i c = _mm256_cmpgt_epi64(v, pv);
+    uint32_t gt = uint32_t(_mm256_movemask_pd(_mm256_castsi256_pd(c)));
+    m |= uint64_t(~gt & 0xFu) << (4 * k);
+  }
+  return m;
+}
+
+__attribute__((target("avx2")))
+uint64_t Avx2LtF64(const double* p, double pivot) {
+  const __m256d pv = _mm256_set1_pd(pivot);
+  uint64_t m = 0;
+  for (int k = 0; k < 16; ++k) {
+    __m256d v = _mm256_loadu_pd(p + 4 * k);
+    __m256d c = _mm256_cmp_pd(v, pv, _CMP_LT_OQ);
+    m |= uint64_t(uint32_t(_mm256_movemask_pd(c))) << (4 * k);
+  }
+  return m;
+}
+
+__attribute__((target("avx2")))
+uint64_t Avx2LeF64(const double* p, double pivot) {
+  const __m256d pv = _mm256_set1_pd(pivot);
+  uint64_t m = 0;
+  for (int k = 0; k < 16; ++k) {
+    __m256d v = _mm256_loadu_pd(p + 4 * k);
+    __m256d c = _mm256_cmp_pd(v, pv, _CMP_LE_OQ);
+    m |= uint64_t(uint32_t(_mm256_movemask_pd(c))) << (4 * k);
+  }
+  return m;
+}
+
+template <typename T, typename C>
+uint64_t Avx2Mask64(const T* p, T pivot) {
+  constexpr bool lt = std::is_same_v<C, CmpLt>;
+  if constexpr (std::is_same_v<T, int32_t>) {
+    return lt ? Avx2LtI32(p, pivot) : Avx2LeI32(p, pivot);
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    return lt ? Avx2LtI64(p, pivot) : Avx2LeI64(p, pivot);
+  } else {
+    static_assert(std::is_same_v<T, double>);
+    return lt ? Avx2LtF64(p, pivot) : Avx2LeF64(p, pivot);
+  }
+}
+
+#endif  // CRACKSTORE_X86
+
+#if CRACKSTORE_NEON_TIER
+
+// NEON block predicates (AArch64): per-lane compare masks folded to bits
+// via a weighted horizontal add.
+
+template <typename T, typename C>
+uint64_t NeonMask64(const T* p, T pivot) {
+  constexpr bool lt = std::is_same_v<C, CmpLt>;
+  uint64_t m = 0;
+  if constexpr (std::is_same_v<T, int32_t>) {
+    const int32x4_t pv = vdupq_n_s32(pivot);
+    const uint32x4_t lane_bits = {1u, 2u, 4u, 8u};
+    for (int k = 0; k < 16; ++k) {
+      int32x4_t v = vld1q_s32(p + 4 * k);
+      uint32x4_t c = lt ? vcltq_s32(v, pv) : vcleq_s32(v, pv);
+      m |= uint64_t(vaddvq_u32(vandq_u32(c, lane_bits))) << (4 * k);
+    }
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    const int64x2_t pv = vdupq_n_s64(pivot);
+    const uint64x2_t lane_bits = {1u, 2u};
+    for (int k = 0; k < 32; ++k) {
+      int64x2_t v = vld1q_s64(p + 2 * k);
+      uint64x2_t c = lt ? vcltq_s64(v, pv) : vcleq_s64(v, pv);
+      m |= uint64_t(vaddvq_u64(vandq_u64(c, lane_bits))) << (2 * k);
+    }
+  } else {
+    static_assert(std::is_same_v<T, double>);
+    const float64x2_t pv = vdupq_n_f64(pivot);
+    const uint64x2_t lane_bits = {1u, 2u};
+    for (int k = 0; k < 32; ++k) {
+      float64x2_t v = vld1q_f64(p + 2 * k);
+      uint64x2_t c = lt ? vcltq_f64(v, pv) : vcleq_f64(v, pv);
+      m |= uint64_t(vaddvq_u64(vandq_u64(c, lane_bits))) << (2 * k);
+    }
+  }
+  return m;
+}
+
+#endif  // CRACKSTORE_NEON_TIER
+
+// Bitmap-frontier Hoare partition. Maintains one 64-element predicate
+// bitmap per frontier (left bits = misplaced !pred, right bits = misplaced
+// pred); pairs lowest-left with highest-right — the exact swap sequence of
+// internal::Partition2 — and retires a chunk when its bitmap drains. The
+// chunks are kept disjoint; once the region between the frontiers dips
+// below one chunk the scalar reference finishes the suffix (Hoare is
+// memoryless, so the suffix swaps are unchanged).
+template <typename T, uint64_t (*MaskFn)(const T*, T), typename C>
+CrackSplit CrackMasked(T* data, Oid* oids, size_t n, T pivot) {
+  CrackSplit out;
+  size_t lo = 0, hi = n;         // [0, lo) pred, [hi, n) !pred — retired
+  uint64_t lmis = 0, rmis = 0;   // frontier bitmaps (0 = needs refill)
+  size_t lbase = 0, rbase = 0;   // absolute base index of each bitmap
+  bool small = false;
+  while (!small) {
+    while (lmis == 0) {
+      if (hi - lo < 2 * kChunk) { small = true; break; }
+      lmis = ~MaskFn(data + lo, pivot);
+      lbase = lo;
+      if (lmis == 0) lo += kChunk;
+    }
+    if (small) break;
+    while (rmis == 0) {
+      if (hi - (lbase + kChunk) < kChunk) { small = true; break; }
+      rbase = hi - kChunk;
+      rmis = MaskFn(data + rbase, pivot);
+      if (rmis == 0) hi = rbase;
+    }
+    if (small) break;
+    while (lmis != 0 && rmis != 0) {
+      size_t i = lbase + size_t(__builtin_ctzll(lmis));
+      size_t tb = 63 - size_t(__builtin_clzll(rmis));
+      internal::SwapWithPayload(data, oids, i, rbase + tb);
+      out.writes += 2;
+      lmis &= lmis - 1;
+      rmis ^= uint64_t{1} << tb;
+    }
+    if (lmis == 0) lo = lbase + kChunk;  // chunk is now all-pred
+    if (rmis == 0) hi = rbase;           // chunk is now all-!pred
+  }
+  // Note: while a frontier bitmap is live its base equals the retire
+  // cursor, so [lo, hi) always covers every unretired element.
+  CrackSplit tail = internal::Partition2(
+      data + lo, oids != nullptr ? oids + lo : nullptr, hi - lo,
+      [pivot](T v) { return C::Pred(v, pivot); });
+  out.split = lo + tail.split;
+  out.writes += tail.writes;
+  return out;
+}
+
+template <typename T, typename C>
+CrackSplit CrackTwoTier(T* data, Oid* oids, size_t n, T pivot,
+                        SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return internal::Partition2(data, oids, n, [pivot](T v) {
+        return C::Pred(v, pivot);
+      });
+    case SimdTier::kAvx2:
+#if CRACKSTORE_X86
+      return CrackMasked<T, Avx2Mask64<T, C>, C>(data, oids, n, pivot);
+#else
+      break;
+#endif
+    case SimdTier::kNeon:
+#if CRACKSTORE_NEON_TIER
+      return CrackMasked<T, NeonMask64<T, C>, C>(data, oids, n, pivot);
+#else
+      break;
+#endif
+    case SimdTier::kPredicated:
+      break;
+  }
+  return CrackMasked<T, PredicatedMask64<T, C>, C>(data, oids, n, pivot);
+}
+
+template <typename T, uint64_t (*LtFn)(const T*, T),
+          uint64_t (*LeFn)(const T*, T)>
+void RangeMaskBlocks(const T* data, size_t n, bool has_lo, T lo, bool lo_incl,
+                     bool has_hi, T hi, bool hi_incl, uint64_t* bm) {
+  size_t w = 0;
+  size_t i = 0;
+  for (; i + kChunk <= n; i += kChunk, ++w) {
+    uint64_t m = ~uint64_t{0};
+    if (has_lo) {
+      m &= lo_incl ? ~LtFn(data + i, lo) : ~LeFn(data + i, lo);
+    }
+    if (has_hi) {
+      m &= hi_incl ? LeFn(data + i, hi) : LtFn(data + i, hi);
+    }
+    bm[w] = m;
+  }
+  if (i < n) {
+    uint64_t m = 0;
+    for (size_t k = 0; i + k < n; ++k) {
+      T v = data[i + k];
+      bool ok = (!has_lo || (lo_incl ? v >= lo : v > lo)) &&
+                (!has_hi || (hi_incl ? v <= hi : v < hi));
+      m |= uint64_t(ok) << k;
+    }
+    bm[w] = m;
+  }
+}
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kPredicated: return "predicated";
+    case SimdTier::kAvx2: return "avx2";
+    case SimdTier::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseSimdTier(const std::string& name, SimdTier* out) {
+  if (name == "scalar") { *out = SimdTier::kScalar; return true; }
+  if (name == "predicated") { *out = SimdTier::kPredicated; return true; }
+  if (name == "avx2") { *out = SimdTier::kAvx2; return true; }
+  if (name == "neon") { *out = SimdTier::kNeon; return true; }
+  return false;
+}
+
+bool SimdTierSupported(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+    case SimdTier::kPredicated:
+      return true;
+    case SimdTier::kAvx2:
+#if CRACKSTORE_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdTier::kNeon:
+#if CRACKSTORE_NEON_TIER
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdTier BestSupportedSimdTier() {
+  if (SimdTierSupported(SimdTier::kAvx2)) return SimdTier::kAvx2;
+  if (SimdTierSupported(SimdTier::kNeon)) return SimdTier::kNeon;
+  return SimdTier::kPredicated;
+}
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier tier = [] {
+    const char* env = std::getenv("CRACKSTORE_SIMD");
+    if (env != nullptr && *env != '\0') {
+      SimdTier requested;
+      if (ParseSimdTier(env, &requested) && SimdTierSupported(requested)) {
+        return requested;
+      }
+      // Unknown or unsupported request: clamp to the best the hardware has.
+    }
+    return BestSupportedSimdTier();
+  }();
+  return tier;
+}
+
+size_t BitmapCount(const uint64_t* bm, size_t n) {
+  size_t words = BitmapWords(n);
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += size_t(__builtin_popcountll(bm[w]));
+  }
+  return count;
+}
+
+void BitmapFill(uint64_t* bm, size_t n) {
+  size_t words = BitmapWords(n);
+  for (size_t w = 0; w < words; ++w) bm[w] = ~uint64_t{0};
+  size_t tail = n & 63;
+  if (words > 0 && tail != 0) bm[words - 1] = (uint64_t{1} << tail) - 1;
+}
+
+template <typename T>
+CrackSplit CrackInTwoLtTier(T* data, Oid* oids, size_t n, T pivot,
+                            SimdTier tier) {
+  return CrackTwoTier<T, CmpLt>(data, oids, n, pivot, tier);
+}
+
+template <typename T>
+CrackSplit CrackInTwoLeTier(T* data, Oid* oids, size_t n, T pivot,
+                            SimdTier tier) {
+  return CrackTwoTier<T, CmpLe>(data, oids, n, pivot, tier);
+}
+
+template <typename T>
+Crack3Split CrackInThreeTier(T* data, Oid* oids, size_t n, T lo, bool lo_incl,
+                             T hi, bool hi_incl, SimdTier tier) {
+  if (tier == SimdTier::kScalar) {
+    return CrackInThreeScalar(data, oids, n, lo, lo_incl, hi, hi_incl);
+  }
+  // Two crack-in-two passes: split off `below`, then split the remainder at
+  // the upper boundary. Same split positions as the single-pass DNF.
+  Crack3Split out;
+  CrackSplit below = lo_incl ? CrackInTwoLtTier(data, oids, n, lo, tier)
+                             : CrackInTwoLeTier(data, oids, n, lo, tier);
+  out.first = below.split;
+  T* mid = data + below.split;
+  Oid* mid_oids = oids != nullptr ? oids + below.split : nullptr;
+  size_t rest = n - below.split;
+  CrackSplit upper = hi_incl ? CrackInTwoLeTier(mid, mid_oids, rest, hi, tier)
+                             : CrackInTwoLtTier(mid, mid_oids, rest, hi, tier);
+  out.second = below.split + upper.split;
+  out.writes = below.writes + upper.writes;
+  return out;
+}
+
+template <typename T>
+void RangeMatchMask(const T* data, size_t n, bool has_lo, T lo, bool lo_incl,
+                    bool has_hi, T hi, bool hi_incl, uint64_t* bm,
+                    SimdTier tier) {
+  if (n == 0) return;
+  switch (tier) {
+    case SimdTier::kScalar: {
+      size_t words = BitmapWords(n);
+      for (size_t w = 0; w < words; ++w) bm[w] = 0;
+      for (size_t i = 0; i < n; ++i) {
+        T v = data[i];
+        bool ok = (!has_lo || (lo_incl ? v >= lo : v > lo)) &&
+                  (!has_hi || (hi_incl ? v <= hi : v < hi));
+        if (ok) BitmapSet(bm, i);
+      }
+      return;
+    }
+    case SimdTier::kAvx2:
+#if CRACKSTORE_X86
+      RangeMaskBlocks<T, Avx2Mask64<T, CmpLt>, Avx2Mask64<T, CmpLe>>(
+          data, n, has_lo, lo, lo_incl, has_hi, hi, hi_incl, bm);
+      return;
+#else
+      break;
+#endif
+    case SimdTier::kNeon:
+#if CRACKSTORE_NEON_TIER
+      RangeMaskBlocks<T, NeonMask64<T, CmpLt>, NeonMask64<T, CmpLe>>(
+          data, n, has_lo, lo, lo_incl, has_hi, hi, hi_incl, bm);
+      return;
+#else
+      break;
+#endif
+    case SimdTier::kPredicated:
+      break;
+  }
+  RangeMaskBlocks<T, PredicatedMask64<T, CmpLt>, PredicatedMask64<T, CmpLe>>(
+      data, n, has_lo, lo, lo_incl, has_hi, hi, hi_incl, bm);
+}
+
+template CrackSplit CrackInTwoLtTier<int32_t>(int32_t*, Oid*, size_t, int32_t,
+                                              SimdTier);
+template CrackSplit CrackInTwoLtTier<int64_t>(int64_t*, Oid*, size_t, int64_t,
+                                              SimdTier);
+template CrackSplit CrackInTwoLtTier<double>(double*, Oid*, size_t, double,
+                                             SimdTier);
+template CrackSplit CrackInTwoLeTier<int32_t>(int32_t*, Oid*, size_t, int32_t,
+                                              SimdTier);
+template CrackSplit CrackInTwoLeTier<int64_t>(int64_t*, Oid*, size_t, int64_t,
+                                              SimdTier);
+template CrackSplit CrackInTwoLeTier<double>(double*, Oid*, size_t, double,
+                                             SimdTier);
+template Crack3Split CrackInThreeTier<int32_t>(int32_t*, Oid*, size_t, int32_t,
+                                               bool, int32_t, bool, SimdTier);
+template Crack3Split CrackInThreeTier<int64_t>(int64_t*, Oid*, size_t, int64_t,
+                                               bool, int64_t, bool, SimdTier);
+template Crack3Split CrackInThreeTier<double>(double*, Oid*, size_t, double,
+                                              bool, double, bool, SimdTier);
+template void RangeMatchMask<int32_t>(const int32_t*, size_t, bool, int32_t,
+                                      bool, bool, int32_t, bool, uint64_t*,
+                                      SimdTier);
+template void RangeMatchMask<int64_t>(const int64_t*, size_t, bool, int64_t,
+                                      bool, bool, int64_t, bool, uint64_t*,
+                                      SimdTier);
+template void RangeMatchMask<double>(const double*, size_t, bool, double, bool,
+                                     bool, double, bool, uint64_t*, SimdTier);
+
+}  // namespace crackstore

@@ -1,0 +1,178 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Runtime SIMD dispatch for the crack/scan kernels. The partition kernels
+// are the hot path of the whole store (paper §3.4.2: reorganization cost
+// rides along with query execution), so they come in three tiers:
+//
+//   kScalar      — the branchy Hoare / Dutch-national-flag reference in
+//                  crack_kernels.h;
+//   kPredicated  — block-wise predicated: a branchless scalar loop fills a
+//                  64-bit out-of-register predicate bitmap per block, the
+//                  consumer walks set bits with ctz/clz — no data-dependent
+//                  branches in the scan;
+//   kAvx2/kNeon  — the same bitmap frontier, but the block predicate is
+//                  computed with vector compares + movemask (8/4 lanes).
+//
+// The vector tiers are *bit-identical* to the scalar kernel: bitmaps are
+// consumed in exact Hoare order (lowest misplaced-left index paired with
+// highest misplaced-right index), so split positions, the permuted layout,
+// the oid map and the `writes` accounting all match the scalar reference
+// exactly — determinism the experiments and the parity fuzz both rely on.
+//
+// Tier selection is runtime: cpuid (`__builtin_cpu_supports`) on x86,
+// compile-time on ARM, overridable per process with CRACKSTORE_SIMD=
+// scalar|predicated|avx2|neon (clamped to what the hardware supports).
+// Call sites use the dispatch wrappers in crack_kernels.h; tests force
+// tiers explicitly through the *Tier entry points below.
+
+#ifndef CRACKSTORE_CORE_SIMD_DISPATCH_H_
+#define CRACKSTORE_CORE_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "storage/types.h"
+
+namespace crackstore {
+
+/// Outcome of a two-way crack.
+struct CrackSplit {
+  size_t split = 0;      ///< first index of the right-hand partition
+  uint64_t writes = 0;   ///< tuple writes performed (2 per swap)
+};
+
+/// Outcome of a three-way crack.
+struct Crack3Split {
+  size_t first = 0;      ///< first index of the middle partition
+  size_t second = 0;     ///< first index of the upper partition
+  uint64_t writes = 0;   ///< tuple writes performed
+};
+
+/// Kernel implementation tiers, ordered by ambition.
+enum class SimdTier : uint8_t {
+  kScalar = 0,
+  kPredicated = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Stable lowercase name ("scalar", "predicated", "avx2", "neon").
+const char* SimdTierName(SimdTier tier);
+
+/// Parses a CRACKSTORE_SIMD-style name. Returns false on unknown input.
+bool ParseSimdTier(const std::string& name, SimdTier* out);
+
+/// True when this binary can execute `tier` on this machine.
+bool SimdTierSupported(SimdTier tier);
+
+/// The best tier the hardware supports (never consults the environment).
+SimdTier BestSupportedSimdTier();
+
+/// The tier the dispatch wrappers use: BestSupportedSimdTier(), unless
+/// CRACKSTORE_SIMD names a supported tier to force. Unsupported requests
+/// clamp to the best supported tier. Cached after the first call.
+SimdTier ActiveSimdTier();
+
+// ---------------------------------------------------------------------------
+// Tier-explicit kernels, instantiated for int32_t / int64_t / double.
+// `tier` must be supported (SimdTierSupported); the dispatch wrappers in
+// crack_kernels.h guarantee this, tests should check before forcing.
+// ---------------------------------------------------------------------------
+
+/// Partitions so values `< pivot` come first; split = first index >= pivot.
+template <typename T>
+CrackSplit CrackInTwoLtTier(T* data, Oid* oids, size_t n, T pivot,
+                            SimdTier tier);
+
+/// Partitions so values `<= pivot` come first; split = first index > pivot.
+template <typename T>
+CrackSplit CrackInTwoLeTier(T* data, Oid* oids, size_t n, T pivot,
+                            SimdTier tier);
+
+/// Three-way partition into [ below | middle | above ]. The scalar tier is
+/// the single-pass Dutch-national-flag reference; vector tiers run two
+/// crack-in-two passes (by `lo`, then by `hi` over the tail), so their
+/// split positions match the scalar tier exactly while `writes` and the
+/// intra-partition layout are deterministic per tier (predicated and the
+/// vector tiers agree bit-for-bit with each other).
+template <typename T>
+Crack3Split CrackInThreeTier(T* data, Oid* oids, size_t n, T lo, bool lo_incl,
+                             T hi, bool hi_incl, SimdTier tier);
+
+// ---------------------------------------------------------------------------
+// Bitmap utilities. Producers zero the tail bits of the last word, so
+// consumers may popcount whole words.
+// ---------------------------------------------------------------------------
+
+inline size_t BitmapWords(size_t n) { return (n + 63) / 64; }
+
+inline bool BitmapTest(const uint64_t* bm, size_t i) {
+  return (bm[i >> 6] >> (i & 63)) & 1;
+}
+
+inline void BitmapSet(uint64_t* bm, size_t i) {
+  bm[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+inline void BitmapClearBit(uint64_t* bm, size_t i) {
+  bm[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+/// Population count over a bitmap covering `n` bits.
+size_t BitmapCount(const uint64_t* bm, size_t n);
+
+/// Sets every bit below `n`, zeroes the tail of the last word.
+void BitmapFill(uint64_t* bm, size_t n);
+
+/// Vectorized range predicate: bit i of `bm` = data[i] inside the range
+///   (lo_incl ? v >= lo : v > lo) && (hi_incl ? v <= hi : v < hi),
+/// with `has_lo` / `has_hi` disabling a side. Instantiated for
+/// int32_t / int64_t / double; `tier` defaults to the active tier.
+template <typename T>
+void RangeMatchMask(const T* data, size_t n, bool has_lo, T lo, bool lo_incl,
+                    bool has_hi, T hi, bool hi_incl, uint64_t* bm,
+                    SimdTier tier);
+
+template <typename T>
+inline void RangeMatchMask(const T* data, size_t n, bool has_lo, T lo,
+                           bool lo_incl, bool has_hi, T hi, bool hi_incl,
+                           uint64_t* bm) {
+  RangeMatchMask(data, n, has_lo, lo, lo_incl, has_hi, hi, hi_incl, bm,
+                 ActiveSimdTier());
+}
+
+extern template CrackSplit CrackInTwoLtTier<int32_t>(int32_t*, Oid*, size_t,
+                                                     int32_t, SimdTier);
+extern template CrackSplit CrackInTwoLtTier<int64_t>(int64_t*, Oid*, size_t,
+                                                     int64_t, SimdTier);
+extern template CrackSplit CrackInTwoLtTier<double>(double*, Oid*, size_t,
+                                                    double, SimdTier);
+extern template CrackSplit CrackInTwoLeTier<int32_t>(int32_t*, Oid*, size_t,
+                                                     int32_t, SimdTier);
+extern template CrackSplit CrackInTwoLeTier<int64_t>(int64_t*, Oid*, size_t,
+                                                     int64_t, SimdTier);
+extern template CrackSplit CrackInTwoLeTier<double>(double*, Oid*, size_t,
+                                                    double, SimdTier);
+extern template Crack3Split CrackInThreeTier<int32_t>(int32_t*, Oid*, size_t,
+                                                      int32_t, bool, int32_t,
+                                                      bool, SimdTier);
+extern template Crack3Split CrackInThreeTier<int64_t>(int64_t*, Oid*, size_t,
+                                                      int64_t, bool, int64_t,
+                                                      bool, SimdTier);
+extern template Crack3Split CrackInThreeTier<double>(double*, Oid*, size_t,
+                                                     double, bool, double,
+                                                     bool, SimdTier);
+extern template void RangeMatchMask<int32_t>(const int32_t*, size_t, bool,
+                                             int32_t, bool, bool, int32_t,
+                                             bool, uint64_t*, SimdTier);
+extern template void RangeMatchMask<int64_t>(const int64_t*, size_t, bool,
+                                             int64_t, bool, bool, int64_t,
+                                             bool, uint64_t*, SimdTier);
+extern template void RangeMatchMask<double>(const double*, size_t, bool,
+                                            double, bool, bool, double, bool,
+                                            uint64_t*, SimdTier);
+
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_CORE_SIMD_DISPATCH_H_

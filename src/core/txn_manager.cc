@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "core/simd_dispatch.h"
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -31,6 +32,65 @@ bool SnapshotView::RowVisible(Oid oid) const {
   if (oid >= horizon_) return false;
   if (all_below_horizon_visible_) return true;
   return table_->RowVisibleAt(oid, snap_);
+}
+
+void SnapshotView::VisibleMask(const Oid* oids, size_t n, uint64_t* bm) const {
+  size_t words = BitmapWords(n);
+  if (!active()) {
+    BitmapFill(bm, n);
+    return;
+  }
+  for (size_t w = 0; w < words; ++w) bm[w] = 0;
+  if (all_below_horizon_visible_ && overridden_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      bm[i >> 6] |= uint64_t(oids[i] < horizon_) << (i & 63);
+    }
+    return;
+  }
+  // General case: one shared latch acquisition for the whole batch (the
+  // per-row Hides() path re-locks per probe).
+  std::shared_lock<std::shared_mutex> lock(table_->mu_);
+  for (size_t i = 0; i < n; ++i) {
+    Oid oid = oids[i];
+    bool ok = oid < horizon_ && overridden_.count(oid) == 0 &&
+              (all_below_horizon_visible_ ||
+               table_->RowVisibleLocked(oid, snap_));
+    bm[i >> 6] |= uint64_t(ok) << (i & 63);
+  }
+}
+
+void SnapshotView::VisibleRangeMask(Oid first, size_t n, uint64_t* bm) const {
+  if (!active()) {
+    BitmapFill(bm, n);
+    return;
+  }
+  if (all_below_horizon_visible_ && overridden_.empty()) {
+    // Contiguous oids against a horizon: a single clip point.
+    size_t visible = first >= horizon_
+                         ? 0
+                         : std::min<size_t>(n, size_t(horizon_ - first));
+    BitmapFill(bm, visible);
+    for (size_t w = BitmapWords(visible); w < BitmapWords(n); ++w) bm[w] = 0;
+    return;
+  }
+  size_t words = BitmapWords(n);
+  for (size_t w = 0; w < words; ++w) bm[w] = 0;
+  std::shared_lock<std::shared_mutex> lock(table_->mu_);
+  for (size_t i = 0; i < n; ++i) {
+    Oid oid = first + i;
+    bool ok = oid < horizon_ && overridden_.count(oid) == 0 &&
+              (all_below_horizon_visible_ ||
+               table_->RowVisibleLocked(oid, snap_));
+    bm[i >> 6] |= uint64_t(ok) << (i & 63);
+  }
+}
+
+const Value* SnapshotView::OverrideFor(Oid oid) const {
+  if (!active() || overridden_.count(oid) == 0) return nullptr;
+  for (const auto& [o, value] : overrides_) {
+    if (o == oid) return &value;
+  }
+  return nullptr;
 }
 
 // --- VersionedTable ---------------------------------------------------------

@@ -147,6 +147,21 @@ class SnapshotView {
     return overridden_.count(oid) > 0 || !RowVisible(oid);
   }
 
+  /// Batch visibility: sets bit i of `bm` iff !Hides(oids[i]). Takes the
+  /// version-log latch once for the whole batch instead of once per row —
+  /// the branchless sibling of the per-row Hides() probe. `bm` must hold
+  /// BitmapWords(n) words; tail bits of the last word are zeroed.
+  void VisibleMask(const Oid* oids, size_t n, uint64_t* bm) const;
+
+  /// VisibleMask for the contiguous oid run [first, first + n) — the shape
+  /// every base-column scan has (oid = base + slot).
+  void VisibleRangeMask(Oid first, size_t n, uint64_t* bm) const;
+
+  /// The value this snapshot reads for `oid`, when it differs from the
+  /// physical one; nullptr otherwise. Linear over overrides() — they are
+  /// few (only rows updated since the snapshot).
+  const Value* OverrideFor(Oid oid) const;
+
   /// (oid, value-at-snapshot) for every row of this view's column whose
   /// current physical value postdates the snapshot. Paths re-admit these
   /// against the predicate after filtering their physical answer.

@@ -137,7 +137,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
     }
     CRACK_ASSIGN_OR_RETURN(
         out.groups, store->GroupBy(stmt.table, *stmt.group_by, agg_column,
-                                   kind));
+                                   kind, txn));
     out.kind = OutputKind::kGroups;
     out.count = out.groups.size();
     out.group_column = *stmt.group_by;
@@ -170,8 +170,9 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
       return Status::InvalidArgument(
           "join condition must reference both joined tables");
     }
-    CRACK_ASSIGN_OR_RETURN(QueryResult qr,
-                           store->JoinEquals(lt, lc, rt, rc));
+    CRACK_ASSIGN_OR_RETURN(
+        QueryResult qr,
+        store->JoinEquals(lt, lc, rt, rc, Delivery::kCount, txn));
     out.kind = OutputKind::kCount;
     out.count = qr.count;
     out.io += qr.io;

@@ -528,6 +528,86 @@ TEST(ConcurrentStore, ReadersAndWritersRace) {
 }
 
 // ---------------------------------------------------------------------------
+// Steered policies (stochastic / coarse) ride the shared-latch path: the
+// access path must advertise shared reads, and racing readers must answer
+// exactly like a serial store over the same data.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentStore, SteeredPoliciesRideSharedPath) {
+  const uint64_t seed = TestSeed(515151);
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  TaskPool::SetGlobalThreads(4);
+  for (CrackPolicy policy : {CrackPolicy::kStochastic, CrackPolicy::kCoarse}) {
+    SCOPED_TRACE(CrackPolicyName(policy));
+    TapestryOptions topts;
+    topts.num_rows = 3000;
+    topts.seed = seed;
+
+    AdaptiveStoreOptions sopts;
+    sopts.strategy = AccessStrategy::kCrack;
+    sopts.policy.policy = policy;
+    sopts.policy.min_piece_size = 64;
+    AdaptiveStore serial(sopts);
+    ASSERT_TRUE(serial.AddTable(*BuildTapestry("R", topts)).ok());
+
+    AdaptiveStoreOptions copts = sopts;
+    copts.concurrent = true;
+    AdaptiveStore concurrent(copts);
+    ASSERT_TRUE(concurrent.AddTable(*BuildTapestry("R", topts)).ok());
+
+    // Warm the accelerator, then check the policy no longer forces the
+    // exclusive latch.
+    ASSERT_TRUE(
+        concurrent.SelectRange("R", "c0", RangeBounds::Closed(1, 10)).ok());
+    auto path = concurrent.AccessPathFor("R", "c0");
+    ASSERT_TRUE(path.ok());
+    EXPECT_EQ((*path)->concurrency(), PathConcurrency::kSharedReads);
+
+    // Fixed query set with a serial oracle; issued from racing readers.
+    const int64_t n = static_cast<int64_t>(topts.num_rows);
+    struct Query {
+      int64_t lo = 0;
+      int64_t hi = 0;
+      uint64_t want = 0;
+    };
+    Pcg32 rng(seed + 7);
+    std::vector<Query> queries;
+    for (int i = 0; i < 32; ++i) {
+      Query q;
+      q.lo = rng.NextInRange(1, n);
+      q.hi = q.lo + rng.NextInRange(0, n / 3);
+      auto want = serial.SelectRange("R", "c0", RangeBounds::Closed(q.lo, q.hi));
+      ASSERT_TRUE(want.ok());
+      q.want = want->count;
+      queries.push_back(q);
+    }
+    std::vector<std::thread> threads;
+    for (size_t k = 0; k < 4; ++k) {
+      threads.emplace_back([&, k] {
+        for (size_t i = k; i < queries.size(); i += 4) {
+          auto got = concurrent.SelectRange(
+              "R", "c0", RangeBounds::Closed(queries[i].lo, queries[i].hi));
+          if (!got.ok() || got->count != queries[i].want) {
+            ADD_FAILURE() << CrackPolicyName(policy) << " query " << i
+                          << ": got " << (got.ok() ? got->count : 0)
+                          << " want " << queries[i].want;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    // The policy must have steered: stochastic shrinks big pieces with
+    // auxiliary pivots, coarse leaves bound-straddling pieces whole.
+    auto pieces = concurrent.NumPieces("R", "c0");
+    ASSERT_TRUE(pieces.ok());
+    EXPECT_GT(*pieces, 1u);
+  }
+  TaskPool::SetGlobalThreads(0);
+}
+
+// ---------------------------------------------------------------------------
 // Conjunctions fan their legs over the task pool; answers must match a
 // serial store fed the same queries.
 // ---------------------------------------------------------------------------

@@ -6,12 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <numeric>
 #include <set>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/crack_kernels.h"
+#include "core/simd_dispatch.h"
 #include "util/rng.h"
 
 namespace crackstore {
@@ -236,6 +242,274 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values<size_t>(1, 2, 10, 1000, 10000),     // n
         ::testing::Values<int64_t>(1, 10, 1000000),           // domain
         ::testing::Values<uint64_t>(1, 42, 20040901)));       // seed
+
+// ---------------------------------------------------------------------------
+// Tier parity fuzz: every supported vector tier must reproduce the scalar
+// crack-in-two kernel *bit-for-bit* (split, writes, permuted layout, oid
+// map — the bitmap-frontier scheme performs the exact Hoare swap sequence),
+// and crack-in-three must agree on split positions plus all partition
+// invariants. Randomized over sizes (odd tails around the 64-element block
+// width), unaligned base offsets, duplicate-heavy / pre-sorted / reversed
+// shapes and the with/without-oid-payload axis.
+// ---------------------------------------------------------------------------
+
+uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("CRACKSTORE_TEST_SEED");
+  if (env != nullptr && *env != '\0') return std::strtoull(env, nullptr, 10);
+  return fallback;
+}
+
+std::vector<SimdTier> VectorTiers() {
+  std::vector<SimdTier> tiers;
+  for (SimdTier t :
+       {SimdTier::kPredicated, SimdTier::kAvx2, SimdTier::kNeon}) {
+    if (SimdTierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// Shapes: 0 = random wide domain, 1 = duplicate-heavy, 2 = pre-sorted,
+// 3 = reverse-sorted, 4 = NaN-sprinkled (doubles only).
+template <typename T>
+std::vector<T> FuzzData(size_t n, int shape, uint64_t seed) {
+  Pcg32 rng(seed);
+  int64_t domain = (shape == 1) ? 8 : 1000000;
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.NextInRange(-domain, domain));
+  if (shape == 2) std::sort(v.begin(), v.end());
+  if (shape == 3) std::sort(v.begin(), v.end(), std::greater<T>());
+  if constexpr (std::is_same_v<T, double>) {
+    if (shape == 4) {
+      for (size_t i = 0; i < n; i += 7) {
+        v[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
+  return v;
+}
+
+template <typename T>
+T FuzzPivot(const std::vector<T>& base, size_t offset, size_t n, Pcg32* rng) {
+  T pivot;
+  switch (rng->NextBounded(4)) {
+    case 0: pivot = std::numeric_limits<T>::lowest(); break;
+    case 1: pivot = std::numeric_limits<T>::max(); break;
+    case 2:
+      pivot = n > 0 ? base[offset + rng->NextBounded(uint32_t(n))] : T{0};
+      break;
+    default: pivot = static_cast<T>(rng->NextInRange(-1000000, 1000000));
+  }
+  if constexpr (std::is_same_v<T, double>) {
+    if (std::isnan(pivot)) pivot = 0.0;
+  }
+  return pivot;
+}
+
+template <typename T>
+void CrackTwoParityTrial(size_t n, size_t offset, bool with_oids, int shape,
+                         bool le, uint64_t seed) {
+  std::vector<T> base = FuzzData<T>(offset + n, shape, seed);
+  Pcg32 rng(seed ^ 0x9E3779B97F4A7C15ull);
+  T pivot = FuzzPivot(base, offset, n, &rng);
+
+  std::vector<T> ref = base;
+  std::vector<Oid> ref_oids = IdentityOids(offset + n);
+  CrackSplit want =
+      le ? CrackInTwoLeScalar(ref.data() + offset,
+                              with_oids ? ref_oids.data() + offset : nullptr,
+                              n, pivot)
+         : CrackInTwoLtScalar(ref.data() + offset,
+                              with_oids ? ref_oids.data() + offset : nullptr,
+                              n, pivot);
+  for (SimdTier tier : VectorTiers()) {
+    SCOPED_TRACE(std::string("tier=") + SimdTierName(tier) +
+                 " n=" + std::to_string(n) + " off=" + std::to_string(offset) +
+                 " shape=" + std::to_string(shape) +
+                 " le=" + std::to_string(le) +
+                 " oids=" + std::to_string(with_oids));
+    std::vector<T> got = base;
+    std::vector<Oid> got_oids = IdentityOids(offset + n);
+    CrackSplit s =
+        le ? CrackInTwoLeTier(got.data() + offset,
+                              with_oids ? got_oids.data() + offset : nullptr,
+                              n, pivot, tier)
+           : CrackInTwoLtTier(got.data() + offset,
+                              with_oids ? got_oids.data() + offset : nullptr,
+                              n, pivot, tier);
+    ASSERT_EQ(s.split, want.split);
+    ASSERT_EQ(s.writes, want.writes);
+    ASSERT_EQ(std::memcmp(got.data(), ref.data(), got.size() * sizeof(T)), 0);
+    if (with_oids) ASSERT_EQ(got_oids, ref_oids);
+  }
+}
+
+template <typename T>
+void CrackThreeParityTrial(size_t n, size_t offset, bool with_oids, int shape,
+                           uint64_t seed) {
+  std::vector<T> base = FuzzData<T>(offset + n, shape, seed);
+  Pcg32 rng(seed ^ 0xC2B2AE3D27D4EB4Full);
+  T lo = static_cast<T>(rng.NextInRange(-1000000, 1000000));
+  T hi = static_cast<T>(rng.NextInRange(-1000000, 1000000));
+  if (hi < lo) std::swap(lo, hi);
+  bool lo_incl = rng.NextBounded(2) == 0;
+  bool hi_incl = rng.NextBounded(2) == 0;
+
+  std::vector<T> ref = base;
+  Crack3Split want = CrackInThreeScalar(
+      ref.data() + offset, static_cast<Oid*>(nullptr), n, lo, lo_incl, hi,
+      hi_incl);
+  auto below = [&](T v) { return lo_incl ? v < lo : v <= lo; };
+  auto above = [&](T v) { return hi_incl ? v > hi : v >= hi; };
+
+  std::vector<T> first_tier_data;
+  std::vector<Oid> first_tier_oids;
+  for (SimdTier tier : VectorTiers()) {
+    SCOPED_TRACE(std::string("tier=") + SimdTierName(tier) +
+                 " n=" + std::to_string(n) + " off=" + std::to_string(offset) +
+                 " shape=" + std::to_string(shape));
+    std::vector<T> got = base;
+    std::vector<Oid> got_oids = IdentityOids(offset + n);
+    Crack3Split s = CrackInThreeTier(
+        got.data() + offset, with_oids ? got_oids.data() + offset : nullptr,
+        n, lo, lo_incl, hi, hi_incl, tier);
+    // Split positions match the scalar DNF reference exactly.
+    ASSERT_EQ(s.first, want.first);
+    ASSERT_EQ(s.second, want.second);
+    const T* d = got.data() + offset;
+    for (size_t i = 0; i < s.first; ++i) ASSERT_TRUE(below(d[i]));
+    for (size_t i = s.first; i < s.second; ++i) {
+      ASSERT_FALSE(below(d[i]));
+      ASSERT_FALSE(above(d[i]));
+    }
+    for (size_t i = s.second; i < n; ++i) ASSERT_TRUE(above(d[i]));
+    ASSERT_EQ(std::multiset<T>(got.begin(), got.end()),
+              std::multiset<T>(base.begin(), base.end()));
+    if (with_oids) {
+      for (size_t i = 0; i < offset + n; ++i) {
+        ASSERT_EQ(got[i], base[got_oids[i]]);
+      }
+    }
+    // All vector tiers share the two-pass scheme: bit-identical output.
+    if (first_tier_data.empty()) {
+      first_tier_data = got;
+      first_tier_oids = got_oids;
+    } else {
+      ASSERT_EQ(got, first_tier_data);
+      if (with_oids) {
+        ASSERT_EQ(got_oids, first_tier_oids);
+      }
+    }
+  }
+}
+
+const size_t kFuzzSizes[] = {0,   1,   2,    63,   64,    65,   127, 128,
+                             129, 191, 192,  255,  256,   1000, 4096, 4097};
+
+TEST(KernelTierParityTest, CrackInTwoFuzz) {
+  uint64_t seed = TestSeed(20260807);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " (rerun with CRACKSTORE_TEST_SEED)");
+  Pcg32 rng(seed);
+  for (int trial = 0; trial < 150; ++trial) {
+    size_t n = kFuzzSizes[rng.NextBounded(16)];
+    size_t offset = rng.NextBounded(8);
+    bool with_oids = rng.NextBounded(2) == 0;
+    bool le = rng.NextBounded(2) == 0;
+    uint64_t s = seed + uint64_t(trial) * 7919;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        CrackTwoParityTrial<int32_t>(n, offset, with_oids,
+                                     int(rng.NextBounded(4)), le, s);
+        break;
+      case 1:
+        CrackTwoParityTrial<int64_t>(n, offset, with_oids,
+                                     int(rng.NextBounded(4)), le, s);
+        break;
+      default:
+        CrackTwoParityTrial<double>(n, offset, with_oids,
+                                    int(rng.NextBounded(5)), le, s);
+    }
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelTierParityTest, CrackInThreeFuzz) {
+  uint64_t seed = TestSeed(20260808);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " (rerun with CRACKSTORE_TEST_SEED)");
+  Pcg32 rng(seed);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t n = kFuzzSizes[rng.NextBounded(16)];
+    size_t offset = rng.NextBounded(8);
+    bool with_oids = rng.NextBounded(2) == 0;
+    int shape = int(rng.NextBounded(4));
+    uint64_t s = seed + uint64_t(trial) * 104729;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        CrackThreeParityTrial<int32_t>(n, offset, with_oids, shape, s);
+        break;
+      case 1:
+        CrackThreeParityTrial<int64_t>(n, offset, with_oids, shape, s);
+        break;
+      default:
+        CrackThreeParityTrial<double>(n, offset, with_oids, shape, s);
+    }
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelTierParityTest, RangeMatchMaskAgreesWithScalar) {
+  uint64_t seed = TestSeed(20260809);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " (rerun with CRACKSTORE_TEST_SEED)");
+  Pcg32 rng(seed);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = kFuzzSizes[rng.NextBounded(16)];
+    std::vector<int64_t> data =
+        FuzzData<int64_t>(n, int(rng.NextBounded(4)), seed + trial);
+    int64_t lo = rng.NextInRange(-1000000, 1000000);
+    int64_t hi = rng.NextInRange(lo, 1000000);
+    bool lo_incl = rng.NextBounded(2) == 0;
+    bool hi_incl = rng.NextBounded(2) == 0;
+    bool has_lo = rng.NextBounded(4) != 0;
+    bool has_hi = rng.NextBounded(4) != 0;
+
+    std::vector<uint64_t> want(BitmapWords(n) + 1, 0);
+    RangeMatchMask(data.data(), n, has_lo, lo, lo_incl, has_hi, hi, hi_incl,
+                   want.data(), SimdTier::kScalar);
+    for (SimdTier tier : VectorTiers()) {
+      SCOPED_TRACE(std::string("tier=") + SimdTierName(tier) +
+                   " n=" + std::to_string(n));
+      std::vector<uint64_t> got(BitmapWords(n) + 1, 0);
+      RangeMatchMask(data.data(), n, has_lo, lo, lo_incl, has_hi, hi, hi_incl,
+                     got.data(), tier);
+      ASSERT_EQ(got, want);
+    }
+    ASSERT_EQ(BitmapCount(want.data(), n),
+              size_t(std::count_if(data.begin(), data.end(), [&](int64_t v) {
+                return (!has_lo || (lo_incl ? v >= lo : v > lo)) &&
+                       (!has_hi || (hi_incl ? v <= hi : v < hi));
+              })));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(SimdDispatchTest, TierNamesRoundTrip) {
+  for (SimdTier t : {SimdTier::kScalar, SimdTier::kPredicated,
+                     SimdTier::kAvx2, SimdTier::kNeon}) {
+    SimdTier parsed;
+    ASSERT_TRUE(ParseSimdTier(SimdTierName(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  SimdTier parsed;
+  EXPECT_FALSE(ParseSimdTier("sse9000", &parsed));
+  // Scalar and predicated are always available; the active tier must be
+  // executable on this machine.
+  EXPECT_TRUE(SimdTierSupported(SimdTier::kScalar));
+  EXPECT_TRUE(SimdTierSupported(SimdTier::kPredicated));
+  EXPECT_TRUE(SimdTierSupported(ActiveSimdTier()));
+  EXPECT_TRUE(SimdTierSupported(BestSupportedSimdTier()));
+}
 
 }  // namespace
 }  // namespace crackstore

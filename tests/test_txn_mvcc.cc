@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/adaptive_store.h"
+#include "core/simd_dispatch.h"
 #include "core/txn_manager.h"
 #include "sql/executor.h"
 #include "storage/relation.h"
@@ -674,6 +675,184 @@ TEST(SqlTxnTest, SessionRoundTrip) {
   EXPECT_TRUE(conflict.status().IsAborted());
   EXPECT_TRUE(other.ExecuteSql("COMMIT").status().IsAborted());
   EXPECT_FALSE(other.in_txn());
+}
+
+// ---------------------------------------------------------------------------
+// Batch visibility: the bitmap API must agree bit-for-bit with the per-row
+// probes it replaces in the hot scan loops.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotViewBatchTest, MasksAgreeWithPerRowProbes) {
+  VersionedTable vt(/*base_oid=*/0, /*initial_rows=*/200);
+  for (Oid oid = 0; oid < 200; oid += 7) vt.StampDelete(oid, 2 + oid % 5);
+  for (Oid oid = 3; oid < 200; oid += 11) {
+    vt.StampUpdate(oid, "v", Value(static_cast<int64_t>(oid * 10)), 4);
+  }
+
+  for (Ts ts : {Ts{0}, Ts{3}, Ts{6}}) {
+    SCOPED_TRACE("read_ts=" + std::to_string(ts));
+    SnapshotView view = vt.ViewFor(Snapshot{ts, 0}, "v");
+    ASSERT_TRUE(view.active());
+
+    // Scattered batch, including oids beyond the horizon.
+    std::vector<Oid> oids;
+    for (size_t i = 0; i < 210; ++i) oids.push_back((i * 13) % 211);
+    std::vector<uint64_t> bm(BitmapWords(oids.size()));
+    view.VisibleMask(oids.data(), oids.size(), bm.data());
+    for (size_t i = 0; i < oids.size(); ++i) {
+      EXPECT_EQ(BitmapTest(bm.data(), i), !view.Hides(oids[i]))
+          << "oid " << oids[i];
+    }
+
+    // Contiguous spans at assorted offsets, including one straddling the
+    // horizon; bits past n must stay zero.
+    for (Oid first : {Oid{0}, Oid{5}, Oid{64}, Oid{190}}) {
+      constexpr size_t kSpan = 40;
+      std::vector<uint64_t> rm(BitmapWords(kSpan), ~uint64_t{0});
+      view.VisibleRangeMask(first, kSpan, rm.data());
+      for (size_t i = 0; i < kSpan; ++i) {
+        EXPECT_EQ(BitmapTest(rm.data(), i), !view.Hides(first + i))
+            << "oid " << (first + i);
+      }
+      EXPECT_EQ(rm.back() >> (kSpan % 64), 0u);
+    }
+  }
+
+  // An inactive view hides nothing: the mask is all ones.
+  SnapshotView inactive;
+  std::vector<uint64_t> bm(BitmapWords(70));
+  std::vector<Oid> oids(70, 12345);
+  inactive.VisibleMask(oids.data(), oids.size(), bm.data());
+  EXPECT_EQ(BitmapCount(bm.data(), 70), 70u);
+}
+
+TEST(SnapshotViewBatchTest, OverrideForFindsSnapshotValues) {
+  VersionedTable vt(/*base_oid=*/0, /*initial_rows=*/50);
+  for (Oid oid = 3; oid < 50; oid += 11) {
+    vt.StampUpdate(oid, "v", Value(static_cast<int64_t>(oid * 10)), 4);
+  }
+  SnapshotView old_view = vt.ViewFor(Snapshot{3, 0}, "v");
+  for (Oid oid = 0; oid < 50; ++oid) {
+    const Value* ov = old_view.OverrideFor(oid);
+    if (oid >= 3 && (oid - 3) % 11 == 0) {
+      ASSERT_NE(ov, nullptr) << "oid " << oid;
+      EXPECT_EQ(ov->ToInt64(), static_cast<int64_t>(oid * 10));
+    } else {
+      EXPECT_EQ(ov, nullptr) << "oid " << oid;
+    }
+  }
+  // At a snapshot past the update commit the physical value is current.
+  SnapshotView new_view = vt.ViewFor(Snapshot{6, 0}, "v");
+  EXPECT_EQ(new_view.OverrideFor(3), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Transactional join / group-by: snapshot views thread through the ^ and Ω
+// crackers, and the caches rebuild on version churn.
+// ---------------------------------------------------------------------------
+
+TEST(TransactionalJoinGroupTest, JoinOidsRespectSnapshots) {
+  for (AccessStrategy strategy :
+       {AccessStrategy::kCrack, AccessStrategy::kScan}) {
+    SCOPED_TRACE(AccessStrategyName(strategy));
+    auto store = MakeStore({strategy, CrackPolicy::kStandard});
+    auto r = *Relation::Create("R", Schema({{"k", ValueType::kInt64}}));
+    auto s = *Relation::Create("S", Schema({{"k", ValueType::kInt64}}));
+    for (int64_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(r->AppendRow({Value(i)}).ok());
+      ASSERT_TRUE(s->AppendRow({Value(i)}).ok());
+    }
+    ASSERT_TRUE(store->AddTable(r).ok());
+    ASSERT_TRUE(store->AddTable(s).ok());
+    ASSERT_EQ(store->JoinOids("R", "k", "S", "k")->size(), 20u);  // warm ^
+
+    TxnId reader = *store->Begin();
+    // Committed after the snapshot: R.k=3 deleted, R.k=7 rewritten to 100
+    // (loses its partner), S.k=15 rewritten to 5 (R.k=5 gains a second
+    // partner, R.k=15 loses its only one).
+    ASSERT_TRUE(store->Delete("R", {{"k", RangeBounds::Equal(3)}}).ok());
+    ASSERT_TRUE(store
+                    ->Update("R", {{"k", Value(int64_t{100})}},
+                             {{"k", RangeBounds::Equal(7)}})
+                    .ok());
+    ASSERT_TRUE(store
+                    ->Update("S", {{"k", Value(int64_t{5})}},
+                             {{"k", RangeBounds::Equal(15)}})
+                    .ok());
+
+    // The pinned reader still joins the pre-DML world.
+    auto pinned = store->JoinOids("R", "k", "S", "k", reader);
+    ASSERT_TRUE(pinned.ok());
+    EXPECT_EQ(pinned->size(), 20u);
+
+    // Latest committed: 16 untouched singles + two pairs for k=5.
+    auto latest = store->JoinOids("R", "k", "S", "k");
+    ASSERT_TRUE(latest.ok());
+    EXPECT_EQ(latest->size(), 18u);
+
+    ASSERT_TRUE(store->Commit(reader).ok());
+  }
+}
+
+TEST(TransactionalJoinGroupTest, GroupByRespectsSnapshots) {
+  auto store = MakeStore({AccessStrategy::kCrack, CrackPolicy::kStandard});
+  auto rel = *Relation::Create(
+      "G", Schema({{"g", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(rel->AppendRow({Value(i % 4), Value(i)}).ok());
+  }
+  ASSERT_TRUE(store->AddTable(rel).ok());
+  ASSERT_EQ(store->GroupBy("G", "g", "v", AggKind::kCount)->size(),
+            4u);  // warm Ω
+
+  TxnId reader = *store->Begin();
+  // Committed after the snapshot: group 3 migrates wholesale to a brand-new
+  // key 9, the rows with v >= 36 (one per group) are deleted, and one
+  // aggregate input is rewritten (v: 5 -> 1000, group 1).
+  ASSERT_TRUE(store
+                  ->Update("G", {{"g", Value(int64_t{9})}},
+                           {{"g", RangeBounds::Equal(3)}})
+                  .ok());
+  ASSERT_TRUE(store->Delete("G", {{"v", RangeBounds::AtLeast(36)}}).ok());
+  ASSERT_TRUE(store
+                  ->Update("G", {{"v", Value(int64_t{1000})}},
+                           {{"v", RangeBounds::Equal(5)}})
+                  .ok());
+
+  // Pinned reader: the original four groups of ten, original sums.
+  auto pinned_counts = store->GroupBy("G", "g", "v", AggKind::kCount, reader);
+  ASSERT_TRUE(pinned_counts.ok());
+  ASSERT_EQ(pinned_counts->size(), 4u);
+  for (const auto& agg : *pinned_counts) {
+    EXPECT_LE(agg.group, 3);
+    EXPECT_EQ(agg.value, 10);
+  }
+  auto pinned_sums = store->GroupBy("G", "g", "v", AggKind::kSum, reader);
+  ASSERT_TRUE(pinned_sums.ok());
+  int64_t pinned_g1 = -1;
+  for (const auto& agg : *pinned_sums) {
+    if (agg.group == 1) pinned_g1 = agg.value;
+  }
+  EXPECT_EQ(pinned_g1, 190);  // 1 + 5 + ... + 37
+
+  // Latest committed: group 3 is gone, group 9 exists, each group lost its
+  // v >= 36 row, and group 1's sum reflects the rewritten input.
+  auto latest_counts = store->GroupBy("G", "g", "v", AggKind::kCount);
+  ASSERT_TRUE(latest_counts.ok());
+  ASSERT_EQ(latest_counts->size(), 4u);
+  for (const auto& agg : *latest_counts) {
+    EXPECT_NE(agg.group, 3);
+    EXPECT_EQ(agg.value, 9);
+  }
+  auto latest_sums = store->GroupBy("G", "g", "v", AggKind::kSum);
+  ASSERT_TRUE(latest_sums.ok());
+  int64_t latest_g1 = -1;
+  for (const auto& agg : *latest_sums) {
+    if (agg.group == 1) latest_g1 = agg.value;
+  }
+  EXPECT_EQ(latest_g1, 190 - 37 - 5 + 1000);
+
+  ASSERT_TRUE(store->Commit(reader).ok());
 }
 
 }  // namespace
