@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "sim/crack_sim.h"
+#include "util/timer.h"
 
 namespace crackstore {
 namespace {
@@ -37,6 +39,7 @@ int Run(int argc, char** argv) {
                                           0.10, 0.05, 0.01};
   std::vector<CrackSimResult> results;
   std::vector<std::string> header{"step"};
+  WallTimer timer;
   for (double sigma : selectivities) {
     CrackSimOptions opts = base;
     opts.selectivity = sigma;
@@ -48,6 +51,7 @@ int Run(int argc, char** argv) {
     results.push_back(std::move(*result));
     header.push_back(StrFormat("overhead_%.0fpct", sigma * 100));
   }
+  const double elapsed = timer.ElapsedSeconds();
 
   TablePrinter out;
   out.SetHeader(header);
@@ -80,7 +84,11 @@ int Run(int argc, char** argv) {
       }
       std::fprintf(f, "]}%s\n", s + 1 < selectivities.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // The registry snapshot makes every run self-describing: CI's overhead
+    // gate reads elapsed_seconds from the metrics and no-metrics builds and
+    // cross-checks the crack.* counters against the simulated workload.
+    std::fprintf(f, "  ],\n  \"elapsed_seconds\": %.6f,\n  \"metrics\": %s\n}\n",
+                 elapsed, obs::MetricsRegistry::Global().RenderJson().c_str());
     std::fclose(f);
     std::fprintf(stderr, "# wrote %s\n", json_path.c_str());
   }

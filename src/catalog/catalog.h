@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "rowstore/row_table.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
 #include "util/status.h"

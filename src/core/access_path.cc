@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/instruments.h"
+
 #include "core/latch.h"
 #include "core/sorted_column.h"
 #include "core/task_pool.h"
@@ -1106,6 +1108,7 @@ class SortAccessPath : public ColumnAccessPath {
     pending_.clear();
     deleted_.clear();
     ++merges_;
+    obs::RecordMerge(w);
     SyncDirty();
     accel_size_.store(sorted_->size(), std::memory_order_relaxed);
     return Status::OK();

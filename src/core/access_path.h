@@ -47,7 +47,7 @@
 #include "core/txn_manager.h"
 #include "core/typed_range.h"
 #include "storage/bat.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "util/result.h"
 
 namespace crackstore {

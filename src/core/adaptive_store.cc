@@ -10,6 +10,7 @@
 
 #include "core/oid_set_ops.h"
 #include "core/task_pool.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -572,6 +573,8 @@ Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
 
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("select(shared)", table + "." + column,
+                            &result.io);
   ColumnAccel* accel;
   TableState* ts;
   ConcurrentEntries(table, column, &accel, &ts);
@@ -631,6 +634,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunctionLocked(
 
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("conjunction(shared)", table, &result.io);
 
   // Fan the conjunction legs across the task pool: each leg latches only
   // its own column, so legs over different columns crack concurrently.
@@ -680,6 +684,7 @@ Result<QueryResult> AdaptiveStore::InsertConcurrent(const std::string& table,
 
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("insert(shared)", table, &result.io);
   CRACK_RETURN_NOT_OK(CoerceRow(rel->schema(), &values));
 
   size_t ncols = rel->num_columns();
@@ -752,6 +757,7 @@ Result<QueryResult> AdaptiveStore::DeleteConcurrent(
     const WriteScope& scope) {
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("delete(shared)", table, &result.io);
   std::vector<Oid> oids;
   if (conjuncts.empty()) {
     CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table, scope.snap));
@@ -783,6 +789,7 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
 
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("update(shared)", table, &result.io);
   std::vector<Oid> oids;
   if (conjuncts.empty()) {
     CRACK_ASSIGN_OR_RETURN(oids, LiveOidsLocked(table, scope.snap));
@@ -908,6 +915,7 @@ void AdaptiveStore::AddIo(const IoStats& io) {
   } else {
     total_io_ += io;
   }
+  obs::MirrorIo(io);
 }
 
 Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
@@ -925,6 +933,7 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
 
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("select", table + "." + column, &result.io);
 
   CRACK_ASSIGN_OR_RETURN(ColumnAccel * accel, Accel(table, column, bat));
   bool is_crack = accel->path->strategy() == AccessStrategy::kCrack;
@@ -966,6 +975,7 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
   }
 
   if (delivery == Delivery::kMaterialize) {
+    obs::TraceSpan mat_span("materialize", &result.io);
     if (result.has_selection) {
       CRACK_ASSIGN_OR_RETURN(
           result.materialized,
@@ -988,7 +998,7 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
   }
 
   result.seconds = timer.ElapsedSeconds();
-  total_io_ += result.io;
+  AddIo(result.io);
   return result;
 }
 
@@ -1016,6 +1026,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
 
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("conjunction", table, &result.io);
 
   // The stateless scan strategy has a cheaper shape for all-numeric
   // conjunctions: one fused pass over the referenced columns, no per-column
@@ -1099,7 +1110,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
       }
       result.io.tuples_read += n * conjuncts.size();
       result.seconds = timer.ElapsedSeconds();
-      total_io_ += result.io;
+      AddIo(result.io);
       return result;
     }
   }
@@ -1119,7 +1130,7 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
   IntersectConjunctionLegs(std::move(per_column), delivery, &result);
 
   result.seconds = timer.ElapsedSeconds();
-  total_io_ += result.io;
+  AddIo(result.io);
   return result;
 }
 
@@ -1138,6 +1149,7 @@ Result<QueryResult> AdaptiveStore::Insert(const std::string& table,
 
     QueryResult result;
     WallTimer timer;
+    obs::TraceSpan trace_span("insert", table, &result.io);
     CRACK_RETURN_NOT_OK(CoerceRow(rel->schema(), &values));
     // Stamp before the physical append (uniform with concurrent mode).
     Oid oid = BaseOid(*rel) + rel->num_rows();
@@ -1158,7 +1170,7 @@ Result<QueryResult> AdaptiveStore::Insert(const std::string& table,
     result.count = 1;
     result.inserted_oid = oid;  // the new row's identity
     result.seconds = timer.ElapsedSeconds();
-    total_io_ += result.io;
+    AddIo(result.io);
     return result;
   });
 }
@@ -1170,6 +1182,7 @@ Result<QueryResult> AdaptiveStore::DeleteOids(const std::string& table,
                                   -> Result<QueryResult> {
     QueryResult result;
     WallTimer timer;
+    obs::TraceSpan trace_span("delete-oids", table, &result.io);
     // Version stamps only — the shared store latch suffices.
     std::shared_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
     if (options_.concurrent) g.lock();
@@ -1192,6 +1205,7 @@ Result<QueryResult> AdaptiveStore::Delete(
     }
     QueryResult result;
     WallTimer timer;
+    obs::TraceSpan trace_span("delete", table, &result.io);
     std::vector<Oid> oids;
     if (conjuncts.empty()) {
       CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table, scope.txn));
@@ -1207,7 +1221,7 @@ Result<QueryResult> AdaptiveStore::Delete(
     CRACK_ASSIGN_OR_RETURN(result.count,
                            StampDeletes(table, scope, oids, &result.io));
     result.seconds = timer.ElapsedSeconds();
-    total_io_ += result.io;
+    AddIo(result.io);
     return result;
   });
 }
@@ -1230,6 +1244,7 @@ Result<QueryResult> AdaptiveStore::Update(
 
     QueryResult result;
     WallTimer timer;
+    obs::TraceSpan trace_span("update", table, &result.io);
     std::vector<Oid> oids;
     if (conjuncts.empty()) {
       CRACK_ASSIGN_OR_RETURN(oids, LiveOids(table, scope.txn));
@@ -1284,7 +1299,7 @@ Result<QueryResult> AdaptiveStore::Update(
 
     result.count = applied;
     result.seconds = timer.ElapsedSeconds();
-    total_io_ += result.io;
+    AddIo(result.io);
     return result;
   });
 }
@@ -1368,6 +1383,7 @@ Result<AdaptiveStore::VacuumStats> AdaptiveStore::Vacuum() {
   VacuumStats stats;
   stats.low_water = txn_mgr_.low_water();
   IoStats io;
+  obs::TraceSpan trace_span("vacuum", &io);
   for (const std::string& name : TableNames()) {
     VersionedTable* vt = VersionsIfAny(name);
     if (vt == nullptr) continue;
@@ -1427,6 +1443,9 @@ Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
   if (options_.concurrent) g.lock();
   QueryResult result;
   WallTimer timer;
+  obs::TraceSpan trace_span("join", left_table + "." + left_column + "=" +
+                                        right_table + "." + right_column,
+                            &result.io);
   CRACK_ASSIGN_OR_RETURN(
       std::vector<OidPair> pairs,
       JoinOidsInternal(left_table, left_column, right_table, right_column,
@@ -1438,7 +1457,7 @@ Result<QueryResult> AdaptiveStore::JoinEquals(const std::string& left_table,
     (void)delivery;
   }
   result.seconds = timer.ElapsedSeconds();
-  total_io_ += result.io;
+  AddIo(result.io);
   return result;
 }
 
@@ -1451,7 +1470,7 @@ Result<std::vector<OidPair>> AdaptiveStore::JoinOids(
   IoStats io;
   auto out = JoinOidsInternal(left_table, left_column, right_table,
                               right_column, &io, txn);
-  total_io_ += io;
+  AddIo(io);
   return out;
 }
 
@@ -1533,6 +1552,7 @@ Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
   SnapshotView agg_view = ViewForColumn(table, agg_column, snap);
 
   IoStats io;
+  obs::TraceSpan trace_span("group-by", table + "." + group_column, &io);
   std::string key = table + "." + group_column;
   CrackCacheStamp stamp = StampFor(table);
   auto it = group_cracks_.find(key);
@@ -1562,7 +1582,7 @@ Result<std::vector<GroupAggregate>> AdaptiveStore::GroupBy(
   auto out =
       AggregateGroups(it->second.cracked, *agg, kind, &io, &group_view,
                       &agg_view);
-  total_io_ += io;
+  AddIo(io);
   return out;
 }
 
@@ -1581,7 +1601,7 @@ Result<ProjectionCrackResult> AdaptiveStore::Project(
         {{out->projected->name(), out->projected->num_rows()},
          {out->remainder->name(), out->remainder->num_rows()}});
   }
-  total_io_ += io;
+  AddIo(io);
   return out;
 }
 

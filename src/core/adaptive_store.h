@@ -34,7 +34,7 @@
 #include "core/projection_cracker.h"
 #include "core/range_bounds.h"
 #include "core/txn_manager.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
 

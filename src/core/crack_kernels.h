@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "core/simd_dispatch.h"
+#include "obs/instruments.h"
 #include "storage/types.h"
 #include "util/macros.h"
 
@@ -121,8 +122,11 @@ Crack3Split CrackInThreeScalar(T* data, Oid* oids, size_t n, T lo,
 template <typename T>
 CrackSplit CrackInTwoLt(T* data, Oid* oids, size_t n, T pivot) {
   if constexpr (internal::kHasSimdKernels<T>) {
-    return CrackInTwoLtTier(data, oids, n, pivot, ActiveSimdTier());
+    const SimdTier tier = ActiveSimdTier();
+    obs::RecordSimdCall(static_cast<int>(tier));
+    return CrackInTwoLtTier(data, oids, n, pivot, tier);
   } else {
+    obs::RecordSimdCall(static_cast<int>(SimdTier::kScalar));
     return CrackInTwoLtScalar(data, oids, n, pivot);
   }
 }
@@ -132,8 +136,11 @@ CrackSplit CrackInTwoLt(T* data, Oid* oids, size_t n, T pivot) {
 template <typename T>
 CrackSplit CrackInTwoLe(T* data, Oid* oids, size_t n, T pivot) {
   if constexpr (internal::kHasSimdKernels<T>) {
-    return CrackInTwoLeTier(data, oids, n, pivot, ActiveSimdTier());
+    const SimdTier tier = ActiveSimdTier();
+    obs::RecordSimdCall(static_cast<int>(tier));
+    return CrackInTwoLeTier(data, oids, n, pivot, tier);
   } else {
+    obs::RecordSimdCall(static_cast<int>(SimdTier::kScalar));
     return CrackInTwoLeScalar(data, oids, n, pivot);
   }
 }
@@ -145,9 +152,11 @@ template <typename T>
 Crack3Split CrackInThree(T* data, Oid* oids, size_t n, T lo, bool lo_incl,
                          T hi, bool hi_incl) {
   if constexpr (internal::kHasSimdKernels<T>) {
-    return CrackInThreeTier(data, oids, n, lo, lo_incl, hi, hi_incl,
-                            ActiveSimdTier());
+    const SimdTier tier = ActiveSimdTier();
+    obs::RecordSimdCall(static_cast<int>(tier));
+    return CrackInThreeTier(data, oids, n, lo, lo_incl, hi, hi_incl, tier);
   } else {
+    obs::RecordSimdCall(static_cast<int>(SimdTier::kScalar));
     return CrackInThreeScalar(data, oids, n, lo, lo_incl, hi, hi_incl);
   }
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/instruments.h"
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -143,7 +144,13 @@ size_t CrackerIndex<T>::Cut(T v, bool want_incl, IoStats* stats) {
     stats->tuples_read += end - begin;
     stats->tuples_written += split.writes;
     ++stats->cracks;
+    ++stats->pieces_touched;
+    stats->kernel_writes += split.writes;
   }
+  obs::RecordCrack(end - begin, split.writes,
+                   (pos > begin && pos < end) ? 1 : 0, /*pieces_touched=*/1);
+  if (pos > begin) obs::RecordPieceSize(pos - begin);
+  if (end > pos) obs::RecordPieceSize(end - pos);
   RegisterCut(v, want_incl, pos);
   return pos;
 }
@@ -212,12 +219,18 @@ size_t CrackerIndex<T>::CutConcurrent(T v, bool want_incl, IoStats* stats) {
       stats->tuples_read += end - begin;
       stats->tuples_written += split.writes;
       ++stats->cracks;
+      ++stats->pieces_touched;
+      stats->kernel_writes += split.writes;
       // A strictly-interior split is a brand-new cut position (registered
       // cuts bound the crack region, so its interior held none): exactly
       // one new piece. Edge splits create nothing, matching the serial
       // path's num_pieces() diff accounting.
       if (pos > begin && pos < end) ++stats->pieces_created;
     }
+    obs::RecordCrack(end - begin, split.writes,
+                     (pos > begin && pos < end) ? 1 : 0, /*pieces_touched=*/1);
+    if (pos > begin) obs::RecordPieceSize(pos - begin);
+    if (end > pos) obs::RecordPieceSize(end - pos);
     {
       std::lock_guard<std::mutex> lk(map_mu_);
       RegisterCut(v, want_incl, pos);
@@ -255,6 +268,18 @@ CrackSelection CrackerIndex<T>::Select(T lo, bool lo_incl, T hi, bool hi_incl,
       stats->tuples_read += end - begin;
       stats->tuples_written += split.writes;
       ++stats->cracks;
+      ++stats->pieces_touched;
+      stats->kernel_writes += split.writes;
+    }
+    {
+      uint64_t created = 0;
+      if (cut_lo > begin && cut_lo < end) ++created;
+      if (cut_hi != cut_lo && cut_hi > begin && cut_hi < end) ++created;
+      obs::RecordCrack(end - begin, split.writes, created,
+                       /*pieces_touched=*/1);
+      if (cut_lo > begin) obs::RecordPieceSize(cut_lo - begin);
+      if (cut_hi > cut_lo) obs::RecordPieceSize(cut_hi - cut_lo);
+      if (end > cut_hi) obs::RecordPieceSize(end - cut_hi);
     }
     uint64_t created_clock = clock_;
     if (lo == hi) {

@@ -29,7 +29,7 @@
 #include "core/crack_kernels.h"
 #include "core/latch.h"
 #include "storage/bat.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "util/macros.h"
 #include "util/status.h"
 

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "storage/bat.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "util/result.h"
 
 namespace crackstore {

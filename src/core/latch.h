@@ -22,11 +22,14 @@
 #ifndef CRACKSTORE_CORE_LATCH_H_
 #define CRACKSTORE_CORE_LATCH_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
+#include "obs/instruments.h"
 #include "util/macros.h"
 
 namespace crackstore {
@@ -46,7 +49,17 @@ class RangeLockTable {
   void Acquire(size_t begin, size_t end, bool exclusive) {
     if (begin >= end) return;
     std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return !Conflicts(begin, end, exclusive); });
+    obs::RecordLatchAcquisition();
+    if (Conflicts(begin, end, exclusive)) {
+      // Only a blocked acquisition pays for the clock reads; the fast path
+      // above stays a mutex + linear scan.
+      const auto wait_start = std::chrono::steady_clock::now();
+      cv_.wait(lk, [&] { return !Conflicts(begin, end, exclusive); });
+      const auto waited = std::chrono::steady_clock::now() - wait_start;
+      obs::RecordLatchWait(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()));
+    }
     held_.push_back(Held{begin, end, exclusive});
   }
 

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "core/cracker_index.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 
 namespace crackstore {
 

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
 

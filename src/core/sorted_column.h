@@ -17,7 +17,7 @@
 
 #include "core/cracker_index.h"
 #include "storage/bat.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "util/macros.h"
 
 namespace crackstore {

@@ -2,6 +2,9 @@
 
 #include "core/task_pool.h"
 
+#include "obs/instruments.h"
+#include "obs/trace.h"
+
 namespace crackstore {
 
 TaskPool::TaskPool(size_t num_threads) {
@@ -22,15 +25,21 @@ TaskPool::~TaskPool() {
 
 void TaskPool::RunBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  obs::RecordTaskBatch(tasks.size());
   if (workers_.empty() || tasks.size() == 1) {
-    for (auto& task : tasks) task();
+    for (auto& task : tasks) {
+      task();
+      obs::RecordTaskRun(/*submitter=*/true);
+    }
     return;
   }
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);
+  batch->trace = obs::CurrentTrace();
   {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back(batch);
+    obs::AddQueueDepth(1);
   }
   work_cv_.notify_all();
 
@@ -42,6 +51,7 @@ void TaskPool::RunBatch(std::vector<std::function<void()>> tasks) {
     size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     batch->tasks[i]();
+    obs::RecordTaskRun(/*submitter=*/true);
     batch->done.fetch_add(1, std::memory_order_release);
   }
   std::unique_lock<std::mutex> lk(mu_);
@@ -60,11 +70,18 @@ void TaskPool::WorkerLoop() {
     if (i >= batch->tasks.size()) {
       // Batch fully claimed: retire it from the queue (it may already be
       // gone if another worker retired it first).
-      if (!queue_.empty() && queue_.front() == batch) queue_.pop_front();
+      if (!queue_.empty() && queue_.front() == batch) {
+        queue_.pop_front();
+        obs::AddQueueDepth(-1);
+      }
       continue;
     }
     lk.unlock();
-    batch->tasks[i]();
+    {
+      obs::TraceBinding bind_trace(batch->trace);
+      batch->tasks[i]();
+      obs::RecordTaskRun(/*submitter=*/false);
+    }
     if (batch->done.fetch_add(1, std::memory_order_release) + 1 ==
         batch->tasks.size()) {
       // Pairing the notify with a lock/unlock of mu_ closes the lost-wakeup

@@ -31,6 +31,10 @@
 
 namespace crackstore {
 
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 /// See file comment.
 class TaskPool {
  public:
@@ -60,6 +64,9 @@ class TaskPool {
     std::vector<std::function<void()>> tasks;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
+    /// The submitter's ambient QueryTrace; workers bind it around each task
+    /// so fan-out work reports into the submitting statement's trace.
+    obs::QueryTrace* trace = nullptr;
   };
 
   void WorkerLoop();

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "core/simd_dispatch.h"
+#include "obs/instruments.h"
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -29,9 +30,14 @@ bool SnapshotView::RowVisible(Oid oid) const {
   if (!active()) return true;
   // Rows appended after the view opened postdate the snapshot even before
   // their insert stamp is observable.
-  if (oid >= horizon_) return false;
+  if (oid >= horizon_) {
+    obs::RecordSnapshotFiltered(1);
+    return false;
+  }
   if (all_below_horizon_visible_) return true;
-  return table_->RowVisibleAt(oid, snap_);
+  bool visible = table_->RowVisibleAt(oid, snap_);
+  if (!visible) obs::RecordSnapshotFiltered(1);
+  return visible;
 }
 
 void SnapshotView::VisibleMask(const Oid* oids, size_t n, uint64_t* bm) const {
@@ -57,6 +63,7 @@ void SnapshotView::VisibleMask(const Oid* oids, size_t n, uint64_t* bm) const {
                table_->RowVisibleLocked(oid, snap_));
     bm[i >> 6] |= uint64_t(ok) << (i & 63);
   }
+  obs::RecordSnapshotFiltered(n - BitmapCount(bm, n));
 }
 
 void SnapshotView::VisibleRangeMask(Oid first, size_t n, uint64_t* bm) const {
@@ -71,6 +78,7 @@ void SnapshotView::VisibleRangeMask(Oid first, size_t n, uint64_t* bm) const {
                          : std::min<size_t>(n, size_t(horizon_ - first));
     BitmapFill(bm, visible);
     for (size_t w = BitmapWords(visible); w < BitmapWords(n); ++w) bm[w] = 0;
+    obs::RecordSnapshotFiltered(n - visible);
     return;
   }
   size_t words = BitmapWords(n);
@@ -83,12 +91,16 @@ void SnapshotView::VisibleRangeMask(Oid first, size_t n, uint64_t* bm) const {
                table_->RowVisibleLocked(oid, snap_));
     bm[i >> 6] |= uint64_t(ok) << (i & 63);
   }
+  obs::RecordSnapshotFiltered(n - BitmapCount(bm, n));
 }
 
 const Value* SnapshotView::OverrideFor(Oid oid) const {
   if (!active() || overridden_.count(oid) == 0) return nullptr;
   for (const auto& [o, value] : overrides_) {
-    if (o == oid) return &value;
+    if (o == oid) {
+      obs::RecordSnapshotOverride(1);
+      return &value;
+    }
   }
   return nullptr;
 }
@@ -100,6 +112,7 @@ void VersionedTable::NoteInsert(Oid oid, Ts stamp) {
   // A re-used oid can only come from a failed physical append whose stamp
   // was rolled back (or vacuumed): reset the slot wholesale.
   purged_.erase(oid);
+  if (rows_.count(oid) == 0) obs::AddVersionRows(1);
   RowVersion v;
   v.begin = stamp;
   v.write_ts = IsTxnStamp(stamp) ? 0 : stamp;
@@ -118,6 +131,7 @@ VersionedTable::Admission VersionedTable::AdmitWrite(
     RowVersion v;
     v.writer = writer;
     rows_.emplace(oid, v);
+    obs::AddVersionRows(1);
     return Admission::kOk;
   }
   RowVersion& v = it->second;
@@ -128,6 +142,7 @@ VersionedTable::Admission VersionedTable::AdmitWrite(
           static_cast<unsigned long long>(oid),
           static_cast<unsigned long long>(v.writer));
     }
+    obs::RecordTxnConflict();
     return Admission::kConflict;
   }
   if (!v.VisibleTo(snap)) return Admission::kSkip;
@@ -141,6 +156,7 @@ VersionedTable::Admission VersionedTable::AdmitWrite(
           static_cast<unsigned long long>(v.write_ts),
           static_cast<unsigned long long>(snap.read_ts));
     }
+    obs::RecordTxnConflict();
     return Admission::kConflict;
   }
   v.writer = writer;
@@ -149,6 +165,7 @@ VersionedTable::Admission VersionedTable::AdmitWrite(
 
 void VersionedTable::StampDelete(Oid oid, Ts stamp) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (rows_.count(oid) == 0) obs::AddVersionRows(1);
   RowVersion& v = rows_[oid];
   v.end = stamp;
   if (!IsTxnStamp(stamp)) {
@@ -161,7 +178,9 @@ void VersionedTable::StampUpdate(Oid oid, const std::string& column,
                                  Value old_value, Ts stamp) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   chains_[column][oid].push_back(ValueVersion{std::move(old_value), stamp});
+  obs::AddVersionChainEntries(1);
   if (!IsTxnStamp(stamp)) {
+    if (rows_.count(oid) == 0) obs::AddVersionRows(1);
     RowVersion& v = rows_[oid];
     v.write_ts = std::max(v.write_ts, stamp);
     v.writer = kNoTxn;
@@ -215,11 +234,14 @@ void VersionedTable::RollbackTxn(TxnId txn, const std::vector<Oid>& touched) {
       auto it = per_oid.find(oid);
       if (it == per_oid.end()) continue;
       auto& versions = it->second;
+      const size_t before = versions.size();
       versions.erase(std::remove_if(versions.begin(), versions.end(),
                                     [marker](const ValueVersion& vv) {
                                       return vv.end == marker;
                                     }),
                      versions.end());
+      obs::AddVersionChainEntries(
+          -static_cast<int64_t>(before - versions.size()));
       if (versions.empty()) per_oid.erase(it);
     }
   }
@@ -368,6 +390,11 @@ VersionedTable::VacuumResult VersionedTable::Vacuum(Ts low_water) {
     ++it;
   }
   std::sort(result.purged.begin(), result.purged.end());
+  obs::AddVersionChainEntries(
+      -static_cast<int64_t>(result.chain_entries_dropped));
+  obs::AddVersionRows(-static_cast<int64_t>(result.purged.size() +
+                                            result.versions_dropped));
+  obs::RecordVacuum(result.purged.size() + result.versions_dropped);
   return result;
 }
 
@@ -405,6 +432,7 @@ TxnId TxnManager::Begin() {
   std::lock_guard<std::mutex> lock(mu_);
   TxnId txn = next_txn_++;
   active_.emplace(txn, next_ts_ - 1);
+  obs::RecordTxnBegin();
   return txn;
 }
 
@@ -433,6 +461,7 @@ Result<Ts> TxnManager::FinishCommit(TxnId txn) {
                   static_cast<unsigned long long>(txn)));
   }
   active_.erase(it);
+  obs::RecordTxnCommit();
   return next_ts_++;
 }
 
@@ -443,6 +472,7 @@ Status TxnManager::FinishRollback(TxnId txn) {
         StrFormat("no active transaction %llu",
                   static_cast<unsigned long long>(txn)));
   }
+  obs::RecordTxnAbort();
   return Status::OK();
 }
 

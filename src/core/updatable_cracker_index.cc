@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "obs/instruments.h"
 #include "util/string_util.h"
 
 namespace crackstore {
@@ -216,6 +217,7 @@ Status UpdatableCrackerIndex<T>::Merge(IoStats* stats) {
   deleted_.clear();
   pending_.clear();
   ++merges_performed_;
+  obs::RecordMerge(w);
   return Status::OK();
 }
 

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "core/cracker_index.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "util/result.h"
 
 namespace crackstore {

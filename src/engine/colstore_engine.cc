@@ -8,6 +8,8 @@
 #include <unordered_map>
 
 #include "core/task_pool.h"
+#include "obs/instruments.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -374,6 +376,7 @@ Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
 
   RunResult run;
   WallTimer timer;
+  obs::TraceSpan trace_span("engine select", table + "." + column, &run.io);
 
   CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
   SnapshotView view;
@@ -420,6 +423,7 @@ Result<RunResult> ColumnEngine::RunSelect(const std::string& table,
   }
 
   run.seconds = timer.ElapsedSeconds();
+  obs::MirrorIo(run.io);
   return run;
 }
 
@@ -550,6 +554,7 @@ Result<RunResult> ColumnEngine::RunChainJoin(
   run.count = 0;
   for (const auto& [value, paths] : frontier) run.count += paths;
   run.seconds = timer.ElapsedSeconds();
+  obs::MirrorIo(run.io);
   return run;
 }
 

@@ -1,0 +1,107 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Hot-path instrumentation hooks. Core code calls these tiny free functions
+// instead of touching the MetricsRegistry or the ambient QueryTrace
+// directly; each hook bumps the matching named registry instrument and, when
+// a trace is bound to the calling thread, the trace's live counters.
+//
+// Under -DCRACKSTORE_NO_METRICS every hook is an inline empty function, so
+// the compiler deletes the call sites — the fig02 overhead gate in CI
+// compares the two builds on the crack hot loop.
+//
+// Instrument catalog (see README "Observability"):
+//   crack.cracks / crack.pieces_created / crack.pieces_touched /
+//   crack.kernel_writes / crack.tuples_touched / crack.piece_size (histogram)
+//   latch.range_acquisitions / latch.range_waits / latch.range_wait_ns
+//   pool.batches / pool.tasks_run / pool.submitter_drains / pool.queue_depth
+//   txn.begins / txn.commits / txn.aborts / txn.conflicts
+//   versions.rows / versions.chain_entries (gauges) / vacuum.runs /
+//   vacuum.purged_rows
+//   merge.folds / merge.rows
+//   snapshot.rows_filtered / snapshot.override_hits
+//   simd.calls.{scalar,predicated,avx2,neon}
+//   io.* (mirrored from every IoStats delta the facade accumulates)
+//   sql.statements
+
+#ifndef CRACKSTORE_OBS_INSTRUMENTS_H_
+#define CRACKSTORE_OBS_INSTRUMENTS_H_
+
+#include <cstdint>
+
+namespace crackstore {
+
+struct IoStats;
+
+namespace obs {
+
+#if defined(CRACKSTORE_NO_METRICS)
+
+inline void RecordCrack(uint64_t, uint64_t, uint64_t, uint64_t) {}
+inline void RecordPieceSize(uint64_t) {}
+inline void RecordLatchAcquisition() {}
+inline void RecordLatchWait(uint64_t) {}
+inline void RecordTaskBatch(uint64_t) {}
+inline void RecordTaskRun(bool) {}
+inline void AddQueueDepth(int64_t) {}
+inline void RecordTxnBegin() {}
+inline void RecordTxnCommit() {}
+inline void RecordTxnAbort() {}
+inline void RecordTxnConflict() {}
+inline void AddVersionRows(int64_t) {}
+inline void AddVersionChainEntries(int64_t) {}
+inline void RecordVacuum(uint64_t) {}
+inline void RecordMerge(uint64_t) {}
+inline void RecordSnapshotFiltered(uint64_t) {}
+inline void RecordSnapshotOverride(uint64_t) {}
+inline void RecordSimdCall(int) {}
+inline void MirrorIo(const IoStats&) {}
+inline void RecordSqlStatement() {}
+
+#else
+
+/// One crack kernel run: tuples inspected, tuple swaps it performed, and how
+/// many new pieces it registered (the touched piece count is 1 per kernel).
+void RecordCrack(uint64_t tuples, uint64_t kernel_writes,
+                 uint64_t pieces_created, uint64_t pieces_touched);
+/// Size of a piece produced by a crack (feeds the piece-size histogram).
+void RecordPieceSize(uint64_t size);
+
+void RecordLatchAcquisition();
+void RecordLatchWait(uint64_t ns);
+
+void RecordTaskBatch(uint64_t tasks);
+void RecordTaskRun(bool submitter);
+void AddQueueDepth(int64_t delta);
+
+void RecordTxnBegin();
+void RecordTxnCommit();
+void RecordTxnAbort();
+void RecordTxnConflict();
+
+/// Version-log level tracking (gauges; deltas may be negative on vacuum or
+/// rollback).
+void AddVersionRows(int64_t delta);
+void AddVersionChainEntries(int64_t delta);
+void RecordVacuum(uint64_t purged_rows);
+
+/// A delta-merge fold into a rebuilt accelerator; `rows` is the number of
+/// tuples the rebuilt accelerator absorbed.
+void RecordMerge(uint64_t rows);
+
+void RecordSnapshotFiltered(uint64_t rows);
+void RecordSnapshotOverride(uint64_t hits);
+
+/// One dispatched crack kernel call on the given SimdTier (0..3).
+void RecordSimdCall(int tier);
+
+/// Mirrors an IoStats delta into the registry's io.* counters.
+void MirrorIo(const IoStats& io);
+
+void RecordSqlStatement();
+
+#endif  // CRACKSTORE_NO_METRICS
+
+}  // namespace obs
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_OBS_INSTRUMENTS_H_

@@ -1,0 +1,243 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "obs/metrics.h"
+
+#include "util/string_util.h"
+
+namespace crackstore {
+namespace obs {
+
+namespace internal {
+
+size_t AssignShard() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+bool MatchLike(const std::string& pattern, const std::string& text) {
+  if (pattern.empty()) return true;
+  // Iterative wildcard match with backtracking over the last '%'.
+  size_t p = 0, t = 0;
+  size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot.reset(new Counter());
+    if (!help.empty()) help_[name] = help;
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot.reset(new Gauge());
+    if (!help.empty()) help_[name] = help;
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new Histogram());
+    if (!help.empty()) help_[name] = help;
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+namespace {
+
+/// "crack.pieces_created" -> "crackstore_crack_pieces_created".
+std::string PromName(const std::string& name) {
+  std::string out = "crackstore_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText(const std::string& like) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  auto help_for = [&](const std::string& name) {
+    auto it = help_.find(name);
+    return it == help_.end() ? std::string() : it->second;
+  };
+  for (const auto& kv : counters_) {
+    if (!MatchLike(like, kv.first)) continue;
+    const std::string pname = PromName(kv.first);
+    const std::string help = help_for(kv.first);
+    if (!help.empty()) out += "# HELP " + pname + " " + help + "\n";
+    out += "# TYPE " + pname + " counter\n";
+    out += StrFormat("%s %llu\n", pname.c_str(),
+                     static_cast<unsigned long long>(kv.second->Value()));
+  }
+  for (const auto& kv : gauges_) {
+    if (!MatchLike(like, kv.first)) continue;
+    const std::string pname = PromName(kv.first);
+    const std::string help = help_for(kv.first);
+    if (!help.empty()) out += "# HELP " + pname + " " + help + "\n";
+    out += "# TYPE " + pname + " gauge\n";
+    out += StrFormat("%s %lld\n", pname.c_str(),
+                     static_cast<long long>(kv.second->Value()));
+  }
+  for (const auto& kv : histograms_) {
+    if (!MatchLike(like, kv.first)) continue;
+    const std::string pname = PromName(kv.first);
+    const std::string help = help_for(kv.first);
+    if (!help.empty()) out += "# HELP " + pname + " " + help + "\n";
+    out += "# TYPE " + pname + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t n = kv.second->BucketCount(i);
+      if (n == 0) continue;  // sparse export: empty log2 buckets are noise
+      cumulative += n;
+      const uint64_t le = Histogram::BucketUpperBound(i);
+      out += StrFormat("%s_bucket{le=\"%llu\"} %llu\n", pname.c_str(),
+                       static_cast<unsigned long long>(le),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", pname.c_str(),
+                     static_cast<unsigned long long>(kv.second->TotalCount()));
+    out += StrFormat("%s_sum %llu\n", pname.c_str(),
+                     static_cast<unsigned long long>(kv.second->Sum()));
+    out += StrFormat("%s_count %llu\n", pname.c_str(),
+                     static_cast<unsigned long long>(kv.second->TotalCount()));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson(const std::string& like) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{";
+  out += "\"counters\": {";
+  bool first = true;
+  for (const auto& kv : counters_) {
+    if (!MatchLike(like, kv.first)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %llu", JsonEscape(kv.first).c_str(),
+                     static_cast<unsigned long long>(kv.second->Value()));
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& kv : gauges_) {
+    if (!MatchLike(like, kv.first)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %lld", JsonEscape(kv.first).c_str(),
+                     static_cast<long long>(kv.second->Value()));
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& kv : histograms_) {
+    if (!MatchLike(like, kv.first)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": {\"count\": %llu, \"sum\": %llu, \"buckets\": [",
+                     JsonEscape(kv.first).c_str(),
+                     static_cast<unsigned long long>(kv.second->TotalCount()),
+                     static_cast<unsigned long long>(kv.second->Sum()));
+    bool bfirst = true;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t n = kv.second->BucketCount(i);
+      if (n == 0) continue;
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += StrFormat(
+          "[%llu, %llu]",
+          static_cast<unsigned long long>(Histogram::BucketUpperBound(i)),
+          static_cast<unsigned long long>(n));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<MetricRow> MetricsRegistry::Rows(const std::string& like) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<MetricRow> rows;
+  for (const auto& kv : counters_) {
+    if (!MatchLike(like, kv.first)) continue;
+    rows.push_back({kv.first, "counter",
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          kv.second->Value()))});
+  }
+  for (const auto& kv : gauges_) {
+    if (!MatchLike(like, kv.first)) continue;
+    rows.push_back({kv.first, "gauge",
+                    StrFormat("%lld",
+                              static_cast<long long>(kv.second->Value()))});
+  }
+  for (const auto& kv : histograms_) {
+    if (!MatchLike(like, kv.first)) continue;
+    const uint64_t count = kv.second->TotalCount();
+    const uint64_t sum = kv.second->Sum();
+    rows.push_back(
+        {kv.first, "histogram",
+         StrFormat("count=%llu sum=%llu avg=%.1f",
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(sum),
+                   count == 0 ? 0.0
+                              : static_cast<double>(sum) /
+                                    static_cast<double>(count))});
+  }
+  return rows;
+}
+
+}  // namespace obs
+}  // namespace crackstore

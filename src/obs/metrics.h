@@ -1,0 +1,209 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Store-wide metrics registry: named counters, gauges, and log-scale
+// histograms with lock-free hot paths. The store adapts itself — physical
+// reorganization happens as a side effect of queries — and this registry is
+// how an operator (or a future self-driving policy) watches it happen.
+//
+// Design:
+//  * Counter — 16 cache-line-padded shards; each thread hashes to a shard
+//    once and then increments with a relaxed fetch_add. No contention on
+//    the fan-out paths (TaskPool workers land on distinct shards).
+//  * Gauge — single relaxed atomic int64 (Set/Add), for levels like queue
+//    depth and version-log size.
+//  * Histogram — log2 buckets (bucket i holds values whose bit width is i),
+//    plus sum and count. One relaxed fetch_add per observation.
+//  * MetricsRegistry::Global() hands out stable instrument pointers; the
+//    registration map is mutex-guarded but hot sites cache the pointer in a
+//    function-local static, so registration cost is paid once per process.
+//  * Compiling with -DCRACKSTORE_NO_METRICS turns every mutator into an
+//    inline no-op; instruments still exist so call sites need no #ifdefs.
+//
+// Exporters: RenderText emits Prometheus-style text ("crackstore_" prefix,
+// dots mapped to underscores), RenderJson a machine-readable snapshot that
+// bench binaries embed in their --json output, and Rows() a tabular view
+// shared by SQL `SHOW STATS` and the shell `stats` command.
+
+#ifndef CRACKSTORE_OBS_METRICS_H_
+#define CRACKSTORE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crackstore {
+namespace obs {
+
+#if defined(CRACKSTORE_NO_METRICS)
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+namespace internal {
+/// Round-robin shard assignment; each thread gets a sticky shard index.
+size_t AssignShard();
+inline size_t ShardIndex() {
+  thread_local size_t idx = AssignShard();
+  return idx;
+}
+}  // namespace internal
+
+/// Monotonic counter, sharded to keep concurrent increments off a single
+/// cache line. Value() sums the shards (reads are rare: exporters only).
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+#if !defined(CRACKSTORE_NO_METRICS)
+    shards_[internal::ShardIndex() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Point-in-time level (queue depth, version-log size). Signed so transient
+/// over-decrements during concurrent teardown cannot wrap.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+#if !defined(CRACKSTORE_NO_METRICS)
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  void Add(int64_t d) {
+#if !defined(CRACKSTORE_NO_METRICS)
+    v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-scale histogram: bucket i counts values v with bit_width(v) == i,
+/// i.e. v in [2^(i-1), 2^i - 1]; bucket 0 counts v == 0. Upper bounds are
+/// therefore 0, 1, 3, 7, 15, ... — enough resolution for piece sizes and
+/// latency-style distributions without per-observation allocation.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit widths 0..64
+
+  static size_t BucketIndex(uint64_t v) {
+    if (v == 0) return 0;
+    return 64 - static_cast<size_t>(__builtin_clzll(v));
+  }
+
+  /// Inclusive upper bound of bucket i (for exporters).
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+  }
+
+  void Observe(uint64_t v) {
+#if !defined(CRACKSTORE_NO_METRICS)
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// SQL-LIKE glob: '%' matches any run (including empty), '_' one character.
+/// An empty pattern matches everything (SHOW STATS with no LIKE clause).
+bool MatchLike(const std::string& pattern, const std::string& text);
+
+/// One row of the tabular stats view: {name, type, rendered value}.
+using MetricRow = std::array<std::string, 3>;
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrument registers into.
+  static MetricsRegistry& Global();
+
+  /// Returns the named instrument, creating it on first use. Pointers are
+  /// stable for the life of the registry; `help` is kept from the first
+  /// registration and shown in the Prometheus export.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  /// Zeroes every instrument (names and help strings survive).
+  void ResetAll();
+
+  /// Prometheus text exposition; `like` filters instrument names with
+  /// MatchLike semantics ("" = all).
+  std::string RenderText(const std::string& like = "") const;
+
+  /// JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"count", "sum", "buckets": [[le, n], ...]}}}.
+  std::string RenderJson(const std::string& like = "") const;
+
+  /// Sorted {name, type, value} rows for SHOW STATS / shell `stats`.
+  std::vector<MetricRow> Rows(const std::string& like = "") const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace obs
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_OBS_METRICS_H_

@@ -1,6 +1,6 @@
 // Copyright 2026 The CrackStore Authors
 
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 
 #include "util/string_util.h"
 
@@ -9,7 +9,7 @@ namespace crackstore {
 std::string IoStats::ToString() const {
   return StrFormat(
       "read=%llu written=%llu page_r=%llu page_w=%llu journal=%llu "
-      "catalog=%llu cracks=%llu pieces=%llu",
+      "catalog=%llu cracks=%llu pieces=%llu touched=%llu kernel_w=%llu",
       static_cast<unsigned long long>(tuples_read),
       static_cast<unsigned long long>(tuples_written),
       static_cast<unsigned long long>(page_reads),
@@ -17,7 +17,9 @@ std::string IoStats::ToString() const {
       static_cast<unsigned long long>(journal_writes),
       static_cast<unsigned long long>(catalog_ops),
       static_cast<unsigned long long>(cracks),
-      static_cast<unsigned long long>(pieces_created));
+      static_cast<unsigned long long>(pieces_created),
+      static_cast<unsigned long long>(pieces_touched),
+      static_cast<unsigned long long>(kernel_writes));
 }
 
 }  // namespace crackstore

@@ -4,9 +4,16 @@
 // tuples read/written relative to a scan; wall-clock numbers depend on 2003
 // hardware, touched-tuple counts do not. Storage and engine operations report
 // their work into an IoStats so every experiment can print both.
+//
+// IoStats is the *per-operation* ledger: it rides the existing
+// `IoStats* stats` plumbing through every select/crack/DML path and is
+// summed into QueryResult/RunResult totals. The *store-wide* ledger is the
+// obs::MetricsRegistry (obs/metrics.h); AdaptiveStore::AddIo mirrors every
+// IoStats delta into the registry's io.* counters so exporters and SHOW
+// STATS see the same numbers the facade accumulates.
 
-#ifndef CRACKSTORE_STORAGE_IO_STATS_H_
-#define CRACKSTORE_STORAGE_IO_STATS_H_
+#ifndef CRACKSTORE_OBS_QUERY_STATS_H_
+#define CRACKSTORE_OBS_QUERY_STATS_H_
 
 #include <cstdint>
 #include <string>
@@ -24,6 +31,8 @@ struct IoStats {
   uint64_t catalog_ops = 0;      ///< catalog/schema mutations
   uint64_t cracks = 0;           ///< crack kernel invocations
   uint64_t pieces_created = 0;   ///< new pieces registered in a cracker index
+  uint64_t pieces_touched = 0;   ///< existing pieces a crack/probe shuffled
+  uint64_t kernel_writes = 0;    ///< tuple swaps performed by crack kernels
 
   IoStats& operator+=(const IoStats& other) {
     tuples_read += other.tuples_read;
@@ -34,12 +43,29 @@ struct IoStats {
     catalog_ops += other.catalog_ops;
     cracks += other.cracks;
     pieces_created += other.pieces_created;
+    pieces_touched += other.pieces_touched;
+    kernel_writes += other.kernel_writes;
     return *this;
   }
 
   IoStats operator+(const IoStats& other) const {
     IoStats out = *this;
     out += other;
+    return out;
+  }
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats out;
+    out.tuples_read = tuples_read - other.tuples_read;
+    out.tuples_written = tuples_written - other.tuples_written;
+    out.page_reads = page_reads - other.page_reads;
+    out.page_writes = page_writes - other.page_writes;
+    out.journal_writes = journal_writes - other.journal_writes;
+    out.catalog_ops = catalog_ops - other.catalog_ops;
+    out.cracks = cracks - other.cracks;
+    out.pieces_created = pieces_created - other.pieces_created;
+    out.pieces_touched = pieces_touched - other.pieces_touched;
+    out.kernel_writes = kernel_writes - other.kernel_writes;
     return out;
   }
 
@@ -51,4 +77,4 @@ struct IoStats {
 
 }  // namespace crackstore
 
-#endif  // CRACKSTORE_STORAGE_IO_STATS_H_
+#endif  // CRACKSTORE_OBS_QUERY_STATS_H_

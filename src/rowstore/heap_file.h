@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "rowstore/page.h"
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "util/macros.h"
 
 namespace crackstore {

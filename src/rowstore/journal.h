@@ -14,7 +14,7 @@
 #include <string_view>
 #include <vector>
 
-#include "storage/io_stats.h"
+#include "obs/query_stats.h"
 #include "util/macros.h"
 #include "util/result.h"
 

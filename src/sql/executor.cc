@@ -4,8 +4,13 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
+#include "util/table_printer.h"
 #include "util/timer.h"
 
 namespace crackstore {
@@ -115,6 +120,10 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
   if (store == nullptr) return Status::InvalidArgument("null store");
   QueryOutput out;
   WallTimer timer;
+  obs::TraceSpan stmt_span("select-stmt", stmt.table, &out.io);
+  // Planning here is statement-shape dispatch plus name resolution; the
+  // span closes right before the first store call of the chosen path.
+  obs::TraceSpan plan_span("plan", stmt.table);
 
   // --- GROUP BY: the Ω cracker path. ---------------------------------
   if (stmt.group_by.has_value()) {
@@ -135,6 +144,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
       CRACK_ASSIGN_OR_RETURN(kind, ToAggKind(stmt.items[0].agg));
       agg_column = stmt.items[0].column;
     }
+    plan_span.Close();
     CRACK_ASSIGN_OR_RETURN(
         out.groups, store->GroupBy(stmt.table, *stmt.group_by, agg_column,
                                    kind, txn));
@@ -170,6 +180,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
       return Status::InvalidArgument(
           "join condition must reference both joined tables");
     }
+    plan_span.Close();
     CRACK_ASSIGN_OR_RETURN(
         QueryResult qr,
         store->JoinEquals(lt, lc, rt, rc, Delivery::kCount, txn));
@@ -186,6 +197,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
 
   // COUNT(*).
   if (stmt.count_star) {
+    plan_span.Close();
     if (stmt.where.empty()) {
       CRACK_ASSIGN_OR_RETURN(out.count, store->LiveRowCount(stmt.table, txn));
     } else if (stmt.where.size() == 1) {
@@ -216,6 +228,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
         agg_col->tail_type() != ValueType::kInt32) {
       return Status::Unimplemented("aggregates need integer columns");
     }
+    plan_span.Close();
     std::vector<Oid> oids;
     if (stmt.where.empty()) {
       CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table, txn));
@@ -281,6 +294,7 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
       projection.push_back(item.column);
     }
   }
+  plan_span.Close();
   std::vector<Oid> oids;
   if (stmt.where.empty()) {
     CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table, txn));
@@ -288,8 +302,11 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
     CRACK_ASSIGN_OR_RETURN(
         oids, WhereOids(store, stmt.table, stmt.where, txn, &out.io));
   }
-  CRACK_ASSIGN_OR_RETURN(
-      out.rows, MaterializeRows(store, rel, oids, projection, txn, &out.io));
+  {
+    obs::TraceSpan mat_span("materialize", stmt.table, &out.io);
+    CRACK_ASSIGN_OR_RETURN(
+        out.rows, MaterializeRows(store, rel, oids, projection, txn, &out.io));
+  }
   out.kind = OutputKind::kRows;
   out.count = out.rows->num_rows();
   out.seconds = timer.ElapsedSeconds();
@@ -359,6 +376,39 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
           static_cast<unsigned long long>(stats.low_water));
       return out;
     }
+    case StatementKind::kExplainAnalyze: {
+      if (!stmt.explain_inner) {
+        return Status::InvalidArgument("EXPLAIN ANALYZE without a statement");
+      }
+      obs::QueryTrace trace;
+      if (stmt.parse_seconds > 0.0) {
+        trace.AddCompletedSpan("parse", stmt.parse_seconds);
+      }
+      WallTimer timer;
+      QueryOutput inner;
+      {
+        obs::TraceBinding bind(&trace);
+        CRACK_ASSIGN_OR_RETURN(inner, Execute(store, *stmt.explain_inner,
+                                              txn));
+      }
+      const double seconds = timer.ElapsedSeconds();
+      // Keep the inner statement's count/io/rows so callers (and tests) can
+      // cross-check the report against the store's own introspection.
+      QueryOutput out = std::move(inner);
+      out.kind = OutputKind::kTxn;
+      out.message = trace.Render(out.io, seconds);
+      out.seconds = seconds;
+      return out;
+    }
+    case StatementKind::kShowStats: {
+      QueryOutput out;
+      out.kind = OutputKind::kTxn;
+      out.message = RenderStats(stmt.show_stats_pattern);
+      out.count = obs::MetricsRegistry::Global()
+                      .Rows(stmt.show_stats_pattern)
+                      .size();
+      return out;
+    }
     case StatementKind::kBegin:
     case StatementKind::kCommit:
     case StatementKind::kRollback:
@@ -369,14 +419,51 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
   return Status::InvalidArgument("unknown statement kind");
 }
 
+Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
+                            const obs::ExecContext& ctx, TxnId txn) {
+  obs::TraceBinding bind(ctx.trace);
+  if (ctx.trace != nullptr && stmt.parse_seconds > 0.0) {
+    ctx.trace->AddCompletedSpan("parse", stmt.parse_seconds);
+  }
+  return Execute(store, stmt, txn);
+}
+
+std::string RenderStats(const std::string& pattern) {
+  TablePrinter table;
+  table.SetHeader({"instrument", "type", "value"});
+  for (const obs::MetricRow& row :
+       obs::MetricsRegistry::Global().Rows(pattern)) {
+    table.AddRow({row[0], row[1], row[2]});
+  }
+  if (table.num_rows() == 0) {
+    return pattern.empty()
+               ? std::string("no instruments registered\n")
+               : StrFormat("no instruments match '%s'\n", pattern.c_str());
+  }
+  return table.RenderAligned();
+}
+
 Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
                                const std::string& statement) {
   CRACK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  obs::RecordSqlStatement();
   return Execute(store, stmt);
 }
 
 Result<QueryOutput> SqlSession::ExecuteSql(const std::string& statement) {
   CRACK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  obs::RecordSqlStatement();
+  return Execute(stmt);
+}
+
+Result<QueryOutput> SqlSession::ExecuteSql(const std::string& statement,
+                                           const obs::ExecContext& ctx) {
+  CRACK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  obs::RecordSqlStatement();
+  obs::TraceBinding bind(ctx.trace);
+  if (ctx.trace != nullptr && stmt.parse_seconds > 0.0) {
+    ctx.trace->AddCompletedSpan("parse", stmt.parse_seconds);
+  }
   return Execute(stmt);
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/adaptive_store.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 #include "util/result.h"
 
@@ -55,9 +56,21 @@ Result<QueryOutput> ExecuteSql(AdaptiveStore* store,
 Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
                             TxnId txn = kNoTxn);
 
+/// Executes with an explicit execution context: `ctx.trace` (when set) is
+/// bound to the executing thread for the statement's duration, so every
+/// crack, latch and snapshot event lands in that trace. This is the seam
+/// EXPLAIN ANALYZE and the shell's `trace on` mode use.
+Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
+                            const obs::ExecContext& ctx, TxnId txn = kNoTxn);
+
 /// Executes an already-parsed SELECT (at `txn`'s snapshot).
 Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
                             TxnId txn = kNoTxn);
+
+/// Renders the metrics registry as an aligned table (instruments matching
+/// the LIKE `pattern`; empty = all). Shared by SHOW STATS and the shell's
+/// `stats` command so both surfaces show the same registry.
+std::string RenderStats(const std::string& pattern);
 
 /// One SQL session: the unit that owns a current transaction. BEGIN opens
 /// a snapshot transaction, every following statement runs inside it (reads
@@ -70,6 +83,9 @@ class SqlSession {
 
   /// Parses and executes one statement, tracking BEGIN/COMMIT/ROLLBACK.
   Result<QueryOutput> ExecuteSql(const std::string& statement);
+  /// Same, with `ctx.trace` bound for the statement (shell `trace on`).
+  Result<QueryOutput> ExecuteSql(const std::string& statement,
+                                 const obs::ExecContext& ctx);
   Result<QueryOutput> Execute(const Statement& stmt);
 
   bool in_txn() const { return txn_ != kNoTxn; }

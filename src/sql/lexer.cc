@@ -18,7 +18,8 @@ const std::unordered_set<std::string>& Keywords() {
       "GROUP",  "BY",    "COUNT",   "SUM",   "MIN",    "MAX",
       "BETWEEN", "AS",   "INTO",    "ORDER", "LIMIT",  "INSERT",
       "VALUES", "DELETE", "UPDATE", "SET",
-      "BEGIN",  "COMMIT", "ROLLBACK", "ABORT", "TRANSACTION", "VACUUM"};
+      "BEGIN",  "COMMIT", "ROLLBACK", "ABORT", "TRANSACTION", "VACUUM",
+      "EXPLAIN", "ANALYZE", "SHOW",   "STATS", "LIKE"};
   return kKeywords;
 }
 

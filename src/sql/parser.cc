@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace crackstore {
 namespace sql {
@@ -56,6 +57,24 @@ class Parser {
     } else if (Peek().IsKeyword("VACUUM")) {
       Advance();
       out.kind = StatementKind::kVacuum;
+    } else if (Peek().IsKeyword("EXPLAIN")) {
+      Advance();
+      CRACK_RETURN_NOT_OK(ExpectKeyword("ANALYZE"));
+      out.kind = StatementKind::kExplainAnalyze;
+      CRACK_ASSIGN_OR_RETURN(Statement inner, ParseAny());
+      out.explain_inner = std::make_shared<Statement>(std::move(inner));
+      return out;  // the wrapped statement consumes the terminator
+    } else if (Peek().IsKeyword("SHOW")) {
+      Advance();
+      CRACK_RETURN_NOT_OK(ExpectKeyword("STATS"));
+      out.kind = StatementKind::kShowStats;
+      if (Peek().IsKeyword("LIKE")) {
+        Advance();
+        if (Peek().type != TokenType::kString) {
+          return Error("expected a quoted pattern after LIKE");
+        }
+        out.show_stats_pattern = Advance().text;
+      }
     } else {
       out.kind = StatementKind::kSelect;
       CRACK_ASSIGN_OR_RETURN(out.select, ParseSelect());
@@ -294,9 +313,12 @@ class Parser {
 }  // namespace
 
 Result<Statement> ParseStatement(const std::string& statement) {
+  WallTimer timer;
   CRACK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
   Parser parser(std::move(tokens));
-  return parser.ParseAny();
+  CRACK_ASSIGN_OR_RETURN(Statement stmt, parser.ParseAny());
+  stmt.parse_seconds = timer.ElapsedSeconds();
+  return stmt;
 }
 
 Result<SelectStatement> Parse(const std::string& statement) {

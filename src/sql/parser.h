@@ -3,10 +3,12 @@
 // Parser for the SQL subset. Grammar (keywords case-insensitive):
 //
 //   statement   := select_stmt | insert_stmt | delete_stmt | update_stmt
-//                | txn_stmt | vacuum_stmt
+//                | txn_stmt | vacuum_stmt | explain_stmt | show_stmt
 //   txn_stmt    := BEGIN [TRANSACTION] [;] | COMMIT [;]
 //                | ROLLBACK [;] | ABORT [;]
 //   vacuum_stmt := VACUUM [;]
+//   explain_stmt:= EXPLAIN ANALYZE statement
+//   show_stmt   := SHOW STATS [LIKE string] [;]
 //   select_stmt := SELECT select_list FROM table [join] [where] [group] [;]
 //   insert_stmt := INSERT INTO table VALUES '(' literal (',' literal)* ')' [;]
 //   delete_stmt := DELETE FROM table [where] [;]
@@ -34,6 +36,7 @@
 #ifndef CRACKSTORE_SQL_PARSER_H_
 #define CRACKSTORE_SQL_PARSER_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -122,6 +125,8 @@ enum class StatementKind : uint8_t {
   kCommit,    ///< COMMIT — publish the session transaction
   kRollback,  ///< ROLLBACK / ABORT — undo the session transaction
   kVacuum,    ///< VACUUM — reclaim versions below the low-water snapshot
+  kExplainAnalyze,  ///< EXPLAIN ANALYZE stmt — run with a bound QueryTrace
+  kShowStats,       ///< SHOW STATS [LIKE 'pat'] — dump the metrics registry
 };
 
 /// A parsed statement of any kind; only the member matching `kind` is set.
@@ -131,6 +136,14 @@ struct Statement {
   InsertStatement insert;
   DeleteStatement del;
   UpdateStatement update;
+  /// kExplainAnalyze: the wrapped statement (shared_ptr keeps Statement
+  /// copyable; never null for that kind).
+  std::shared_ptr<Statement> explain_inner;
+  /// kShowStats: LIKE pattern ('%'/'_' wildcards); empty = all instruments.
+  std::string show_stats_pattern;
+  /// Wall time ParseStatement spent on this statement (EXPLAIN ANALYZE
+  /// reports it as the `parse` span; 0 for hand-built statements).
+  double parse_seconds = 0.0;
 };
 
 /// Parses one statement of any kind. Errors carry the offending position.

@@ -3,12 +3,34 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace crackstore {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Applies CRACKSTORE_LOG_LEVEL once, before the first level read. An
+/// explicit SetLogLevel afterwards still wins (it writes g_min_level).
+void InitLevelFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("CRACKSTORE_LOG_LEVEL");
+    if (env == nullptr) return;
+    LogLevel level;
+    if (ParseLogLevel(env, &level)) {
+      g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr,
+                   "[WARN logging] ignoring unrecognized "
+                   "CRACKSTORE_LOG_LEVEL='%s'\n",
+                   env);
+    }
+  });
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,11 +48,33 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  InitLevelFromEnv();  // keep a later env init from clobbering this call
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  InitLevelFromEnv();
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& spec, LogLevel* out) {
+  std::string lower;
+  lower.reserve(spec.size());
+  for (char c : spec) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {
@@ -45,6 +89,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  InitLevelFromEnv();
   if (static_cast<int>(level_) >= g_min_level.load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }

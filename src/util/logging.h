@@ -6,6 +6,8 @@
 #ifndef CRACKSTORE_UTIL_LOGGING_H_
 #define CRACKSTORE_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,9 +15,15 @@ namespace crackstore {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted (default: kInfo).
+/// Sets the minimum level that is emitted. The default is kInfo, or the
+/// value of the CRACKSTORE_LOG_LEVEL environment variable at first use
+/// (accepted: debug|info|warn|error, case-insensitive, or 0-3).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a CRACKSTORE_LOG_LEVEL-style spelling; returns false (and leaves
+/// `out` untouched) on anything unrecognized. Exposed for tests.
+bool ParseLogLevel(const std::string& spec, LogLevel* out);
 
 namespace internal {
 
@@ -42,5 +50,20 @@ class LogMessage {
 #define CRACK_LOG(level)                                               \
   ::crackstore::internal::LogMessage(::crackstore::LogLevel::k##level, \
                                      __FILE__, __LINE__)
+
+/// Emits on the 1st, (n+1)th, (2n+1)th, ... pass over this site — rate
+/// limiting for per-query diagnostics on hot paths. The counter is a relaxed
+/// atomic, so concurrent callers may occasionally both log; that is fine for
+/// diagnostics and keeps the site to one uncontended fetch_add.
+#define CRACK_LOG_EVERY_N(level, n)                                       \
+  static ::std::atomic<uint64_t> CRACK_LOG_COUNTER_NAME(__LINE__){0};     \
+  if (CRACK_LOG_COUNTER_NAME(__LINE__).fetch_add(                         \
+          1, ::std::memory_order_relaxed) %                               \
+          static_cast<uint64_t>(n) ==                                     \
+      0)                                                                  \
+  CRACK_LOG(level)
+
+#define CRACK_LOG_COUNTER_NAME(line) CRACK_LOG_COUNTER_PASTE(line)
+#define CRACK_LOG_COUNTER_PASTE(line) crack_log_every_n_##line
 
 #endif  // CRACKSTORE_UTIL_LOGGING_H_

@@ -38,6 +38,10 @@ void TablePrinter::PrintCsv(std::FILE* out) const {
 }
 
 void TablePrinter::PrintAligned(std::FILE* out) const {
+  std::fputs(RenderAligned().c_str(), out);
+}
+
+std::string TablePrinter::RenderAligned() const {
   std::vector<size_t> widths;
   auto widen = [&widths](const std::vector<std::string>& row) {
     if (widths.size() < row.size()) widths.resize(row.size(), 0);
@@ -48,23 +52,28 @@ void TablePrinter::PrintAligned(std::FILE* out) const {
   widen(header_);
   for (const auto& row : rows_) widen(row);
 
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (size_t i = 0; i < row.size(); ++i) {
-      std::fprintf(out, "%s%-*s", i == 0 ? "" : " | ",
-                   static_cast<int>(widths[i]), row[i].c_str());
+      if (i > 0) out += " | ";
+      out += row[i];
+      if (row[i].size() < widths[i]) out.append(widths[i] - row[i].size(), ' ');
     }
-    std::fputc('\n', out);
+    // Trailing alignment padding on the last cell is noise; trim it.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
   };
   if (!header_.empty()) {
-    print_row(header_);
+    append_row(header_);
     size_t total = 0;
     for (size_t i = 0; i < widths.size(); ++i) {
       total += widths[i] + (i == 0 ? 0 : 3);
     }
-    std::string rule(total, '-');
-    std::fprintf(out, "%s\n", rule.c_str());
+    out.append(total, '-');
+    out += '\n';
   }
-  for (const auto& row : rows_) print_row(row);
+  for (const auto& row : rows_) append_row(row);
+  return out;
 }
 
 }  // namespace crackstore

@@ -30,6 +30,9 @@ class TablePrinter {
   /// Renders an aligned, pipe-separated table to `out`.
   void PrintAligned(std::FILE* out) const;
 
+  /// Renders the aligned table as a string (SQL/shell result support).
+  std::string RenderAligned() const;
+
   size_t num_rows() const { return rows_.size(); }
 
  private:

@@ -18,11 +18,14 @@
 //   BEGIN / COMMIT / ROLLBACK          # snapshot transactions (or: txn ...)
 //   txn status                         # the session's transaction state
 //   vacuum                             # reclaim versions below low-water
-//   deltas R c0                        # pending inserts/tombstones/merges
+//   EXPLAIN ANALYZE SELECT ...         # run + per-span crack trace report
+//   SHOW STATS LIKE 'crack%'           # metrics registry through SQL
+//   deltas [R [c0]]                    # pending inserts/tombstones/merges
 //   flush R c0                         # fold a column's deltas now
 //   pieces R c0                        # piece table of the cracker index
 //   lineage                            # Graphviz dump of the lineage DAG
-//   stats                              # cumulative cost counters
+//   stats [pattern|reset]              # cost counters + metrics registry
+//   trace on                           # print a crack trace per statement
 //   strategy sort                      # rebuild the store: scan|crack|sort
 //   mergepolicy ripple                 # immediate|threshold|ripple deltas
 //   tables / help / quit
@@ -41,9 +44,12 @@
 
 #include "core/adaptive_store.h"
 #include "core/task_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/executor.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/table_printer.h"
 #include "workload/tapestry.h"
 
 namespace crackstore {
@@ -129,6 +135,26 @@ class Shell {
       std::getline(*in, rest);
       return RunSql(upper + rest);
     }
+    if (upper == "EXPLAIN" || upper == "SHOW") {
+      // SQL `EXPLAIN ANALYZE <stmt>` / `SHOW STATS [LIKE ...]` vs the
+      // shell's positional `explain <table> [col]`: peek the next token.
+      std::string rest;
+      std::getline(*in, rest);
+      std::istringstream peek(rest);
+      std::string next;
+      peek >> next;
+      for (char& ch : next) ch = static_cast<char>(std::toupper(ch));
+      if ((upper == "EXPLAIN" && next == "ANALYZE") ||
+          (upper == "SHOW" && next == "STATS")) {
+        return RunSql(upper + rest);
+      }
+      if (upper == "EXPLAIN") {
+        std::istringstream positional(rest);
+        return Explain(&positional);
+      }
+      return Status::InvalidArgument("unknown command '" + cmd +
+                                     "' (try: help)");
+    }
     if (cmd == "txn") return Txn(in);
     if (cmd == "vacuum") return RunSql("VACUUM");
     if (cmd == "create") return Create(in);
@@ -141,9 +167,9 @@ class Shell {
     if (cmd == "pieces") return Pieces(in);
     if (cmd == "deltas") return Deltas(in);
     if (cmd == "flush") return Flush(in);
-    if (cmd == "explain") return Explain(in);
     if (cmd == "lineage") return Lineage();
-    if (cmd == "stats") return Stats();
+    if (cmd == "stats") return Stats(in);
+    if (cmd == "trace") return Trace(in);
     if (cmd == "strategy") return Strategy(in);
     if (cmd == "policy") return Policy(in);
     if (cmd == "mergepolicy") return MergePolicyCmd(in);
@@ -169,8 +195,18 @@ class Shell {
   }
 
   Status RunSql(const std::string& text) {
-    CRACK_ASSIGN_OR_RETURN(sql::QueryOutput out, session_->ExecuteSql(text));
+    if (!trace_) {
+      CRACK_ASSIGN_OR_RETURN(sql::QueryOutput out, session_->ExecuteSql(text));
+      std::fputs(sql::FormatOutput(out).c_str(), stdout);
+      return Status::OK();
+    }
+    obs::QueryTrace trace;
+    obs::ExecContext ctx;
+    ctx.trace = &trace;
+    CRACK_ASSIGN_OR_RETURN(sql::QueryOutput out,
+                           session_->ExecuteSql(text, ctx));
     std::fputs(sql::FormatOutput(out).c_str(), stdout);
+    std::fputs(trace.Render(out.io, out.seconds).c_str(), stdout);
     return Status::OK();
   }
 
@@ -216,8 +252,12 @@ class Shell {
         "  and <table> <col> <lo> <hi> <col> <lo> <hi> ...\n"
         "  join <t1> <c1> <t2> <c2>\n"
         "  groupby <table> <group-col> <agg-col> <count|sum|min|max>\n"
-        "  pieces <table> <col> | explain <table> <col> | lineage | stats\n"
-        "  deltas <table> <col>   (pending inserts/tombstones/merges)\n"
+        "  EXPLAIN ANALYZE <stmt>  (run + per-span crack trace report)\n"
+        "  SHOW STATS [LIKE 'pat'] (metrics registry; %% and _ wildcards)\n"
+        "  pieces <table> <col> | explain <table> <col> | lineage\n"
+        "  stats [pattern]        (summary + metrics registry; stats reset)\n"
+        "  trace <on|off>         (crack trace after every SQL statement)\n"
+        "  deltas [table [col]]   (pending inserts/tombstones/merges)\n"
         "  flush <table> <col>    (fold the column's deltas now)\n"
         "  tables\n"
         "  strategy <scan|crack|sort>   (keeps tables, drops accelerators)\n"
@@ -427,29 +467,60 @@ class Shell {
     return Status::OK();
   }
 
+  /// `deltas [table [column]]` — pending delta state, one row per column.
+  /// With no arguments every table is listed, so the whole store's pending
+  /// work is one aligned table.
   Status Deltas(std::istringstream* in) {
     std::string table, column;
-    if (!(*in >> table >> column)) {
-      return Status::InvalidArgument("usage: deltas <table> <col>");
+    *in >> table >> column;
+    std::vector<std::string> tables;
+    if (table.empty()) {
+      tables = store_->TableNames();
+      if (tables.empty()) {
+        std::printf("no tables\n");
+        return Status::OK();
+      }
+    } else {
+      tables.push_back(table);
     }
-    auto path = store_->AccessPathFor(table, column);
-    if (!path.ok()) {
-      std::printf("%s.%s: no access path yet (never queried)\n",
-                  table.c_str(), column.c_str());
+    TablePrinter tp;
+    tp.SetHeader({"table", "column", "pending_inserts", "tombstones",
+                  "merges", "row_versions", "chain_entries", "purged"});
+    for (const std::string& t : tables) {
+      CRACK_ASSIGN_OR_RETURN(std::shared_ptr<Relation> rel, store_->table(t));
+      size_t row_versions = 0, chain_entries = 0, purged = 0;
+      if (auto counts = store_->VersionCountsFor(t); counts.ok()) {
+        row_versions = counts->row_versions;
+        chain_entries = counts->chain_entries;
+        purged = counts->purged;
+      }
+      bool first = true;
+      for (const ColumnDef& def : rel->schema().columns()) {
+        if (!column.empty() && def.name != column) continue;
+        std::string inserts = "-", tombstones = "-", merges = "-";
+        if (auto path = store_->AccessPathFor(t, def.name); path.ok()) {
+          inserts = StrFormat("%zu", (*path)->pending_inserts());
+          tombstones = StrFormat("%zu", (*path)->pending_deletes());
+          merges = StrFormat("%zu", (*path)->merges_performed());
+        }
+        // Version counts are per table; print them on its first row only.
+        tp.AddRow({t, def.name, inserts, tombstones, merges,
+                   first ? StrFormat("%zu", row_versions) : "",
+                   first ? StrFormat("%zu", chain_entries) : "",
+                   first ? StrFormat("%zu", purged) : ""});
+        first = false;
+      }
+      if (first && !column.empty()) {
+        return Status::NotFound("no column '" + column + "' in " + t);
+      }
+    }
+    if (tp.num_rows() == 0) {
+      std::printf("nothing pending ('-' columns have no access path yet)\n");
       return Status::OK();
     }
-    std::printf(
-        "%s.%s: %zu pending insert(s), %zu tombstone(s), %zu merge(s)\n",
-        table.c_str(), column.c_str(), (*path)->pending_inserts(),
-        (*path)->pending_deletes(), (*path)->merges_performed());
-    auto counts = store_->VersionCountsFor(table);
-    if (counts.ok()) {
-      std::printf(
-          "%s versions: %zu row stamp(s), %zu superseded value(s), "
-          "%zu purged (vacuum reclaims below the low-water snapshot)\n",
-          table.c_str(), counts->row_versions, counts->chain_entries,
-          counts->purged);
-    }
+    std::fputs(tp.RenderAligned().c_str(), stdout);
+    std::printf("('-' = no access path yet; vacuum reclaims versions below "
+                "the low-water snapshot)\n");
     return Status::OK();
   }
 
@@ -482,11 +553,36 @@ class Shell {
     return Status::OK();
   }
 
-  Status Stats() {
+  /// `stats [pattern|reset]` — the session summary line plus the metrics
+  /// registry, rendered by the same table SHOW STATS uses.
+  Status Stats(std::istringstream* in) {
+    std::string arg;
+    *in >> arg;
+    if (arg == "reset") {
+      obs::MetricsRegistry::Global().ResetAll();
+      std::printf("metrics registry reset\n");
+      return Status::OK();
+    }
     std::printf("strategy=%s policy=%s delta-merge=%s  total: %s\n",
                 AccessStrategyName(strategy_), CrackPolicyName(policy_),
                 DeltaMergePolicyName(delta_merge_.policy),
                 store_->total_io().ToString().c_str());
+    std::fputs(sql::RenderStats(arg).c_str(), stdout);
+    return Status::OK();
+  }
+
+  /// `trace on|off` — per-statement crack trace after every SQL result.
+  Status Trace(std::istringstream* in) {
+    std::string mode;
+    *in >> mode;
+    if (mode == "on") {
+      trace_ = true;
+    } else if (mode == "off") {
+      trace_ = false;
+    } else {
+      return Status::InvalidArgument("usage: trace <on|off>");
+    }
+    std::printf("per-statement tracing %s\n", trace_ ? "on" : "off");
     return Status::OK();
   }
 
@@ -566,6 +662,7 @@ class Shell {
   CrackPolicy policy_ = CrackPolicy::kStandard;
   DeltaMergeOptions delta_merge_;
   bool concurrent_ = false;  ///< store built with the latch protocol on
+  bool trace_ = false;       ///< print a crack trace after each statement
   int errors_ = 0;
 };
 
