@@ -23,6 +23,10 @@
 //
 // Output: CSV rows (pattern, step, then per policy: cumulative tuples
 // touched and cumulative seconds, plus final piece counts on stderr).
+//
+// This sweep covers the three *fixed* disciplines only; the self-driving
+// policies (auto, progressive) have their own harness with latency
+// distributions and CI gates in ablation_adaptive_policy.
 
 #include <algorithm>
 #include <string>

@@ -32,7 +32,8 @@ int Run(int argc, char** argv) {
   CrackPolicy policy = CrackPolicy::kStandard;
   if (!ParseCrackPolicy(policy_name, &policy)) {
     std::fprintf(stderr,
-                 "unknown --policy=%s (use standard|stochastic|coarse, or "
+                 "unknown --policy=%s (use "
+                 "standard|stochastic|coarse|auto|progressive, or "
                  "ddc|dd1c)\n",
                  policy_name.c_str());
     return 2;

@@ -104,6 +104,18 @@ struct PivotChoice {
   bool after_duplicates = false;
 };
 
+/// Live policy state of one access path (SHOW POLICY / shell support).
+struct PathPolicyStatus {
+  CrackPolicy configured = CrackPolicy::kStandard;  ///< what was asked for
+  CrackPolicy effective = CrackPolicy::kStandard;   ///< what runs now
+  WorkloadPattern pattern = WorkloadPattern::kUnknown;  ///< detector verdict
+  uint64_t switches = 0;        ///< runtime policy switches (kAuto)
+  uint64_t samples = 0;         ///< queries the detector has seen
+  double progressive_budget = 0.0;
+  size_t progressive_pending = 0;  ///< rows awaiting progressive completion
+  bool crack = false;  ///< true when the path actually cracks (policy is live)
+};
+
 /// The answer of one access-path selection. Cracked and sorted paths hand
 /// out zero-copy contiguous views; scan (and coarse-policy edge pieces)
 /// deliver an oid list instead.
@@ -235,6 +247,26 @@ class ColumnAccessPath {
   /// Human-readable physical state: accelerator kind, active policy, piece
   /// table. The per-column body of AdaptiveStore::ExplainColumn.
   virtual std::string Explain() const = 0;
+
+  /// Live policy state (configured vs effective policy, detector verdict,
+  /// progressive backlog). Non-cracking strategies report their configured
+  /// policy with crack=false.
+  virtual PathPolicyStatus PolicyStatus() const {
+    PathPolicyStatus status;
+    status.configured = config().policy.policy;
+    status.effective = status.configured;
+    status.progressive_budget = config().policy.progressive_budget;
+    return status;
+  }
+
+  /// Re-arms the path's policy engine with fresh options at runtime (SET
+  /// POLICY). No-op success for strategies without a policy engine, so a
+  /// store-wide policy change never errors on scan/sort columns.
+  /// Concurrent mode: requires the exclusive column latch.
+  virtual Status SetPolicyOptions(const CrackPolicyOptions& options) {
+    (void)options;
+    return Status::OK();
+  }
 };
 
 /// Builds the access path for `column` per `config`. The factory is

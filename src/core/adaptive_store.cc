@@ -1716,6 +1716,59 @@ Result<std::string> AdaptiveStore::ExplainColumn(
   return out + it->second.path->Explain();
 }
 
+Status AdaptiveStore::SetPolicy(const CrackPolicyOptions& options) {
+  // Statement-level exclusion first, then per-column exclusive latches — the
+  // same order every write takes, so no deadlock with running queries.
+  std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
+  options_.policy = options;  // paths built later inherit the new policy
+  std::vector<ColumnAccel*> accels;
+  {
+    std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+    if (options_.concurrent) rl.lock();
+    for (auto& [key, accel] : accels_) {
+      bool has = options_.concurrent
+                     ? accel.has_path.load(std::memory_order_acquire)
+                     : accel.path != nullptr;
+      if (has) accels.push_back(&accel);
+    }
+  }
+  for (ColumnAccel* accel : accels) {
+    std::unique_lock<std::shared_mutex> col(accel->latch, std::defer_lock);
+    if (options_.concurrent) col.lock();
+    CRACK_RETURN_NOT_OK(accel->path->SetPolicyOptions(options));
+  }
+  return Status::OK();
+}
+
+std::vector<AdaptiveStore::ColumnPolicy> AdaptiveStore::PolicyReport() const {
+  std::shared_lock<std::shared_mutex> g(global_mu_, std::defer_lock);
+  if (options_.concurrent) g.lock();
+  std::vector<ColumnPolicy> report;
+  std::vector<std::pair<std::string, const ColumnAccel*>> accels;
+  {
+    std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+    if (options_.concurrent) rl.lock();
+    for (const auto& [key, accel] : accels_) {
+      bool has = options_.concurrent
+                     ? accel.has_path.load(std::memory_order_acquire)
+                     : accel.path != nullptr;
+      if (has) accels.emplace_back(key, &accel);
+    }
+  }
+  for (const auto& [key, accel] : accels) {
+    ColumnPolicy row;
+    size_t dot = key.find('.');
+    row.table = key.substr(0, dot);
+    row.column = dot == std::string::npos ? "" : key.substr(dot + 1);
+    std::shared_lock<std::shared_mutex> col(accel->latch, std::defer_lock);
+    if (options_.concurrent) col.lock();
+    row.status = accel->path->PolicyStatus();
+    report.push_back(std::move(row));
+  }
+  return report;
+}
+
 void AdaptiveStore::UpdateLineage(const std::string& table,
                                   const std::string& column,
                                   ColumnAccel* accel) {

@@ -320,6 +320,23 @@ class AdaptiveStore {
   Result<std::string> ExplainColumn(const std::string& table,
                                     const std::string& column) const;
 
+  /// One row of PolicyReport(): the live policy state of a materialized
+  /// column accelerator.
+  struct ColumnPolicy {
+    std::string table;
+    std::string column;
+    PathPolicyStatus status;
+  };
+
+  /// Re-arms every materialized access path (and the default for paths yet
+  /// to be built) with `options` at runtime — SET POLICY. Cracker state is
+  /// kept; only the policy engine restarts, so no stop-the-world rebuild.
+  Status SetPolicy(const CrackPolicyOptions& options);
+
+  /// Live policy state of every materialized column accelerator, sorted by
+  /// "table.column" key (SHOW POLICY / shell `policy` support).
+  std::vector<ColumnPolicy> PolicyReport() const;
+
   const LineageGraph& lineage() const { return lineage_; }
   const AdaptiveStoreOptions& options() const { return options_; }
 

@@ -60,6 +60,36 @@ CrackSplit Partition2(T* data, Oid* oids, size_t n, GoesLeft goes_left) {
   return out;
 }
 
+/// Budgeted Hoare partition pass over the open frontier [*lo_io, *hi_io):
+/// the progressive-cracking primitive. Elements left of *lo_io already
+/// satisfy `goes_left`, elements at or right of *hi_io already don't; this
+/// pass advances both frontiers inward, stopping once `max_writes` tuple
+/// writes have been spent (the check precedes each swap, so the overshoot
+/// is at most one swap = 2 writes). Scanning is not budgeted — only data
+/// movement is, matching how the policy layer accounts reorganization
+/// cost. The partition is complete when *lo_io == *hi_io on return.
+/// Returns the writes performed.
+template <typename T, typename GoesLeft>
+size_t PartialPartition2(T* data, Oid* oids, size_t* lo_io, size_t* hi_io,
+                         GoesLeft goes_left, size_t max_writes) {
+  size_t lo = *lo_io;
+  size_t hi = *hi_io;
+  size_t writes = 0;
+  while (true) {
+    while (lo < hi && goes_left(data[lo])) ++lo;
+    while (lo < hi && !goes_left(data[hi - 1])) --hi;
+    if (lo >= hi) break;
+    if (writes >= max_writes) break;
+    SwapWithPayload(data, oids, lo, hi - 1);
+    writes += 2;
+    ++lo;
+    --hi;
+  }
+  *lo_io = lo;
+  *hi_io = hi;
+  return writes;
+}
+
 /// True for the element types that have vectorized kernel tiers.
 template <typename T>
 inline constexpr bool kHasSimdKernels = std::is_same_v<T, int32_t> ||

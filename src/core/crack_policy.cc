@@ -2,6 +2,8 @@
 
 #include "core/crack_policy.h"
 
+#include "obs/instruments.h"
+
 namespace crackstore {
 
 const char* CrackPolicyName(CrackPolicy policy) {
@@ -12,6 +14,10 @@ const char* CrackPolicyName(CrackPolicy policy) {
       return "stochastic";
     case CrackPolicy::kCoarse:
       return "coarse";
+    case CrackPolicy::kAuto:
+      return "auto";
+    case CrackPolicy::kProgressive:
+      return "progressive";
   }
   return "?";
 }
@@ -23,6 +29,10 @@ bool ParseCrackPolicy(const std::string& s, CrackPolicy* out) {
     *out = CrackPolicy::kStochastic;
   } else if (s == "coarse" || s == "dd1c") {
     *out = CrackPolicy::kCoarse;
+  } else if (s == "auto") {
+    *out = CrackPolicy::kAuto;
+  } else if (s == "progressive") {
+    *out = CrackPolicy::kProgressive;
   } else {
     return false;
   }
@@ -33,6 +43,48 @@ CrackPolicy CrackPolicyFromString(const std::string& s) {
   CrackPolicy policy = CrackPolicy::kStandard;
   (void)ParseCrackPolicy(s, &policy);
   return policy;
+}
+
+void CrackPolicyEngine::Observe(double sample) {
+  if (options_.policy != CrackPolicy::kAuto) return;
+  monitor_.Record(sample);
+  observed_.store(monitor_.samples(), std::memory_order_relaxed);
+  const WorkloadPattern pattern = monitor_.Classify();
+  pattern_.store(pattern, std::memory_order_relaxed);
+  if (pattern == WorkloadPattern::kUnknown) return;
+
+  const CrackPolicy target = pattern == WorkloadPattern::kRandom
+                                 ? CrackPolicy::kStandard
+                                 : CrackPolicy::kStochastic;
+  if (target == effective_.load(std::memory_order_relaxed)) {
+    streak_ = 0;
+    return;
+  }
+  if (target == pending_target_) {
+    ++streak_;
+  } else {
+    pending_target_ = target;
+    streak_ = 1;
+  }
+  if (streak_ >= kConfirmStreak) {
+    effective_.store(target, std::memory_order_relaxed);
+    switches_.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordPolicySwitch();
+    streak_ = 0;
+  }
+}
+
+void CrackPolicyEngine::Reset(const CrackPolicyOptions& options) {
+  options_ = options;
+  rng_ = Pcg32(options.seed);
+  monitor_ = WorkloadMonitor(options.monitor);
+  effective_.store(InitialEffective(options.policy),
+                   std::memory_order_relaxed);
+  pattern_.store(WorkloadPattern::kUnknown, std::memory_order_relaxed);
+  switches_.store(0, std::memory_order_relaxed);
+  observed_.store(0, std::memory_order_relaxed);
+  pending_target_ = CrackPolicy::kStandard;
+  streak_ = 0;
 }
 
 }  // namespace crackstore

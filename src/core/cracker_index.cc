@@ -133,6 +133,7 @@ size_t CrackerIndex<T>::Cut(T v, bool want_incl, IoStats* stats) {
   // The cut is unknown: locate the piece [begin, end) that must be cracked.
   size_t begin, end;
   CrackRegionFor(v, want_incl, &begin, &end);
+  InvalidateProgressive(begin);
 
   CrackSplit split = want_incl
                          ? CrackInTwoLe(data() + begin, oid_data() + begin,
@@ -206,6 +207,13 @@ size_t CrackerIndex<T>::CutConcurrent(T v, bool want_incl, IoStats* stats) {
     }
     begin = b2;
     end = e2;
+    {
+      // The full kernel below is about to repartition [begin, end); any
+      // carried frontier for the piece becomes meaningless. We hold the
+      // exclusive range lock, so no progressive pass races this erase.
+      std::lock_guard<std::mutex> lk(map_mu_);
+      InvalidateProgressive(begin);
+    }
     // The kernel runs outside map_mu_: no other thread can register a cut
     // inside [begin, end) meanwhile (doing so would need this range lock),
     // and cuts elsewhere don't move data in here.
@@ -240,6 +248,232 @@ size_t CrackerIndex<T>::CutConcurrent(T v, bool want_incl, IoStats* stats) {
 }
 
 template <typename T>
+size_t CrackerIndex<T>::AdvanceProgressive(ProgressiveJob* job,
+                                           size_t max_writes, bool* done,
+                                           IoStats* stats) {
+  const T pivot = job->pivot;
+  const size_t old_lo = job->lo;
+  const size_t old_hi = job->hi;
+  size_t lo = old_lo;
+  size_t hi = old_hi;
+  size_t writes;
+  if (job->want_incl) {
+    writes = internal::PartialPartition2(
+        raw_values_, raw_oids_, &lo, &hi,
+        [pivot](T v) { return v <= pivot; }, max_writes);
+  } else {
+    writes = internal::PartialPartition2(
+        raw_values_, raw_oids_, &lo, &hi,
+        [pivot](T v) { return v < pivot; }, max_writes);
+  }
+  job->lo = lo;
+  job->hi = hi;
+  *done = lo >= hi;
+  const size_t processed = (lo - old_lo) + (old_hi - hi);
+  const bool interior = *done && lo > job->begin && lo < job->end;
+  if (stats != nullptr) {
+    stats->tuples_read += processed;
+    stats->tuples_written += writes;
+    ++stats->cracks;
+    ++stats->pieces_touched;
+    stats->kernel_writes += writes;
+    if (interior) ++stats->pieces_created;
+  }
+  obs::RecordCrack(processed, writes, interior ? 1 : 0, /*pieces_touched=*/1);
+  if (*done) {
+    if (lo > job->begin) obs::RecordPieceSize(lo - job->begin);
+    if (job->end > lo) obs::RecordPieceSize(job->end - lo);
+  }
+  return writes;
+}
+
+template <typename T>
+ProgressiveCut CrackerIndex<T>::CutProgressive(T v, bool want_incl,
+                                               size_t max_writes,
+                                               IoStats* stats) {
+  ProgressiveCut out;
+  size_t pos;
+  if (FindCutAndTouch(v, want_incl, &pos)) {
+    out.lo = out.hi = pos;
+    out.exact = true;
+    return out;
+  }
+  size_t budget = max_writes;
+  for (;;) {
+    size_t begin, end;
+    CrackRegionFor(v, want_incl, &begin, &end);
+    auto it = progressive_.find(begin);
+    if (it != progressive_.end() && it->second.end != end) {
+      // Stale frontier from an earlier piece geometry: drop it.
+      progressive_.erase(it);
+      it = progressive_.end();
+    }
+    if (it != progressive_.end() && (it->second.pivot != v ||
+                                     it->second.want_incl != want_incl)) {
+      // A different pivot owns this piece: finish-then-start. Our budget
+      // first completes the carried job; the piece then subdivides and
+      // navigation retries for our own pivot.
+      ProgressiveJob& job = it->second;
+      bool job_done = false;
+      const size_t w = AdvanceProgressive(&job, budget, &job_done, stats);
+      budget -= std::min(budget, w);
+      if (!job_done) {
+        out.lo = begin;
+        out.hi = end;
+        out.deferred = job.hi - job.lo;
+        obs::RecordProgressiveDeferred(out.deferred);
+        return out;
+      }
+      RegisterCut(job.pivot, job.want_incl, job.lo);
+      progressive_.erase(it);
+      continue;
+    }
+    if (it == progressive_.end()) {
+      ProgressiveJob fresh;
+      fresh.pivot = v;
+      fresh.want_incl = want_incl;
+      fresh.begin = begin;
+      fresh.end = end;
+      fresh.lo = begin;
+      fresh.hi = end;
+      it = progressive_.emplace(begin, fresh).first;
+    }
+    ProgressiveJob& job = it->second;
+    bool job_done = false;
+    const size_t w = AdvanceProgressive(&job, budget, &job_done, stats);
+    budget -= std::min(budget, w);
+    if (job_done) {
+      const size_t cut = job.lo;
+      progressive_.erase(it);
+      RegisterCut(v, want_incl, cut);
+      out.lo = out.hi = cut;
+      out.exact = true;
+      return out;
+    }
+    out.lo = job.lo;
+    out.hi = job.hi;
+    out.deferred = job.hi - job.lo;
+    obs::RecordProgressiveDeferred(out.deferred);
+    return out;
+  }
+}
+
+template <typename T>
+ProgressiveCut CrackerIndex<T>::CutProgressiveConcurrent(T v, bool want_incl,
+                                                         size_t max_writes,
+                                                         IoStats* stats) {
+  ProgressiveCut out;
+  size_t begin, end;
+  {
+    std::lock_guard<std::mutex> lk(map_mu_);
+    size_t pos;
+    if (FindCutAndTouch(v, want_incl, &pos)) {
+      out.lo = out.hi = pos;
+      out.exact = true;
+      return out;
+    }
+    CrackRegionFor(v, want_incl, &begin, &end);
+  }
+  size_t budget = max_writes;
+  for (;;) {
+    // Same lock order as CutConcurrent: exclusive range lock on the piece
+    // first, then map_mu_ to revalidate and read/write frontier state.
+    RangeLockGuard region(&range_locks_, begin, end, /*exclusive=*/true);
+    ProgressiveJob job;
+    bool ours;
+    {
+      std::lock_guard<std::mutex> lk(map_mu_);
+      size_t pos;
+      if (FindCutAndTouch(v, want_incl, &pos)) {
+        out.lo = out.hi = pos;
+        out.exact = true;
+        return out;
+      }
+      size_t b2, e2;
+      CrackRegionFor(v, want_incl, &b2, &e2);
+      if (b2 < begin || e2 > end) {
+        // Defensive, mirroring CutConcurrent: retry with the wider lock.
+        begin = b2;
+        end = e2;
+        continue;
+      }
+      begin = b2;
+      end = e2;
+      auto it = progressive_.find(begin);
+      if (it != progressive_.end() && it->second.end != end) {
+        progressive_.erase(it);
+        it = progressive_.end();
+      }
+      if (it == progressive_.end()) {
+        job.pivot = v;
+        job.want_incl = want_incl;
+        job.begin = begin;
+        job.end = end;
+        job.lo = begin;
+        job.hi = end;
+        progressive_.emplace(begin, job);
+        ours = true;
+      } else {
+        job = it->second;
+        ours = job.pivot == v && job.want_incl == want_incl;
+      }
+    }
+    // The pass runs outside map_mu_ but under the exclusive range lock:
+    // nobody else can shuffle or advance this piece meanwhile.
+    bool job_done = false;
+    const size_t w = AdvanceProgressive(&job, budget, &job_done, stats);
+    budget -= std::min(budget, w);
+    {
+      std::lock_guard<std::mutex> lk(map_mu_);
+      if (job_done) {
+        RegisterCut(job.pivot, job.want_incl, job.lo);
+        progressive_.erase(begin);
+        if (ours) {
+          out.lo = out.hi = job.lo;
+          out.exact = true;
+          return out;
+        }
+        // A foreign job completed: the piece subdivided; fall through to
+        // re-navigate for our own pivot with the remaining budget.
+      } else {
+        auto it = progressive_.find(begin);
+        if (it != progressive_.end()) it->second = job;
+        out.deferred = job.hi - job.lo;
+        if (ours) {
+          out.lo = job.lo;
+          out.hi = job.hi;
+        } else {
+          // Budget ran dry finishing a foreign job: nothing is known about
+          // our pivot inside this piece.
+          out.lo = begin;
+          out.hi = end;
+        }
+        obs::RecordProgressiveDeferred(out.deferred);
+        return out;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(map_mu_);
+      size_t pos;
+      if (FindCutAndTouch(v, want_incl, &pos)) {
+        out.lo = out.hi = pos;
+        out.exact = true;
+        return out;
+      }
+      CrackRegionFor(v, want_incl, &begin, &end);
+    }
+  }
+}
+
+template <typename T>
+size_t CrackerIndex<T>::progressive_pending() const {
+  std::lock_guard<std::mutex> lk(map_mu_);
+  size_t total = 0;
+  for (const auto& [begin, job] : progressive_) total += job.hi - job.lo;
+  return total;
+}
+
+template <typename T>
 CrackSelection CrackerIndex<T>::Select(T lo, bool lo_incl, T hi, bool hi_incl,
                                        IoStats* stats) {
   size_t pieces_before = num_pieces();
@@ -260,6 +494,7 @@ CrackSelection CrackerIndex<T>::Select(T lo, bool lo_incl, T hi, bool hi_incl,
     size_t begin = LowerLimitFor(lo);
     size_t end = UpperLimitFor(hi);
     CRACK_DCHECK(begin <= end);
+    InvalidateProgressive(begin);
     Crack3Split split = CrackInThree(data() + begin, oid_data() + begin,
                                      end - begin, lo, lo_incl, hi, hi_incl);
     cut_lo = begin + split.first;
@@ -466,6 +701,10 @@ Status CrackerIndex<T>::RemoveBound(T value) {
     return Status::NotFound("no boundary at requested value");
   }
   bounds_.erase(it);
+  // Fusing pieces invalidates the piece geometry every carried frontier
+  // was keyed against; drop them all (their partial partitions stay
+  // harmless — a redo merely re-shuffles).
+  progressive_.clear();
   return Status::OK();
 }
 

@@ -69,6 +69,19 @@ struct CrackBound {
   uint64_t created = 0;
 };
 
+/// Result of a budgeted (progressive) cut attempt. When `exact`, the cut is
+/// registered and lo == hi == its position. Otherwise [lo, hi) is the still
+/// unpartitioned frontier of the touched piece: every slot left of `lo`
+/// definitely satisfies the cut predicate, every slot at or right of `hi`
+/// definitely does not, and the caller must answer conservatively (treat
+/// [lo, hi) as "maybe" and filter).
+struct ProgressiveCut {
+  size_t lo = 0;
+  size_t hi = 0;
+  bool exact = false;
+  size_t deferred = 0;  ///< rows left unpartitioned in the touched piece
+};
+
 /// Tuning knobs of a cracker index.
 struct CrackerIndexOptions {
   /// §3.1 proposes a *three-piece* Ξ for double-sided ranges so the
@@ -138,6 +151,33 @@ class CrackerIndex {
   size_t ForceCut(T v, bool want_incl, IoStats* stats = nullptr) {
     return Cut(v, want_incl, stats);
   }
+
+  // --- progressive cracking (CrackPolicy::kProgressive) --------------------
+  // A budgeted cut performs at most `max_writes` tuple writes (plus one
+  // swap of overshoot) and carries the partition frontier per piece, so the
+  // cut completes incrementally across queries. One job lives per piece; a
+  // query hitting a piece owned by a different pivot first spends its
+  // budget finishing that job (the piece then subdivides and navigation
+  // retries), so every piece converges and per-query work stays bounded.
+
+  /// Budgeted ForceCut (serial contract, like Cut). See ProgressiveCut for
+  /// the answer semantics.
+  ProgressiveCut CutProgressive(T v, bool want_incl, size_t max_writes,
+                                IoStats* stats = nullptr);
+
+  /// Thread-safe CutProgressive: frontier advances run under the exclusive
+  /// range lock of the enclosing piece, frontier state under map_mu_.
+  /// Non-exact frontiers stay conservative under concurrency: a partial
+  /// pass only moves rows inside the open frontier, and completed cuts only
+  /// subdivide, so a span read from a stale frontier is still a superset of
+  /// the qualifying rows (callers filter under LockRangeShared).
+  ProgressiveCut CutProgressiveConcurrent(T v, bool want_incl,
+                                          size_t max_writes,
+                                          IoStats* stats = nullptr);
+
+  /// Rows still awaiting partitioning across all carried frontiers (0 once
+  /// the column has converged). Thread-safe.
+  size_t progressive_pending() const;
 
   // --- concurrent cracking (core/latch.h) ----------------------------------
   // Pieces are disjoint slot ranges, so crack kernels on different pieces
@@ -264,7 +304,34 @@ class CrackerIndex {
 
   void Touch(Bound* b) { b->last_used = clock_++; }
 
+  /// A carried partition frontier: the piece [begin, end) is being
+  /// partitioned around `pivot`, with [begin, lo) already satisfying the
+  /// predicate, [hi, end) already not, and [lo, hi) open.
+  struct ProgressiveJob {
+    T pivot{};
+    bool want_incl = false;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+
+  /// Runs one budgeted partition pass on `job` against the cracker column,
+  /// charges stats/metrics, sets *done when the frontier closed. Returns
+  /// the writes performed. Caller owns the piece (serial contract or the
+  /// exclusive range lock).
+  size_t AdvanceProgressive(ProgressiveJob* job, size_t max_writes,
+                            bool* done, IoStats* stats);
+
+  /// Drops any frontier carried for the piece starting at `begin` — called
+  /// wherever a full (non-progressive) kernel is about to repartition that
+  /// piece, which invalidates the frontier's invariant.
+  void InvalidateProgressive(size_t begin) { progressive_.erase(begin); }
+
   std::map<T, Bound> bounds_;
+  /// Progressive frontiers, keyed by their piece's begin slot (one job per
+  /// piece). Guarded by map_mu_ on the concurrent path.
+  std::map<size_t, ProgressiveJob> progressive_;
   std::shared_ptr<Bat> values_;
   std::shared_ptr<Bat> oids_;
   /// Raw tail pointers, cached so concurrent kernels skip the Bat accessor

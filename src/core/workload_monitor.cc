@@ -1,0 +1,87 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/workload_monitor.h"
+
+#include <cmath>
+
+namespace crackstore {
+
+const char* WorkloadPatternName(WorkloadPattern pattern) {
+  switch (pattern) {
+    case WorkloadPattern::kUnknown:
+      return "unknown";
+    case WorkloadPattern::kRandom:
+      return "random";
+    case WorkloadPattern::kSequential:
+      return "sequential";
+    case WorkloadPattern::kSkewed:
+      return "skewed";
+  }
+  return "?";
+}
+
+WorkloadMonitor::WorkloadMonitor(WorkloadMonitorOptions options)
+    : options_(options) {
+  if (options_.window < 2) options_.window = 2;
+  if (options_.min_samples < 2) options_.min_samples = 2;
+  ring_.resize(options_.window, 0.0);
+}
+
+void WorkloadMonitor::Record(double sample) {
+  if (total_ == 0) {
+    min_seen_ = sample;
+    max_seen_ = sample;
+  } else {
+    if (sample < min_seen_) min_seen_ = sample;
+    if (sample > max_seen_) max_seen_ = sample;
+  }
+  ring_[head_] = sample;
+  head_ = (head_ + 1) % options_.window;
+  if (count_ < options_.window) ++count_;
+  ++total_;
+}
+
+WorkloadPattern WorkloadMonitor::Classify() const {
+  if (count_ < options_.min_samples) return WorkloadPattern::kUnknown;
+
+  // Walk the window chronologically: the oldest live entry sits at head_
+  // when the ring is full, at slot 0 otherwise.
+  const size_t start = (count_ == options_.window) ? head_ : 0;
+  const double span = max_seen_ - min_seen_;
+  const double local_limit = options_.locality_fraction * span;
+
+  size_t ups = 0;
+  size_t downs = 0;
+  size_t local = 0;
+  const size_t steps = count_ - 1;
+  double prev = ring_[start];
+  for (size_t i = 1; i < count_; ++i) {
+    const double cur = ring_[(start + i) % options_.window];
+    const double delta = cur - prev;
+    if (delta > 0) ++ups;
+    if (delta < 0) ++downs;
+    if (std::fabs(delta) <= local_limit) ++local;
+    prev = cur;
+  }
+
+  const double monotone_frac =
+      static_cast<double>(ups > downs ? ups : downs) / steps;
+  if (monotone_frac >= options_.monotone_threshold)
+    return WorkloadPattern::kSequential;
+  // span == 0 makes every delta local: a workload pinned to one value is
+  // the extreme skewed case.
+  const double local_frac = static_cast<double>(local) / steps;
+  if (local_frac >= options_.locality_threshold)
+    return WorkloadPattern::kSkewed;
+  return WorkloadPattern::kRandom;
+}
+
+void WorkloadMonitor::Reset() {
+  head_ = 0;
+  count_ = 0;
+  total_ = 0;
+  min_seen_ = 0.0;
+  max_seen_ = 0.0;
+}
+
+}  // namespace crackstore

@@ -202,6 +202,26 @@ void RecordSqlStatement() {
   c->Add(1);
 }
 
+void RecordPolicySwitch() {
+  static Counter* c = Reg().GetCounter(
+      "policy.switches", "runtime crack-policy switches by the detector");
+  c->Add(1);
+  if (QueryTrace* t = CurrentTrace()) {
+    t->live.policy_switches.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RecordProgressiveDeferred(uint64_t rows) {
+  if (rows == 0) return;
+  static Counter* c = Reg().GetCounter(
+      "crack.progressive_deferred_rows",
+      "rows budgeted progressive cuts left for later queries");
+  c->Add(rows);
+  if (QueryTrace* t = CurrentTrace()) {
+    t->live.progressive_deferred.fetch_add(rows, std::memory_order_relaxed);
+  }
+}
+
 }  // namespace obs
 }  // namespace crackstore
 

@@ -12,6 +12,8 @@
 // Instrument catalog (see README "Observability"):
 //   crack.cracks / crack.pieces_created / crack.pieces_touched /
 //   crack.kernel_writes / crack.tuples_touched / crack.piece_size (histogram)
+//   crack.progressive_deferred_rows
+//   policy.switches
 //   latch.range_acquisitions / latch.range_waits / latch.range_wait_ns
 //   pool.batches / pool.tasks_run / pool.submitter_drains / pool.queue_depth
 //   txn.begins / txn.commits / txn.aborts / txn.conflicts
@@ -56,6 +58,8 @@ inline void RecordSnapshotOverride(uint64_t) {}
 inline void RecordSimdCall(int) {}
 inline void MirrorIo(const IoStats&) {}
 inline void RecordSqlStatement() {}
+inline void RecordPolicySwitch() {}
+inline void RecordProgressiveDeferred(uint64_t) {}
 
 #else
 
@@ -98,6 +102,12 @@ void RecordSimdCall(int tier);
 void MirrorIo(const IoStats& io);
 
 void RecordSqlStatement();
+
+/// One runtime policy switch landed by the kAuto workload detector.
+void RecordPolicySwitch();
+
+/// Rows a budgeted progressive cut left unpartitioned this pass.
+void RecordProgressiveDeferred(uint64_t rows);
 
 #endif  // CRACKSTORE_NO_METRICS
 

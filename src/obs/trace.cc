@@ -73,6 +73,9 @@ TraceCounters QueryTrace::LiveSnapshot() const {
   }
   c.tasks_run = live.tasks_run.load(std::memory_order_relaxed);
   c.task_batches = live.task_batches.load(std::memory_order_relaxed);
+  c.policy_switches = live.policy_switches.load(std::memory_order_relaxed);
+  c.progressive_deferred =
+      live.progressive_deferred.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -146,6 +149,12 @@ std::string QueryTrace::Render(const IoStats& statement_io,
   out += StrFormat("\ntasks: batches=%llu, run=%llu\n",
                    static_cast<unsigned long long>(totals.task_batches),
                    static_cast<unsigned long long>(totals.tasks_run));
+  if (totals.policy_switches > 0 || totals.progressive_deferred > 0) {
+    out += StrFormat(
+        "policy: switches=%llu, progressive deferred rows=%llu\n",
+        static_cast<unsigned long long>(totals.policy_switches),
+        static_cast<unsigned long long>(totals.progressive_deferred));
+  }
   return out;
 }
 

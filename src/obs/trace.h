@@ -38,6 +38,8 @@ struct TraceCounters {
   uint64_t simd_calls[4] = {0, 0, 0, 0};  ///< crack kernel calls per tier
   uint64_t tasks_run = 0;
   uint64_t task_batches = 0;
+  uint64_t policy_switches = 0;       ///< kAuto runtime policy switches
+  uint64_t progressive_deferred = 0;  ///< rows progressive cuts deferred
 
   TraceCounters operator-(const TraceCounters& o) const {
     TraceCounters d;
@@ -49,6 +51,8 @@ struct TraceCounters {
     for (int i = 0; i < 4; ++i) d.simd_calls[i] = simd_calls[i] - o.simd_calls[i];
     d.tasks_run = tasks_run - o.tasks_run;
     d.task_batches = task_batches - o.task_batches;
+    d.policy_switches = policy_switches - o.policy_switches;
+    d.progressive_deferred = progressive_deferred - o.progressive_deferred;
     return d;
   }
 
@@ -88,6 +92,8 @@ class QueryTrace {
     std::atomic<uint64_t> simd_calls[4] = {};
     std::atomic<uint64_t> tasks_run{0};
     std::atomic<uint64_t> task_batches{0};
+    std::atomic<uint64_t> policy_switches{0};
+    std::atomic<uint64_t> progressive_deferred{0};
   };
 
   /// Opens a span; returns its index for CloseSpan. `watch` (optional) is an

@@ -409,6 +409,51 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
                       .size();
       return out;
     }
+    case StatementKind::kSetPolicy: {
+      QueryOutput out;
+      CrackPolicyOptions opts = store->options().policy;
+      if (!ParseCrackPolicy(stmt.set_policy_name, &opts.policy)) {
+        return Status::InvalidArgument(StrFormat(
+            "unknown policy '%s' (use standard, stochastic, coarse, auto "
+            "or progressive)",
+            stmt.set_policy_name.c_str()));
+      }
+      if (stmt.set_policy_budget >= 0.0) {
+        if (stmt.set_policy_budget <= 0.0 || stmt.set_policy_budget > 1.0) {
+          return Status::InvalidArgument("BUDGET must be in (0, 1]");
+        }
+        opts.progressive_budget = stmt.set_policy_budget;
+      }
+      CRACK_RETURN_NOT_OK(store->SetPolicy(opts));
+      out.kind = OutputKind::kTxn;
+      out.message = StrFormat("SET POLICY: %s (budget %.3f)",
+                              CrackPolicyName(opts.policy),
+                              opts.progressive_budget);
+      return out;
+    }
+    case StatementKind::kShowPolicy: {
+      QueryOutput out;
+      out.kind = OutputKind::kTxn;
+      std::vector<AdaptiveStore::ColumnPolicy> report = store->PolicyReport();
+      out.count = report.size();
+      if (report.empty()) {
+        out.message = "no column accelerators yet (nothing queried)";
+        return out;
+      }
+      TablePrinter table;
+      table.SetHeader({"table", "column", "policy", "effective", "pattern",
+                       "switches", "samples", "pending"});
+      for (const AdaptiveStore::ColumnPolicy& row : report) {
+        const PathPolicyStatus& s = row.status;
+        table.AddRow({row.table, row.column, CrackPolicyName(s.configured),
+                      s.crack ? CrackPolicyName(s.effective) : "-",
+                      WorkloadPatternName(s.pattern),
+                      std::to_string(s.switches), std::to_string(s.samples),
+                      std::to_string(s.progressive_pending)});
+      }
+      out.message = table.RenderAligned();
+      return out;
+    }
     case StatementKind::kBegin:
     case StatementKind::kCommit:
     case StatementKind::kRollback:

@@ -2,6 +2,8 @@
 
 #include "sql/parser.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <utility>
 
 #include "util/string_util.h"
@@ -66,14 +68,36 @@ class Parser {
       return out;  // the wrapped statement consumes the terminator
     } else if (Peek().IsKeyword("SHOW")) {
       Advance();
-      CRACK_RETURN_NOT_OK(ExpectKeyword("STATS"));
-      out.kind = StatementKind::kShowStats;
-      if (Peek().IsKeyword("LIKE")) {
+      if (Peek().IsKeyword("STATS")) {
         Advance();
-        if (Peek().type != TokenType::kString) {
-          return Error("expected a quoted pattern after LIKE");
+        out.kind = StatementKind::kShowStats;
+        if (Peek().IsKeyword("LIKE")) {
+          Advance();
+          if (Peek().type != TokenType::kString) {
+            return Error("expected a quoted pattern after LIKE");
+          }
+          out.show_stats_pattern = Advance().text;
         }
-        out.show_stats_pattern = Advance().text;
+      } else if (IsIdentWord(Peek(), "POLICY")) {
+        Advance();
+        out.kind = StatementKind::kShowPolicy;
+      } else {
+        return Error("expected STATS or POLICY after SHOW");
+      }
+    } else if (Peek().IsKeyword("SET")) {
+      // A statement-leading SET is the policy knob (UPDATE owns the other
+      // SET). POLICY/BUDGET are identifier-text matches, not keywords.
+      Advance();
+      if (!IsIdentWord(Peek(), "POLICY")) {
+        return Error("expected POLICY after SET");
+      }
+      Advance();
+      out.kind = StatementKind::kSetPolicy;
+      CRACK_ASSIGN_OR_RETURN(out.set_policy_name,
+                             ExpectIdentifier("policy name"));
+      if (IsIdentWord(Peek(), "BUDGET")) {
+        Advance();
+        CRACK_ASSIGN_OR_RETURN(out.set_policy_budget, ExpectFraction());
       }
     } else {
       out.kind = StatementKind::kSelect;
@@ -142,6 +166,40 @@ class Parser {
   Result<int64_t> ExpectNumber() {
     if (Peek().type != TokenType::kNumber) return Error("expected a number");
     return Advance().number;
+  }
+
+  /// Case-insensitive identifier-text match (soft keywords like POLICY /
+  /// BUDGET that must keep working as column names elsewhere).
+  static bool IsIdentWord(const Token& t, const char* word) {
+    if (t.type != TokenType::kIdentifier) return false;
+    const std::string& s = t.text;
+    size_t i = 0;
+    for (; word[i] != '\0'; ++i) {
+      if (i >= s.size() ||
+          std::toupper(static_cast<unsigned char>(s[i])) != word[i]) {
+        return false;
+      }
+    }
+    return i == s.size();
+  }
+
+  /// A decimal fraction. The lexer is integer-only ('.' is a symbol), so
+  /// `0.05` arrives as number('0') '.' number('05') — reassemble the texts
+  /// and let strtod do the arithmetic.
+  Result<double> ExpectFraction() {
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected a budget fraction (e.g. 0.1)");
+    }
+    std::string text = Advance().text;
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected digits after '.' in budget fraction");
+      }
+      text += ".";
+      text += Advance().text;
+    }
+    return std::strtod(text.c_str(), nullptr);
   }
 
   /// A typed literal: integer -> Value(int64), 'string' -> Value(string).

@@ -4,11 +4,20 @@
 //
 //   statement   := select_stmt | insert_stmt | delete_stmt | update_stmt
 //                | txn_stmt | vacuum_stmt | explain_stmt | show_stmt
+//                | policy_stmt
 //   txn_stmt    := BEGIN [TRANSACTION] [;] | COMMIT [;]
 //                | ROLLBACK [;] | ABORT [;]
 //   vacuum_stmt := VACUUM [;]
 //   explain_stmt:= EXPLAIN ANALYZE statement
-//   show_stmt   := SHOW STATS [LIKE string] [;]
+//   show_stmt   := SHOW STATS [LIKE string] [;] | SHOW POLICY [;]
+//   policy_stmt := SET POLICY policy_name [BUDGET fraction] [;]
+//   policy_name := standard | stochastic | coarse | auto | progressive
+//                | ddc | dd1c
+//   fraction    := number ['.' number]
+//
+// POLICY and BUDGET are deliberately NOT lexer keywords — they match by
+// identifier text, so `UPDATE t SET policy = 5` still works on a column
+// named "policy".
 //   select_stmt := SELECT select_list FROM table [join] [where] [group] [;]
 //   insert_stmt := INSERT INTO table VALUES '(' literal (',' literal)* ')' [;]
 //   delete_stmt := DELETE FROM table [where] [;]
@@ -127,6 +136,8 @@ enum class StatementKind : uint8_t {
   kVacuum,    ///< VACUUM — reclaim versions below the low-water snapshot
   kExplainAnalyze,  ///< EXPLAIN ANALYZE stmt — run with a bound QueryTrace
   kShowStats,       ///< SHOW STATS [LIKE 'pat'] — dump the metrics registry
+  kSetPolicy,       ///< SET POLICY name [BUDGET f] — runtime policy switch
+  kShowPolicy,      ///< SHOW POLICY — per-column live policy state
 };
 
 /// A parsed statement of any kind; only the member matching `kind` is set.
@@ -141,6 +152,11 @@ struct Statement {
   std::shared_ptr<Statement> explain_inner;
   /// kShowStats: LIKE pattern ('%'/'_' wildcards); empty = all instruments.
   std::string show_stats_pattern;
+  /// kSetPolicy: the policy name as written (validated by the executor so
+  /// the error message can name the store's accepted spellings).
+  std::string set_policy_name;
+  /// kSetPolicy: BUDGET fraction; negative when the clause was absent.
+  double set_policy_budget = -1.0;
   /// Wall time ParseStatement spent on this statement (EXPLAIN ANALYZE
   /// reports it as the `parse` span; 0 for hand-built statements).
   double parse_seconds = 0.0;

@@ -31,7 +31,11 @@ TEST(CrackPolicyTest, NamesRoundTrip) {
   EXPECT_STREQ(CrackPolicyName(CrackPolicy::kStandard), "standard");
   EXPECT_STREQ(CrackPolicyName(CrackPolicy::kStochastic), "stochastic");
   EXPECT_STREQ(CrackPolicyName(CrackPolicy::kCoarse), "coarse");
+  EXPECT_STREQ(CrackPolicyName(CrackPolicy::kAuto), "auto");
+  EXPECT_STREQ(CrackPolicyName(CrackPolicy::kProgressive), "progressive");
   EXPECT_EQ(CrackPolicyFromString("stochastic"), CrackPolicy::kStochastic);
+  EXPECT_EQ(CrackPolicyFromString("auto"), CrackPolicy::kAuto);
+  EXPECT_EQ(CrackPolicyFromString("progressive"), CrackPolicy::kProgressive);
   EXPECT_EQ(CrackPolicyFromString("ddc"), CrackPolicy::kStochastic);
   EXPECT_EQ(CrackPolicyFromString("coarse"), CrackPolicy::kCoarse);
   EXPECT_EQ(CrackPolicyFromString("dd1c"), CrackPolicy::kCoarse);

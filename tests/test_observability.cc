@@ -19,6 +19,7 @@
 #include "obs/trace.h"
 #include "sql/executor.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "workload/tapestry.h"
 
 namespace crackstore {
@@ -305,6 +306,70 @@ TEST_F(ObservabilitySqlTest, NestedExplainAnalyzeParses) {
       &store_, "EXPLAIN ANALYZE EXPLAIN ANALYZE SELECT COUNT(*) FROM R");
   EXPECT_EQ(out.kind, sql::OutputKind::kTxn);
   EXPECT_EQ(out.count, 4000u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-driving policy instruments: policy.switches must count exactly the
+// runtime switches the access paths performed (cross-checked against the
+// paths' own switch counters), and both policy instruments must compile to
+// no-ops under CRACKSTORE_NO_METRICS.
+// ---------------------------------------------------------------------------
+
+TEST(PolicyInstrumentsTest, RecordersAreNoOpsWhenDisabled) {
+  // Direct calls must always compile and be safe; they only move the
+  // registry when metrics are enabled.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* switches = reg.GetCounter("policy.switches");
+  Counter* deferred = reg.GetCounter("crack.progressive_deferred_rows");
+  const uint64_t switches_before = switches->Value();
+  const uint64_t deferred_before = deferred->Value();
+  obs::RecordPolicySwitch();
+  obs::RecordProgressiveDeferred(5);
+  obs::RecordProgressiveDeferred(0);  // zero-row calls never count
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(switches->Value(), switches_before + 1);
+    EXPECT_EQ(deferred->Value(), deferred_before + 5);
+  } else {
+    EXPECT_EQ(switches->Value(), 0u);
+    EXPECT_EQ(deferred->Value(), 0u);
+  }
+}
+
+TEST(PolicyInstrumentsTest, SwitchCounterMatchesPathCountersExactly) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "built with CRACKSTORE_NO_METRICS";
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* counter = reg.GetCounter("policy.switches");
+  const uint64_t before = counter->Value();
+
+  AdaptiveStoreOptions opts;
+  opts.strategy = AccessStrategy::kCrack;
+  opts.policy.policy = CrackPolicy::kAuto;
+  opts.policy.min_piece_size = 128;
+  AdaptiveStore store(opts);
+  TapestryOptions topts;
+  topts.num_rows = 4000;
+  topts.num_columns = 2;
+  topts.seed = 97;
+  ASSERT_TRUE(store.AddTable(*BuildTapestry("T", topts)).ok());
+
+  // A random workload over both columns: each column's detector confirms
+  // kRandom and switches stochastic -> standard once.
+  Pcg32 rng(131);
+  for (int q = 0; q < 24; ++q) {
+    int64_t lo = rng.NextInRange(1, 3800);
+    for (const char* col : {"c0", "c1"}) {
+      ASSERT_TRUE(
+          store.SelectRange("T", col, RangeBounds::Closed(lo, lo + 100)).ok());
+    }
+  }
+  uint64_t path_switches = 0;
+  for (const auto& row : store.PolicyReport()) {
+    path_switches += row.status.switches;
+  }
+  EXPECT_GT(path_switches, 0u);
+  // Exactness: the global instrument advanced by precisely what the paths
+  // report (no other kAuto store is live in this process while this runs).
+  EXPECT_EQ(counter->Value(), before + path_switches);
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 //   stats [pattern|reset]              # cost counters + metrics registry
 //   trace on                           # print a crack trace per statement
 //   strategy sort                      # rebuild the store: scan|crack|sort
+//   policy auto 0.1                    # live policy switch (SHOW POLICY)
 //   mergepolicy ripple                 # immediate|threshold|ripple deltas
 //   tables / help / quit
 //
@@ -86,6 +87,7 @@ class Shell {
     AdaptiveStoreOptions opts;
     opts.strategy = strategy;
     opts.policy.policy = policy;
+    opts.policy.progressive_budget = budget_;
     opts.delta_merge = delta_merge;
     opts.concurrent = concurrent_;
     std::vector<std::shared_ptr<Relation>> tables;
@@ -128,7 +130,7 @@ class Shell {
     for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
     if (upper == "INSERT" || upper == "DELETE" || upper == "UPDATE" ||
         upper == "BEGIN" || upper == "COMMIT" || upper == "ROLLBACK" ||
-        upper == "ABORT" || upper == "VACUUM") {
+        upper == "ABORT" || upper == "VACUUM" || upper == "SET") {
       // Bare DML / transaction statements route straight to the SQL
       // frontend (the session tracks the open transaction).
       std::string rest;
@@ -145,7 +147,7 @@ class Shell {
       peek >> next;
       for (char& ch : next) ch = static_cast<char>(std::toupper(ch));
       if ((upper == "EXPLAIN" && next == "ANALYZE") ||
-          (upper == "SHOW" && next == "STATS")) {
+          (upper == "SHOW" && (next == "STATS" || next == "POLICY"))) {
         return RunSql(upper + rest);
       }
       if (upper == "EXPLAIN") {
@@ -254,6 +256,8 @@ class Shell {
         "  groupby <table> <group-col> <agg-col> <count|sum|min|max>\n"
         "  EXPLAIN ANALYZE <stmt>  (run + per-span crack trace report)\n"
         "  SHOW STATS [LIKE 'pat'] (metrics registry; %% and _ wildcards)\n"
+        "  SHOW POLICY             (per-column policy/pattern/switches)\n"
+        "  SET POLICY <name> [BUDGET <f>]   (runtime switch, SQL face)\n"
         "  pieces <table> <col> | explain <table> <col> | lineage\n"
         "  stats [pattern]        (summary + metrics registry; stats reset)\n"
         "  trace <on|off>         (crack trace after every SQL statement)\n"
@@ -261,7 +265,8 @@ class Shell {
         "  flush <table> <col>    (fold the column's deltas now)\n"
         "  tables\n"
         "  strategy <scan|crack|sort>   (keeps tables, drops accelerators)\n"
-        "  policy <standard|stochastic|coarse>   (crack pivot discipline)\n"
+        "  policy <standard|stochastic|coarse|auto|progressive> [budget]\n"
+        "      (crack pivot discipline; live switch, accelerators kept)\n"
         "  mergepolicy <immediate|threshold|ripple> [fraction]\n"
         "  threads <n>   (task-pool size; n>1 turns on the concurrent store)\n"
         "  quit\n");
@@ -563,9 +568,9 @@ class Shell {
       std::printf("metrics registry reset\n");
       return Status::OK();
     }
-    std::printf("strategy=%s policy=%s delta-merge=%s  total: %s\n",
+    std::printf("strategy=%s policy=%s budget=%.3f delta-merge=%s  total: %s\n",
                 AccessStrategyName(strategy_), CrackPolicyName(policy_),
-                DeltaMergePolicyName(delta_merge_.policy),
+                budget_, DeltaMergePolicyName(delta_merge_.policy),
                 store_->total_io().ToString().c_str());
     std::fputs(sql::RenderStats(arg).c_str(), stdout);
     return Status::OK();
@@ -605,17 +610,33 @@ class Shell {
     return Status::OK();
   }
 
+  /// `policy <name> [budget]` — a *runtime* switch: every materialized
+  /// accelerator keeps its cracker state, only the policy engines re-arm
+  /// (the same path SQL `SET POLICY` takes). Watch with `SHOW POLICY`.
   Status Policy(std::istringstream* in) {
     std::string name;
     *in >> name;
     CrackPolicy policy = CrackPolicy::kStandard;
     if (!ParseCrackPolicy(name, &policy)) {
       return Status::InvalidArgument(
-          "usage: policy <standard|stochastic|coarse>");
+          "usage: policy <standard|stochastic|coarse|auto|progressive> "
+          "[budget]");
     }
-    Reset(strategy_, policy, delta_merge_);
-    std::printf("crack policy set to %s (accelerators dropped)\n",
-                CrackPolicyName(policy_));
+    double budget;
+    if (*in >> budget) {
+      if (budget <= 0.0 || budget > 1.0) {
+        return Status::InvalidArgument("budget must be in (0, 1]");
+      }
+      budget_ = budget;
+    }
+    CrackPolicyOptions opts = store_->options().policy;
+    opts.policy = policy;
+    opts.progressive_budget = budget_;
+    CRACK_RETURN_NOT_OK(store_->SetPolicy(opts));
+    policy_ = policy;  // future resets inherit it
+    std::printf("crack policy set to %s (budget %.3f; live switch, "
+                "accelerators kept)\n",
+                CrackPolicyName(policy_), budget_);
     return Status::OK();
   }
 
@@ -660,6 +681,7 @@ class Shell {
   std::unique_ptr<sql::SqlSession> session_;  ///< owns the open transaction
   AccessStrategy strategy_ = AccessStrategy::kCrack;
   CrackPolicy policy_ = CrackPolicy::kStandard;
+  double budget_ = 0.1;  ///< progressive budget fraction (policy knob)
   DeltaMergeOptions delta_merge_;
   bool concurrent_ = false;  ///< store built with the latch protocol on
   bool trace_ = false;       ///< print a crack trace after each statement
