@@ -173,7 +173,9 @@ int Run(int argc, char** argv) {
         opts.strategy = strategy;
         opts.concurrent = true;
         opts.track_lineage = false;
-        AdaptiveStore store(opts);
+        auto store_or = bench::OpenStore(flags, opts);
+        CRACK_CHECK(store_or.ok());
+        AdaptiveStore& store = **store_or;
         TapestryOptions topts;
         topts.num_rows = cfg.n;
         topts.num_columns = 2;

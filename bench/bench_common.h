@@ -9,9 +9,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/adaptive_store.h"
+#include "util/result.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -59,6 +62,35 @@ class Flags {
 
   std::vector<std::string> args_;
 };
+
+/// Opens the bench's store through the lifecycle API. `--db=DIR` makes it
+/// durable (commit log + checkpoints under DIR; fsync policy from
+/// `--fsync=off|commit|interval`, default off so the overhead gate measures
+/// the log's CPU cost, not the disk's). Without --db the store is
+/// in-memory and the bench behaves exactly as before.
+inline Result<std::unique_ptr<AdaptiveStore>> OpenStore(
+    const Flags& flags, const AdaptiveStoreOptions& base) {
+  DbOptions opts;
+  opts.strategy = base.strategy;
+  opts.policy = base.policy;
+  opts.merge_budget = base.merge_budget;
+  opts.delta_merge = base.delta_merge;
+  opts.track_lineage = base.track_lineage;
+  opts.concurrent = base.concurrent;
+  std::string dir = flags.GetString("db", "");
+  if (!dir.empty()) {
+    // Benches open stores in loops (one per strategy/config point); each
+    // open gets a fresh database under DIR so no run replays its
+    // predecessor's log.
+    static int run_counter = 0;
+    opts.path = StrFormat("%s/run-%d", dir.c_str(), run_counter++);
+    opts.durability = DurabilityMode::kWal;
+    CRACK_ASSIGN_OR_RETURN(
+        opts.fsync_policy,
+        durability::ParseFsyncPolicy(flags.GetString("fsync", "off")));
+  }
+  return AdaptiveStore::Open(opts);
+}
 
 /// Prints the standard experiment banner to stderr (kept off stdout so the
 /// CSV stays machine-readable).

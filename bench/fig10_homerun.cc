@@ -26,13 +26,16 @@ struct Series {
   std::vector<uint64_t> cumulative_reads;
 };
 
-Series RunSeries(const std::shared_ptr<Relation>& rel,
+Series RunSeries(const bench::Flags& flags,
+                 const std::shared_ptr<Relation>& rel,
                  const std::vector<RangeQuery>& queries,
                  AccessStrategy strategy) {
   AdaptiveStoreOptions opts;
   opts.strategy = strategy;
   opts.track_lineage = false;
-  AdaptiveStore store(opts);
+  auto store_or = bench::OpenStore(flags, opts);
+  CRACK_CHECK(store_or.ok());
+  AdaptiveStore& store = **store_or;
   CRACK_CHECK(store.AddTable(rel).ok());
 
   Series series;
@@ -81,8 +84,8 @@ int Run(int argc, char** argv) {
     spec.profile = Profile::kHomerun;
     spec.seed = seed;
     auto queries = *GenerateSequence(spec);
-    crack_series.push_back(RunSeries(rel, queries, AccessStrategy::kCrack));
-    scan_series.push_back(RunSeries(rel, queries, AccessStrategy::kScan));
+    crack_series.push_back(RunSeries(flags, rel, queries, AccessStrategy::kCrack));
+    scan_series.push_back(RunSeries(flags, rel, queries, AccessStrategy::kScan));
   }
 
   std::vector<std::string> header{"step"};

@@ -75,7 +75,9 @@ int Run(int argc, char** argv) {
     opts.strategy = s.strategy;
     opts.policy.policy = policy;  // pivot discipline of the crack line
     opts.track_lineage = false;
-    AdaptiveStore store(opts);
+    auto store_or = bench::OpenStore(flags, opts);
+    CRACK_CHECK(store_or.ok());
+    AdaptiveStore& store = **store_or;
     CRACK_CHECK(store.AddTable(rel).ok());
     double total_seconds = 0;
     uint64_t total_reads = 0;

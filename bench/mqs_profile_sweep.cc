@@ -61,7 +61,9 @@ int Run(int argc, char** argv) {
         AdaptiveStoreOptions opts;
         opts.strategy = strategy;
         opts.track_lineage = false;
-        AdaptiveStore store(opts);
+        auto store_or = bench::OpenStore(flags, opts);
+        CRACK_CHECK(store_or.ok());
+        AdaptiveStore& store = **store_or;
         CRACK_CHECK(store.AddTable(rel).ok());
         double total = 0;
         for (const RangeQuery& q : queries) {

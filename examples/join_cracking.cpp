@@ -37,7 +37,9 @@ int main() {
     (void)customers->AppendRow({Value(i), Value(rng.NextInRange(1, 8))});
   }
 
-  AdaptiveStore store;
+  auto db = AdaptiveStore::Open(DbOptions{});
+  if (!db.ok()) return 1;
+  AdaptiveStore& store = **db;
   (void)store.AddTable(orders);
   (void)store.AddTable(customers);
 

@@ -26,8 +26,15 @@ int main() {
     return 1;
   }
 
-  // 2. An adaptive store with cracking on (the default).
-  AdaptiveStore store;
+  // 2. Open a database. DbOptions{} is an in-memory store with cracking on
+  //    (the defaults); set .path and .durability for one that survives a
+  //    restart.
+  auto db = AdaptiveStore::Open(DbOptions{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  AdaptiveStore& store = **db;
   if (Status s = store.AddTable(*table); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;

@@ -47,10 +47,12 @@ int main() {
   };
 
   for (Candidate& c : candidates) {
-    AdaptiveStoreOptions opts;
+    DbOptions opts;
     opts.strategy = c.strategy;
     opts.track_lineage = false;
-    AdaptiveStore store(opts);
+    auto db = AdaptiveStore::Open(opts);
+    if (!db.ok()) return 1;
+    AdaptiveStore& store = **db;
     (void)store.AddTable(readings);
     bool first = true;
     for (const RangeQuery& q : queries) {

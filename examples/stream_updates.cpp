@@ -34,12 +34,14 @@ int main() {
       "readings", Schema({{"value", ValueType::kInt64}}), {column});
   if (!relation.ok()) return 1;
 
-  AdaptiveStoreOptions opts;
+  DbOptions opts;
   opts.strategy = AccessStrategy::kCrack;
   opts.delta_merge.policy = DeltaMergePolicy::kThreshold;
   opts.delta_merge.threshold_fraction = 0.02;  // fold deltas at 2% churn
   opts.track_lineage = false;                  // long-running stream
-  AdaptiveStore store(opts);
+  auto db = AdaptiveStore::Open(opts);
+  if (!db.ok()) return 1;
+  AdaptiveStore& store = **db;
   if (!store.AddTable(*relation).ok()) return 1;
 
   Pcg32 rng(7);

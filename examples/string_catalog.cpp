@@ -17,7 +17,6 @@
 #include "crackstore/crackstore.h"
 
 using crackstore::AdaptiveStore;
-using crackstore::AdaptiveStoreOptions;
 using crackstore::Delivery;
 using crackstore::Relation;
 using crackstore::Schema;
@@ -26,9 +25,11 @@ using crackstore::Value;
 using crackstore::ValueType;
 
 int main() {
-  AdaptiveStoreOptions opts;
+  crackstore::DbOptions opts;
   opts.strategy = crackstore::AccessStrategy::kCrack;
-  AdaptiveStore store(opts);
+  auto db = AdaptiveStore::Open(opts);
+  if (!db.ok()) return 1;
+  AdaptiveStore& store = **db;
 
   auto rel = *Relation::Create(
       "catalog",

@@ -13,7 +13,8 @@
 
 // Core: the paper's contribution.
 #include "core/access_path.h"             // type-erased per-column access paths
-#include "core/adaptive_store.h"          // facade: tables, Ξ/^/Ω/Ψ entry points
+#include "core/adaptive_store.h"          // facade: DbOptions/Open/Close lifecycle,
+                                          // tables, Ξ/^/Ω/Ψ entry points
 #include "core/crack_kernels.h"           // crack-in-two / crack-in-three
 #include "core/crack_policy.h"            // pivot disciplines (standard/stochastic/coarse)
 #include "core/cracker_index.h"           // the cracker index
@@ -32,6 +33,12 @@
 #include "storage/bat.h"
 #include "storage/dictionary.h"           // order-preserving string encoding
 #include "storage/relation.h"
+
+// Durability: commit log + checkpoints behind DbOptions (the store pulls
+// these in itself; listed so the lifecycle surface is visible here).
+#include "durability/checkpoint.h"
+#include "durability/manifest.h"
+#include "durability/wal.h"
 
 // Engines (Fig. 1 / Fig. 9 comparisons).
 #include "engine/colstore_engine.h"

@@ -10,6 +10,7 @@
 
 #include "core/oid_set_ops.h"
 #include "core/task_pool.h"
+#include "durability/checkpoint.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -121,6 +122,20 @@ AdaptiveStore::AdaptiveStore(AdaptiveStoreOptions options)
   // cannot be kept consistent while neighbors crack pieces concurrently;
   // concurrent mode trades the DAG away (README "Concurrency model").
   if (options_.concurrent) options_.track_lineage = false;
+  // Mirror into the unified config so Configure/db_options() agree with the
+  // running store even for legacy bare-constructed (in-memory) instances.
+  db_options_.strategy = options_.strategy;
+  db_options_.policy = options_.policy;
+  db_options_.merge_budget = options_.merge_budget;
+  db_options_.delta_merge = options_.delta_merge;
+  db_options_.track_lineage = options_.track_lineage;
+  db_options_.concurrent = options_.concurrent;
+  db_options_.autovacuum_version_threshold = 0;  // legacy: explicit VACUUM
+}
+
+AdaptiveStore::~AdaptiveStore() {
+  Status s = Close();
+  (void)s;
 }
 
 Status AdaptiveStore::AddTable(std::shared_ptr<Relation> relation) {
@@ -135,8 +150,21 @@ Status AdaptiveStore::AddTable(std::shared_ptr<Relation> relation) {
   std::string name = relation->name();
   Oid base = BaseOid(*relation);
   size_t rows = relation->num_rows();
+  const Relation* rel = relation.get();
   tables_.emplace(name, std::move(relation));
   versions_.emplace(name, std::make_unique<VersionedTable>(base, rows));
+  if (rl.owns_lock()) rl.unlock();
+  if (wal_ != nullptr && !replaying_) {
+    // A table created after the last checkpoint must survive a crash: log
+    // its full image (schema + rows) through the checkpoint codec.
+    durability::TableSnapshot snap;
+    snap.rel = rel;
+    snap.head_base = base;
+    std::string image;
+    durability::EncodeTableImage(snap, &image);
+    CRACK_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTableImage(image));
+    CRACK_RETURN_NOT_OK(wal_->CommitDurable(lsn));
+  }
   return Status::OK();
 }
 
@@ -329,6 +357,13 @@ void AdaptiveStore::PushUndo(const WriteScope& scope, UndoRecord record) {
   if (it != txn_states_.end()) it->second.undo.push_back(std::move(record));
 }
 
+void AdaptiveStore::PushRedo(const WriteScope& scope, durability::WalOp op) {
+  if (wal_ == nullptr) return;
+  std::lock_guard<std::mutex> tl(txn_states_mu_);
+  auto it = txn_states_.find(scope.txn);
+  if (it != txn_states_.end()) it->second.redo.push_back(std::move(op));
+}
+
 Status AdaptiveStore::Commit(TxnId txn) {
   if (txn == kNoTxn) {
     return Status::InvalidArgument("auto-commit has no transaction to commit");
@@ -370,13 +405,27 @@ Status AdaptiveStore::Commit(TxnId txn) {
       return st;
     }
   }
-  // Atomic with respect to snapshot acquisition: no reader may pin a
-  // read_ts covering `cts` before every marker is stamped.
-  std::lock_guard<std::mutex> cl(commit_mu_);
-  CRACK_ASSIGN_OR_RETURN(Ts cts, txn_mgr_.FinishCommit(txn));
-  for (const auto& [table, oids] : state.touched) {
-    VersionsFor(table)->CommitTxn(txn, cts, oids);
+  uint64_t wal_lsn = 0;
+  {
+    // Atomic with respect to snapshot acquisition: no reader may pin a
+    // read_ts covering `cts` before every marker is stamped.
+    std::lock_guard<std::mutex> cl(commit_mu_);
+    CRACK_ASSIGN_OR_RETURN(Ts cts, txn_mgr_.FinishCommit(txn));
+    for (const auto& [table, oids] : state.touched) {
+      VersionsFor(table)->CommitTxn(txn, cts, oids);
+    }
+    // Append the redo record while still inside commit_mu_, so the log
+    // holds commit records in commit-stamp order (replay depends on it).
+    // The fsync happens after release — appends are cheap, stalls are not.
+    if (wal_ != nullptr && !state.redo.empty()) {
+      durability::WalCommit record;
+      record.commit_ts = cts;
+      record.ops = std::move(state.redo);
+      CRACK_ASSIGN_OR_RETURN(wal_lsn, wal_->AppendCommit(record));
+    }
   }
+  if (wal_lsn != 0) CRACK_RETURN_NOT_OK(wal_->CommitDurable(wal_lsn));
+  MaybeRunMaintenance();
   return Status::OK();
 }
 
@@ -474,6 +523,13 @@ Result<uint64_t> AdaptiveStore::StampDeletes(const std::string& table,
     }
     Touch(scope, table, oid);
     vt->StampDelete(oid, TxnStamp(scope.txn));
+    if (wal_ != nullptr) {
+      durability::WalOp op;
+      op.kind = durability::WalOpKind::kDelete;
+      op.table = table;
+      op.oid = oid;
+      PushRedo(scope, std::move(op));
+    }
     ++removed;
     if (stats != nullptr) ++stats->tuples_written;
   }
@@ -740,6 +796,14 @@ Result<QueryResult> AdaptiveStore::InsertConcurrent(const std::string& table,
           accels[c]->path->Insert(values[c], oid, &result.io));
     }
   }
+  if (wal_ != nullptr) {
+    durability::WalOp op;
+    op.kind = durability::WalOpKind::kInsert;
+    op.table = table;
+    op.oid = oid;
+    op.row = values;  // post-coercion: replay appends them verbatim
+    PushRedo(scope, std::move(op));
+  }
   // Post-statement folds (immediate / threshold) outside the DML latches.
   for (size_t c = 0; c < ncols; ++c) {
     CRACK_RETURN_NOT_OK(MaintainColumn(accels[c], ts, &result.io));
@@ -864,6 +928,15 @@ Result<QueryResult> AdaptiveStore::UpdateConcurrent(
         PushUndo(scope, UndoRecord{table, sets[s].column, oid,
                                    std::move(old_value)});
         CRACK_RETURN_NOT_OK(bats[s]->SetValue(row, sets[s].value));
+        if (wal_ != nullptr) {
+          durability::WalOp op;
+          op.kind = durability::WalOpKind::kUpdate;
+          op.table = table;
+          op.oid = oid;
+          op.column = sets[s].column;
+          op.value = sets[s].value;
+          PushRedo(scope, std::move(op));
+        }
         result.io.tuples_written += 1;
         if (!accels[s]->has_path.load(std::memory_order_acquire)) continue;
         Status st = accels[s]->path->Update(oid, sets[s].value, &result.io);
@@ -1166,6 +1239,14 @@ Result<QueryResult> AdaptiveStore::Insert(const std::string& table,
       CRACK_RETURN_NOT_OK(
           it->second.path->Insert(values[c], oid, &result.io));
     }
+    if (wal_ != nullptr) {
+      durability::WalOp op;
+      op.kind = durability::WalOpKind::kInsert;
+      op.table = table;
+      op.oid = oid;
+      op.row = values;  // post-coercion: replay appends them verbatim
+      PushRedo(scope, std::move(op));
+    }
 
     result.count = 1;
     result.inserted_oid = oid;  // the new row's identity
@@ -1288,6 +1369,15 @@ Result<QueryResult> AdaptiveStore::Update(
         PushUndo(scope, UndoRecord{table, sets[s].column, oid,
                                    std::move(old_value)});
         CRACK_RETURN_NOT_OK(bats[s]->SetValue(row, sets[s].value));
+        if (wal_ != nullptr) {
+          durability::WalOp op;
+          op.kind = durability::WalOpKind::kUpdate;
+          op.table = table;
+          op.oid = oid;
+          op.column = sets[s].column;
+          op.value = sets[s].value;
+          PushRedo(scope, std::move(op));
+        }
         result.io.tuples_written += 1;
         if (paths[s] != nullptr) {
           CRACK_RETURN_NOT_OK(
@@ -1717,6 +1807,15 @@ Result<std::string> AdaptiveStore::ExplainColumn(
 }
 
 Status AdaptiveStore::SetPolicy(const CrackPolicyOptions& options) {
+  // SET POLICY is a Configure with only the policy axis changed: the SQL
+  // executor, the shell and startup options all flow through the same
+  // validation and re-arm path.
+  DbOptions next = db_options_;
+  next.policy = options;
+  return Configure(next);
+}
+
+Status AdaptiveStore::ApplyPolicy(const CrackPolicyOptions& options) {
   // Statement-level exclusion first, then per-column exclusive latches — the
   // same order every write takes, so no deadlock with running queries.
   std::unique_lock<std::shared_mutex> g(global_mu_, std::defer_lock);

@@ -34,6 +34,9 @@
 #include "core/projection_cracker.h"
 #include "core/range_bounds.h"
 #include "core/txn_manager.h"
+#include "durability/checkpoint.h"
+#include "durability/manifest.h"
+#include "durability/wal.h"
 #include "obs/query_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
@@ -76,6 +79,58 @@ struct AdaptiveStoreOptions {
   }
 };
 
+/// Whether a database survives the process (DbOptions::durability).
+enum class DurabilityMode : uint8_t {
+  kNone = 0,  ///< in-memory only; nothing written to disk
+  kWal = 1,   ///< commit log + checkpoints under DbOptions::path
+};
+
+/// The unified configuration surface of a database: every knob that used to
+/// travel through side channels (shell `policy`/`threads` flags, SQL
+/// `SET POLICY`, bare-constructor options) plus the durability axes. Passed
+/// to AdaptiveStore::Open at startup and to AdaptiveStore::Configure for
+/// runtime re-arms, so both share one validation path.
+struct DbOptions {
+  // --- store behaviour (the former AdaptiveStoreOptions surface) ---------
+  AccessStrategy strategy = AccessStrategy::kCrack;
+  CrackPolicyOptions policy;
+  MergeBudget merge_budget;
+  DeltaMergeOptions delta_merge;
+  bool track_lineage = true;
+  bool concurrent = false;
+
+  // --- durability --------------------------------------------------------
+  /// Database directory. Required (and created if absent) when durability
+  /// is kWal; ignored for kNone.
+  std::string path;
+  DurabilityMode durability = DurabilityMode::kNone;
+  /// When the commit log reaches stable storage (kWal only).
+  durability::FsyncPolicy fsync_policy = durability::FsyncPolicy::kCommit;
+  /// Max staleness under FsyncPolicy::kInterval.
+  double fsync_interval_seconds = 0.05;
+  /// Auto-checkpoint when the WAL grows past this many bytes (0 = manual
+  /// checkpoints only). Checked after commits; skipped while transactions
+  /// are open.
+  uint64_t checkpoint_interval_bytes = 64ull << 20;
+
+  // --- maintenance -------------------------------------------------------
+  /// Autovacuum when the total version-log footprint (row versions + chain
+  /// entries + purged markers) exceeds this many entries (0 = never).
+  uint64_t autovacuum_version_threshold = 65536;
+
+  /// The slice the cracking engine consumes.
+  AdaptiveStoreOptions store_options() const {
+    AdaptiveStoreOptions opts;
+    opts.strategy = strategy;
+    opts.policy = policy;
+    opts.merge_budget = merge_budget;
+    opts.delta_merge = delta_merge;
+    opts.track_lineage = track_lineage;
+    opts.concurrent = concurrent;
+    return opts;
+  }
+};
+
 /// Result of one query against the store.
 struct QueryResult {
   uint64_t count = 0;  ///< qualifying tuples
@@ -105,8 +160,63 @@ struct QueryResult {
 /// See file comment.
 class AdaptiveStore {
  public:
+  /// Opens a database: THE construction path. Validates `options`, builds
+  /// the store, and — when options.durability is kWal — recovers the
+  /// on-disk state under options.path (checkpoint load + commit-log replay,
+  /// truncating a torn tail) before arming the commit log for new writes.
+  /// Accelerators are never recovered: they rebuild lazily from the first
+  /// queries, which is the paper's disposability claim at work.
+  static Result<std::unique_ptr<AdaptiveStore>> Open(const DbOptions& options);
+
+  /// Legacy constructor: an in-memory store with no durability. Prefer
+  /// Open() — it is the only way to get a durable database and the only
+  /// path with option validation.
   explicit AdaptiveStore(AdaptiveStoreOptions options = {});
+  ~AdaptiveStore();
   CRACK_DISALLOW_COPY_AND_ASSIGN(AdaptiveStore);
+
+  /// Validation shared by Open and Configure.
+  static Status ValidateOptions(const DbOptions& options);
+
+  /// Re-arms the runtime-adjustable configuration from `options`: crack
+  /// policy (every materialized path restarts its policy engine in place),
+  /// delta-merge defaults, checkpoint interval, autovacuum threshold.
+  /// Construction-frozen axes — strategy, concurrent, track_lineage, path,
+  /// durability, fsync policy — must match the open database or the call
+  /// fails with InvalidArgument. This is the single code path behind the
+  /// shell `policy` command and SQL SET POLICY.
+  Status Configure(const DbOptions& options);
+
+  /// Takes a checkpoint: snapshots every table's base state to a fresh
+  /// generation, swaps in an empty commit log, and deletes the old
+  /// generation. Requires no active transactions (Aborted otherwise) and a
+  /// durable store (InvalidArgument otherwise).
+  Status Checkpoint();
+
+  /// Rolls back any transactions still open, takes a final checkpoint, and
+  /// seals the commit log. Idempotent; a no-op for in-memory stores. The
+  /// destructor calls it as a backstop, but calling it explicitly is the
+  /// only way to observe a close-time error.
+  Status Close();
+
+  /// True when this store persists commits (opened with kWal).
+  bool durable() const { return wal_ != nullptr; }
+  const DbOptions& db_options() const { return db_options_; }
+
+  /// What Open() found and replayed from disk.
+  struct RecoveryInfo {
+    bool recovered = false;  ///< an existing database was found under path
+    uint64_t checkpoint_tables = 0;  ///< tables loaded from the checkpoint
+    uint64_t replayed_commits = 0;   ///< commit records applied from the log
+    uint64_t replayed_records = 0;   ///< all log records applied
+    bool torn_tail = false;  ///< the log ended mid-record and was truncated
+    double replay_seconds = 0.0;
+  };
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
+  /// Maintenance counters (tests / shell introspection).
+  uint64_t autovacuum_runs() const { return autovacuum_runs_.load(); }
+  uint64_t checkpoints_taken() const { return checkpoints_.load(); }
 
   /// Registers a table; its columns become crackable.
   Status AddTable(std::shared_ptr<Relation> relation);
@@ -385,6 +495,9 @@ class AdaptiveStore {
     bool abort_only = false;  ///< a statement hit a write-write conflict
     std::map<std::string, std::vector<Oid>> touched;  ///< stamped rows
     std::vector<UndoRecord> undo;  ///< update undo, in write order
+    /// Redo log for the WAL (durable stores only), in statement order;
+    /// serialized as one commit record at Commit.
+    std::vector<durability::WalOp> redo;
   };
 
   /// The per-statement transactional context: an explicit transaction's
@@ -472,6 +585,29 @@ class AdaptiveStore {
   void Touch(const WriteScope& scope, const std::string& table, Oid oid);
   /// Records an update's undo information.
   void PushUndo(const WriteScope& scope, UndoRecord record);
+  /// Records a redo operation for the WAL (no-op on in-memory stores).
+  void PushRedo(const WriteScope& scope, durability::WalOp op);
+
+  // --- durability machinery (core/store_durability.cc) ----------------------
+
+  /// Recovers / creates the on-disk state under db_options_.path and arms
+  /// the commit log. Called once by Open, before the store is shared.
+  Status OpenDurable();
+  /// Registers one recovered table (checkpoint or WAL table image) and
+  /// re-marks its dead rows.
+  Status InstallRecoveredTable(durability::LoadedTable table);
+  /// Applies one committed transaction's redo ops during replay.
+  Status ApplyWalCommit(const durability::WalCommit& commit);
+  /// Checkpoint body; caller has quiesced the store (no active txns, and
+  /// the global lock exclusively in concurrent mode).
+  Status CheckpointLocked();
+  /// Post-commit maintenance: autovacuum on version-log growth and
+  /// auto-checkpoint on WAL growth. Cheap when neither trigger is armed.
+  void MaybeRunMaintenance();
+  /// Re-arms every materialized access path with `options` (the policy
+  /// engine restarts in place; cracker state is kept). Configure's policy
+  /// leg — SetPolicy is a Configure wrapper on top of it.
+  Status ApplyPolicy(const CrackPolicyOptions& options);
 
   // --- concurrent-mode machinery (see AdaptiveStoreOptions::concurrent) ---
   // Lock order, outer to inner: global_mu_ -> column latches (ascending
@@ -580,6 +716,19 @@ class AdaptiveStore {
   mutable std::shared_mutex global_mu_;
   mutable std::mutex registry_mu_;
   mutable std::mutex io_mu_;
+
+  // --- durability state (core/store_durability.cc) --------------------------
+  DbOptions db_options_;  ///< full config; mirrors options_ for the overlap
+  std::string db_dir_;
+  durability::Manifest manifest_;
+  std::unique_ptr<durability::WalWriter> wal_;  ///< null on in-memory stores
+  bool replaying_ = false;  ///< recovery replay in flight: don't re-log
+  bool closed_ = false;
+  RecoveryInfo recovery_info_;
+  std::atomic<uint64_t> commits_since_maintenance_{0};
+  std::atomic<bool> maintenance_running_{false};
+  std::atomic<uint64_t> autovacuum_runs_{0};
+  std::atomic<uint64_t> checkpoints_{0};
 };
 
 }  // namespace crackstore

@@ -338,6 +338,14 @@ class TxnManager {
   /// Commit timestamps handed out so far.
   Ts last_commit_ts() const;
 
+  /// Fast-forwards the timestamp sequence past `ts` (recovery replay: new
+  /// commits must stamp above every replayed commit). No-op when the
+  /// sequence is already beyond it.
+  void AdvanceTo(Ts ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (next_ts_ <= ts) next_ts_ = ts + 1;
+  }
+
   size_t active_count() const;
 
  private:

@@ -1,0 +1,187 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "durability/checkpoint.h"
+
+#include <cstring>
+
+#include "durability/fs.h"
+#include "durability/log_format.h"
+#include "util/crc32.h"
+
+namespace crackstore {
+namespace durability {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'R', 'K', 'S', 'T', 'O', 'R', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+void EncodeTableImage(const TableSnapshot& table, std::string* out) {
+  const Relation& rel = *table.rel;
+  PutBytes(out, rel.name());
+  const Schema& schema = rel.schema();
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnDef& col : schema.columns()) {
+    PutBytes(out, col.name);
+    PutRaw<uint8_t>(out, static_cast<uint8_t>(col.type));
+  }
+  PutRaw<uint64_t>(out, table.head_base);
+  const uint64_t nrows = rel.num_rows();
+  PutRaw<uint64_t>(out, nrows);
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    const Bat& bat = *rel.column(c);
+    if (bat.tail_type() == ValueType::kString) {
+      // Strings round-trip by content: offsets are heap-relative and heaps
+      // are rebuilt on load, so serialize the text itself.
+      for (uint64_t r = 0; r < nrows; ++r) PutBytes(out, bat.GetString(r));
+    } else {
+      out->append(reinterpret_cast<const char*>(bat.raw_data()),
+                  bat.tail_bytes());
+    }
+  }
+  PutRaw<uint64_t>(out, static_cast<uint64_t>(table.dead_oids.size()));
+  for (Oid oid : table.dead_oids) PutRaw<uint64_t>(out, oid);
+}
+
+Result<LoadedTable> DecodeTableImage(std::string_view image) {
+  size_t offset = 0;
+  std::string name;
+  uint32_t ncols;
+  if (!GetBytes(image, &offset, &name) || !GetRaw(image, &offset, &ncols)) {
+    return Status::IoError("table image: bad header");
+  }
+  std::vector<ColumnDef> cols;
+  cols.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    ColumnDef def;
+    uint8_t type;
+    if (!GetBytes(image, &offset, &def.name) ||
+        !GetRaw(image, &offset, &type) ||
+        type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::IoError("table image: bad column def");
+    }
+    def.type = static_cast<ValueType>(type);
+    cols.push_back(std::move(def));
+  }
+  LoadedTable loaded;
+  uint64_t nrows;
+  if (!GetRaw(image, &offset, &loaded.head_base) ||
+      !GetRaw(image, &offset, &nrows)) {
+    return Status::IoError("table image: bad row header");
+  }
+  CRACK_ASSIGN_OR_RETURN(loaded.rel,
+                         Relation::Create(name, Schema(std::move(cols))));
+  for (size_t c = 0; c < loaded.rel->num_columns(); ++c) {
+    Bat& bat = *loaded.rel->column(c);
+    if (bat.tail_type() == ValueType::kString) {
+      std::string s;
+      for (uint64_t r = 0; r < nrows; ++r) {
+        if (!GetBytes(image, &offset, &s)) {
+          return Status::IoError("table image: truncated string column");
+        }
+        bat.AppendString(s);
+      }
+    } else {
+      const size_t width = ValueTypeWidth(bat.tail_type());
+      const size_t bytes = nrows * width;
+      if (offset + bytes > image.size()) {
+        return Status::IoError("table image: truncated numeric column");
+      }
+      bat.Reserve(nrows);
+      std::memcpy(bat.mutable_raw_data(), image.data() + offset, bytes);
+      bat.SetCountUnsafe(nrows);
+      offset += bytes;
+    }
+    bat.set_head_base(loaded.head_base);
+  }
+  uint64_t ndead;
+  if (!GetRaw(image, &offset, &ndead)) {
+    return Status::IoError("table image: bad dead-oid header");
+  }
+  loaded.dead_oids.reserve(ndead);
+  for (uint64_t i = 0; i < ndead; ++i) {
+    uint64_t oid;
+    if (!GetRaw(image, &offset, &oid)) {
+      return Status::IoError("table image: truncated dead-oid list");
+    }
+    loaded.dead_oids.push_back(oid);
+  }
+  if (offset != image.size()) {
+    return Status::IoError("table image: trailing bytes");
+  }
+  return loaded;
+}
+
+Status WriteCheckpoint(const std::string& dir, const std::string& name,
+                       uint64_t last_commit_ts, uint64_t next_lsn,
+                       const std::vector<TableSnapshot>& tables,
+                       uint64_t* bytes_written) {
+  std::string body;
+  PutRaw<uint64_t>(&body, last_commit_ts);
+  PutRaw<uint64_t>(&body, next_lsn);
+  PutRaw<uint32_t>(&body, static_cast<uint32_t>(tables.size()));
+  for (const TableSnapshot& table : tables) {
+    std::string image;
+    EncodeTableImage(table, &image);
+    PutBytes(&body, image);
+  }
+
+  std::string file;
+  file.reserve(sizeof(kMagic) + 16 + body.size());
+  file.append(kMagic, sizeof(kMagic));
+  PutRaw<uint32_t>(&file, kFormatVersion);
+  PutRaw<uint32_t>(&file, Crc32(body));
+  PutRaw<uint64_t>(&file, static_cast<uint64_t>(body.size()));
+  file.append(body);
+  if (bytes_written != nullptr) *bytes_written = file.size();
+  return WriteFileAtomic(dir, name, file);
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  CRACK_ASSIGN_OR_RETURN(std::string file, ReadFile(path));
+  std::string_view view(file);
+  if (view.size() < sizeof(kMagic) ||
+      std::memcmp(view.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("checkpoint " + path + ": bad magic");
+  }
+  size_t offset = sizeof(kMagic);
+  uint32_t version, crc;
+  uint64_t body_len;
+  if (!GetRaw(view, &offset, &version) || !GetRaw(view, &offset, &crc) ||
+      !GetRaw(view, &offset, &body_len)) {
+    return Status::IoError("checkpoint " + path + ": truncated header");
+  }
+  if (version != kFormatVersion) {
+    return Status::IoError("checkpoint " + path + ": unsupported version " +
+                           std::to_string(version));
+  }
+  if (offset + body_len != view.size()) {
+    return Status::IoError("checkpoint " + path + ": length mismatch");
+  }
+  std::string_view body = view.substr(offset, body_len);
+  if (Crc32(body) != crc) {
+    return Status::IoError("checkpoint " + path + ": checksum mismatch");
+  }
+  CheckpointData data;
+  size_t pos = 0;
+  uint32_t ntables;
+  if (!GetRaw(body, &pos, &data.last_commit_ts) ||
+      !GetRaw(body, &pos, &data.next_lsn) || !GetRaw(body, &pos, &ntables)) {
+    return Status::IoError("checkpoint " + path + ": bad body header");
+  }
+  data.tables.reserve(ntables);
+  for (uint32_t i = 0; i < ntables; ++i) {
+    std::string image;
+    if (!GetBytes(body, &pos, &image)) {
+      return Status::IoError("checkpoint " + path + ": truncated table");
+    }
+    CRACK_ASSIGN_OR_RETURN(LoadedTable table, DecodeTableImage(image));
+    data.tables.push_back(std::move(table));
+  }
+  return data;
+}
+
+}  // namespace durability
+}  // namespace crackstore

@@ -1,0 +1,78 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Checkpoint files: a versioned snapshot of the *base* state — catalog
+// (table names + schemas), base BAT contents (numeric tails raw, string
+// tails re-interned through their heaps), head oid bases, and the set of
+// dead oids (committed deletes not yet vacuumed). Nothing else: cracker
+// indexes, crack caches, dictionaries, and workload-detector state are
+// disposable by construction (the paper's point) and rebuild lazily.
+//
+// File layout:
+//   [8B magic "CRKSTOR1"][u32 format_version][u32 crc][u64 body_len][body]
+//   body = [u64 last_commit_ts][u64 next_lsn]
+//          [u32 ntables][bytes table_image ...]
+//   crc  = CRC-32(body)
+//
+// The same table-image codec serializes a single table into a WAL record,
+// so AddTable after the last checkpoint is crash-safe too.
+
+#ifndef CRACKSTORE_DURABILITY_CHECKPOINT_H_
+#define CRACKSTORE_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+namespace durability {
+
+/// Writer-side view of one table.
+struct TableSnapshot {
+  const Relation* rel = nullptr;
+  Oid head_base = 0;
+  std::vector<Oid> dead_oids;  ///< committed-invisible rows at snapshot time
+};
+
+/// Loader-side result for one table.
+struct LoadedTable {
+  std::shared_ptr<Relation> rel;
+  Oid head_base = 0;
+  std::vector<Oid> dead_oids;
+};
+
+/// Serializes one table (schema + base columns + dead set) to `out`.
+void EncodeTableImage(const TableSnapshot& table, std::string* out);
+
+/// Parses one table image produced by EncodeTableImage.
+Result<LoadedTable> DecodeTableImage(std::string_view image);
+
+/// Everything a checkpoint file holds.
+struct CheckpointData {
+  uint64_t last_commit_ts = 0;
+  uint64_t next_lsn = 1;  ///< WAL lsn sequence continues from here
+  std::vector<LoadedTable> tables;
+};
+
+/// Writes a checkpoint atomically to `dir/name` (tmp + fsync + rename +
+/// dir fsync).
+Status WriteCheckpoint(const std::string& dir, const std::string& name,
+                       uint64_t last_commit_ts, uint64_t next_lsn,
+                       const std::vector<TableSnapshot>& tables,
+                       uint64_t* bytes_written = nullptr);
+
+/// Reads and validates `path`. Any framing or checksum failure is an
+/// IoError — a checkpoint is written atomically, so unlike the WAL there is
+/// no benign torn-tail case.
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+}  // namespace durability
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_DURABILITY_CHECKPOINT_H_

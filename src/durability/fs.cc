@@ -1,0 +1,126 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "durability/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace crackstore {
+namespace durability {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  if (errno == ENOENT) {
+    // Create missing parents (mkdir -p), then retry this component.
+    size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0) {
+      CRACK_RETURN_NOT_OK(EnsureDir(path.substr(0, slash)));
+      if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::IoError(Errno("mkdir", path));
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(Errno("open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(Errno("read", path));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status SyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) return Status::IoError(Errno("fsync", what));
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError(Errno("open dir", dir));
+  Status s = SyncFd(fd, dir);
+  ::close(fd);
+  return s;
+}
+
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       const std::string& contents) {
+  std::string tmp = JoinPath(dir, name + ".tmp");
+  std::string final_path = JoinPath(dir, name);
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", tmp));
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(Errno("write", tmp));
+    }
+    off += static_cast<size_t>(n);
+  }
+  Status s = SyncFd(fd, tmp);
+  ::close(fd);
+  if (!s.ok()) return s;
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::IoError(Errno("rename", final_path));
+  }
+  return SyncDir(dir);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IoError(Errno("truncate", path));
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(Errno("unlink", path));
+  }
+  return Status::OK();
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace durability
+}  // namespace crackstore

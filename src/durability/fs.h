@@ -1,0 +1,50 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Small POSIX file helpers for the durability layer: whole-file reads,
+// atomic (tmp + rename + fsync) writes, and explicit file/directory syncs.
+// Durability code funnels every disk touch through these so the fsync
+// discipline lives in one place.
+
+#ifndef CRACKSTORE_DURABILITY_FS_H_
+#define CRACKSTORE_DURABILITY_FS_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+namespace durability {
+
+/// True if `path` names an existing file or directory.
+bool PathExists(const std::string& path);
+
+/// Creates `path` as a directory if it does not exist (single level).
+Status EnsureDir(const std::string& path);
+
+/// Reads the whole file into a string. NotFound if it does not exist.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `contents` to `dir/name` atomically: write `name.tmp`, fsync it,
+/// rename over `name`, fsync the directory. Readers see the old file or the
+/// new one, never a torn write.
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       const std::string& contents);
+
+/// fsyncs an open descriptor / a directory by path.
+Status SyncFd(int fd, const std::string& what);
+Status SyncDir(const std::string& dir);
+
+/// Truncates `path` to `size` bytes (torn-tail cleanup).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Removes a file; OK if it was already absent.
+Status RemoveFile(const std::string& path);
+
+/// Joins a directory and a file name with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace durability
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_DURABILITY_FS_H_

@@ -1,0 +1,172 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "durability/log_format.h"
+
+#include "util/crc32.h"
+
+namespace crackstore {
+namespace durability {
+
+namespace {
+
+// Value tags. Stable on-disk identifiers — append only, never renumber.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt32 = 1;
+constexpr uint8_t kTagInt64 = 2;
+constexpr uint8_t kTagFloat64 = 3;
+constexpr uint8_t kTagString = 4;
+constexpr uint8_t kTagOid = 5;
+
+constexpr size_t kFrameHeaderBytes =
+    sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t);
+
+// The frame checksum covers the lsn and body length, not just the body.
+// CRC-32 of an empty body alone is 0, so any run of >= 16 zero bytes in a
+// damaged region would parse as a well-formed empty frame — enough to fool
+// the mid-log-corruption probe into misclassifying a torn tail. Chaining
+// the header into the CRC makes such accidental frames a 2^-32 event.
+uint32_t FrameCrc(uint64_t lsn, uint32_t body_len, std::string_view body) {
+  char header[sizeof(uint64_t) + sizeof(uint32_t)];
+  std::memcpy(header, &lsn, sizeof(lsn));
+  std::memcpy(header + sizeof(lsn), &body_len, sizeof(body_len));
+  return Crc32(body, Crc32(std::string_view(header, sizeof(header))));
+}
+
+// Attempts to parse one frame at `*offset`. On success advances the offset,
+// fills lsn/body, and returns true. On failure leaves the offset unchanged
+// and returns false (the caller classifies torn tail vs corruption).
+bool TryParseFrame(std::string_view log, size_t* offset, uint64_t prev_lsn,
+                   uint64_t* lsn, std::string_view* body) {
+  size_t pos = *offset;
+  uint32_t crc, body_len;
+  if (!GetRaw(log, &pos, lsn) || !GetRaw(log, &pos, &crc) ||
+      !GetRaw(log, &pos, &body_len)) {
+    return false;
+  }
+  if (pos + body_len > log.size()) return false;
+  if (*lsn <= prev_lsn) return false;
+  std::string_view candidate(log.data() + pos, body_len);
+  if (FrameCrc(*lsn, body_len, candidate) != crc) return false;
+  *body = candidate;
+  *offset = pos + body_len;
+  return true;
+}
+
+}  // namespace
+
+void PutValue(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    PutRaw<uint8_t>(out, kTagNull);
+  } else if (v.is_int32()) {
+    PutRaw<uint8_t>(out, kTagInt32);
+    PutRaw<int32_t>(out, v.AsInt32());
+  } else if (v.is_int64()) {
+    PutRaw<uint8_t>(out, kTagInt64);
+    PutRaw<int64_t>(out, v.AsInt64());
+  } else if (v.is_double()) {
+    PutRaw<uint8_t>(out, kTagFloat64);
+    PutRaw<double>(out, v.AsDouble());
+  } else if (v.is_string()) {
+    PutRaw<uint8_t>(out, kTagString);
+    PutBytes(out, v.AsString());
+  } else {
+    PutRaw<uint8_t>(out, kTagOid);
+    PutRaw<uint64_t>(out, static_cast<uint64_t>(v.AsOid()));
+  }
+}
+
+bool GetValue(std::string_view buf, size_t* offset, Value* out) {
+  uint8_t tag;
+  if (!GetRaw(buf, offset, &tag)) return false;
+  switch (tag) {
+    case kTagNull:
+      *out = Value();
+      return true;
+    case kTagInt32: {
+      int32_t v;
+      if (!GetRaw(buf, offset, &v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case kTagInt64: {
+      int64_t v;
+      if (!GetRaw(buf, offset, &v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case kTagFloat64: {
+      double v;
+      if (!GetRaw(buf, offset, &v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case kTagString: {
+      std::string s;
+      if (!GetBytes(buf, offset, &s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    case kTagOid: {
+      uint64_t v;
+      if (!GetRaw(buf, offset, &v)) return false;
+      *out = Value::FromOid(static_cast<Oid>(v));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+size_t AppendFrame(std::string* out, uint64_t lsn, std::string_view body) {
+  size_t before = out->size();
+  PutRaw<uint64_t>(out, lsn);
+  PutRaw<uint32_t>(out,
+                   FrameCrc(lsn, static_cast<uint32_t>(body.size()), body));
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(body.size()));
+  out->append(body.data(), body.size());
+  return out->size() - before;
+}
+
+Result<FrameScan> ScanFrames(
+    std::string_view log, uint64_t prev_lsn,
+    const std::function<Status(uint64_t lsn, std::string_view body)>& sink) {
+  FrameScan scan;
+  scan.last_lsn = prev_lsn;
+  size_t offset = 0;
+  while (offset < log.size()) {
+    uint64_t lsn;
+    std::string_view body;
+    if (TryParseFrame(log, &offset, scan.last_lsn, &lsn, &body)) {
+      if (sink) {
+        Status s = sink(lsn, body);
+        if (!s.ok()) return s;
+      }
+      scan.last_lsn = lsn;
+      ++scan.records;
+      scan.valid_bytes = offset;
+      continue;
+    }
+    // Bad frame at `offset`. Crash-ordering argument: an append either
+    // reached the disk wholly or left a mangled *final* region — there is no
+    // ordering under which a later frame is intact while an earlier one is
+    // not. So probe every byte position after the bad frame for a
+    // well-formed, lsn-consistent frame; finding one proves mid-log damage.
+    for (size_t probe = offset + 1;
+         probe + kFrameHeaderBytes <= log.size(); ++probe) {
+      size_t p = probe;
+      uint64_t later_lsn;
+      std::string_view later_body;
+      if (TryParseFrame(log, &p, scan.last_lsn, &later_lsn, &later_body)) {
+        return Status::IoError(
+            "log corruption: bad frame at byte " + std::to_string(offset) +
+            " precedes intact frame lsn=" + std::to_string(later_lsn));
+      }
+    }
+    scan.torn_tail = true;
+    break;
+  }
+  return scan;
+}
+
+}  // namespace durability
+}  // namespace crackstore

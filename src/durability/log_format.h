@@ -1,0 +1,100 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Shared on-disk codec for the durability layer: CRC-framed log records and
+// a typed little-endian value encoding. The frame layout is the rowstore
+// journal's — [u64 lsn][u32 crc][u32 body_len][body] with strictly
+// increasing lsns, crc = CRC-32 chained over lsn, body_len, and body (the
+// header is covered so zero runs can't forge empty frames) — promoted here
+// so the commit log, checkpoint
+// files, and the journal share one codec and one recovery scanner.
+//
+// The scanner's contract is the classic WAL recovery rule: a frame that runs
+// past end-of-log, or whose checksum fails with *no* well-formed frame after
+// it, is a torn tail (the expected residue of a crash mid-append) and replay
+// stops cleanly before it. A bad frame *followed by* a well-formed frame
+// cannot have been produced by append-crash ordering — that is media
+// corruption and must surface as an error, never silent truncation.
+
+#ifndef CRACKSTORE_DURABILITY_LOG_FORMAT_H_
+#define CRACKSTORE_DURABILITY_LOG_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "storage/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+namespace durability {
+
+// ---------------------------------------------------------------------------
+// Primitive putters/getters over a byte buffer.
+
+template <typename T>
+inline void PutRaw(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+inline bool GetRaw(std::string_view buf, size_t* offset, T* out) {
+  if (*offset + sizeof(T) > buf.size()) return false;
+  std::memcpy(out, buf.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+inline void PutBytes(std::string* out, std::string_view s) {
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+inline bool GetBytes(std::string_view buf, size_t* offset, std::string* out) {
+  uint32_t len;
+  if (!GetRaw(buf, offset, &len)) return false;
+  if (*offset + len > buf.size()) return false;
+  out->assign(buf.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
+/// Serializes a dynamically-typed Value as [u8 tag][payload]. Strings are
+/// length-prefixed; numerics are fixed-width little-endian.
+void PutValue(std::string* out, const Value& v);
+
+/// Inverse of PutValue. Returns false on a malformed encoding.
+bool GetValue(std::string_view buf, size_t* offset, Value* out);
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+/// Appends one CRC frame wrapping `body` to `out`; returns bytes appended.
+size_t AppendFrame(std::string* out, uint64_t lsn, std::string_view body);
+
+/// Result of scanning a log tail: how much of it parsed cleanly.
+struct FrameScan {
+  uint64_t records = 0;     ///< well-formed frames consumed
+  uint64_t last_lsn = 0;    ///< lsn of the last good frame (0 if none)
+  size_t valid_bytes = 0;   ///< byte length of the clean prefix
+  bool torn_tail = false;   ///< trailing garbage was classified as torn tail
+};
+
+/// Scans `log` frame by frame, invoking `sink(lsn, body)` for each
+/// well-formed record (sink may be null). `prev_lsn` seeds the
+/// strictly-increasing lsn check (0 for a fresh log).
+///
+/// Returns the scan summary on success — including the torn-tail case, where
+/// `valid_bytes < log.size()` and the caller should truncate the physical
+/// log to `valid_bytes`. Returns IoError for mid-log corruption: a bad frame
+/// with at least one well-formed, lsn-consistent frame somewhere after it.
+Result<FrameScan> ScanFrames(
+    std::string_view log, uint64_t prev_lsn,
+    const std::function<Status(uint64_t lsn, std::string_view body)>& sink);
+
+}  // namespace durability
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_DURABILITY_LOG_FORMAT_H_

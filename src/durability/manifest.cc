@@ -1,0 +1,77 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "durability/manifest.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "durability/fs.h"
+#include "util/crc32.h"
+
+namespace crackstore {
+namespace durability {
+
+namespace {
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kHeader[] = "crackstore-manifest v1";
+}  // namespace
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  CRACK_ASSIGN_OR_RETURN(std::string contents,
+                         ReadFile(JoinPath(dir, kManifestName)));
+  std::istringstream in(contents);
+  std::string header;
+  if (!std::getline(in, header) || header != kHeader) {
+    return Status::IoError("manifest: bad header");
+  }
+  Manifest m;
+  std::string body = header + "\n";
+  uint32_t stored_crc = 0;
+  bool have_crc = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "crc") {
+      fields >> std::hex >> stored_crc;
+      have_crc = true;
+      break;
+    }
+    body += line + "\n";
+    if (key == "generation") {
+      fields >> m.generation;
+    } else if (key == "checkpoint") {
+      fields >> m.checkpoint_file;
+      if (m.checkpoint_file == "none") m.checkpoint_file.clear();
+    } else if (key == "wal") {
+      fields >> m.wal_file;
+    } else {
+      return Status::IoError("manifest: unknown key '" + key + "'");
+    }
+  }
+  if (!have_crc || Crc32(body) != stored_crc) {
+    return Status::IoError("manifest: checksum mismatch");
+  }
+  if (m.wal_file.empty()) {
+    return Status::IoError("manifest: missing wal entry");
+  }
+  return m;
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "generation " << manifest.generation << "\n";
+  out << "checkpoint "
+      << (manifest.checkpoint_file.empty() ? "none" : manifest.checkpoint_file)
+      << "\n";
+  out << "wal " << manifest.wal_file << "\n";
+  std::string body = out.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08x\n", Crc32(body));
+  return WriteFileAtomic(dir, kManifestName, body + crc_line);
+}
+
+}  // namespace durability
+}  // namespace crackstore

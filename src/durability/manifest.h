@@ -1,0 +1,47 @@
+// Copyright 2026 The CrackStore Authors
+//
+// MANIFEST: the root of a database directory. A tiny checksummed text file
+// naming the current checkpoint (if any) and WAL segment; updated with an
+// atomic rename so openers always see a consistent generation. The layout of
+// a database directory is:
+//
+//   <path>/MANIFEST
+//   <path>/checkpoint-<gen>.ckpt     (absent before the first checkpoint)
+//   <path>/wal-<gen>.log
+
+#ifndef CRACKSTORE_DURABILITY_MANIFEST_H_
+#define CRACKSTORE_DURABILITY_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+namespace durability {
+
+struct Manifest {
+  uint64_t generation = 0;
+  std::string checkpoint_file;  ///< relative name; empty = no checkpoint yet
+  std::string wal_file;         ///< relative name
+
+  std::string CheckpointName() const {
+    return "checkpoint-" + std::to_string(generation) + ".ckpt";
+  }
+  std::string WalName() const {
+    return "wal-" + std::to_string(generation) + ".log";
+  }
+};
+
+/// Reads `dir/MANIFEST`. NotFound when the directory has no manifest (a
+/// fresh database); IoError on a malformed or corrupt one.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Atomically replaces `dir/MANIFEST`.
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+
+}  // namespace durability
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_DURABILITY_MANIFEST_H_

@@ -1,0 +1,292 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "durability/fs.h"
+#include "durability/log_format.h"
+#include "obs/instruments.h"
+
+namespace crackstore {
+namespace durability {
+
+namespace {
+
+constexpr uint8_t kRecordCommit = 1;
+constexpr uint8_t kRecordTableImage = 2;
+
+bool DecodeOp(std::string_view buf, size_t* offset, WalOp* op) {
+  uint8_t kind;
+  uint64_t oid;
+  if (!GetRaw(buf, offset, &kind)) return false;
+  if (kind < static_cast<uint8_t>(WalOpKind::kInsert) ||
+      kind > static_cast<uint8_t>(WalOpKind::kUpdate)) {
+    return false;
+  }
+  op->kind = static_cast<WalOpKind>(kind);
+  if (!GetBytes(buf, offset, &op->table)) return false;
+  if (!GetRaw(buf, offset, &oid)) return false;
+  op->oid = oid;
+  switch (op->kind) {
+    case WalOpKind::kInsert: {
+      uint32_t ncols;
+      if (!GetRaw(buf, offset, &ncols)) return false;
+      op->row.resize(ncols);
+      for (uint32_t i = 0; i < ncols; ++i) {
+        if (!GetValue(buf, offset, &op->row[i])) return false;
+      }
+      return true;
+    }
+    case WalOpKind::kDelete:
+      return true;
+    case WalOpKind::kUpdate:
+      if (!GetBytes(buf, offset, &op->column)) return false;
+      return GetValue(buf, offset, &op->value);
+  }
+  return false;
+}
+
+bool DecodeCommitPayload(std::string_view buf, size_t* offset,
+                         WalCommit* commit) {
+  uint32_t nops;
+  if (!GetRaw(buf, offset, &commit->commit_ts)) return false;
+  if (!GetRaw(buf, offset, &nops)) return false;
+  commit->ops.resize(nops);
+  for (uint32_t i = 0; i < nops; ++i) {
+    if (!DecodeOp(buf, offset, &commit->ops[i])) return false;
+  }
+  return *offset == buf.size();
+}
+
+}  // namespace
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "off") return FsyncPolicy::kOff;
+  if (name == "commit") return FsyncPolicy::kCommit;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  return Status::InvalidArgument("unknown fsync policy '" + name +
+                                 "' (expected off|commit|interval)");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kOff:
+      return "off";
+    case FsyncPolicy::kCommit:
+      return "commit";
+    case FsyncPolicy::kInterval:
+      return "interval";
+  }
+  return "?";
+}
+
+void EncodeCommitRecord(const WalCommit& commit, std::string* body) {
+  PutRaw<uint8_t>(body, kRecordCommit);
+  PutRaw<uint64_t>(body, commit.commit_ts);
+  PutRaw<uint32_t>(body, static_cast<uint32_t>(commit.ops.size()));
+  for (const WalOp& op : commit.ops) {
+    PutRaw<uint8_t>(body, static_cast<uint8_t>(op.kind));
+    PutBytes(body, op.table);
+    PutRaw<uint64_t>(body, op.oid);
+    switch (op.kind) {
+      case WalOpKind::kInsert:
+        PutRaw<uint32_t>(body, static_cast<uint32_t>(op.row.size()));
+        for (const Value& v : op.row) PutValue(body, v);
+        break;
+      case WalOpKind::kDelete:
+        break;
+      case WalOpKind::kUpdate:
+        PutBytes(body, op.column);
+        PutValue(body, op.value);
+        break;
+    }
+  }
+}
+
+void EncodeTableImageRecord(std::string_view image, std::string* body) {
+  PutRaw<uint8_t>(body, kRecordTableImage);
+  body->append(image.data(), image.size());
+}
+
+Result<WalReplayStats> ReplayWalFile(
+    const std::string& path,
+    const std::function<Status(const WalCommit&)>& on_commit,
+    const std::function<Status(std::string_view image)>& on_image) {
+  WalReplayStats stats;
+  auto contents = ReadFile(path);
+  if (!contents.ok()) {
+    if (contents.status().IsNotFound()) return stats;  // fresh log
+    return contents.status();
+  }
+  auto sink = [&](uint64_t lsn, std::string_view body) -> Status {
+    (void)lsn;
+    size_t offset = 0;
+    uint8_t kind;
+    if (!GetRaw(body, &offset, &kind)) {
+      return Status::IoError("wal record missing kind byte");
+    }
+    switch (kind) {
+      case kRecordCommit: {
+        WalCommit commit;
+        if (!DecodeCommitPayload(body, &offset, &commit)) {
+          return Status::IoError("malformed wal commit record");
+        }
+        if (commit.commit_ts > stats.max_commit_ts) {
+          stats.max_commit_ts = commit.commit_ts;
+        }
+        ++stats.commits;
+        if (on_commit) return on_commit(commit);
+        return Status::OK();
+      }
+      case kRecordTableImage: {
+        ++stats.table_images;
+        if (on_image) return on_image(body.substr(offset));
+        return Status::OK();
+      }
+      default:
+        return Status::IoError("unknown wal record kind " +
+                               std::to_string(kind));
+    }
+  };
+  auto scan = ScanFrames(*contents, /*prev_lsn=*/0, sink);
+  CRACK_RETURN_NOT_OK(scan.status());
+  stats.records = scan->records;
+  stats.last_lsn = scan->last_lsn;
+  stats.valid_bytes = scan->valid_bytes;
+  stats.torn_tail = scan->torn_tail;
+  return stats;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string path,
+                                                   FsyncPolicy policy,
+                                                   double interval_seconds,
+                                                   uint64_t next_lsn,
+                                                   uint64_t append_offset) {
+  if (PathExists(path)) {
+    CRACK_RETURN_NOT_OK(TruncateFile(path, append_offset));
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("open wal " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      std::move(path), fd, policy, interval_seconds, next_lsn, append_offset));
+}
+
+WalWriter::WalWriter(std::string path, int fd, FsyncPolicy policy,
+                     double interval_seconds, uint64_t next_lsn,
+                     uint64_t file_bytes)
+    : path_(std::move(path)),
+      policy_(policy),
+      interval_(std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(interval_seconds))),
+      fd_(fd),
+      next_lsn_(next_lsn),
+      file_bytes_(file_bytes),
+      last_sync_(std::chrono::steady_clock::now()) {}
+
+WalWriter::~WalWriter() {
+  Status s = Close();
+  (void)s;
+}
+
+Result<uint64_t> WalWriter::AppendRecord(std::string_view body,
+                                         bool is_commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IoError("wal writer closed: " + path_);
+  uint64_t lsn = next_lsn_++;
+  std::string frame;
+  frame.reserve(16 + body.size());
+  AppendFrame(&frame, lsn, body);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write wal " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  file_bytes_ += frame.size();
+  bytes_appended_ += frame.size();
+  appended_lsn_ = lsn;
+  if (is_commit) ++commits_appended_;
+  obs::RecordWalAppend(frame.size());
+  return lsn;
+}
+
+Result<uint64_t> WalWriter::AppendCommit(const WalCommit& commit) {
+  std::string body;
+  EncodeCommitRecord(commit, &body);
+  return AppendRecord(body, /*is_commit=*/true);
+}
+
+Result<uint64_t> WalWriter::AppendTableImage(std::string_view image) {
+  std::string body;
+  body.reserve(1 + image.size());
+  EncodeTableImageRecord(image, &body);
+  return AppendRecord(body, /*is_commit=*/false);
+}
+
+Status WalWriter::CommitDurable(uint64_t lsn) {
+  if (policy_ == FsyncPolicy::kOff) return Status::OK();
+  if (policy_ == FsyncPolicy::kInterval) {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    if (durable_lsn_ >= lsn) return Status::OK();
+    auto now = std::chrono::steady_clock::now();
+    if (now - last_sync_ < interval_) return Status::OK();
+    return SyncLocked();
+  }
+  // kCommit: group commit. Whoever gets the sync mutex first fsyncs on
+  // behalf of every commit appended so far; later arrivals whose lsn is
+  // already durable return without touching the disk.
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  if (durable_lsn_ >= lsn) return Status::OK();
+  return SyncLocked();
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  return SyncLocked();
+}
+
+Status WalWriter::SyncLocked() {
+  uint64_t target_lsn, target_commits;
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) return Status::OK();
+    fd = fd_;
+    target_lsn = appended_lsn_;
+    target_commits = commits_appended_;
+  }
+  if (target_lsn > durable_lsn_) {
+    CRACK_RETURN_NOT_OK(SyncFd(fd, path_));
+    uint64_t batch = target_commits - commits_durable_;
+    if (batch > 0) obs::RecordWalGroupCommit(batch);
+    obs::RecordWalFsync();
+    durable_lsn_ = target_lsn;
+    commits_durable_ = target_commits;
+  }
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  Status s = Sync();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return s;
+}
+
+}  // namespace durability
+}  // namespace crackstore

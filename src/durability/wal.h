@@ -1,0 +1,186 @@
+// Copyright 2026 The CrackStore Authors
+//
+// Write-ahead commit log. The MVCC design makes this log cheap: uncommitted
+// work lives only in memory (undo + version stamps), so the WAL carries pure
+// redo — one record per committed transaction holding its commit stamp and
+// the logical operations it performed, in commit-stamp order. Replay of a
+// clean prefix therefore reconstructs exactly a committed prefix of history.
+//
+// Accelerators (cracker indexes, crack caches, workload-detector state) are
+// deliberately NOT logged: the paper's disposability claim — the cracker
+// index can always be rebuilt from the base BATs — is what keeps this log
+// small and recovery simple.
+//
+// Record body layout: [u8 record_kind][payload]
+//   kCommit:     [u64 commit_ts][u32 nops][op ...]
+//     op:        [u8 op_kind][bytes table][u64 oid][op-specific]
+//       insert:  [u32 ncols][value ...]        (full row, schema order)
+//       delete:  (nothing)
+//       update:  [bytes column][value]         (the new value)
+//   kTableImage: [table image]                  (checkpoint codec; emitted by
+//                                               AddTable so tables created
+//                                               after the last checkpoint
+//                                               survive a crash)
+
+#ifndef CRACKSTORE_DURABILITY_WAL_H_
+#define CRACKSTORE_DURABILITY_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace crackstore {
+namespace durability {
+
+/// When the log forces data to stable storage.
+enum class FsyncPolicy {
+  kOff,       ///< never fsync (buffered writes only; fastest, weakest)
+  kCommit,    ///< fsync on every commit, with group-commit batching
+  kInterval,  ///< fsync at most once per configured interval
+};
+
+/// Parses "off" / "commit" / "interval"; InvalidArgument otherwise.
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+enum class WalOpKind : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kUpdate = 3,
+};
+
+/// One logical redo operation inside a committed transaction.
+struct WalOp {
+  WalOpKind kind = WalOpKind::kInsert;
+  std::string table;
+  Oid oid = kInvalidOid;
+  std::vector<Value> row;  ///< kInsert: full row in schema order
+  std::string column;      ///< kUpdate
+  Value value;             ///< kUpdate: the new value
+};
+
+/// One committed transaction: its commit stamp plus redo ops in statement
+/// order.
+struct WalCommit {
+  uint64_t commit_ts = 0;
+  std::vector<WalOp> ops;
+};
+
+/// Serializes / parses a kCommit record body (including the kind byte).
+void EncodeCommitRecord(const WalCommit& commit, std::string* body);
+
+/// Wraps raw table-image bytes into a kTableImage record body.
+void EncodeTableImageRecord(std::string_view image, std::string* body);
+
+/// Summary of a WAL file scan.
+struct WalReplayStats {
+  uint64_t records = 0;
+  uint64_t commits = 0;
+  uint64_t table_images = 0;
+  uint64_t max_commit_ts = 0;
+  uint64_t last_lsn = 0;
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// Reads and decodes `path` front to back. `on_commit` / `on_image` receive
+/// records in log order. A missing file yields empty stats (a fresh log). A
+/// torn tail stops replay cleanly and is reported in the stats (callers
+/// truncate to `valid_bytes` before appending); mid-log corruption is an
+/// IoError.
+Result<WalReplayStats> ReplayWalFile(
+    const std::string& path,
+    const std::function<Status(const WalCommit&)>& on_commit,
+    const std::function<Status(std::string_view image)>& on_image);
+
+/// Appender for one WAL segment file. Appends are internally serialized;
+/// `CommitDurable` implements group commit: concurrent committers that find
+/// their record already covered by another thread's fsync return without
+/// issuing their own.
+class WalWriter {
+ public:
+  /// Opens `path` for appending at `append_offset` (the recovery scan's
+  /// valid_bytes; the file is truncated there first). `next_lsn` continues
+  /// the recovered lsn sequence.
+  static Result<std::unique_ptr<WalWriter>> Open(std::string path,
+                                                 FsyncPolicy policy,
+                                                 double interval_seconds,
+                                                 uint64_t next_lsn,
+                                                 uint64_t append_offset);
+
+  ~WalWriter();
+  CRACK_DISALLOW_COPY_AND_ASSIGN(WalWriter);
+
+  /// Appends one commit record; returns its lsn. Durability is separate —
+  /// call CommitDurable after the in-memory commit is published.
+  Result<uint64_t> AppendCommit(const WalCommit& commit);
+
+  /// Appends one table-image record; returns its lsn.
+  Result<uint64_t> AppendTableImage(std::string_view image);
+
+  /// Makes the log durable through `lsn` according to the fsync policy.
+  /// Under kCommit this is the group-commit rendezvous; under kInterval it
+  /// fsyncs only when the interval elapsed; under kOff it is a no-op.
+  Status CommitDurable(uint64_t lsn);
+
+  /// Unconditional flush + fsync (rotation, checkpoint, close).
+  Status Sync();
+
+  /// Syncs and closes the file. Idempotent.
+  Status Close();
+
+  uint64_t next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_;
+  }
+  uint64_t bytes_appended() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_appended_;
+  }
+  /// Current file size (recovered prefix + appends) — the checkpoint
+  /// trigger's growth signal.
+  uint64_t file_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return file_bytes_;
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, FsyncPolicy policy,
+            double interval_seconds, uint64_t next_lsn, uint64_t file_bytes);
+
+  Result<uint64_t> AppendRecord(std::string_view body, bool is_commit);
+  Status SyncLocked();  // requires sync_mu_ held
+
+  const std::string path_;
+  const FsyncPolicy policy_;
+  const std::chrono::steady_clock::duration interval_;
+
+  mutable std::mutex mu_;  // guards append state and the fd
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+  uint64_t file_bytes_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t appended_lsn_ = 0;      // lsn of the last appended record
+  uint64_t commits_appended_ = 0;  // commit records appended so far
+
+  std::mutex sync_mu_;  // serializes fsyncs; taken after appends complete
+  uint64_t durable_lsn_ = 0;
+  uint64_t commits_durable_ = 0;
+  std::chrono::steady_clock::time_point last_sync_;
+};
+
+}  // namespace durability
+}  // namespace crackstore
+
+#endif  // CRACKSTORE_DURABILITY_WAL_H_

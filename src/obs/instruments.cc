@@ -222,6 +222,54 @@ void RecordProgressiveDeferred(uint64_t rows) {
   }
 }
 
+void RecordWalAppend(uint64_t bytes) {
+  static Counter* appends =
+      Reg().GetCounter("wal.appends", "records appended to the commit log");
+  static Counter* total = Reg().GetCounter(
+      "wal.bytes_appended", "framed bytes appended to the commit log");
+  appends->Add(1);
+  total->Add(bytes);
+}
+
+void RecordWalFsync() {
+  static Counter* c =
+      Reg().GetCounter("wal.fsyncs", "fsyncs issued against the commit log");
+  c->Add(1);
+}
+
+void RecordWalGroupCommit(uint64_t txns) {
+  static Histogram* h = Reg().GetHistogram(
+      "wal.group_commit_txns", "commit records covered per group-commit fsync");
+  h->Observe(txns);
+}
+
+void RecordWalReplay(uint64_t records, uint64_t ns) {
+  static Counter* replays =
+      Reg().GetCounter("wal.replays", "recovery replays of a commit log");
+  static Counter* recs = Reg().GetCounter(
+      "wal.replayed_records", "log records applied during recovery");
+  static Counter* time =
+      Reg().GetCounter("wal.replay_ns", "wall clock spent replaying, ns");
+  replays->Add(1);
+  recs->Add(records);
+  time->Add(ns);
+}
+
+void RecordCheckpoint(uint64_t bytes) {
+  static Counter* runs =
+      Reg().GetCounter("wal.checkpoints", "checkpoints written");
+  static Counter* total = Reg().GetCounter(
+      "wal.checkpoint_bytes", "bytes written into checkpoint files");
+  runs->Add(1);
+  total->Add(bytes);
+}
+
+void RecordAutovacuum() {
+  static Counter* c = Reg().GetCounter(
+      "vacuum.auto_runs", "vacuum passes triggered by the maintenance hook");
+  c->Add(1);
+}
+
 }  // namespace obs
 }  // namespace crackstore
 

@@ -24,6 +24,10 @@
 //   simd.calls.{scalar,predicated,avx2,neon}
 //   io.* (mirrored from every IoStats delta the facade accumulates)
 //   sql.statements
+//   wal.appends / wal.bytes_appended / wal.fsyncs /
+//   wal.group_commit_txns (histogram) / wal.replays /
+//   wal.replayed_records / wal.replay_ns
+//   wal.checkpoints / wal.checkpoint_bytes / vacuum.auto_runs
 
 #ifndef CRACKSTORE_OBS_INSTRUMENTS_H_
 #define CRACKSTORE_OBS_INSTRUMENTS_H_
@@ -60,6 +64,12 @@ inline void MirrorIo(const IoStats&) {}
 inline void RecordSqlStatement() {}
 inline void RecordPolicySwitch() {}
 inline void RecordProgressiveDeferred(uint64_t) {}
+inline void RecordWalAppend(uint64_t) {}
+inline void RecordWalFsync() {}
+inline void RecordWalGroupCommit(uint64_t) {}
+inline void RecordWalReplay(uint64_t, uint64_t) {}
+inline void RecordCheckpoint(uint64_t) {}
+inline void RecordAutovacuum() {}
 
 #else
 
@@ -108,6 +118,19 @@ void RecordPolicySwitch();
 
 /// Rows a budgeted progressive cut left unpartitioned this pass.
 void RecordProgressiveDeferred(uint64_t rows);
+
+/// One record appended to the commit log (`bytes` = framed size).
+void RecordWalAppend(uint64_t bytes);
+/// One fsync issued against the commit log.
+void RecordWalFsync();
+/// One group-commit fsync covering `txns` commit records.
+void RecordWalGroupCommit(uint64_t txns);
+/// One recovery replay of a commit log (`ns` = wall clock).
+void RecordWalReplay(uint64_t records, uint64_t ns);
+/// One checkpoint written (`bytes` = checkpoint file size).
+void RecordCheckpoint(uint64_t bytes);
+/// One vacuum pass triggered by the autovacuum maintenance hook.
+void RecordAutovacuum();
 
 #endif  // CRACKSTORE_NO_METRICS
 

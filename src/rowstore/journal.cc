@@ -5,49 +5,27 @@
 #include <cstring>
 #include <string>
 
+#include "durability/fs.h"
+#include "durability/log_format.h"
 #include "util/crc32.h"
 
 namespace crackstore {
 
-namespace {
-
-// Record layout: [u64 lsn][u32 crc][u32 body_len][body]
+// Record layout (shared with the durability WAL, durability/log_format.h):
+//   [u64 lsn][u32 crc][u32 body_len][body]
 // where body = [u32 table_len][table bytes][u32 payload_len][payload bytes]
 // and crc = CRC-32 of body.
-
-template <typename T>
-void PutRaw(std::string* out, T v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool GetRaw(const std::vector<char>& log, size_t* offset, T* out) {
-  if (*offset + sizeof(T) > log.size()) return false;
-  std::memcpy(out, log.data() + *offset, sizeof(T));
-  *offset += sizeof(T);
-  return true;
-}
-
-}  // namespace
 
 uint64_t Journal::Append(std::string_view table, std::string_view payload) {
   uint64_t lsn = next_lsn_++;
 
   std::string body;
   body.reserve(2 * sizeof(uint32_t) + table.size() + payload.size());
-  PutRaw<uint32_t>(&body, static_cast<uint32_t>(table.size()));
-  body.append(table.data(), table.size());
-  PutRaw<uint32_t>(&body, static_cast<uint32_t>(payload.size()));
-  body.append(payload.data(), payload.size());
-  uint32_t crc = Crc32(body);
+  durability::PutBytes(&body, table);
+  durability::PutBytes(&body, payload);
 
   std::string record;
-  record.reserve(sizeof(lsn) + sizeof(crc) + sizeof(uint32_t) + body.size());
-  PutRaw<uint64_t>(&record, lsn);
-  PutRaw<uint32_t>(&record, crc);
-  PutRaw<uint32_t>(&record, static_cast<uint32_t>(body.size()));
-  record.append(body);
-
+  durability::AppendFrame(&record, lsn, body);
   log_.insert(log_.end(), record.begin(), record.end());
   ++stats_.journal_writes;
   return lsn;
@@ -56,37 +34,48 @@ uint64_t Journal::Append(std::string_view table, std::string_view payload) {
 void Journal::Commit() { ++num_commits_; }
 
 Result<uint64_t> Journal::VerifyLog() const {
-  size_t offset = 0;
-  uint64_t records = 0;
-  uint64_t prev_lsn = 0;
-  while (offset < log_.size()) {
-    uint64_t lsn;
-    uint32_t crc;
-    uint32_t body_len;
-    if (!GetRaw(log_, &offset, &lsn) || !GetRaw(log_, &offset, &crc) ||
-        !GetRaw(log_, &offset, &body_len)) {
-      return Status::IoError("truncated journal record header");
-    }
-    if (offset + body_len > log_.size()) {
-      return Status::IoError("truncated journal record body");
-    }
-    if (lsn <= prev_lsn) {
-      return Status::IoError("journal LSNs not strictly increasing");
-    }
-    std::string_view body(log_.data() + offset, body_len);
-    if (Crc32(body) != crc) {
-      return Status::IoError("journal record checksum mismatch");
-    }
-    offset += body_len;
-    prev_lsn = lsn;
-    ++records;
+  std::string_view log(log_.data(), log_.size());
+  auto scan = durability::ScanFrames(log, /*prev_lsn=*/0, nullptr);
+  CRACK_RETURN_NOT_OK(scan.status());
+  if (scan->torn_tail) {
+    return Status::IoError(
+        "journal tail fails checksum/frame verification (torn or corrupt "
+        "record)");
   }
-  return records;
+  return scan->records;
+}
+
+Result<Journal::RecoveryScan> Journal::Recover() {
+  std::string_view log(log_.data(), log_.size());
+  auto scan = durability::ScanFrames(log, /*prev_lsn=*/0, nullptr);
+  CRACK_RETURN_NOT_OK(scan.status());
+  RecoveryScan out;
+  out.records = scan->records;
+  out.last_lsn = scan->last_lsn;
+  out.valid_bytes = scan->valid_bytes;
+  out.torn_tail = scan->torn_tail;
+  if (scan->torn_tail) {
+    log_.resize(scan->valid_bytes);
+  }
+  // Appends resume above the recovered prefix.
+  next_lsn_ = scan->last_lsn + 1;
+  return out;
+}
+
+Status Journal::RotateTo(const std::string& dir, const std::string& name) {
+  CRACK_RETURN_NOT_OK(durability::WriteFileAtomic(
+      dir, name, std::string(log_.data(), log_.size())));
+  log_.clear();
+  return Status::OK();
 }
 
 void Journal::CorruptByteForTesting(size_t offset) {
   CRACK_CHECK(offset < log_.size());
   log_[offset] = static_cast<char>(log_[offset] ^ 0x5A);
+}
+
+void Journal::TruncateForTesting(size_t bytes) {
+  if (bytes < log_.size()) log_.resize(bytes);
 }
 
 }  // namespace crackstore

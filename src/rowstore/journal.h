@@ -37,12 +37,35 @@ class Journal {
   void Commit();
 
   /// Re-reads the whole log, verifying record framing and checksums — the
-  /// recovery-time scan of a real engine. Returns the number of records, or
-  /// IoError on the first corrupt one.
+  /// integrity audit of a sealed log. Strict: ANY invalid byte, including a
+  /// clean torn tail, is an IoError. Recovery wants Recover() instead.
   Result<uint64_t> VerifyLog() const;
+
+  /// What a recovery scan found.
+  struct RecoveryScan {
+    uint64_t records = 0;     ///< intact records in the recovered prefix
+    uint64_t last_lsn = 0;    ///< lsn of the last intact record
+    uint64_t valid_bytes = 0; ///< size of the recovered prefix
+    bool torn_tail = false;   ///< a partial record was truncated away
+  };
+
+  /// The recovery-time scan of a real engine: a record cut short at the end
+  /// of the log is a torn tail — the crash interrupted the append — so the
+  /// log is truncated back to the last intact record and appending resumes
+  /// from there. A bad record FOLLOWED by an intact one cannot be a torn
+  /// tail (appends land in order): that is media corruption, reported as
+  /// IoError with the log untouched.
+  Result<RecoveryScan> Recover();
+
+  /// Durably rotates the log out to `dir/name`: the bytes are written with
+  /// fsync on both the file and the directory entry before the in-memory
+  /// log resets — a crash after rotation must find the rotated segment.
+  Status RotateTo(const std::string& dir, const std::string& name);
 
   /// Test support: flips one byte of the log to simulate media corruption.
   void CorruptByteForTesting(size_t offset);
+  /// Test support: drops every byte past `bytes` to simulate a torn tail.
+  void TruncateForTesting(size_t bytes);
 
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t num_commits() const { return num_commits_; }

@@ -376,6 +376,17 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const Statement& stmt,
           static_cast<unsigned long long>(stats.low_water));
       return out;
     }
+    case StatementKind::kCheckpoint: {
+      QueryOutput out;
+      CRACK_RETURN_NOT_OK(store->Checkpoint());
+      out.kind = OutputKind::kTxn;
+      out.count = store->checkpoints_taken();
+      out.message = StrFormat(
+          "CHECKPOINT: base snapshot written (%llu this session), commit "
+          "log truncated",
+          static_cast<unsigned long long>(store->checkpoints_taken()));
+      return out;
+    }
     case StatementKind::kExplainAnalyze: {
       if (!stmt.explain_inner) {
         return Status::InvalidArgument("EXPLAIN ANALYZE without a statement");

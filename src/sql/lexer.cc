@@ -19,7 +19,7 @@ const std::unordered_set<std::string>& Keywords() {
       "BETWEEN", "AS",   "INTO",    "ORDER", "LIMIT",  "INSERT",
       "VALUES", "DELETE", "UPDATE", "SET",
       "BEGIN",  "COMMIT", "ROLLBACK", "ABORT", "TRANSACTION", "VACUUM",
-      "EXPLAIN", "ANALYZE", "SHOW",   "STATS", "LIKE"};
+      "CHECKPOINT", "EXPLAIN", "ANALYZE", "SHOW", "STATS", "LIKE"};
   return kKeywords;
 }
 

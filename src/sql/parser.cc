@@ -59,6 +59,9 @@ class Parser {
     } else if (Peek().IsKeyword("VACUUM")) {
       Advance();
       out.kind = StatementKind::kVacuum;
+    } else if (Peek().IsKeyword("CHECKPOINT")) {
+      Advance();
+      out.kind = StatementKind::kCheckpoint;
     } else if (Peek().IsKeyword("EXPLAIN")) {
       Advance();
       CRACK_RETURN_NOT_OK(ExpectKeyword("ANALYZE"));

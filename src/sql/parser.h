@@ -3,11 +3,12 @@
 // Parser for the SQL subset. Grammar (keywords case-insensitive):
 //
 //   statement   := select_stmt | insert_stmt | delete_stmt | update_stmt
-//                | txn_stmt | vacuum_stmt | explain_stmt | show_stmt
-//                | policy_stmt
+//                | txn_stmt | vacuum_stmt | checkpoint_stmt | explain_stmt
+//                | show_stmt | policy_stmt
 //   txn_stmt    := BEGIN [TRANSACTION] [;] | COMMIT [;]
 //                | ROLLBACK [;] | ABORT [;]
 //   vacuum_stmt := VACUUM [;]
+//   checkpoint_stmt := CHECKPOINT [;]
 //   explain_stmt:= EXPLAIN ANALYZE statement
 //   show_stmt   := SHOW STATS [LIKE string] [;] | SHOW POLICY [;]
 //   policy_stmt := SET POLICY policy_name [BUDGET fraction] [;]
@@ -134,6 +135,7 @@ enum class StatementKind : uint8_t {
   kCommit,    ///< COMMIT — publish the session transaction
   kRollback,  ///< ROLLBACK / ABORT — undo the session transaction
   kVacuum,    ///< VACUUM — reclaim versions below the low-water snapshot
+  kCheckpoint,  ///< CHECKPOINT — snapshot base state, truncate the WAL
   kExplainAnalyze,  ///< EXPLAIN ANALYZE stmt — run with a bound QueryTrace
   kShowStats,       ///< SHOW STATS [LIKE 'pat'] — dump the metrics registry
   kSetPolicy,       ///< SET POLICY name [BUDGET f] — runtime policy switch

@@ -29,7 +29,19 @@
 //   strategy sort                      # rebuild the store: scan|crack|sort
 //   policy auto 0.1                    # live policy switch (SHOW POLICY)
 //   mergepolicy ripple                 # immediate|threshold|ripple deltas
+//   CHECKPOINT                         # snapshot base state, truncate WAL
 //   tables / help / quit
+//
+// Startup flags open a durable database instead of an in-memory one:
+//
+//   crackstore_shell --db=/path/to/db [--fsync=off|commit|interval]
+//                    [--fsync-interval=SECONDS] [--checkpoint-mb=MB]
+//                    [--autovacuum=VERSIONS]
+//
+// With --db the shell recovers whatever the directory holds (checkpoint +
+// commit-log replay) and every committed statement survives a restart.
+// `strategy` then reopens the database from disk rather than handing tables
+// over in memory — the accelerators are disposable, the base state is not.
 //
 // Exit status is non-zero if any command failed (useful for scripted runs).
 
@@ -37,6 +49,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -58,7 +71,11 @@ namespace {
 
 class Shell {
  public:
-  Shell() { Reset(AccessStrategy::kCrack); }
+  explicit Shell(DbOptions base) : base_options_(std::move(base)) {}
+
+  /// Builds (or, with --db, recovers) the first store. Call once before
+  /// Execute; errors here are fatal to the session.
+  Status Init() { return Reset(base_options_.strategy); }
 
   /// Executes one command line; returns false only for `quit`.
   bool Execute(const std::string& line) {
@@ -78,13 +95,13 @@ class Shell {
   int errors() const { return errors_; }
 
  private:
-  void Reset(AccessStrategy strategy) {
-    Reset(strategy, policy_, delta_merge_);
+  Status Reset(AccessStrategy strategy) {
+    return Reset(strategy, policy_, delta_merge_);
   }
 
-  void Reset(AccessStrategy strategy, CrackPolicy policy,
-             DeltaMergeOptions delta_merge) {
-    AdaptiveStoreOptions opts;
+  Status Reset(AccessStrategy strategy, CrackPolicy policy,
+               DeltaMergeOptions delta_merge) {
+    DbOptions opts = base_options_;
     opts.strategy = strategy;
     opts.policy.policy = policy;
     opts.policy.progressive_budget = budget_;
@@ -99,21 +116,40 @@ class Shell {
         std::printf("note: open transaction rolled back by the reset\n");
         (void)session_->Close();
       }
-      for (const std::string& name : store_->TableNames()) {
-        tables.push_back(*store_->table(name));
-        // The base relations are append-only; deleted rows must be
-        // re-marked on the fresh store or they would resurrect.
-        auto oids = store_->DeletedOids(name);
-        if (oids.ok() && !oids->empty()) dead.emplace_back(name, *oids);
+      if (store_->durable()) {
+        // A durable store reloads its state from disk: checkpoint + reopen
+        // instead of the in-memory table hand-over (which could not carry
+        // the commit log anyway).
+        CRACK_RETURN_NOT_OK(store_->Close());
+      } else {
+        for (const std::string& name : store_->TableNames()) {
+          tables.push_back(*store_->table(name));
+          // The base relations are append-only; deleted rows must be
+          // re-marked on the fresh store or they would resurrect.
+          auto oids = store_->DeletedOids(name);
+          if (oids.ok() && !oids->empty()) dead.emplace_back(name, *oids);
+        }
       }
+      store_.reset();
     }
-    store_ = std::make_unique<AdaptiveStore>(opts);
+    CRACK_ASSIGN_OR_RETURN(store_, AdaptiveStore::Open(opts));
     session_ = std::make_unique<sql::SqlSession>(store_.get());
     for (auto& t : tables) (void)store_->AddTable(std::move(t));
     for (auto& [name, oids] : dead) (void)store_->MarkDeleted(name, oids);
     strategy_ = strategy;
     policy_ = policy;
     delta_merge_ = delta_merge;
+    const auto& ri = store_->recovery_info();
+    if (ri.recovered) {
+      std::printf(
+          "opened %s: %zu table(s) from checkpoint, %llu commit(s) "
+          "replayed%s (%.1f ms)\n",
+          base_options_.path.c_str(), ri.checkpoint_tables,
+          static_cast<unsigned long long>(ri.replayed_commits),
+          ri.torn_tail ? ", torn log tail truncated" : "",
+          ri.replay_seconds * 1e3);
+    }
+    return Status::OK();
   }
 
   Status Dispatch(const std::string& cmd, std::istringstream* in) {
@@ -130,7 +166,8 @@ class Shell {
     for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
     if (upper == "INSERT" || upper == "DELETE" || upper == "UPDATE" ||
         upper == "BEGIN" || upper == "COMMIT" || upper == "ROLLBACK" ||
-        upper == "ABORT" || upper == "VACUUM" || upper == "SET") {
+        upper == "ABORT" || upper == "VACUUM" || upper == "SET" ||
+        upper == "CHECKPOINT") {
       // Bare DML / transaction statements route straight to the SQL
       // frontend (the session tracks the open transaction).
       std::string rest;
@@ -159,6 +196,7 @@ class Shell {
     }
     if (cmd == "txn") return Txn(in);
     if (cmd == "vacuum") return RunSql("VACUUM");
+    if (cmd == "checkpoint") return RunSql("CHECKPOINT");
     if (cmd == "create") return Create(in);
     if (cmd == "tables") return Tables();
     if (cmd == "select") return Select(in);
@@ -249,6 +287,8 @@ class Shell {
         "  txn <begin|commit|abort|status>; reads inside a txn keep seeing\n"
         "  its snapshot, write-write conflicts abort the second committer)\n"
         "  vacuum | VACUUM    (reclaim versions below the low-water snapshot)\n"
+        "  checkpoint | CHECKPOINT   (durable stores: snapshot base state,\n"
+        "      truncate the commit log; error on an in-memory store)\n"
         "  select <table> <col> <lo> <hi> [count|view|materialize]\n"
         "  where <table> <col> <op:< <= > >= => <value>\n"
         "  and <table> <col> <lo> <hi> <col> <lo> <hi> ...\n"
@@ -604,7 +644,7 @@ class Shell {
     } else {
       return Status::InvalidArgument("usage: strategy <scan|crack|sort>");
     }
-    Reset(strategy);
+    CRACK_RETURN_NOT_OK(Reset(strategy));
     std::printf("strategy set to %s (accelerators dropped)\n",
                 AccessStrategyName(strategy));
     return Status::OK();
@@ -652,7 +692,11 @@ class Shell {
       // The latch protocol is a store-construction property; rebuild the
       // store around the existing tables (tombstones re-marked, like
       // `strategy`).
-      Reset(strategy_);
+      Status st = Reset(strategy_);
+      if (!st.ok()) {
+        concurrent_ = !concurrent;  // the rebuild failed; keep the old mode
+        return st;
+      }
     }
     std::printf("task pool: %zu thread(s); store runs %s\n", n,
                 concurrent_ ? "concurrent (per-column latches + piece locks; "
@@ -671,12 +715,13 @@ class Shell {
     }
     double fraction;
     if (*in >> fraction) options.threshold_fraction = fraction;
-    Reset(strategy_, policy_, options);
+    CRACK_RETURN_NOT_OK(Reset(strategy_, policy_, options));
     std::printf("delta merge policy set to %s (accelerators dropped)\n",
                 DeltaMergePolicyName(delta_merge_.policy));
     return Status::OK();
   }
 
+  DbOptions base_options_;  ///< durability axes every Reset reuses
   std::unique_ptr<AdaptiveStore> store_;
   std::unique_ptr<sql::SqlSession> session_;  ///< owns the open transaction
   AccessStrategy strategy_ = AccessStrategy::kCrack;
@@ -688,8 +733,65 @@ class Shell {
   int errors_ = 0;
 };
 
-int Main() {
-  Shell shell;
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--db=PATH] [--fsync=off|commit|interval]\n"
+      "          [--fsync-interval=SECONDS] [--checkpoint-mb=MB]\n"
+      "          [--autovacuum=VERSIONS]\n"
+      "  --db=PATH          open a durable database under PATH (created and\n"
+      "                     recovered as needed); omit for in-memory\n"
+      "  --fsync=POLICY     when commits reach stable storage (default:\n"
+      "                     commit)\n"
+      "  --fsync-interval=S max staleness under --fsync=interval\n"
+      "  --checkpoint-mb=N  auto-checkpoint once the commit log passes N MiB\n"
+      "                     (0 = manual CHECKPOINT only)\n"
+      "  --autovacuum=N     vacuum once the version log holds N entries\n"
+      "                     (0 = manual vacuum only)\n",
+      argv0);
+}
+
+int Main(int argc, char** argv) {
+  DbOptions base;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--db=", 0) == 0) {
+      base.path = value_of("--db=");
+      base.durability = DurabilityMode::kWal;
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      auto policy = durability::ParseFsyncPolicy(value_of("--fsync="));
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+        return 2;
+      }
+      base.fsync_policy = *policy;
+    } else if (arg.rfind("--fsync-interval=", 0) == 0) {
+      base.fsync_interval_seconds =
+          std::strtod(value_of("--fsync-interval=").c_str(), nullptr);
+    } else if (arg.rfind("--checkpoint-mb=", 0) == 0) {
+      base.checkpoint_interval_bytes =
+          std::strtoull(value_of("--checkpoint-mb=").c_str(), nullptr, 10)
+          << 20;
+    } else if (arg.rfind("--autovacuum=", 0) == 0) {
+      base.autovacuum_version_threshold =
+          std::strtoull(value_of("--autovacuum=").c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+  Shell shell(std::move(base));
+  if (Status st = shell.Init(); !st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
   bool interactive = isatty(fileno(stdin));
   std::string line;
   if (interactive) {
@@ -709,4 +811,4 @@ int Main() {
 }  // namespace
 }  // namespace crackstore
 
-int main() { return crackstore::Main(); }
+int main(int argc, char** argv) { return crackstore::Main(argc, argv); }
