@@ -8,8 +8,11 @@
 //
 // `--json=PATH` switches to a self-contained SIMD-tier comparison: every
 // supported kernel tier (scalar / predicated / avx2 / neon) cracks 1M rows
-// per element type and selectivity, and the medians land in PATH as JSON.
-// CI's bench-smoke lane reads `dispatched_vs_scalar_int32` from that file.
+// per element type and selectivity, and the medians land in PATH as JSON —
+// plus an aggregate-pushdown comparison (SUM over a warmed cracked int32
+// column via span kernels vs materialize-then-loop). CI's bench-smoke lane
+// reads `dispatched_vs_scalar_int32` and
+// `agg_pushdown_vs_materialize_int32` from that file.
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/adaptive_store.h"
 #include "core/crack_kernels.h"
 #include "core/cracker_index.h"
 #include "core/oid_set_ops.h"
@@ -234,6 +238,84 @@ struct TierRow {
   double ns;
 };
 
+struct AggCompare {
+  double pushdown_ns = 0.0;     ///< median AggregateRange wall time
+  double materialize_ns = 0.0;  ///< median SelectRange(kView)+loop wall time
+  double ratio = 0.0;           ///< materialize / pushdown (higher = better)
+};
+
+/// SUM over a warmed cracked int32 column: the span-kernel pushdown path
+/// against the materialize-then-loop oracle (collect the oid view, gather
+/// each value from the base column, accumulate). CI's bench-smoke lane
+/// gates `agg_pushdown_vs_materialize_int32` from this at >= 2x.
+AggCompare MeasureAggPushdown(size_t n, int reps) {
+  AggCompare out;
+  AdaptiveStoreOptions opts;  // defaults: crack strategy, standard policy
+  AdaptiveStore store(opts);
+  auto rel_or = Relation::Create("B", Schema({{"k", ValueType::kInt32}}));
+  if (!rel_or.ok()) return out;
+  std::shared_ptr<Relation> rel = *rel_or;
+  Pcg32 rng(1203);
+  for (size_t i = 0; i < n; ++i) {
+    (void)rel->AppendRow({Value(static_cast<int32_t>(
+        rng.NextInRange(0, static_cast<int64_t>(n))))});
+  }
+  if (!store.AddTable(rel).ok()) return out;
+
+  // Warm the cracker: a few scattered cuts plus the measured range, so both
+  // paths read an already-cracked column (the steady state the read path
+  // optimizes).
+  const RangeBounds range = RangeBounds::Closed(
+      static_cast<int64_t>(n) / 4, 3 * static_cast<int64_t>(n) / 4);
+  for (int q = 0; q < 8; ++q) {
+    int64_t lo = rng.NextInRange(0, static_cast<int64_t>(n) - n / 10);
+    (void)store.SelectRange("B", "k",
+                            RangeBounds::Closed(lo, lo + static_cast<int64_t>(n) / 10));
+  }
+  if (!store.SelectRange("B", "k", range).ok()) return out;
+
+  const int32_t* base =
+      reinterpret_cast<const int32_t*>(rel->column(0)->raw_data());
+  std::vector<double> push_times, mat_times;
+  int64_t push_sum = 0, mat_sum = 0;
+  for (int r = 0; r <= reps; ++r) {  // rep 0 is warm-up
+    auto t0 = std::chrono::steady_clock::now();
+    auto agg = store.AggregateRange("B", "k", range);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!agg.ok()) return out;
+    push_sum = agg->sum;
+    auto t2 = std::chrono::steady_clock::now();
+    auto qr = store.SelectRange("B", "k", range, Delivery::kView);
+    if (!qr.ok()) return out;
+    std::vector<Oid> oids = std::move(*qr).CollectOids();
+    int64_t sum = 0;
+    for (Oid oid : oids) sum += base[oid];
+    auto t3 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sum);
+    mat_sum = sum;
+    if (r > 0) {
+      push_times.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+      mat_times.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t3 - t2)
+              .count()));
+    }
+  }
+  if (push_sum != mat_sum) {
+    std::fprintf(stderr, "agg pushdown mismatch: %lld vs %lld\n",
+                 static_cast<long long>(push_sum),
+                 static_cast<long long>(mat_sum));
+    return out;
+  }
+  std::sort(push_times.begin(), push_times.end());
+  std::sort(mat_times.begin(), mat_times.end());
+  out.pushdown_ns = push_times[push_times.size() / 2];
+  out.materialize_ns = mat_times[mat_times.size() / 2];
+  if (out.pushdown_ns > 0.0) out.ratio = out.materialize_ns / out.pushdown_ns;
+  return out;
+}
+
 int RunTierComparison(const std::string& path) {
   const size_t kRows = 1 << 20;
   const int kReps = 7;
@@ -274,6 +356,8 @@ int RunTierComparison(const std::string& path) {
   const double dispatched_vs_scalar =
       pairs > 0 ? std::exp(log_sum / pairs) : 1.0;
 
+  const AggCompare agg = MeasureAggPushdown(kRows, kReps);
+
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -285,6 +369,9 @@ int RunTierComparison(const std::string& path) {
   out << "  \"reps\": " << kReps << ",\n";
   out << "  \"active_tier\": \"" << SimdTierName(active) << "\",\n";
   out << "  \"dispatched_vs_scalar_int32\": " << dispatched_vs_scalar << ",\n";
+  out << "  \"agg_pushdown_median_ns\": " << agg.pushdown_ns << ",\n";
+  out << "  \"agg_materialize_median_ns\": " << agg.materialize_ns << ",\n";
+  out << "  \"agg_pushdown_vs_materialize_int32\": " << agg.ratio << ",\n";
   out << "  \"results\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const TierRow& r = rows[i];
@@ -301,6 +388,8 @@ int RunTierComparison(const std::string& path) {
   std::printf("active tier: %s\n", SimdTierName(active));
   std::printf("dispatched vs scalar (int32, geomean): %.2fx\n",
               dispatched_vs_scalar);
+  std::printf("agg pushdown vs materialize (int32 SUM, warmed crack): %.2fx\n",
+              agg.ratio);
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -94,6 +94,44 @@ int Run(int argc, char** argv) {
     sort_run.count = sorted.size();
     emit("sort_column", sort_run);
   }
+  // 7) Aggregation below the SQL level: SUM over the same predicate against
+  //    a warmed cracked column, first materialize-then-loop (collect the
+  //    oid view, gather every value), then the span-kernel pushdown that
+  //    never builds the oid list. The gap is the result-materialization tax
+  //    §5.1 charges every SQL-level answer.
+  {
+    AdaptiveStoreOptions sopts;
+    auto store = *bench::OpenStore(flags, sopts);
+    auto agg_rel = *BuildTapestry("R", topts);
+    CRACK_CHECK(store->AddTable(agg_rel).ok());
+    CRACK_CHECK(store->SelectRange("R", "c0", pred).ok());  // warm the crack
+
+    const int64_t* base =
+        reinterpret_cast<const int64_t*>((*agg_rel->column("c0"))->raw_data());
+    int64_t mat_sum = 0;
+    {
+      RunResult mat;
+      WallTimer timer;
+      auto qr = *store->SelectRange("R", "c0", pred, Delivery::kView);
+      for (Oid oid : qr.CollectOids()) mat_sum += base[oid];
+      mat.seconds = timer.ElapsedSeconds();
+      mat.io = qr.io;
+      mat.count = qr.count;
+      emit("agg_materialize", mat);
+    }
+    {
+      RunResult push;
+      WallTimer timer;
+      auto agg = store->AggregateRange("R", "c0", pred);
+      push.seconds = timer.ElapsedSeconds();
+      if (agg.ok()) {
+        CRACK_CHECK(agg->sum == mat_sum);
+        push.io = agg->io;
+        push.count = agg->rows;
+      }
+      emit("agg_pushdown", push);
+    }
+  }
 
   out.PrintCsv(stdout);
   return 0;

@@ -183,6 +183,7 @@ void ReadmitOverrides(const SnapshotView* view, T lo, bool lo_incl, T hi,
     if (!InRange(CastValue<T>(value), lo, lo_incl, hi, hi_incl)) continue;
     ++out->count;
     if (want_oids) out->oids.push_back(oid);
+    if (out->has_span_set) out->span_set.AddExtra(oid);
   }
 }
 
@@ -245,8 +246,14 @@ void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
     }
     for (size_t i = 0; i < span; ++i) {
       Oid oid = oid_ptr[i];
-      if (num_tombstones > 0 && is_deleted(oid)) continue;
-      if (versioned && !BitmapTest(vis.data(), i)) continue;
+      bool drop = (num_tombstones > 0 && is_deleted(oid)) ||
+                  (versioned && !BitmapTest(vis.data(), i));
+      if (drop) {
+        // The span survives the delta: a dropped row becomes an exception
+        // bit instead of forcing the whole answer into an oid list.
+        if (out->has_span_set) out->span_set.MarkException(i);
+        continue;
+      }
       ++count;
       if (want_oids) oids.push_back(oid);
     }
@@ -266,6 +273,7 @@ void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
     if (versioned && view->Hides(oid)) continue;
     ++count;
     if (want_oids) oids.push_back(oid);
+    if (out->has_span_set) out->span_set.AddExtra(oid);
   }
   out->contiguous = false;
   out->view = CrackSelection{};
@@ -273,6 +281,86 @@ void OverlayDeltaAnswer(const std::vector<std::pair<T, Oid>>& pending,
   out->oids = std::move(oids);
   ReadmitOverrides<T>(view, lo, lo_incl, hi, hi_incl, want_oids, out);
   if (want_oids) std::sort(out->oids.begin(), out->oids.end());
+}
+
+/// Reduces the value span [vals, vals + n) with the optional visibility /
+/// tombstone filters: the unmasked kernel runs when nothing can hide a row,
+/// otherwise one batch visibility mask (a single version-log latch for the
+/// whole span) with tombstones cleared bit-wise feeds the masked kernel.
+template <typename T, typename IsDeletedFn>
+SpanAggregates ReduceSpan(const T* vals, const Oid* oid_data, size_t n,
+                          size_t num_tombstones, IsDeletedFn&& is_deleted,
+                          const SnapshotView* view) {
+  bool versioned = ViewActive(view);
+  if (!versioned && num_tombstones == 0) return AggregateSpan(vals, n);
+  std::vector<uint64_t> bm(BitmapWords(n));
+  if (versioned) {
+    view->VisibleMask(oid_data, n, bm.data());
+  } else {
+    BitmapFill(bm.data(), n);
+  }
+  if (num_tombstones > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (BitmapTest(bm.data(), i) && is_deleted(oid_data[i])) {
+        BitmapClearBit(bm.data(), i);
+      }
+    }
+  }
+  return AggregateSpanMasked(vals, n, bm.data());
+}
+
+/// Folds a span-kernel result plus the scalar corrections — qualifying
+/// pending inserts and snapshot override re-admissions — into the
+/// int64-widened aggregate answer. The corrections are purely additive:
+/// VisibleMask already excluded every overridden and hidden row from the
+/// span reduction, which is what makes MIN/MAX pushable at all.
+template <typename T>
+void FoldAggregates(const SpanAggregates& agg, size_t span_n,
+                    const std::vector<std::pair<T, Oid>>& pending, T lo,
+                    bool lo_incl, T hi, bool hi_incl, const SnapshotView* view,
+                    IoStats* stats, ColumnAggregates* out) {
+  bool versioned = ViewActive(view);
+  out->pushdown_rows = span_n;
+  out->rows = agg.count;
+  // Wrapping uint64 matches both the kernel contract and the executor's
+  // scalar int64 accumulator (two's complement).
+  uint64_t sum = static_cast<uint64_t>(agg.sum_i);
+  bool have = agg.count > 0;
+  int64_t mn = have ? agg.min_i : 0;
+  int64_t mx = have ? agg.max_i : 0;
+  auto fold = [&](int64_t v) {
+    sum += static_cast<uint64_t>(v);
+    ++out->rows;
+    if (!have || v < mn) mn = v;
+    if (!have || v > mx) mx = v;
+    have = true;
+  };
+  for (const auto& [value, oid] : pending) {
+    if (!InRange(value, lo, lo_incl, hi, hi_incl)) continue;
+    // Snapshot filter only: an updated row is tombstoned at its old
+    // position AND pending at its new value.
+    if (versioned && view->Hides(oid)) continue;
+    fold(static_cast<int64_t>(value));
+  }
+  if (versioned) {
+    for (const auto& [oid, value] : view->overrides()) {
+      if (!view->RowVisible(oid)) continue;
+      T tv = CastValue<T>(value);
+      if (!InRange(tv, lo, lo_incl, hi, hi_incl)) continue;
+      fold(static_cast<int64_t>(tv));
+    }
+  }
+  out->sum = static_cast<int64_t>(sum);
+  out->has_minmax = have;
+  out->min = mn;
+  out->max = mx;
+  if (stats != nullptr) stats->tuples_read += span_n + pending.size();
+}
+
+/// Shared empty-range probe for the aggregate entry points.
+template <typename T>
+bool EmptyRange(T lo, bool lo_incl, T hi, bool hi_incl) {
+  return lo > hi || (lo == hi && !(lo_incl && hi_incl));
 }
 
 // --- crack ----------------------------------------------------------------
@@ -376,6 +464,18 @@ class CrackAccessPath : public ColumnAccessPath {
         ProgressiveSelect(lo, lo_incl, hi, hi_incl, gather, stats, &out);
         break;
     }
+    // Zero-materialization answer: a contiguous piece of the cracked column
+    // is one span over its permuted oid map. The overlay below keeps the
+    // span and degrades deltas into exception bits / extras instead of
+    // forcing an oid-list materialization. Serial statements only — shared
+    // readers go through SelectShared, whose spans would not survive the
+    // range locks dropping.
+    if (out.contiguous && out.view.oids.bat() != nullptr) {
+      out.span_set.BindOidMap(out.view.oids.bat());
+      out.span_set.AddSpan(out.view.oids.offset(),
+                           out.view.oids.offset() + out.view.oids.size());
+      out.has_span_set = true;
+    }
     OverlayDeltaAnswer<T>(
         updatable_->pending(), updatable_->pending_deletes(),
         [this](Oid oid) { return updatable_->IsDeleted(oid); }, lo, lo_incl,
@@ -386,6 +486,64 @@ class CrackAccessPath : public ColumnAccessPath {
           EnforceMergeBudget(inner, config_.merge_budget, stats);
     }
     return out;
+  }
+
+  Result<ColumnAggregates> AggregateRange(
+      const RangeBounds& range, IoStats* stats,
+      const SnapshotView* view = nullptr) override {
+    if constexpr (std::is_floating_point_v<T>) {
+      (void)range;
+      (void)stats;
+      (void)view;
+      return Status::Unimplemented(
+          "aggregate pushdown: non-integer column domain");
+    } else {
+      T lo, hi;
+      bool lo_incl, hi_incl;
+      ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+      ColumnAggregates out;
+      if (EmptyRange(lo, lo_incl, hi, hi_incl)) return out;
+      // The aggregate is still a query, so it still advises the detector.
+      if (engine_.policy() == CrackPolicy::kAuto) {
+        const double mid =
+            0.5 * static_cast<double>(lo) + 0.5 * static_cast<double>(hi);
+        if (config_.concurrent) {
+          std::lock_guard<std::mutex> lk(engine_mu_);
+          engine_.Observe(mid);
+        } else {
+          engine_.Observe(mid);
+        }
+      }
+      if (config_.concurrent &&
+          concurrency() == PathConcurrency::kSharedReads &&
+          built_.load(std::memory_order_acquire)) {
+        return AggregateShared(lo, lo_incl, hi, hi_incl, stats, view);
+      }
+      if (engine_.effective() == CrackPolicy::kProgressive) {
+        // A budgeted crack may leave open frontiers; cutting exactly here
+        // would blow the write budget the policy promises to honor.
+        return Status::Unimplemented(
+            "aggregate pushdown: progressive cracks stay budgeted");
+      }
+      EnsureBuilt(stats);
+      if (!config_.concurrent) MaybeMergeOnSelect(stats);
+      CrackerIndex<T>* inner = updatable_->mutable_index();
+      if (engine_.effective() == CrackPolicy::kStochastic) {
+        StochasticShrink(lo, /*want_incl=*/!lo_incl, stats);
+        StochasticShrink(hi, /*want_incl=*/hi_incl, stats);
+      }
+      // Every remaining policy cuts exactly at the bounds: a pushed-down
+      // reduction needs value-exact spans and has no per-row loop left to
+      // trim fuzzy edges in. kCoarse therefore cracks finer here than its
+      // select threshold would — a documented deviation.
+      CrackSelection sel = inner->Select(lo, lo_incl, hi, hi_incl, stats);
+      AccumulateSpan(inner, sel.values.offset(), sel.values.size(), lo,
+                     lo_incl, hi, hi_incl, view, stats, &out);
+      if (!config_.merge_budget.unlimited()) {
+        (void)EnforceMergeBudget(inner, config_.merge_budget, stats);
+      }
+      return out;
+    }
   }
 
   Status Insert(const Value& value, Oid oid, IoStats* stats) override {
@@ -772,6 +930,58 @@ class CrackAccessPath : public ColumnAccessPath {
     return out;
   }
 
+  /// Reduces the value-exact cracked span [pos, pos + n) plus the delta and
+  /// override corrections into `out`. Shared-latch callers hold the range
+  /// lock over the span and the delta latch; serial callers need neither.
+  void AccumulateSpan(CrackerIndex<T>* inner, size_t pos, size_t n, T lo,
+                      bool lo_incl, T hi, bool hi_incl,
+                      const SnapshotView* view, IoStats* stats,
+                      ColumnAggregates* out) {
+    const T* vals = inner->values()->template TailData<T>() + pos;
+    const Oid* oid_data = inner->oids()->template TailData<Oid>() + pos;
+    SpanAggregates agg = ReduceSpan<T>(
+        vals, oid_data, n, updatable_->pending_deletes(),
+        [this](Oid oid) { return updatable_->IsDeleted(oid); }, view);
+    FoldAggregates<T>(agg, n, updatable_->pending(), lo, lo_incl, hi,
+                      hi_incl, view, stats, out);
+  }
+
+  /// Shared-latch aggregate pushdown: concurrent value-exact cuts, then the
+  /// span reduction under the range lock (span held still) and the delta
+  /// latch (stable pending list / tombstones).
+  Result<ColumnAggregates> AggregateShared(T lo, bool lo_incl, T hi,
+                                           bool hi_incl, IoStats* stats,
+                                           const SnapshotView* view) {
+    const CrackPolicy eff = engine_.effective();
+    if (eff == CrackPolicy::kCoarse || eff == CrackPolicy::kProgressive) {
+      // Both answer with fuzzy spans under the shared latch; forcing exact
+      // cuts here would crack below the coarse threshold or blow the
+      // progressive budget. Callers fall back to the materialized loop.
+      return Status::Unimplemented(
+          "aggregate pushdown: concurrent coarse/progressive pieces");
+    }
+    CrackerIndex<T>* inner = updatable_->mutable_index();
+    if (eff == CrackPolicy::kStochastic) {
+      StochasticShrinkConcurrent(lo, /*want_incl=*/!lo_incl, stats);
+      StochasticShrinkConcurrent(hi, /*want_incl=*/hi_incl, stats);
+    }
+    size_t cut_lo = 0;
+    size_t cut_hi = 0;
+    if (!inner->FindCutConcurrent(lo, !lo_incl, &cut_lo)) {
+      cut_lo = inner->CutConcurrent(lo, /*want_incl=*/!lo_incl, stats);
+    }
+    if (!inner->FindCutConcurrent(hi, hi_incl, &cut_hi)) {
+      cut_hi = inner->CutConcurrent(hi, /*want_incl=*/hi_incl, stats);
+    }
+    if (cut_hi < cut_lo) cut_hi = cut_lo;
+    ColumnAggregates out;
+    RangeLockGuard span = inner->LockRangeShared(cut_lo, cut_hi);
+    std::lock_guard<std::mutex> dl(delta_mu_);
+    AccumulateSpan(inner, cut_lo, cut_hi - cut_lo, lo, lo_incl, hi, hi_incl,
+                   view, stats, &out);
+    return out;
+  }
+
   Status MaybeMergeOnWrite(IoStats* stats) {
     // Concurrent mode: merges swap the accelerator, which needs the
     // exclusive latch; DML runs under the shared one. The owner polls
@@ -1037,6 +1247,16 @@ class SortAccessPath : public ColumnAccessPath {
     // shared latch (the copy is only replaced under the exclusive one).
     out.view = sorted_->Select(lo, lo_incl, hi, hi_incl, stats);
     out.count = out.view.count();
+    // One span over the sorted copy's oid map. The sorted copy never
+    // shuffles under shared readers (replacing it takes the exclusive
+    // latch), so the span set is valid for as long as the selection is —
+    // consumers drain it before the column latch drops.
+    if (out.view.oids.bat() != nullptr) {
+      out.span_set.BindOidMap(out.view.oids.bat());
+      out.span_set.AddSpan(out.view.oids.offset(),
+                           out.view.oids.offset() + out.view.oids.size());
+      out.has_span_set = true;
+    }
     {
       std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
       if (shared_mode) dl.lock();
@@ -1049,6 +1269,46 @@ class SortAccessPath : public ColumnAccessPath {
     // sorted copy never shuffles under shared readers, so the view is
     // stable for as long as the caller holds the (shared) column latch.
     return out;
+  }
+
+  Result<ColumnAggregates> AggregateRange(
+      const RangeBounds& range, IoStats* stats,
+      const SnapshotView* view = nullptr) override {
+    if constexpr (std::is_floating_point_v<T>) {
+      (void)range;
+      (void)stats;
+      (void)view;
+      return Status::Unimplemented(
+          "aggregate pushdown: non-integer column domain");
+    } else {
+      T lo, hi;
+      bool lo_incl, hi_incl;
+      ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+      ColumnAggregates out;
+      if (EmptyRange(lo, lo_incl, hi, hi_incl)) return out;
+      bool shared_mode =
+          config_.concurrent && built_.load(std::memory_order_acquire);
+      if (sorted_ == nullptr) {
+        sorted_ = std::make_unique<SortedColumn<T>>(column_, stats);
+        accel_size_.store(sorted_->size(), std::memory_order_relaxed);
+        built_.store(true, std::memory_order_release);
+      }
+      if (!config_.concurrent) MaybeMergeOnSelect(stats);
+      // Binary search bounds the answer span; the reduction reads the
+      // sorted copy, which only the exclusive latch replaces.
+      CrackSelection sel = sorted_->Select(lo, lo_incl, hi, hi_incl, stats);
+      const T* vals = sel.values.template data<T>();
+      const Oid* oid_data = sel.oids.template data<Oid>();
+      size_t n = sel.values.size();
+      std::unique_lock<std::mutex> dl(delta_mu_, std::defer_lock);
+      if (shared_mode) dl.lock();
+      SpanAggregates agg = ReduceSpan<T>(
+          vals, oid_data, n, deleted_.size(),
+          [this](Oid oid) { return deleted_.count(oid) > 0; }, view);
+      FoldAggregates<T>(agg, n, pending_, lo, lo_incl, hi, hi_incl, view,
+                        stats, &out);
+      return out;
+    }
   }
 
   Status Insert(const Value& value, Oid oid, IoStats* stats) override {
@@ -1343,6 +1603,11 @@ class ScanAccessPath : public ColumnAccessPath {
       }
     }
     out.count = BitmapCount(match.data(), n);
+    // Runs of matching rows become identity spans (oid = base + position):
+    // clustered data scans to a handful of spans, and downstream consumers
+    // (counts, intersections) never need the oid list below.
+    out.span_set = OidSpanSet::FromMatchBitmap(match.data(), n, base);
+    out.has_span_set = true;
     if (want_oids) {
       out.oids.reserve(out.count);
       for (size_t w = 0; w < match.size(); ++w) {
@@ -1361,6 +1626,55 @@ class ScanAccessPath : public ColumnAccessPath {
       if (want_oids) stats->tuples_written += out.count;
     }
     return out;
+  }
+
+  Result<ColumnAggregates> AggregateRange(
+      const RangeBounds& range, IoStats* stats,
+      const SnapshotView* view = nullptr) override {
+    if constexpr (std::is_floating_point_v<T>) {
+      (void)range;
+      (void)stats;
+      (void)view;
+      return Status::Unimplemented(
+          "aggregate pushdown: non-integer column domain");
+    } else {
+      T lo, hi;
+      bool lo_incl, hi_incl;
+      ClampRange<T>(range, &lo, &lo_incl, &hi, &hi_incl);
+      ColumnAggregates out;
+      if (EmptyRange(lo, lo_incl, hi, hi_incl)) return out;
+      std::unordered_set<Oid> snapshot;
+      const std::unordered_set<Oid>* tombs = &deleted_;
+      if (config_.concurrent) {
+        std::lock_guard<std::mutex> dl(delta_mu_);
+        snapshot = deleted_;
+        tombs = &snapshot;
+      }
+      const T* data = column_->TailData<T>();
+      size_t n = column_->size();
+      Oid base = column_->head_base();
+      bool versioned = ViewActive(view);
+      // Same branchless mask pipeline as Select, but the finished bitmap
+      // feeds the masked reduction kernel instead of a bit-iterate oid
+      // gather — the whole column is the pushdown span.
+      std::vector<uint64_t> match(BitmapWords(n));
+      RangeMatchMask<T>(data, n, /*has_lo=*/true, lo, lo_incl,
+                        /*has_hi=*/true, hi, hi_incl, match.data());
+      if (versioned) {
+        std::vector<uint64_t> vis(BitmapWords(n));
+        view->VisibleRangeMask(base, n, vis.data());
+        for (size_t w = 0; w < match.size(); ++w) match[w] &= vis[w];
+      }
+      for (Oid oid : *tombs) {
+        if (oid >= base && oid - base < n) {
+          BitmapClearBit(match.data(), size_t(oid - base));
+        }
+      }
+      SpanAggregates agg = AggregateSpanMasked(data, n, match.data());
+      FoldAggregates<T>(agg, n, {}, lo, lo_incl, hi, hi_incl, view, stats,
+                        &out);
+      return out;
+    }
   }
 
   // The base column carries inserts (appended) and updates (overwritten in

@@ -43,6 +43,7 @@
 #include "core/crack_policy.h"
 #include "core/cracker_index.h"
 #include "core/merge_policy.h"
+#include "core/oid_span_set.h"
 #include "core/range_bounds.h"
 #include "core/txn_manager.h"
 #include "core/typed_range.h"
@@ -126,6 +127,30 @@ struct AccessSelection {
   std::vector<Oid> oids;   ///< qualifying source oids, ascending (only
                            ///< filled when the caller asked for oids)
   size_t bounds_dropped = 0;  ///< boundaries fused by the merge budget
+  /// Zero-materialization answer shape: when `has_span_set` is true,
+  /// `span_set` fully describes the qualifying rows (spans over the
+  /// accelerator layout, exception overlay for hidden/tombstoned rows,
+  /// extras for delta inserts and override re-admissions) — independent of
+  /// whether `oids` was also gathered. Serial paths only: the spans borrow
+  /// the accelerator layout, which concurrent statements may reshuffle
+  /// after the answering range locks drop.
+  bool has_span_set = false;
+  OidSpanSet span_set;
+};
+
+/// What an aggregate pushdown computes in one span-kernel pass over the
+/// qualifying rows (SIMD reduction over contiguous accelerator spans +
+/// O(deltas) scalar corrections). Values are int64-widened: the SQL layer
+/// only pushes integer aggregate columns down, and integer sums wrap mod
+/// 2^64 exactly like the executor's scalar accumulator.
+struct ColumnAggregates {
+  uint64_t rows = 0;           ///< qualifying rows (COUNT of the range)
+  uint64_t pushdown_rows = 0;  ///< rows reduced by span kernels
+  int64_t sum = 0;             ///< wrapping sum over qualifying rows
+  bool has_minmax = false;     ///< rows > 0
+  int64_t min = 0;
+  int64_t max = 0;
+  IoStats io;                  ///< cost of the pushdown (facade-filled)
 };
 
 /// See file comment.
@@ -167,6 +192,26 @@ class ColumnAccessPath {
                                               bool want_oids, IoStats* stats,
                                               const SnapshotView* view =
                                                   nullptr);
+
+  /// Aggregate pushdown: COUNT/SUM/MIN/MAX of the rows matching `range`,
+  /// computed by horizontal SIMD reductions over the answer spans instead
+  /// of materializing an oid list. The range still cracks the column
+  /// (queries remain advice); snapshot divergence lands as O(overrides)
+  /// additive corrections — VisibleMask already excludes overridden and
+  /// hidden rows from the span reduction, so re-admissions only add.
+  /// Returns Unimplemented when this path cannot push the aggregate down
+  /// (non-integer domains; budgeted progressive cracks, which must not
+  /// exceed their write budget; concurrent coarse pieces) — callers fall
+  /// back to the materialize-then-loop path.
+  virtual Result<ColumnAggregates> AggregateRange(const RangeBounds& range,
+                                                  IoStats* stats,
+                                                  const SnapshotView* view =
+                                                      nullptr) {
+    (void)range;
+    (void)stats;
+    (void)view;
+    return Status::Unimplemented("aggregate pushdown: unsupported path");
+  }
 
   // --- DML ------------------------------------------------------------------
   // Contract: the owner of the base column applies the physical mutation

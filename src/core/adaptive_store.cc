@@ -11,6 +11,7 @@
 #include "core/oid_set_ops.h"
 #include "core/task_pool.h"
 #include "durability/checkpoint.h"
+#include "obs/instruments.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -101,18 +102,27 @@ Oid BaseOid(const Relation& rel) {
 }  // namespace
 
 std::vector<Oid> QueryResult::CollectOids() const& {
-  if (!has_selection) return scan_oids;
+  if (!has_selection) {
+    if (scan_oids.empty() && has_span_set && count > 0) {
+      // Span-only answer (e.g. a kCount-delivered leg that kept its span
+      // set): this is the true materialization boundary.
+      obs::RecordMaterializedOids(count);
+      return span_set.ToOids();
+    }
+    return scan_oids;
+  }
   std::vector<Oid> oids;
   oids.reserve(selection.count());
   for (size_t i = 0; i < selection.count(); ++i) {
     oids.push_back(selection.oids.Get<Oid>(i));
   }
   std::sort(oids.begin(), oids.end());
+  obs::RecordMaterializedOids(oids.size());
   return oids;
 }
 
 std::vector<Oid> QueryResult::CollectOids() && {
-  if (!has_selection) return std::move(scan_oids);
+  if (!has_selection && !scan_oids.empty()) return std::move(scan_oids);
   return static_cast<const QueryResult&>(*this).CollectOids();
 }
 
@@ -193,13 +203,26 @@ Result<std::shared_ptr<Bat>> AdaptiveStore::ResolveColumn(
   return (*rel)->column(column);
 }
 
+AccessPathConfig AdaptiveStore::PathConfigFor(const std::string& key) const {
+  AccessPathConfig config = options_.path_config();
+  auto it = recovered_policies_.find(key);
+  if (it != recovered_policies_.end()) {
+    // Resume what the previous run's workload taught this column rather
+    // than re-learning from the store-wide default.
+    config.policy.policy = it->second.first;
+    config.policy.progressive_budget = it->second.second;
+  }
+  return config;
+}
+
 Result<AdaptiveStore::ColumnAccel*> AdaptiveStore::Accel(
     const std::string& table, const std::string& column,
     const std::shared_ptr<Bat>& bat) {
-  ColumnAccel& accel = accels_[table + "." + column];
+  const std::string key = table + "." + column;
+  ColumnAccel& accel = accels_[key];
   if (accel.path == nullptr) {
-    CRACK_ASSIGN_OR_RETURN(
-        accel.path, CreateColumnAccessPath(bat, options_.path_config()));
+    CRACK_ASSIGN_OR_RETURN(accel.path,
+                           CreateColumnAccessPath(bat, PathConfigFor(key)));
     // A path born after a vacuum must not resurrect purged rows: the lazy
     // accelerator build reads the append-only base, which still holds them
     // physically. (Versioned-but-unpurged deletes need no replay — the
@@ -553,13 +576,15 @@ AdaptiveStore::TableState* AdaptiveStore::TableStateFor(
 }
 
 Status AdaptiveStore::CreatePathLocked(const std::string& table,
+                                       const std::string& column,
                                        ColumnAccel* accel,
                                        const std::shared_ptr<Bat>& bat,
                                        TableState* ts) {
   if (accel->has_path.load(std::memory_order_acquire)) return Status::OK();
   (void)ts;
-  CRACK_ASSIGN_OR_RETURN(accel->path,
-                         CreateColumnAccessPath(bat, options_.path_config()));
+  CRACK_ASSIGN_OR_RETURN(
+      accel->path,
+      CreateColumnAccessPath(bat, PathConfigFor(table + "." + column)));
   // A path born after a vacuum must not resurrect purged rows: replay them
   // before publishing the path (versioned deletes are filtered by the
   // SnapshotView at read time and need no replay).
@@ -599,10 +624,14 @@ Status AdaptiveStore::FinishSelectConcurrent(const std::string& table,
         result->scan_oids.push_back(sel.view.oids.Get<Oid>(i));
       }
       std::sort(result->scan_oids.begin(), result->scan_oids.end());
+      obs::RecordMaterializedOids(result->scan_oids.size());
     }
   } else {
     result->scan_oids = std::move(sel.oids);
+    obs::RecordMaterializedOids(result->scan_oids.size());
   }
+  // Span sets never escape here either: they pin the permuted oid map by
+  // shared_ptr, but its contents reshuffle once the latch drops.
   if (delivery == Delivery::kMaterialize) {
     auto rel = this->table(table);
     if (!rel.ok()) return rel.status();
@@ -660,7 +689,7 @@ Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
   } else {
     std::unique_lock<std::shared_mutex> col(accel->latch);
     std::shared_lock<std::shared_mutex> base(ts->base_latch);
-    CRACK_RETURN_NOT_OK(CreatePathLocked(table, accel, bat, ts));
+    CRACK_RETURN_NOT_OK(CreatePathLocked(table, column, accel, bat, ts));
     CRACK_ASSIGN_OR_RETURN(
         AccessSelection sel,
         accel->path->SelectTyped(range, want_oids, &result.io, view_ptr));
@@ -671,6 +700,46 @@ Result<QueryResult> AdaptiveStore::SelectRangeConcurrent(
   result.seconds = timer.ElapsedSeconds();
   AddIo(result.io);
   return result;
+}
+
+Result<ColumnAggregates> AdaptiveStore::AggregateRangeConcurrent(
+    const std::string& table, const std::string& column,
+    const RangeBounds& bounds, const Snapshot& snap) {
+  auto bat_result = ResolveColumn(table, column);
+  if (!bat_result.ok()) return bat_result.status();
+  std::shared_ptr<Bat> bat = *bat_result;
+
+  IoStats io;
+  obs::TraceSpan trace_span("aggregate(shared)", table + "." + column, &io);
+  ColumnAccel* accel;
+  TableState* ts;
+  ConcurrentEntries(table, column, &accel, &ts);
+
+  SnapshotView view = ViewForColumn(table, column, snap);
+  const SnapshotView* view_ptr = view.active() ? &view : nullptr;
+
+  CRACK_RETURN_NOT_OK(MaintainColumn(accel, ts, &io));
+
+  bool shared_mode =
+      accel->has_path.load(std::memory_order_acquire) &&
+      accel->path->concurrency() == PathConcurrency::kSharedReads &&
+      accel->path->SharedSelectReady();
+  Result<ColumnAggregates> out = ColumnAggregates{};
+  if (shared_mode) {
+    std::shared_lock<std::shared_mutex> col(accel->latch);
+    std::shared_lock<std::shared_mutex> base(ts->base_latch);
+    out = accel->path->AggregateRange(bounds, &io, view_ptr);
+  } else {
+    std::unique_lock<std::shared_mutex> col(accel->latch);
+    std::shared_lock<std::shared_mutex> base(ts->base_latch);
+    CRACK_RETURN_NOT_OK(CreatePathLocked(table, column, accel, bat, ts));
+    out = accel->path->AggregateRange(bounds, &io, view_ptr);
+  }
+  if (!out.ok()) return out.status();
+  out->io = io;
+  obs::RecordAggPushdown(out->pushdown_rows);
+  AddIo(io);
+  return out;
 }
 
 Result<QueryResult> AdaptiveStore::SelectConjunctionLocked(
@@ -1027,6 +1096,14 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
     result.has_selection = true;
   } else {
     result.scan_oids = std::move(sel.oids);
+    obs::RecordMaterializedOids(result.scan_oids.size());
+  }
+  if (sel.has_span_set) {
+    // Zero-materialization shape rides along: consumers that can work on
+    // spans (conjunction intersection, lazy CollectOids) never gather.
+    result.has_span_set = true;
+    result.span_set = std::move(sel.span_set);
+    obs::RecordSpanAnswer(result.span_set.num_spans(), result.span_set.count());
   }
 
   if (is_crack && options_.track_lineage) {
@@ -1073,6 +1150,65 @@ Result<QueryResult> AdaptiveStore::SelectRange(const std::string& table,
   result.seconds = timer.ElapsedSeconds();
   AddIo(result.io);
   return result;
+}
+
+Result<ColumnAggregates> AdaptiveStore::AggregateRange(
+    const std::string& table, const std::string& column,
+    const TypedRange& range, TxnId txn) {
+  if (range.has_string()) {
+    return Status::Unimplemented("aggregate pushdown: string predicate");
+  }
+  const RangeBounds bounds = range.ToNumericBounds();
+  CRACK_ASSIGN_OR_RETURN(Snapshot snap, ReadSnapshot(txn));
+  if (options_.concurrent) {
+    std::shared_lock<std::shared_mutex> g(global_mu_);
+    return AggregateRangeConcurrent(table, column, bounds, snap);
+  }
+  auto bat_result = ResolveColumn(table, column);
+  if (!bat_result.ok()) return bat_result.status();
+  std::shared_ptr<Bat> bat = *bat_result;
+
+  CRACK_ASSIGN_OR_RETURN(ColumnAccel * accel, Accel(table, column, bat));
+  bool is_crack = accel->path->strategy() == AccessStrategy::kCrack;
+  if (is_crack && options_.track_lineage && !options_.merge_budget.unlimited()) {
+    // A budgeted merge inside the aggregate can fuse pieces without
+    // reporting bounds_dropped here, leaving the lineage DAG stale; let the
+    // caller fall back to the select-based loop, which reports it.
+    return Status::Unimplemented("aggregate pushdown: budgeted merge lineage");
+  }
+  if (is_crack && options_.track_lineage && accel->root == kInvalidPieceId) {
+    accel->root = lineage_.AddRoot(table + "." + column, bat->size());
+    accel->piece_nodes[{0, bat->size()}] = accel->root;
+  }
+
+  IoStats io;
+  obs::TraceSpan trace_span("aggregate", table + "." + column, &io);
+  SnapshotView view = ViewForColumn(table, column, snap);
+  CRACK_ASSIGN_OR_RETURN(
+      ColumnAggregates out,
+      accel->path->AggregateRange(bounds, &io,
+                                  view.active() ? &view : nullptr));
+
+  if (is_crack && options_.track_lineage) {
+    // The aggregate's cuts crack the column exactly like a select's; the
+    // same piece-diff keeps the Ξ DAG current.
+    size_t merges_now = accel->path->merges_performed();
+    if (merges_now != accel->merges_seen) {
+      (void)lineage_.TrimDescendants(accel->root);
+      accel->piece_nodes.clear();
+      std::vector<PieceInfo> pieces = accel->path->Pieces();
+      size_t span_end =
+          pieces.empty() ? accel->path->size() : pieces.back().end;
+      accel->piece_nodes[{0, span_end}] = accel->root;
+      accel->merges_seen = merges_now;
+    }
+    UpdateLineage(table, column, accel);
+  }
+
+  out.io = io;
+  obs::RecordAggPushdown(out.pushdown_rows);
+  AddIo(io);
+  return out;
 }
 
 Result<QueryResult> AdaptiveStore::SelectConjunction(
@@ -1188,19 +1324,77 @@ Result<QueryResult> AdaptiveStore::SelectConjunction(
     }
   }
 
-  // Answer each conjunct through its column's access path, then intersect
-  // the (already ascending) oid lists starting from the smallest. One code
-  // path for every crack-policy × sort combination.
+  // Answer each conjunct through its column's access path, then intersect.
+  // Scan-strategy legs (versioned or string-typed conjunctions land here)
+  // are asked for kCount only: their answers carry identity span sets, so
+  // clean legs intersect as interval algebra — no per-leg oid gather, no
+  // per-leg sort. Stateful legs (crack/sort answer over a permuted layout)
+  // keep the materialized smallest-first intersection.
   std::vector<std::vector<Oid>> per_column;
   per_column.reserve(conjuncts.size());
+  bool have_folded = false;
+  OidSpanSet folded;
   for (const ColumnRange& c : conjuncts) {
+    const Delivery leg_delivery = options_.strategy == AccessStrategy::kScan
+                                      ? Delivery::kCount
+                                      : Delivery::kView;
     CRACK_ASSIGN_OR_RETURN(
         QueryResult qr,
-        SelectRange(table, c.column, c.range, Delivery::kView, txn));
+        SelectRange(table, c.column, c.range, leg_delivery, txn));
     result.io += qr.io;
+    if (leg_delivery == Delivery::kCount) {
+      if (qr.has_span_set && SpanSetIntersectable(qr.span_set) &&
+          qr.span_set.exceptions() == 0 && qr.span_set.extras() == 0) {
+        // Interval-algebra leg: only span boundaries are touched.
+        result.io.tuples_read += qr.span_set.num_spans();
+        if (!have_folded) {
+          folded = std::move(qr.span_set);
+          have_folded = true;
+        } else {
+          folded = IntersectIdentitySpanSets(folded, qr.span_set);
+        }
+        continue;
+      }
+      if (qr.has_span_set) {
+        // Overlayed span answer (delta inserts / snapshot extras): this leg
+        // materializes, the others still intersect as intervals.
+        obs::RecordMaterializedOids(qr.count);
+        per_column.push_back(qr.span_set.ToOids());
+        continue;
+      }
+      // No span set came back (scans are stateless, so the re-ask answers
+      // the identical question): fetch the oid list.
+      CRACK_ASSIGN_OR_RETURN(
+          qr, SelectRange(table, c.column, c.range, Delivery::kView, txn));
+      result.io += qr.io;
+    }
     per_column.push_back(std::move(qr).CollectOids());
   }
-  IntersectConjunctionLegs(std::move(per_column), delivery, &result);
+  if (per_column.empty()) {
+    // Every leg stayed an interval set: the conjunction's answer is itself
+    // a span set. kView enumerates the survivors once — the only oids this
+    // statement ever wrote down.
+    result.count = folded.count();
+    result.has_span_set = true;
+    if (delivery == Delivery::kView && result.count > 0) {
+      obs::RecordMaterializedOids(result.count);
+      result.scan_oids = folded.ToOids();
+    }
+    result.span_set = std::move(folded);
+    obs::RecordSpanAnswer(result.span_set.num_spans(), result.count);
+  } else {
+    if (have_folded) {
+      // Reduce the smallest materialized leg through the folded intervals
+      // before the list×list passes.
+      std::sort(per_column.begin(), per_column.end(),
+                [](const std::vector<Oid>& a, const std::vector<Oid>& b) {
+                  return a.size() < b.size();
+                });
+      result.io.tuples_read += per_column.front().size();
+      per_column.front() = IntersectWithIdentitySpans(per_column.front(), folded);
+    }
+    IntersectConjunctionLegs(std::move(per_column), delivery, &result);
+  }
 
   result.seconds = timer.ElapsedSeconds();
   AddIo(result.io);

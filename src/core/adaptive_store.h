@@ -142,6 +142,13 @@ struct QueryResult {
   /// Qualifying oids (ascending) for non-contiguous answers (scan strategy,
   /// coarse-policy edge pieces) with Delivery::kView.
   std::vector<Oid> scan_oids;
+  /// Zero-materialization answer shape: the qualifying rows as contiguous
+  /// spans over the access path's layout (plus exception/extra overlays for
+  /// snapshot-hidden and delta rows). Carried alongside the view when the
+  /// path produced one; CollectOids() prefers it and only then pays the
+  /// oid gather.
+  bool has_span_set = false;
+  OidSpanSet span_set;
   /// The oid assigned to the row of an Insert (concurrent writers learn
   /// their row's identity from it); kInvalidOid for every other statement.
   Oid inserted_oid = kInvalidOid;
@@ -288,6 +295,18 @@ class AdaptiveStore {
                                   const TypedRange& range,
                                   Delivery delivery = Delivery::kCount,
                                   TxnId txn = kNoTxn);
+
+  /// Aggregate pushdown: SUM/MIN/MAX/COUNT of `column` over the rows
+  /// matching `range`, reduced by horizontal SIMD kernels directly over the
+  /// cracked pieces — no oid list, no value gather. Snapshot divergence is
+  /// folded in as O(overrides + pending) corrections. Integer columns only;
+  /// paths that cannot push down (progressive budgeted cracks, concurrent
+  /// coarse pieces, string columns) return Unimplemented and the caller
+  /// falls back to materialize-then-loop.
+  Result<ColumnAggregates> AggregateRange(const std::string& table,
+                                          const std::string& column,
+                                          const TypedRange& range,
+                                          TxnId txn = kNoTxn);
 
   /// One conjunct of a multi-attribute selection (typed; numeric
   /// RangeBounds convert implicitly).
@@ -623,8 +642,14 @@ class AdaptiveStore {
 
   /// Creates accel->path (caller holds accel->latch exclusive + the base
   /// latch shared) and replays the table's vacuum-purged rows into it.
-  Status CreatePathLocked(const std::string& table, ColumnAccel* accel,
-                          const std::shared_ptr<Bat>& bat, TableState* ts);
+  Status CreatePathLocked(const std::string& table, const std::string& column,
+                          ColumnAccel* accel, const std::shared_ptr<Bat>& bat,
+                          TableState* ts);
+
+  /// The per-column AccessPathConfig: the store-wide defaults, overlaid
+  /// with the column's checkpoint-recovered (policy, progressive budget)
+  /// when the database was reopened from a v2 checkpoint.
+  AccessPathConfig PathConfigFor(const std::string& key) const;
 
   /// If the path's delta policy says a fold is due, takes the exclusive
   /// column latch and flushes. Safe to call with no latches held.
@@ -635,6 +660,13 @@ class AdaptiveStore {
                                             const TypedRange& range,
                                             Delivery delivery,
                                             const Snapshot& snap);
+  /// Concurrent-mode aggregate pushdown (mirrors SelectRangeConcurrent's
+  /// latch discipline: shared column+base latches when the path serves
+  /// shared reads, exclusive column latch otherwise).
+  Result<ColumnAggregates> AggregateRangeConcurrent(const std::string& table,
+                                                    const std::string& column,
+                                                    const RangeBounds& bounds,
+                                                    const Snapshot& snap);
   /// Converts a selection into latch-independent result shape (oid lists,
   /// never views) and materializes if asked. Caller holds the column latch
   /// plus the base latch shared.
@@ -662,6 +694,10 @@ class AdaptiveStore {
   AdaptiveStoreOptions options_;
   std::map<std::string, std::shared_ptr<Relation>> tables_;
   std::map<std::string, ColumnAccel> accels_;  // key: table + "." + column
+  /// Checkpoint-recovered per-column (policy, progressive budget), keyed by
+  /// "table.column". Filled once by OpenDurable before the store is shared;
+  /// read-only afterwards (consulted when a column's path is first built).
+  std::map<std::string, std::pair<CrackPolicy, double>> recovered_policies_;
   mutable std::map<std::string, TableState> table_states_;
   /// Per-table version logs (MVCC). unique_ptr: pointers stay stable while
   /// the registry map grows. Guarded by registry_mu_ in concurrent mode;

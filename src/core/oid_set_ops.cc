@@ -59,4 +59,74 @@ std::vector<Oid> IntersectSorted(const std::vector<Oid>& a,
   return IntersectSortedLinear(small, large);
 }
 
+bool SpanSetIntersectable(const OidSpanSet& set) { return set.identity(); }
+
+std::vector<Oid> IntersectWithIdentitySpans(const std::vector<Oid>& sorted,
+                                            const OidSpanSet& set) {
+  std::vector<Oid> out;
+  out.reserve(std::min<uint64_t>(sorted.size(), set.count()));
+  const Oid base = set.identity_base();
+  size_t cursor = 0;
+  size_t concat = 0;  // concatenated span position of each span's begin
+  for (const OidSpan& s : set.spans()) {
+    if (cursor >= sorted.size()) break;
+    const Oid span_lo = base + s.begin;
+    const Oid span_hi = base + s.end;
+    const Oid* first = sorted.data() + cursor;
+    const Oid* last = sorted.data() + sorted.size();
+    cursor = static_cast<size_t>(std::lower_bound(first, last, span_lo) -
+                                 sorted.data());
+    while (cursor < sorted.size() && sorted[cursor] < span_hi) {
+      const Oid oid = sorted[cursor];
+      if (!set.IsException(concat + static_cast<size_t>(oid - span_lo))) {
+        out.push_back(oid);
+      }
+      ++cursor;
+    }
+    concat += s.size();
+  }
+  if (set.extras() > 0) {
+    std::vector<Oid> extras = set.extra_oids();
+    std::sort(extras.begin(), extras.end());
+    std::vector<Oid> hits = IntersectSorted(sorted, extras);
+    if (!hits.empty()) {
+      // Extras (delta inserts, override re-admissions) can fall below the
+      // span oids; one merge keeps the result ascending.
+      size_t mid = out.size();
+      out.insert(out.end(), hits.begin(), hits.end());
+      std::inplace_merge(out.begin(), out.begin() + mid, out.end());
+    }
+  }
+  return out;
+}
+
+OidSpanSet IntersectIdentitySpanSets(const OidSpanSet& a,
+                                     const OidSpanSet& b) {
+  OidSpanSet out;
+  out.BindIdentity(0);  // spans in absolute oid space
+  const Oid base_a = a.identity_base();
+  const Oid base_b = b.identity_base();
+  size_t ia = 0;
+  size_t ib = 0;
+  const auto& sa = a.spans();
+  const auto& sb = b.spans();
+  while (ia < sa.size() && ib < sb.size()) {
+    const Oid lo_a = base_a + sa[ia].begin;
+    const Oid hi_a = base_a + sa[ia].end;
+    const Oid lo_b = base_b + sb[ib].begin;
+    const Oid hi_b = base_b + sb[ib].end;
+    const Oid lo = std::max(lo_a, lo_b);
+    const Oid hi = std::min(hi_a, hi_b);
+    if (lo < hi) {
+      out.AddSpan(static_cast<size_t>(lo), static_cast<size_t>(hi));
+    }
+    if (hi_a <= hi_b) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return out;
+}
+
 }  // namespace crackstore

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/oid_span_set.h"
 #include "storage/types.h"
 
 namespace crackstore {
@@ -45,6 +46,33 @@ bool ShouldGallop(size_t a_size, size_t b_size);
 /// the linear merge otherwise.
 std::vector<Oid> IntersectSorted(const std::vector<Oid>& a,
                                  const std::vector<Oid>& b);
+
+// ---------------------------------------------------------------------------
+// Span-aware intersections: conjunction legs that answered with an
+// OidSpanSet intersect without materializing their oid lists first.
+// ---------------------------------------------------------------------------
+
+/// True when `set` can be consumed as sorted oid *intervals* directly:
+/// identity layout (spans ARE ascending oid ranges). Exception bits and
+/// extras are handled by the helpers below; a permuted layout is not (its
+/// spans are unordered in oid space), so it materializes instead.
+bool SpanSetIntersectable(const OidSpanSet& set);
+
+/// Intersects an ascending oid list with an identity-layout span set:
+/// gallops the list across the spans (lower_bound per span from a moving
+/// cursor), tests the exception overlay per hit, then merges the qualifying
+/// extras in. O(spans log n + hits + extras). Requires
+/// SpanSetIntersectable(set).
+std::vector<Oid> IntersectWithIdentitySpans(const std::vector<Oid>& sorted,
+                                            const OidSpanSet& set);
+
+/// Intersects two identity-layout span sets by interval overlap, producing
+/// a third identity span set over *absolute* oids (identity base 0) —
+/// O(spans_a + spans_b), no per-row work at all. Exceptions and extras on
+/// either input degrade to the list paths; this helper requires both sets
+/// to carry none (callers check exceptions() == 0 && extras() == 0).
+OidSpanSet IntersectIdentitySpanSets(const OidSpanSet& a,
+                                     const OidSpanSet& b);
 
 }  // namespace crackstore
 

@@ -1,0 +1,62 @@
+// Copyright 2026 The CrackStore Authors
+
+#include "core/oid_span_set.h"
+
+#include <algorithm>
+
+namespace crackstore {
+
+void OidSpanSet::AddSpan(size_t begin, size_t end) {
+  if (end <= begin) return;
+  span_rows_ += end - begin;
+  if (!spans_.empty() && spans_.back().end == begin) {
+    spans_.back().end = end;
+    return;
+  }
+  spans_.push_back(OidSpan{begin, end});
+}
+
+void OidSpanSet::MarkException(size_t concat_pos) {
+  size_t w = concat_pos >> 6;
+  if (w >= exceptions_.size()) exceptions_.resize(w + 1, 0);
+  uint64_t bit = 1ull << (concat_pos & 63);
+  if (exceptions_[w] & bit) return;
+  exceptions_[w] |= bit;
+  ++exception_count_;
+}
+
+void OidSpanSet::AddExtra(Oid oid) { extras_.push_back(oid); }
+
+std::vector<Oid> OidSpanSet::ToOids() const {
+  std::vector<Oid> out;
+  out.reserve(count());
+  ForEachOid([&out](Oid oid) { out.push_back(oid); });
+  // Identity spans without extras are already ascending; everything else
+  // (permuted maps, merged extras) sorts here, once, at the boundary.
+  if (oid_map_ != nullptr || !extras_.empty()) {
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+OidSpanSet OidSpanSet::FromMatchBitmap(const uint64_t* bm, size_t n,
+                                       Oid base) {
+  OidSpanSet set;
+  set.BindIdentity(base);
+  size_t run_start = 0;
+  bool in_run = false;
+  for (size_t i = 0; i < n; ++i) {
+    bool hit = (bm[i >> 6] >> (i & 63)) & 1u;
+    if (hit && !in_run) {
+      run_start = i;
+      in_run = true;
+    } else if (!hit && in_run) {
+      set.AddSpan(run_start, i);
+      in_run = false;
+    }
+  }
+  if (in_run) set.AddSpan(run_start, n);
+  return set;
+}
+
+}  // namespace crackstore

@@ -13,6 +13,7 @@
 #include "core/simd_dispatch.h"
 
 #include <cstdlib>
+#include <limits>
 #include <type_traits>
 
 #include "core/crack_kernels.h"
@@ -300,6 +301,260 @@ void RangeMaskBlocks(const T* data, size_t n, bool has_lo, T lo, bool lo_incl,
   }
 }
 
+// --- aggregate-pushdown reductions ----------------------------------------
+// The canonical pattern every tier reproduces (see simd_dispatch.h): wrapping
+// uint64 integer sums, the 8-stride double sum, order-free min/max. The
+// scalar and predicated tiers share this implementation — a horizontal
+// reduction has no data-dependent control flow for predication to remove
+// (min/max lower to cmov/maxsd already) — and the NEON tier reuses it too:
+// the reductions are bandwidth-bound, and keeping one non-x86 body keeps the
+// parity contract trivial. AVX2 gets real vector bodies below.
+
+template <typename T>
+SpanAggregates AggCanonical(const T* p, size_t n, const uint64_t* bm) {
+  SpanAggregates out;
+  if constexpr (std::is_same_v<T, double>) {
+    double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      bool ok = bm == nullptr || BitmapTest(bm, i);
+      acc[i & 7] += ok ? p[i] : 0.0;
+      if (ok) {
+        ++out.count;
+        if (p[i] < mn) mn = p[i];
+        if (p[i] > mx) mx = p[i];
+      }
+    }
+    double s = acc[0];
+    for (int j = 1; j < 8; ++j) s += acc[j];
+    out.sum_d = s;
+    out.min_d = mn;
+    out.max_d = mx;
+  } else {
+    uint64_t s = 0;
+    T mn = std::numeric_limits<T>::max();
+    T mx = std::numeric_limits<T>::min();
+    for (size_t i = 0; i < n; ++i) {
+      bool ok = bm == nullptr || BitmapTest(bm, i);
+      if (ok) {
+        s += uint64_t(int64_t(p[i]));
+        ++out.count;
+        if (p[i] < mn) mn = p[i];
+        if (p[i] > mx) mx = p[i];
+      }
+    }
+    out.sum_i = int64_t(s);
+    out.min_i = mn;
+    out.max_i = mx;
+  }
+  return out;
+}
+
+#if CRACKSTORE_X86
+
+// Shared scalar tail + lane reduction for the AVX2 bodies. `i` is where the
+// vector main loop stopped (a multiple of 8); the double tail continues the
+// 8-stride pattern against the lane-extracted accumulators, so the whole
+// span is summed exactly as the canonical body would.
+
+__attribute__((target("avx2")))
+SpanAggregates Avx2AggI32(const int32_t* p, size_t n, const uint64_t* bm) {
+  SpanAggregates out;
+  __m256i sum = _mm256_setzero_si256();
+  __m256i mn = _mm256_set1_epi32(std::numeric_limits<int32_t>::max());
+  __m256i mx = _mm256_set1_epi32(std::numeric_limits<int32_t>::min());
+  const __m256i lane_bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    if (bm != nullptr) {
+      uint32_t m8 = uint32_t(bm[i >> 6] >> (i & 63)) & 0xFFu;
+      __m256i sel = _mm256_cmpeq_epi32(
+          _mm256_and_si256(_mm256_set1_epi32(int(m8)), lane_bits), lane_bits);
+      out.count += uint64_t(__builtin_popcount(m8));
+      mn = _mm256_min_epi32(mn, _mm256_blendv_epi8(mn, v, sel));
+      mx = _mm256_max_epi32(mx, _mm256_blendv_epi8(mx, v, sel));
+      v = _mm256_and_si256(v, sel);
+    } else {
+      out.count += 8;
+      mn = _mm256_min_epi32(mn, v);
+      mx = _mm256_max_epi32(mx, v);
+    }
+    __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v));
+    __m256i hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1));
+    sum = _mm256_add_epi64(sum, _mm256_add_epi64(lo, hi));
+  }
+  alignas(32) int64_t s4[4];
+  alignas(32) int32_t mn8[8], mx8[8];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s4), sum);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(mn8), mn);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(mx8), mx);
+  uint64_t s =
+      uint64_t(s4[0]) + uint64_t(s4[1]) + uint64_t(s4[2]) + uint64_t(s4[3]);
+  int32_t mnv = mn8[0], mxv = mx8[0];
+  for (int j = 1; j < 8; ++j) {
+    if (mn8[j] < mnv) mnv = mn8[j];
+    if (mx8[j] > mxv) mxv = mx8[j];
+  }
+  for (; i < n; ++i) {
+    bool ok = bm == nullptr || BitmapTest(bm, i);
+    if (ok) {
+      s += uint64_t(int64_t(p[i]));
+      ++out.count;
+      if (p[i] < mnv) mnv = p[i];
+      if (p[i] > mxv) mxv = p[i];
+    }
+  }
+  out.sum_i = int64_t(s);
+  out.min_i = mnv;
+  out.max_i = mxv;
+  return out;
+}
+
+__attribute__((target("avx2")))
+SpanAggregates Avx2AggI64(const int64_t* p, size_t n, const uint64_t* bm) {
+  SpanAggregates out;
+  __m256i sum = _mm256_setzero_si256();
+  __m256i mn = _mm256_set1_epi64x(std::numeric_limits<int64_t>::max());
+  __m256i mx = _mm256_set1_epi64x(std::numeric_limits<int64_t>::min());
+  const __m256i lane_bits = _mm256_setr_epi64x(1, 2, 4, 8);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    __m256i vmin = v, vmax = v;
+    if (bm != nullptr) {
+      uint32_t m4 = uint32_t(bm[i >> 6] >> (i & 63)) & 0xFu;
+      __m256i sel = _mm256_cmpeq_epi64(
+          _mm256_and_si256(_mm256_set1_epi64x(int64_t(m4)), lane_bits),
+          lane_bits);
+      out.count += uint64_t(__builtin_popcount(m4));
+      vmin = _mm256_blendv_epi8(mn, v, sel);
+      vmax = _mm256_blendv_epi8(mx, v, sel);
+      v = _mm256_and_si256(v, sel);
+    } else {
+      out.count += 4;
+    }
+    // AVX2 has no 64-bit min/max: compare + blend.
+    mn = _mm256_blendv_epi8(mn, vmin, _mm256_cmpgt_epi64(mn, vmin));
+    mx = _mm256_blendv_epi8(mx, vmax, _mm256_cmpgt_epi64(vmax, mx));
+    sum = _mm256_add_epi64(sum, v);
+  }
+  alignas(32) int64_t s4[4], mn4[4], mx4[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s4), sum);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(mn4), mn);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(mx4), mx);
+  uint64_t s =
+      uint64_t(s4[0]) + uint64_t(s4[1]) + uint64_t(s4[2]) + uint64_t(s4[3]);
+  int64_t mnv = mn4[0], mxv = mx4[0];
+  for (int j = 1; j < 4; ++j) {
+    if (mn4[j] < mnv) mnv = mn4[j];
+    if (mx4[j] > mxv) mxv = mx4[j];
+  }
+  for (; i < n; ++i) {
+    bool ok = bm == nullptr || BitmapTest(bm, i);
+    if (ok) {
+      s += uint64_t(p[i]);
+      ++out.count;
+      if (p[i] < mnv) mnv = p[i];
+      if (p[i] > mxv) mxv = p[i];
+    }
+  }
+  out.sum_i = int64_t(s);
+  out.min_i = mnv;
+  out.max_i = mxv;
+  return out;
+}
+
+__attribute__((target("avx2")))
+SpanAggregates Avx2AggF64(const double* p, size_t n, const uint64_t* bm) {
+  SpanAggregates out;
+  // Two accumulators = strides 0..3 and 4..7 of the canonical pattern.
+  __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+  __m256d mn = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d mx = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  const __m256i lane_bits = _mm256_setr_epi64x(1, 2, 4, 8);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d v0 = _mm256_loadu_pd(p + i);
+    __m256d v1 = _mm256_loadu_pd(p + i + 4);
+    if (bm != nullptr) {
+      uint32_t m8 = uint32_t(bm[i >> 6] >> (i & 63)) & 0xFFu;
+      __m256d sel0 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+          _mm256_and_si256(_mm256_set1_epi64x(int64_t(m8 & 0xF)), lane_bits),
+          lane_bits));
+      __m256d sel1 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+          _mm256_and_si256(_mm256_set1_epi64x(int64_t(m8 >> 4)), lane_bits),
+          lane_bits));
+      out.count += uint64_t(__builtin_popcount(m8));
+      mn = _mm256_min_pd(mn, _mm256_blendv_pd(mn, v0, sel0));
+      mn = _mm256_min_pd(mn, _mm256_blendv_pd(mn, v1, sel1));
+      mx = _mm256_max_pd(mx, _mm256_blendv_pd(mx, v0, sel0));
+      mx = _mm256_max_pd(mx, _mm256_blendv_pd(mx, v1, sel1));
+      v0 = _mm256_and_pd(v0, sel0);  // masked-off lanes become +0.0
+      v1 = _mm256_and_pd(v1, sel1);
+    } else {
+      out.count += 8;
+      mn = _mm256_min_pd(mn, _mm256_min_pd(v0, v1));
+      mx = _mm256_max_pd(mx, _mm256_max_pd(v0, v1));
+    }
+    a0 = _mm256_add_pd(a0, v0);
+    a1 = _mm256_add_pd(a1, v1);
+  }
+  alignas(32) double acc[8], mn4[4], mx4[4];
+  _mm256_storeu_pd(acc, a0);
+  _mm256_storeu_pd(acc + 4, a1);
+  _mm256_storeu_pd(mn4, mn);
+  _mm256_storeu_pd(mx4, mx);
+  double mnv = mn4[0], mxv = mx4[0];
+  for (int j = 1; j < 4; ++j) {
+    if (mn4[j] < mnv) mnv = mn4[j];
+    if (mx4[j] > mxv) mxv = mx4[j];
+  }
+  for (; i < n; ++i) {
+    bool ok = bm == nullptr || BitmapTest(bm, i);
+    acc[i & 7] += ok ? p[i] : 0.0;
+    if (ok) {
+      ++out.count;
+      if (p[i] < mnv) mnv = p[i];
+      if (p[i] > mxv) mxv = p[i];
+    }
+  }
+  double s = acc[0];
+  for (int j = 1; j < 8; ++j) s += acc[j];
+  out.sum_d = s;
+  out.min_d = mnv;
+  out.max_d = mxv;
+  return out;
+}
+
+template <typename T>
+SpanAggregates Avx2Agg(const T* p, size_t n, const uint64_t* bm) {
+  if constexpr (std::is_same_v<T, int32_t>) {
+    return Avx2AggI32(p, n, bm);
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    return Avx2AggI64(p, n, bm);
+  } else {
+    static_assert(std::is_same_v<T, double>);
+    return Avx2AggF64(p, n, bm);
+  }
+}
+
+#endif  // CRACKSTORE_X86
+
+template <typename T>
+SpanAggregates AggDispatch(const T* p, size_t n, const uint64_t* bm,
+                           SimdTier tier) {
+#if CRACKSTORE_X86
+  if (tier == SimdTier::kAvx2) return Avx2Agg(p, n, bm);
+#else
+  (void)tier;
+#endif
+  return AggCanonical(p, n, bm);
+}
+
 }  // namespace
 
 const char* SimdTierName(SimdTier tier) {
@@ -452,6 +707,17 @@ void RangeMatchMask(const T* data, size_t n, bool has_lo, T lo, bool lo_incl,
       data, n, has_lo, lo, lo_incl, has_hi, hi, hi_incl, bm);
 }
 
+template <typename T>
+SpanAggregates AggregateSpanTier(const T* data, size_t n, SimdTier tier) {
+  return AggDispatch(data, n, nullptr, tier);
+}
+
+template <typename T>
+SpanAggregates AggregateSpanMaskedTier(const T* data, size_t n,
+                                       const uint64_t* bm, SimdTier tier) {
+  return AggDispatch(data, n, bm, tier);
+}
+
 template CrackSplit CrackInTwoLtTier<int32_t>(int32_t*, Oid*, size_t, int32_t,
                                               SimdTier);
 template CrackSplit CrackInTwoLtTier<int64_t>(int64_t*, Oid*, size_t, int64_t,
@@ -478,5 +744,22 @@ template void RangeMatchMask<int64_t>(const int64_t*, size_t, bool, int64_t,
                                       SimdTier);
 template void RangeMatchMask<double>(const double*, size_t, bool, double, bool,
                                      bool, double, bool, uint64_t*, SimdTier);
+template SpanAggregates AggregateSpanTier<int32_t>(const int32_t*, size_t,
+                                                   SimdTier);
+template SpanAggregates AggregateSpanTier<int64_t>(const int64_t*, size_t,
+                                                   SimdTier);
+template SpanAggregates AggregateSpanTier<double>(const double*, size_t,
+                                                  SimdTier);
+template SpanAggregates AggregateSpanMaskedTier<int32_t>(const int32_t*,
+                                                         size_t,
+                                                         const uint64_t*,
+                                                         SimdTier);
+template SpanAggregates AggregateSpanMaskedTier<int64_t>(const int64_t*,
+                                                         size_t,
+                                                         const uint64_t*,
+                                                         SimdTier);
+template SpanAggregates AggregateSpanMaskedTier<double>(const double*, size_t,
+                                                        const uint64_t*,
+                                                        SimdTier);
 
 }  // namespace crackstore

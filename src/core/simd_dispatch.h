@@ -142,6 +142,58 @@ inline void RangeMatchMask(const T* data, size_t n, bool has_lo, T lo,
                  ActiveSimdTier());
 }
 
+// ---------------------------------------------------------------------------
+// Horizontal span reductions — the aggregate-pushdown kernels. One pass over
+// a contiguous span computes count/sum/min/max together, so a pushed-down
+// SUM/MIN/MAX/COUNT never materializes an oid list.
+//
+// Bit-identity across tiers is by construction:
+//   * integer sums accumulate wrapping uint64 (modular arithmetic is
+//     order-free, so lane-parallel partial sums match the scalar loop);
+//   * double sums use one canonical 8-stride pattern in every tier —
+//     acc[i & 7] += v, then acc[0..7] reduced left to right — which is
+//     exactly two 4-lane AVX2 accumulators, so the vector tier performs the
+//     *same* additions in the same order per stride;
+//   * min/max are order-free (NaN-free data; the snapshot scan kernels
+//     share this contract).
+// The masked variants substitute the identity (+0.0 / 0 for sums, skipped
+// for min/max) at masked-off positions inside the same pattern.
+// ---------------------------------------------------------------------------
+
+/// All reductions of one span. `sum_i`/`min_i`/`max_i` are filled for
+/// integer instantiations (sum_i wraps mod 2^64), `sum_d`/`min_d`/`max_d`
+/// for double. min/max are meaningful only when `count > 0`.
+struct SpanAggregates {
+  uint64_t count = 0;
+  int64_t sum_i = 0;
+  double sum_d = 0.0;
+  int64_t min_i = 0;
+  int64_t max_i = 0;
+  double min_d = 0.0;
+  double max_d = 0.0;
+};
+
+/// Reduces data[0, n). Instantiated for int32_t / int64_t / double.
+template <typename T>
+SpanAggregates AggregateSpanTier(const T* data, size_t n, SimdTier tier);
+
+/// Reduces the rows of data[0, n) whose bit is set in `bm` (the
+/// visibility-mask shape VisibleMask/RangeMatchMask produce).
+template <typename T>
+SpanAggregates AggregateSpanMaskedTier(const T* data, size_t n,
+                                       const uint64_t* bm, SimdTier tier);
+
+template <typename T>
+inline SpanAggregates AggregateSpan(const T* data, size_t n) {
+  return AggregateSpanTier(data, n, ActiveSimdTier());
+}
+
+template <typename T>
+inline SpanAggregates AggregateSpanMasked(const T* data, size_t n,
+                                          const uint64_t* bm) {
+  return AggregateSpanMaskedTier(data, n, bm, ActiveSimdTier());
+}
+
 extern template CrackSplit CrackInTwoLtTier<int32_t>(int32_t*, Oid*, size_t,
                                                      int32_t, SimdTier);
 extern template CrackSplit CrackInTwoLtTier<int64_t>(int64_t*, Oid*, size_t,
@@ -172,6 +224,18 @@ extern template void RangeMatchMask<int64_t>(const int64_t*, size_t, bool,
 extern template void RangeMatchMask<double>(const double*, size_t, bool,
                                             double, bool, bool, double, bool,
                                             uint64_t*, SimdTier);
+extern template SpanAggregates AggregateSpanTier<int32_t>(const int32_t*,
+                                                          size_t, SimdTier);
+extern template SpanAggregates AggregateSpanTier<int64_t>(const int64_t*,
+                                                          size_t, SimdTier);
+extern template SpanAggregates AggregateSpanTier<double>(const double*, size_t,
+                                                         SimdTier);
+extern template SpanAggregates AggregateSpanMaskedTier<int32_t>(
+    const int32_t*, size_t, const uint64_t*, SimdTier);
+extern template SpanAggregates AggregateSpanMaskedTier<int64_t>(
+    const int64_t*, size_t, const uint64_t*, SimdTier);
+extern template SpanAggregates AggregateSpanMaskedTier<double>(
+    const double*, size_t, const uint64_t*, SimdTier);
 
 }  // namespace crackstore
 

@@ -160,6 +160,13 @@ Status AdaptiveStore::OpenDurable() {
       txn_mgr_.AdvanceTo(ckpt.last_commit_ts);
       next_lsn = ckpt.next_lsn;
       recovery_info_.checkpoint_tables = ckpt.tables.size();
+      for (const durability::ColumnPolicyState& p : ckpt.policies) {
+        if (p.policy > static_cast<uint8_t>(CrackPolicy::kProgressive)) {
+          continue;  // a future policy this build does not know; skip it
+        }
+        recovered_policies_[p.column_key] = {
+            static_cast<CrackPolicy>(p.policy), p.progressive_budget};
+      }
       replaying_ = true;
       for (durability::LoadedTable& table : ckpt.tables) {
         Status st = InstallRecoveredTable(std::move(table));
@@ -315,6 +322,31 @@ Status AdaptiveStore::CheckpointLocked() {
     snapshots.push_back(std::move(ts));
   }
 
+  // Persist each materialized column's tuned policy (v2 section): the
+  // effective policy — for kAuto, what the detector converged on — plus
+  // the progressive budget, so the reopened store resumes it. Gathered
+  // inline (not via PolicyReport) because the caller already holds the
+  // global lock exclusively in concurrent mode; the quiesce also makes
+  // column latches unnecessary.
+  std::vector<durability::ColumnPolicyState> policies;
+  {
+    std::unique_lock<std::mutex> rl(registry_mu_, std::defer_lock);
+    if (options_.concurrent) rl.lock();
+    for (const auto& [key, accel] : accels_) {
+      bool has = options_.concurrent
+                     ? accel.has_path.load(std::memory_order_acquire)
+                     : accel.path != nullptr;
+      if (!has) continue;
+      PathPolicyStatus status = accel.path->PolicyStatus();
+      if (!status.crack) continue;
+      durability::ColumnPolicyState p;
+      p.column_key = key;
+      p.policy = static_cast<uint8_t>(status.effective);
+      p.progressive_budget = status.progressive_budget;
+      policies.push_back(std::move(p));
+    }
+  }
+
   durability::Manifest next = manifest_;
   next.generation += 1;
   next.checkpoint_file = next.CheckpointName();
@@ -322,7 +354,7 @@ Status AdaptiveStore::CheckpointLocked() {
   uint64_t bytes = 0;
   CRACK_RETURN_NOT_OK(durability::WriteCheckpoint(
       db_dir_, next.checkpoint_file, snap.read_ts, /*next_lsn=*/1, snapshots,
-      &bytes));
+      policies, &bytes));
   // Seal the old segment before publishing: a crash from here on recovers
   // either the old generation (complete) or the new one (empty log).
   CRACK_RETURN_NOT_OK(wal_->Close());

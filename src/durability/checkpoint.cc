@@ -14,7 +14,10 @@ namespace durability {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'R', 'K', 'S', 'T', 'O', 'R', '1'};
-constexpr uint32_t kFormatVersion = 1;
+/// v2 appended the per-column policy section; v1 files (no section) load
+/// with an empty policy list.
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kMinFormatVersion = 1;
 
 }  // namespace
 
@@ -117,6 +120,7 @@ Result<LoadedTable> DecodeTableImage(std::string_view image) {
 Status WriteCheckpoint(const std::string& dir, const std::string& name,
                        uint64_t last_commit_ts, uint64_t next_lsn,
                        const std::vector<TableSnapshot>& tables,
+                       const std::vector<ColumnPolicyState>& policies,
                        uint64_t* bytes_written) {
   std::string body;
   PutRaw<uint64_t>(&body, last_commit_ts);
@@ -126,6 +130,12 @@ Status WriteCheckpoint(const std::string& dir, const std::string& name,
     std::string image;
     EncodeTableImage(table, &image);
     PutBytes(&body, image);
+  }
+  PutRaw<uint32_t>(&body, static_cast<uint32_t>(policies.size()));
+  for (const ColumnPolicyState& p : policies) {
+    PutBytes(&body, p.column_key);
+    PutRaw<uint8_t>(&body, p.policy);
+    PutRaw<double>(&body, p.progressive_budget);
   }
 
   std::string file;
@@ -153,7 +163,7 @@ Result<CheckpointData> ReadCheckpoint(const std::string& path) {
       !GetRaw(view, &offset, &body_len)) {
     return Status::IoError("checkpoint " + path + ": truncated header");
   }
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return Status::IoError("checkpoint " + path + ": unsupported version " +
                            std::to_string(version));
   }
@@ -179,6 +189,23 @@ Result<CheckpointData> ReadCheckpoint(const std::string& path) {
     }
     CRACK_ASSIGN_OR_RETURN(LoadedTable table, DecodeTableImage(image));
     data.tables.push_back(std::move(table));
+  }
+  if (version >= 2) {
+    uint32_t npolicies;
+    if (!GetRaw(body, &pos, &npolicies)) {
+      return Status::IoError("checkpoint " + path + ": bad policy header");
+    }
+    data.policies.reserve(npolicies);
+    for (uint32_t i = 0; i < npolicies; ++i) {
+      ColumnPolicyState p;
+      if (!GetBytes(body, &pos, &p.column_key) ||
+          !GetRaw(body, &pos, &p.policy) ||
+          !GetRaw(body, &pos, &p.progressive_budget)) {
+        return Status::IoError("checkpoint " + path +
+                               ": truncated policy section");
+      }
+      data.policies.push_back(std::move(p));
+    }
   }
   return data;
 }

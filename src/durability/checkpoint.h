@@ -11,7 +11,13 @@
 //   [8B magic "CRKSTOR1"][u32 format_version][u32 crc][u64 body_len][body]
 //   body = [u64 last_commit_ts][u64 next_lsn]
 //          [u32 ntables][bytes table_image ...]
+//          [u32 npolicies][bytes "table.column" u8 policy f64 budget ...]
 //   crc  = CRC-32(body)
+//
+// Format v2 appends the per-column crack-policy section (the one piece of
+// accelerator state worth keeping: what the workload taught each column),
+// so a reopened store resumes its tuned policy instead of re-learning it.
+// v1 files (no policy section) still load.
 //
 // The same table-image codec serializes a single table into a WAL record,
 // so AddTable after the last checkpoint is crash-safe too.
@@ -53,11 +59,22 @@ void EncodeTableImage(const TableSnapshot& table, std::string* out);
 /// Parses one table image produced by EncodeTableImage.
 Result<LoadedTable> DecodeTableImage(std::string_view image);
 
+/// One column's tuned crack-policy state (v2 checkpoints): the effective
+/// policy the workload converged on and the progressive budget it ran
+/// with. A reopened store seeds the column's fresh access path with these
+/// instead of the store-wide default.
+struct ColumnPolicyState {
+  std::string column_key;          ///< "table.column"
+  uint8_t policy = 0;              ///< CrackPolicy numeric value
+  double progressive_budget = 0.0;
+};
+
 /// Everything a checkpoint file holds.
 struct CheckpointData {
   uint64_t last_commit_ts = 0;
   uint64_t next_lsn = 1;  ///< WAL lsn sequence continues from here
   std::vector<LoadedTable> tables;
+  std::vector<ColumnPolicyState> policies;  ///< empty for v1 files
 };
 
 /// Writes a checkpoint atomically to `dir/name` (tmp + fsync + rename +
@@ -65,6 +82,7 @@ struct CheckpointData {
 Status WriteCheckpoint(const std::string& dir, const std::string& name,
                        uint64_t last_commit_ts, uint64_t next_lsn,
                        const std::vector<TableSnapshot>& tables,
+                       const std::vector<ColumnPolicyState>& policies = {},
                        uint64_t* bytes_written = nullptr);
 
 /// Reads and validates `path`. Any framing or checksum failure is an

@@ -166,6 +166,40 @@ void RecordSnapshotOverride(uint64_t hits) {
   }
 }
 
+void RecordSpanAnswer(uint64_t spans, uint64_t rows) {
+  if (spans == 0) return;
+  static Counter* c = Reg().GetCounter(
+      "select.spans", "contiguous spans handed out as selection answers");
+  static Counter* r = Reg().GetCounter(
+      "select.span_rows", "rows answered through span sets (never gathered)");
+  c->Add(spans);
+  r->Add(rows);
+  if (QueryTrace* t = CurrentTrace()) {
+    t->live.select_spans.fetch_add(spans, std::memory_order_relaxed);
+    t->live.select_span_rows.fetch_add(rows, std::memory_order_relaxed);
+  }
+}
+
+void RecordMaterializedOids(uint64_t rows) {
+  if (rows == 0) return;
+  static Counter* c = Reg().GetCounter(
+      "select.materialized_oids", "oids materialized into answer lists");
+  c->Add(rows);
+  if (QueryTrace* t = CurrentTrace()) {
+    t->live.select_materialized.fetch_add(rows, std::memory_order_relaxed);
+  }
+}
+
+void RecordAggPushdown(uint64_t rows) {
+  if (rows == 0) return;
+  static Counter* c = Reg().GetCounter(
+      "agg.pushdown_rows", "rows reduced by pushed-down aggregate kernels");
+  c->Add(rows);
+  if (QueryTrace* t = CurrentTrace()) {
+    t->live.agg_pushdown_rows.fetch_add(rows, std::memory_order_relaxed);
+  }
+}
+
 void RecordSimdCall(int tier) {
   static Counter* tiers[4] = {
       Reg().GetCounter("simd.calls.scalar", "crack kernel calls, scalar tier"),

@@ -21,6 +21,8 @@
 //   vacuum.purged_rows
 //   merge.folds / merge.rows
 //   snapshot.rows_filtered / snapshot.override_hits
+//   select.spans / select.span_rows / select.materialized_oids
+//   agg.pushdown_rows
 //   simd.calls.{scalar,predicated,avx2,neon}
 //   io.* (mirrored from every IoStats delta the facade accumulates)
 //   sql.statements
@@ -59,6 +61,9 @@ inline void RecordVacuum(uint64_t) {}
 inline void RecordMerge(uint64_t) {}
 inline void RecordSnapshotFiltered(uint64_t) {}
 inline void RecordSnapshotOverride(uint64_t) {}
+inline void RecordSpanAnswer(uint64_t, uint64_t) {}
+inline void RecordMaterializedOids(uint64_t) {}
+inline void RecordAggPushdown(uint64_t) {}
 inline void RecordSimdCall(int) {}
 inline void MirrorIo(const IoStats&) {}
 inline void RecordSqlStatement() {}
@@ -104,6 +109,18 @@ void RecordMerge(uint64_t rows);
 
 void RecordSnapshotFiltered(uint64_t rows);
 void RecordSnapshotOverride(uint64_t hits);
+
+/// One selection answered as an OidSpanSet: `spans` contiguous pieces
+/// covering `rows` qualifying rows, zero oids materialized.
+void RecordSpanAnswer(uint64_t spans, uint64_t rows);
+
+/// `rows` oids materialized into a list at a true boundary (caller asked
+/// for oids, span set unavailable, or a permuted-layout intersection).
+void RecordMaterializedOids(uint64_t rows);
+
+/// `rows` reduced by the horizontal aggregate kernels instead of a
+/// materialize-then-loop pass.
+void RecordAggPushdown(uint64_t rows);
 
 /// One dispatched crack kernel call on the given SimdTier (0..3).
 void RecordSimdCall(int tier);

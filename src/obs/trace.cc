@@ -76,6 +76,12 @@ TraceCounters QueryTrace::LiveSnapshot() const {
   c.policy_switches = live.policy_switches.load(std::memory_order_relaxed);
   c.progressive_deferred =
       live.progressive_deferred.load(std::memory_order_relaxed);
+  c.select_spans = live.select_spans.load(std::memory_order_relaxed);
+  c.select_span_rows = live.select_span_rows.load(std::memory_order_relaxed);
+  c.select_materialized =
+      live.select_materialized.load(std::memory_order_relaxed);
+  c.agg_pushdown_rows =
+      live.agg_pushdown_rows.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -154,6 +160,16 @@ std::string QueryTrace::Render(const IoStats& statement_io,
         "policy: switches=%llu, progressive deferred rows=%llu\n",
         static_cast<unsigned long long>(totals.policy_switches),
         static_cast<unsigned long long>(totals.progressive_deferred));
+  }
+  if (totals.select_spans > 0 || totals.select_materialized > 0 ||
+      totals.agg_pushdown_rows > 0) {
+    out += StrFormat(
+        "read path: spans=%llu (rows=%llu), materialized oids=%llu, "
+        "agg pushdown rows=%llu\n",
+        static_cast<unsigned long long>(totals.select_spans),
+        static_cast<unsigned long long>(totals.select_span_rows),
+        static_cast<unsigned long long>(totals.select_materialized),
+        static_cast<unsigned long long>(totals.agg_pushdown_rows));
   }
   return out;
 }

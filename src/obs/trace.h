@@ -40,6 +40,10 @@ struct TraceCounters {
   uint64_t task_batches = 0;
   uint64_t policy_switches = 0;       ///< kAuto runtime policy switches
   uint64_t progressive_deferred = 0;  ///< rows progressive cuts deferred
+  uint64_t select_spans = 0;          ///< spans answered without oid gathers
+  uint64_t select_span_rows = 0;      ///< rows covered by span answers
+  uint64_t select_materialized = 0;   ///< oids materialized into lists
+  uint64_t agg_pushdown_rows = 0;     ///< rows reduced by aggregate kernels
 
   TraceCounters operator-(const TraceCounters& o) const {
     TraceCounters d;
@@ -53,6 +57,10 @@ struct TraceCounters {
     d.task_batches = task_batches - o.task_batches;
     d.policy_switches = policy_switches - o.policy_switches;
     d.progressive_deferred = progressive_deferred - o.progressive_deferred;
+    d.select_spans = select_spans - o.select_spans;
+    d.select_span_rows = select_span_rows - o.select_span_rows;
+    d.select_materialized = select_materialized - o.select_materialized;
+    d.agg_pushdown_rows = agg_pushdown_rows - o.agg_pushdown_rows;
     return d;
   }
 
@@ -94,6 +102,10 @@ class QueryTrace {
     std::atomic<uint64_t> task_batches{0};
     std::atomic<uint64_t> policy_switches{0};
     std::atomic<uint64_t> progressive_deferred{0};
+    std::atomic<uint64_t> select_spans{0};
+    std::atomic<uint64_t> select_span_rows{0};
+    std::atomic<uint64_t> select_materialized{0};
+    std::atomic<uint64_t> agg_pushdown_rows{0};
   };
 
   /// Opens a span; returns its index for CloseSpan. `watch` (optional) is an

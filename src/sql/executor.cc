@@ -229,6 +229,49 @@ Result<QueryOutput> Execute(AdaptiveStore* store, const SelectStatement& stmt,
       return Status::Unimplemented("aggregates need integer columns");
     }
     plan_span.Close();
+    // Aggregate pushdown: a WHERE-less aggregate, or one whose single
+    // conjunct predicates the aggregated column itself, reduces over the
+    // cracked spans directly — no oid list, no value gather. Paths that
+    // cannot push down (progressive budgets, string predicates) report
+    // Unimplemented and the select-based loop below remains the oracle.
+    const bool pushable =
+        stmt.where.empty() || (stmt.where.size() == 1 &&
+                               stmt.where[0].column == stmt.items[0].column);
+    if (pushable) {
+      TypedRange agg_range =
+          stmt.where.empty() ? TypedRange::All() : stmt.where[0].range;
+      Result<ColumnAggregates> agg = store->AggregateRange(
+          stmt.table, stmt.items[0].column, agg_range, txn);
+      if (agg.ok()) {
+        int64_t acc = 0;
+        switch (stmt.items[0].agg) {
+          case AggFunc::kCount:
+            acc = static_cast<int64_t>(agg->rows);
+            break;
+          case AggFunc::kSum:
+            acc = agg->sum;
+            break;
+          case AggFunc::kMin:
+            acc = agg->has_minmax ? agg->min : 0;
+            break;
+          case AggFunc::kMax:
+            acc = agg->has_minmax ? agg->max : 0;
+            break;
+          case AggFunc::kNone:
+            break;
+        }
+        out.io += agg->io;
+        out.kind = OutputKind::kGroups;  // a single (global, value) row
+        out.groups.push_back(GroupAggregate{0, acc});
+        out.count = 1;
+        out.group_column = "<all>";
+        out.agg_description = StrFormat(
+            "%s(%s)", AggFuncName(stmt.items[0].agg),
+            stmt.items[0].column.c_str());
+        out.seconds = timer.ElapsedSeconds();
+        return out;
+      }
+    }
     std::vector<Oid> oids;
     if (stmt.where.empty()) {
       CRACK_ASSIGN_OR_RETURN(oids, store->LiveOids(stmt.table, txn));

@@ -400,6 +400,47 @@ TEST(Recovery, FsyncPoliciesRoundTrip) {
   }
 }
 
+TEST(Recovery, CheckpointResumesTunedCrackPolicy) {
+  TempDirs tmp;
+  DbOptions opts;
+  opts.path = tmp.Make();
+  opts.durability = DurabilityMode::kWal;
+  opts.fsync_policy = durability::FsyncPolicy::kOff;
+  opts.policy.policy = CrackPolicy::kStochastic;
+  opts.policy.progressive_budget = 0.25;
+  {
+    auto db = AdaptiveStore::Open(opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto rel = Relation::Create("R", Schema({{"c0", ValueType::kInt64}}));
+    ASSERT_TRUE(rel.ok());
+    ASSERT_TRUE((*db)->AddTable(*rel).ok());
+    for (int64_t v = 0; v < 512; ++v) {
+      ASSERT_TRUE((*db)->Insert("R", {Value(v)}).ok());
+    }
+    // Materialize the accelerator so its policy state exists to persist.
+    ASSERT_TRUE((*db)->SelectRange("R", "c0", RangeBounds::Closed(100, 300))
+                    .ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  // Reopen with a *different* default policy: the per-column state recorded
+  // in the checkpoint must win over the store default when the column's
+  // path is rebuilt.
+  DbOptions reopened = opts;
+  reopened.policy.policy = CrackPolicy::kStandard;
+  reopened.policy.progressive_budget = 0.1;
+  auto db = AdaptiveStore::Open(reopened);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->SelectRange("R", "c0", RangeBounds::Closed(50, 200)).ok());
+  std::vector<AdaptiveStore::ColumnPolicy> report = (*db)->PolicyReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].table, "R");
+  EXPECT_EQ(report[0].column, "c0");
+  EXPECT_EQ(report[0].status.configured, CrackPolicy::kStochastic);
+  EXPECT_DOUBLE_EQ(report[0].status.progressive_budget, 0.25);
+  ASSERT_TRUE((*db)->Close().ok());
+}
+
 // ---------------------------------------------------------------------------
 // Crash torture: truncate the commit log anywhere, reopen, compare against
 // the commit-prefix oracle.
